@@ -1,0 +1,382 @@
+package overprov
+
+// One benchmark per table and figure of the paper. Each bench runs the
+// corresponding experiment end to end on the reduced (SmallScale) trace
+// and reports the figure's headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` regenerates every artifact's shape in one
+// command. The full-scale versions live behind the cmd/ tools
+// (cmd/swfstat, cmd/sweep, cmd/estcompare, cmd/simulate).
+
+import (
+	"testing"
+
+	"overprov/internal/experiments"
+)
+
+// benchTrace caches the generated workloads across benchmark iterations.
+var benchState struct {
+	scale    experiments.Scale
+	prepared bool
+}
+
+func benchScale() experiments.Scale {
+	if !benchState.prepared {
+		benchState.scale = experiments.SmallScale()
+		benchState.prepared = true
+	}
+	return benchState.scale
+}
+
+// BenchmarkFigure1_OverprovisioningHistogram regenerates the Figure 1
+// histogram of requested/used memory ratios with its log-count fit.
+// Reported metrics: the fraction of jobs with ratio ≥ 2 (paper: 0.328)
+// and the fit's R² (paper: 0.69).
+func BenchmarkFigure1_OverprovisioningHistogram(b *testing.B) {
+	s := benchScale()
+	tr, err := experiments.RawWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var frac, r2 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac, r2 = r.FractionAtLeast2, r.Fit.R2
+	}
+	b.ReportMetric(frac, "ratio≥2-frac")
+	b.ReportMetric(r2, "fit-R²")
+}
+
+// BenchmarkFigure3_GroupSizeDistribution regenerates the similarity
+// group-size distribution. Reported metrics: the share of groups with
+// ≥ 10 jobs (paper: 0.194) and the share of jobs they hold (paper: 0.83).
+func BenchmarkFigure3_GroupSizeDistribution(b *testing.B) {
+	s := benchScale()
+	tr, err := experiments.RawWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var gs, js float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure3(tr)
+		gs, js = r.GroupShareAtLeast10, r.JobShareAtLeast10
+	}
+	b.ReportMetric(gs, "group-share≥10")
+	b.ReportMetric(js, "job-share≥10")
+}
+
+// BenchmarkFigure4_GainVsSimilarity regenerates the per-group potential
+// gain versus similarity-range scatter. Reported metric: the fraction of
+// plotted groups with a tight (< 1.5×) range.
+func BenchmarkFigure4_GainVsSimilarity(b *testing.B) {
+	s := benchScale()
+	tr, err := experiments.RawWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var tight float64
+	var points int
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure4(tr, 10)
+		tight, points = r.TightShare, len(r.Points)
+	}
+	b.ReportMetric(tight, "tight-share")
+	b.ReportMetric(float64(points), "groups")
+}
+
+// BenchmarkFigure5_UtilizationCurve regenerates the utilization-vs-load
+// sweep with and without estimation. Reported metric: the utilization
+// gain at saturation (paper: +58 %, reported as 0.58).
+func BenchmarkFigure5_UtilizationCurve(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.LoadSweep(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = r.SaturationGain()
+	}
+	b.ReportMetric(gain, "saturation-gain")
+}
+
+// BenchmarkFigure6_SlowdownRatio regenerates the slowdown-ratio curve.
+// Reported metric: the peak slowdown ratio across the load sweep (the
+// paper's dramatic improvement around 60 % load).
+func BenchmarkFigure6_SlowdownRatio(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.LoadSweep(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = 0
+		for _, ratio := range r.SlowdownRatios() {
+			if ratio > peak {
+				peak = ratio
+			}
+		}
+	}
+	b.ReportMetric(peak, "peak-slowdown-ratio")
+}
+
+// BenchmarkFigure7_EstimateTrajectory regenerates the single-group
+// estimate walk (32 → 16 → 8 → 4✗ → 8). Reported metric: the final
+// memory reduction factor (paper: 4×).
+func BenchmarkFigure7_EstimateTrajectory(b *testing.B) {
+	b.ResetTimer()
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7(experiments.Figure7Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = r.ReductionFactor
+	}
+	b.ReportMetric(reduction, "mem-reduction")
+}
+
+// BenchmarkFigure8_ClusterSweep regenerates the second-pool memory sweep.
+// Reported metrics: the best utilization ratio in the sweep and the R²
+// of the helped-nodes linear fit (paper: 0.991).
+func BenchmarkFigure8_ClusterSweep(b *testing.B) {
+	s := benchScale()
+	tr, err := experiments.Workload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var bestRatio, fitR2 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8On(s, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best, err := r.BestSecondPool()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestRatio = best.Ratio
+		if r.HelpedFitOK {
+			fitR2 = r.HelpedFit.R2
+		}
+	}
+	b.ReportMetric(bestRatio, "best-util-ratio")
+	b.ReportMetric(fitR2, "helped-fit-R²")
+}
+
+// BenchmarkTable1_EstimatorQuadrant regenerates the algorithm-quadrant
+// comparison. Reported metric: successive approximation's utilization
+// advantage over the no-estimation baseline.
+func BenchmarkTable1_EstimatorQuadrant(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	var advantage float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := r.Lookup("none")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sa, err := r.Lookup("successive")
+		if err != nil {
+			b.Fatal(err)
+		}
+		advantage = sa.Summary.Utilization / base.Summary.Utilization
+	}
+	b.ReportMetric(advantage, "sa-vs-baseline")
+}
+
+// BenchmarkConservatism regenerates the §3.2 conservatism statistics
+// from the Figure 8 sweep. Reported metrics: worst resource-failure rate
+// and the maximum fraction of jobs run with lowered estimates (paper:
+// ≤ 0.0001 and 0.15–0.40; see EXPERIMENTS.md on the failure-rate gap).
+func BenchmarkConservatism(b *testing.B) {
+	s := benchScale()
+	tr, err := experiments.Workload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var failRate, lowered float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8On(s, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := r.Conservatism()
+		failRate, lowered = c.MaxResourceFailureRate, c.MaxLoweredFraction
+	}
+	b.ReportMetric(failRate, "max-fail-rate")
+	b.ReportMetric(lowered, "max-lowered-frac")
+}
+
+// BenchmarkAblation_AlphaBeta regenerates the §2.3 learning-parameter
+// sweep. Reported metric: the utilization spread between the best and
+// worst (α, β) setting — how much the parameters matter.
+func BenchmarkAblation_AlphaBeta(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AlphaBetaSweep(s, []float64{1.2, 2, 10}, []float64{0, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := rows[0].Summary.Utilization, rows[0].Summary.Utilization
+		for _, r := range rows[1:] {
+			if r.Summary.Utilization < lo {
+				lo = r.Summary.Utilization
+			}
+			if r.Summary.Utilization > hi {
+				hi = r.Summary.Utilization
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "util-spread")
+}
+
+// BenchmarkAblation_Policies reruns the fixed-load experiment under
+// FCFS, EASY backfilling, and SJF (the paper's future work). Reported
+// metric: the minimum estimation gain across policies — the paper's
+// conjecture that gains correlate across schedulers.
+func BenchmarkAblation_Policies(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	var minGain float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PolicyComparison(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minGain = 0
+		for k, r := range rows {
+			g := 0.0
+			if r.Baseline.Utilization > 0 {
+				g = r.Estimated.Utilization / r.Baseline.Utilization
+			}
+			if k == 0 || g < minGain {
+				minGain = g
+			}
+		}
+	}
+	b.ReportMetric(minGain, "min-policy-gain")
+}
+
+// BenchmarkExtension_WarmStart regenerates the §2.2 offline-training
+// comparison. Reported metric: successive approximation's lowered-job
+// fraction gain from pretraining.
+func BenchmarkExtension_WarmStart(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.WarmStart(s, 0.4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = rows[0].Warm.LoweredJobFraction - rows[0].Cold.LoweredJobFraction
+	}
+	b.ReportMetric(delta, "lowered-gain")
+}
+
+// BenchmarkExtension_OnlineSimilarity regenerates the §4 online
+// similarity-identification comparison. Reported metric: the
+// hierarchical estimator's utilization relative to the fixed key.
+func BenchmarkExtension_OnlineSimilarity(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.OnlineSimilarity(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Summary.Utilization > 0 {
+			rel = rows[1].Summary.Utilization / rows[0].Summary.Utilization
+		}
+	}
+	b.ReportMetric(rel, "hier-vs-fixed")
+}
+
+// BenchmarkExtension_Convergence regenerates the §2.1
+// group-size-vs-precision analysis. Reported metric: the correlation
+// between log group size and estimation precision (positive confirms
+// "the larger the group, the closer the approximation").
+func BenchmarkExtension_Convergence(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	var corr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Convergence(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corr = r.Correlation
+	}
+	b.ReportMetric(corr, "size-precision-corr")
+}
+
+// BenchmarkExtension_RuntimePrediction regenerates the 2×2 grid of
+// runtime-prediction × memory-estimation under EASY backfilling.
+// Reported metric: the utilization of the best cell (memory estimation
+// with user runtime estimates, per EXPERIMENTS.md).
+func BenchmarkExtension_RuntimePrediction(b *testing.B) {
+	s := benchScale()
+	b.ResetTimer()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RuntimePrediction(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 0
+		for _, r := range rows {
+			if r.Summary.Utilization > best {
+				best = r.Summary.Utilization
+			}
+		}
+	}
+	b.ReportMetric(best, "best-cell-util")
+}
+
+// BenchmarkSimulatorThroughput measures the raw discrete-event engine:
+// jobs simulated per second on the paper's cluster with estimation on.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	s := benchScale()
+	tr, err := experiments.Workload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaled, err := tr.ScaleToOfferedLoad(1.0, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, err := CM5Cluster(24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		est, err := NewSuccessiveApprox(2, 0, cl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Simulate(SimConfig{Trace: scaled, Cluster: cl, Estimator: est, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(scaled.Len()*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

@@ -1,0 +1,138 @@
+// Command estcompare reproduces Table 1 — the paper's quadrant of
+// estimation algorithms (feedback type × similarity availability) — and
+// the design-choice ablations: learning parameters (α, β), similarity
+// keys, scheduling policies, and robustness to spurious failures.
+//
+// Usage:
+//
+//	estcompare -small            # Table 1 on the reduced trace
+//	estcompare -ablate           # every ablation
+//	estcompare -ablate-noise     # only the spurious-failure ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overprov/internal/experiments"
+	"overprov/internal/report"
+)
+
+func main() {
+	var (
+		small       = flag.Bool("small", false, "use the reduced synthetic trace")
+		ablate      = flag.Bool("ablate", false, "run every ablation")
+		ablateAB    = flag.Bool("ablate-alphabeta", false, "α/β parameter sweep")
+		ablateKey   = flag.Bool("ablate-key", false, "similarity-key comparison")
+		ablatePol   = flag.Bool("ablate-policy", false, "scheduling-policy comparison")
+		ablateNoise = flag.Bool("ablate-noise", false, "spurious-failure robustness")
+		ablateAlloc = flag.Bool("ablate-alloc", false, "best-fit vs worst-fit node allocation")
+		extWarm     = flag.Bool("ext-warmstart", false, "offline-training (warm start) extension")
+		extOnline   = flag.Bool("ext-online", false, "online similarity-identification extension")
+		extConv     = flag.Bool("ext-convergence", false, "estimation quality vs similarity-group size")
+		extRuntime  = flag.Bool("ext-runtime", false, "learned runtime predictions × memory estimation under EASY")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if *ablate {
+		*ablateAB, *ablateKey, *ablatePol, *ablateNoise, *ablateAlloc = true, true, true, true, true
+		*extWarm, *extOnline, *extConv, *extRuntime = true, true, true, true
+	}
+
+	s := experiments.FullScale()
+	if *small {
+		s = experiments.SmallScale()
+	}
+
+	emit := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteASCII(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if !*ablateAB && !*ablateKey && !*ablatePol && !*ablateNoise && !*ablateAlloc && !*extWarm && !*extOnline && !*extConv && !*extRuntime {
+		r, err := experiments.Table1(s)
+		if err != nil {
+			fatal(err)
+		}
+		emit(r.Table())
+		return
+	}
+	if *ablateAB {
+		rows, err := experiments.AlphaBetaSweep(s,
+			[]float64{1.2, 1.5, 2, 4, 10}, []float64{0, 0.25, 0.5})
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.AlphaBetaTable(rows))
+	}
+	if *ablateKey {
+		rows, err := experiments.KeyAblation(s)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.KeyAblationTable(rows))
+	}
+	if *ablatePol {
+		rows, err := experiments.PolicyComparison(s)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.PolicyTable(rows))
+	}
+	if *ablateNoise {
+		rows, err := experiments.NoiseRobustness(s, []float64{0, 0.01, 0.05})
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.NoiseTable(rows))
+	}
+	if *ablateAlloc {
+		rows, err := experiments.AllocPolicyComparison(s)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.AllocPolicyTable(rows))
+	}
+	if *extWarm {
+		rows, err := experiments.WarmStart(s, 0.4)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.WarmStartTable(rows))
+	}
+	if *extOnline {
+		rows, err := experiments.OnlineSimilarity(s)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.OnlineSimilarityTable(rows))
+	}
+	if *extConv {
+		r, err := experiments.Convergence(s)
+		if err != nil {
+			fatal(err)
+		}
+		emit(r.Table())
+	}
+	if *extRuntime {
+		rows, err := experiments.RuntimePrediction(s)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.RuntimePredictionTable(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "estcompare:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command lanlgen generates the calibrated synthetic LANL-CM5-like
+// workload and writes it in Standard Workload Format.
+//
+// Usage:
+//
+//	lanlgen                      # full-scale trace (122,055 jobs) to stdout
+//	lanlgen -small -out cm5.swf  # test-scale trace to a file
+//	lanlgen -jobs 50000 -seed 9  # custom size and seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overprov/internal/synth"
+	"overprov/internal/trace"
+)
+
+func main() {
+	var (
+		small   = flag.Bool("small", false, "generate the reduced test-scale trace")
+		jobs    = flag.Int("jobs", 0, "override the number of jobs")
+		grps    = flag.Int("groups", 0, "override the number of similarity groups")
+		seed    = flag.Uint64("seed", 0, "override the generator seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+		stats   = flag.Bool("stats", false, "print calibration statistics to stderr")
+		archive = flag.Bool("archive-header", false, "emit the conventional Parallel Workloads Archive header block")
+	)
+	flag.Parse()
+
+	cfg := synth.DefaultConfig()
+	if *small {
+		cfg = synth.SmallConfig()
+	}
+	if *jobs > 0 {
+		cfg.Jobs = *jobs
+	}
+	if *grps > 0 {
+		cfg.Groups = *grps
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	tr, err := synth.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *archive {
+		tr.Header = trace.StandardHeader(tr,
+			"Synthetic Thinking Machines CM-5", "overprov reproduction")
+	}
+	if *stats {
+		s := trace.ComputeStats(tr)
+		fmt.Fprintf(os.Stderr,
+			"jobs=%d users=%d span=%v mean-nodes=%.1f P(ratio>=2)=%.3f\n",
+			s.Jobs, s.Users, s.Span, s.MeanNodes, s.OverprovAtLeast2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := trace.WriteSWF(w, tr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lanlgen:", err)
+	os.Exit(1)
+}

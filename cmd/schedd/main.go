@@ -1,0 +1,151 @@
+// Command schedd runs the estimation-aware scheduler as an HTTP daemon:
+// the paper's Figure 2 loop in wall-clock time. Jobs are submitted over
+// the JSON API, matched using learned estimates of their actual
+// requirements, and completion reports train the estimator. Learned
+// similarity-group state can be persisted across restarts.
+//
+// Usage:
+//
+//	schedd -addr :8080                          # paper cluster, α=2 β=0
+//	schedd -cluster "512x32,512x24" -alpha 2    # explicit cluster spec
+//	schedd -state /var/lib/schedd/groups.json   # load + periodically save state
+//
+// API (see internal/server):
+//
+//	POST /api/v1/jobs                {"user":3,"app":7,"nodes":32,"req_mem_mb":32,"req_time_s":600}
+//	POST /api/v1/jobs/{id}/complete  {"success":true,"used_mem_mb":5.2}
+//	GET  /api/v1/jobs/{id}  /api/v1/status  /api/v1/estimates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/server"
+	"overprov/internal/units"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		clSpec   = flag.String("cluster", "512x32,512x24", "cluster pools as <nodes>x<memMB>[,...]")
+		alpha    = flag.Float64("alpha", 2, "Algorithm 1 learning rate α")
+		beta     = flag.Float64("beta", 0, "Algorithm 1 damping β")
+		explicit = flag.Bool("explicit", false, "accept used_mem_mb in completion reports")
+		state    = flag.String("state", "", "estimator state file (loaded at start, saved periodically)")
+		saveEach = flag.Duration("save-interval", time.Minute, "state save period when -state is set")
+	)
+	flag.Parse()
+
+	cl, err := parseCluster(*clSpec)
+	if err != nil {
+		log.Fatalf("schedd: %v", err)
+	}
+	sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{
+		Alpha: *alpha, Beta: *beta, Round: cl,
+	})
+	if err != nil {
+		log.Fatalf("schedd: %v", err)
+	}
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			loadErr := sa.LoadState(f)
+			f.Close()
+			if loadErr != nil {
+				log.Fatalf("schedd: loading %s: %v", *state, loadErr)
+			}
+			log.Printf("schedd: restored %d similarity groups from %s", sa.NumGroups(), *state)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("schedd: %v", err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Cluster:          cl,
+		Estimator:        sa,
+		ExplicitFeedback: *explicit,
+	})
+	if err != nil {
+		log.Fatalf("schedd: %v", err)
+	}
+
+	save := func() {
+		if *state == "" {
+			return
+		}
+		tmp := *state + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			log.Printf("schedd: saving state: %v", err)
+			return
+		}
+		if err := sa.SaveState(f); err != nil {
+			f.Close()
+			log.Printf("schedd: saving state: %v", err)
+			return
+		}
+		if err := f.Close(); err != nil {
+			log.Printf("schedd: saving state: %v", err)
+			return
+		}
+		if err := os.Rename(tmp, *state); err != nil {
+			log.Printf("schedd: saving state: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("schedd: %s on %s, estimator %s", cl, *addr, sa.Name())
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("schedd: %v", err)
+		}
+	}()
+
+	ticker := time.NewTicker(*saveEach)
+	defer ticker.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			save()
+		case s := <-sig:
+			log.Printf("schedd: %v — saving state and shutting down", s)
+			save()
+			_ = httpSrv.Close()
+			return
+		}
+	}
+}
+
+// parseCluster parses "512x32,512x24" into pool specs.
+func parseCluster(spec string) (*cluster.Cluster, error) {
+	var specs []cluster.Spec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		nodes, mem, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("bad pool %q (want <nodes>x<memMB>)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(nodes))
+		if err != nil {
+			return nil, fmt.Errorf("bad node count in %q: %v", part, err)
+		}
+		m, err := strconv.ParseFloat(strings.TrimSpace(mem), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad memory in %q: %v", part, err)
+		}
+		specs = append(specs, cluster.Spec{Nodes: n, Mem: units.MemSize(m)})
+	}
+	return cluster.New(specs...)
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseCluster(t *testing.T) {
+	cl, err := parseCluster("512x32,512x24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.TotalNodes() != 1024 {
+		t.Errorf("nodes = %d, want 1024", cl.TotalNodes())
+	}
+	caps := cl.Capacities()
+	if len(caps) != 2 || !caps[0].Eq(24) || !caps[1].Eq(32) {
+		t.Errorf("capacities = %v", caps)
+	}
+	// Whitespace and fractional memory are accepted.
+	if _, err := parseCluster(" 4 x 1.5 , 2x8 "); err != nil {
+		t.Errorf("whitespace spec rejected: %v", err)
+	}
+}
+
+func TestParseClusterErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "512", "512x", "x32", "ax32", "512xb", "0x32", "4x0", "4x-1",
+	} {
+		if _, err := parseCluster(spec); err == nil {
+			t.Errorf("parseCluster(%q) should fail", spec)
+		}
+	}
+}

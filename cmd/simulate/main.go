@@ -1,0 +1,214 @@
+// Command simulate runs one trace-driven simulation: workload × cluster
+// × scheduling policy × estimator, and prints the paper's metrics. It
+// also regenerates Figure 7's single-group estimate trajectory.
+//
+// Usage:
+//
+//	simulate -small                       # baseline vs paper estimator, quick
+//	simulate -est successive -load 0.9    # one estimator at one load
+//	simulate -est rl -policy easy         # reinforcement learning + backfilling
+//	simulate -fig7                        # the Figure 7 trajectory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/experiments"
+	"overprov/internal/metrics"
+	"overprov/internal/report"
+	"overprov/internal/sched"
+	"overprov/internal/sim"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+func main() {
+	var (
+		small     = flag.Bool("small", false, "use the reduced synthetic trace")
+		in        = flag.String("in", "", "SWF file to simulate (default: synthetic trace)")
+		load      = flag.Float64("load", 1.0, "offered load to scale the trace to")
+		secondMem = flag.Float64("secondmem", 24, "second pool per-node memory (MB)")
+		estName   = flag.String("est", "", "estimator: identity|successive|lastinstance|rl|regression|oracle|robust (default: compare identity and successive)")
+		policy    = flag.String("policy", "fcfs", "scheduling policy: fcfs|easy|conservative|sjf")
+		alpha     = flag.Float64("alpha", 2, "Algorithm 1 learning rate α")
+		beta      = flag.Float64("beta", 0, "Algorithm 1 damping β")
+		spurious  = flag.Float64("spurious", 0, "spurious failure probability per dispatch")
+		seed      = flag.Uint64("seed", 7, "simulation seed")
+		fig7      = flag.Bool("fig7", false, "print the Figure 7 estimate trajectory and exit")
+		journal   = flag.String("journal", "", "write the event journal of the (last) run to this file")
+	)
+	flag.Parse()
+
+	if *fig7 {
+		r, err := experiments.Figure7(experiments.Figure7Config{Alpha: *alpha, Beta: *beta})
+		if err != nil {
+			fatal(err)
+		}
+		if err := r.Table().WriteASCII(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	s := experiments.FullScale()
+	if *small {
+		s = experiments.SmallScale()
+	}
+	tr, err := loadWorkload(s, *in)
+	if err != nil {
+		fatal(err)
+	}
+
+	clf := func() (*cluster.Cluster, error) {
+		return cluster.CM5Heterogeneous(units.MemSize(*secondMem))
+	}
+	probe, err := clf()
+	if err != nil {
+		fatal(err)
+	}
+	scaled, err := tr.ScaleToOfferedLoad(*load, probe.TotalNodes())
+	if err != nil {
+		fatal(err)
+	}
+
+	pol, err := pickPolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := []string{"identity", "successive"}
+	if *estName != "" {
+		names = []string{*estName}
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("simulate — %s, load %.2f, policy %s", probe, *load, pol.Name()),
+		"estimator", "utilization", "occupancy", "slowdown", "mean wait", "fail rate", "lowered", "rejected")
+	for _, name := range names {
+		est, explicit, err := pickEstimator(name, *alpha, *beta, *seed, probe.Capacities())
+		if err != nil {
+			fatal(err)
+		}
+		cl, err := clf()
+		if err != nil {
+			fatal(err)
+		}
+		cfg := sim.Config{
+			Trace:               scaled,
+			Cluster:             cl,
+			Estimator:           est,
+			Policy:              pol,
+			ExplicitFeedback:    explicit,
+			SpuriousFailureProb: *spurious,
+			Seed:                *seed,
+		}
+		var jr *sim.Journal
+		if *journal != "" {
+			jr = &sim.Journal{}
+			cfg.Journal = jr
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if jr != nil {
+			if err := writeJournal(*journal, jr); err != nil {
+				fatal(err)
+			}
+		}
+		sum := metrics.Summarize(res)
+		tbl.AddRow(est.Name(), sum.Utilization, sum.Occupancy, sum.MeanSlowdown,
+			sum.MeanWait.String(), sum.ResourceFailureRate, sum.LoweredJobFraction, sum.Rejected)
+	}
+	if err := tbl.WriteASCII(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func writeJournal(path string, j *sim.Journal) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := j.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadWorkload(s experiments.Scale, path string) (*trace.Trace, error) {
+	if path == "" {
+		return experiments.Workload(s)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.ReadSWF(f)
+	if err != nil {
+		return nil, err
+	}
+	tr = tr.DropLargerThan(s.TraceCfg.MaxNodes / 2).CompleteOnly()
+	tr.SortBySubmit()
+	tr.Renumber()
+	return tr, nil
+}
+
+func pickPolicy(name string) (sched.Policy, error) {
+	switch name {
+	case "fcfs":
+		return sched.FCFS{}, nil
+	case "easy":
+		return sched.EASY{}, nil
+	case "conservative":
+		return sched.Conservative{}, nil
+	case "sjf":
+		return sched.SJF{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want fcfs|easy|conservative|sjf)", name)
+	}
+}
+
+func pickEstimator(name string, alpha, beta float64, seed uint64, caps []units.MemSize) (estimate.Estimator, bool, error) {
+	round := estimate.RounderFunc(func(m units.MemSize) (units.MemSize, bool) {
+		return m.CeilTo(caps)
+	})
+	switch name {
+	case "identity":
+		return estimate.Identity{}, false, nil
+	case "successive":
+		e, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{
+			Alpha: alpha, Beta: beta, Round: round,
+		})
+		return e, false, err
+	case "lastinstance":
+		e, err := estimate.NewLastInstance(estimate.LastInstanceConfig{Round: round})
+		return e, true, err
+	case "rl":
+		e, err := estimate.NewReinforcement(estimate.ReinforcementConfig{Seed: seed, Round: round})
+		return e, false, err
+	case "regression":
+		e, err := estimate.NewRegression(estimate.RegressionConfig{Margin: 0.10, Round: round})
+		return e, true, err
+	case "oracle":
+		return &estimate.Oracle{}, false, nil
+	case "robust":
+		e, err := estimate.NewRobustSearch(estimate.RobustSearchConfig{
+			Alpha: alpha, FailureConfirmations: 2, Round: round,
+		})
+		return e, false, err
+	default:
+		return nil, false, fmt.Errorf("unknown estimator %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command sweep regenerates the paper's sweep figures: utilization
+// versus load (Figure 5), the slowdown ratio (Figure 6), and the
+// second-pool memory sweep (Figure 8) with its conservatism statistics.
+//
+// Usage:
+//
+//	sweep -fig5 -fig6 -small     # quick load sweep
+//	sweep -fig8                  # full 1–32MB cluster sweep (slow)
+//	sweep -fig8 -csv > fig8.csv  # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overprov/internal/experiments"
+	"overprov/internal/report"
+)
+
+func main() {
+	var (
+		small      = flag.Bool("small", false, "use the reduced synthetic trace")
+		fig5       = flag.Bool("fig5", false, "utilization vs load")
+		fig6       = flag.Bool("fig6", false, "slowdown ratio vs load")
+		fig8       = flag.Bool("fig8", false, "utilization ratio vs second-pool memory")
+		easy       = flag.Bool("easy", false, "rerun the load sweep under EASY backfilling (future work)")
+		robust     = flag.Bool("robustness", false, "Figure 5 gain across several trace seeds with a bootstrap CI")
+		generality = flag.Bool("generality", false, "Figure 5 pipeline on the SP2-like second preset")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if !*fig5 && !*fig6 && !*fig8 && !*easy && !*robust && !*generality {
+		*fig5, *fig6, *fig8 = true, true, true
+	}
+
+	s := experiments.FullScale()
+	if *small {
+		s = experiments.SmallScale()
+	}
+
+	emit := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteASCII(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *fig5 || *fig6 {
+		r, err := experiments.LoadSweep(s)
+		if err != nil {
+			fatal(err)
+		}
+		if *fig5 {
+			emit(r.Figure5Table())
+		}
+		if *fig6 {
+			emit(r.Figure6Table())
+		}
+	}
+	if *easy {
+		r, err := experiments.BackfillLoadSweep(s)
+		if err != nil {
+			fatal(err)
+		}
+		t5 := r.Figure5Table()
+		t5.Title = "Future work — " + t5.Title + " under EASY backfilling"
+		emit(t5)
+		t6 := r.Figure6Table()
+		t6.Title = "Future work — " + t6.Title + " under EASY backfilling"
+		emit(t6)
+	}
+	if *robust {
+		r, err := experiments.SeedRobustness(s, []uint64{1, 2, 3, 4, 5})
+		if err != nil {
+			fatal(err)
+		}
+		emit(r.Table())
+	}
+	if *generality {
+		jobs := 0 // full preset
+		if *small {
+			jobs = 6000
+		}
+		r, err := experiments.Generality(jobs, s.Loads, s.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		t5 := r.Figure5Table()
+		t5.Title = "Generality — " + t5.Title + " on the SP2-like preset"
+		emit(t5)
+	}
+	if *fig8 {
+		r, err := experiments.Figure8(s)
+		if err != nil {
+			fatal(err)
+		}
+		emit(r.Table())
+		c := r.Conservatism()
+		fmt.Printf("conservatism: max failure rate %s%%, lowered jobs %s%%–%s%%\n",
+			report.FormatFloat(100*c.MaxResourceFailureRate),
+			report.FormatFloat(100*c.MinLoweredFraction),
+			report.FormatFloat(100*c.MaxLoweredFraction))
+		if best, err := r.BestSecondPool(); err == nil {
+			fmt.Printf("capacity planning: best second pool %v (utilization ratio %s)\n",
+				best.SecondPoolMem, report.FormatFloat(best.Ratio))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

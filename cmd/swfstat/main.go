@@ -1,0 +1,140 @@
+// Command swfstat analyses a workload trace: the over-provisioning
+// histogram of Figure 1, the similarity-group size distribution of
+// Figure 3, and the gain-versus-similarity scatter of Figure 4.
+//
+// Usage:
+//
+//	swfstat -fig1 -fig3 -fig4            # analyse the synthetic full trace
+//	swfstat -in lanl_cm5.swf -fig1       # analyse a real SWF file
+//	swfstat -small -fig3 -csv            # test-scale trace, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overprov/internal/experiments"
+	"overprov/internal/report"
+	"overprov/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "SWF file to analyse (default: generate the synthetic trace)")
+		small    = flag.Bool("small", false, "use the reduced synthetic trace")
+		fig1     = flag.Bool("fig1", false, "print the Figure 1 over-provisioning histogram")
+		fig3     = flag.Bool("fig3", false, "print the Figure 3 group-size distribution")
+		fig4     = flag.Bool("fig4", false, "print the Figure 4 gain-vs-similarity scatter")
+		users    = flag.Bool("users", false, "print the heaviest users")
+		topUsers = flag.Int("top", 15, "how many users to list with -users")
+		arrivals = flag.Bool("arrivals", false, "print the arrival pattern")
+		runtimes = flag.Bool("runtimes", false, "print the runtime distribution")
+		memory   = flag.Bool("memory", false, "print the requested/used memory profile")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	anyExtra := *users || *arrivals || *runtimes || *memory
+	if !*fig1 && !*fig3 && !*fig4 && !anyExtra {
+		*fig1, *fig3, *fig4 = true, true, true
+	}
+
+	tr, err := loadTrace(*in, *small)
+	if err != nil {
+		fatal(err)
+	}
+
+	emit := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteASCII(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *fig1 {
+		r, err := experiments.Figure1(tr)
+		if err != nil {
+			fatal(err)
+		}
+		emit(r.Table())
+	}
+	if *fig3 {
+		emit(experiments.Figure3(tr).Table())
+	}
+	if *fig4 {
+		emit(experiments.Figure4(tr, 10).Table())
+	}
+	if *users {
+		stats := trace.ByUserStats(tr)
+		if len(stats) > *topUsers {
+			stats = stats[:*topUsers]
+		}
+		t := report.NewTable("Heaviest users by node-seconds",
+			"user", "jobs", "apps", "node-seconds", "mean overprovision")
+		for _, u := range stats {
+			t.AddRow(u.User, u.Jobs, u.Apps, u.NodeSeconds, u.MeanOverprovision)
+		}
+		emit(t)
+	}
+	if *arrivals {
+		p := trace.Arrivals(tr)
+		t := report.NewTable(
+			fmt.Sprintf("Arrival pattern (peak hour %d, day/night ratio %s, interarrival CV %s)",
+				p.PeakHour, report.FormatFloat(p.DayNightRatio),
+				report.FormatFloat(p.InterarrivalCV)),
+			"hour", "submissions")
+		for h, c := range p.Hourly {
+			t.AddRow(h, c)
+		}
+		emit(t)
+	}
+	if *runtimes {
+		d := trace.Runtimes(tr)
+		t := report.NewTable("Runtime distribution", "stat", "value")
+		t.AddRow("min", d.Min.String())
+		t.AddRow("median", d.Median.String())
+		t.AddRow("mean", d.Mean.String())
+		t.AddRow("p90", d.P90.String())
+		t.AddRow("max", d.Max.String())
+		t.AddRow("log stddev", d.LogStdDev)
+		emit(t)
+	}
+	if *memory {
+		p := trace.Memory(tr)
+		t := report.NewTable(
+			fmt.Sprintf("Memory profile (mean requested %v, mean used %v, reclaimable %v/job)",
+				p.MeanRequested, p.MeanUsed, p.ReclaimablePerJob),
+			"requested", "jobs")
+		for _, lv := range p.RequestLevels {
+			t.AddRow(lv.Mem.String(), lv.Jobs)
+		}
+		emit(t)
+	}
+}
+
+func loadTrace(path string, small bool) (*trace.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadSWF(f)
+	}
+	s := experiments.FullScale()
+	if small {
+		s = experiments.SmallScale()
+	}
+	return experiments.RawWorkload(s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swfstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Capacity planning: the paper's §3.2 closing observation turned into a
+// tool. "Given the distribution of requested and actual resource
+// capacities, possibly derived from a scheduler log, and a resource
+// estimation algorithm, it is possible to design a cluster ... so as to
+// increase the cluster utilization."
+//
+// This example sweeps candidate second-pool memory sizes (the Figure 8
+// experiment), ranks them by the utilization they deliver *under
+// estimation*, and prints the recommended configuration together with
+// the helped-job node counts that explain the ranking (the paper's
+// R²=0.991 linear relationship).
+//
+// Run: go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"overprov"
+	"overprov/internal/experiments"
+)
+
+func main() {
+	s := experiments.SmallScale()
+	// A denser candidate grid than the test default.
+	s.SecondPoolMems = nil
+	for m := 4; m <= 32; m += 2 {
+		s.SecondPoolMems = append(s.SecondPoolMems, overprov.MemSize(m))
+	}
+
+	fmt.Println("evaluating candidate clusters: 512×32MB + 512×<candidate> at load 1.0 …")
+	r, err := experiments.Figure8(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Memory is the budget: rank candidates by delivered utilization per
+	// gigabyte of installed RAM. (Ranking by raw utilization would
+	// trivially pick the all-32MB machine — the design question only
+	// exists under a cost constraint.)
+	costGB := func(row experiments.Figure8Row) float64 {
+		return (512*32 + 512*row.SecondPoolMem.MBf()) / 1024
+	}
+	score := func(row experiments.Figure8Row) float64 {
+		return row.EstimatedUtil / costGB(row)
+	}
+	rows := append([]experiments.Figure8Row(nil), r.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return score(rows[i]) > score(rows[j]) })
+
+	fmt.Printf("\n%-10s %12s %12s %8s %13s %10s %12s\n",
+		"2nd pool", "util(no est)", "util(est)", "ratio", "helped nodes", "RAM (GB)", "util per GB")
+	for i, row := range rows {
+		marker := "  "
+		if i == 0 {
+			marker = "← best value"
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %8.2f %13d %10.1f %12.4f %s\n",
+			row.SecondPoolMem, row.BaselineUtil, row.EstimatedUtil,
+			row.Ratio, row.HelpedNodes, costGB(row), score(row), marker)
+	}
+
+	best := rows[0]
+	fmt.Printf("\nrecommendation: pair the 512×32MB nodes with 512×%v nodes.\n", best.SecondPoolMem)
+	fmt.Printf("under estimation this cluster sustains %.1f%% utilization (%.2f× the no-estimation figure)\n",
+		100*best.EstimatedUtil, best.Ratio)
+	fmt.Printf("at %.1f GB of installed memory — the best utilization per gigabyte in the sweep,\n",
+		costGB(best))
+	fmt.Println("because the α=2 capacity walk can actually land jobs on the second pool —")
+	fmt.Println("pools below half the typical request are unreachable (the paper's §3.2")
+	fmt.Println("second condition), so cheap small-memory pools deliver no extra throughput.")
+	if r.HelpedFitOK {
+		fmt.Printf("linear fit of utilization ratio to helped-job node count: R² = %.3f (paper: 0.991)\n",
+			r.HelpedFit.R2)
+	}
+}

@@ -1,0 +1,131 @@
+// Matchmaking: declarative resource matching (the Condor ClassAd model
+// the paper builds on) combined with prerequisite-package estimation.
+//
+// Machines advertise memory and installed software packages; a job class
+// declares both a memory request and a package prerequisite list. As
+// submitted, the job matches only the one "fat" machine that has every
+// declared package. The PackageSet estimator then probes which
+// prerequisites the job actually exercises — the paper's example of a
+// resource whose true requirement can be zero — and the shrinking
+// requirement widens the set of machines the matchmaker accepts.
+//
+// Run: go run ./examples/matchmaking
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"overprov/internal/classad"
+	"overprov/internal/estimate"
+)
+
+// machineSpec describes one advertised machine.
+type machineSpec struct {
+	name     string
+	memory   int64
+	packages []string
+}
+
+func main() {
+	machines := []machineSpec{
+		{"fat-node", 32, []string{"mpich", "blas", "fftw", "hdf", "matlab"}},
+		{"mid-node-a", 32, []string{"mpich", "blas", "fftw"}},
+		{"mid-node-b", 24, []string{"mpich", "blas", "fftw"}},
+		{"lean-node-a", 24, []string{"mpich", "blas"}},
+		{"lean-node-b", 16, []string{"mpich", "blas"}},
+	}
+	var ads []*classad.Ad
+	for _, m := range machines {
+		ad := classad.NewAd().
+			Set("name", classad.Str(m.name)).
+			Set("memory", classad.Int(m.memory)).
+			Set("packages", classad.Set(m.packages...))
+		ad.Requirements = classad.MustParse("other.reqmem <= memory")
+		ads = append(ads, ad)
+	}
+
+	// The job class: requests 16MB and five prerequisite packages, but
+	// in truth only exercises mpich and blas.
+	requested := []string{"mpich", "blas", "fftw", "hdf", "matlab"}
+	trulyNeeded := map[string]bool{"mpich": true, "blas": true}
+
+	est, err := estimate.NewPackageSet(estimate.PackageSetConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("machines:")
+	for _, m := range machines {
+		fmt.Printf("  %-12s %2dMB  [%s]\n", m.name, m.memory, strings.Join(m.packages, " "))
+	}
+	fmt.Printf("\njob class: reqmem=16MB, declared prerequisites [%s]\n", strings.Join(requested, " "))
+	fmt.Printf("ground truth: the job only uses [mpich blas]\n\n")
+
+	for cycle := 1; cycle <= 8; cycle++ {
+		needs := est.Estimate("sim-class", requested)
+
+		job := classad.NewAd().
+			Set("reqmem", classad.Int(16)).
+			Set("needs", classad.Set(needs...))
+		job.Requirements = classad.MustParse(
+			"other.memory >= reqmem && other.packages contains needs")
+		// Best fit: prefer the machine wasting the least memory.
+		job.Rank = classad.MustParse("0 - other.memory")
+
+		eligible := 0
+		for _, ad := range ads {
+			if classad.Match(job, ad) {
+				eligible++
+			}
+		}
+		best := classad.BestMatch(job, ads)
+		bestName := "NO MATCH"
+		if best >= 0 {
+			bestName = machines[best].name
+		}
+
+		// Run the job: it succeeds iff the matched machine provides all
+		// truly needed packages (which it does whenever the estimate
+		// still covers the truth — a dropped-but-needed package fails).
+		success := best >= 0
+		for n := range trulyNeeded {
+			covered := false
+			for _, pkg := range needs {
+				if pkg == n {
+					covered = true
+				}
+			}
+			if !covered {
+				success = false
+			}
+		}
+		fmt.Printf("cycle %d: require [%s] → %d/%d machines eligible, matched %-12s %s\n",
+			cycle, strings.Join(needs, " "), eligible, len(machines), bestName,
+			map[bool]string{true: "ok", false: "FAILED (missing package)"}[success])
+		if err := est.Feedback("sim-class", success); err != nil {
+			log.Fatal(err)
+		}
+		if est.Converged("sim-class") {
+			fmt.Printf("\nconverged: confirmed prerequisites = %v\n", est.Needed("sim-class"))
+			break
+		}
+	}
+
+	// Final matching surface.
+	needs := est.Estimate("sim-class", requested)
+	job := classad.NewAd().
+		Set("reqmem", classad.Int(16)).
+		Set("needs", classad.Set(needs...))
+	job.Requirements = classad.MustParse(
+		"other.memory >= reqmem && other.packages contains needs")
+	eligible := []string{}
+	for i, ad := range ads {
+		if classad.Match(job, ad) {
+			eligible = append(eligible, machines[i].name)
+		}
+	}
+	fmt.Printf("eligible machines after estimation: %s (was just fat-node)\n",
+		strings.Join(eligible, ", "))
+}

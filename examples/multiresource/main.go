@@ -1,0 +1,103 @@
+// Multi-resource estimation: the paper's §2.3 closing extension.
+//
+// Jobs request three resources — memory, scratch disk, and a software-
+// package set (modelled as a capacity: the size of the prerequisite
+// installation). Users over-provision all three. The coordinate-descent
+// generalisation of Algorithm 1 reduces one resource per probe, so a
+// failure always identifies the resource that caused it — the
+// attribution problem the paper highlights for naive simultaneous
+// reduction.
+//
+// The demo drives three job classes through the estimator and prints
+// each class's estimate vector as it converges, then the total capacity
+// reclaimed per resource.
+//
+// Run: go run ./examples/multiresource
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"overprov"
+)
+
+// jobClass is one similarity group of repeated submissions.
+type jobClass struct {
+	name      string
+	requested []overprov.MemSize // memory MB, disk MB, package MB
+	actual    []overprov.MemSize
+}
+
+func main() {
+	resources := []string{"memory", "disk", "packages"}
+	est, err := overprov.NewMultiResource(resources, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	classes := []jobClass{
+		{
+			name:      "genome-align",
+			requested: []overprov.MemSize{32, 2048, 512},
+			actual:    []overprov.MemSize{6, 300, 512}, // packages fully needed
+		},
+		{
+			name:      "fluid-sim",
+			requested: []overprov.MemSize{32, 1024, 256},
+			actual:    []overprov.MemSize{28, 80, 0}, // asks for packages it never touches
+		},
+		{
+			name:      "render-farm",
+			requested: []overprov.MemSize{16, 4096, 128},
+			actual:    []overprov.MemSize{4, 3900, 64},
+		},
+	}
+
+	const cycles = 24
+	fmt.Println("coordinate-descent estimation, α=2 β=0, implicit feedback")
+	for _, c := range classes {
+		fmt.Printf("\n%s: requested %v, actually uses %v\n", c.name, c.requested, c.actual)
+		for i := 0; i < cycles; i++ {
+			probe, err := est.Estimate(c.name, c.requested)
+			if err != nil {
+				log.Fatal(err)
+			}
+			success := true
+			cause := ""
+			for d := range probe {
+				if !c.actual[d].Fits(probe[d]) {
+					success = false
+					cause = resources[d]
+				}
+			}
+			if i < 8 || !success {
+				status := "ok"
+				if !success {
+					status = "FAILED (" + cause + ")"
+				}
+				fmt.Printf("  cycle %2d: probe %-24s %s\n", i+1, fmt.Sprintf("%v", probe), status)
+			}
+			if err := est.Feedback(c.name, probe, success); err != nil {
+				log.Fatal(err)
+			}
+			if est.Converged(c.name) {
+				fmt.Printf("  converged after %d cycles\n", i+1)
+				break
+			}
+		}
+		final, _ := est.Current(c.name)
+		fmt.Printf("  final estimate: %v\n", final)
+		for d := range final {
+			saved := c.requested[d].MBf() - final[d].MBf()
+			if saved > 0 {
+				fmt.Printf("    %-8s reclaimed %6.1f of %6.1f MB (%.0f%%)\n",
+					resources[d], saved, c.requested[d].MBf(),
+					100*saved/c.requested[d].MBf())
+			}
+		}
+	}
+
+	fmt.Println("\nEvery failure above names exactly one resource — the reason the paper")
+	fmt.Println("prescribes one-coordinate-at-a-time probing for the multi-resource case.")
+}

@@ -1,0 +1,3 @@
+module overprov
+
+go 1.22

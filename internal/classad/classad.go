@@ -1,0 +1,221 @@
+// Package classad implements a small ClassAd-style matchmaking language,
+// the substrate the paper's resource matching lives in (its related-work
+// anchor is Condor's ClassAd matchmaker [Raman et al.]): jobs and
+// machines publish *ads* — attribute/value records — plus a Requirements
+// expression over both ads, and a match succeeds when both sides'
+// requirements evaluate to true.
+//
+// The language is a practical subset of ClassAd:
+//
+//	literals     42, 3.5, "string", true, false
+//	attributes   memory, other.memory (the counterpart ad's attribute)
+//	sets         {"mpich", "blas"} with `contains` and `subsetof`
+//	operators    == != < <= > >=   && || !   + - * /   ( )
+//
+// Undefined attributes make comparisons evaluate to false rather than
+// erroring, matching ClassAd's three-valued pragmatics closely enough
+// for scheduling.
+//
+// The estimation connection: over-provisioning also happens in
+// *declared* requirements — users demand software packages their jobs
+// never exercise. estimate.PackageSet learns the truly needed subset;
+// this package is where such requirements are expressed and matched.
+package classad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an attribute value: Int, Float, Str, Bool, or Set.
+type Value struct {
+	kind valueKind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+	set  map[string]bool
+}
+
+type valueKind int
+
+const (
+	kindUndefined valueKind = iota
+	kindInt
+	kindFloat
+	kindStr
+	kindBool
+	kindSet
+)
+
+// Int constructs an integer value.
+func Int(v int64) Value { return Value{kind: kindInt, i: v} }
+
+// Float constructs a floating-point value.
+func Float(v float64) Value { return Value{kind: kindFloat, f: v} }
+
+// Str constructs a string value.
+func Str(v string) Value { return Value{kind: kindStr, s: v} }
+
+// Bool constructs a boolean value.
+func Bool(v bool) Value { return Value{kind: kindBool, b: v} }
+
+// Set builds a set value from its members.
+func Set(members ...string) Value {
+	m := make(map[string]bool, len(members))
+	for _, s := range members {
+		m[s] = true
+	}
+	return Value{kind: kindSet, set: m}
+}
+
+// Undefined is the value of a missing attribute.
+func Undefined() Value { return Value{} }
+
+// IsUndefined reports whether the value is the undefined marker.
+func (v Value) IsUndefined() bool { return v.kind == kindUndefined }
+
+// AsBool reports the value as a boolean; only Bool values are true or
+// false, everything else (including undefined) is not a boolean.
+func (v Value) AsBool() (bool, bool) {
+	if v.kind == kindBool {
+		return v.b, true
+	}
+	return false, false
+}
+
+// AsFloat reports numeric values as float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case kindInt:
+		return float64(v.i), true
+	case kindFloat:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// Members returns a sorted copy of a set value's members.
+func (v Value) Members() []string {
+	if v.kind != kindSet {
+		return nil
+	}
+	out := make([]string, 0, len(v.set))
+	for m := range v.set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the value in expression syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case kindInt:
+		return fmt.Sprintf("%d", v.i)
+	case kindFloat:
+		return fmt.Sprintf("%g", v.f)
+	case kindStr:
+		return fmt.Sprintf("%q", v.s)
+	case kindBool:
+		return fmt.Sprintf("%t", v.b)
+	case kindSet:
+		return "{" + strings.Join(quoteAll(v.Members()), ", ") + "}"
+	default:
+		return "undefined"
+	}
+}
+
+func quoteAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = fmt.Sprintf("%q", s)
+	}
+	return out
+}
+
+// Ad is one side of a match: a named attribute record plus an optional
+// Requirements expression that must be satisfied by the pairing.
+type Ad struct {
+	attrs map[string]Value
+	// Requirements is evaluated with this ad as "my" and the candidate
+	// as "other"; nil means no constraints.
+	Requirements *Expr
+	// Rank orders acceptable candidates (higher is better); nil ranks
+	// all candidates equally.
+	Rank *Expr
+}
+
+// NewAd creates an empty ad.
+func NewAd() *Ad { return &Ad{attrs: make(map[string]Value)} }
+
+// Set assigns an attribute (names are case-insensitive) and returns the
+// ad for chaining.
+func (a *Ad) Set(name string, v Value) *Ad {
+	a.attrs[strings.ToLower(name)] = v
+	return a
+}
+
+// Get returns an attribute's value, or Undefined.
+func (a *Ad) Get(name string) Value {
+	if v, ok := a.attrs[strings.ToLower(name)]; ok {
+		return v
+	}
+	return Undefined()
+}
+
+// Attributes returns the sorted attribute names.
+func (a *Ad) Attributes() []string {
+	out := make([]string, 0, len(a.attrs))
+	for n := range a.attrs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Match reports whether the two ads accept each other: each side's
+// Requirements must evaluate to true with itself as "my" and the
+// counterpart as "other". An ad without requirements accepts everything.
+func Match(a, b *Ad) bool {
+	return accepts(a, b) && accepts(b, a)
+}
+
+func accepts(my, other *Ad) bool {
+	if my.Requirements == nil {
+		return true
+	}
+	v := my.Requirements.Eval(my, other)
+	ok, isBool := v.AsBool()
+	return isBool && ok
+}
+
+// RankOf evaluates my's Rank expression against the candidate, returning
+// 0 when absent or non-numeric.
+func RankOf(my, candidate *Ad) float64 {
+	if my.Rank == nil {
+		return 0
+	}
+	if f, ok := my.Rank.Eval(my, candidate).AsFloat(); ok {
+		return f
+	}
+	return 0
+}
+
+// BestMatch returns the index of the mutually-acceptable candidate with
+// the highest rank (ties to the lowest index), or -1 when nothing
+// matches.
+func BestMatch(job *Ad, machines []*Ad) int {
+	best, bestRank := -1, 0.0
+	for i, m := range machines {
+		if !Match(job, m) {
+			continue
+		}
+		r := RankOf(job, m)
+		if best == -1 || r > bestRank {
+			best, bestRank = i, r
+		}
+	}
+	return best
+}

@@ -1,0 +1,231 @@
+package classad
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalStr(t *testing.T, src string, my, other *Ad) Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e.Eval(my, other)
+}
+
+func wantBool(t *testing.T, src string, my, other *Ad, want bool) {
+	t.Helper()
+	got, ok := evalStr(t, src, my, other).AsBool()
+	if !ok {
+		t.Fatalf("%q did not evaluate to a boolean", src)
+	}
+	if got != want {
+		t.Errorf("%q = %t, want %t", src, got, want)
+	}
+}
+
+func TestLiteralsAndArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2", 3},
+		{"2 * 3 + 4", 10},
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"10 / 4", 2.5},
+		{"-3 + 5", 2},
+		{"1.5 * 2", 3},
+	}
+	for _, c := range cases {
+		v := evalStr(t, c.src, nil, nil)
+		f, ok := v.AsFloat()
+		if !ok || f != c.want {
+			t.Errorf("%q = %v, want %g", c.src, v, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	wantBool(t, "3 < 4", nil, nil, true)
+	wantBool(t, "3 >= 4", nil, nil, false)
+	wantBool(t, `"abc" == "abc"`, nil, nil, true)
+	wantBool(t, `"abc" < "abd"`, nil, nil, true)
+	wantBool(t, "true == true", nil, nil, true)
+	wantBool(t, "true != false", nil, nil, true)
+	wantBool(t, `{"a","b"} == {"b","a"}`, nil, nil, true)
+	wantBool(t, `{"a"} != {"b"}`, nil, nil, true)
+}
+
+func TestLogic(t *testing.T) {
+	wantBool(t, "true && true", nil, nil, true)
+	wantBool(t, "true && false", nil, nil, false)
+	wantBool(t, "false || true", nil, nil, true)
+	wantBool(t, "!false", nil, nil, true)
+	wantBool(t, "1 < 2 && 2 < 3 || false", nil, nil, true)
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	// missing attribute → undefined; short-circuit keeps definite
+	// results definite.
+	if v := evalStr(t, "missing > 3", nil, nil); !v.IsUndefined() {
+		t.Errorf("missing comparison = %v, want undefined", v)
+	}
+	wantBool(t, "false && missing > 3", nil, nil, false)
+	wantBool(t, "true || missing > 3", nil, nil, true)
+	if v := evalStr(t, "true && missing > 3", nil, nil); !v.IsUndefined() {
+		t.Errorf("true && undefined = %v, want undefined", v)
+	}
+	if v := evalStr(t, "!(missing > 3)", nil, nil); !v.IsUndefined() {
+		t.Errorf("!undefined = %v, want undefined", v)
+	}
+	if v := evalStr(t, "1/0", nil, nil); !v.IsUndefined() {
+		t.Errorf("division by zero = %v, want undefined", v)
+	}
+}
+
+func TestAttributesAndOtherScope(t *testing.T) {
+	machine := NewAd().Set("memory", Int(32)).Set("arch", Str("cm5"))
+	job := NewAd().Set("reqmem", Int(24))
+	wantBool(t, "memory >= other.reqmem", machine, job, true)
+	wantBool(t, "memory < other.reqmem", machine, job, false)
+	wantBool(t, `arch == "cm5"`, machine, job, true)
+	// Case insensitivity.
+	wantBool(t, "Memory >= Other.ReqMem", machine, job, true)
+}
+
+func TestSetsContainsSubset(t *testing.T) {
+	machine := NewAd().Set("packages", Set("mpich", "blas", "fftw"))
+	job := NewAd().Set("needs", Set("mpich", "blas"))
+	wantBool(t, `packages contains "mpich"`, machine, job, true)
+	wantBool(t, `packages contains "matlab"`, machine, job, false)
+	wantBool(t, "packages contains other.needs", machine, job, true)
+	wantBool(t, "other.needs subsetof packages", machine, job, true)
+	wantBool(t, `packages subsetof {"mpich"}`, machine, job, false)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", `"unterminated`, "{1, 2}", "a.b.c", "other.",
+		"1 @ 2", "{ \"a\" ", "&&", "foo bar",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMatchBothSides(t *testing.T) {
+	machine := NewAd().
+		Set("memory", Int(32)).
+		Set("packages", Set("mpich", "blas"))
+	machine.Requirements = MustParse("other.reqmem <= memory")
+
+	job := NewAd().
+		Set("reqmem", Int(24)).
+		Set("needs", Set("mpich"))
+	job.Requirements = MustParse("other.memory >= reqmem && other.packages contains needs")
+
+	if !Match(job, machine) {
+		t.Fatal("job and machine should match")
+	}
+	// A machine missing the package must be rejected by the job side.
+	bare := NewAd().Set("memory", Int(32)).Set("packages", Set("fftw"))
+	if Match(job, bare) {
+		t.Error("job should reject a machine without its packages")
+	}
+	// A job requesting too much memory must be rejected by the machine
+	// side.
+	greedy := NewAd().Set("reqmem", Int(64)).Set("needs", Set("mpich"))
+	greedy.Requirements = job.Requirements
+	if Match(greedy, machine) {
+		t.Error("machine should reject an over-sized request")
+	}
+}
+
+func TestMatchWithoutRequirementsAcceptsAll(t *testing.T) {
+	if !Match(NewAd(), NewAd()) {
+		t.Error("requirement-free ads should match")
+	}
+}
+
+func TestUndefinedRequirementRejects(t *testing.T) {
+	job := NewAd()
+	job.Requirements = MustParse("other.memory >= 16") // machine lacks the attr
+	if Match(job, NewAd()) {
+		t.Error("an undefined requirement must not match")
+	}
+}
+
+func TestRankAndBestMatch(t *testing.T) {
+	job := NewAd().Set("reqmem", Int(8))
+	job.Requirements = MustParse("other.memory >= reqmem")
+	// Prefer the *smallest* sufficient machine (best fit): rank by
+	// negative memory.
+	job.Rank = MustParse("0 - other.memory")
+
+	machines := []*Ad{
+		NewAd().Set("memory", Int(32)),
+		NewAd().Set("memory", Int(16)),
+		NewAd().Set("memory", Int(4)), // too small: filtered by requirements
+	}
+	if got := BestMatch(job, machines); got != 1 {
+		t.Errorf("BestMatch = %d, want 1 (the 16MB machine)", got)
+	}
+	if got := BestMatch(job, nil); got != -1 {
+		t.Errorf("BestMatch with no machines = %d, want -1", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{Str("x"), `"x"`},
+		{Bool(true), "true"},
+		{Set("b", "a"), `{"a", "b"}`},
+		{Undefined(), "undefined"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAdAttributes(t *testing.T) {
+	a := NewAd().Set("B", Int(1)).Set("a", Int(2))
+	attrs := a.Attributes()
+	if len(attrs) != 2 || attrs[0] != "a" || attrs[1] != "b" {
+		t.Errorf("Attributes = %v", attrs)
+	}
+	if !a.Get("miss").IsUndefined() {
+		t.Error("missing attribute should be undefined")
+	}
+}
+
+func TestParseEvalNeverPanics(t *testing.T) {
+	// Property: arbitrary short token soup either fails to parse or
+	// evaluates without panicking.
+	err := quick.Check(func(raw []byte) bool {
+		src := string(raw)
+		if len(src) > 64 {
+			src = src[:64]
+		}
+		e, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		my := NewAd().Set("memory", Int(32))
+		_ = e.Eval(my, NewAd())
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,604 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Expr is a parsed requirements/rank expression.
+type Expr struct {
+	root node
+	src  string
+}
+
+// String returns the original source text.
+func (e *Expr) String() string { return e.src }
+
+// Parse compiles an expression, e.g.
+//
+//	memory >= other.reqmem && packages contains other.packages
+func Parse(src string) (*Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("classad: unexpected %q at position %d", p.peek().text, p.peek().pos)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+// MustParse is Parse for static expressions; it panics on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Eval evaluates the expression with my as the owning ad and other as
+// the counterpart (nil ads behave as empty).
+func (e *Expr) Eval(my, other *Ad) Value {
+	if my == nil {
+		my = NewAd()
+	}
+	if other == nil {
+		other = NewAd()
+	}
+	return e.root.eval(my, other)
+}
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokOp // punctuation operators
+	tokLBrace
+	tokRBrace
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("classad: unterminated string at position %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			for _, op := range []string{"==", "!=", "<=", ">=", "&&", "||", "<", ">", "!", "+", "-", "*", "/", "(", ")"} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{tokOp, op, i})
+					i += len(op)
+					goto next
+				}
+			}
+			return nil, fmt.Errorf("classad: unexpected character %q at position %d", c, i)
+		next:
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+func (p *parser) acceptOp(op string) bool {
+	if p.peek().kind == tokOp && p.peek().text == op {
+		p.i++
+		return true
+	}
+	return false
+}
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("||") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binNode{op: "||", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("&&") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &binNode{op: "&&", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (node, error) {
+	if p.acceptOp("!") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{inner}, nil
+	}
+	return p.parseRel()
+}
+
+var relOps = []string{"==", "!=", "<=", ">=", "<", ">"}
+
+func (p *parser) parseRel() (node, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range relOps {
+		if p.acceptOp(op) {
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &binNode{op: op, l: left, r: right}, nil
+		}
+	}
+	if p.acceptKeyword("contains") {
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &binNode{op: "contains", l: left, r: right}, nil
+	}
+	if p.acceptKeyword("subsetof") {
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &binNode{op: "subsetof", l: left, r: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (node, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = &binNode{op: "+", l: left, r: right}
+		case p.acceptOp("-"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = &binNode{op: "-", l: left, r: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &binNode{op: "*", l: left, r: right}
+		case p.acceptOp("/"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &binNode{op: "/", l: left, r: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.acceptOp("-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &negNode{inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("classad: bad number %q: %v", t.text, err)
+			}
+			return &litNode{Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("classad: bad number %q: %v", t.text, err)
+		}
+		return &litNode{Int(n)}, nil
+	case tokString:
+		p.next()
+		return &litNode{Str(t.text)}, nil
+	case tokLBrace:
+		p.next()
+		var members []string
+		for p.peek().kind != tokRBrace {
+			m := p.next()
+			if m.kind != tokString {
+				return nil, fmt.Errorf("classad: set members must be strings, got %q at %d", m.text, m.pos)
+			}
+			members = append(members, m.text)
+			if p.peek().kind == tokComma {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if p.next().kind != tokRBrace {
+			return nil, fmt.Errorf("classad: unterminated set at position %d", t.pos)
+		}
+		return &litNode{Set(members...)}, nil
+	case tokIdent:
+		p.next()
+		lower := strings.ToLower(t.text)
+		switch lower {
+		case "true":
+			return &litNode{Bool(true)}, nil
+		case "false":
+			return &litNode{Bool(false)}, nil
+		case "undefined":
+			return &litNode{Undefined()}, nil
+		}
+		if rest, ok := strings.CutPrefix(lower, "other."); ok {
+			if rest == "" {
+				return nil, fmt.Errorf("classad: empty attribute after other. at %d", t.pos)
+			}
+			return &attrNode{name: rest, other: true}, nil
+		}
+		if strings.Contains(lower, ".") {
+			return nil, fmt.Errorf("classad: unknown scope in %q at %d (only other. is supported)", t.text, t.pos)
+		}
+		return &attrNode{name: lower}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptOp(")") {
+				return nil, fmt.Errorf("classad: missing ) at position %d", p.peek().pos)
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("classad: unexpected %q at position %d", t.text, t.pos)
+}
+
+// ---- evaluation ----
+
+type node interface {
+	eval(my, other *Ad) Value
+}
+
+type litNode struct{ v Value }
+
+func (n *litNode) eval(_, _ *Ad) Value { return n.v }
+
+type attrNode struct {
+	name  string
+	other bool
+}
+
+func (n *attrNode) eval(my, other *Ad) Value {
+	if n.other {
+		return other.Get(n.name)
+	}
+	return my.Get(n.name)
+}
+
+type notNode struct{ inner node }
+
+func (n *notNode) eval(my, other *Ad) Value {
+	if b, ok := n.inner.eval(my, other).AsBool(); ok {
+		return Bool(!b)
+	}
+	return Undefined()
+}
+
+type negNode struct{ inner node }
+
+func (n *negNode) eval(my, other *Ad) Value {
+	if f, ok := n.inner.eval(my, other).AsFloat(); ok {
+		return Float(-f)
+	}
+	return Undefined()
+}
+
+type binNode struct {
+	op   string
+	l, r node
+}
+
+func (n *binNode) eval(my, other *Ad) Value {
+	switch n.op {
+	case "&&", "||":
+		return n.evalLogic(my, other)
+	}
+	lv := n.l.eval(my, other)
+	rv := n.r.eval(my, other)
+	switch n.op {
+	case "+", "-", "*", "/":
+		return evalArith(n.op, lv, rv)
+	case "contains":
+		return evalContains(lv, rv)
+	case "subsetof":
+		return evalSubset(lv, rv)
+	default:
+		return evalCompare(n.op, lv, rv)
+	}
+}
+
+// evalLogic implements short-circuiting three-valued logic: false &&
+// anything is false, true || anything is true, undefined otherwise
+// propagates.
+func (n *binNode) evalLogic(my, other *Ad) Value {
+	lb, lok := n.l.eval(my, other).AsBool()
+	if n.op == "&&" {
+		if lok && !lb {
+			return Bool(false)
+		}
+		rb, rok := n.r.eval(my, other).AsBool()
+		if lok && rok {
+			return Bool(lb && rb)
+		}
+		if rok && !rb {
+			return Bool(false)
+		}
+		return Undefined()
+	}
+	if lok && lb {
+		return Bool(true)
+	}
+	rb, rok := n.r.eval(my, other).AsBool()
+	if lok && rok {
+		return Bool(lb || rb)
+	}
+	if rok && rb {
+		return Bool(true)
+	}
+	return Undefined()
+}
+
+func evalArith(op string, l, r Value) Value {
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return Undefined()
+	}
+	switch op {
+	case "+":
+		return Float(lf + rf)
+	case "-":
+		return Float(lf - rf)
+	case "*":
+		return Float(lf * rf)
+	case "/":
+		if rf == 0 {
+			return Undefined()
+		}
+		return Float(lf / rf)
+	}
+	return Undefined()
+}
+
+func evalCompare(op string, l, r Value) Value {
+	// Numeric comparison when both sides are numeric.
+	if lf, lok := l.AsFloat(); lok {
+		if rf, rok := r.AsFloat(); rok {
+			return compareOrdered(op, lf, rf)
+		}
+		return Undefined()
+	}
+	// String comparison.
+	if l.kind == kindStr && r.kind == kindStr {
+		switch op {
+		case "==":
+			return Bool(l.s == r.s)
+		case "!=":
+			return Bool(l.s != r.s)
+		case "<":
+			return Bool(l.s < r.s)
+		case "<=":
+			return Bool(l.s <= r.s)
+		case ">":
+			return Bool(l.s > r.s)
+		case ">=":
+			return Bool(l.s >= r.s)
+		}
+	}
+	// Boolean equality.
+	if l.kind == kindBool && r.kind == kindBool && (op == "==" || op == "!=") {
+		eq := l.b == r.b
+		if op == "!=" {
+			eq = !eq
+		}
+		return Bool(eq)
+	}
+	// Set equality.
+	if l.kind == kindSet && r.kind == kindSet && (op == "==" || op == "!=") {
+		eq := setsEqual(l.set, r.set)
+		if op == "!=" {
+			eq = !eq
+		}
+		return Bool(eq)
+	}
+	return Undefined()
+}
+
+func compareOrdered(op string, a, b float64) Value {
+	switch op {
+	case "==":
+		return Bool(a == b)
+	case "!=":
+		return Bool(a != b)
+	case "<":
+		return Bool(a < b)
+	case "<=":
+		return Bool(a <= b)
+	case ">":
+		return Bool(a > b)
+	case ">=":
+		return Bool(a >= b)
+	}
+	return Undefined()
+}
+
+// evalContains: set contains "member", or set contains set (superset).
+func evalContains(l, r Value) Value {
+	if l.kind != kindSet {
+		return Undefined()
+	}
+	switch r.kind {
+	case kindStr:
+		return Bool(l.set[r.s])
+	case kindSet:
+		for m := range r.set {
+			if !l.set[m] {
+				return Bool(false)
+			}
+		}
+		return Bool(true)
+	}
+	return Undefined()
+}
+
+// evalSubset: set subsetof set.
+func evalSubset(l, r Value) Value {
+	if l.kind != kindSet || r.kind != kindSet {
+		return Undefined()
+	}
+	for m := range l.set {
+		if !r.set[m] {
+			return Bool(false)
+		}
+	}
+	return Bool(true)
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for m := range a {
+		if !b[m] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,292 @@
+// Package cluster models the heterogeneous machine pool that jobs are
+// matched against: sets of identical nodes ("pools") that differ in
+// per-node memory capacity, with allocation, release, and the capacity
+// rounding Algorithm 1 needs.
+//
+// The paper's evaluation cluster is 512 nodes with 32 MB plus 512 nodes
+// with a smaller memory (24 MB in Figures 5–7, swept 1–32 MB in
+// Figure 8); CM5Heterogeneous builds exactly that.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"overprov/internal/units"
+)
+
+// Pool is a set of interchangeable nodes with identical per-node memory.
+type Pool struct {
+	// Mem is the per-node memory capacity.
+	Mem units.MemSize
+	// Total is the number of nodes in the pool.
+	Total int
+	// free tracks currently unallocated nodes.
+	free int
+}
+
+// Free returns the number of unallocated nodes in the pool.
+func (p *Pool) Free() int { return p.free }
+
+// Spec describes one pool when building a cluster.
+type Spec struct {
+	Nodes int
+	Mem   units.MemSize
+}
+
+// AllocPolicy selects which eligible pools an allocation draws from
+// first.
+type AllocPolicy int
+
+// Allocation policies.
+const (
+	// BestFit takes nodes from the smallest sufficient pools first,
+	// preserving large-memory nodes for demanding jobs. This is the
+	// policy that makes the paper's M1/M2 blocking scenario visible and
+	// the default everywhere.
+	BestFit AllocPolicy = iota
+	// WorstFit takes from the largest pools first. It wastes big nodes
+	// on small requests — the allocation-policy ablation quantifies how
+	// much that erodes estimation's benefit.
+	WorstFit
+)
+
+// String names the policy.
+func (p AllocPolicy) String() string {
+	if p == WorstFit {
+		return "worst-fit"
+	}
+	return "best-fit"
+}
+
+// Cluster is a space-shared machine made of capacity pools. Nodes are
+// allocated whole (the CM-5 model: no node sharing between jobs).
+// Cluster is not safe for concurrent use; the simulator drives it from
+// one goroutine.
+type Cluster struct {
+	// pools are sorted by ascending memory capacity.
+	pools      []Pool
+	capacities []units.MemSize
+	totalNodes int
+	// policy selects the pool iteration order for Allocate.
+	policy AllocPolicy
+}
+
+// SetAllocPolicy switches the allocation policy (BestFit by default).
+func (c *Cluster) SetAllocPolicy(p AllocPolicy) { c.policy = p }
+
+// Policy reports the current allocation policy.
+func (c *Cluster) Policy() AllocPolicy { return c.policy }
+
+// New builds a cluster from pool specs. Pools with equal capacity are
+// merged; order does not matter.
+func New(specs ...Spec) (*Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one pool")
+	}
+	merged := map[int64]*Spec{}
+	var order []int64
+	for _, s := range specs {
+		if s.Nodes <= 0 {
+			return nil, fmt.Errorf("cluster: pool with non-positive node count %d", s.Nodes)
+		}
+		if s.Mem <= 0 {
+			return nil, fmt.Errorf("cluster: pool with non-positive memory %v", s.Mem)
+		}
+		key := s.Mem.Bytes()
+		if m, ok := merged[key]; ok {
+			m.Nodes += s.Nodes
+		} else {
+			c := s
+			merged[key] = &c
+			order = append(order, key)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	c := &Cluster{}
+	for _, key := range order {
+		s := merged[key]
+		c.pools = append(c.pools, Pool{Mem: s.Mem, Total: s.Nodes, free: s.Nodes})
+		c.capacities = append(c.capacities, s.Mem)
+		c.totalNodes += s.Nodes
+	}
+	return c, nil
+}
+
+// NewUniform builds a homogeneous cluster of n nodes with the given
+// per-node memory.
+func NewUniform(n int, mem units.MemSize) (*Cluster, error) {
+	return New(Spec{Nodes: n, Mem: mem})
+}
+
+// CM5Heterogeneous builds the paper's evaluation cluster: 512 nodes with
+// 32 MB and 512 nodes with secondMem per node (24 MB for Figures 5–7).
+func CM5Heterogeneous(secondMem units.MemSize) (*Cluster, error) {
+	return New(
+		Spec{Nodes: 512, Mem: 32 * units.MB},
+		Spec{Nodes: 512, Mem: secondMem},
+	)
+}
+
+// TotalNodes returns the machine size.
+func (c *Cluster) TotalNodes() int { return c.totalNodes }
+
+// FreeNodes returns the number of currently unallocated nodes across all
+// pools.
+func (c *Cluster) FreeNodes() int {
+	f := 0
+	for i := range c.pools {
+		f += c.pools[i].free
+	}
+	return f
+}
+
+// Pools returns a snapshot of the pools (capacity-ascending).
+func (c *Cluster) Pools() []Pool { return append([]Pool(nil), c.pools...) }
+
+// Capacities returns the distinct per-node capacities, ascending.
+func (c *Cluster) Capacities() []units.MemSize {
+	return append([]units.MemSize(nil), c.capacities...)
+}
+
+// MaxCapacity returns the largest per-node memory in the cluster.
+func (c *Cluster) MaxCapacity() units.MemSize {
+	return c.capacities[len(c.capacities)-1]
+}
+
+// CeilCapacity rounds m up to the smallest per-node capacity that exists
+// in the cluster — Algorithm 1's ⌈·⌉ (line 6). ok is false when m
+// exceeds every pool's capacity. This method implements
+// estimate.Rounder.
+func (c *Cluster) CeilCapacity(m units.MemSize) (units.MemSize, bool) {
+	return m.CeilTo(c.capacities)
+}
+
+// Allocation records which pools a job's nodes were taken from, so they
+// can be returned on release.
+type Allocation struct {
+	// perPool[i] is the node count taken from pool i.
+	perPool []int
+	nodes   int
+	// minMem is the smallest per-node capacity among the allocated
+	// nodes; the job fails if its true usage exceeds this.
+	minMem units.MemSize
+}
+
+// Nodes returns the allocation's node count.
+func (a *Allocation) Nodes() int { return a.nodes }
+
+// MinMem returns the smallest per-node memory among the allocated nodes.
+func (a *Allocation) MinMem() units.MemSize { return a.minMem }
+
+// CanAllocate reports whether n nodes, each with at least mem per-node
+// memory, are currently free.
+func (c *Cluster) CanAllocate(n int, mem units.MemSize) bool {
+	if n <= 0 {
+		return false
+	}
+	avail := 0
+	for i := range c.pools {
+		if mem.Fits(c.pools[i].Mem) {
+			avail += c.pools[i].free
+			if avail >= n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FitsAtAll reports whether the cluster could ever run a job of n nodes
+// with per-node memory mem, even when idle. Jobs failing this test can
+// never be scheduled and must be rejected rather than queued forever.
+func (c *Cluster) FitsAtAll(n int, mem units.MemSize) bool {
+	if n <= 0 {
+		return false
+	}
+	capacity := 0
+	for i := range c.pools {
+		if mem.Fits(c.pools[i].Mem) {
+			capacity += c.pools[i].Total
+		}
+	}
+	return capacity >= n
+}
+
+// Allocate takes n nodes with per-node memory ≥ mem, preferring the
+// smallest sufficient pools (best fit) so that large-memory nodes stay
+// available for demanding jobs — the matching policy that makes the
+// paper's M1/M2 blocking scenario visible. It returns ok=false (and
+// changes nothing) when not enough eligible nodes are free.
+func (c *Cluster) Allocate(n int, mem units.MemSize) (Allocation, bool) {
+	if !c.CanAllocate(n, mem) {
+		return Allocation{}, false
+	}
+	a := Allocation{perPool: make([]int, len(c.pools)), nodes: n}
+	remaining := n
+	for k := 0; k < len(c.pools); k++ {
+		i := k
+		if c.policy == WorstFit {
+			i = len(c.pools) - 1 - k
+		}
+		p := &c.pools[i]
+		if !mem.Fits(p.Mem) || p.free == 0 {
+			continue
+		}
+		take := p.free
+		if take > remaining {
+			take = remaining
+		}
+		p.free -= take
+		a.perPool[i] = take
+		if a.minMem.IsZero() || p.Mem.Less(a.minMem) {
+			a.minMem = p.Mem
+		}
+		remaining -= take
+		if remaining == 0 {
+			break
+		}
+	}
+	return a, true
+}
+
+// Release returns an allocation's nodes to their pools. Releasing an
+// allocation twice corrupts the books; the simulator owns that
+// discipline and the invariant is checked by Check.
+func (c *Cluster) Release(a Allocation) error {
+	if len(a.perPool) != len(c.pools) {
+		return fmt.Errorf("cluster: allocation from a different cluster (pools %d vs %d)",
+			len(a.perPool), len(c.pools))
+	}
+	for i, take := range a.perPool {
+		p := &c.pools[i]
+		if p.free+take > p.Total {
+			return fmt.Errorf("cluster: release overflows pool %v (%d free + %d > %d total)",
+				p.Mem, p.free, take, p.Total)
+		}
+		p.free += take
+	}
+	return nil
+}
+
+// Check verifies the pool invariants (0 ≤ free ≤ total), returning the
+// first violation.
+func (c *Cluster) Check() error {
+	for i := range c.pools {
+		p := &c.pools[i]
+		if p.free < 0 || p.free > p.Total {
+			return fmt.Errorf("cluster: pool %v has %d free of %d total", p.Mem, p.free, p.Total)
+		}
+	}
+	return nil
+}
+
+// String summarises the cluster, e.g. "512×32MB + 512×24MB".
+func (c *Cluster) String() string {
+	parts := make([]string, len(c.pools))
+	for i := range c.pools {
+		parts[i] = fmt.Sprintf("%d×%v", c.pools[i].Total, c.pools[i].Mem)
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"overprov/internal/units"
+)
+
+func mustCluster(t *testing.T, specs ...Spec) *Cluster {
+	t.Helper()
+	c, err := New(specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty cluster must be rejected")
+	}
+	if _, err := New(Spec{Nodes: 0, Mem: 32}); err == nil {
+		t.Error("zero nodes must be rejected")
+	}
+	if _, err := New(Spec{Nodes: 4, Mem: 0}); err == nil {
+		t.Error("zero memory must be rejected")
+	}
+}
+
+func TestPoolsMergedAndSorted(t *testing.T) {
+	c := mustCluster(t,
+		Spec{Nodes: 2, Mem: 32},
+		Spec{Nodes: 3, Mem: 8},
+		Spec{Nodes: 5, Mem: 32},
+	)
+	pools := c.Pools()
+	if len(pools) != 2 {
+		t.Fatalf("pools = %d, want 2 (equal capacities merged)", len(pools))
+	}
+	if !pools[0].Mem.Eq(8) || pools[0].Total != 3 {
+		t.Errorf("first pool = %+v, want 3×8MB", pools[0])
+	}
+	if !pools[1].Mem.Eq(32) || pools[1].Total != 7 {
+		t.Errorf("second pool = %+v, want 7×32MB", pools[1])
+	}
+	if c.TotalNodes() != 10 {
+		t.Errorf("TotalNodes = %d, want 10", c.TotalNodes())
+	}
+}
+
+func TestCM5Heterogeneous(t *testing.T) {
+	c, err := CM5Heterogeneous(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalNodes() != 1024 {
+		t.Errorf("TotalNodes = %d, want 1024", c.TotalNodes())
+	}
+	if got := c.String(); got != "512×24MB + 512×32MB" {
+		t.Errorf("String = %q", got)
+	}
+	if !c.MaxCapacity().Eq(32) {
+		t.Errorf("MaxCapacity = %v", c.MaxCapacity())
+	}
+}
+
+func TestCeilCapacity(t *testing.T) {
+	c := mustCluster(t, Spec{Nodes: 1, Mem: 8}, Spec{Nodes: 1, Mem: 24}, Spec{Nodes: 1, Mem: 32})
+	cases := []struct {
+		in     units.MemSize
+		want   units.MemSize
+		wantOK bool
+	}{
+		{4, 8, true}, {8, 8, true}, {16, 24, true}, {30, 32, true}, {33, 0, false},
+	}
+	for _, cse := range cases {
+		got, ok := c.CeilCapacity(cse.in)
+		if ok != cse.wantOK || (ok && !got.Eq(cse.want)) {
+			t.Errorf("CeilCapacity(%v) = (%v,%v), want (%v,%v)",
+				cse.in, got, ok, cse.want, cse.wantOK)
+		}
+	}
+}
+
+func TestAllocateBestFit(t *testing.T) {
+	c := mustCluster(t, Spec{Nodes: 4, Mem: 24}, Spec{Nodes: 4, Mem: 32})
+	// A 16MB demand must take the smallest sufficient pool first.
+	a, ok := c.Allocate(3, 16)
+	if !ok {
+		t.Fatal("allocation failed")
+	}
+	if !a.MinMem().Eq(24) {
+		t.Errorf("best fit picked %v nodes, want 24MB", a.MinMem())
+	}
+	if c.FreeNodes() != 5 {
+		t.Errorf("free = %d, want 5", c.FreeNodes())
+	}
+	// Next allocation spills into the 32MB pool.
+	b, ok := c.Allocate(3, 16)
+	if !ok {
+		t.Fatal("spill allocation failed")
+	}
+	if !b.MinMem().Eq(24) {
+		t.Errorf("spill MinMem = %v, want 24MB (one 24MB node remained)", b.MinMem())
+	}
+	if c.FreeNodes() != 2 {
+		t.Errorf("free = %d, want 2", c.FreeNodes())
+	}
+	// Release restores everything.
+	if err := c.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(b); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 8 {
+		t.Errorf("free after release = %d, want 8", c.FreeNodes())
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateRespectsMemory(t *testing.T) {
+	c := mustCluster(t, Spec{Nodes: 4, Mem: 24}, Spec{Nodes: 4, Mem: 32})
+	// A 30MB demand is only eligible for the 32MB pool.
+	if c.CanAllocate(5, 30) {
+		t.Error("5 nodes at 30MB cannot fit (only 4 eligible)")
+	}
+	a, ok := c.Allocate(4, 30)
+	if !ok {
+		t.Fatal("4×30MB should fit")
+	}
+	if !a.MinMem().Eq(32) {
+		t.Errorf("MinMem = %v, want 32MB", a.MinMem())
+	}
+}
+
+func TestAllocateFailureChangesNothing(t *testing.T) {
+	c := mustCluster(t, Spec{Nodes: 4, Mem: 32})
+	if _, ok := c.Allocate(5, 16); ok {
+		t.Fatal("allocation beyond capacity should fail")
+	}
+	if c.FreeNodes() != 4 {
+		t.Errorf("failed allocation changed free count: %d", c.FreeNodes())
+	}
+	if _, ok := c.Allocate(0, 16); ok {
+		t.Error("zero-node allocation should fail")
+	}
+}
+
+func TestFitsAtAll(t *testing.T) {
+	c := mustCluster(t, Spec{Nodes: 4, Mem: 24}, Spec{Nodes: 4, Mem: 32})
+	if !c.FitsAtAll(8, 16) {
+		t.Error("8 nodes at 16MB fits an idle cluster")
+	}
+	if c.FitsAtAll(5, 30) {
+		t.Error("5 nodes at 30MB can never fit")
+	}
+	if c.FitsAtAll(9, 1) {
+		t.Error("9 nodes exceed the machine")
+	}
+	// FitsAtAll must ignore current occupancy.
+	if _, ok := c.Allocate(8, 1); !ok {
+		t.Fatal("drain failed")
+	}
+	if !c.FitsAtAll(8, 16) {
+		t.Error("FitsAtAll should describe the idle machine, not current state")
+	}
+}
+
+func TestReleaseValidation(t *testing.T) {
+	c := mustCluster(t, Spec{Nodes: 4, Mem: 32})
+	a, _ := c.Allocate(2, 16)
+	if err := c.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	// Double release overflows the pool and must be caught.
+	if err := c.Release(a); err == nil {
+		t.Error("double release must be detected")
+	}
+	other := mustCluster(t, Spec{Nodes: 4, Mem: 24}, Spec{Nodes: 4, Mem: 32})
+	oa, _ := other.Allocate(2, 16)
+	if err := c.Release(oa); err == nil {
+		t.Error("cross-cluster release must be rejected")
+	}
+}
+
+// TestAllocationConservationProperty: random allocate/release sequences
+// never double-book nodes, and free+allocated == total at every step.
+func TestAllocationConservationProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		c, err := New(Spec{Nodes: 16, Mem: 8}, Spec{Nodes: 16, Mem: 24}, Spec{Nodes: 16, Mem: 32})
+		if err != nil {
+			return false
+		}
+		var live []Allocation
+		allocated := 0
+		for step := 0; step < 300; step++ {
+			if rng.IntN(2) == 0 && len(live) > 0 {
+				i := rng.IntN(len(live))
+				if err := c.Release(live[i]); err != nil {
+					return false
+				}
+				allocated -= live[i].Nodes()
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				n := 1 + rng.IntN(20)
+				mem := units.MemSize(1 + rng.IntN(32))
+				a, ok := c.Allocate(n, mem)
+				if ok {
+					live = append(live, a)
+					allocated += n
+					if !mem.Fits(a.MinMem()) {
+						return false // allocated nodes below the demand
+					}
+				}
+			}
+			if c.FreeNodes()+allocated != c.TotalNodes() {
+				return false
+			}
+			if c.Check() != nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := mustCluster(t, Spec{Nodes: 3, Mem: 8}, Spec{Nodes: 5, Mem: 32})
+	if s := c.String(); !strings.Contains(s, "3×8MB") || !strings.Contains(s, "5×32MB") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNewUniform(t *testing.T) {
+	c, err := NewUniform(128, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalNodes() != 128 || len(c.Pools()) != 1 {
+		t.Errorf("uniform cluster wrong shape: %v", c)
+	}
+	caps := c.Capacities()
+	if len(caps) != 1 || !caps[0].Eq(32) {
+		t.Errorf("capacities = %v", caps)
+	}
+}
+
+// TestCeilAgreesWithBestFit: on an idle cluster, rounding an estimate up
+// with CeilCapacity and then allocating must land on exactly that
+// capacity — Algorithm 1's ⌈·⌉ and the allocator's best fit are two
+// views of the same ladder.
+func TestCeilAgreesWithBestFit(t *testing.T) {
+	c := mustCluster(t,
+		Spec{Nodes: 2, Mem: 4}, Spec{Nodes: 2, Mem: 8},
+		Spec{Nodes: 2, Mem: 24}, Spec{Nodes: 2, Mem: 32})
+	err := quick.Check(func(raw uint8) bool {
+		m := units.MemSize(float64(raw) / 8) // 0..31.875
+		want, ok := c.CeilCapacity(m)
+		if !ok {
+			return m.MBf() > 32
+		}
+		a, allocOK := c.Allocate(1, m)
+		if !allocOK {
+			return false
+		}
+		got := a.MinMem()
+		relErr := c.Release(a)
+		return relErr == nil && got.Eq(want)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorstFitAllocation(t *testing.T) {
+	c := mustCluster(t, Spec{Nodes: 4, Mem: 24}, Spec{Nodes: 4, Mem: 32})
+	c.SetAllocPolicy(WorstFit)
+	if c.Policy() != WorstFit {
+		t.Fatal("policy not applied")
+	}
+	a, ok := c.Allocate(3, 16)
+	if !ok {
+		t.Fatal("allocation failed")
+	}
+	if !a.MinMem().Eq(32) {
+		t.Errorf("worst fit picked %v nodes, want the 32MB pool first", a.MinMem())
+	}
+	if err := c.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if (BestFit).String() != "best-fit" || (WorstFit).String() != "worst-fit" {
+		t.Error("policy names changed")
+	}
+}

@@ -1,0 +1,121 @@
+// Package estimate implements the paper's resource-capacity estimators:
+// algorithms that guess how much of a resource a job will actually use,
+// so the scheduler can match it to machines with less capacity than the
+// user requested.
+//
+// The package covers the full quadrant of the paper's Table 1 —
+//
+//	                      Implicit feedback        Explicit feedback
+//	Similar jobs: yes     SuccessiveApprox         LastInstance
+//	Similar jobs: no      Reinforcement            Regression
+//
+// plus an Identity baseline (no estimation — what every classical
+// matchmaker does), an Oracle upper bound, and RobustSearch, the paper's
+// §2.3 suggested line-search refinement for groups with wide usage
+// ranges.
+//
+// Every estimator obeys the paper's working assumption (§1.3): estimates
+// never exceed the user's request, because the paper does not attempt to
+// repair under-provisioned requests.
+package estimate
+
+import (
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Outcome is the feedback an estimator receives after a dispatched job
+// terminates (the feedback arrow of the paper's Figure 2).
+type Outcome struct {
+	// Job is the terminated job.
+	Job *trace.Job
+	// Allocated is the per-node capacity the job actually ran with (the
+	// rounded estimate E′ of Algorithm 1).
+	Allocated units.MemSize
+	// Success is the implicit feedback bit: did the job complete?
+	Success bool
+	// Used is the actual per-node consumption; it is only meaningful
+	// when Explicit is true (clusters without usage accounting cannot
+	// report it).
+	Used units.MemSize
+	// Explicit reports whether Used carries real data.
+	Explicit bool
+}
+
+// Estimator estimates actual job requirements and learns from completion
+// feedback. Implementations are not safe for concurrent use; the
+// simulator drives them from a single goroutine, mirroring a scheduler's
+// dispatch loop.
+type Estimator interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Estimate returns the per-node memory capacity to use when matching
+	// job j to machines. It is called exactly once per dispatch attempt,
+	// before allocation.
+	Estimate(j *trace.Job) units.MemSize
+	// Feedback delivers a terminated job's outcome so the estimator can
+	// refine future estimates.
+	Feedback(o Outcome)
+}
+
+// Rounder rounds a raw capacity estimate up to a capacity that actually
+// exists in the cluster — the ⌈·⌉ of Algorithm 1 line 6. Implementations
+// return ok=false when no machine is large enough.
+type Rounder interface {
+	CeilCapacity(units.MemSize) (units.MemSize, bool)
+}
+
+// RounderFunc adapts a function to the Rounder interface.
+type RounderFunc func(units.MemSize) (units.MemSize, bool)
+
+// CeilCapacity calls f.
+func (f RounderFunc) CeilCapacity(m units.MemSize) (units.MemSize, bool) { return f(m) }
+
+// Identity is the no-estimation baseline: it always returns the user's
+// request. Simulations with Identity reproduce the "without resource
+// estimation" curves of Figures 5, 6 and 8.
+type Identity struct{}
+
+// Name implements Estimator.
+func (Identity) Name() string { return "identity" }
+
+// Estimate returns the job's requested memory unchanged.
+func (Identity) Estimate(j *trace.Job) units.MemSize { return j.ReqMem }
+
+// Feedback is a no-op: the baseline does not learn.
+func (Identity) Feedback(Outcome) {}
+
+// Oracle returns each job's true usage. It is the unreachable upper bound
+// for every learning estimator and is used in benchmarks to bound the
+// possible gain.
+type Oracle struct {
+	// Margin inflates the estimate by the given fraction (0 = exact).
+	// Real deployments would keep a safety margin even with perfect
+	// knowledge.
+	Margin float64
+}
+
+// Name implements Estimator.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Estimate returns the job's actual usage (plus margin), clamped to the
+// request.
+func (o *Oracle) Estimate(j *trace.Job) units.MemSize {
+	e := units.MemSize(j.UsedMem.MBf() * (1 + o.Margin))
+	return units.MinMem(e, j.ReqMem)
+}
+
+// Feedback is a no-op: the oracle already knows everything.
+func (o *Oracle) Feedback(Outcome) {}
+
+// clampToRequest enforces the paper's invariant that an estimate never
+// exceeds the user's request.
+func clampToRequest(e units.MemSize, j *trace.Job) units.MemSize {
+	if e > j.ReqMem {
+		return j.ReqMem
+	}
+	if e < 0 {
+		return 0
+	}
+	return e
+}

@@ -1,0 +1,223 @@
+package estimate
+
+import (
+	"fmt"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// HierarchicalConfig parameterises the online similarity-identification
+// estimator.
+type HierarchicalConfig struct {
+	// Levels are the candidate similarity keys, finest first. A job is
+	// estimated by the finest level that has accumulated MinHistory
+	// executions for the job's group; coarser levels accumulate the
+	// same feedback and stand in until then. Defaults to the paper's
+	// key ladder: (user, app, reqmem) → (user, app) → (user).
+	Levels []similarity.KeyFunc
+	// MinHistory is the number of completed executions a fine-level
+	// group needs before it takes over from its coarser fallback.
+	MinHistory int
+	// Alpha and Beta are Algorithm 1's parameters, applied per level.
+	Alpha, Beta float64
+	// Round optionally maps estimates to existing cluster capacities.
+	Round Rounder
+}
+
+// hlLevel is one granularity level's state.
+type hlLevel struct {
+	key    similarity.KeyFunc
+	inner  *SuccessiveApprox
+	counts map[similarity.Key]int
+}
+
+// Hierarchical implements the paper's §4 "online identification of
+// similarity groups" future work: instead of fixing the similarity key
+// offline, it maintains Algorithm 1 state at several key granularities
+// simultaneously and serves each job from the finest granularity that
+// has real history. A brand-new (user, app, reqmem) group therefore
+// starts from its user's coarser experience rather than from the raw
+// request, and graduates to its own fine-grained estimate as history
+// accumulates.
+//
+// Safety is preserved by construction: every level's estimate is capped
+// at the job's request, and the coarser levels' estimates are used only
+// as starting points, so a user whose applications differ wildly pays
+// at most the usual Algorithm 1 probe failures at the fine level.
+type Hierarchical struct {
+	cfg    HierarchicalConfig
+	levels []hlLevel
+	// pending maps dispatched job IDs to the level that produced the
+	// estimate, so feedback trains the producing level plus all coarser
+	// ones.
+	pending map[int]int
+}
+
+// NewHierarchical builds the estimator, filling defaults for zero
+// fields.
+func NewHierarchical(cfg HierarchicalConfig) (*Hierarchical, error) {
+	if len(cfg.Levels) == 0 {
+		cfg.Levels = []similarity.KeyFunc{
+			similarity.ByUserAppReqMem,
+			similarity.ByUserApp,
+			similarity.ByUser,
+		}
+	}
+	if cfg.MinHistory == 0 {
+		cfg.MinHistory = 3
+	}
+	if cfg.MinHistory < 1 {
+		return nil, fmt.Errorf("estimate: hierarchical MinHistory must be ≥ 1, got %d", cfg.MinHistory)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2
+	}
+	h := &Hierarchical{cfg: cfg, pending: make(map[int]int)}
+	for _, keyFn := range cfg.Levels {
+		inner, err := NewSuccessiveApprox(SuccessiveApproxConfig{
+			Alpha: cfg.Alpha,
+			Beta:  cfg.Beta,
+			Key:   keyFn,
+			Round: cfg.Round,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, hlLevel{
+			key:    keyFn,
+			inner:  inner,
+			counts: make(map[similarity.Key]int),
+		})
+	}
+	return h, nil
+}
+
+// Name implements Estimator.
+func (h *Hierarchical) Name() string {
+	return fmt.Sprintf("hierarchical(levels=%d,α=%g,β=%g)", len(h.levels), h.cfg.Alpha, h.cfg.Beta)
+}
+
+// levelFor picks the finest level with enough history for the job.
+func (h *Hierarchical) levelFor(j *trace.Job) int {
+	for i := range h.levels {
+		if i == len(h.levels)-1 {
+			return i // coarsest level always serves
+		}
+		if h.levels[i].counts[h.levels[i].key(j)] >= h.cfg.MinHistory {
+			return i
+		}
+	}
+	return len(h.levels) - 1
+}
+
+// Estimate serves the job from its finest experienced level.
+func (h *Hierarchical) Estimate(j *trace.Job) units.MemSize {
+	lvl := h.levelFor(j)
+	h.pending[j.ID] = lvl
+	return h.levels[lvl].inner.Estimate(j)
+}
+
+// Feedback trains the producing level and every coarser one, and counts
+// history at every level so fine groups can graduate.
+func (h *Hierarchical) Feedback(o Outcome) {
+	lvl, ok := h.pending[o.Job.ID]
+	if !ok {
+		lvl = h.levelFor(o.Job)
+	}
+	delete(h.pending, o.Job.ID)
+	for i := lvl; i < len(h.levels); i++ {
+		h.levels[i].inner.Feedback(o)
+	}
+	for i := range h.levels {
+		h.levels[i].counts[h.levels[i].key(o.Job)]++
+	}
+}
+
+// ServingLevel reports which level (0 = finest) would estimate the job
+// right now — exposed for tests and diagnostics.
+func (h *Hierarchical) ServingLevel(j *trace.Job) int { return h.levelFor(j) }
+
+// NumGroups returns the per-level group counts, finest first.
+func (h *Hierarchical) NumGroups() []int {
+	out := make([]int, len(h.levels))
+	for i := range h.levels {
+		out[i] = h.levels[i].inner.NumGroups()
+	}
+	return out
+}
+
+// Hybrid pairs a similarity-based estimator with a global fallback for
+// jobs the primary has never seen. The paper's Table 1 splits the world
+// into with/without similarity; in practice a scheduler has both kinds
+// of knowledge at once — groups with history benefit from Algorithm 1's
+// precision while first-sight jobs can still use the global policy a
+// reinforcement learner or regression model has distilled.
+type Hybrid struct {
+	// Primary is consulted for jobs whose similarity group has history.
+	Primary *SuccessiveApprox
+	// Fallback serves first-sight jobs (typically *Reinforcement or
+	// *Regression).
+	Fallback Estimator
+	// Key mirrors the primary's similarity key.
+	Key similarity.KeyFunc
+
+	seen    map[similarity.Key]bool
+	pending map[int]bool // job ID → served by primary?
+}
+
+// NewHybrid wires a successive-approximation primary to a global
+// fallback.
+func NewHybrid(primary *SuccessiveApprox, fallback Estimator, key similarity.KeyFunc) (*Hybrid, error) {
+	if primary == nil || fallback == nil {
+		return nil, fmt.Errorf("estimate: hybrid needs both a primary and a fallback")
+	}
+	if key == nil {
+		key = similarity.ByUserAppReqMem
+	}
+	return &Hybrid{
+		Primary:  primary,
+		Fallback: fallback,
+		Key:      key,
+		seen:     make(map[similarity.Key]bool),
+		pending:  make(map[int]bool),
+	}, nil
+}
+
+// Name implements Estimator.
+func (h *Hybrid) Name() string {
+	return fmt.Sprintf("hybrid(%s→%s)", h.Primary.Name(), h.Fallback.Name())
+}
+
+// Estimate serves known groups from the primary, first-sight jobs from
+// the fallback.
+func (h *Hybrid) Estimate(j *trace.Job) units.MemSize {
+	if h.seen[h.Key(j)] {
+		h.pending[j.ID] = true
+		return h.Primary.Estimate(j)
+	}
+	h.pending[j.ID] = false
+	return h.Fallback.Estimate(j)
+}
+
+// Feedback routes the outcome to whichever estimator produced the
+// estimate; the primary additionally learns from fallback-served jobs
+// so the group graduates after its first completion.
+func (h *Hybrid) Feedback(o Outcome) {
+	servedByPrimary, ok := h.pending[o.Job.ID]
+	if ok {
+		delete(h.pending, o.Job.ID)
+	}
+	if servedByPrimary {
+		h.Primary.Feedback(o)
+	} else {
+		h.Fallback.Feedback(o)
+		// Seed the primary's group state from the observed outcome so
+		// the next submission is served with history.
+		h.Primary.Feedback(o)
+	}
+	if o.Success {
+		h.seen[h.Key(o.Job)] = true
+	}
+}

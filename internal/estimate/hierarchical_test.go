@@ -1,0 +1,255 @@
+package estimate
+
+import (
+	"testing"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// jobUA builds a job with explicit user/app identity.
+func jobUA(id, user, app int, req, used float64) *trace.Job {
+	j := job(id, req, used)
+	j.User, j.App = user, app
+	return j
+}
+
+func feedbackFor(e Estimator, j *trace.Job, est units.MemSize) {
+	e.Feedback(Outcome{Job: j, Allocated: est, Success: j.UsedMem.Fits(est)})
+}
+
+func TestHierarchicalDefaults(t *testing.T) {
+	h, err := NewHierarchical(HierarchicalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.NumGroups()); got != 3 {
+		t.Fatalf("default levels = %d, want the 3-level key ladder", got)
+	}
+	if _, err := NewHierarchical(HierarchicalConfig{MinHistory: -1}); err == nil {
+		t.Error("negative MinHistory must be rejected")
+	}
+}
+
+func TestHierarchicalServesCoarseFirst(t *testing.T) {
+	h, err := NewHierarchical(HierarchicalConfig{MinHistory: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jobUA(1, 1, 1, 32, 8)
+	if lvl := h.ServingLevel(j); lvl != 2 {
+		t.Errorf("fresh job served by level %d, want the coarsest (2)", lvl)
+	}
+	// Two completions graduate the fine group.
+	for i := 0; i < 2; i++ {
+		ji := jobUA(i+1, 1, 1, 32, 8)
+		e := h.Estimate(ji)
+		feedbackFor(h, ji, e)
+	}
+	if lvl := h.ServingLevel(jobUA(9, 1, 1, 32, 8)); lvl != 0 {
+		t.Errorf("experienced group served by level %d, want the finest (0)", lvl)
+	}
+}
+
+func TestHierarchicalTransfersUserExperience(t *testing.T) {
+	// The same user runs app 1 many times (usage 8 of 32 requested);
+	// then submits app 2 for the first time. The user-level estimate
+	// should already be below the request — the paper's §4 online
+	// identification payoff.
+	h, err := NewHierarchical(HierarchicalConfig{MinHistory: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		j := jobUA(i+1, 1, 1, 32, 8)
+		e := h.Estimate(j)
+		feedbackFor(h, j, e)
+	}
+	newApp := jobUA(100, 1, 2, 32, 8)
+	if lvl := h.ServingLevel(newApp); lvl != 2 {
+		t.Fatalf("new app served by level %d, want user level (2)", lvl)
+	}
+	est := h.Estimate(newApp)
+	if !est.Less(32) {
+		t.Errorf("first-sight estimate = %v, want below the request (user history transfers)", est)
+	}
+}
+
+func TestHierarchicalEstimateNeverExceedsRequest(t *testing.T) {
+	h, err := NewHierarchical(HierarchicalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		j := jobUA(i+1, 1+i%3, 1+i%5, float64(8+8*(i%4)), 4)
+		e := h.Estimate(j)
+		if j.ReqMem.Less(e) {
+			t.Fatalf("estimate %v exceeds request %v", e, j.ReqMem)
+		}
+		feedbackFor(h, j, e)
+	}
+}
+
+func TestHierarchicalIsolatesUsers(t *testing.T) {
+	// User 1's heavy over-provisioning must not lower user 2's
+	// first-sight estimate below safety: user 2's own level starts from
+	// the request.
+	h, err := NewHierarchical(HierarchicalConfig{MinHistory: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		j := jobUA(i+1, 1, 1, 32, 2)
+		e := h.Estimate(j)
+		feedbackFor(h, j, e)
+	}
+	other := jobUA(50, 2, 7, 32, 30)
+	if got := h.Estimate(other); !got.Eq(32) {
+		t.Errorf("user 2's first estimate = %v, want their own request", got)
+	}
+}
+
+func TestHybridRoutesFirstSightToFallback(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := NewReinforcement(ReinforcementConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := NewHybrid(sa, rl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train the fallback's global policy: everyone uses half.
+	for i := 0; i < 2000; i++ {
+		j := jobUA(i+1, 1+i%50, 1+i, 32, 16)
+		e := hy.Estimate(j)
+		feedbackFor(hy, j, e)
+	}
+	// A brand-new group: must be served by the fallback's learned
+	// policy (0.5 of the request), not the raw request.
+	fresh := jobUA(99999, 77, 12345, 32, 16)
+	if got := hy.Estimate(fresh); !got.Less(32) {
+		t.Errorf("first-sight hybrid estimate = %v, want the fallback's lowered policy", got)
+	}
+}
+
+func TestHybridGraduatesGroups(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := NewHybrid(sa, Identity{}, similarity.ByUserAppReqMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jobUA(1, 1, 1, 32, 8)
+	e := hy.Estimate(j) // fallback (identity): 32
+	if !e.Eq(32) {
+		t.Fatalf("first estimate = %v", e)
+	}
+	feedbackFor(hy, j, e)
+	// The group has graduated: second submission comes from the
+	// primary, which has learned from the first completion.
+	j2 := jobUA(2, 1, 1, 32, 8)
+	if got := hy.Estimate(j2); !got.Less(32) {
+		t.Errorf("post-graduation estimate = %v, want the primary's lowered walk", got)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	sa, _ := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if _, err := NewHybrid(nil, Identity{}, nil); err == nil {
+		t.Error("nil primary must be rejected")
+	}
+	if _, err := NewHybrid(sa, nil, nil); err == nil {
+		t.Error("nil fallback must be rejected")
+	}
+}
+
+func TestPretrainSeedsSimilarityGroups(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := &trace.Trace{Jobs: []trace.Job{
+		*jobUA(1, 1, 1, 32, 8),
+		*jobUA(2, 1, 1, 32, 8),
+		*jobUA(3, 2, 2, 16, 0), // zero usage: skipped
+	}}
+	n, err := Pretrain(sa, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("trained = %d, want 2", n)
+	}
+	// The pretrained group now estimates at (usage/α) territory, far
+	// below the request.
+	if got := sa.Estimate(jobUA(9, 1, 1, 32, 8)); !got.Less(32) {
+		t.Errorf("pretrained estimate = %v, want below the request", got)
+	}
+}
+
+func TestPretrainValidation(t *testing.T) {
+	if _, err := Pretrain(nil, &trace.Trace{}); err == nil {
+		t.Error("nil estimator must be rejected")
+	}
+	sa, _ := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if _, err := Pretrain(sa, nil); err == nil {
+		t.Error("nil trace must be rejected")
+	}
+}
+
+func TestPretrainRegressionMatchesOnlineTraining(t *testing.T) {
+	rg, err := NewRegression(RegressionConfig{Warmup: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist trace.Trace
+	for i := 0; i < 50; i++ {
+		j := jobUA(i+1, 1, 1, float64(8+i%25), float64(8+i%25)/2)
+		hist.Jobs = append(hist.Jobs, *j)
+	}
+	if _, err := Pretrain(rg, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if rg.Observations() != 50 {
+		t.Fatalf("observations = %d, want 50", rg.Observations())
+	}
+	probe := jobUA(99, 1, 1, 20, 10)
+	got := rg.Estimate(probe)
+	if got.MBf() < 8 || got.MBf() > 12 {
+		t.Errorf("pretrained regression estimate = %v, want ≈ 10MB", got)
+	}
+}
+
+func TestSplitTrace(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 10; i++ {
+		tr.Jobs = append(tr.Jobs, *jobUA(i+1, 1, 1, 32, 8))
+	}
+	train, eval, err := SplitTrace(&tr, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 3 || eval.Len() != 7 {
+		t.Errorf("split = %d/%d, want 3/7", train.Len(), eval.Len())
+	}
+	if eval.Jobs[0].ID != 1 {
+		t.Error("eval side should be renumbered from 1")
+	}
+	if _, _, err := SplitTrace(&tr, 0); err == nil {
+		t.Error("zero fraction must be rejected")
+	}
+	if _, _, err := SplitTrace(&tr, 1); err == nil {
+		t.Error("unit fraction must be rejected")
+	}
+	tiny := &trace.Trace{Jobs: tr.Jobs[:1]}
+	if _, _, err := SplitTrace(tiny, 0.5); err == nil {
+		t.Error("unsplittable trace must be rejected")
+	}
+}

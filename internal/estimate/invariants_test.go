@@ -1,0 +1,148 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overprov/internal/units"
+)
+
+// allEstimators builds one of each estimator against the given rounder,
+// for invariant tests that must hold across the whole family.
+func allEstimators(t *testing.T, round Rounder) []Estimator {
+	t.Helper()
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2, Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sab, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 3, Beta: 0.5, Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := NewLastInstance(LastInstanceConfig{Margin: 0.1, Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := NewReinforcement(ReinforcementConfig{Seed: 1, Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := NewRegression(RegressionConfig{Warmup: 5, Margin: 0.1, Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRobustSearch(RobustSearchConfig{Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := NewHierarchical(HierarchicalConfig{Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hySA, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2, Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := NewHybrid(hySA, rl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Estimator{
+		Identity{}, &Oracle{Margin: 0.2}, sa, sab, li, rl, rg, rs, hier, hy,
+	}
+}
+
+// TestEveryEstimatorRespectsRequestCap: the paper's §1.3 invariant —
+// estimates never exceed the user's request — must hold for every
+// estimator, under random job streams with mixed outcomes.
+func TestEveryEstimatorRespectsRequestCap(t *testing.T) {
+	round := fixedRounder(4, 8, 16, 24, 32)
+	for _, est := range allEstimators(t, round) {
+		est := est
+		t.Run(est.Name(), func(t *testing.T) {
+			err := quick.Check(func(seeds []uint8) bool {
+				for i, s := range seeds {
+					req := float64(1 + s%32)
+					used := math.Max(0.5, req*float64(s%8)/8)
+					if used > req {
+						used = req
+					}
+					j := job(i+1, req, used)
+					j.User = int(s % 5)
+					j.App = int(s % 7)
+					e := est.Estimate(j)
+					if j.ReqMem.Less(e) {
+						return false
+					}
+					est.Feedback(Outcome{
+						Job: j, Allocated: e,
+						Success:  j.UsedMem.Fits(e),
+						Used:     j.UsedMem,
+						Explicit: true,
+					})
+				}
+				return true
+			}, &quick.Config{MaxCount: 20})
+			if err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestEveryEstimatorReturnsPositiveEstimates: estimates must stay
+// strictly positive for positive requests (a zero-memory match would be
+// degenerate for the memory resource).
+func TestEveryEstimatorReturnsPositiveEstimates(t *testing.T) {
+	for _, est := range allEstimators(t, nil) {
+		est := est
+		t.Run(est.Name(), func(t *testing.T) {
+			for i := 0; i < 50; i++ {
+				j := job(i+1, 16, 2)
+				e := est.Estimate(j)
+				if e < 0 {
+					t.Fatalf("negative estimate %v", e)
+				}
+				est.Feedback(Outcome{Job: j, Allocated: e, Success: j.UsedMem.Fits(e),
+					Used: j.UsedMem, Explicit: true})
+			}
+		})
+	}
+}
+
+// TestRoundedEstimatesLandOnLadder: with a rounder attached, every
+// estimate is either a ladder capacity or the raw request (the fallback
+// when nothing is big enough).
+func TestRoundedEstimatesLandOnLadder(t *testing.T) {
+	ladder := []units.MemSize{4, 8, 16, 24, 32}
+	round := fixedRounder(ladder...)
+	onLadder := func(e units.MemSize, req units.MemSize) bool {
+		if e.Eq(req) {
+			return true
+		}
+		for _, c := range ladder {
+			if e.Eq(c) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, est := range allEstimators(t, round) {
+		est := est
+		if est.Name() == "oracle" {
+			continue // the oracle returns exact usage by design, unrounded
+		}
+		t.Run(est.Name(), func(t *testing.T) {
+			for i := 0; i < 60; i++ {
+				j := job(i+1, 32, 6)
+				e := est.Estimate(j)
+				if !onLadder(e, j.ReqMem) {
+					t.Fatalf("estimate %v is neither a ladder capacity nor the request", e)
+				}
+				est.Feedback(Outcome{Job: j, Allocated: e, Success: j.UsedMem.Fits(e),
+					Used: j.UsedMem, Explicit: true})
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package estimate
+
+import (
+	"fmt"
+
+	"overprov/internal/units"
+)
+
+// MultiResourceConfig parameterises the multi-resource estimator.
+type MultiResourceConfig struct {
+	// Resources names the estimated resource dimensions, e.g.
+	// {"memory", "disk", "swpackages"}. Order defines the coordinate
+	// cycle.
+	Resources []string
+	// Alpha is the per-coordinate downward step factor (> 1).
+	Alpha float64
+	// Beta damps a coordinate's step after a failure, exactly as in
+	// Algorithm 1; β = 0 freezes the coordinate at its last safe value.
+	Beta float64
+}
+
+// mrGroup is one similarity group's coordinate-descent state.
+type mrGroup struct {
+	est      []units.MemSize
+	lastGood []units.MemSize
+	alpha    []float64
+	// active is the coordinate currently being reduced; only it may
+	// differ from lastGood, which makes failure attribution unambiguous.
+	active int
+	frozen []bool
+}
+
+// MultiResource generalises Algorithm 1 to several resources at once via
+// coordinate descent — the multidimensional-optimisation route the
+// paper's §2.3 closes with. The paper observes that reducing several
+// resources simultaneously makes failures unattributable ("it would be
+// difficult to know which of these resources causes the algorithm to
+// terminate"); coordinate descent sidesteps this by changing exactly one
+// resource estimate per probe, so a failure always indicts the active
+// coordinate.
+//
+// Keys are opaque strings chosen by the caller (the multi-resource
+// similarity key), since this estimator is not tied to the trace.Job
+// model.
+type MultiResource struct {
+	cfg    MultiResourceConfig
+	groups map[string]*mrGroup
+}
+
+// NewMultiResource builds the estimator.
+func NewMultiResource(cfg MultiResourceConfig) (*MultiResource, error) {
+	if len(cfg.Resources) == 0 {
+		return nil, fmt.Errorf("estimate: multi-resource needs at least one resource")
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2
+	}
+	if cfg.Alpha <= 1 {
+		return nil, fmt.Errorf("estimate: multi-resource needs α > 1, got %g", cfg.Alpha)
+	}
+	if cfg.Beta < 0 || cfg.Beta >= 1 {
+		return nil, fmt.Errorf("estimate: multi-resource needs 0 ≤ β < 1, got %g", cfg.Beta)
+	}
+	return &MultiResource{cfg: cfg, groups: make(map[string]*mrGroup)}, nil
+}
+
+// Dim returns the number of resource dimensions.
+func (m *MultiResource) Dim() int { return len(m.cfg.Resources) }
+
+// Resources returns the resource dimension names in coordinate order.
+func (m *MultiResource) Resources() []string {
+	return append([]string(nil), m.cfg.Resources...)
+}
+
+// Estimate returns the capacity vector to request for the next job of the
+// given similarity group; requested is the user's per-resource request
+// and initialises a new group. The returned slice is owned by the
+// caller.
+func (m *MultiResource) Estimate(key string, requested []units.MemSize) ([]units.MemSize, error) {
+	if len(requested) != m.Dim() {
+		return nil, fmt.Errorf("estimate: request has %d resources, estimator has %d",
+			len(requested), m.Dim())
+	}
+	g := m.groups[key]
+	if g == nil {
+		g = &mrGroup{
+			est:      append([]units.MemSize(nil), requested...),
+			lastGood: append([]units.MemSize(nil), requested...),
+			alpha:    make([]float64, m.Dim()),
+			frozen:   make([]bool, m.Dim()),
+		}
+		for i := range g.alpha {
+			g.alpha[i] = m.cfg.Alpha
+		}
+		m.groups[key] = g
+	}
+	out := make([]units.MemSize, m.Dim())
+	for i := range out {
+		out[i] = units.MinMem(g.est[i], requested[i])
+	}
+	return out, nil
+}
+
+// Feedback advances the group's coordinate descent given the allocated
+// vector and the implicit success bit.
+func (m *MultiResource) Feedback(key string, allocated []units.MemSize, success bool) error {
+	g := m.groups[key]
+	if g == nil {
+		return fmt.Errorf("estimate: feedback for unknown group %q", key)
+	}
+	if len(allocated) != m.Dim() {
+		return fmt.Errorf("estimate: feedback has %d resources, estimator has %d",
+			len(allocated), m.Dim())
+	}
+	if success {
+		copy(g.lastGood, allocated)
+	} else {
+		// The failure indicts the active coordinate — only it differed
+		// from the last safe vector. Damp its step, freezing the
+		// coordinate when the step collapses to 1.
+		i := g.active
+		g.alpha[i] = 1 + m.cfg.Beta*(g.alpha[i]-1)
+		if g.alpha[i] <= 1+1e-9 {
+			g.alpha[i] = 1
+			g.frozen[i] = true
+		}
+	}
+	// Rotate to the next live coordinate and build the next probe vector:
+	// the last safe vector with just that coordinate reduced.
+	m.nextCoordinate(g)
+	copy(g.est, g.lastGood)
+	if !m.allFrozen(g) {
+		i := g.active
+		g.est[i] = g.lastGood[i].Div(g.alpha[i])
+	}
+	return nil
+}
+
+// nextCoordinate moves active to the next non-frozen coordinate; when all
+// coordinates are frozen it leaves active unchanged.
+func (m *MultiResource) nextCoordinate(g *mrGroup) {
+	for step := 1; step <= m.Dim(); step++ {
+		cand := (g.active + step) % m.Dim()
+		if !g.frozen[cand] {
+			g.active = cand
+			return
+		}
+	}
+}
+
+func (m *MultiResource) allFrozen(g *mrGroup) bool {
+	for _, f := range g.frozen {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// Converged reports whether the group has frozen every coordinate.
+func (m *MultiResource) Converged(key string) bool {
+	g, ok := m.groups[key]
+	return ok && m.allFrozen(g)
+}
+
+// Current returns the group's current estimate vector (a copy).
+func (m *MultiResource) Current(key string) ([]units.MemSize, bool) {
+	g, ok := m.groups[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]units.MemSize(nil), g.est...), true
+}

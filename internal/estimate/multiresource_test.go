@@ -1,0 +1,212 @@
+package estimate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overprov/internal/units"
+)
+
+// driveMulti replays a job stream against the multi-resource estimator:
+// requested and used are per-resource; each cycle the probe succeeds iff
+// every coordinate covers its usage.
+func driveMulti(t *testing.T, m *MultiResource, key string, requested, used []units.MemSize, cycles int) [][]units.MemSize {
+	t.Helper()
+	var seqs [][]units.MemSize
+	for i := 0; i < cycles; i++ {
+		est, err := m.Estimate(key, requested)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, est)
+		ok := true
+		for d := range est {
+			if !used[d].Fits(est[d]) {
+				ok = false
+				break
+			}
+		}
+		if err := m.Feedback(key, est, ok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return seqs
+}
+
+func TestMultiResourceConfigValidation(t *testing.T) {
+	if _, err := NewMultiResource(MultiResourceConfig{}); err == nil {
+		t.Error("empty resource list must be rejected")
+	}
+	if _, err := NewMultiResource(MultiResourceConfig{Resources: []string{"mem"}, Alpha: 0.5}); err == nil {
+		t.Error("α ≤ 1 must be rejected")
+	}
+	if _, err := NewMultiResource(MultiResourceConfig{Resources: []string{"mem"}, Beta: 1}); err == nil {
+		t.Error("β = 1 must be rejected")
+	}
+}
+
+func TestMultiResourceDimensionChecks(t *testing.T) {
+	m, err := NewMultiResource(MultiResourceConfig{Resources: []string{"mem", "disk"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Estimate("g", []units.MemSize{32}); err == nil {
+		t.Error("wrong-arity request must be rejected")
+	}
+	if err := m.Feedback("unknown", []units.MemSize{1, 2}, true); err == nil {
+		t.Error("feedback for an unknown group must be rejected")
+	}
+	if _, err := m.Estimate("g", []units.MemSize{32, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Feedback("g", []units.MemSize{32}, true); err == nil {
+		t.Error("wrong-arity feedback must be rejected")
+	}
+}
+
+func TestMultiResourceFirstProbeIsRequest(t *testing.T) {
+	m, err := NewMultiResource(MultiResourceConfig{Resources: []string{"mem", "disk"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.Estimate("g", []units.MemSize{32, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est[0].Eq(32) || !est[1].Eq(100) {
+		t.Errorf("first probe = %v, want the full request", est)
+	}
+}
+
+func TestMultiResourceOneCoordinatePerProbe(t *testing.T) {
+	// The paper's §2.3 point: changing several resources at once makes
+	// failures unattributable. Verify each probe differs from the last
+	// safe vector in at most one coordinate.
+	m, err := NewMultiResource(MultiResourceConfig{Resources: []string{"mem", "disk", "swp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := []units.MemSize{32, 128, 8}
+	used := []units.MemSize{5, 20, 8}
+	seqs := driveMulti(t, m, "g", req, used, 30)
+	lastSafe := req
+	for _, probe := range seqs {
+		diff := 0
+		for d := range probe {
+			if !probe[d].Eq(lastSafe[d]) {
+				diff++
+			}
+		}
+		if diff > 1 {
+			t.Fatalf("probe %v differs from last safe %v in %d coordinates", probe, lastSafe, diff)
+		}
+		ok := true
+		for d := range probe {
+			if !used[d].Fits(probe[d]) {
+				ok = false
+			}
+		}
+		if ok {
+			lastSafe = probe
+		}
+	}
+}
+
+func TestMultiResourceConverges(t *testing.T) {
+	m, err := NewMultiResource(MultiResourceConfig{Resources: []string{"mem", "disk"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := []units.MemSize{32, 128}
+	used := []units.MemSize{5, 20}
+	driveMulti(t, m, "g", req, used, 60)
+	if !m.Converged("g") {
+		t.Fatal("60 cycles should converge a 2-resource group")
+	}
+	cur, ok := m.Current("g")
+	if !ok {
+		t.Fatal("Current lost the group")
+	}
+	for d := range cur {
+		if cur[d].Less(used[d]) {
+			t.Errorf("converged estimate %v below usage %v in dim %d", cur[d], used[d], d)
+		}
+		if req[d].Less(cur[d]) {
+			t.Errorf("converged estimate %v above request %v in dim %d", cur[d], req[d], d)
+		}
+	}
+	// With α=2, β=0 the memory coordinate should settle at 8 (32→16→8→
+	// probe 4 fails → freeze 8), and disk at 32 (128→64→32→16 fails).
+	if !cur[0].Eq(8) || !cur[1].Eq(32) {
+		t.Errorf("converged at %v, want [8MB 32MB]", cur)
+	}
+}
+
+func TestMultiResourceNeverExceedsRequestProperty(t *testing.T) {
+	err := quick.Check(func(u1, u2 uint8) bool {
+		req := []units.MemSize{32, 64}
+		used := []units.MemSize{
+			units.MemSize(1 + float64(u1%32)),
+			units.MemSize(1 + float64(u2%64)),
+		}
+		m, err := NewMultiResource(MultiResourceConfig{Resources: []string{"a", "b"}})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			est, err := m.Estimate("g", req)
+			if err != nil {
+				return false
+			}
+			for d := range est {
+				if req[d].Less(est[d]) {
+					return false
+				}
+			}
+			ok := used[0].Fits(est[0]) && used[1].Fits(est[1])
+			if err := m.Feedback("g", est, ok); err != nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiResourceZeroUsageResource(t *testing.T) {
+	// A job that does not use a resource consumes zero capacity of it
+	// (paper §2.1): the estimator should walk that coordinate all the
+	// way down.
+	m, err := NewMultiResource(MultiResourceConfig{Resources: []string{"mem", "pkg"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := []units.MemSize{32, 1}
+	used := []units.MemSize{32, 0}
+	driveMulti(t, m, "g", req, used, 40)
+	cur, _ := m.Current("g")
+	if cur[1].MBf() > 0.1 {
+		t.Errorf("unused resource estimate = %v, want ≈ 0", cur[1])
+	}
+	// The fully-used resource must stay at its request.
+	if cur[0].Less(32) {
+		t.Errorf("fully-used resource walked below its demand: %v", cur[0])
+	}
+}
+
+func TestMultiResourceResourcesAccessor(t *testing.T) {
+	m, err := NewMultiResource(MultiResourceConfig{Resources: []string{"mem", "disk"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := m.Resources()
+	if len(rs) != 2 || rs[0] != "mem" || rs[1] != "disk" || m.Dim() != 2 {
+		t.Errorf("Resources/Dim = %v/%d", rs, m.Dim())
+	}
+	rs[0] = "mutated"
+	if m.Resources()[0] != "mem" {
+		t.Error("Resources returned shared storage")
+	}
+}

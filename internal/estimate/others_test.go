@@ -1,0 +1,383 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// keyOf is the paper's similarity key, shared by introspection tests.
+func keyOf(j *trace.Job) similarity.Key { return similarity.ByUserAppReqMem(j) }
+
+func TestIdentity(t *testing.T) {
+	var id Identity
+	j := job(1, 24, 6)
+	if got := id.Estimate(j); !got.Eq(24) {
+		t.Errorf("identity estimate = %v, want the request", got)
+	}
+	id.Feedback(Outcome{Job: j}) // must not panic
+	if id.Name() != "identity" {
+		t.Errorf("Name = %q", id.Name())
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := &Oracle{}
+	j := job(1, 32, 6)
+	if got := o.Estimate(j); !got.Eq(6) {
+		t.Errorf("oracle estimate = %v, want the actual usage", got)
+	}
+	om := &Oracle{Margin: 0.5}
+	if got := om.Estimate(j); !got.Eq(9) {
+		t.Errorf("oracle with margin = %v, want 9MB", got)
+	}
+	// Margin never pushes above the request.
+	big := &Oracle{Margin: 100}
+	if got := big.Estimate(j); !got.Eq(32) {
+		t.Errorf("oracle clamped = %v, want the 32MB request", got)
+	}
+}
+
+func TestLastInstanceLearnsFromExplicit(t *testing.T) {
+	li, err := NewLastInstance(LastInstanceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 7)
+	if got := li.Estimate(j); !got.Eq(32) {
+		t.Errorf("first estimate = %v, want the request", got)
+	}
+	li.Feedback(Outcome{Job: j, Allocated: 32, Success: true, Used: 7, Explicit: true})
+	if got := li.Estimate(job(2, 32, 7)); !got.Eq(7) {
+		t.Errorf("second estimate = %v, want the observed 7MB", got)
+	}
+	if li.NumGroups() != 1 {
+		t.Errorf("NumGroups = %d, want 1", li.NumGroups())
+	}
+}
+
+func TestLastInstanceIgnoresImplicit(t *testing.T) {
+	li, err := NewLastInstance(LastInstanceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 7)
+	li.Feedback(Outcome{Job: j, Allocated: 32, Success: true}) // implicit
+	if got := li.Estimate(job(2, 32, 7)); !got.Eq(32) {
+		t.Errorf("estimate after implicit-only feedback = %v, want the request", got)
+	}
+}
+
+func TestLastInstanceMargin(t *testing.T) {
+	li, err := NewLastInstance(LastInstanceConfig{Margin: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 10)
+	li.Feedback(Outcome{Job: j, Allocated: 32, Success: true, Used: 10, Explicit: true})
+	if got := li.Estimate(job(2, 32, 10)); !got.Eq(12) {
+		t.Errorf("estimate with 20%% margin = %v, want 12MB", got)
+	}
+	if _, err := NewLastInstance(LastInstanceConfig{Margin: -1}); err == nil {
+		t.Error("negative margin must be rejected")
+	}
+}
+
+func TestLastInstanceAdaptsUpward(t *testing.T) {
+	// Within-group variance: a failure with explicit feedback reveals
+	// the true higher demand; the next estimate must cover it.
+	li, err := NewLastInstance(LastInstanceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li.Feedback(Outcome{Job: job(1, 64, 12), Allocated: 64, Success: true, Used: 12, Explicit: true})
+	// Next group job actually needs 18 and fails at 12.
+	li.Feedback(Outcome{Job: job(2, 64, 18), Allocated: 12, Success: false, Used: 18, Explicit: true})
+	if got := li.Estimate(job(3, 64, 18)); !got.Eq(18) {
+		t.Errorf("estimate after failure = %v, want 18MB", got)
+	}
+}
+
+func TestLastInstanceNeverExceedsRequest(t *testing.T) {
+	err := quick.Check(func(reqRaw, usedRaw uint8) bool {
+		req := float64(reqRaw%64) + 1
+		used := math.Min(float64(usedRaw), req)
+		li, err := NewLastInstance(LastInstanceConfig{Margin: 0.5})
+		if err != nil {
+			return false
+		}
+		j := job(1, req, used)
+		li.Feedback(Outcome{Job: j, Allocated: units.MemSize(req), Success: true,
+			Used: units.MemSize(used), Explicit: true})
+		got := li.Estimate(job(2, req, used))
+		return !units.MemSize(req).Less(got)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReinforcementConvergesToHalf(t *testing.T) {
+	// The paper's §4 example: every user over-requests by 2×; the global
+	// RL policy should converge to dispatching with ≈ 50 % of requests.
+	rl, err := NewReinforcement(ReinforcementConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		j := job(i+1, 32, 16)
+		e := rl.Estimate(j)
+		rl.Feedback(Outcome{Job: j, Allocated: e, Success: j.UsedMem.Fits(e)})
+	}
+	if got := rl.Policy(); got != 0.5 {
+		t.Errorf("learned policy = %g, want 0.5 (dispatch with half the request)", got)
+	}
+}
+
+func TestReinforcementNeverStuckOnFailingArm(t *testing.T) {
+	// All jobs use their full request: every reduction fails, so the
+	// policy must converge to factor 1.0.
+	rl, err := NewReinforcement(ReinforcementConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		j := job(i+1, 32, 32)
+		e := rl.Estimate(j)
+		rl.Feedback(Outcome{Job: j, Allocated: e, Success: j.UsedMem.Fits(e)})
+	}
+	if got := rl.Policy(); got != 1.0 {
+		t.Errorf("learned policy = %g, want 1.0 (no reduction is safe)", got)
+	}
+}
+
+func TestReinforcementConfigValidation(t *testing.T) {
+	if _, err := NewReinforcement(ReinforcementConfig{Factors: []float64{0}}); err == nil {
+		t.Error("factor 0 must be rejected")
+	}
+	if _, err := NewReinforcement(ReinforcementConfig{Factors: []float64{1.5}}); err == nil {
+		t.Error("factor > 1 must be rejected")
+	}
+	if _, err := NewReinforcement(ReinforcementConfig{Epsilon: 2}); err == nil {
+		t.Error("epsilon > 1 must be rejected")
+	}
+	if _, err := NewReinforcement(ReinforcementConfig{FailurePenalty: -1}); err == nil {
+		t.Error("negative penalty must be rejected")
+	}
+}
+
+func TestReinforcementDeterministic(t *testing.T) {
+	run := func() []float64 {
+		rl, err := NewReinforcement(ReinforcementConfig{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			j := job(i+1, 32, 10)
+			e := rl.Estimate(j)
+			rl.Feedback(Outcome{Job: j, Allocated: e, Success: j.UsedMem.Fits(e)})
+		}
+		return rl.ArmValues()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed runs diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRegressionLearnsUniformOverprovisioning(t *testing.T) {
+	// The paper's §4 example for regression: users request 2× actual.
+	// The linear model must learn to halve requests.
+	rg, err := NewRegression(RegressionConfig{Warmup: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		req := float64(4 + i%29)
+		j := job(i+1, req, req/2)
+		rg.Feedback(Outcome{Job: j, Allocated: j.ReqMem, Success: true,
+			Used: j.UsedMem, Explicit: true})
+	}
+	probe := job(1000, 20, 10)
+	got := rg.Estimate(probe)
+	if math.Abs(got.MBf()-10) > 1 {
+		t.Errorf("regression estimate for a 20MB request = %v, want ≈10MB", got)
+	}
+	if rg.Observations() != 100 {
+		t.Errorf("Observations = %d, want 100", rg.Observations())
+	}
+}
+
+func TestRegressionWarmupReturnsRequest(t *testing.T) {
+	rg, err := NewRegression(RegressionConfig{Warmup: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 8)
+	if got := rg.Estimate(j); !got.Eq(32) {
+		t.Errorf("pre-warmup estimate = %v, want the request", got)
+	}
+}
+
+func TestRegressionIgnoresImplicit(t *testing.T) {
+	rg, err := NewRegression(RegressionConfig{Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg.Feedback(Outcome{Job: job(1, 32, 8), Success: true}) // implicit
+	if rg.Observations() != 0 {
+		t.Error("implicit feedback must not train the regression model")
+	}
+}
+
+func TestRegressionNeverExceedsRequest(t *testing.T) {
+	rg, err := NewRegression(RegressionConfig{Warmup: 5, Margin: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on jobs that use everything: prediction ≈ request, and the
+	// 10 % margin would push above it without clamping.
+	for i := 0; i < 50; i++ {
+		j := job(i+1, 16, 16)
+		rg.Feedback(Outcome{Job: j, Allocated: 16, Success: true, Used: 16, Explicit: true})
+	}
+	if got := rg.Estimate(job(99, 16, 16)); units.MemSize(16).Less(got) {
+		t.Errorf("estimate %v exceeds the request", got)
+	}
+}
+
+func TestRegressionConfigValidation(t *testing.T) {
+	if _, err := NewRegression(RegressionConfig{Warmup: -1}); err == nil {
+		t.Error("negative warmup must be rejected")
+	}
+	if _, err := NewRegression(RegressionConfig{Margin: -0.1}); err == nil {
+		t.Error("negative margin must be rejected")
+	}
+	if _, err := NewRegression(RegressionConfig{Ridge: -1}); err == nil {
+		t.Error("negative ridge must be rejected")
+	}
+}
+
+func TestRegressionWeightsRecoverPlantedModel(t *testing.T) {
+	rg, err := NewRegression(RegressionConfig{Warmup: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// used = 2 + 0.25·req exactly.
+	for i := 0; i < 200; i++ {
+		req := float64(8 + i%57)
+		used := 2 + 0.25*req
+		j := job(i+1, req, used)
+		rg.Feedback(Outcome{Job: j, Allocated: j.ReqMem, Success: true,
+			Used: j.UsedMem, Explicit: true})
+	}
+	w := rg.Weights()
+	if math.Abs(w[1]-0.25) > 0.01 {
+		t.Errorf("request coefficient = %g, want 0.25 (weights %v)", w[1], w)
+	}
+}
+
+func TestRobustSearchConvergesTighterThanAlgorithm1(t *testing.T) {
+	// Unrounded walk, request 64, actual 18. Algorithm 1 (α=2, β=0)
+	// freezes at 32; the bisection must settle within 10 % of 18.
+	rs, err := NewRobustSearch(RobustSearchConfig{Alpha: 2, Tolerance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := driveGroup(rs, 64, 18, 40)
+	last := seq[len(seq)-1]
+	if last.Less(18) {
+		t.Fatalf("converged below the true demand: %v (%v)", last, seq)
+	}
+	if last.MBf() > 18*1.15 {
+		t.Errorf("robust search settled at %v, want within ~10%% of 18MB (%v)", last, seq)
+	}
+}
+
+func TestRobustSearchFailureConfirmation(t *testing.T) {
+	rs, err := NewRobustSearch(RobustSearchConfig{FailureConfirmations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 8)
+	e := rs.Estimate(j) // 32
+	rs.Feedback(Outcome{Job: j, Allocated: e, Success: true})
+	e2 := rs.Estimate(job(2, 32, 8)) // 16
+	if !e2.Eq(16) {
+		t.Fatalf("second probe = %v, want 16", e2)
+	}
+	// A single (spurious) failure at 16 must NOT establish a lower
+	// bound: the next probe retries 16.
+	rs.Feedback(Outcome{Job: job(2, 32, 8), Allocated: 16, Success: false})
+	if got := rs.Estimate(job(3, 32, 8)); !got.Eq(16) {
+		t.Errorf("after one unconfirmed failure the probe = %v, want 16 again", got)
+	}
+	// A second failure confirms it.
+	rs.Feedback(Outcome{Job: job(3, 32, 8), Allocated: 16, Success: false})
+	if got := rs.Estimate(job(4, 32, 8)); !got.Less(32) || got.Less(16) == false {
+		// next probe is the midpoint of (16, 32)
+		if !got.Eq(24) {
+			t.Errorf("after confirmation the probe = %v, want the 24MB midpoint", got)
+		}
+	}
+}
+
+func TestRobustSearchConfigValidation(t *testing.T) {
+	if _, err := NewRobustSearch(RobustSearchConfig{Alpha: 0.5}); err == nil {
+		t.Error("α ≤ 1 must be rejected")
+	}
+	if _, err := NewRobustSearch(RobustSearchConfig{Tolerance: -1}); err == nil {
+		t.Error("negative tolerance must be rejected")
+	}
+	if _, err := NewRobustSearch(RobustSearchConfig{FailureConfirmations: -2}); err == nil {
+		t.Error("negative confirmations must be rejected")
+	}
+}
+
+func TestRobustSearchNeverExceedsRequest(t *testing.T) {
+	err := quick.Check(func(usedRaw uint8) bool {
+		used := 1 + float64(usedRaw%31)
+		rs, err := NewRobustSearch(RobustSearchConfig{})
+		if err != nil {
+			return false
+		}
+		for _, e := range driveGroup(rs, 32, used, 30) {
+			if units.MemSize(32).Less(e) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRobustSearchBracketIntrospection(t *testing.T) {
+	rs, err := NewRobustSearch(RobustSearchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveGroup(rs, 32, 10, 20)
+	j := job(1, 32, 10)
+	k := keyOf(j)
+	lo, hi, ok := rs.Bracket(k)
+	if !ok {
+		t.Fatal("bracket missing for driven group")
+	}
+	if !rs.Converged(k) {
+		t.Error("20 cycles should converge a 10MB demand")
+	}
+	if hi.Less(10) || lo.MBf() > 10 {
+		t.Errorf("bracket (%v,%v) does not straddle the 10MB demand", lo, hi)
+	}
+	if rs.NumGroups() != 1 {
+		t.Errorf("NumGroups = %d, want 1", rs.NumGroups())
+	}
+}

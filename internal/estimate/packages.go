@@ -1,0 +1,152 @@
+package estimate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PackageSetConfig parameterises the prerequisite-package estimator.
+type PackageSetConfig struct {
+	// Confirmations is how many consecutive failures are needed before a
+	// dropped package is reinstated permanently (guards against the
+	// §2.1 spurious-failure confusion). Default 1.
+	Confirmations int
+}
+
+// psGroup is one similarity group's package state.
+type psGroup struct {
+	// needed is the current belief: packages that must be present.
+	needed map[string]bool
+	// candidates are requested packages not yet proven needed or
+	// droppable, in deterministic order.
+	candidates []string
+	// dropped are packages proven unneeded (a successful run without
+	// them); they are never required again.
+	dropped map[string]bool
+	// trying is the package currently dropped on probation ("" when no
+	// probe is outstanding).
+	trying string
+	// failStreak counts consecutive failures of the current probe.
+	failStreak int
+}
+
+// PackageSet estimates which of a job's requested software prerequisites
+// it actually exercises — the paper's opening example of a resource
+// whose estimate can legitimately be *zero* ("ignore some software
+// packages that are defined as prerequisites"). It is the set-valued
+// analogue of Algorithm 1: per similarity group it drops one requested
+// package at a time; a successful run without the package removes it
+// from the believed-needed set, a failure reinstates it permanently.
+// Dropping one package per probe keeps failures attributable, exactly
+// like the multi-resource coordinate descent.
+//
+// Keys are caller-chosen similarity identifiers (job class names,
+// similarity.Key strings, …).
+type PackageSet struct {
+	cfg    PackageSetConfig
+	groups map[string]*psGroup
+}
+
+// NewPackageSet builds the estimator.
+func NewPackageSet(cfg PackageSetConfig) (*PackageSet, error) {
+	if cfg.Confirmations == 0 {
+		cfg.Confirmations = 1
+	}
+	if cfg.Confirmations < 1 {
+		return nil, fmt.Errorf("estimate: package-set confirmations must be ≥ 1, got %d",
+			cfg.Confirmations)
+	}
+	return &PackageSet{cfg: cfg, groups: make(map[string]*psGroup)}, nil
+}
+
+// Estimate returns the package set to require for the group's next job,
+// given the user-requested set. The returned slice is sorted and owned
+// by the caller.
+func (p *PackageSet) Estimate(key string, requested []string) []string {
+	g := p.groups[key]
+	if g == nil {
+		g = &psGroup{needed: map[string]bool{}, dropped: map[string]bool{}}
+		g.candidates = append(g.candidates, requested...)
+		sort.Strings(g.candidates)
+		p.groups[key] = g
+	}
+	// New packages in the request join the candidate pool.
+	known := map[string]bool{}
+	for _, c := range g.candidates {
+		known[c] = true
+	}
+	for _, r := range requested {
+		if !known[r] && !g.needed[r] && !g.dropped[r] && g.trying != r {
+			g.candidates = append(g.candidates, r)
+			known[r] = true
+		}
+	}
+	sort.Strings(g.candidates)
+
+	// Start a probe if none is outstanding: drop the first candidate.
+	if g.trying == "" && len(g.candidates) > 0 {
+		g.trying = g.candidates[0]
+		g.candidates = g.candidates[1:]
+	}
+
+	out := make([]string, 0, len(g.needed)+len(g.candidates))
+	for pkg := range g.needed {
+		out = append(out, pkg)
+	}
+	out = append(out, g.candidates...)
+	sort.Strings(out)
+	return out
+}
+
+// Feedback reports the probe outcome. Success confirms the currently
+// dropped package was unneeded; failure (after the configured
+// confirmations) reinstates it permanently.
+func (p *PackageSet) Feedback(key string, success bool) error {
+	g := p.groups[key]
+	if g == nil {
+		return fmt.Errorf("estimate: package feedback for unknown group %q", key)
+	}
+	if g.trying == "" {
+		return nil // no probe outstanding (steady state)
+	}
+	if success {
+		// The dropped package was never needed: discard it for good.
+		g.dropped[g.trying] = true
+		g.trying = ""
+		g.failStreak = 0
+		return nil
+	}
+	g.failStreak++
+	if g.failStreak < p.cfg.Confirmations {
+		return nil // retry the same probe
+	}
+	// Confirmed: the package is genuinely needed.
+	g.needed[g.trying] = true
+	g.trying = ""
+	g.failStreak = 0
+	return nil
+}
+
+// Converged reports whether the group has classified every requested
+// package.
+func (p *PackageSet) Converged(key string) bool {
+	g, ok := p.groups[key]
+	return ok && g.trying == "" && len(g.candidates) == 0
+}
+
+// Needed returns the group's confirmed-needed packages (sorted).
+func (p *PackageSet) Needed(key string) []string {
+	g, ok := p.groups[key]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(g.needed))
+	for pkg := range g.needed {
+		out = append(out, pkg)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumGroups returns how many similarity groups the estimator tracks.
+func (p *PackageSet) NumGroups() int { return len(p.groups) }

@@ -1,0 +1,197 @@
+package estimate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// drivePackages replays probes against the estimator: trulyNeeded is the
+// ground-truth package set; each probe succeeds iff it covers it.
+func drivePackages(t *testing.T, p *PackageSet, key string, requested, trulyNeeded []string, cycles int) [][]string {
+	t.Helper()
+	need := map[string]bool{}
+	for _, n := range trulyNeeded {
+		need[n] = true
+	}
+	var probes [][]string
+	for i := 0; i < cycles; i++ {
+		probe := p.Estimate(key, requested)
+		probes = append(probes, probe)
+		have := map[string]bool{}
+		for _, pkg := range probe {
+			have[pkg] = true
+		}
+		success := true
+		for n := range need {
+			if !have[n] {
+				success = false
+			}
+		}
+		if err := p.Feedback(key, success); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return probes
+}
+
+func TestPackageSetConvergesToTrueNeeds(t *testing.T) {
+	p, err := NewPackageSet(PackageSetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requested := []string{"mpich", "blas", "fftw", "hdf", "matlab"}
+	truly := []string{"mpich", "blas"}
+	drivePackages(t, p, "g", requested, truly, 12)
+	if !p.Converged("g") {
+		t.Fatal("should converge within 12 probes for 5 packages")
+	}
+	needed := p.Needed("g")
+	if len(needed) != 2 || needed[0] != "blas" || needed[1] != "mpich" {
+		t.Errorf("needed = %v, want [blas mpich]", needed)
+	}
+	// Steady state: the estimate is exactly the needed set and
+	// re-requested dropped packages stay dropped.
+	final := p.Estimate("g", requested)
+	if len(final) != 2 || final[0] != "blas" || final[1] != "mpich" {
+		t.Errorf("steady-state estimate = %v, want [blas mpich]", final)
+	}
+}
+
+func TestPackageSetAllNeeded(t *testing.T) {
+	p, err := NewPackageSet(PackageSetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requested := []string{"a", "b"}
+	drivePackages(t, p, "g", requested, requested, 8)
+	if got := p.Needed("g"); len(got) != 2 {
+		t.Errorf("needed = %v, want both packages confirmed", got)
+	}
+}
+
+func TestPackageSetNoneNeeded(t *testing.T) {
+	p, err := NewPackageSet(PackageSetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drivePackages(t, p, "g", []string{"a", "b", "c"}, nil, 8)
+	if got := p.Needed("g"); len(got) != 0 {
+		t.Errorf("needed = %v, want none", got)
+	}
+	if final := p.Estimate("g", []string{"a", "b", "c"}); len(final) != 0 {
+		t.Errorf("steady-state estimate = %v, want empty", final)
+	}
+}
+
+func TestPackageSetOneProbeAtATime(t *testing.T) {
+	// Attribution: consecutive probes differ from the previous accepted
+	// set by at most one package.
+	p, err := NewPackageSet(PackageSetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requested := []string{"a", "b", "c", "d"}
+	probes := drivePackages(t, p, "g", requested, []string{"b", "d"}, 12)
+	for i, probe := range probes {
+		missing := len(requested) - len(probe)
+		_ = missing
+		if i == 0 {
+			// First probe may only drop one package.
+			if len(probe) < len(requested)-1 {
+				t.Fatalf("first probe dropped %d packages: %v", len(requested)-len(probe), probe)
+			}
+		}
+	}
+}
+
+func TestPackageSetConfirmations(t *testing.T) {
+	p, err := NewPackageSet(PackageSetConfig{Confirmations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requested := []string{"a"}
+	// First probe drops "a"; report one (spurious) failure: the probe
+	// must be retried, not abandoned.
+	first := p.Estimate("g", requested)
+	if len(first) != 0 {
+		t.Fatalf("first probe = %v, want a dropped", first)
+	}
+	if err := p.Feedback("g", false); err != nil {
+		t.Fatal(err)
+	}
+	second := p.Estimate("g", requested)
+	if len(second) != 0 {
+		t.Fatalf("unconfirmed failure abandoned the probe: %v", second)
+	}
+	// A success on retry proves the failure was spurious.
+	if err := p.Feedback("g", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Needed("g"); len(got) != 0 {
+		t.Errorf("needed = %v, want none (spurious failure outvoted)", got)
+	}
+}
+
+func TestPackageSetValidation(t *testing.T) {
+	if _, err := NewPackageSet(PackageSetConfig{Confirmations: -1}); err == nil {
+		t.Error("negative confirmations must be rejected")
+	}
+	p, _ := NewPackageSet(PackageSetConfig{})
+	if err := p.Feedback("unknown", true); err == nil {
+		t.Error("feedback for unknown group must be rejected")
+	}
+}
+
+func TestPackageSetProperty(t *testing.T) {
+	// Property: for any ground-truth subset, the estimator converges to
+	// exactly that subset and never drops a needed package permanently.
+	all := []string{"p0", "p1", "p2", "p3", "p4", "p5"}
+	err := quick.Check(func(mask uint8) bool {
+		var truly []string
+		for i, pkg := range all {
+			if mask&(1<<i) != 0 {
+				truly = append(truly, pkg)
+			}
+		}
+		p, err := NewPackageSet(PackageSetConfig{})
+		if err != nil {
+			return false
+		}
+		need := map[string]bool{}
+		for _, n := range truly {
+			need[n] = true
+		}
+		for i := 0; i < 20; i++ {
+			probe := p.Estimate("g", all)
+			have := map[string]bool{}
+			for _, pkg := range probe {
+				have[pkg] = true
+			}
+			ok := true
+			for n := range need {
+				if !have[n] {
+					ok = false
+				}
+			}
+			if err := p.Feedback("g", ok); err != nil {
+				return false
+			}
+		}
+		if !p.Converged("g") {
+			return false
+		}
+		got := p.Needed("g")
+		if len(got) != len(truly) {
+			return false
+		}
+		for _, n := range got {
+			if !need[n] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 64})
+	if err != nil {
+		t.Error(err)
+	}
+}

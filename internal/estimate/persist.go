@@ -1,0 +1,108 @@
+package estimate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"overprov/internal/similarity"
+	"overprov/internal/units"
+)
+
+// stateVersion guards the persisted format.
+const stateVersion = 1
+
+// persistedState is the on-disk form of a SuccessiveApprox estimator.
+type persistedState struct {
+	Version int              `json:"version"`
+	Kind    string           `json:"kind"`
+	Alpha   float64          `json:"alpha"`
+	Beta    float64          `json:"beta"`
+	Groups  []persistedGroup `json:"groups"`
+}
+
+// persistedGroup is one similarity group's learned state.
+type persistedGroup struct {
+	User     int     `json:"user"`
+	App      int     `json:"app"`
+	ReqMemKB int64   `json:"reqmem_kb"`
+	Estimate float64 `json:"estimate_mb"`
+	LastGood float64 `json:"last_good_mb"`
+	Alpha    float64 `json:"alpha"`
+}
+
+// SaveState serialises the estimator's learned similarity-group state as
+// JSON, so a scheduler restart does not forget months of feedback. Only
+// the state Algorithm 1 actually keeps (Eᵢ, the last safe capacity, αᵢ)
+// is written — the paper stresses this is all the memory the algorithm
+// needs.
+func (s *SuccessiveApprox) SaveState(w io.Writer) error {
+	st := persistedState{
+		Version: stateVersion,
+		Kind:    "successive-approx",
+		Alpha:   s.cfg.Alpha,
+		Beta:    s.cfg.Beta,
+	}
+	keys := make([]similarity.Key, 0, len(s.groups))
+	for k := range s.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		return a.ReqMemKB < b.ReqMemKB
+	})
+	for _, k := range keys {
+		g := s.groups[k]
+		st.Groups = append(st.Groups, persistedGroup{
+			User:     k.User,
+			App:      k.App,
+			ReqMemKB: k.ReqMemKB,
+			Estimate: g.est.MBf(),
+			LastGood: g.lastGood.MBf(),
+			Alpha:    g.alpha,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("estimate: saving state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores group state previously written by SaveState,
+// replacing any in-memory groups with the same key. The estimator's own
+// (α, β) configuration is kept; the file's values are only validated for
+// plausibility.
+func (s *SuccessiveApprox) LoadState(r io.Reader) error {
+	var st persistedState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("estimate: loading state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("estimate: unsupported state version %d", st.Version)
+	}
+	if st.Kind != "successive-approx" {
+		return fmt.Errorf("estimate: state kind %q is not successive-approx", st.Kind)
+	}
+	for i, g := range st.Groups {
+		if g.Estimate < 0 || g.LastGood < 0 || g.Alpha < 1 {
+			return fmt.Errorf("estimate: state group %d has implausible values (est %g, lastGood %g, α %g)",
+				i, g.Estimate, g.LastGood, g.Alpha)
+		}
+		k := similarity.Key{User: g.User, App: g.App, ReqMemKB: g.ReqMemKB}
+		s.groups[k] = &saGroup{
+			est:      units.MemSize(g.Estimate),
+			lastGood: units.MemSize(g.LastGood),
+			alpha:    g.Alpha,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package estimate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learn two groups to different depths.
+	driveGroup(sa, 32, 5, 4)
+	j := job(100, 16, 7)
+	j.User = 9
+	e := sa.Estimate(j)
+	sa.Feedback(Outcome{Job: j, Allocated: e, Success: true})
+
+	var buf bytes.Buffer
+	if err := sa.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumGroups() != sa.NumGroups() {
+		t.Fatalf("groups = %d, want %d", restored.NumGroups(), sa.NumGroups())
+	}
+	// The restored estimator must produce identical estimates.
+	for _, probe := range []int{1, 9} {
+		pj := job(200, 32, 5)
+		if probe == 9 {
+			pj = job(201, 16, 7)
+			pj.User = 9
+		}
+		if a, b := sa.Estimate(pj), restored.Estimate(pj); !a.Eq(b) {
+			t.Errorf("user %d estimate diverged after restore: %v vs %v", probe, a, b)
+		}
+	}
+}
+
+func TestSaveStateDeterministic(t *testing.T) {
+	mk := func() *bytes.Buffer {
+		sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 5; u >= 1; u-- {
+			j := job(u, 32, 8)
+			j.User = u
+			e := sa.Estimate(j)
+			sa.Feedback(Outcome{Job: j, Allocated: e, Success: true})
+		}
+		var buf bytes.Buffer
+		if err := sa.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if a, b := mk(), mk(); a.String() != b.String() {
+		t.Error("identical learning produced different state files")
+	}
+}
+
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	sa, _ := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	cases := []string{
+		"not json",
+		`{"version": 99, "kind": "successive-approx"}`,
+		`{"version": 1, "kind": "something-else"}`,
+		`{"version": 1, "kind": "successive-approx",
+		  "groups": [{"user":1,"app":1,"reqmem_kb":32768,
+		              "estimate_mb":-5,"last_good_mb":8,"alpha":2}]}`,
+		`{"version": 1, "kind": "successive-approx",
+		  "groups": [{"user":1,"app":1,"reqmem_kb":32768,
+		              "estimate_mb":8,"last_good_mb":8,"alpha":0.5}]}`,
+	}
+	for i, c := range cases {
+		if err := sa.LoadState(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage state accepted", i)
+		}
+	}
+}
+
+func TestLoadStateMergesWithLiveGroups(t *testing.T) {
+	donor, _ := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	driveGroup(donor, 32, 5, 3) // user 1's group learned
+	var buf bytes.Buffer
+	if err := donor.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	live, _ := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	other := job(1, 16, 8)
+	other.User = 42
+	e := live.Estimate(other)
+	live.Feedback(Outcome{Job: other, Allocated: e, Success: true})
+
+	if err := live.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if live.NumGroups() != 2 {
+		t.Fatalf("groups after merge = %d, want 2", live.NumGroups())
+	}
+	// The live group's learning must survive the load.
+	if got := live.Estimate(job(2, 16, 8)); got.Eq(16) {
+		// job(2,...) has User 1 — that's the donor group; check user 42.
+		probe := job(3, 16, 8)
+		probe.User = 42
+		if got := live.Estimate(probe); got.Eq(16) {
+			t.Error("live group state lost after LoadState")
+		}
+	}
+}

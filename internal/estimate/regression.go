@@ -1,0 +1,189 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// RegressionConfig parameterises the regression-modelling estimator.
+type RegressionConfig struct {
+	// Warmup is the number of explicit observations required before the
+	// model replaces the user's request; until then every estimate is
+	// the request itself.
+	Warmup int
+	// Margin inflates predictions by the given fraction as a safety
+	// buffer against model error.
+	Margin float64
+	// Ridge is the Tikhonov regularisation weight added to the normal
+	// equations; it keeps the solve well-conditioned while features are
+	// still sparse.
+	Ridge float64
+	// Round optionally maps estimates to existing cluster capacities.
+	Round Rounder
+}
+
+// nRegFeatures is the dimensionality of the regression feature vector.
+const nRegFeatures = 4
+
+// Regression is the Table 1 estimator for explicit feedback without
+// similarity groups (§4): a linear model trained online that maps
+// job-request parameters to actual used capacity. In the paper's
+// example, if all users over-request by 2×, the model learns to divide
+// every request by 2 — the same policy RL finds, reached by a very
+// different route (supervised mapping instead of trial and error).
+//
+// The model is ordinary least squares with ridge regularisation, solved
+// from incrementally accumulated normal equations (XᵀX, Xᵀy), so memory
+// use is O(features²) regardless of trace length.
+type Regression struct {
+	cfg RegressionConfig
+	// xtx and xty accumulate the normal equations.
+	xtx [nRegFeatures][nRegFeatures]float64
+	xty [nRegFeatures]float64
+	n   int
+	// weights is the last solved coefficient vector; resolved lazily.
+	weights [nRegFeatures]float64
+	solved  bool
+}
+
+// NewRegression builds the estimator, filling defaults for zero fields.
+func NewRegression(cfg RegressionConfig) (*Regression, error) {
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 30
+	}
+	if cfg.Warmup < 0 {
+		return nil, fmt.Errorf("estimate: regression warmup must be ≥ 0, got %d", cfg.Warmup)
+	}
+	if cfg.Margin < 0 {
+		return nil, fmt.Errorf("estimate: regression margin must be ≥ 0, got %g", cfg.Margin)
+	}
+	if cfg.Ridge == 0 {
+		cfg.Ridge = 1e-6
+	}
+	if cfg.Ridge < 0 {
+		return nil, fmt.Errorf("estimate: regression ridge must be ≥ 0, got %g", cfg.Ridge)
+	}
+	return &Regression{cfg: cfg}, nil
+}
+
+// Name implements Estimator.
+func (r *Regression) Name() string { return "regression" }
+
+// features maps a job request to the model's input vector. Only
+// request-time information may appear here.
+func features(j *trace.Job) [nRegFeatures]float64 {
+	return [nRegFeatures]float64{
+		1, // intercept
+		j.ReqMem.MBf(),
+		math.Log1p(float64(j.Nodes)),
+		math.Log1p(j.ReqTime.Sec()),
+	}
+}
+
+// Estimate predicts the job's usage from its request parameters, inflated
+// by the safety margin and clamped to the request. Before warmup it
+// returns the request unchanged.
+func (r *Regression) Estimate(j *trace.Job) units.MemSize {
+	if r.n < r.cfg.Warmup {
+		return j.ReqMem
+	}
+	if !r.solved {
+		r.solve()
+	}
+	x := features(j)
+	pred := 0.0
+	for i := 0; i < nRegFeatures; i++ {
+		pred += r.weights[i] * x[i]
+	}
+	pred *= 1 + r.cfg.Margin
+	if pred <= 0 || math.IsNaN(pred) {
+		return j.ReqMem
+	}
+	e := units.MemSize(pred)
+	if r.cfg.Round != nil {
+		if rounded, ok := r.cfg.Round.CeilCapacity(e); ok {
+			e = rounded
+		} else {
+			e = j.ReqMem
+		}
+	}
+	return clampToRequest(e, j)
+}
+
+// Feedback folds an explicit observation into the normal equations.
+// Implicit outcomes carry no usage value and are skipped — this estimator
+// is defined for clusters that report actual consumption.
+func (r *Regression) Feedback(o Outcome) {
+	if !o.Explicit {
+		return
+	}
+	x := features(o.Job)
+	y := o.Used.MBf()
+	for i := 0; i < nRegFeatures; i++ {
+		for k := 0; k < nRegFeatures; k++ {
+			r.xtx[i][k] += x[i] * x[k]
+		}
+		r.xty[i] += x[i] * y
+	}
+	r.n++
+	r.solved = false
+}
+
+// solve computes weights = (XᵀX + ridge·I)⁻¹ Xᵀy by Gaussian elimination
+// with partial pivoting on the 4×4 system.
+func (r *Regression) solve() {
+	var a [nRegFeatures][nRegFeatures + 1]float64
+	for i := 0; i < nRegFeatures; i++ {
+		for k := 0; k < nRegFeatures; k++ {
+			a[i][k] = r.xtx[i][k]
+		}
+		a[i][i] += r.cfg.Ridge
+		a[i][nRegFeatures] = r.xty[i]
+	}
+	for col := 0; col < nRegFeatures; col++ {
+		// Partial pivot.
+		pivot := col
+		for row := col + 1; row < nRegFeatures; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			// Singular column: leave its weight at zero.
+			continue
+		}
+		inv := 1 / a[col][col]
+		for k := col; k <= nRegFeatures; k++ {
+			a[col][k] *= inv
+		}
+		for row := 0; row < nRegFeatures; row++ {
+			if row == col || a[row][col] == 0 {
+				continue
+			}
+			f := a[row][col]
+			for k := col; k <= nRegFeatures; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+		}
+	}
+	for i := 0; i < nRegFeatures; i++ {
+		r.weights[i] = a[i][nRegFeatures]
+	}
+	r.solved = true
+}
+
+// Observations returns the number of explicit samples absorbed so far.
+func (r *Regression) Observations() int { return r.n }
+
+// Weights returns a copy of the current coefficient vector
+// [intercept, reqMem, log1p(nodes), log1p(reqTime)].
+func (r *Regression) Weights() []float64 {
+	if !r.solved && r.n > 0 {
+		r.solve()
+	}
+	return append([]float64(nil), r.weights[:]...)
+}

@@ -1,0 +1,172 @@
+package estimate
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// ReinforcementConfig parameterises the reinforcement-learning estimator.
+type ReinforcementConfig struct {
+	// Factors are the discrete actions: each is a fraction of the
+	// requested capacity the policy may dispatch a job with. Defaults to
+	// {1.0, 0.9, …, 0.1}.
+	Factors []float64
+	// Epsilon is the initial exploration probability; it decays toward
+	// EpsilonMin as experience accumulates.
+	Epsilon float64
+	// EpsilonMin floors the exploration probability so the policy keeps
+	// adapting to workload drift.
+	EpsilonMin float64
+	// EpsilonDecay multiplies Epsilon after every feedback.
+	EpsilonDecay float64
+	// FailurePenalty is the (positive) reward subtracted when a
+	// dispatched job fails; successes earn the saved fraction (1 − f).
+	FailurePenalty float64
+	// Seed drives the exploration randomness deterministically.
+	Seed uint64
+	// Round optionally maps estimates to existing cluster capacities.
+	Round Rounder
+}
+
+// Reinforcement is the Table 1 estimator for implicit feedback without
+// similarity groups: a single global policy learned by trial and error,
+// as sketched in the paper's §4. The policy is an ε-greedy bandit over
+// multiplicative reduction factors: dispatching a job with capacity
+// f·R earns a reward of the saved fraction (1 − f) when the job
+// completes, and a penalty when it fails. With uniformly over-provisioned
+// users (everyone requesting 2× what they use), the policy converges to
+// the paper's example: "it is sufficient to send jobs for execution with
+// only 50 % of their requested resources".
+type Reinforcement struct {
+	cfg ReinforcementConfig
+	rng *rand.Rand
+	// q holds the incremental action-value estimates; counts the number
+	// of pulls per arm.
+	q      []float64
+	counts []int
+	// pending maps dispatched job IDs to the arm they were dispatched
+	// with, because feedback can arrive out of submission order.
+	pending map[int]int
+	epsilon float64
+}
+
+// NewReinforcement builds the estimator, filling defaults for zero
+// fields.
+func NewReinforcement(cfg ReinforcementConfig) (*Reinforcement, error) {
+	if len(cfg.Factors) == 0 {
+		cfg.Factors = []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
+	}
+	for _, f := range cfg.Factors {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("estimate: reinforcement factor %g outside (0,1]", f)
+		}
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.2
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon > 1 {
+		return nil, fmt.Errorf("estimate: epsilon %g outside [0,1]", cfg.Epsilon)
+	}
+	if cfg.EpsilonMin == 0 {
+		cfg.EpsilonMin = 0.02
+	}
+	if cfg.EpsilonDecay == 0 {
+		cfg.EpsilonDecay = 0.9995
+	}
+	if cfg.EpsilonDecay <= 0 || cfg.EpsilonDecay > 1 {
+		return nil, fmt.Errorf("estimate: epsilon decay %g outside (0,1]", cfg.EpsilonDecay)
+	}
+	if cfg.FailurePenalty == 0 {
+		cfg.FailurePenalty = 2.0
+	}
+	if cfg.FailurePenalty < 0 {
+		return nil, fmt.Errorf("estimate: failure penalty must be ≥ 0, got %g", cfg.FailurePenalty)
+	}
+	r := &Reinforcement{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xDA3E39CB94B95BDB)),
+		q:       make([]float64, len(cfg.Factors)),
+		counts:  make([]int, len(cfg.Factors)),
+		pending: make(map[int]int),
+		epsilon: cfg.Epsilon,
+	}
+	// Optimistic initialisation of the conservative arm so the policy
+	// starts from "trust the user" and explores downward, matching the
+	// paper's safety posture.
+	for i, f := range cfg.Factors {
+		if f == 1.0 {
+			r.q[i] = 0.01
+		}
+	}
+	return r, nil
+}
+
+// Name implements Estimator.
+func (r *Reinforcement) Name() string { return "reinforcement" }
+
+// Estimate picks an arm ε-greedily and dispatches the job with that
+// fraction of its requested capacity.
+func (r *Reinforcement) Estimate(j *trace.Job) units.MemSize {
+	arm := r.pickArm()
+	r.pending[j.ID] = arm
+	e := units.MemSize(j.ReqMem.MBf() * r.cfg.Factors[arm])
+	if r.cfg.Round != nil {
+		if rounded, ok := r.cfg.Round.CeilCapacity(e); ok {
+			e = rounded
+		} else {
+			e = j.ReqMem
+		}
+	}
+	return clampToRequest(e, j)
+}
+
+func (r *Reinforcement) pickArm() int {
+	if r.rng.Float64() < r.epsilon {
+		return r.rng.IntN(len(r.q))
+	}
+	best := 0
+	for i := 1; i < len(r.q); i++ {
+		if r.q[i] > r.q[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Feedback rewards the arm the job was dispatched with: the saved
+// capacity fraction on success, minus the failure penalty on failure.
+func (r *Reinforcement) Feedback(o Outcome) {
+	arm, ok := r.pending[o.Job.ID]
+	if !ok {
+		return
+	}
+	delete(r.pending, o.Job.ID)
+	reward := 1 - r.cfg.Factors[arm] // saved fraction
+	if !o.Success {
+		reward -= r.cfg.FailurePenalty
+	}
+	r.counts[arm]++
+	r.q[arm] += (reward - r.q[arm]) / float64(r.counts[arm])
+	r.epsilon *= r.cfg.EpsilonDecay
+	if r.epsilon < r.cfg.EpsilonMin {
+		r.epsilon = r.cfg.EpsilonMin
+	}
+}
+
+// Policy returns the current greedy factor — the fraction of requested
+// capacity the learned global policy would dispatch with.
+func (r *Reinforcement) Policy() float64 {
+	best := 0
+	for i := 1; i < len(r.q); i++ {
+		if r.q[i] > r.q[best] {
+			best = i
+		}
+	}
+	return r.cfg.Factors[best]
+}
+
+// ArmValues exposes a copy of the action-value table for inspection.
+func (r *Reinforcement) ArmValues() []float64 { return append([]float64(nil), r.q...) }

@@ -1,0 +1,187 @@
+package estimate
+
+import (
+	"fmt"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// RobustSearchConfig parameterises the bracketing line-search estimator.
+type RobustSearchConfig struct {
+	// Alpha is the initial downward step factor used while no failure
+	// has been seen (the bracketing phase), exactly as in Algorithm 1.
+	Alpha float64
+	// Tolerance stops the bisection when the bracket's relative width
+	// (hi/lo − 1) falls below it.
+	Tolerance float64
+	// FailureConfirmations is the number of failures that must be
+	// observed at a capacity level before it is accepted as a true lower
+	// bound. Values > 1 make the search robust to the spurious failures
+	// (buggy programs, faulty machines) the paper's §2.1 warns confuse
+	// implicit feedback.
+	FailureConfirmations int
+	// Key derives the similarity group; defaults to the paper's key.
+	Key similarity.KeyFunc
+	// Round optionally maps estimates to existing cluster capacities.
+	Round Rounder
+}
+
+// rsGroup is the per-group search state.
+type rsGroup struct {
+	// lo is the largest capacity confirmed insufficient (0 until a
+	// failure is confirmed); hi is the smallest capacity known
+	// sufficient.
+	lo, hi units.MemSize
+	// est is the capacity to try next.
+	est units.MemSize
+	// alpha is the bracketing-phase step.
+	alpha float64
+	// failStreak counts consecutive failures at the current estimate.
+	failStreak int
+	// converged freezes the group at hi once the bracket is tight.
+	converged bool
+}
+
+// RobustSearch is the paper's §2.3 suggested extension of Algorithm 1: a
+// robust line search (after Anderson & Ferris) over the capacity axis.
+// Algorithm 1 with β = 0 freezes at the last power-of-α step above the
+// true demand, which can waste up to a factor of α; RobustSearch instead
+// keeps a bracket [insufficient, sufficient] and bisects it, converging
+// to the true demand within Tolerance. Requiring multiple failure
+// confirmations makes it tolerant of the spurious failures that mislead
+// plain implicit feedback.
+type RobustSearch struct {
+	cfg    RobustSearchConfig
+	groups map[similarity.Key]*rsGroup
+}
+
+// NewRobustSearch builds the estimator, filling defaults for zero fields.
+func NewRobustSearch(cfg RobustSearchConfig) (*RobustSearch, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2
+	}
+	if cfg.Alpha <= 1 {
+		return nil, fmt.Errorf("estimate: robust search needs α > 1, got %g", cfg.Alpha)
+	}
+	if cfg.Tolerance == 0 {
+		cfg.Tolerance = 0.1
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, fmt.Errorf("estimate: robust search tolerance must be > 0, got %g", cfg.Tolerance)
+	}
+	if cfg.FailureConfirmations == 0 {
+		cfg.FailureConfirmations = 1
+	}
+	if cfg.FailureConfirmations < 1 {
+		return nil, fmt.Errorf("estimate: robust search needs ≥ 1 failure confirmation, got %d",
+			cfg.FailureConfirmations)
+	}
+	if cfg.Key == nil {
+		cfg.Key = similarity.ByUserAppReqMem
+	}
+	return &RobustSearch{cfg: cfg, groups: make(map[similarity.Key]*rsGroup)}, nil
+}
+
+// Name implements Estimator.
+func (r *RobustSearch) Name() string {
+	return fmt.Sprintf("robust-search(α=%g,tol=%g,confirm=%d)",
+		r.cfg.Alpha, r.cfg.Tolerance, r.cfg.FailureConfirmations)
+}
+
+// Estimate returns the group's next probe capacity.
+func (r *RobustSearch) Estimate(j *trace.Job) units.MemSize {
+	g := r.group(j)
+	e := g.est
+	if r.cfg.Round != nil {
+		if rounded, ok := r.cfg.Round.CeilCapacity(e); ok {
+			e = rounded
+		} else {
+			e = j.ReqMem
+		}
+	}
+	return clampToRequest(e, j)
+}
+
+func (r *RobustSearch) group(j *trace.Job) *rsGroup {
+	k := r.cfg.Key(j)
+	g := r.groups[k]
+	if g == nil {
+		g = &rsGroup{hi: j.ReqMem, est: j.ReqMem, alpha: r.cfg.Alpha}
+		r.groups[k] = g
+	}
+	return g
+}
+
+// Feedback advances the line search.
+func (r *RobustSearch) Feedback(o Outcome) {
+	g := r.group(o.Job)
+	if g.converged {
+		// A failure after convergence (workload drift or a spurious
+		// event) reopens the search from the known-safe capacity.
+		if !o.Success {
+			g.failStreak++
+			if g.failStreak >= r.cfg.FailureConfirmations {
+				g.hi = o.Job.ReqMem
+				g.est = g.hi
+				g.lo = 0
+				g.converged = false
+				g.failStreak = 0
+			}
+		} else {
+			g.failStreak = 0
+		}
+		return
+	}
+	if o.Success {
+		g.failStreak = 0
+		if o.Allocated < g.hi {
+			g.hi = o.Allocated
+		}
+		g.est = r.nextProbe(g)
+		return
+	}
+	g.failStreak++
+	if g.failStreak < r.cfg.FailureConfirmations {
+		return // not yet confirmed; retry the same level
+	}
+	g.failStreak = 0
+	if o.Allocated > g.lo {
+		g.lo = o.Allocated
+	}
+	g.est = r.nextProbe(g)
+}
+
+// nextProbe picks the next capacity to try: a geometric step down while
+// no lower bound exists, then the bracket midpoint, freezing at hi when
+// the bracket is tight.
+func (r *RobustSearch) nextProbe(g *rsGroup) units.MemSize {
+	if g.lo.IsZero() {
+		return g.hi.Div(g.alpha)
+	}
+	if g.hi.MBf()/g.lo.MBf()-1 <= r.cfg.Tolerance {
+		g.converged = true
+		return g.hi
+	}
+	mid := (g.lo.MBf() + g.hi.MBf()) / 2
+	return units.MemSize(mid)
+}
+
+// Converged reports whether the job's group has finished its search.
+func (r *RobustSearch) Converged(k similarity.Key) bool {
+	g, ok := r.groups[k]
+	return ok && g.converged
+}
+
+// Bracket exposes a group's current (insufficient, sufficient) bounds.
+func (r *RobustSearch) Bracket(k similarity.Key) (lo, hi units.MemSize, ok bool) {
+	g, found := r.groups[k]
+	if !found {
+		return 0, 0, false
+	}
+	return g.lo, g.hi, true
+}
+
+// NumGroups returns how many similarity groups the estimator tracks.
+func (r *RobustSearch) NumGroups() int { return len(r.groups) }

@@ -1,0 +1,139 @@
+package estimate
+
+import (
+	"fmt"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// RuntimeEstimator predicts job runtimes for the scheduler's reservation
+// arithmetic. The paper's related work singles out Tsafrir, Etsion &
+// Feitelson's "Backfilling using runtime predictions rather than user
+// estimates" as "very similar in spirit" to its own over-provisioning
+// correction: users also over-estimate *runtimes* (batch limits), and
+// backfilling quality depends on those estimates. This interface lets
+// the simulator swap the user's ReqTime for a learned prediction.
+type RuntimeEstimator interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// EstimateRuntime predicts the job's runtime; used for reservation
+	// and backfill decisions only — never for killing jobs.
+	EstimateRuntime(j *trace.Job) units.Seconds
+	// FeedbackRuntime reports a completed execution's actual runtime.
+	FeedbackRuntime(j *trace.Job, actual units.Seconds)
+}
+
+// UserRuntime is the baseline: trust the user's requested time.
+type UserRuntime struct{}
+
+// Name implements RuntimeEstimator.
+func (UserRuntime) Name() string { return "user-estimate" }
+
+// EstimateRuntime returns the user's ReqTime.
+func (UserRuntime) EstimateRuntime(j *trace.Job) units.Seconds { return j.ReqTime }
+
+// FeedbackRuntime is a no-op.
+func (UserRuntime) FeedbackRuntime(*trace.Job, units.Seconds) {}
+
+// TsafrirRuntimeConfig parameterises the learned runtime predictor.
+type TsafrirRuntimeConfig struct {
+	// Window is how many recent runtimes per similarity group are
+	// averaged; Tsafrir et al. found the last two sufficient. Default 2.
+	Window int
+	// Margin inflates the prediction as a safety buffer (backfilling
+	// under-predictions delay reserved jobs). Default 0 (use the raw
+	// window average).
+	Margin float64
+	// Key derives the similarity group; defaults to the paper's
+	// (user, app, reqmem) key — runtime similarity follows the same
+	// repeated-submission structure as memory similarity.
+	Key similarity.KeyFunc
+}
+
+// rtGroup is one group's recent-runtime ring.
+type rtGroup struct {
+	recent []units.Seconds
+	next   int
+	filled bool
+}
+
+// TsafrirRuntime predicts each job's runtime as the (margin-inflated)
+// average of its similarity group's recent actual runtimes, falling back
+// to the user's estimate for first-sight groups. Predictions are capped
+// at the user's ReqTime: the batch limit remains an upper bound.
+type TsafrirRuntime struct {
+	cfg    TsafrirRuntimeConfig
+	groups map[similarity.Key]*rtGroup
+}
+
+// NewTsafrirRuntime builds the predictor, filling defaults.
+func NewTsafrirRuntime(cfg TsafrirRuntimeConfig) (*TsafrirRuntime, error) {
+	if cfg.Window == 0 {
+		cfg.Window = 2
+	}
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("estimate: runtime window must be ≥ 1, got %d", cfg.Window)
+	}
+	if cfg.Margin < 0 {
+		return nil, fmt.Errorf("estimate: runtime margin must be ≥ 0, got %g", cfg.Margin)
+	}
+	if cfg.Key == nil {
+		cfg.Key = similarity.ByUserAppReqMem
+	}
+	return &TsafrirRuntime{cfg: cfg, groups: make(map[similarity.Key]*rtGroup)}, nil
+}
+
+// Name implements RuntimeEstimator.
+func (t *TsafrirRuntime) Name() string {
+	return fmt.Sprintf("tsafrir-runtime(window=%d)", t.cfg.Window)
+}
+
+// EstimateRuntime returns the group's recent-average runtime (inflated
+// by the margin), clamped to the user's ReqTime; first-sight groups use
+// the user's estimate.
+func (t *TsafrirRuntime) EstimateRuntime(j *trace.Job) units.Seconds {
+	g, ok := t.groups[t.cfg.Key(j)]
+	if !ok || (!g.filled && g.next == 0) {
+		return j.ReqTime
+	}
+	n := len(g.recent)
+	if !g.filled {
+		n = g.next
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.recent[i].Sec()
+	}
+	pred := units.Seconds(sum / float64(n) * (1 + t.cfg.Margin))
+	if j.ReqTime > 0 && pred > j.ReqTime {
+		return j.ReqTime
+	}
+	if pred <= 0 {
+		return j.ReqTime
+	}
+	return pred
+}
+
+// FeedbackRuntime records an actual runtime in the group's ring.
+func (t *TsafrirRuntime) FeedbackRuntime(j *trace.Job, actual units.Seconds) {
+	if actual <= 0 {
+		return
+	}
+	k := t.cfg.Key(j)
+	g := t.groups[k]
+	if g == nil {
+		g = &rtGroup{recent: make([]units.Seconds, t.cfg.Window)}
+		t.groups[k] = g
+	}
+	g.recent[g.next] = actual
+	g.next++
+	if g.next == len(g.recent) {
+		g.next = 0
+		g.filled = true
+	}
+}
+
+// NumGroups reports how many similarity groups have runtime history.
+func (t *TsafrirRuntime) NumGroups() int { return len(t.groups) }

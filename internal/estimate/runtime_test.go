@@ -1,0 +1,98 @@
+package estimate
+
+import (
+	"testing"
+
+	"overprov/internal/units"
+)
+
+func TestUserRuntime(t *testing.T) {
+	var u UserRuntime
+	j := job(1, 32, 8)
+	j.ReqTime = 500
+	if got := u.EstimateRuntime(j); got != 500 {
+		t.Errorf("user runtime = %v, want the ReqTime", got)
+	}
+	u.FeedbackRuntime(j, 100) // must be a no-op
+	if got := u.EstimateRuntime(j); got != 500 {
+		t.Errorf("user runtime changed after feedback: %v", got)
+	}
+}
+
+func TestTsafrirRuntimeLearnsWindowAverage(t *testing.T) {
+	tr, err := NewTsafrirRuntime(TsafrirRuntimeConfig{Window: 2, Margin: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 8)
+	j.ReqTime = 1000
+	// First sight: the user's estimate.
+	if got := tr.EstimateRuntime(j); got != 1000 {
+		t.Fatalf("first-sight runtime = %v, want 1000", got)
+	}
+	tr.FeedbackRuntime(j, 100)
+	if got := tr.EstimateRuntime(j); got != 100 {
+		t.Errorf("after one sample = %v, want 100", got)
+	}
+	tr.FeedbackRuntime(j, 300)
+	if got := tr.EstimateRuntime(j); got != 200 {
+		t.Errorf("after two samples = %v, want their mean 200", got)
+	}
+	// The window slides: a third sample evicts the first.
+	tr.FeedbackRuntime(j, 500)
+	if got := tr.EstimateRuntime(j); got != 400 {
+		t.Errorf("after window slide = %v, want mean(300,500)=400", got)
+	}
+	if tr.NumGroups() != 1 {
+		t.Errorf("groups = %d", tr.NumGroups())
+	}
+}
+
+func TestTsafrirRuntimeMarginAndCap(t *testing.T) {
+	tr, err := NewTsafrirRuntime(TsafrirRuntimeConfig{Window: 1, Margin: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 8)
+	j.ReqTime = 120
+	tr.FeedbackRuntime(j, 100)
+	// 100 × 1.5 = 150, capped at the 120 batch limit.
+	if got := tr.EstimateRuntime(j); got != 120 {
+		t.Errorf("capped prediction = %v, want the 120 ReqTime", got)
+	}
+	j.ReqTime = 1000
+	if got := tr.EstimateRuntime(j); got != 150 {
+		t.Errorf("prediction = %v, want 150 (100 × 1.5)", got)
+	}
+}
+
+func TestTsafrirRuntimeGroupsAreIndependent(t *testing.T) {
+	tr, err := NewTsafrirRuntime(TsafrirRuntimeConfig{Margin: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := job(1, 32, 8)
+	a.ReqTime = 1000
+	b := job(2, 32, 8)
+	b.User = 2
+	b.ReqTime = 1000
+	tr.FeedbackRuntime(a, 50)
+	if got := tr.EstimateRuntime(b); got != 1000 {
+		t.Errorf("unrelated group inherited a prediction: %v", got)
+	}
+}
+
+func TestTsafrirRuntimeValidation(t *testing.T) {
+	if _, err := NewTsafrirRuntime(TsafrirRuntimeConfig{Window: -1}); err == nil {
+		t.Error("negative window must be rejected")
+	}
+	if _, err := NewTsafrirRuntime(TsafrirRuntimeConfig{Margin: -1}); err == nil {
+		t.Error("negative margin must be rejected")
+	}
+	tr, _ := NewTsafrirRuntime(TsafrirRuntimeConfig{})
+	j := job(1, 32, 8)
+	tr.FeedbackRuntime(j, units.Seconds(0)) // ignored
+	if tr.NumGroups() != 0 {
+		t.Error("zero runtime should not create history")
+	}
+}

@@ -1,0 +1,184 @@
+package estimate
+
+import (
+	"fmt"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// SuccessiveApproxConfig parameterises Algorithm 1.
+type SuccessiveApproxConfig struct {
+	// Alpha is the initial learning rate α > 1: every success divides
+	// the group's estimate by α. The paper's simulations use α = 2.
+	Alpha float64
+	// Beta ∈ [0, 1) damps α after a failure: αᵢ ← 1 + β·(αᵢ − 1), never
+	// below 1. β = 0 (the paper's setting) freezes the estimate at the
+	// last known-safe value after the first failure; β close to 1 keeps
+	// probing with finer steps at the cost of more failures.
+	Beta float64
+	// Key derives the similarity group of a job. Defaults to the paper's
+	// (user, application, requested memory) key.
+	Key similarity.KeyFunc
+	// Round maps raw estimates to existing cluster capacities
+	// (Algorithm 1 line 6). When nil, estimates are used unrounded.
+	Round Rounder
+}
+
+// Validate reports the first invalid parameter.
+func (c *SuccessiveApproxConfig) Validate() error {
+	if c.Alpha <= 1 {
+		return fmt.Errorf("estimate: successive approximation needs α > 1, got %g", c.Alpha)
+	}
+	if c.Beta < 0 || c.Beta >= 1 {
+		return fmt.Errorf("estimate: successive approximation needs 0 ≤ β < 1, got %g", c.Beta)
+	}
+	return nil
+}
+
+// saGroup is the per-similarity-group state of Algorithm 1. As the paper
+// notes, the algorithm is extremely memory-efficient: it keeps only the
+// current estimate, the last known-safe capacity, and the learning rate.
+type saGroup struct {
+	// est is Eᵢ, the current raw estimate.
+	est units.MemSize
+	// lastGood is the most recent allocated capacity the group completed
+	// successfully with; failures restore the estimate to it
+	// (Algorithm 1 line 11).
+	lastGood units.MemSize
+	// alpha is αᵢ, the group's current learning rate.
+	alpha float64
+	// trajectory records every allocated capacity, enabling the Figure 7
+	// plot; only filled when tracing is enabled.
+	trajectory []units.MemSize
+}
+
+// SuccessiveApprox is Algorithm 1: the paper's successive-approximation
+// estimator for implicit feedback with similarity groups. Per group it
+// walks the estimate down from the requested capacity by a factor α on
+// every success, and on a failure restores the last safe capacity and
+// damps α by β.
+type SuccessiveApprox struct {
+	cfg    SuccessiveApproxConfig
+	groups map[similarity.Key]*saGroup
+	traced map[similarity.Key]bool
+}
+
+// NewSuccessiveApprox builds the estimator. A zero Alpha selects the
+// paper's α = 2; Beta defaults to the paper's β = 0; a nil Key selects
+// the paper's similarity key.
+func NewSuccessiveApprox(cfg SuccessiveApproxConfig) (*SuccessiveApprox, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2
+	}
+	if cfg.Key == nil {
+		cfg.Key = similarity.ByUserAppReqMem
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SuccessiveApprox{
+		cfg:    cfg,
+		groups: make(map[similarity.Key]*saGroup),
+		traced: make(map[similarity.Key]bool),
+	}, nil
+}
+
+// Name implements Estimator.
+func (s *SuccessiveApprox) Name() string {
+	return fmt.Sprintf("successive-approx(α=%g,β=%g)", s.cfg.Alpha, s.cfg.Beta)
+}
+
+// Estimate implements Algorithm 1 lines 2–7: look up (or create) the
+// job's similarity group and return the group's estimate rounded up to a
+// real machine capacity.
+func (s *SuccessiveApprox) Estimate(j *trace.Job) units.MemSize {
+	g := s.group(j)
+	e := g.est
+	if s.cfg.Round != nil {
+		if rounded, ok := s.cfg.Round.CeilCapacity(e); ok {
+			e = rounded
+		} else {
+			// No machine is large enough for the raw estimate; fall back
+			// to the user's request so the job queues for the biggest
+			// machines rather than being mis-matched.
+			e = j.ReqMem
+		}
+	}
+	return clampToRequest(e, j)
+}
+
+func (s *SuccessiveApprox) group(j *trace.Job) *saGroup {
+	k := s.cfg.Key(j)
+	g := s.groups[k]
+	if g == nil {
+		// Algorithm 1 line 4: initialise Eᵢ ← R, αᵢ ← α.
+		g = &saGroup{est: j.ReqMem, lastGood: j.ReqMem, alpha: s.cfg.Alpha}
+		s.groups[k] = g
+	}
+	return g
+}
+
+// Feedback implements Algorithm 1 lines 8–13.
+func (s *SuccessiveApprox) Feedback(o Outcome) {
+	g := s.group(o.Job)
+	if s.traced[s.cfg.Key(o.Job)] {
+		// One trajectory entry per executed dispatch — the estimation
+		// cycles plotted in Figure 7.
+		g.trajectory = append(g.trajectory, o.Allocated)
+	}
+	if o.Success {
+		// Line 9: Eᵢ ← E′/αᵢ. The allocated capacity is now known-safe.
+		g.lastGood = o.Allocated
+		g.est = o.Allocated.Div(g.alpha)
+		return
+	}
+	// Lines 11–13: restore the estimate to the last safe value and damp
+	// the learning rate, taking care never to drop αᵢ below one (an
+	// αᵢ < 1 would make line 9 increase the estimate).
+	g.est = g.lastGood
+	g.alpha = 1 + s.cfg.Beta*(g.alpha-1)
+	if g.alpha < 1 {
+		g.alpha = 1
+	}
+}
+
+// GroupEstimate exposes a group's current raw estimate for inspection;
+// ok is false when the group has never been seen.
+func (s *SuccessiveApprox) GroupEstimate(k similarity.Key) (units.MemSize, bool) {
+	g, ok := s.groups[k]
+	if !ok {
+		return 0, false
+	}
+	return g.est, true
+}
+
+// GroupAlpha exposes a group's current learning rate.
+func (s *SuccessiveApprox) GroupAlpha(k similarity.Key) (float64, bool) {
+	g, ok := s.groups[k]
+	if !ok {
+		return 0, false
+	}
+	return g.alpha, true
+}
+
+// TraceGroup enables trajectory recording for the given similarity group
+// (the data series of Figure 7). It must be called before the group's
+// jobs execute; each feedback event appends the capacity the job ran
+// with.
+func (s *SuccessiveApprox) TraceGroup(k similarity.Key) { s.traced[k] = true }
+
+// Trajectory returns the allocated-capacity sequence recorded for a
+// traced group.
+func (s *SuccessiveApprox) Trajectory(k similarity.Key) []units.MemSize {
+	g, ok := s.groups[k]
+	if !ok {
+		return nil
+	}
+	return append([]units.MemSize(nil), g.trajectory...)
+}
+
+// NumGroups returns how many similarity groups the estimator has state
+// for.
+func (s *SuccessiveApprox) NumGroups() int { return len(s.groups) }

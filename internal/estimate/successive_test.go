@@ -1,0 +1,363 @@
+package estimate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+func job(id int, req, used float64) *trace.Job {
+	return &trace.Job{
+		ID: id, Nodes: 32, Runtime: 100, ReqTime: 200,
+		ReqMem: units.MemSize(req), UsedMem: units.MemSize(used),
+		User: 1, App: 1, Status: trace.StatusCompleted,
+	}
+}
+
+// fixedRounder rounds up to a fixed capacity ladder.
+func fixedRounder(caps ...units.MemSize) Rounder {
+	return RounderFunc(func(m units.MemSize) (units.MemSize, bool) { return m.CeilTo(caps) })
+}
+
+// driveGroup replays one similarity group against the estimator: each
+// cycle estimates, decides success by comparing with actual usage, and
+// feeds the outcome back. It returns the allocated-capacity sequence.
+func driveGroup(e Estimator, req, used float64, cycles int) []units.MemSize {
+	var seq []units.MemSize
+	for i := 0; i < cycles; i++ {
+		j := job(i+1, req, used)
+		est := e.Estimate(j)
+		seq = append(seq, est)
+		e.Feedback(Outcome{
+			Job:       j,
+			Allocated: est,
+			Success:   j.UsedMem.Fits(est),
+		})
+	}
+	return seq
+}
+
+func TestSuccessiveApproxConfig(t *testing.T) {
+	if _, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 1}); err == nil {
+		t.Error("α = 1 must be rejected")
+	}
+	if _, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2, Beta: 1}); err == nil {
+		t.Error("β = 1 must be rejected")
+	}
+	if _, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2, Beta: -0.1}); err == nil {
+		t.Error("negative β must be rejected")
+	}
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{})
+	if err != nil {
+		t.Fatalf("zero config should default to the paper's α=2, β=0: %v", err)
+	}
+	if sa.Name() != "successive-approx(α=2,β=0)" {
+		t.Errorf("Name = %q", sa.Name())
+	}
+}
+
+// TestPaperFigure7Trajectory reproduces the paper's Figure 7 walk:
+// request 32 MB, actual ≈ 5.2 MB, machines {32,24,16,8,4}: the estimate
+// halves 32 → 16 → 8, the 4 MB probe fails, and the estimate settles at
+// 8 MB — a four-fold saving.
+func TestPaperFigure7Trajectory(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{
+		Alpha: 2, Beta: 0,
+		Round: fixedRounder(4, 8, 16, 24, 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := driveGroup(sa, 32, 5.2, 7)
+	want := []units.MemSize{32, 16, 8, 4, 8, 8, 8}
+	if len(seq) != len(want) {
+		t.Fatalf("trajectory %v, want %v", seq, want)
+	}
+	for i := range want {
+		if !seq[i].Eq(want[i]) {
+			t.Fatalf("cycle %d: allocated %v, want %v (full: %v)", i, seq[i], want[i], seq)
+		}
+	}
+}
+
+// TestPaperAlphaTooLowExample reproduces §2.3's first worked example:
+// request 32 MB, actual 4 MB, machines {32,24,4}, α=2, β=0. The walk is
+// 32 → 24 (estimate 16 rounded up) → stuck: the next step (12 → rounds
+// to 24) can never reach the 4 MB machines.
+func TestPaperAlphaTooLowExample(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{
+		Alpha: 2, Beta: 0,
+		Round: fixedRounder(4, 24, 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := driveGroup(sa, 32, 4, 6)
+	want := []units.MemSize{32, 24, 24, 24, 24, 24}
+	for i := range want {
+		if !seq[i].Eq(want[i]) {
+			t.Fatalf("cycle %d: allocated %v, want %v (full: %v)", i, seq[i], want[i], seq)
+		}
+	}
+}
+
+// TestPaperAlphaLargeExample reproduces §2.3's α=10 variant: the walk
+// jumps 32 → 4 directly (32/10 = 3.2 rounds up to 4).
+func TestPaperAlphaLargeExample(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{
+		Alpha: 10, Beta: 0,
+		Round: fixedRounder(4, 24, 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := driveGroup(sa, 32, 4, 3)
+	want := []units.MemSize{32, 4, 4}
+	for i := range want {
+		if !seq[i].Eq(want[i]) {
+			t.Fatalf("cycle %d: allocated %v, want %v (full: %v)", i, seq[i], want[i], seq)
+		}
+	}
+}
+
+// TestPaperAlphaLargeOvershoot is §2.3's caveat for α=10 when the actual
+// usage is 5 MB instead of 4: the 4 MB probe fails and the estimate
+// reverts to 32 MB, not 24 MB.
+func TestPaperAlphaLargeOvershoot(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{
+		Alpha: 10, Beta: 0,
+		Round: fixedRounder(4, 24, 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := driveGroup(sa, 32, 5, 4)
+	want := []units.MemSize{32, 4, 32, 32}
+	for i := range want {
+		if !seq[i].Eq(want[i]) {
+			t.Fatalf("cycle %d: allocated %v, want %v (full: %v)", i, seq[i], want[i], seq)
+		}
+	}
+}
+
+// TestBetaKeepsProbing: with β > 0 the learning rate is damped, not
+// zeroed, so after a failure the group keeps refining with finer steps.
+func TestBetaKeepsProbing(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2, Beta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No rounding: raw walk. Request 32, actual 11.
+	seq := driveGroup(sa, 32, 11, 10)
+	// 32 ✓ → 16 ✓ → 8 ✗ (α 2→1.5, restore 16) → 16 ✓ → 16/1.5=10.67 ✗
+	// (α→1.25, restore 16) → 16 ✓ → 12.8 ✓ → 10.24 ✗ …
+	if !seq[0].Eq(32) || !seq[1].Eq(16) || !seq[2].Eq(8) || !seq[3].Eq(16) {
+		t.Fatalf("unexpected prefix: %v", seq)
+	}
+	// Every post-failure estimate must be the restored last-good value.
+	for i := 1; i < len(seq); i++ {
+		if seq[i-1].Less(11) && !seq[i].Eq(seqLastGood(seq[:i], 11)) {
+			t.Fatalf("cycle %d did not restore last good: %v", i, seq)
+		}
+	}
+	// The final estimate must be a sufficient capacity strictly below
+	// the 16 MB plateau α=2/β=0 would freeze at.
+	last := seq[len(seq)-1]
+	if last.Less(11) || !last.Less(16) {
+		t.Errorf("β=0.5 should refine below 16MB but stay ≥ 11MB, got %v (%v)", last, seq)
+	}
+}
+
+// seqLastGood returns the last capacity in seq that is ≥ used.
+func seqLastGood(seq []units.MemSize, used units.MemSize) units.MemSize {
+	for i := len(seq) - 1; i >= 0; i-- {
+		if used.Fits(seq[i]) {
+			return seq[i]
+		}
+	}
+	return 0
+}
+
+func TestEstimateNeverExceedsRequest(t *testing.T) {
+	err := quick.Check(func(reqRaw, usedRaw uint8, alphaRaw uint8) bool {
+		req := float64(reqRaw%64) + 1
+		used := float64(usedRaw)
+		if used > req {
+			used = req
+		}
+		if used == 0 {
+			used = 0.5
+		}
+		alpha := 1.1 + float64(alphaRaw)/32
+		sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: alpha})
+		if err != nil {
+			return false
+		}
+		for _, e := range driveGroup(sa, req, used, 12) {
+			if units.MemSize(req).Less(e) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRestoreInvariantProperty: for any α>1, β∈[0,1), an execution that
+// failed is always followed by a sufficient estimate — the restore of
+// Algorithm 1 line 11 guarantees a failed job's immediate retry runs at
+// the last known-safe capacity. (With β>0 later probes may fail again;
+// the paper notes β trades repeated failures for finer estimates.)
+func TestRestoreInvariantProperty(t *testing.T) {
+	err := quick.Check(func(alphaRaw, betaRaw, usedRaw uint8) bool {
+		alpha := 1.2 + 8*float64(alphaRaw)/255
+		beta := 0.9 * float64(betaRaw) / 255
+		used := units.MemSize(1 + 30*float64(usedRaw)/255)
+		sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: alpha, Beta: beta})
+		if err != nil {
+			return false
+		}
+		seq := driveGroup(sa, 32, used.MBf(), 120)
+		for i := 1; i < len(seq); i++ {
+			if seq[i-1].Less(used) && seq[i].Less(used) {
+				return false // failure not followed by a safe estimate
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 80})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBetaZeroSingleFailure: with the paper's β=0, an unrounded group
+// fails at most once, ever — after the first failure the estimate
+// freezes at the last safe value. This is the mechanism behind the
+// paper's "at most 0.01 % of job executions resulted in failure".
+func TestBetaZeroSingleFailure(t *testing.T) {
+	err := quick.Check(func(alphaRaw, usedRaw uint8) bool {
+		alpha := 1.2 + 8*float64(alphaRaw)/255
+		used := units.MemSize(1 + 30*float64(usedRaw)/255)
+		sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: alpha, Beta: 0})
+		if err != nil {
+			return false
+		}
+		seq := driveGroup(sa, 32, used.MBf(), 150)
+		failures := 0
+		for _, e := range seq {
+			if e.Less(used) {
+				failures++
+			}
+		}
+		if failures > 1 {
+			return false
+		}
+		// After settling, the estimate is constant and sufficient.
+		last := seq[len(seq)-1]
+		return !last.Less(used) && seq[len(seq)-2].Eq(last)
+	}, &quick.Config{MaxCount: 80})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeparateGroupsIndependent(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := job(1, 32, 8)
+	b := job(2, 32, 8)
+	b.User = 2 // different similarity group
+	ea := sa.Estimate(a)
+	sa.Feedback(Outcome{Job: a, Allocated: ea, Success: true})
+	// Group A learned; group B must still start from its request.
+	if got := sa.Estimate(b); !got.Eq(32) {
+		t.Errorf("fresh group estimate = %v, want the request (32MB)", got)
+	}
+	if got := sa.Estimate(a); !got.Eq(16) {
+		t.Errorf("learned group estimate = %v, want 16MB", got)
+	}
+	if sa.NumGroups() != 2 {
+		t.Errorf("NumGroups = %d, want 2", sa.NumGroups())
+	}
+}
+
+func TestGroupIntrospection(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 8)
+	k := similarity.ByUserAppReqMem(j)
+	if _, ok := sa.GroupEstimate(k); ok {
+		t.Error("unseen group should not report an estimate")
+	}
+	e := sa.Estimate(j)
+	sa.Feedback(Outcome{Job: j, Allocated: e, Success: true})
+	got, ok := sa.GroupEstimate(k)
+	if !ok || !got.Eq(16) {
+		t.Errorf("GroupEstimate = (%v,%v), want (16MB,true)", got, ok)
+	}
+	a, ok := sa.GroupAlpha(k)
+	if !ok || a != 2 {
+		t.Errorf("GroupAlpha = (%v,%v), want (2,true)", a, ok)
+	}
+}
+
+func TestTrajectoryRecording(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 8)
+	k := similarity.ByUserAppReqMem(j)
+	sa.TraceGroup(k)
+	driveGroup(sa, 32, 8, 3)
+	traj := sa.Trajectory(k)
+	if len(traj) != 3 {
+		t.Fatalf("trajectory length = %d, want 3", len(traj))
+	}
+	if sa.Trajectory(similarity.Key{User: 99}) != nil {
+		t.Error("unknown group should have nil trajectory")
+	}
+}
+
+func TestRoundingFallbackToRequest(t *testing.T) {
+	// When even the raw estimate exceeds every cluster capacity, the
+	// estimator falls back to the request (the job will queue for the
+	// biggest machines, matching classical behaviour).
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{
+		Alpha: 2,
+		Round: fixedRounder(8, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 4)
+	if got := sa.Estimate(j); !got.Eq(32) {
+		t.Errorf("estimate with no big-enough capacity = %v, want the 32MB request", got)
+	}
+}
+
+func TestAlphaNeverBelowOne(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 1.05, Beta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(1, 32, 31)
+	k := similarity.ByUserAppReqMem(j)
+	// Drive failures until α is fully damped.
+	for i := 0; i < 5; i++ {
+		e := sa.Estimate(j)
+		sa.Feedback(Outcome{Job: j, Allocated: e, Success: j.UsedMem.Fits(e)})
+	}
+	if a, _ := sa.GroupAlpha(k); a < 1 {
+		t.Errorf("α = %g dropped below 1; the estimate would start growing", a)
+	}
+}

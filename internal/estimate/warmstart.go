@@ -1,0 +1,71 @@
+package estimate
+
+import (
+	"fmt"
+
+	"overprov/internal/trace"
+)
+
+// Pretrain replays a historical trace's explicit feedback into an
+// estimator — the paper's §2.2 offline "training (customization) phase
+// of the estimator", performed "using traces of explicit feedback from
+// previous job submissions". Each historical job is presented as a
+// successful execution that consumed its recorded usage, so similarity
+// groups open with real history instead of the raw request, and global
+// models (regression, reinforcement) start from a fitted state.
+//
+// Jobs without recorded usage are skipped: they carry no training
+// signal. The returned count is the number of jobs actually replayed.
+func Pretrain(est Estimator, history *trace.Trace) (int, error) {
+	if est == nil {
+		return 0, fmt.Errorf("estimate: Pretrain needs an estimator")
+	}
+	if history == nil {
+		return 0, fmt.Errorf("estimate: Pretrain needs a history trace")
+	}
+	trained := 0
+	for i := range history.Jobs {
+		j := &history.Jobs[i]
+		if j.UsedMem.IsZero() || j.ReqMem.IsZero() {
+			continue
+		}
+		// Drive the estimator's own pipeline so per-group state (RL arm
+		// bookkeeping, group creation) stays consistent: estimate, then
+		// report the historical truth.
+		est.Estimate(j)
+		est.Feedback(Outcome{
+			Job:       j,
+			Allocated: j.UsedMem,
+			Success:   true,
+			Used:      j.UsedMem,
+			Explicit:  true,
+		})
+		trained++
+	}
+	return trained, nil
+}
+
+// SplitTrace divides a trace into a training prefix and an evaluation
+// suffix at the given fraction (0 < frac < 1) of jobs, preserving order.
+// It is the usual protocol for measuring a warm-started estimator: train
+// on the first months of a log, evaluate on the rest.
+func SplitTrace(t *trace.Trace, frac float64) (train, eval *trace.Trace, err error) {
+	if t == nil {
+		return nil, nil, fmt.Errorf("estimate: SplitTrace needs a trace")
+	}
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("estimate: split fraction %g outside (0,1)", frac)
+	}
+	cut := int(float64(t.Len()) * frac)
+	if cut < 1 || cut >= t.Len() {
+		return nil, nil, fmt.Errorf("estimate: split at %g leaves an empty side (%d jobs)", frac, t.Len())
+	}
+	train = t.Head(cut)
+	eval = &trace.Trace{
+		Jobs:     append([]trace.Job(nil), t.Jobs[cut:]...),
+		Header:   append([]string(nil), t.Header...),
+		MaxNodes: t.MaxNodes,
+	}
+	eval.Renumber()
+	return train, eval, nil
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/metrics"
+	"overprov/internal/report"
+	"overprov/internal/sched"
+	"overprov/internal/similarity"
+)
+
+// AlphaBetaRow is one point of the learning-parameter sweep.
+type AlphaBetaRow struct {
+	Alpha, Beta float64
+	Summary     metrics.Summary
+}
+
+// AlphaBetaSweep reruns the fixed-load experiment for every (α, β)
+// combination, reproducing §2.3's qualitative discussion: α too small is
+// too conservative to step below the second pool's capacity; α too large
+// overshoots and reverts to the request; β > 0 keeps probing after
+// failures, trading extra failed executions for finer estimates.
+func AlphaBetaSweep(s Scale, alphas, betas []float64) ([]AlphaBetaRow, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := paperCluster()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Capacities()
+
+	var rows []AlphaBetaRow
+	for _, alpha := range alphas {
+		for _, beta := range betas {
+			sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{
+				Alpha: alpha,
+				Beta:  beta,
+				Round: capacityRounder(caps),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: α=%g β=%g: %w", alpha, beta, err)
+			}
+			sum, _, err := runOne(runSpec{
+				tr: scaled, clf: paperCluster, est: sa, policy: sched.FCFS{}, seed: s.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: α=%g β=%g: %w", alpha, beta, err)
+			}
+			rows = append(rows, AlphaBetaRow{Alpha: alpha, Beta: beta, Summary: sum})
+		}
+	}
+	return rows, nil
+}
+
+// AlphaBetaTable renders the sweep. The "wasted" column is the capacity
+// burned by failed under-provisioned executions (occupancy −
+// utilization) — the quantitative face of the paper's §4 "side-effects
+// of job failures due to under-provisioning".
+func AlphaBetaTable(rows []AlphaBetaRow) *report.Table {
+	t := report.NewTable("Ablation — Algorithm 1 learning parameters",
+		"alpha", "beta", "utilization", "wasted", "slowdown", "fail rate", "lowered")
+	for _, r := range rows {
+		t.AddRow(r.Alpha, r.Beta, r.Summary.Utilization,
+			r.Summary.Occupancy-r.Summary.Utilization, r.Summary.MeanSlowdown,
+			r.Summary.ResourceFailureRate, r.Summary.LoweredJobFraction)
+	}
+	return t
+}
+
+// KeyAblationRow is one similarity-key choice's result.
+type KeyAblationRow struct {
+	KeyName   string
+	NumGroups int
+	Summary   metrics.Summary
+}
+
+// KeyAblation compares similarity-key choices for Algorithm 1: the
+// paper's (user, app, reqmem) key against coarser variants. Coarser keys
+// make bigger groups (more feedback per group) but wider usage ranges
+// (worse estimates) — §2.2's trade-off.
+func KeyAblation(s Scale) ([]KeyAblationRow, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := paperCluster()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Capacities()
+
+	keys := []struct {
+		name string
+		fn   similarity.KeyFunc
+	}{
+		{"user+app+reqmem (paper)", similarity.ByUserAppReqMem},
+		{"user+app", similarity.ByUserApp},
+		{"user", similarity.ByUser},
+	}
+	var rows []KeyAblationRow
+	for _, k := range keys {
+		sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{
+			Alpha: 2,
+			Beta:  0,
+			Key:   k.fn,
+			Round: capacityRounder(caps),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum, _, err := runOne(runSpec{
+			tr: scaled, clf: paperCluster, est: sa, policy: sched.FCFS{}, seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: key %s: %w", k.name, err)
+		}
+		rows = append(rows, KeyAblationRow{KeyName: k.name, NumGroups: sa.NumGroups(), Summary: sum})
+	}
+	return rows, nil
+}
+
+// KeyAblationTable renders the key comparison.
+func KeyAblationTable(rows []KeyAblationRow) *report.Table {
+	t := report.NewTable("Ablation — similarity-key choice",
+		"key", "groups", "utilization", "fail rate", "lowered")
+	for _, r := range rows {
+		t.AddRow(r.KeyName, r.NumGroups, r.Summary.Utilization,
+			r.Summary.ResourceFailureRate, r.Summary.LoweredJobFraction)
+	}
+	return t
+}
+
+// PolicyRow is one scheduling policy's paired baseline/estimation
+// result — the paper's future-work question of whether estimation gains
+// carry over to more aggressive policies.
+type PolicyRow struct {
+	Policy              string
+	Baseline, Estimated metrics.Summary
+}
+
+// PolicyComparison reruns the fixed-load experiment under FCFS, EASY
+// backfilling, and SJF, each with and without estimation.
+func PolicyComparison(s Scale) ([]PolicyRow, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := paperCluster()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Capacities()
+
+	// Conservative backfilling re-plans every reservation each round;
+	// windowing it is standard practice and keeps the comparison fast.
+	policies := []sched.Policy{sched.FCFS{}, sched.EASY{}, sched.Conservative{Window: 64}, sched.SJF{}}
+	var rows []PolicyRow
+	for _, p := range policies {
+		base, _, err := runOne(runSpec{
+			tr: scaled, clf: paperCluster, est: estimate.Identity{}, policy: p, seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s baseline: %w", p.Name(), err)
+		}
+		sa, err := successiveWithRounding(caps)
+		if err != nil {
+			return nil, err
+		}
+		est, _, err := runOne(runSpec{
+			tr: scaled, clf: paperCluster, est: sa, policy: p, seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s estimation: %w", p.Name(), err)
+		}
+		rows = append(rows, PolicyRow{Policy: p.Name(), Baseline: base, Estimated: est})
+	}
+	return rows, nil
+}
+
+// PolicyTable renders the policy comparison.
+func PolicyTable(rows []PolicyRow) *report.Table {
+	t := report.NewTable("Ablation — scheduling policies with and without estimation",
+		"policy", "util(no est)", "util(est)", "ratio", "slowdown(no est)", "slowdown(est)")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.Baseline.Utilization > 0 {
+			ratio = r.Estimated.Utilization / r.Baseline.Utilization
+		}
+		t.AddRow(r.Policy, r.Baseline.Utilization, r.Estimated.Utilization, ratio,
+			r.Baseline.MeanSlowdown, r.Estimated.MeanSlowdown)
+	}
+	return t
+}
+
+// AllocPolicyRow is one allocation policy's paired result.
+type AllocPolicyRow struct {
+	Policy              string
+	Baseline, Estimated metrics.Summary
+}
+
+// AllocPolicyComparison quantifies how much the allocator's pool order
+// matters: best fit (take the smallest sufficient nodes, the default)
+// versus worst fit (take the largest). Estimation frees small-memory
+// nodes for matching; an allocator that burns big nodes on small
+// requests squanders part of that gain.
+func AllocPolicyComparison(s Scale) ([]AllocPolicyRow, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := paperCluster()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Capacities()
+
+	var rows []AllocPolicyRow
+	for _, pol := range []cluster.AllocPolicy{cluster.BestFit, cluster.WorstFit} {
+		clf := func() (*cluster.Cluster, error) {
+			cl, err := paperCluster()
+			if err != nil {
+				return nil, err
+			}
+			cl.SetAllocPolicy(pol)
+			return cl, nil
+		}
+		base, _, err := runOne(runSpec{
+			tr: scaled, clf: clf, est: estimate.Identity{}, policy: sched.FCFS{}, seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v baseline: %w", pol, err)
+		}
+		sa, err := successiveWithRounding(caps)
+		if err != nil {
+			return nil, err
+		}
+		est, _, err := runOne(runSpec{
+			tr: scaled, clf: clf, est: sa, policy: sched.FCFS{}, seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v estimation: %w", pol, err)
+		}
+		rows = append(rows, AllocPolicyRow{Policy: pol.String(), Baseline: base, Estimated: est})
+	}
+	return rows, nil
+}
+
+// AllocPolicyTable renders the allocation-policy comparison.
+func AllocPolicyTable(rows []AllocPolicyRow) *report.Table {
+	t := report.NewTable("Ablation — node allocation policy",
+		"allocation", "util(no est)", "util(est)", "ratio", "fail rate(est)")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.Baseline.Utilization > 0 {
+			ratio = r.Estimated.Utilization / r.Baseline.Utilization
+		}
+		t.AddRow(r.Policy, r.Baseline.Utilization, r.Estimated.Utilization, ratio,
+			r.Estimated.ResourceFailureRate)
+	}
+	return t
+}
+
+// NoiseRow is one spurious-failure setting's result for an estimator.
+type NoiseRow struct {
+	SpuriousProb float64
+	Estimator    string
+	Summary      metrics.Summary
+}
+
+// NoiseRobustness injects resource-unrelated failures (§2.1's false
+// positives: buggy programs, faulty machines) and compares Algorithm 1
+// against RobustSearch with failure confirmation, which tolerates them
+// by requiring repeated failures before trusting a lower bound.
+func NoiseRobustness(s Scale, probs []float64) ([]NoiseRow, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := paperCluster()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Capacities()
+
+	var rows []NoiseRow
+	for _, p := range probs {
+		sa, err := successiveWithRounding(caps)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := estimate.NewRobustSearch(estimate.RobustSearchConfig{
+			FailureConfirmations: 2,
+			Round:                capacityRounder(caps),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range []estimate.Estimator{sa, rs} {
+			sum, _, err := runOne(runSpec{
+				tr: scaled, clf: paperCluster, est: e, policy: sched.FCFS{},
+				spurious: p, seed: s.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: noise %g with %s: %w", p, e.Name(), err)
+			}
+			rows = append(rows, NoiseRow{SpuriousProb: p, Estimator: e.Name(), Summary: sum})
+		}
+	}
+	return rows, nil
+}
+
+// NoiseTable renders the robustness comparison.
+func NoiseTable(rows []NoiseRow) *report.Table {
+	t := report.NewTable("Ablation — robustness to spurious failures",
+		"spurious prob", "estimator", "utilization", "fail rate", "lowered")
+	for _, r := range rows {
+		t.AddRow(r.SpuriousProb, r.Estimator, r.Summary.Utilization,
+			r.Summary.ResourceFailureRate, r.Summary.LoweredJobFraction)
+	}
+	return t
+}

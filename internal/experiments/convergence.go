@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"overprov/internal/report"
+	"overprov/internal/sched"
+	"overprov/internal/sim"
+	"overprov/internal/similarity"
+	"overprov/internal/stats"
+	"overprov/internal/units"
+)
+
+// ConvergenceBucket aggregates groups of similar size.
+type ConvergenceBucket struct {
+	// MinSize and MaxSize bound the bucket (inclusive).
+	MinSize, MaxSize int
+	Groups           int
+	// MeanOverAllocation is the mean, over the bucket's groups, of the
+	// group's final matched/used memory ratio (1 = perfect estimate).
+	MeanOverAllocation float64
+	// MeanReclaimed is the mean fraction of the requested capacity the
+	// groups' final estimates gave back.
+	MeanReclaimed float64
+}
+
+// ConvergenceResult tests the paper's §2.1 claim: "the larger the
+// similarity group, the more feedback is collected and closer
+// approximation can be determined".
+type ConvergenceResult struct {
+	Buckets []ConvergenceBucket
+	// Correlation is the Spearman rank correlation between group size
+	// and estimation precision (negated final over-allocation) across
+	// groups — positive values confirm the claim, robustly against the
+	// heavy-tailed over-allocation of singleton groups.
+	Correlation float64
+}
+
+// groupOutcome is one similarity group's end-of-run estimation quality.
+type groupOutcome struct {
+	size      int
+	overAlloc float64
+	reclaimed float64
+}
+
+// Convergence runs the fixed-load experiment and measures, per
+// similarity group, how close the final estimates came to actual usage,
+// bucketed by group size.
+func Convergence(s Scale) (*ConvergenceResult, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := paperCluster()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	sa, err := successiveWithRounding(probe.Capacities())
+	if err != nil {
+		return nil, err
+	}
+	_, res, err := runOne(runSpec{
+		tr: scaled, clf: paperCluster, est: sa, policy: sched.FCFS{}, seed: s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	outcomes := groupOutcomes(res)
+
+	out := &ConvergenceResult{}
+	edges := []int{1, 2, 4, 9, 24, 63, 1 << 30}
+	for i := 0; i+1 < len(edges); i++ {
+		lo, hi := edges[i], edges[i+1]-1
+		if i+2 == len(edges) {
+			hi = 1 << 30
+		}
+		b := ConvergenceBucket{MinSize: lo, MaxSize: hi}
+		var oa, rc float64
+		for _, g := range outcomes {
+			if g.size >= lo && g.size <= hi {
+				b.Groups++
+				oa += g.overAlloc
+				rc += g.reclaimed
+			}
+		}
+		if b.Groups > 0 {
+			b.MeanOverAllocation = oa / float64(b.Groups)
+			b.MeanReclaimed = rc / float64(b.Groups)
+		}
+		out.Buckets = append(out.Buckets, b)
+	}
+
+	var xs, ys []float64
+	for _, g := range outcomes {
+		xs = append(xs, float64(g.size))
+		ys = append(ys, -g.overAlloc)
+	}
+	if corr, err := stats.Spearman(xs, ys); err == nil {
+		out.Correlation = corr
+	}
+	return out, nil
+}
+
+// groupOutcomes reduces a run's records to per-group estimation quality,
+// using each group's *final* execution capacities (the converged state).
+func groupOutcomes(res *sim.Result) []groupOutcome {
+	type acc struct {
+		size        int
+		lastMatched units.MemSize
+		lastUsed    units.MemSize
+		lastReq     units.MemSize
+	}
+	groups := map[similarity.Key]*acc{}
+	for i := range res.Records {
+		rec := &res.Records[i]
+		if !rec.Completed {
+			continue
+		}
+		k := similarity.ByUserAppReqMem(rec.Job)
+		a := groups[k]
+		if a == nil {
+			a = &acc{}
+			groups[k] = a
+		}
+		a.size++
+		a.lastMatched = rec.FinalEst
+		a.lastUsed = rec.Job.UsedMem
+		a.lastReq = rec.Job.ReqMem
+	}
+	keys := make([]similarity.Key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		return a.ReqMemKB < b.ReqMemKB
+	})
+	out := make([]groupOutcome, 0, len(groups))
+	for _, k := range keys {
+		a := groups[k]
+		if a.lastUsed.IsZero() || a.lastReq.IsZero() {
+			continue
+		}
+		out = append(out, groupOutcome{
+			size:      a.size,
+			overAlloc: a.lastMatched.MBf() / a.lastUsed.MBf(),
+			reclaimed: 1 - a.lastMatched.MBf()/a.lastReq.MBf(),
+		})
+	}
+	return out
+}
+
+// Table renders the bucketed convergence view.
+func (r *ConvergenceResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Convergence — estimation quality vs group size (Spearman(size, precision) = %s)",
+			report.FormatFloat(r.Correlation)),
+		"group size", "groups", "final overalloc", "mem reclaimed")
+	for _, b := range r.Buckets {
+		label := fmt.Sprintf("%d–%d", b.MinSize, b.MaxSize)
+		if b.MaxSize >= 1<<29 {
+			label = fmt.Sprintf("≥%d", b.MinSize)
+		}
+		if b.MinSize == b.MaxSize {
+			label = fmt.Sprintf("%d", b.MinSize)
+		}
+		t.AddRow(label, b.Groups, b.MeanOverAllocation, b.MeanReclaimed)
+	}
+	return t
+}

@@ -1,0 +1,161 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: one entry point per artifact, each returning typed rows
+// with the same shape as the published plot. DESIGN.md §4 maps each
+// experiment to the modules it exercises; EXPERIMENTS.md records
+// paper-versus-measured values.
+//
+// Experiments run at two scales: FullScale mirrors the paper (122,055
+// jobs, two simulated years), SmallScale keeps the same calibrated shape
+// at a few thousand jobs for tests and benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/metrics"
+	"overprov/internal/sched"
+	"overprov/internal/sim"
+	"overprov/internal/synth"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Scale bundles the knobs shared by all experiments.
+type Scale struct {
+	// TraceCfg drives the synthetic workload generator.
+	TraceCfg synth.Config
+	// Loads is the offered-load sweep of Figures 5 and 6.
+	Loads []float64
+	// FixedLoad is the single offered load used by experiments that
+	// need one operating point (Figure 8, Table 1, ablations); the
+	// paper compares utilizations at saturation, so this sits at the
+	// machine's capacity.
+	FixedLoad float64
+	// SecondPoolMems is the Figure 8 sweep of the second pool's
+	// per-node memory.
+	SecondPoolMems []units.MemSize
+	// Seed feeds the simulator's stochastic components (failure times);
+	// the trace has its own seed inside TraceCfg.
+	Seed uint64
+}
+
+// FullScale reproduces the paper's dimensions.
+func FullScale() Scale {
+	return Scale{
+		TraceCfg:       synth.DefaultConfig(),
+		Loads:          []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2},
+		FixedLoad:      1.0,
+		SecondPoolMems: memRange(1, 32),
+		Seed:           7,
+	}
+}
+
+// SmallScale keeps the calibrated shape at test size.
+func SmallScale() Scale {
+	return Scale{
+		TraceCfg:       synth.SmallConfig(),
+		Loads:          []float64{0.3, 0.5, 0.7, 0.9, 1.1},
+		FixedLoad:      1.0,
+		SecondPoolMems: []units.MemSize{4, 8, 12, 16, 20, 24, 28, 32},
+		Seed:           7,
+	}
+}
+
+func memRange(lo, hi int) []units.MemSize {
+	out := make([]units.MemSize, 0, hi-lo+1)
+	for m := lo; m <= hi; m++ {
+		out = append(out, units.MemSize(m))
+	}
+	return out
+}
+
+// Workload generates the simulation-ready trace: the calibrated
+// synthetic CM5 log with the full-machine jobs removed — the paper's
+// "minimum change" that lets the workload run on a cluster where only
+// half the nodes keep the original memory size.
+func Workload(s Scale) (*trace.Trace, error) {
+	t, err := synth.Generate(s.TraceCfg)
+	if err != nil {
+		return nil, err
+	}
+	t = t.DropLargerThan(s.TraceCfg.MaxNodes / 2)
+	t = t.CompleteOnly()
+	t.SortBySubmit()
+	t.Renumber()
+	return t, nil
+}
+
+// RawWorkload generates the trace without the simulation filtering —
+// the version the trace-analysis figures (1, 3, 4) are computed from.
+func RawWorkload(s Scale) (*trace.Trace, error) {
+	return synth.Generate(s.TraceCfg)
+}
+
+// runSpec describes one simulation invocation inside an experiment.
+type runSpec struct {
+	tr       *trace.Trace
+	clf      func() (*cluster.Cluster, error)
+	est      estimate.Estimator
+	policy   sched.Policy
+	explicit bool
+	spurious float64
+	seed     uint64
+}
+
+// runOne executes a single simulation and summarises it.
+func runOne(spec runSpec) (metrics.Summary, *sim.Result, error) {
+	cl, err := spec.clf()
+	if err != nil {
+		return metrics.Summary{}, nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		Trace:               spec.tr,
+		Cluster:             cl,
+		Estimator:           spec.est,
+		Policy:              spec.policy,
+		ExplicitFeedback:    spec.explicit,
+		SpuriousFailureProb: spec.spurious,
+		Seed:                spec.seed,
+	})
+	if err != nil {
+		return metrics.Summary{}, nil, err
+	}
+	return metrics.Summarize(res), res, nil
+}
+
+// paperCluster builds the Figures 5–7 machine: 512×32 MB + 512×24 MB.
+func paperCluster() (*cluster.Cluster, error) {
+	return cluster.CM5Heterogeneous(24 * units.MB)
+}
+
+// successiveWithRounding builds the paper's estimator (α=2, β=0) wired
+// to a cluster's capacity set for Algorithm 1's rounding step. The
+// estimator must round against capacities, not a live cluster, so runs
+// can rebuild clusters freely.
+func successiveWithRounding(caps []units.MemSize) (*estimate.SuccessiveApprox, error) {
+	return estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{
+		Alpha: 2,
+		Beta:  0,
+		Round: capacityRounder(caps),
+	})
+}
+
+// capacityRounder adapts a fixed capacity list to estimate.Rounder.
+func capacityRounder(caps []units.MemSize) estimate.Rounder {
+	caps = append([]units.MemSize(nil), caps...)
+	return estimate.RounderFunc(func(m units.MemSize) (units.MemSize, bool) {
+		return m.CeilTo(caps)
+	})
+}
+
+// scaledTrace rescales tr to the target offered load on a machine of
+// totalNodes nodes.
+func scaledTrace(tr *trace.Trace, load float64, totalNodes int) (*trace.Trace, error) {
+	scaled, err := tr.ScaleToOfferedLoad(load, totalNodes)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scaling trace to load %g: %w", load, err)
+	}
+	return scaled, nil
+}

@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+var (
+	onceWorkload sync.Once
+	cachedRaw    *trace.Trace
+	cachedSim    *trace.Trace
+	workloadErr  error
+)
+
+// workloads generates the small-scale raw and simulation-ready traces
+// once for the whole test binary.
+func workloads(t *testing.T) (raw, simReady *trace.Trace) {
+	t.Helper()
+	onceWorkload.Do(func() {
+		s := SmallScale()
+		cachedRaw, workloadErr = RawWorkload(s)
+		if workloadErr != nil {
+			return
+		}
+		cachedSim, workloadErr = Workload(s)
+	})
+	if workloadErr != nil {
+		t.Fatal(workloadErr)
+	}
+	return cachedRaw, cachedSim
+}
+
+func TestWorkloadRemovesFullMachineJobs(t *testing.T) {
+	raw, simReady := workloads(t)
+	if simReady.Len() >= raw.Len() {
+		t.Errorf("simulation workload (%d) not smaller than raw (%d)", simReady.Len(), raw.Len())
+	}
+	for i := range simReady.Jobs {
+		if simReady.Jobs[i].Nodes > 512 {
+			t.Fatalf("job %d still requests %d nodes", simReady.Jobs[i].ID, simReady.Jobs[i].Nodes)
+		}
+	}
+	if err := simReady.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	raw, _ := workloads(t)
+	r, err := Figure1(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 32.8 % of jobs at ratio ≥ 2; a log-scale histogram with a
+	// decaying fit (R² = 0.69 on the CM5).
+	if r.FractionAtLeast2 < 0.22 || r.FractionAtLeast2 > 0.45 {
+		t.Errorf("ratio≥2 fraction = %.3f, want ≈ 0.33", r.FractionAtLeast2)
+	}
+	if r.Fit.Slope >= 0 {
+		t.Errorf("histogram fit slope = %g, want negative (decaying counts)", r.Fit.Slope)
+	}
+	if r.Fit.R2 < 0.25 {
+		t.Errorf("fit R² = %.3f, too unstructured", r.Fit.R2)
+	}
+	if r.JobsWithRatio == 0 || r.Histogram.Total() == 0 {
+		t.Error("empty histogram")
+	}
+	if tab := r.Table(); tab.NumRows() == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	raw, _ := workloads(t)
+	r := Figure3(raw)
+	if r.NumGroups == 0 || len(r.Distribution) == 0 {
+		t.Fatal("no groups found")
+	}
+	// Paper: ≥10-job groups are a minority of groups but a large
+	// majority of jobs.
+	if r.GroupShareAtLeast10 > 0.5 {
+		t.Errorf("big-group share = %.3f, want a minority", r.GroupShareAtLeast10)
+	}
+	if r.JobShareAtLeast10 < 0.5 {
+		t.Errorf("big-group job share = %.3f, want a large majority", r.JobShareAtLeast10)
+	}
+	// Distribution fractions sum to 1.
+	sum := 0.0
+	for _, d := range r.Distribution {
+		sum += d.JobFraction
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("job fractions sum to %g", sum)
+	}
+	if tab := r.Table(); tab.NumRows() != len(r.Distribution) {
+		t.Error("table row count mismatch")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	raw, _ := workloads(t)
+	r := Figure4(raw, 10)
+	if len(r.Points) == 0 {
+		t.Fatal("no scatter points")
+	}
+	// "A large fraction of the similarity groups are at the lower end
+	// of the similarity range values."
+	if r.TightShare < 0.5 {
+		t.Errorf("tight share = %.3f, want most groups tight", r.TightShare)
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i-1].SimilarityRange > r.Points[i].SimilarityRange {
+			t.Fatal("scatter not sorted")
+		}
+	}
+	for _, p := range r.Points {
+		if p.Size < 10 {
+			t.Fatalf("group of size %d below threshold", p.Size)
+		}
+		if p.SimilarityRange < 1 || p.PotentialGain < 1 {
+			t.Fatalf("impossible point %+v", p)
+		}
+	}
+}
+
+func TestFigure56Shape(t *testing.T) {
+	s := SmallScale()
+	_, simReady := workloads(t)
+	r, err := LoadSweepOn(s, simReady, paperCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Baseline) != len(s.Loads) || len(r.Estimated) != len(s.Loads) {
+		t.Fatal("curve lengths wrong")
+	}
+	// Figure 5: estimation must win clearly at saturation.
+	gain := r.SaturationGain()
+	if gain < 0.20 {
+		t.Errorf("saturation gain = %.3f, want a large improvement (paper: 0.58)", gain)
+	}
+	// Estimation never loses badly at any load.
+	for i := range r.Loads {
+		if r.Estimated[i].Utilization < r.Baseline[i].Utilization*0.95 {
+			t.Errorf("load %g: estimation utilization %.3f below baseline %.3f",
+				r.Loads[i], r.Estimated[i].Utilization, r.Baseline[i].Utilization)
+		}
+	}
+	// Figure 6: slowdown ratio ≥ ~1 everywhere, with a clear peak.
+	ratios := r.SlowdownRatios()
+	peak := 0.0
+	for i, ratio := range ratios {
+		if ratio < 0.9 {
+			t.Errorf("load %g: slowdown ratio %.3f < 1 (estimation made things worse)",
+				r.Loads[i], ratio)
+		}
+		if ratio > peak {
+			peak = ratio
+		}
+	}
+	if peak < 1.5 {
+		t.Errorf("slowdown ratio peak = %.2f, want a dramatic mid-load improvement", peak)
+	}
+	if r.Figure5Table().NumRows() != len(s.Loads) || r.Figure6Table().NumRows() != len(s.Loads) {
+		t.Error("figure tables wrong size")
+	}
+}
+
+func TestFigure7PaperTrajectory(t *testing.T) {
+	r, err := Figure7(Figure7Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []units.MemSize{32, 16, 8, 4, 8}
+	if len(r.Trajectory) < len(want) {
+		t.Fatalf("trajectory too short: %v", r.Trajectory)
+	}
+	for i, w := range want {
+		if !r.Trajectory[i].Eq(w) {
+			t.Fatalf("cycle %d = %v, want %v (full %v)", i, r.Trajectory[i], w, r.Trajectory)
+		}
+	}
+	if !r.FinalEstimate.Eq(8) {
+		t.Errorf("final estimate = %v, want 8MB", r.FinalEstimate)
+	}
+	if r.ReductionFactor != 4 {
+		t.Errorf("reduction = %g, want the paper's four-fold saving", r.ReductionFactor)
+	}
+	if r.Failures != 1 {
+		t.Errorf("failures = %d, want exactly 1 (the 4MB probe)", r.Failures)
+	}
+}
+
+func TestFigure7Validation(t *testing.T) {
+	if _, err := Figure7(Figure7Config{RequestedMem: 8, ActualMem: 16}); err == nil {
+		t.Error("actual above requested must be rejected")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	s := SmallScale()
+	_, simReady := workloads(t)
+	r, err := Figure8On(s, simReady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(s.SecondPoolMems) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(s.SecondPoolMems))
+	}
+	byMem := map[float64]Figure8Row{}
+	for _, row := range r.Rows {
+		byMem[row.SecondPoolMem.MBf()] = row
+	}
+	// At 32MB the cluster is homogeneous: no improvement (paper).
+	if row := byMem[32]; row.Ratio < 0.95 || row.Ratio > 1.1 {
+		t.Errorf("ratio at 32MB = %.3f, want ≈ 1", row.Ratio)
+	}
+	// In the paper's 16–28MB band there must be clear improvement.
+	improved := false
+	for _, m := range []float64{16, 20, 24, 28} {
+		if byMem[m].Ratio > 1.15 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Errorf("no improvement anywhere in the 16–28MB band: %+v", r.Rows)
+	}
+	// Below the α=2 reachability threshold (m < 16) gains are small.
+	for _, m := range []float64{4, 8} {
+		if byMem[m].Ratio > 1.20 {
+			t.Errorf("ratio at %gMB = %.3f, want ≈ 1 (second condition of §3.2)", m, byMem[m].Ratio)
+		}
+	}
+	// Helped nodes should grow with the improvement.
+	if byMem[24].HelpedNodes == 0 {
+		t.Error("no helped jobs at 24MB despite improvement")
+	}
+	if tab := r.Table(); tab.NumRows() != len(r.Rows) {
+		t.Error("table size mismatch")
+	}
+	if _, err := r.BestSecondPool(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConservatismClaim(t *testing.T) {
+	s := SmallScale()
+	_, simReady := workloads(t)
+	r, err := Figure8On(s, simReady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Conservatism()
+	// Paper §3.2: "at most only 0.01 % of job executions resulted in
+	// failure due to insufficient resources, while 15 %–40 % of jobs
+	// were successfully submitted for execution with lower estimated
+	// resources". Algorithm 1 inherently pays one probe failure per
+	// similarity group whose ladder steps below its true usage
+	// (Figure 7 shows exactly such a failure), so with ~600 groups on
+	// the small trace the rate is a few percent, not 0.01 % — see
+	// EXPERIMENTS.md. The shape claim tested here: failures stay a
+	// small fraction while estimation engages broadly.
+	if c.MaxResourceFailureRate > 0.06 {
+		t.Errorf("max failure rate = %.5f, the algorithm should be conservative", c.MaxResourceFailureRate)
+	}
+	if c.MaxLoweredFraction < 0.10 {
+		t.Errorf("max lowered fraction = %.3f, estimation barely engaged", c.MaxLoweredFraction)
+	}
+	if c.MaxLoweredFraction > 0.9 {
+		t.Errorf("max lowered fraction = %.3f, implausibly high", c.MaxLoweredFraction)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := SmallScale()
+	r, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	base, err := r.Lookup("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := r.Lookup("successive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := r.Lookup("oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := r.Lookup("last instance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Summary.Utilization <= base.Summary.Utilization {
+		t.Errorf("successive approximation (%.3f) must beat the baseline (%.3f)",
+			sa.Summary.Utilization, base.Summary.Utilization)
+	}
+	if li.Summary.Utilization <= base.Summary.Utilization {
+		t.Errorf("last instance (%.3f) must beat the baseline (%.3f)",
+			li.Summary.Utilization, base.Summary.Utilization)
+	}
+	if oracle.Summary.Utilization < sa.Summary.Utilization*0.95 {
+		t.Errorf("oracle (%.3f) should not lose to successive approximation (%.3f)",
+			oracle.Summary.Utilization, sa.Summary.Utilization)
+	}
+	if _, err := r.Lookup("nonexistent"); err == nil {
+		t.Error("lookup of a missing row must fail")
+	}
+	if tab := r.Table(); tab.NumRows() != 6 {
+		t.Error("table size mismatch")
+	}
+}
+
+func TestAlphaBetaSweepShape(t *testing.T) {
+	s := SmallScale()
+	rows, err := AlphaBetaSweep(s, []float64{1.2, 2}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// §2.3: α=1.2 cannot step from 32MB requests below the 24MB pool
+	// capacity in one hop... it can (32/1.2=26.7→ rounds to 32; after
+	// reaching 24 stays). The robust qualitative claim: α=2 must engage
+	// estimation at least as much as α=1.2.
+	var a12, a2 AlphaBetaRow
+	for _, r := range rows {
+		switch r.Alpha {
+		case 1.2:
+			a12 = r
+		case 2:
+			a2 = r
+		}
+	}
+	if a2.Summary.LoweredJobFraction < a12.Summary.LoweredJobFraction {
+		t.Errorf("α=2 lowered %.3f of jobs, α=1.2 lowered %.3f — expected α=2 ≥ α=1.2",
+			a2.Summary.LoweredJobFraction, a12.Summary.LoweredJobFraction)
+	}
+	if AlphaBetaTable(rows).NumRows() != 2 {
+		t.Error("table size mismatch")
+	}
+}
+
+func TestKeyAblationShape(t *testing.T) {
+	s := SmallScale()
+	rows, err := KeyAblation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Finer keys make more groups.
+	if !(rows[0].NumGroups >= rows[1].NumGroups && rows[1].NumGroups >= rows[2].NumGroups) {
+		t.Errorf("group counts not monotone: %d/%d/%d",
+			rows[0].NumGroups, rows[1].NumGroups, rows[2].NumGroups)
+	}
+	if KeyAblationTable(rows).NumRows() != 3 {
+		t.Error("table size mismatch")
+	}
+}
+
+func TestPolicyComparisonShape(t *testing.T) {
+	s := SmallScale()
+	rows, err := PolicyComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (fcfs, easy, conservative, sjf)", len(rows))
+	}
+	// The paper's expectation: estimation gains correlate across
+	// policies — every policy must improve with estimation.
+	for _, r := range rows {
+		if r.Estimated.Utilization < r.Baseline.Utilization*0.98 {
+			t.Errorf("%s: estimation utilization %.3f below baseline %.3f",
+				r.Policy, r.Estimated.Utilization, r.Baseline.Utilization)
+		}
+	}
+	if PolicyTable(rows).NumRows() != 4 {
+		t.Error("table size mismatch")
+	}
+}
+
+func TestNoiseRobustnessShape(t *testing.T) {
+	s := SmallScale()
+	rows, err := NoiseRobustness(s, []float64{0, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 estimators × 2 noise levels)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Summary.Completed == 0 {
+			t.Errorf("%s at noise %g completed nothing", r.Estimator, r.SpuriousProb)
+		}
+	}
+	if NoiseTable(rows).NumRows() != 4 {
+		t.Error("table size mismatch")
+	}
+}

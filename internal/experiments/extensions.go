@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/metrics"
+	"overprov/internal/report"
+	"overprov/internal/sched"
+	"overprov/internal/sim"
+	"overprov/internal/synth"
+)
+
+// WarmStartRow compares one estimator cold versus pretrained.
+type WarmStartRow struct {
+	Estimator string
+	Cold      metrics.Summary
+	Warm      metrics.Summary
+}
+
+// WarmStart measures the paper's §2.2 offline training phase: the trace
+// is split into a history prefix and an evaluation suffix; each
+// estimator runs the suffix twice — cold, and pretrained on the prefix's
+// explicit feedback. Warm similarity groups skip the probing descent
+// entirely, so the first submissions of the evaluation window already
+// run with lowered capacities.
+func WarmStart(s Scale, trainFrac float64) ([]WarmStartRow, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	history, eval, err := estimate.SplitTrace(tr, trainFrac)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := paperCluster()
+	if err != nil {
+		return nil, err
+	}
+	evalScaled, err := scaledTrace(eval, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Capacities()
+
+	type builder struct {
+		name  string
+		build func() (estimate.Estimator, error)
+	}
+	builders := []builder{
+		{"successive approximation", func() (estimate.Estimator, error) {
+			return successiveWithRounding(caps)
+		}},
+		{"last instance", func() (estimate.Estimator, error) {
+			return estimate.NewLastInstance(estimate.LastInstanceConfig{Round: capacityRounder(caps)})
+		}},
+		{"regression", func() (estimate.Estimator, error) {
+			return estimate.NewRegression(estimate.RegressionConfig{
+				Margin: 0.10, Round: capacityRounder(caps),
+			})
+		}},
+	}
+
+	var rows []WarmStartRow
+	for _, b := range builders {
+		cold, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		coldSum, _, err := runOne(runSpec{
+			tr: evalScaled, clf: paperCluster, est: cold,
+			policy: sched.FCFS{}, explicit: true, seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cold %s: %w", b.name, err)
+		}
+		warm, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := estimate.Pretrain(warm, history); err != nil {
+			return nil, fmt.Errorf("experiments: pretraining %s: %w", b.name, err)
+		}
+		warmSum, _, err := runOne(runSpec{
+			tr: evalScaled, clf: paperCluster, est: warm,
+			policy: sched.FCFS{}, explicit: true, seed: s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: warm %s: %w", b.name, err)
+		}
+		rows = append(rows, WarmStartRow{Estimator: b.name, Cold: coldSum, Warm: warmSum})
+	}
+	return rows, nil
+}
+
+// WarmStartTable renders the comparison.
+func WarmStartTable(rows []WarmStartRow) *report.Table {
+	t := report.NewTable("Extension — offline training (warm start) vs cold start",
+		"estimator", "util(cold)", "util(warm)", "lowered(cold)", "lowered(warm)")
+	for _, r := range rows {
+		t.AddRow(r.Estimator, r.Cold.Utilization, r.Warm.Utilization,
+			r.Cold.LoweredJobFraction, r.Warm.LoweredJobFraction)
+	}
+	return t
+}
+
+// OnlineSimilarityRow compares the fixed-key estimator with the
+// hierarchical online-identification extension.
+type OnlineSimilarityRow struct {
+	Estimator string
+	Summary   metrics.Summary
+	// Groups is per-level for the hierarchical estimator (finest
+	// first), a single element for the fixed key.
+	Groups []int
+}
+
+// OnlineSimilarity runs the paper's §4 "online identification of
+// similarity groups" future work: the fixed offline key versus the
+// hierarchical estimator that serves each job from the finest key level
+// with real history (falling back to user-level experience for
+// first-sight applications), and versus the hybrid that routes
+// first-sight jobs to a learned global policy.
+func OnlineSimilarity(s Scale) ([]OnlineSimilarityRow, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := paperCluster()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Capacities()
+
+	var rows []OnlineSimilarityRow
+
+	fixed, err := successiveWithRounding(caps)
+	if err != nil {
+		return nil, err
+	}
+	sum, _, err := runOne(runSpec{
+		tr: scaled, clf: paperCluster, est: fixed, policy: sched.FCFS{}, seed: s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fixed key: %w", err)
+	}
+	rows = append(rows, OnlineSimilarityRow{
+		Estimator: "fixed key (paper)", Summary: sum, Groups: []int{fixed.NumGroups()},
+	})
+
+	hier, err := estimate.NewHierarchical(estimate.HierarchicalConfig{
+		Round: capacityRounder(caps),
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum, _, err = runOne(runSpec{
+		tr: scaled, clf: paperCluster, est: hier, policy: sched.FCFS{}, seed: s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hierarchical: %w", err)
+	}
+	rows = append(rows, OnlineSimilarityRow{
+		Estimator: "hierarchical (online)", Summary: sum, Groups: hier.NumGroups(),
+	})
+
+	primary, err := successiveWithRounding(caps)
+	if err != nil {
+		return nil, err
+	}
+	fallback, err := estimate.NewReinforcement(estimate.ReinforcementConfig{
+		Seed: s.Seed, Round: capacityRounder(caps),
+	})
+	if err != nil {
+		return nil, err
+	}
+	hybrid, err := estimate.NewHybrid(primary, fallback, nil)
+	if err != nil {
+		return nil, err
+	}
+	sum, _, err = runOne(runSpec{
+		tr: scaled, clf: paperCluster, est: hybrid, policy: sched.FCFS{}, seed: s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hybrid: %w", err)
+	}
+	rows = append(rows, OnlineSimilarityRow{
+		Estimator: "hybrid (similarity + RL fallback)", Summary: sum,
+		Groups: []int{primary.NumGroups()},
+	})
+	return rows, nil
+}
+
+// Generality reruns the Figure 5 pipeline on the SP2-like preset — a
+// different machine (128 nodes × 128 MB, paired with a 96 MB half),
+// different user population, and heavier over-provisioning — to check
+// the estimation gain is not an artifact of the CM5 calibration.
+// Pass jobs=0 for the preset's full 67,000 jobs.
+func Generality(jobs int, loads []float64, seed uint64) (*LoadSweepResult, error) {
+	cfg := synth.SP2LikeConfig()
+	if jobs > 0 {
+		cfg.Jobs = jobs
+		cfg.Groups = jobs / 8
+	}
+	s := Scale{TraceCfg: cfg, Loads: loads, FixedLoad: 1.0, Seed: seed}
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	clf := func() (*cluster.Cluster, error) {
+		return cluster.New(
+			cluster.Spec{Nodes: 64, Mem: 128},
+			cluster.Spec{Nodes: 64, Mem: 96},
+		)
+	}
+	return LoadSweepOn(s, tr, clf)
+}
+
+// RuntimePredictionRow is one (runtime source × memory estimation)
+// cell.
+type RuntimePredictionRow struct {
+	RuntimeSource string
+	MemEstimation bool
+	Summary       metrics.Summary
+}
+
+// RuntimePrediction crosses the two over-estimation corrections under
+// EASY backfilling: the paper's memory estimation (this work) and
+// Tsafrir-style learned runtime predictions (the related work its §1.2
+// calls "very similar in spirit"). Backfilling quality depends on
+// runtime estimates, so learned runtimes should cut slowdown on top of
+// whatever memory estimation recovers.
+func RuntimePrediction(s Scale) ([]RuntimePredictionRow, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := paperCluster()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Capacities()
+
+	var rows []RuntimePredictionRow
+	for _, learned := range []bool{false, true} {
+		for _, memEst := range []bool{false, true} {
+			var rt estimate.RuntimeEstimator = estimate.UserRuntime{}
+			if learned {
+				rt, err = estimate.NewTsafrirRuntime(estimate.TsafrirRuntimeConfig{})
+				if err != nil {
+					return nil, err
+				}
+			}
+			var est estimate.Estimator = estimate.Identity{}
+			if memEst {
+				if est, err = successiveWithRounding(caps); err != nil {
+					return nil, err
+				}
+			}
+			cl, err := paperCluster()
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Config{
+				Trace:     scaled,
+				Cluster:   cl,
+				Estimator: est,
+				Policy:    sched.EASY{},
+				Runtime:   rt,
+				Seed:      s.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: runtime=%s memEst=%t: %w",
+					rt.Name(), memEst, err)
+			}
+			rows = append(rows, RuntimePredictionRow{
+				RuntimeSource: rt.Name(),
+				MemEstimation: memEst,
+				Summary:       metrics.Summarize(res),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RuntimePredictionTable renders the 2×2 comparison.
+func RuntimePredictionTable(rows []RuntimePredictionRow) *report.Table {
+	t := report.NewTable("Extension — learned runtime predictions under EASY backfilling",
+		"runtime source", "mem estimation", "utilization", "slowdown", "mean wait")
+	for _, r := range rows {
+		t.AddRow(r.RuntimeSource, r.MemEstimation, r.Summary.Utilization,
+			r.Summary.MeanSlowdown, r.Summary.MeanWait.String())
+	}
+	return t
+}
+
+// OnlineSimilarityTable renders the comparison.
+func OnlineSimilarityTable(rows []OnlineSimilarityRow) *report.Table {
+	t := report.NewTable("Extension — online similarity identification",
+		"estimator", "utilization", "slowdown", "fail rate", "lowered", "groups")
+	for _, r := range rows {
+		t.AddRow(r.Estimator, r.Summary.Utilization, r.Summary.MeanSlowdown,
+			r.Summary.ResourceFailureRate, r.Summary.LoweredJobFraction,
+			fmt.Sprintf("%v", r.Groups))
+	}
+	return t
+}

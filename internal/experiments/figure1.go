@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overprov/internal/report"
+	"overprov/internal/stats"
+	"overprov/internal/trace"
+)
+
+// Figure1Result is the over-provisioning histogram of Figure 1: jobs
+// binned by the integer part of their requested/used memory ratio, with
+// the regression line fitted through the log-scaled counts.
+type Figure1Result struct {
+	// Histogram has one unit-wide bin per integer ratio.
+	Histogram *stats.Histogram
+	// Fit is the regression of log10(count) on ratio; the paper reports
+	// R² = 0.69 for the CM5 log.
+	Fit stats.LinFit
+	// FractionAtLeast2 is the share of jobs requesting ≥ 2× what they
+	// use; the paper reports 32.8 %.
+	FractionAtLeast2 float64
+	// JobsWithRatio counts jobs with a defined ratio (nonzero usage).
+	JobsWithRatio int
+}
+
+// Figure1 computes the over-provisioning histogram of a trace.
+func Figure1(t *trace.Trace) (*Figure1Result, error) {
+	maxRatio := 1.0
+	ratios := make([]float64, 0, len(t.Jobs))
+	for i := range t.Jobs {
+		if r, ok := t.Jobs[i].OverprovisionRatio(); ok {
+			ratios = append(ratios, r)
+			if r > maxRatio {
+				maxRatio = r
+			}
+		}
+	}
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("experiments: no jobs with a defined over-provisioning ratio")
+	}
+	hist, err := stats.NewIntegerHistogram(1, int(maxRatio)+1)
+	if err != nil {
+		return nil, err
+	}
+	hist.AddAll(ratios)
+	fit, err := hist.LogCountFit()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fitting Figure 1 regression: %w", err)
+	}
+	return &Figure1Result{
+		Histogram:        hist,
+		Fit:              fit,
+		FractionAtLeast2: hist.FractionAtLeast(2),
+		JobsWithRatio:    len(ratios),
+	}, nil
+}
+
+// Table renders the histogram rows plus the fit summary.
+func (r *Figure1Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 1 — over-provisioning ratio histogram (fit R²=%s, ratio≥2: %s%%)",
+			report.FormatFloat(r.Fit.R2), report.FormatFloat(100*r.FractionAtLeast2)),
+		"ratio(req/used)", "jobs", "fraction")
+	for i, b := range r.Histogram.Bins {
+		if b.Count == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("[%d,%d)", int(b.Lo), int(b.Hi)), b.Count, r.Histogram.Fraction(i))
+	}
+	return t
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overprov/internal/report"
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+)
+
+// Figure3Result is the group-size distribution of Figure 3 plus the
+// coverage headline the paper reports in §2.2 (9,885 groups; ≥10-job
+// groups are 19.4 % of groups and 83 % of jobs).
+type Figure3Result struct {
+	Distribution []similarity.SizeDistribution
+	NumGroups    int
+	NumJobs      int
+	// GroupShareAtLeast10 and JobShareAtLeast10 are the paper's §2.2
+	// coverage numbers.
+	GroupShareAtLeast10 float64
+	JobShareAtLeast10   float64
+}
+
+// Figure3 computes the similarity-group size distribution under the
+// paper's (user, application, requested memory) key.
+func Figure3(t *trace.Trace) *Figure3Result {
+	idx := similarity.NewIndex(t, similarity.ByUserAppReqMem)
+	gs, js := idx.CoverageAtLeast(10)
+	return &Figure3Result{
+		Distribution:        idx.SizeHistogram(),
+		NumGroups:           idx.NumGroups(),
+		NumJobs:             t.Len(),
+		GroupShareAtLeast10: gs,
+		JobShareAtLeast10:   js,
+	}
+}
+
+// Table renders the distribution.
+func (r *Figure3Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 3 — group sizes (%d groups / %d jobs; ≥10-job groups: %s%% of groups, %s%% of jobs)",
+			r.NumGroups, r.NumJobs,
+			report.FormatFloat(100*r.GroupShareAtLeast10),
+			report.FormatFloat(100*r.JobShareAtLeast10)),
+		"group size", "groups", "jobs", "job fraction")
+	for _, d := range r.Distribution {
+		t.AddRow(d.GroupSize, d.NumGroups, d.Jobs, d.JobFraction)
+	}
+	return t
+}
+
+// Figure4Result is the gain-versus-similarity scatter of Figure 4.
+type Figure4Result struct {
+	Points []similarity.GainPoint
+	// MinGroupSize is the inclusion threshold (the paper uses 10).
+	MinGroupSize int
+	// TightShare is the fraction of plotted groups whose similarity
+	// range is below 1.5 — the paper observes "a large fraction of the
+	// similarity groups are at the lower end of the similarity range".
+	TightShare float64
+	// HighGainTight counts groups that are both very over-provisioned
+	// (gain ≥ 10×) and tight (range < 1.5) — the paper's "good starting
+	// point for effective resource estimation".
+	HighGainTight int
+}
+
+// Figure4 computes the per-group potential-gain scatter for groups of at
+// least minSize jobs (pass 10 for the paper's threshold).
+func Figure4(t *trace.Trace, minSize int) *Figure4Result {
+	idx := similarity.NewIndex(t, similarity.ByUserAppReqMem)
+	pts := idx.GainScatter(minSize)
+	r := &Figure4Result{Points: pts, MinGroupSize: minSize}
+	tight := 0
+	for _, p := range pts {
+		if p.SimilarityRange < 1.5 {
+			tight++
+			if p.PotentialGain >= 10 {
+				r.HighGainTight++
+			}
+		}
+	}
+	if len(pts) > 0 {
+		r.TightShare = float64(tight) / float64(len(pts))
+	}
+	return r
+}
+
+// Table renders the scatter points.
+func (r *Figure4Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 4 — gain vs similarity (groups ≥%d jobs; tight(<1.5×): %s%%; high-gain tight groups: %d)",
+			r.MinGroupSize, report.FormatFloat(100*r.TightShare), r.HighGainTight),
+		"group", "size", "range(max/min used)", "gain(req/max used)")
+	for _, p := range r.Points {
+		t.AddRow(p.Key.String(), p.Size, p.SimilarityRange, p.PotentialGain)
+	}
+	return t
+}

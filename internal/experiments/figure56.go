@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/metrics"
+	"overprov/internal/report"
+	"overprov/internal/sched"
+	"overprov/internal/trace"
+)
+
+// LoadSweepResult carries the paired with/without-estimation curves that
+// Figures 5 (utilization) and 6 (slowdown ratio) are drawn from.
+type LoadSweepResult struct {
+	Loads []float64
+	// Baseline and Estimated are indexed like Loads.
+	Baseline, Estimated []metrics.Summary
+}
+
+// LoadSweep runs the paper's Figure 5/6 experiment: the CM5-like
+// workload on the 512×32 MB + 512×24 MB cluster under FCFS, at each
+// offered load, with and without resource estimation (successive
+// approximation, α=2, β=0, implicit feedback).
+func LoadSweep(s Scale) (*LoadSweepResult, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	return LoadSweepOn(s, tr, paperCluster)
+}
+
+// LoadSweepOn runs the sweep for a prepared trace and cluster factory,
+// so callers can reuse one generated workload across experiments.
+func LoadSweepOn(s Scale, tr *trace.Trace, clf func() (*cluster.Cluster, error)) (*LoadSweepResult, error) {
+	return LoadSweepWithPolicy(s, tr, clf, sched.FCFS{})
+}
+
+// LoadSweepWithPolicy is LoadSweepOn under an arbitrary scheduling
+// policy — the paper's future-work question of whether the Figure 5/6
+// curves carry over to more aggressive schedulers such as backfilling.
+func LoadSweepWithPolicy(s Scale, tr *trace.Trace, clf func() (*cluster.Cluster, error), policy sched.Policy) (*LoadSweepResult, error) {
+	probe, err := clf()
+	if err != nil {
+		return nil, err
+	}
+	totalNodes := probe.TotalNodes()
+	caps := probe.Capacities()
+
+	out := &LoadSweepResult{
+		Loads:     append([]float64(nil), s.Loads...),
+		Baseline:  make([]metrics.Summary, len(s.Loads)),
+		Estimated: make([]metrics.Summary, len(s.Loads)),
+	}
+	// Load points are independent simulations; run them across cores.
+	err = parallelFor(len(s.Loads), func(i int) error {
+		load := s.Loads[i]
+		scaled, err := scaledTrace(tr, load, totalNodes)
+		if err != nil {
+			return err
+		}
+		base, _, err := runOne(runSpec{
+			tr: scaled, clf: clf, est: estimate.Identity{}, policy: policy, seed: s.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: baseline at load %g: %w", load, err)
+		}
+		sa, err := successiveWithRounding(caps)
+		if err != nil {
+			return err
+		}
+		est, _, err := runOne(runSpec{
+			tr: scaled, clf: clf, est: sa, policy: policy, seed: s.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: estimation at load %g: %w", load, err)
+		}
+		out.Baseline[i] = base
+		out.Estimated[i] = est
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BackfillLoadSweep reruns the Figure 5/6 experiment under EASY
+// backfilling.
+func BackfillLoadSweep(s Scale) (*LoadSweepResult, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	return LoadSweepWithPolicy(s, tr, paperCluster, sched.EASY{})
+}
+
+// UtilizationCurves returns the two Figure 5 series as CurvePoints.
+func (r *LoadSweepResult) UtilizationCurves() (baseline, estimated []metrics.CurvePoint) {
+	for i, load := range r.Loads {
+		baseline = append(baseline, metrics.CurvePoint{
+			OfferedLoad: load,
+			Utilization: r.Baseline[i].Utilization,
+			Slowdown:    r.Baseline[i].MeanSlowdown,
+		})
+		estimated = append(estimated, metrics.CurvePoint{
+			OfferedLoad: load,
+			Utilization: r.Estimated[i].Utilization,
+			Slowdown:    r.Estimated[i].MeanSlowdown,
+		})
+	}
+	return baseline, estimated
+}
+
+// SaturationGain compares utilization at the saturation points of the
+// two curves — the paper's headline "+58 %".
+func (r *LoadSweepResult) SaturationGain() float64 {
+	baseline, estimated := r.UtilizationCurves()
+	baseSat, _ := metrics.Saturation(baseline, 0.05)
+	estSat, _ := metrics.Saturation(estimated, 0.05)
+	if baseSat <= 0 {
+		return 0
+	}
+	return estSat/baseSat - 1
+}
+
+// SlowdownRatios returns the Figure 6 series: slowdown without
+// estimation divided by slowdown with estimation, per load. Values ≥ 1
+// mean estimation never hurts.
+func (r *LoadSweepResult) SlowdownRatios() []float64 {
+	out := make([]float64, len(r.Loads))
+	for i := range r.Loads {
+		if r.Estimated[i].MeanSlowdown > 0 {
+			out[i] = r.Baseline[i].MeanSlowdown / r.Estimated[i].MeanSlowdown
+		}
+	}
+	return out
+}
+
+// Figure5Table renders the utilization curves.
+func (r *LoadSweepResult) Figure5Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 5 — utilization vs load (saturation gain: %s%%)",
+			report.FormatFloat(100*r.SaturationGain())),
+		"load", "util(no est)", "util(est)", "ratio")
+	for i, load := range r.Loads {
+		ratio := 0.0
+		if r.Baseline[i].Utilization > 0 {
+			ratio = r.Estimated[i].Utilization / r.Baseline[i].Utilization
+		}
+		t.AddRow(load, r.Baseline[i].Utilization, r.Estimated[i].Utilization, ratio)
+	}
+	return t
+}
+
+// Figure6Table renders the slowdown-ratio curve.
+func (r *LoadSweepResult) Figure6Table() *report.Table {
+	t := report.NewTable("Figure 6 — slowdown(no est)/slowdown(est) vs load",
+		"load", "slowdown(no est)", "slowdown(est)", "ratio")
+	ratios := r.SlowdownRatios()
+	for i, load := range r.Loads {
+		t.AddRow(load, r.Baseline[i].MeanSlowdown, r.Estimated[i].MeanSlowdown, ratios[i])
+	}
+	return t
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/report"
+	"overprov/internal/sched"
+	"overprov/internal/sim"
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Figure7Result is the estimate trajectory of one similarity group:
+// requested 32 MB, actual usage slightly above 5 MB. The paper's series
+// is 32 → 16 → 8 → 4 (failure) → 8 and stays at 8: a four-fold memory
+// saving found by Algorithm 1 with α=2, β=0.
+type Figure7Result struct {
+	// Trajectory is the per-execution allocated capacity.
+	Trajectory []units.MemSize
+	// RequestedMem and ActualMem are the scenario's constants.
+	RequestedMem, ActualMem units.MemSize
+	// FinalEstimate is the settled capacity.
+	FinalEstimate units.MemSize
+	// ReductionFactor is RequestedMem / FinalEstimate (the paper's 4×).
+	ReductionFactor float64
+	// Failures counts under-provisioned executions along the way (the
+	// paper's trajectory has exactly one).
+	Failures int
+}
+
+// Figure7Config parameterises the trajectory scenario; the zero value
+// selects the paper's numbers.
+type Figure7Config struct {
+	RequestedMem units.MemSize // default 32 MB
+	ActualMem    units.MemSize // default 5.2 MB ("slightly more than 5MB")
+	Cycles       int           // default 12 submissions
+	Alpha        float64       // default 2
+	Beta         float64       // default 0
+}
+
+// Figure7 replays the single-group scenario on a small cluster whose
+// capacity ladder {32,24,16,8,4} MB lets the estimate step down exactly
+// as in the paper's plot.
+func Figure7(cfg Figure7Config) (*Figure7Result, error) {
+	if cfg.RequestedMem == 0 {
+		cfg.RequestedMem = 32
+	}
+	if cfg.ActualMem == 0 {
+		cfg.ActualMem = 5.2
+	}
+	if cfg.Cycles == 0 {
+		cfg.Cycles = 12
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2
+	}
+	if cfg.ActualMem > cfg.RequestedMem {
+		return nil, fmt.Errorf("experiments: Figure 7 actual memory %v exceeds requested %v",
+			cfg.ActualMem, cfg.RequestedMem)
+	}
+
+	cl, err := cluster.New(
+		cluster.Spec{Nodes: 8, Mem: 32},
+		cluster.Spec{Nodes: 8, Mem: 24},
+		cluster.Spec{Nodes: 8, Mem: 16},
+		cluster.Spec{Nodes: 8, Mem: 8},
+		cluster.Spec{Nodes: 8, Mem: 4},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	// One similarity group, submissions spaced so each run completes
+	// before the next arrives (the trajectory is about estimation
+	// cycles, not queueing).
+	tr := &trace.Trace{}
+	for i := 0; i < cfg.Cycles; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			ID:      i + 1,
+			Submit:  units.Seconds(float64(i) * 1000),
+			Runtime: 100,
+			Nodes:   4,
+			ReqTime: 200,
+			ReqMem:  cfg.RequestedMem,
+			UsedMem: cfg.ActualMem,
+			User:    1,
+			App:     1,
+			Status:  trace.StatusCompleted,
+		})
+	}
+
+	sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{
+		Alpha: cfg.Alpha,
+		Beta:  cfg.Beta,
+		Round: cl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	key := similarity.ByUserAppReqMem(&tr.Jobs[0])
+	sa.TraceGroup(key)
+
+	if _, err := sim.Run(sim.Config{
+		Trace:     tr,
+		Cluster:   cl,
+		Estimator: sa,
+		Policy:    sched.FCFS{},
+		Seed:      1,
+	}); err != nil {
+		return nil, err
+	}
+
+	traj := sa.Trajectory(key)
+	if len(traj) == 0 {
+		return nil, fmt.Errorf("experiments: Figure 7 produced an empty trajectory")
+	}
+	res := &Figure7Result{
+		Trajectory:    traj,
+		RequestedMem:  cfg.RequestedMem,
+		ActualMem:     cfg.ActualMem,
+		FinalEstimate: traj[len(traj)-1],
+	}
+	for _, e := range traj {
+		if e.Less(cfg.ActualMem) {
+			res.Failures++
+		}
+	}
+	if res.FinalEstimate > 0 {
+		res.ReductionFactor = cfg.RequestedMem.MBf() / res.FinalEstimate.MBf()
+	}
+	return res, nil
+}
+
+// Table renders the trajectory.
+func (r *Figure7Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 7 — estimate trajectory (request %v, actual %v, final %v, %s× reduction)",
+			r.RequestedMem, r.ActualMem, r.FinalEstimate, report.FormatFloat(r.ReductionFactor)),
+		"cycle", "allocated", "outcome")
+	for i, e := range r.Trajectory {
+		outcome := "success"
+		if e.Less(r.ActualMem) {
+			outcome = "FAILED (insufficient)"
+		}
+		t.AddRow(i+1, e.String(), outcome)
+	}
+	return t
+}

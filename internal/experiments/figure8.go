@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/report"
+	"overprov/internal/sched"
+	"overprov/internal/sim"
+	"overprov/internal/stats"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Figure8Row is one point of the cluster sweep: the second pool's
+// per-node memory and the utilization with and without estimation.
+type Figure8Row struct {
+	// SecondPoolMem is the per-node memory of the 512 modified nodes.
+	SecondPoolMem units.MemSize
+	// BaselineUtil and EstimatedUtil are utilizations at the fixed load.
+	BaselineUtil, EstimatedUtil float64
+	// Ratio is EstimatedUtil/BaselineUtil — Figure 8's y axis.
+	Ratio float64
+	// HelpedNodes is the summed node count of jobs that estimation
+	// moved onto the second pool (requested more than the second pool
+	// offers, ran on it anyway) — the quantity whose linear fit to the
+	// ratio the paper reports with R² = 0.991.
+	HelpedNodes int
+	// ResourceFailureRate and LoweredJobFraction feed the paper's §3.2
+	// conservatism claim (≤ 0.01 % failures, 15–40 % lowered jobs).
+	ResourceFailureRate float64
+	LoweredJobFraction  float64
+}
+
+// Figure8Result is the whole sweep plus the helped-nodes linear fit.
+type Figure8Result struct {
+	Rows []Figure8Row
+	// HelpedFit regresses Ratio on HelpedNodes over the improvement
+	// region (rows with Ratio > 1.01); the paper reports an almost
+	// perfect fit (R² = 0.991) over the 16–28 MB band.
+	HelpedFit stats.LinFit
+	// HelpedFitOK reports whether enough improving rows existed to fit.
+	HelpedFitOK bool
+}
+
+// Figure8 sweeps the second pool's memory size: 512 nodes keep 32 MB and
+// 512 nodes get each candidate size in turn; each cluster is simulated
+// at the scale's fixed load with and without estimation.
+func Figure8(s Scale) (*Figure8Result, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	return Figure8On(s, tr)
+}
+
+// Figure8On runs the sweep on a prepared workload.
+func Figure8On(s Scale, tr *trace.Trace) (*Figure8Result, error) {
+	out := &Figure8Result{Rows: make([]Figure8Row, len(s.SecondPoolMems))}
+	// Sweep points are independent simulations; run them across cores.
+	err := parallelFor(len(s.SecondPoolMems), func(i int) error {
+		row, err := figure8Point(s, tr, s.SecondPoolMems[i])
+		if err != nil {
+			return fmt.Errorf("experiments: Figure 8 at %v: %w", s.SecondPoolMems[i], err)
+		}
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for _, r := range out.Rows {
+		if r.Ratio > 1.01 {
+			xs = append(xs, float64(r.HelpedNodes))
+			ys = append(ys, r.Ratio)
+		}
+	}
+	if fit, err := stats.LinReg(xs, ys); err == nil {
+		out.HelpedFit = fit
+		out.HelpedFitOK = true
+	}
+	return out, nil
+}
+
+func figure8Point(s Scale, tr *trace.Trace, mem units.MemSize) (Figure8Row, error) {
+	clf := func() (*cluster.Cluster, error) { return cluster.CM5Heterogeneous(mem) }
+	probe, err := clf()
+	if err != nil {
+		return Figure8Row{}, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return Figure8Row{}, err
+	}
+
+	base, _, err := runOne(runSpec{
+		tr: scaled, clf: clf, est: estimate.Identity{}, policy: sched.FCFS{}, seed: s.Seed,
+	})
+	if err != nil {
+		return Figure8Row{}, err
+	}
+	sa, err := successiveWithRounding(probe.Capacities())
+	if err != nil {
+		return Figure8Row{}, err
+	}
+	est, res, err := runOne(runSpec{
+		tr: scaled, clf: clf, est: sa, policy: sched.FCFS{}, seed: s.Seed,
+	})
+	if err != nil {
+		return Figure8Row{}, err
+	}
+
+	row := Figure8Row{
+		SecondPoolMem:       mem,
+		BaselineUtil:        base.Utilization,
+		EstimatedUtil:       est.Utilization,
+		ResourceFailureRate: est.ResourceFailureRate,
+		LoweredJobFraction:  est.LoweredJobFraction,
+	}
+	if base.Utilization > 0 {
+		row.Ratio = est.Utilization / base.Utilization
+	}
+	row.HelpedNodes = helpedNodes(res, mem)
+	return row, nil
+}
+
+// helpedNodes counts the nodes of jobs estimation made eligible for the
+// second pool: requested memory above the pool's size, final successful
+// execution on nodes no larger than it.
+func helpedNodes(res *sim.Result, secondMem units.MemSize) int {
+	total := 0
+	for i := range res.Records {
+		rec := &res.Records[i]
+		if !rec.Completed {
+			continue
+		}
+		if secondMem.Less(rec.Job.ReqMem) && rec.FinalAlloc.Fits(secondMem) {
+			total += rec.Job.Nodes
+		}
+	}
+	return total
+}
+
+// ConservatismStats extracts the paper's §3.2 closing claim from a
+// finished sweep: the worst resource-failure rate and the range of
+// lowered-job fractions across all cluster configurations.
+type ConservatismStats struct {
+	MaxResourceFailureRate                 float64
+	MinLoweredFraction, MaxLoweredFraction float64
+}
+
+// Conservatism summarises the sweep's failure and lowering statistics.
+func (r *Figure8Result) Conservatism() ConservatismStats {
+	var c ConservatismStats
+	first := true
+	for _, row := range r.Rows {
+		if row.ResourceFailureRate > c.MaxResourceFailureRate {
+			c.MaxResourceFailureRate = row.ResourceFailureRate
+		}
+		if first {
+			c.MinLoweredFraction, c.MaxLoweredFraction = row.LoweredJobFraction, row.LoweredJobFraction
+			first = false
+			continue
+		}
+		if row.LoweredJobFraction < c.MinLoweredFraction {
+			c.MinLoweredFraction = row.LoweredJobFraction
+		}
+		if row.LoweredJobFraction > c.MaxLoweredFraction {
+			c.MaxLoweredFraction = row.LoweredJobFraction
+		}
+	}
+	return c
+}
+
+// Table renders the sweep.
+func (r *Figure8Result) Table() *report.Table {
+	title := "Figure 8 — utilization ratio vs second-pool memory"
+	if r.HelpedFitOK {
+		title = fmt.Sprintf("%s (helped-nodes fit R²=%s)", title, report.FormatFloat(r.HelpedFit.R2))
+	}
+	t := report.NewTable(title,
+		"2nd pool", "util(no est)", "util(est)", "ratio", "helped nodes", "fail rate", "lowered")
+	for _, row := range r.Rows {
+		t.AddRow(row.SecondPoolMem.String(), row.BaselineUtil, row.EstimatedUtil,
+			row.Ratio, row.HelpedNodes, row.ResourceFailureRate, row.LoweredJobFraction)
+	}
+	return t
+}
+
+// BestSecondPool returns the sweep row with the highest utilization
+// ratio — the capacity-planning readout the paper's §3.2 closes with
+// ("it is possible to design a cluster ... to maximize the number of
+// jobs for which estimation is advantageous").
+func (r *Figure8Result) BestSecondPool() (Figure8Row, error) {
+	if len(r.Rows) == 0 {
+		return Figure8Row{}, fmt.Errorf("experiments: empty Figure 8 sweep")
+	}
+	best := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.Ratio > best.Ratio {
+			best = row
+		}
+	}
+	return best, nil
+}

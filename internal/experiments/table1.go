@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/metrics"
+	"overprov/internal/report"
+	"overprov/internal/sched"
+)
+
+// Table1Row is one estimator's result in the algorithm-quadrant
+// comparison.
+type Table1Row struct {
+	// Algorithm is the estimator name; Feedback is "implicit" or
+	// "explicit"; Similarity reports whether the algorithm groups
+	// similar jobs.
+	Algorithm  string
+	Feedback   string
+	Similarity bool
+	Summary    metrics.Summary
+}
+
+// Table1Result compares the paper's Table 1 quadrant (plus the identity
+// baseline and the oracle bound) on one workload, cluster, and load.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 runs the quadrant on the paper's 512×32 MB + 512×24 MB cluster
+// at the scale's fixed load:
+//
+//	successive approximation — implicit feedback, similarity groups
+//	last instance            — explicit feedback, similarity groups
+//	reinforcement learning   — implicit feedback, no similarity
+//	regression modelling     — explicit feedback, no similarity
+func Table1(s Scale) (*Table1Result, error) {
+	tr, err := Workload(s)
+	if err != nil {
+		return nil, err
+	}
+	clf := paperCluster
+	probe, err := clf()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := scaledTrace(tr, s.FixedLoad, probe.TotalNodes())
+	if err != nil {
+		return nil, err
+	}
+	caps := probe.Capacities()
+
+	type entry struct {
+		name       string
+		feedback   string
+		similarity bool
+		build      func() (estimate.Estimator, error)
+		explicit   bool
+	}
+	entries := []entry{
+		{"none (baseline)", "-", false,
+			func() (estimate.Estimator, error) { return estimate.Identity{}, nil }, false},
+		{"successive approximation", "implicit", true,
+			func() (estimate.Estimator, error) { return successiveWithRounding(caps) }, false},
+		{"last instance", "explicit", true,
+			func() (estimate.Estimator, error) {
+				return estimate.NewLastInstance(estimate.LastInstanceConfig{
+					Round: capacityRounder(caps),
+				})
+			}, true},
+		{"reinforcement learning", "implicit", false,
+			func() (estimate.Estimator, error) {
+				return estimate.NewReinforcement(estimate.ReinforcementConfig{
+					Seed:  s.Seed,
+					Round: capacityRounder(caps),
+				})
+			}, false},
+		{"regression modelling", "explicit", false,
+			func() (estimate.Estimator, error) {
+				return estimate.NewRegression(estimate.RegressionConfig{
+					Margin: 0.10,
+					Round:  capacityRounder(caps),
+				})
+			}, true},
+		{"oracle (bound)", "perfect", false,
+			func() (estimate.Estimator, error) { return &estimate.Oracle{}, nil }, false},
+	}
+
+	out := &Table1Result{}
+	for _, e := range entries {
+		est, err := e.build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", e.name, err)
+		}
+		sum, _, err := runOne(runSpec{
+			tr:       scaled,
+			clf:      func() (*cluster.Cluster, error) { return clf() },
+			est:      est,
+			policy:   sched.FCFS{},
+			explicit: e.explicit,
+			seed:     s.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: running %s: %w", e.name, err)
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			Algorithm:  e.name,
+			Feedback:   e.feedback,
+			Similarity: e.similarity,
+			Summary:    sum,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the comparison.
+func (r *Table1Result) Table() *report.Table {
+	t := report.NewTable("Table 1 — resource-estimation algorithm quadrant",
+		"algorithm", "feedback", "similarity", "utilization", "slowdown",
+		"fail rate", "lowered", "mem reclaimed", "overalloc")
+	for _, row := range r.Rows {
+		t.AddRow(row.Algorithm, row.Feedback, row.Similarity,
+			row.Summary.Utilization, row.Summary.MeanSlowdown,
+			row.Summary.ResourceFailureRate, row.Summary.LoweredJobFraction,
+			row.Summary.MemoryReclaimedFraction, row.Summary.MeanOverAllocation)
+	}
+	return t
+}
+
+// Lookup returns the row for an algorithm name prefix, or an error.
+func (r *Table1Result) Lookup(prefix string) (Table1Row, error) {
+	for _, row := range r.Rows {
+		if len(row.Algorithm) >= len(prefix) && row.Algorithm[:len(prefix)] == prefix {
+			return row, nil
+		}
+	}
+	return Table1Row{}, fmt.Errorf("experiments: no Table 1 row matching %q", prefix)
+}

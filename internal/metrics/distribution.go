@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"overprov/internal/sim"
+	"overprov/internal/units"
+)
+
+// Distribution summarises a metric across completed jobs with the
+// percentiles schedulers are judged by.
+type Distribution struct {
+	N                  int
+	Mean               float64
+	P50, P90, P99, Max float64
+}
+
+// describe computes the distribution of xs (not modified).
+func describe(xs []float64) Distribution {
+	d := Distribution{N: len(xs)}
+	if len(xs) == 0 {
+		return d
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	d.Mean = sum / float64(len(sorted))
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	d.P50, d.P90, d.P99 = at(0.5), at(0.9), at(0.99)
+	d.Max = sorted[len(sorted)-1]
+	return d
+}
+
+// String renders the distribution compactly.
+func (d Distribution) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+		d.N, d.Mean, d.P50, d.P90, d.P99, d.Max)
+}
+
+// WaitDistribution returns the distribution of queueing delays (seconds)
+// across completed jobs.
+func WaitDistribution(r *sim.Result) Distribution {
+	var xs []float64
+	for i := range r.Records {
+		rec := &r.Records[i]
+		if rec.Completed {
+			xs = append(xs, (rec.Start - rec.Submit).Sec())
+		}
+	}
+	return describe(xs)
+}
+
+// SlowdownDistribution returns the distribution of per-job slowdowns
+// (the paper's definition) across completed jobs.
+func SlowdownDistribution(r *sim.Result) Distribution {
+	var xs []float64
+	for i := range r.Records {
+		rec := &r.Records[i]
+		if !rec.Completed {
+			continue
+		}
+		runtime := rec.Job.Runtime.Sec()
+		if runtime <= 0 {
+			continue
+		}
+		xs = append(xs, (rec.End-rec.Submit).Sec()/runtime)
+	}
+	return describe(xs)
+}
+
+// ClassSummary is the per-node-count-class breakdown of a run: large
+// jobs and small jobs experience estimation very differently (Figure 8's
+// helped-node analysis is about exactly this).
+type ClassSummary struct {
+	// MinNodes and MaxNodes bound the class (inclusive).
+	MinNodes, MaxNodes int
+	Jobs               int
+	Completed          int
+	MeanSlowdown       float64
+	MeanWait           units.Seconds
+	// LoweredFraction is the share of completed jobs in the class that
+	// ran with a lowered estimate.
+	LoweredFraction float64
+}
+
+// ByNodeClass buckets completed jobs into the given node-count class
+// edges (e.g. 32, 64, 128 produces classes [1,32], [33,64], [65,128],
+// [129,∞)) and summarises each.
+func ByNodeClass(r *sim.Result, edges ...int) []ClassSummary {
+	sort.Ints(edges)
+	classes := make([]ClassSummary, len(edges)+1)
+	lo := 1
+	for i, e := range edges {
+		classes[i].MinNodes, classes[i].MaxNodes = lo, e
+		lo = e + 1
+	}
+	classes[len(edges)].MinNodes, classes[len(edges)].MaxNodes = lo, math.MaxInt
+
+	type acc struct {
+		slow, wait float64
+		lowered    int
+	}
+	accs := make([]acc, len(classes))
+	for i := range r.Records {
+		rec := &r.Records[i]
+		ci := sort.SearchInts(edges, rec.Job.Nodes)
+		classes[ci].Jobs++
+		if !rec.Completed {
+			continue
+		}
+		classes[ci].Completed++
+		runtime := rec.Job.Runtime.Sec()
+		if runtime > 0 {
+			accs[ci].slow += (rec.End - rec.Submit).Sec() / runtime
+		}
+		accs[ci].wait += (rec.Start - rec.Submit).Sec()
+		if rec.Lowered {
+			accs[ci].lowered++
+		}
+	}
+	for i := range classes {
+		if n := classes[i].Completed; n > 0 {
+			classes[i].MeanSlowdown = accs[i].slow / float64(n)
+			classes[i].MeanWait = units.Seconds(accs[i].wait / float64(n))
+			classes[i].LoweredFraction = float64(accs[i].lowered) / float64(n)
+		}
+	}
+	return classes
+}
+
+// CompareSummaries quantifies an A/B run pair (typically baseline vs
+// estimation on the identical scaled trace): positive values mean b is
+// better.
+type CompareSummaries struct {
+	UtilizationGain float64 // b/a − 1
+	SlowdownRatio   float64 // a/b (≥ 1 means b faster)
+	WaitRatio       float64 // a/b
+}
+
+// Compare computes the A/B deltas between two summaries.
+func Compare(a, b Summary) CompareSummaries {
+	var c CompareSummaries
+	if a.Utilization > 0 {
+		c.UtilizationGain = b.Utilization/a.Utilization - 1
+	}
+	if b.MeanSlowdown > 0 {
+		c.SlowdownRatio = a.MeanSlowdown / b.MeanSlowdown
+	}
+	if b.MeanWait > 0 {
+		c.WaitRatio = a.MeanWait.Sec() / b.MeanWait.Sec()
+	}
+	return c
+}

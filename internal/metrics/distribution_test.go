@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"overprov/internal/sim"
+)
+
+func TestDescribe(t *testing.T) {
+	var xs []float64
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, float64(i))
+	}
+	d := describe(xs)
+	if d.N != 100 || d.Mean != 50.5 {
+		t.Errorf("n/mean = %d/%g", d.N, d.Mean)
+	}
+	if d.P50 != 50 || d.P90 != 90 || d.P99 != 99 || d.Max != 100 {
+		t.Errorf("percentiles = %+v", d)
+	}
+	if empty := describe(nil); empty.N != 0 || empty.Mean != 0 {
+		t.Error("empty distribution should be zeros")
+	}
+}
+
+func TestDescribeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	describe(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("describe reordered its input")
+	}
+}
+
+func TestWaitAndSlowdownDistributions(t *testing.T) {
+	r := &sim.Result{Records: []sim.JobRecord{
+		rec(0, 10, 110, 100, 4, false, true), // wait 10, slowdown 1.1
+		rec(0, 90, 190, 100, 4, false, true), // wait 90, slowdown 1.9
+		rec(0, 0, 0, 100, 4, false, false),   // incomplete: skipped
+	}}
+	w := WaitDistribution(r)
+	if w.N != 2 || w.Mean != 50 || w.Max != 90 {
+		t.Errorf("wait distribution = %+v", w)
+	}
+	s := SlowdownDistribution(r)
+	if s.N != 2 || math.Abs(s.Mean-1.5) > 1e-9 {
+		t.Errorf("slowdown distribution = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String render")
+	}
+}
+
+func TestByNodeClass(t *testing.T) {
+	records := []sim.JobRecord{
+		rec(0, 10, 110, 100, 16, true, true),
+		rec(0, 20, 120, 100, 32, false, true),
+		rec(0, 30, 130, 100, 100, true, true),
+		rec(0, 0, 0, 100, 500, false, false), // incomplete large job
+	}
+	r := &sim.Result{Records: records}
+	classes := ByNodeClass(r, 32, 128)
+	if len(classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(classes))
+	}
+	small := classes[0]
+	if small.MinNodes != 1 || small.MaxNodes != 32 || small.Jobs != 2 || small.Completed != 2 {
+		t.Errorf("small class = %+v", small)
+	}
+	if small.LoweredFraction != 0.5 {
+		t.Errorf("small lowered = %g, want 0.5", small.LoweredFraction)
+	}
+	mid := classes[1]
+	if mid.Jobs != 1 || mid.Completed != 1 {
+		t.Errorf("mid class = %+v", mid)
+	}
+	large := classes[2]
+	if large.Jobs != 1 || large.Completed != 0 {
+		t.Errorf("large class = %+v", large)
+	}
+	if large.MeanSlowdown != 0 {
+		t.Error("class with no completions should report zero slowdown")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Summary{Utilization: 0.5, MeanSlowdown: 100, MeanWait: 1000}
+	b := Summary{Utilization: 0.8, MeanSlowdown: 25, MeanWait: 200}
+	c := Compare(a, b)
+	if math.Abs(c.UtilizationGain-0.6) > 1e-9 {
+		t.Errorf("gain = %g, want 0.6", c.UtilizationGain)
+	}
+	if c.SlowdownRatio != 4 {
+		t.Errorf("slowdown ratio = %g, want 4", c.SlowdownRatio)
+	}
+	if c.WaitRatio != 5 {
+		t.Errorf("wait ratio = %g, want 5", c.WaitRatio)
+	}
+	if z := Compare(Summary{}, Summary{}); z.UtilizationGain != 0 || z.SlowdownRatio != 0 {
+		t.Error("degenerate compare should be zeros")
+	}
+}

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"overprov/internal/sim"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+func rec(submit, start, end, runtime float64, nodes int, lowered, completed bool) sim.JobRecord {
+	j := &trace.Job{Runtime: units.Seconds(runtime), Nodes: nodes}
+	return sim.JobRecord{
+		Job: j, Submit: units.Seconds(submit), Start: units.Seconds(start),
+		End: units.Seconds(end), Lowered: lowered, Completed: completed, Dispatches: 1,
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	r := &sim.Result{
+		Records: []sim.JobRecord{
+			rec(0, 0, 100, 100, 10, false, true),  // slowdown 1
+			rec(0, 100, 200, 100, 10, true, true), // slowdown 2
+			rec(0, 0, 0, 10, 5, false, false),     // rejected
+		},
+		Makespan:          200,
+		TotalNodes:        20,
+		UsefulNodeSeconds: 2000,
+		WastedNodeSeconds: 500,
+		Dispatches:        3,
+		ResourceFailures:  1,
+		Completed:         2,
+		Rejected:          1,
+	}
+	s := Summarize(r)
+	if s.Utilization != 0.5 {
+		t.Errorf("utilization = %g, want 0.5 (2000 / 20·200)", s.Utilization)
+	}
+	if s.Occupancy != 0.625 {
+		t.Errorf("occupancy = %g, want 0.625", s.Occupancy)
+	}
+	if s.MeanSlowdown != 1.5 {
+		t.Errorf("slowdown = %g, want 1.5", s.MeanSlowdown)
+	}
+	if s.MeanWait != 50 {
+		t.Errorf("wait = %v, want 50", s.MeanWait)
+	}
+	if s.LoweredJobFraction != 0.5 {
+		t.Errorf("lowered fraction = %g, want 0.5", s.LoweredJobFraction)
+	}
+	if math.Abs(s.ResourceFailureRate-1.0/3.0) > 1e-12 {
+		t.Errorf("failure rate = %g, want 1/3", s.ResourceFailureRate)
+	}
+	if s.Completed != 2 || s.Rejected != 1 {
+		t.Errorf("completed/rejected = %d/%d", s.Completed, s.Rejected)
+	}
+}
+
+func TestBoundedSlowdownFloorsTinyJobs(t *testing.T) {
+	// A 1-second job waiting 99 seconds: raw slowdown 100, bounded
+	// slowdown floors the runtime at 10s → (99+1)/10 = 10.
+	r := &sim.Result{
+		Records:    []sim.JobRecord{rec(0, 99, 100, 1, 1, false, true)},
+		Makespan:   100,
+		TotalNodes: 1,
+		Completed:  1,
+	}
+	s := Summarize(r)
+	if s.MeanSlowdown != 100 {
+		t.Errorf("raw slowdown = %g, want 100", s.MeanSlowdown)
+	}
+	if s.MeanBoundedSlowdown != 10 {
+		t.Errorf("bounded slowdown = %g, want 10", s.MeanBoundedSlowdown)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(&sim.Result{})
+	if s.Utilization != 0 || s.MeanSlowdown != 0 {
+		t.Error("empty result should summarise to zeros")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	points := []CurvePoint{
+		{OfferedLoad: 0.2, Utilization: 0.20},
+		{OfferedLoad: 0.4, Utilization: 0.40},
+		{OfferedLoad: 0.6, Utilization: 0.47},
+		{OfferedLoad: 0.8, Utilization: 0.47},
+		{OfferedLoad: 1.0, Utilization: 0.46},
+	}
+	sat, knee := Saturation(points, 0.05)
+	if sat != 0.47 {
+		t.Errorf("saturation utilization = %g, want 0.47", sat)
+	}
+	if knee != 2 {
+		t.Errorf("knee index = %d, want 2 (load 0.6 is the first to fall behind)", knee)
+	}
+}
+
+func TestSaturationNoKnee(t *testing.T) {
+	points := []CurvePoint{
+		{OfferedLoad: 0.2, Utilization: 0.2},
+		{OfferedLoad: 0.4, Utilization: 0.4},
+	}
+	sat, knee := Saturation(points, 0.05)
+	if sat != 0.4 || knee != 1 {
+		t.Errorf("(sat,knee) = (%g,%d), want (0.4,1): unsaturated curve ends at the last point", sat, knee)
+	}
+	if s, k := Saturation(nil, 0.05); s != 0 || k != -1 {
+		t.Errorf("empty curve = (%g,%d)", s, k)
+	}
+}
+
+func TestMemoryReclamationMetrics(t *testing.T) {
+	r := &sim.Result{
+		Records:             []sim.JobRecord{rec(0, 0, 100, 100, 10, true, true)},
+		Makespan:            100,
+		TotalNodes:          10,
+		UsefulNodeSeconds:   1000,
+		RequestedMemSeconds: 32000, // requested 32MB across 1000 node-s
+		MatchedMemSeconds:   16000, // matched at 16MB
+		UsedMemSeconds:      8000,  // used 8MB
+		Dispatches:          1,
+		Completed:           1,
+	}
+	s := Summarize(r)
+	if s.MemoryReclaimedFraction != 0.5 {
+		t.Errorf("reclaimed = %g, want 0.5 (32MB requests matched at 16MB)", s.MemoryReclaimedFraction)
+	}
+	if s.MeanOverAllocation != 2 {
+		t.Errorf("overallocation = %g, want 2 (16MB matched for 8MB used)", s.MeanOverAllocation)
+	}
+	// Baseline semantics: allocated == requested → nothing reclaimed.
+	r.MatchedMemSeconds = r.RequestedMemSeconds
+	if got := Summarize(r).MemoryReclaimedFraction; got != 0 {
+		t.Errorf("baseline reclaimed = %g, want 0", got)
+	}
+}
+
+func TestSummarizeWindow(t *testing.T) {
+	r := &sim.Result{
+		Records: []sim.JobRecord{
+			rec(0, 900, 1000, 100, 1, false, true),     // warm-up: slowdown 10
+			rec(500, 550, 650, 100, 1, true, true),     // steady: slowdown 1.5
+			rec(1000, 1900, 2000, 100, 1, false, true), // cool-down: slowdown 10
+		},
+		Makespan: 2000, TotalNodes: 1, Completed: 3,
+	}
+	full := Summarize(r)
+	if full.MeanSlowdown <= 5 {
+		t.Fatalf("full-run slowdown = %g, expected the boundary jobs to dominate", full.MeanSlowdown)
+	}
+	w, err := SummarizeWindow(r, 0.25, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Completed != 1 {
+		t.Fatalf("window kept %d jobs, want 1", w.Completed)
+	}
+	if w.MeanSlowdown != 1.5 {
+		t.Errorf("windowed slowdown = %g, want 1.5", w.MeanSlowdown)
+	}
+	if w.LoweredJobFraction != 1 {
+		t.Errorf("windowed lowered fraction = %g, want 1", w.LoweredJobFraction)
+	}
+	// Capacity metrics stay full-run.
+	if w.Utilization != full.Utilization {
+		t.Error("utilization should not change with the window")
+	}
+	if _, err := SummarizeWindow(r, 0.9, 0.1); err == nil {
+		t.Error("inverted window must be rejected")
+	}
+	empty, err := SummarizeWindow(&sim.Result{Records: r.Records[:1]}, 0.4, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = empty
+}

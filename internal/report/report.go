@@ -1,0 +1,133 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, so every figure and table of the paper can be regenerated as a
+// readable terminal artifact or piped into a plotting tool.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple column-oriented table builder.
+type Table struct {
+	Title   string
+	columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, columns: columns}
+}
+
+// AddRow appends a row; values are formatted with Cell.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Cell formats a single value compactly: floats get four significant
+// decimals with trailing zeros trimmed; everything else uses %v.
+func Cell(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return FormatFloat(x)
+	case float32:
+		return FormatFloat(float64(x))
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// FormatFloat renders a float with up to four decimals, trimming
+// trailing zeros ("0.58", "1", "3.1416").
+func FormatFloat(x float64) string {
+	s := strconv.FormatFloat(x, 'f', 4, 64)
+	if strings.Contains(s, ".") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimSuffix(s, ".")
+	}
+	return s
+}
+
+// WriteASCII renders the table with aligned columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = utf8.RuneCountInString(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	sep := make([]string, len(t.columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quoting cells that
+// contain commas or quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Columns returns the header names.
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.58, "0.58"},
+		{1, "1"},
+		{3.14159, "3.1416"},
+		{100.5, "100.5"},
+		{0, "0"},
+		{-2.5, "-2.5"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCellTypes(t *testing.T) {
+	if Cell(42) != "42" {
+		t.Error("int cell")
+	}
+	if Cell("abc") != "abc" {
+		t.Error("string cell")
+	}
+	if Cell(0.5) != "0.5" {
+		t.Error("float cell")
+	}
+	if Cell(float32(0.25)) != "0.25" {
+		t.Error("float32 cell")
+	}
+	if Cell(true) != "true" {
+		t.Error("bool cell")
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 2.0)
+	tb.AddRow("beta-longer", 0.125)
+	var sb strings.Builder
+	if err := tb.WriteASCII(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns align: "beta-longer" defines the width.
+	if !strings.Contains(lines[4], "beta-longer  0.125") {
+		t.Errorf("row = %q", lines[4])
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("plain", `with "quote", and comma`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"with \"\"quote\"\", and comma\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestColumnsCopy(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	cols := tb.Columns()
+	cols[0] = "mutated"
+	if tb.Columns()[0] != "x" {
+		t.Error("Columns returned shared storage")
+	}
+}

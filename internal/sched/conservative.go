@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"sort"
+
+	"overprov/internal/units"
+)
+
+// Conservative is conservative backfilling: unlike EASY, *every* queued
+// job receives a reservation in arrival order, and a job may start out
+// of order only if doing so delays none of the reservations ahead of it.
+// It trades EASY's throughput for strictly stronger fairness guarantees
+// (no job is ever delayed by a later arrival), which makes it the
+// natural companion when resource estimation already shrinks the queue.
+//
+// Reservations are computed on node counts against the running jobs'
+// user runtime estimates, exactly like EASY; memory shape is enforced by
+// the engine's actual allocation attempt at start time.
+type Conservative struct {
+	// Window bounds how many queued jobs are processed per round;
+	// 0 means the whole visible queue.
+	Window int
+}
+
+// Name implements Policy.
+func (Conservative) Name() string { return "conservative-backfill" }
+
+// Schedule walks the queue in order, maintaining an availability
+// profile. Jobs whose earliest feasible slot is "now" are started (via
+// try); all others are reserved at their slot, constraining everyone
+// behind them.
+func (c Conservative) Schedule(v *View, try TryFunc) {
+	prof := newProfile(v)
+	limit := len(v.Queue)
+	if c.Window > 0 && c.Window < limit {
+		limit = c.Window
+	}
+	for pos := 0; pos < limit; pos++ {
+		job := v.Queue[pos].Job
+		dur := v.Queue[pos].PredictedRuntime()
+		if dur <= 0 {
+			dur = units.Seconds(1)
+		}
+		start := prof.earliestSlot(v.Now, job.Nodes, dur)
+		if start <= v.Now && try(pos) {
+			prof.reserve(v.Now, job.Nodes, dur)
+			continue
+		}
+		if start <= v.Now {
+			// The profile said "now" but the allocation failed (memory
+			// shape or an unrunnable job). Stay conservative: push the
+			// reservation to the next profile breakpoint so later
+			// candidates cannot assume these nodes.
+			start = prof.nextBreak(v.Now)
+		}
+		prof.reserve(start, job.Nodes, dur)
+	}
+}
+
+// profile is a step function time → free nodes, represented as sorted
+// breakpoints. breakpoints[i] holds the free-node count from its time
+// until the next breakpoint; the last segment extends to infinity.
+type profile struct {
+	times []units.Seconds
+	free  []int
+}
+
+// newProfile builds the availability profile from the cluster's current
+// free nodes plus the expected completions of running jobs.
+func newProfile(v *View) *profile {
+	type release struct {
+		at    units.Seconds
+		nodes int
+	}
+	releases := make([]release, 0, len(v.Running))
+	for _, r := range v.Running {
+		at := r.ExpectedEnd
+		if at < v.Now {
+			// Overdue per the user's estimate; treat as releasing now —
+			// optimistic, but conservative backfilling re-plans every
+			// round so the error self-corrects.
+			at = v.Now
+		}
+		releases = append(releases, release{at: at, nodes: r.Nodes})
+	}
+	sort.Slice(releases, func(i, j int) bool { return releases[i].at < releases[j].at })
+
+	p := &profile{times: []units.Seconds{v.Now}, free: []int{v.Cluster.FreeNodes()}}
+	for _, rel := range releases {
+		last := len(p.times) - 1
+		if rel.at == p.times[last] {
+			p.free[last] += rel.nodes
+			continue
+		}
+		p.times = append(p.times, rel.at)
+		p.free = append(p.free, p.free[last]+rel.nodes)
+	}
+	return p
+}
+
+// earliestSlot returns the earliest time ≥ from at which n nodes are
+// free continuously for dur.
+func (p *profile) earliestSlot(from units.Seconds, n int, dur units.Seconds) units.Seconds {
+	for i := range p.times {
+		start := p.times[i]
+		if start < from {
+			start = from
+		}
+		if i+1 < len(p.times) && p.times[i+1] <= start {
+			continue // segment entirely before from
+		}
+		if p.free[i] < n {
+			continue
+		}
+		// Check the window [start, start+dur) across segments.
+		end := start + dur
+		ok := true
+		for k := i; k < len(p.times); k++ {
+			segStart := p.times[k]
+			if segStart >= end {
+				break
+			}
+			if p.free[k] < n {
+				// Not enough nodes somewhere inside the window; restart
+				// the search after this deficient segment.
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+	// Beyond the last breakpoint everything running has released; the
+	// last segment's capacity is the machine's best. If even that is
+	// insufficient the job is unrunnable by node count; report the far
+	// future so callers reserve without blocking others.
+	return p.times[len(p.times)-1]
+}
+
+// nextBreak returns the first breakpoint strictly after t, or t if none
+// exists.
+func (p *profile) nextBreak(t units.Seconds) units.Seconds {
+	for _, bt := range p.times {
+		if bt > t {
+			return bt
+		}
+	}
+	return t
+}
+
+// reserve subtracts n nodes from the profile over [start, start+dur),
+// inserting breakpoints as needed.
+func (p *profile) reserve(start units.Seconds, n int, dur units.Seconds) {
+	end := start + dur
+	p.insertBreak(start)
+	p.insertBreak(end)
+	for i := range p.times {
+		if p.times[i] >= start && p.times[i] < end {
+			p.free[i] -= n
+		}
+	}
+}
+
+// insertBreak splits the profile at time t (no-op when a breakpoint
+// already exists or t precedes the profile).
+func (p *profile) insertBreak(t units.Seconds) {
+	i := sort.Search(len(p.times), func(k int) bool { return p.times[k] >= t })
+	if i < len(p.times) && p.times[i] == t {
+		return
+	}
+	if i == 0 {
+		return // before the profile start: segment 0 already covers it
+	}
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[i+1:], p.times[i:])
+	copy(p.free[i+1:], p.free[i:])
+	p.times[i] = t
+	p.free[i] = p.free[i-1]
+}

@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"testing"
+
+	"overprov/internal/cluster"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+func qjob(id, nodes int, reqTime float64, est float64) QueuedJob {
+	return QueuedJob{
+		Job: &trace.Job{
+			ID: id, Nodes: nodes, ReqTime: units.Seconds(reqTime),
+			Runtime: units.Seconds(reqTime / 2), ReqMem: 32, UsedMem: 8,
+		},
+		Estimate: units.MemSize(est),
+	}
+}
+
+// tryScript simulates the engine: the policy's try succeeds for the
+// queue positions listed in fits.
+func tryScript(fits map[int]bool) (TryFunc, *[]int) {
+	var attempts []int
+	return func(pos int) bool {
+		attempts = append(attempts, pos)
+		return fits[pos]
+	}, &attempts
+}
+
+func testCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Spec{Nodes: 4, Mem: 24}, cluster.Spec{Nodes: 4, Mem: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFCFSStopsAtFirstBlocked(t *testing.T) {
+	v := &View{Queue: []QueuedJob{qjob(1, 1, 100, 16), qjob(2, 1, 100, 16), qjob(3, 1, 100, 16)}}
+	try, attempts := tryScript(map[int]bool{0: true, 1: false, 2: true})
+	FCFS{}.Schedule(v, try)
+	// Head starts, second blocks, third must NOT be attempted.
+	if len(*attempts) != 2 || (*attempts)[0] != 0 || (*attempts)[1] != 1 {
+		t.Errorf("attempts = %v, want [0 1]", *attempts)
+	}
+}
+
+func TestFCFSDrainsWhenEverythingFits(t *testing.T) {
+	v := &View{Queue: []QueuedJob{qjob(1, 1, 100, 16), qjob(2, 1, 100, 16)}}
+	try, attempts := tryScript(map[int]bool{0: true, 1: true})
+	FCFS{}.Schedule(v, try)
+	if len(*attempts) != 2 {
+		t.Errorf("attempts = %v, want both positions", *attempts)
+	}
+}
+
+func TestSJFAttemptsShortestFirst(t *testing.T) {
+	v := &View{Queue: []QueuedJob{
+		qjob(1, 1, 300, 16), // pos 0, longest
+		qjob(2, 1, 100, 16), // pos 1, shortest
+		qjob(3, 1, 200, 16), // pos 2
+	}}
+	try, attempts := tryScript(map[int]bool{0: true, 1: true, 2: true})
+	SJF{}.Schedule(v, try)
+	want := []int{1, 2, 0}
+	if len(*attempts) != 3 {
+		t.Fatalf("attempts = %v", *attempts)
+	}
+	for i, w := range want {
+		if (*attempts)[i] != w {
+			t.Errorf("attempt %d = %d, want %d (shortest ReqTime first)", i, (*attempts)[i], w)
+		}
+	}
+}
+
+func TestSJFBlocksOnFirstFailure(t *testing.T) {
+	v := &View{Queue: []QueuedJob{qjob(1, 1, 300, 16), qjob(2, 1, 100, 16)}}
+	try, attempts := tryScript(map[int]bool{1: false})
+	SJF{}.Schedule(v, try)
+	if len(*attempts) != 1 || (*attempts)[0] != 1 {
+		t.Errorf("attempts = %v, want just the shortest job", *attempts)
+	}
+}
+
+func TestEASYStartsHeadsThenBackfills(t *testing.T) {
+	cl := testCluster(t)
+	// Occupy every 32MB node so a 32MB-estimate head blocks.
+	if _, ok := cl.Allocate(4, 32); !ok {
+		t.Fatal("setup allocation failed")
+	}
+	head := qjob(1, 4, 100, 30)     // needs all four 32MB nodes: blocked until 100
+	shortFit := qjob(2, 2, 10, 16)  // ends before shadow, fits 24MB pool
+	longFit := qjob(3, 2, 5000, 16) // would outlive the shadow AND exceed extra
+	v := &View{
+		Now:     0,
+		Queue:   []QueuedJob{head, shortFit, longFit},
+		Cluster: cl,
+		Running: []RunningJob{{
+			Job:         &trace.Job{ID: 99, Nodes: 4, ReqTime: 100},
+			ExpectedEnd: 100, Nodes: 4, MinMem: 32,
+		}},
+	}
+	try, attempts := tryScript(map[int]bool{0: false, 1: true, 2: true})
+	EASY{}.Schedule(v, try)
+	// Head attempted (blocked), then only the short candidate.
+	if len(*attempts) < 2 || (*attempts)[0] != 0 || (*attempts)[1] != 1 {
+		t.Fatalf("attempts = %v, want head then short backfill", *attempts)
+	}
+	for _, a := range *attempts {
+		if a == 2 {
+			t.Error("EASY backfilled a job that would delay the head's reservation")
+		}
+	}
+}
+
+func TestEASYWindowLimitsCandidates(t *testing.T) {
+	cl := testCluster(t)
+	if _, ok := cl.Allocate(4, 32); !ok {
+		t.Fatal("setup allocation failed")
+	}
+	queue := []QueuedJob{qjob(1, 4, 100, 30)}
+	for i := 2; i <= 6; i++ {
+		queue = append(queue, qjob(i, 1, 10, 16))
+	}
+	v := &View{
+		Queue: queue, Cluster: cl,
+		Running: []RunningJob{{
+			Job:         &trace.Job{ID: 99, Nodes: 4, ReqTime: 100},
+			ExpectedEnd: 100, Nodes: 4, MinMem: 32,
+		}},
+	}
+	try, attempts := tryScript(map[int]bool{1: true, 2: true, 3: true, 4: true, 5: true})
+	EASY{Window: 2}.Schedule(v, try)
+	// Head + at most 2 backfill candidates examined.
+	if len(*attempts) > 3 {
+		t.Errorf("attempts = %v, window 2 should cap backfill candidates", *attempts)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (FCFS{}).Name() != "fcfs" || (SJF{}).Name() != "sjf" || (EASY{}).Name() != "easy-backfill" {
+		t.Error("policy names changed; reports depend on them")
+	}
+}

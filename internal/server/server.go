@@ -1,0 +1,383 @@
+// Package server embeds the paper's Figure 2 loop in a deployable
+// scheduler daemon: jobs are submitted over HTTP, matched against the
+// heterogeneous cluster using *estimated* requirements, and completion
+// reports feed the estimator — exactly the integration the paper
+// prescribes ("we envision a resource estimation phase prior to resource
+// allocation"), but in wall-clock time instead of simulation.
+//
+// The API is JSON over HTTP (stdlib only):
+//
+//	POST /api/v1/jobs                submit {user, app, nodes, req_mem_mb, req_time_s}
+//	GET  /api/v1/jobs/{id}           job state
+//	POST /api/v1/jobs/{id}/complete  report {success, used_mem_mb}
+//	GET  /api/v1/status              cluster and queue state
+//	GET  /api/v1/estimates           learned similarity-group state
+//
+// Scheduling is strict FCFS with the paper's failure handling: a job
+// whose completion is reported unsuccessful re-enters the queue at the
+// head and is re-dispatched with the (restored) estimate.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed" // done, unsuccessfully (terminal after MaxAttempts)
+	StateRejected JobState = "rejected"
+)
+
+// SubmitRequest is the POST /jobs payload.
+type SubmitRequest struct {
+	User     int     `json:"user"`
+	App      int     `json:"app"`
+	Nodes    int     `json:"nodes"`
+	ReqMemMB float64 `json:"req_mem_mb"`
+	ReqTimeS float64 `json:"req_time_s"`
+}
+
+// CompleteRequest is the POST /jobs/{id}/complete payload.
+type CompleteRequest struct {
+	Success bool `json:"success"`
+	// UsedMemMB is optional explicit feedback; ignored unless the
+	// server runs with explicit feedback enabled.
+	UsedMemMB float64 `json:"used_mem_mb,omitempty"`
+}
+
+// JobView is the externally visible job state.
+type JobView struct {
+	ID        int64    `json:"id"`
+	State     JobState `json:"state"`
+	User      int      `json:"user"`
+	App       int      `json:"app"`
+	Nodes     int      `json:"nodes"`
+	ReqMemMB  float64  `json:"req_mem_mb"`
+	EstMemMB  float64  `json:"est_mem_mb,omitempty"`
+	AllocMB   float64  `json:"alloc_min_mem_mb,omitempty"`
+	Attempts  int      `json:"attempts"`
+	QueuePos  int      `json:"queue_pos,omitempty"`
+	Rejection string   `json:"rejection,omitempty"`
+}
+
+// StatusView is the GET /status payload.
+type StatusView struct {
+	Cluster   string     `json:"cluster"`
+	FreeNodes int        `json:"free_nodes"`
+	Total     int        `json:"total_nodes"`
+	Queued    int        `json:"queued"`
+	Running   int        `json:"running"`
+	Estimator string     `json:"estimator"`
+	Pools     []PoolView `json:"pools"`
+	// Lifetime counters.
+	Done              int `json:"done"`
+	Failed            int `json:"failed"`
+	Rejected          int `json:"rejected"`
+	Dispatches        int `json:"dispatches"`
+	LoweredDispatches int `json:"lowered_dispatches"`
+	// ReclaimedMBNodes is Σ (requested − matched) × nodes over all
+	// dispatches: the matching capacity estimation freed so far.
+	ReclaimedMBNodes float64 `json:"reclaimed_mb_nodes"`
+}
+
+// PoolView is one capacity pool's state.
+type PoolView struct {
+	MemMB float64 `json:"mem_mb"`
+	Total int     `json:"total"`
+	Free  int     `json:"free"`
+}
+
+// Config wires a Server.
+type Config struct {
+	Cluster   *cluster.Cluster
+	Estimator estimate.Estimator
+	// ExplicitFeedback forwards reported usage to the estimator.
+	ExplicitFeedback bool
+	// MaxAttempts bounds re-dispatches of a failing job before it is
+	// marked terminally failed; 0 selects 10.
+	MaxAttempts int
+}
+
+// job is the server's internal record.
+type job struct {
+	view  JobView
+	alloc cluster.Allocation
+	spec  SubmitRequest
+}
+
+// Server is the scheduler daemon core. All state is behind one mutex —
+// submissions and completions are rare events compared to a lock's cost.
+type Server struct {
+	mu          sync.Mutex
+	cfg         Config
+	nextID      int64
+	queue       []*job
+	jobs        map[int64]*job
+	maxAttempts int
+	counters    struct {
+		done, failed, rejected int
+		dispatches, lowered    int
+		reclaimedMBNodes       float64
+	}
+}
+
+// New builds the daemon core.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("server: Config.Cluster is nil")
+	}
+	if cfg.Estimator == nil {
+		return nil, fmt.Errorf("server: Config.Estimator is nil")
+	}
+	ma := cfg.MaxAttempts
+	if ma == 0 {
+		ma = 10
+	}
+	if ma < 1 {
+		return nil, fmt.Errorf("server: MaxAttempts must be ≥ 1, got %d", cfg.MaxAttempts)
+	}
+	return &Server{
+		cfg:         cfg,
+		jobs:        make(map[int64]*job),
+		maxAttempts: ma,
+	}, nil
+}
+
+// Handler returns the HTTP handler for the daemon API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/complete", s.handleComplete)
+	mux.HandleFunc("GET /api/v1/status", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/estimates", s.handleEstimates)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Nodes <= 0 || req.ReqMemMB <= 0 {
+		httpError(w, http.StatusBadRequest,
+			"nodes and req_mem_mb must be positive (got %d, %g)", req.Nodes, req.ReqMemMB)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := &job{
+		spec: req,
+		view: JobView{
+			ID: s.nextID, State: StateQueued,
+			User: req.User, App: req.App,
+			Nodes: req.Nodes, ReqMemMB: req.ReqMemMB,
+		},
+	}
+	s.jobs[j.view.ID] = j
+	s.queue = append(s.queue, j)
+	s.dispatchLocked()
+	writeJSON(w, http.StatusCreated, s.viewLocked(j))
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %d not found", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewLocked(j))
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %d not found", id)
+		return
+	}
+	if j.view.State != StateRunning {
+		httpError(w, http.StatusConflict, "job %d is %s, not running", id, j.view.State)
+		return
+	}
+	if err := s.cfg.Cluster.Release(j.alloc); err != nil {
+		httpError(w, http.StatusInternalServerError, "release: %v", err)
+		return
+	}
+	o := estimate.Outcome{
+		Job:       specToTraceJob(j),
+		Allocated: j.alloc.MinMem(),
+		Success:   req.Success,
+	}
+	if s.cfg.ExplicitFeedback && req.UsedMemMB > 0 {
+		o.Explicit = true
+		o.Used = units.MemSize(req.UsedMemMB)
+	}
+	s.cfg.Estimator.Feedback(o)
+
+	switch {
+	case req.Success:
+		j.view.State = StateDone
+		s.counters.done++
+	case j.view.Attempts >= s.maxAttempts:
+		j.view.State = StateFailed
+		s.counters.failed++
+	default:
+		// The paper's semantics: a failed job returns to the head of
+		// the queue and is re-dispatched with the restored estimate.
+		j.view.State = StateQueued
+		s.queue = append([]*job{j}, s.queue...)
+	}
+	s.dispatchLocked()
+	writeJSON(w, http.StatusOK, s.viewLocked(j))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	running := 0
+	for _, j := range s.jobs {
+		if j.view.State == StateRunning {
+			running++
+		}
+	}
+	st := StatusView{
+		Cluster:           s.cfg.Cluster.String(),
+		FreeNodes:         s.cfg.Cluster.FreeNodes(),
+		Total:             s.cfg.Cluster.TotalNodes(),
+		Queued:            len(s.queue),
+		Running:           running,
+		Estimator:         s.cfg.Estimator.Name(),
+		Done:              s.counters.done,
+		Failed:            s.counters.failed,
+		Rejected:          s.counters.rejected,
+		Dispatches:        s.counters.dispatches,
+		LoweredDispatches: s.counters.lowered,
+		ReclaimedMBNodes:  s.counters.reclaimedMBNodes,
+	}
+	for _, p := range s.cfg.Cluster.Pools() {
+		st.Pools = append(st.Pools, PoolView{MemMB: p.Mem.MBf(), Total: p.Total, Free: p.Free()})
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sa, ok := s.cfg.Estimator.(*estimate.SuccessiveApprox)
+	if !ok {
+		httpError(w, http.StatusNotImplemented,
+			"estimator %q does not expose persistent state", s.cfg.Estimator.Name())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := sa.SaveState(w); err != nil {
+		httpError(w, http.StatusInternalServerError, "save: %v", err)
+	}
+}
+
+// dispatchLocked starts queue heads FCFS until one does not fit. Caller
+// holds the lock.
+func (s *Server) dispatchLocked() {
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		est := s.cfg.Estimator.Estimate(specToTraceJob(j))
+		if !s.cfg.Cluster.FitsAtAll(j.spec.Nodes, est) {
+			j.view.State = StateRejected
+			j.view.Rejection = fmt.Sprintf(
+				"%d nodes with %v per node can never fit this cluster", j.spec.Nodes, est)
+			s.counters.rejected++
+			s.queue = s.queue[1:]
+			continue
+		}
+		alloc, ok := s.cfg.Cluster.Allocate(j.spec.Nodes, est)
+		if !ok {
+			return // strict FCFS: head blocks
+		}
+		j.alloc = alloc
+		j.view.State = StateRunning
+		j.view.Attempts++
+		j.view.EstMemMB = est.MBf()
+		j.view.AllocMB = alloc.MinMem().MBf()
+		s.counters.dispatches++
+		if est.Less(units.MemSize(j.spec.ReqMemMB)) {
+			s.counters.lowered++
+			s.counters.reclaimedMBNodes += (j.spec.ReqMemMB - est.MBf()) * float64(j.spec.Nodes)
+		}
+		s.queue = s.queue[1:]
+	}
+}
+
+// viewLocked decorates a job view with its live queue position.
+func (s *Server) viewLocked(j *job) JobView {
+	v := j.view
+	if v.State == StateQueued {
+		for i, q := range s.queue {
+			if q == j {
+				v.QueuePos = i + 1
+				break
+			}
+		}
+	}
+	return v
+}
+
+// specToTraceJob adapts a submission to the estimator's job model. The
+// daemon never knows true usage; UsedMem stays zero.
+func specToTraceJob(j *job) *trace.Job {
+	return &trace.Job{
+		ID:      int(j.view.ID),
+		Nodes:   j.spec.Nodes,
+		ReqMem:  units.MemSize(j.spec.ReqMemMB),
+		ReqTime: units.Seconds(j.spec.ReqTimeS),
+		User:    j.spec.User,
+		App:     j.spec.App,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	writeJSON(w, status, map[string]string{"error": strings.TrimSpace(msg)})
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"overprov/internal/units"
+)
+
+// EventKind classifies a journal entry.
+type EventKind int
+
+// Journal event kinds, in lifecycle order.
+const (
+	EventArrival EventKind = iota
+	EventDispatch
+	EventComplete
+	EventResourceFail
+	EventSpuriousFail
+	EventReject
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventArrival:
+		return "arrival"
+	case EventDispatch:
+		return "dispatch"
+	case EventComplete:
+		return "complete"
+	case EventResourceFail:
+		return "resource-fail"
+	case EventSpuriousFail:
+		return "spurious-fail"
+	case EventReject:
+		return "reject"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one journal entry: what happened to which job, when, and
+// with what capacities.
+type Event struct {
+	At   units.Seconds
+	Kind EventKind
+	// JobID is the trace job ID.
+	JobID int
+	// Nodes is the job's node count.
+	Nodes int
+	// Estimate is the capacity the matcher used (dispatch and failure
+	// events); Allocated is the smallest per-node capacity actually
+	// granted.
+	Estimate, Allocated units.MemSize
+}
+
+// Journal collects the event stream of a run when enabled via
+// Config.Journal. The zero value is ready to use.
+type Journal struct {
+	Events []Event
+}
+
+// add appends an entry.
+func (j *Journal) add(e Event) { j.Events = append(j.Events, e) }
+
+// Len returns the number of recorded events.
+func (j *Journal) Len() int { return len(j.Events) }
+
+// ForJob returns the job's events in order.
+func (j *Journal) ForJob(jobID int) []Event {
+	var out []Event
+	for _, e := range j.Events {
+		if e.JobID == jobID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of the kind were recorded.
+func (j *Journal) Count(kind EventKind) int {
+	n := 0
+	for _, e := range j.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteTo dumps the journal as one line per event:
+//
+//	<time>s <kind> job=<id> nodes=<n> est=<mem> alloc=<mem>
+func (j *Journal) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range j.Events {
+		n, err := fmt.Fprintf(w, "%.1fs %s job=%d nodes=%d est=%v alloc=%v\n",
+			e.At.Sec(), e.Kind, e.JobID, e.Nodes, e.Estimate, e.Allocated)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Validate checks the journal's lifecycle invariants: every dispatch is
+// preceded by an arrival, every completion/failure by a dispatch, and
+// event times never go backwards. It returns the first violation.
+func (j *Journal) Validate() error {
+	type state int
+	const (
+		unseen state = iota
+		queued
+		running
+		done
+	)
+	states := map[int]state{}
+	var last units.Seconds
+	for i, e := range j.Events {
+		if e.At < last {
+			return fmt.Errorf("sim: journal time went backwards at entry %d (%v after %v)",
+				i, e.At, last)
+		}
+		last = e.At
+		s := states[e.JobID]
+		switch e.Kind {
+		case EventArrival:
+			if s != unseen {
+				return fmt.Errorf("sim: job %d arrived twice", e.JobID)
+			}
+			states[e.JobID] = queued
+		case EventDispatch:
+			if s != queued {
+				return fmt.Errorf("sim: job %d dispatched while %v", e.JobID, s)
+			}
+			states[e.JobID] = running
+		case EventComplete:
+			if s != running {
+				return fmt.Errorf("sim: job %d completed while not running", e.JobID)
+			}
+			states[e.JobID] = done
+		case EventResourceFail, EventSpuriousFail:
+			if s != running {
+				return fmt.Errorf("sim: job %d failed while not running", e.JobID)
+			}
+			states[e.JobID] = queued
+		case EventReject:
+			if s != queued {
+				return fmt.Errorf("sim: job %d rejected while %v", e.JobID, s)
+			}
+			states[e.JobID] = done
+		}
+	}
+	return nil
+}
+
+// OccupancySample is one point of the cluster's utilization time series.
+type OccupancySample struct {
+	At units.Seconds
+	// BusyNodes counts allocated nodes immediately after the event at
+	// At was processed.
+	BusyNodes int
+	// QueueLen is the wait-queue length at the same instant.
+	QueueLen int
+}
+
+// Occupancy reconstructs the busy-node and queue-length time series from
+// a journal, given the cluster's total node count. One sample is emitted
+// per state-changing event.
+func (j *Journal) Occupancy() []OccupancySample {
+	type jobInfo struct{ nodes int }
+	running := map[int]jobInfo{}
+	queued := map[int]bool{}
+	busy := 0
+	var out []OccupancySample
+	for _, e := range j.Events {
+		switch e.Kind {
+		case EventArrival:
+			queued[e.JobID] = true
+		case EventDispatch:
+			delete(queued, e.JobID)
+			running[e.JobID] = jobInfo{nodes: e.Nodes}
+			busy += e.Nodes
+		case EventComplete:
+			busy -= running[e.JobID].nodes
+			delete(running, e.JobID)
+		case EventResourceFail, EventSpuriousFail:
+			busy -= running[e.JobID].nodes
+			delete(running, e.JobID)
+			queued[e.JobID] = true
+		case EventReject:
+			delete(queued, e.JobID)
+		}
+		out = append(out, OccupancySample{At: e.At, BusyNodes: busy, QueueLen: len(queued)})
+	}
+	return out
+}
+
+// PeakBusyNodes returns the maximum simultaneous node occupancy in the
+// journal.
+func (j *Journal) PeakBusyNodes() int {
+	peak := 0
+	for _, s := range j.Occupancy() {
+		if s.BusyNodes > peak {
+			peak = s.BusyNodes
+		}
+	}
+	return peak
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/synth"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+func journalRun(t *testing.T, jobs []trace.Job, cfgMut func(*Config)) (*Result, *Journal) {
+	t.Helper()
+	j := &Journal{}
+	cfg := Config{
+		Trace:     &trace.Trace{Jobs: jobs},
+		Cluster:   smallCluster(t),
+		Estimator: estimate.Identity{},
+		Journal:   j,
+		Seed:      5,
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, j
+}
+
+func TestJournalLifecycle(t *testing.T) {
+	_, j := journalRun(t, []trace.Job{mkJob(1, 0, 100, 2, 16, 8)}, nil)
+	kinds := make([]EventKind, 0, j.Len())
+	for _, e := range j.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{EventArrival, EventDispatch, EventComplete}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRecordsFailureAndRetry(t *testing.T) {
+	// Force one resource failure via a stub estimator stuck at 8MB on a
+	// job using 30MB (cluster smallest pool is 24MB → allocate 24MB →
+	// fail), then retry at the request.
+	first := true
+	est := stubEstimator{estimate: func(*trace.Job) units.MemSize {
+		if first {
+			first = false
+			return 8
+		}
+		return 32
+	}}
+	j := &Journal{}
+	cl, err := cluster.New(cluster.Spec{Nodes: 4, Mem: 8}, cluster.Spec{Nodes: 4, Mem: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(Config{
+		Trace:     &trace.Trace{Jobs: []trace.Job{mkJob(1, 0, 100, 1, 32, 30)}},
+		Cluster:   cl,
+		Estimator: est,
+		Journal:   j,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Count(EventResourceFail) != 1 {
+		t.Errorf("resource failures journalled = %d, want 1", j.Count(EventResourceFail))
+	}
+	if j.Count(EventDispatch) != 2 {
+		t.Errorf("dispatches journalled = %d, want 2", j.Count(EventDispatch))
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-job extraction keeps order.
+	evs := j.ForJob(1)
+	if len(evs) != j.Len() {
+		t.Errorf("ForJob(1) = %d events, want all %d", len(evs), j.Len())
+	}
+}
+
+func TestJournalRejection(t *testing.T) {
+	_, j := journalRun(t, []trace.Job{mkJob(1, 0, 10, 99, 16, 8)}, nil)
+	if j.Count(EventReject) != 1 {
+		t.Errorf("rejects = %d, want 1", j.Count(EventReject))
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalSpuriousFailKind(t *testing.T) {
+	_, j := journalRun(t, []trace.Job{mkJob(1, 0, 100, 1, 16, 8)}, func(c *Config) {
+		c.SpuriousFailureProb = 0.9
+	})
+	if j.Count(EventSpuriousFail) == 0 {
+		t.Error("expected spurious failures journalled")
+	}
+	if j.Count(EventResourceFail) != 0 {
+		t.Error("no resource failures expected")
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalOccupancy(t *testing.T) {
+	// Two 4-node jobs overlap: peak busy = 8.
+	_, j := journalRun(t, []trace.Job{
+		mkJob(1, 0, 100, 4, 16, 8),
+		mkJob(2, 10, 100, 4, 16, 8),
+	}, nil)
+	if peak := j.PeakBusyNodes(); peak != 8 {
+		t.Errorf("peak busy = %d, want 8", peak)
+	}
+	samples := j.Occupancy()
+	last := samples[len(samples)-1]
+	if last.BusyNodes != 0 || last.QueueLen != 0 {
+		t.Errorf("final sample = %+v, want a drained cluster", last)
+	}
+}
+
+func TestJournalQueueLength(t *testing.T) {
+	// Job 1 takes everything; jobs 2 and 3 queue behind it.
+	_, j := journalRun(t, []trace.Job{
+		mkJob(1, 0, 100, 8, 16, 8),
+		mkJob(2, 1, 10, 8, 16, 8),
+		mkJob(3, 2, 10, 8, 16, 8),
+	}, nil)
+	peakQueue := 0
+	for _, s := range j.Occupancy() {
+		if s.QueueLen > peakQueue {
+			peakQueue = s.QueueLen
+		}
+	}
+	if peakQueue != 2 {
+		t.Errorf("peak queue = %d, want 2", peakQueue)
+	}
+}
+
+func TestJournalWriteTo(t *testing.T) {
+	_, j := journalRun(t, []trace.Job{mkJob(1, 0, 100, 2, 16, 8)}, nil)
+	var sb strings.Builder
+	if _, err := j.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"arrival", "dispatch", "complete", "job=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("journal dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJournalValidateOnRealWorkload(t *testing.T) {
+	gen, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.DropLargerThan(8).CompleteOnly().Head(400)
+	cl, err := cluster.New(cluster.Spec{Nodes: 4, Mem: 24}, cluster.Spec{Nodes: 4, Mem: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{Alpha: 2, Round: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Journal{}
+	if _, err := Run(Config{Trace: tr, Cluster: cl, Estimator: sa, Journal: j, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatalf("journal invariants broken on a real workload: %v", err)
+	}
+	// Busy nodes never exceed the machine.
+	for _, s := range j.Occupancy() {
+		if s.BusyNodes > cl.TotalNodes() {
+			t.Fatalf("occupancy %d exceeds %d nodes", s.BusyNodes, cl.TotalNodes())
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EventArrival, EventDispatch, EventComplete,
+		EventResourceFail, EventSpuriousFail, EventReject, EventKind(99)}
+	want := []string{"arrival", "dispatch", "complete",
+		"resource-fail", "spurious-fail", "reject", "unknown"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}

@@ -1,0 +1,526 @@
+// Package sim is the trace-driven, discrete-event cluster simulator the
+// reproduction's experiments run on. It wires together the paper's
+// Figure 2 loop: jobs arrive, the estimator predicts their actual
+// requirements, the scheduler matches the *estimated* requirement against
+// the heterogeneous cluster, and completion feedback (implicit or
+// explicit) flows back into the estimator.
+//
+// Failure semantics follow §3.1 exactly: a job launched on nodes with
+// less memory than it actually uses fails after a time drawn uniformly
+// in (0, runtime), occupies its nodes until then, and returns to the
+// head of the queue. There is no preemption.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/sched"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Trace supplies the jobs, sorted by submission time.
+	Trace *trace.Trace
+	// Cluster is the machine; it is mutated during the run, so pass a
+	// fresh instance per run.
+	Cluster *cluster.Cluster
+	// Estimator predicts actual job requirements. estimate.Identity{}
+	// reproduces classical matching (no estimation).
+	Estimator estimate.Estimator
+	// Policy picks jobs to dispatch; defaults to strict FCFS, the
+	// paper's policy.
+	Policy sched.Policy
+	// ExplicitFeedback controls whether Outcome.Used is reported to the
+	// estimator. The paper's simulations assume implicit feedback (the
+	// general case).
+	ExplicitFeedback bool
+	// SpuriousFailureProb injects resource-unrelated failures (buggy
+	// programs, faulty machines — §2.1's false positives) with the given
+	// per-dispatch probability.
+	SpuriousFailureProb float64
+	// MaxAttempts caps dispatch attempts per job; beyond it the job is
+	// dispatched with its full request, guaranteeing progress even under
+	// adversarial estimates. 0 selects the default of 50.
+	MaxAttempts int
+	// MaxVisibleQueue bounds how many queued jobs a policy sees per
+	// scheduling round (real schedulers window their queues too);
+	// 0 selects the default of 1024. FCFS ignores it.
+	MaxVisibleQueue int
+	// Runtime optionally replaces the user's runtime estimates with
+	// learned predictions for the scheduler's reservation and backfill
+	// arithmetic (Tsafrir et al., the paper's related work [18]). Nil
+	// keeps the user's ReqTime. Predictions never affect job execution —
+	// only planning.
+	Runtime estimate.RuntimeEstimator
+	// Journal, when non-nil, receives the run's full event stream
+	// (arrivals, dispatches, completions, failures, rejections) for
+	// debugging and occupancy analysis.
+	Journal *Journal
+	// Seed drives failure times and spurious failures.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Trace == nil:
+		return fmt.Errorf("sim: Config.Trace is nil")
+	case c.Cluster == nil:
+		return fmt.Errorf("sim: Config.Cluster is nil")
+	case c.Estimator == nil:
+		return fmt.Errorf("sim: Config.Estimator is nil")
+	case c.SpuriousFailureProb < 0 || c.SpuriousFailureProb >= 1:
+		return fmt.Errorf("sim: SpuriousFailureProb %g outside [0,1)", c.SpuriousFailureProb)
+	case c.MaxAttempts < 0:
+		return fmt.Errorf("sim: negative MaxAttempts %d", c.MaxAttempts)
+	}
+	return nil
+}
+
+// JobRecord is the audit trail of one job across the whole run.
+type JobRecord struct {
+	Job *trace.Job
+	// Submit is the job's arrival time (copied for convenience).
+	Submit units.Seconds
+	// Start is when the job's final, successful execution began.
+	Start units.Seconds
+	// End is when the job finally completed.
+	End units.Seconds
+	// Dispatches counts execution attempts (1 = ran cleanly first try).
+	Dispatches int
+	// ResourceFailures counts executions that died from insufficient
+	// allocated memory.
+	ResourceFailures int
+	// SpuriousFailures counts injected resource-unrelated failures.
+	SpuriousFailures int
+	// Lowered reports whether any dispatch used an estimate strictly
+	// below the user's request.
+	Lowered bool
+	// FinalAlloc is the per-node capacity of the successful execution's
+	// smallest node; FinalEst is the matching estimate (E′) that
+	// execution was dispatched with.
+	FinalAlloc, FinalEst units.MemSize
+	// Completed is false for rejected jobs (jobs that can never fit the
+	// cluster).
+	Completed bool
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	// Records holds one entry per trace job, in trace order.
+	Records []JobRecord
+	// Makespan is the time from the first submission to the last event.
+	Makespan units.Seconds
+	// FirstSubmit anchors the makespan.
+	FirstSubmit units.Seconds
+	// TotalNodes echoes the cluster size.
+	TotalNodes int
+	// UsefulNodeSeconds counts node-seconds spent on executions that
+	// completed; WastedNodeSeconds counts node-seconds consumed by
+	// failed executions.
+	UsefulNodeSeconds, WastedNodeSeconds float64
+	// RequestedMemSeconds is Σ requested-memory × nodes × elapsed over
+	// successful executions; MatchedMemSeconds is the same with the
+	// estimate the matcher used (E′ of Algorithm 1); UsedMemSeconds
+	// with the true consumption. Matched < Requested is the matching
+	// capacity the estimator reclaimed; Matched − Used is the residual
+	// over-allocation.
+	RequestedMemSeconds, MatchedMemSeconds, UsedMemSeconds float64
+	// Dispatches counts all execution attempts; ResourceFailures and
+	// SpuriousFailures divide the failed ones; LoweredDispatches counts
+	// attempts with an estimate strictly below the request.
+	Dispatches, ResourceFailures, SpuriousFailures, LoweredDispatches int
+	// Completed and Rejected count jobs.
+	Completed, Rejected int
+	// EstimatorName echoes Config.Estimator.Name().
+	EstimatorName string
+	// PolicyName echoes the scheduling policy.
+	PolicyName string
+}
+
+// jobState is the engine's mutable per-job bookkeeping.
+type jobState struct {
+	job      *trace.Job
+	rec      JobRecord
+	retry    bool
+	enqueued bool
+	// lastFailedEst remembers the capacity of the job's most recent
+	// resource failure, so a retry never repeats a capacity that just
+	// proved insufficient.
+	lastFailedEst   units.MemSize
+	hadResourceFail bool
+}
+
+// endEvent is a scheduled termination.
+type endEvent struct {
+	at       units.Seconds
+	seq      int
+	js       *jobState
+	alloc    cluster.Allocation
+	est      units.MemSize
+	success  bool
+	spurious bool
+	startAt  units.Seconds
+}
+
+// eventHeap orders terminations by (time, seq) for determinism.
+type eventHeap []*endEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*endEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// engine is one run's state.
+type engine struct {
+	cfg     Config
+	rng     *rand.Rand
+	queue   []*jobState
+	events  eventHeap
+	running []*endEvent
+	result  Result
+	now     units.Seconds
+	seq     int
+}
+
+// Run executes the simulation to completion and returns the result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = sched.FCFS{}
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 50
+	}
+	if cfg.MaxVisibleQueue == 0 {
+		cfg.MaxVisibleQueue = 1024
+	}
+	e := &engine{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x853C49E6748FEA9B)),
+	}
+	e.result.TotalNodes = cfg.Cluster.TotalNodes()
+	e.result.EstimatorName = cfg.Estimator.Name()
+	e.result.PolicyName = cfg.Policy.Name()
+
+	jobs := cfg.Trace.Jobs
+	states := make([]jobState, len(jobs))
+	for i := range jobs {
+		states[i] = jobState{job: &jobs[i], rec: JobRecord{Job: &jobs[i], Submit: jobs[i].Submit}}
+	}
+	if len(jobs) > 0 {
+		e.result.FirstSubmit = jobs[0].Submit
+		e.now = jobs[0].Submit
+	}
+
+	nextArrival := 0
+	lastEvent := e.now
+	for nextArrival < len(states) || len(e.events) > 0 {
+		// Pick the next event: terminations win ties so nodes free up
+		// before same-instant arrivals are scheduled.
+		if len(e.events) > 0 &&
+			(nextArrival >= len(states) || e.events[0].at <= states[nextArrival].job.Submit) {
+			ev := heap.Pop(&e.events).(*endEvent)
+			e.now = ev.at
+			e.handleEnd(ev)
+		} else {
+			js := &states[nextArrival]
+			nextArrival++
+			e.now = js.job.Submit
+			e.enqueue(js, false)
+		}
+		if e.now > lastEvent {
+			lastEvent = e.now
+		}
+		e.schedule()
+	}
+	e.result.Makespan = lastEvent - e.result.FirstSubmit
+
+	e.result.Records = make([]JobRecord, len(states))
+	for i := range states {
+		e.result.Records[i] = states[i].rec
+	}
+	if err := cfg.Cluster.Check(); err != nil {
+		return nil, fmt.Errorf("sim: cluster invariant broken after run: %w", err)
+	}
+	if free, total := cfg.Cluster.FreeNodes(), cfg.Cluster.TotalNodes(); free != total {
+		return nil, fmt.Errorf("sim: %d of %d nodes still allocated after run", total-free, total)
+	}
+	return &e.result, nil
+}
+
+// enqueue adds a job to the wait queue; retried jobs go to the head, per
+// the paper ("once it fails, the job returns to the head of the queue").
+func (e *engine) enqueue(js *jobState, retry bool) {
+	js.retry = retry
+	js.enqueued = true
+	if retry {
+		e.queue = append([]*jobState{js}, e.queue...)
+	} else {
+		e.queue = append(e.queue, js)
+		e.journal(Event{At: e.now, Kind: EventArrival, JobID: js.job.ID, Nodes: js.job.Nodes})
+	}
+}
+
+// journal records an event when journaling is enabled.
+func (e *engine) journal(ev Event) {
+	if e.cfg.Journal != nil {
+		e.cfg.Journal.add(ev)
+	}
+}
+
+// handleEnd releases the allocation, reports feedback, and finishes or
+// re-queues the job.
+func (e *engine) handleEnd(ev *endEvent) {
+	if err := e.cfg.Cluster.Release(ev.alloc); err != nil {
+		// A release failure is a simulator bug; make it loud.
+		panic(err)
+	}
+	e.removeRunning(ev)
+
+	elapsed := (e.now - ev.startAt).Sec()
+	nodeSeconds := float64(ev.alloc.Nodes()) * elapsed
+	if ev.success {
+		e.result.UsefulNodeSeconds += nodeSeconds
+		e.result.RequestedMemSeconds += ev.js.job.ReqMem.MBf() * nodeSeconds
+		e.result.MatchedMemSeconds += ev.est.MBf() * nodeSeconds
+		e.result.UsedMemSeconds += ev.js.job.UsedMem.MBf() * nodeSeconds
+	} else {
+		e.result.WastedNodeSeconds += nodeSeconds
+	}
+
+	switch {
+	case ev.success:
+		e.journal(Event{At: e.now, Kind: EventComplete, JobID: ev.js.job.ID,
+			Nodes: ev.alloc.Nodes(), Estimate: ev.est, Allocated: ev.alloc.MinMem()})
+	case ev.spurious:
+		e.journal(Event{At: e.now, Kind: EventSpuriousFail, JobID: ev.js.job.ID,
+			Nodes: ev.alloc.Nodes(), Estimate: ev.est, Allocated: ev.alloc.MinMem()})
+	default:
+		e.journal(Event{At: e.now, Kind: EventResourceFail, JobID: ev.js.job.ID,
+			Nodes: ev.alloc.Nodes(), Estimate: ev.est, Allocated: ev.alloc.MinMem()})
+	}
+
+	o := estimate.Outcome{
+		Job:       ev.js.job,
+		Allocated: ev.alloc.MinMem(),
+		Success:   ev.success,
+	}
+	if e.cfg.ExplicitFeedback {
+		o.Explicit = true
+		o.Used = ev.js.job.UsedMem
+	}
+	e.cfg.Estimator.Feedback(o)
+
+	if ev.success {
+		if e.cfg.Runtime != nil {
+			e.cfg.Runtime.FeedbackRuntime(ev.js.job, e.now-ev.startAt)
+		}
+		ev.js.rec.Start = ev.startAt
+		ev.js.rec.End = e.now
+		ev.js.rec.FinalAlloc = ev.alloc.MinMem()
+		ev.js.rec.FinalEst = ev.est
+		ev.js.rec.Completed = true
+		e.result.Completed++
+		return
+	}
+	e.enqueue(ev.js, true)
+}
+
+func (e *engine) removeRunning(ev *endEvent) {
+	for i, r := range e.running {
+		if r == ev {
+			e.running[i] = e.running[len(e.running)-1]
+			e.running = e.running[:len(e.running)-1]
+			return
+		}
+	}
+}
+
+// schedule runs one scheduling round under the configured policy.
+func (e *engine) schedule() {
+	if len(e.queue) == 0 {
+		return
+	}
+	if _, isFCFS := e.cfg.Policy.(sched.FCFS); isFCFS {
+		// Fast path: strict FCFS needs no queue snapshot.
+		for len(e.queue) > 0 {
+			js := e.queue[0]
+			started, rejected := e.dispatch(js)
+			if rejected {
+				e.queue = e.queue[1:]
+				continue
+			}
+			if !started {
+				return
+			}
+			e.queue = e.queue[1:]
+		}
+		return
+	}
+	e.scheduleWithPolicy()
+}
+
+// scheduleWithPolicy builds the policy view and honours its dispatch
+// choices.
+func (e *engine) scheduleWithPolicy() {
+	visible := len(e.queue)
+	if visible > e.cfg.MaxVisibleQueue {
+		visible = e.cfg.MaxVisibleQueue
+	}
+	view := sched.View{Now: e.now, Cluster: e.cfg.Cluster}
+	view.Queue = make([]sched.QueuedJob, visible)
+	for i := 0; i < visible; i++ {
+		js := e.queue[i]
+		view.Queue[i] = sched.QueuedJob{Job: js.job, Retry: js.retry}
+		if e.cfg.Runtime != nil {
+			view.Queue[i].RuntimeEstimate = e.cfg.Runtime.EstimateRuntime(js.job)
+		}
+	}
+	if visible > 0 {
+		// The head's estimate feeds backfilling reservation arithmetic.
+		view.Queue[0].Estimate = e.cfg.Estimator.Estimate(e.queue[0].job)
+	}
+	view.Running = make([]sched.RunningJob, len(e.running))
+	for i, r := range e.running {
+		expected := r.js.job.ReqTime
+		if e.cfg.Runtime != nil {
+			expected = e.cfg.Runtime.EstimateRuntime(r.js.job)
+		}
+		view.Running[i] = sched.RunningJob{
+			Job:         r.js.job,
+			Start:       r.startAt,
+			ExpectedEnd: r.startAt + expected,
+			Nodes:       r.alloc.Nodes(),
+			MinMem:      r.alloc.MinMem(),
+		}
+	}
+
+	started := make([]bool, visible)
+	rejectedPos := make([]bool, visible)
+	e.cfg.Policy.Schedule(&view, func(pos int) bool {
+		if pos < 0 || pos >= visible || started[pos] || rejectedPos[pos] {
+			return false
+		}
+		js := e.queue[pos]
+		ok, rejected := e.dispatch(js)
+		if rejected {
+			rejectedPos[pos] = true
+			return false
+		}
+		if ok {
+			started[pos] = true
+		}
+		return ok
+	})
+
+	// Compact the queue, dropping started and rejected entries.
+	kept := e.queue[:0]
+	for i, js := range e.queue {
+		if i < visible && (started[i] || rejectedPos[i]) {
+			continue
+		}
+		kept = append(kept, js)
+	}
+	e.queue = kept
+}
+
+// dispatch estimates, allocates, and starts a job. It returns
+// started=false when the cluster has no room right now, and
+// rejected=true when the job can never run (its estimate exceeds what an
+// idle cluster offers) — such jobs are dropped so they cannot block the
+// queue forever.
+func (e *engine) dispatch(js *jobState) (started, rejected bool) {
+	j := js.job
+	est := e.cfg.Estimator.Estimate(j)
+	if js.hadResourceFail && est.Eq(js.lastFailedEst) {
+		// The estimator restored a capacity that this very job just
+		// failed with (Algorithm 1 with a frozen learning rate and a
+		// within-group usage spread — the paper's §2.3 J1/J2
+		// limitation). Re-running at the same capacity is guaranteed to
+		// fail again, so resubmit with the user's own request, as a
+		// production scheduler would.
+		est = j.ReqMem
+	}
+	if js.rec.Dispatches >= e.cfg.MaxAttempts {
+		// Progress guarantee: after too many failures, fall back to the
+		// user's request.
+		est = j.ReqMem
+	}
+	if !e.cfg.Cluster.FitsAtAll(j.Nodes, est) {
+		js.rec.Completed = false
+		e.result.Rejected++
+		e.journal(Event{At: e.now, Kind: EventReject, JobID: j.ID, Nodes: j.Nodes, Estimate: est})
+		return false, true
+	}
+	alloc, ok := e.cfg.Cluster.Allocate(j.Nodes, est)
+	if !ok {
+		return false, false
+	}
+
+	js.enqueued = false
+	js.rec.Dispatches++
+	e.result.Dispatches++
+	if est.Less(j.ReqMem) {
+		js.rec.Lowered = true
+		e.result.LoweredDispatches++
+	}
+	if js.rec.Dispatches == 1 {
+		js.rec.Start = e.now
+	}
+
+	e.journal(Event{At: e.now, Kind: EventDispatch, JobID: j.ID,
+		Nodes: j.Nodes, Estimate: est, Allocated: alloc.MinMem()})
+
+	insufficient := !j.UsedMem.Fits(alloc.MinMem())
+	spurious := e.cfg.SpuriousFailureProb > 0 && e.rng.Float64() < e.cfg.SpuriousFailureProb
+	ev := &endEvent{seq: e.nextSeq(), js: js, alloc: alloc, est: est, startAt: e.now}
+	ev.spurious = spurious && !insufficient
+	switch {
+	case insufficient || spurious:
+		ev.success = false
+		// §3.1: "it fails after a random time, drawn uniformly between
+		// zero and the execution run-time of that job".
+		ev.at = e.now + units.Seconds(e.rng.Float64()*j.Runtime.Sec())
+		if insufficient {
+			js.rec.ResourceFailures++
+			e.result.ResourceFailures++
+			js.hadResourceFail = true
+			js.lastFailedEst = est
+		} else {
+			js.rec.SpuriousFailures++
+			e.result.SpuriousFailures++
+		}
+	default:
+		ev.success = true
+		ev.at = e.now + j.Runtime
+	}
+	heap.Push(&e.events, ev)
+	e.running = append(e.running, ev)
+	return true, false
+}
+
+func (e *engine) nextSeq() int {
+	e.seq++
+	return e.seq
+}

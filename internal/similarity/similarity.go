@@ -1,0 +1,254 @@
+// Package similarity implements the paper's job-similarity machinery
+// (§2.2): disjoint groups of job submissions identified by a set of
+// job-request parameters. For the LANL CM5 the paper keys groups by
+// (user ID, application number, requested memory), obtaining 9,885
+// disjoint groups from 122,055 jobs.
+//
+// The package provides the key functions, a group index, and the group
+// statistics behind Figures 3 (group-size distribution) and 4 (potential
+// gain versus similarity range).
+package similarity
+
+import (
+	"fmt"
+	"sort"
+
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Key identifies a similarity group. Keys from the same KeyFunc are
+// comparable; keys from different KeyFuncs must not be mixed.
+type Key struct {
+	User, App int
+	// ReqMemKB is the requested memory quantised to whole kilobytes so
+	// the struct stays comparable without float equality pitfalls.
+	ReqMemKB int64
+}
+
+// String renders the key for diagnostics.
+func (k Key) String() string {
+	return fmt.Sprintf("u%d/a%d/%s", k.User, k.App, units.MemSize(float64(k.ReqMemKB)/1024.0))
+}
+
+// KeyFunc derives a similarity key from a job request. Only
+// request-visible parameters may be used: the estimator must compute the
+// key at submission time, before anything about actual usage is known.
+type KeyFunc func(*trace.Job) Key
+
+// ByUserAppReqMem is the paper's CM5 key: user ID, application number,
+// and requested memory.
+func ByUserAppReqMem(j *trace.Job) Key {
+	return Key{User: j.User, App: j.App, ReqMemKB: j.ReqMem.Bytes() / 1024}
+}
+
+// ByUserApp keys only by user and application, merging submissions that
+// vary the memory request. A coarser grouping for the key-ablation study.
+func ByUserApp(j *trace.Job) Key {
+	return Key{User: j.User, App: j.App, ReqMemKB: -1}
+}
+
+// ByUser keys only by user — the coarsest grouping in the ablation.
+func ByUser(j *trace.Job) Key {
+	return Key{User: j.User, App: -1, ReqMemKB: -1}
+}
+
+// Group aggregates the jobs sharing one similarity key.
+type Group struct {
+	Key  Key
+	Jobs []*trace.Job
+}
+
+// Size returns the number of job submissions in the group.
+func (g *Group) Size() int { return len(g.Jobs) }
+
+// UsageStats summarises the group's actual resource consumption.
+type UsageStats struct {
+	// MinUsed and MaxUsed bound the per-node memory the group's jobs
+	// actually consumed.
+	MinUsed, MaxUsed units.MemSize
+	// ReqMem is the group's requested memory (identical across the group
+	// under the paper's key; the max is taken for coarser keys).
+	ReqMem units.MemSize
+	// SimilarityRange is MaxUsed/MinUsed — 1 means perfectly similar
+	// jobs (Figure 4's x axis).
+	SimilarityRange float64
+	// PotentialGain is ReqMem/MaxUsed — how much memory estimation could
+	// reclaim even for the group's hungriest job (Figure 4's y axis).
+	PotentialGain float64
+	// Defined reports whether the statistics are meaningful (at least
+	// one job with nonzero usage).
+	Defined bool
+}
+
+// Usage computes the group's usage statistics, skipping jobs with zero
+// recorded usage.
+func (g *Group) Usage() UsageStats {
+	var s UsageStats
+	for _, j := range g.Jobs {
+		if j.UsedMem.IsZero() {
+			continue
+		}
+		if !s.Defined {
+			s.MinUsed, s.MaxUsed = j.UsedMem, j.UsedMem
+			s.Defined = true
+		} else {
+			s.MinUsed = units.MinMem(s.MinUsed, j.UsedMem)
+			s.MaxUsed = units.MaxMem(s.MaxUsed, j.UsedMem)
+		}
+		s.ReqMem = units.MaxMem(s.ReqMem, j.ReqMem)
+	}
+	if !s.Defined || s.MinUsed.IsZero() || s.MaxUsed.IsZero() {
+		s.Defined = false
+		return s
+	}
+	s.SimilarityRange = s.MaxUsed.MBf() / s.MinUsed.MBf()
+	s.PotentialGain = s.ReqMem.MBf() / s.MaxUsed.MBf()
+	return s
+}
+
+// Index is the collection of disjoint similarity groups found in a trace.
+type Index struct {
+	groups map[Key]*Group
+	keyFn  KeyFunc
+}
+
+// NewIndex builds the group index of a trace under the given key.
+func NewIndex(t *trace.Trace, keyFn KeyFunc) *Index {
+	idx := &Index{groups: make(map[Key]*Group), keyFn: keyFn}
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		k := keyFn(j)
+		g := idx.groups[k]
+		if g == nil {
+			g = &Group{Key: k}
+			idx.groups[k] = g
+		}
+		g.Jobs = append(g.Jobs, j)
+	}
+	return idx
+}
+
+// NumGroups returns the number of disjoint groups.
+func (idx *Index) NumGroups() int { return len(idx.groups) }
+
+// Lookup returns the group a job belongs to, or nil.
+func (idx *Index) Lookup(j *trace.Job) *Group {
+	return idx.groups[idx.keyFn(j)]
+}
+
+// Groups returns all groups, sorted by descending size (ties broken by
+// key) for deterministic iteration.
+func (idx *Index) Groups() []*Group {
+	gs := make([]*Group, 0, len(idx.groups))
+	for _, g := range idx.groups {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].Size() != gs[j].Size() {
+			return gs[i].Size() > gs[j].Size()
+		}
+		a, b := gs[i].Key, gs[j].Key
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		return a.ReqMemKB < b.ReqMemKB
+	})
+	return gs
+}
+
+// SizeDistribution is one point of Figure 3: all groups that share a
+// size, and the fraction of the trace's jobs they contain.
+type SizeDistribution struct {
+	GroupSize      int
+	NumGroups      int
+	Jobs           int
+	JobFraction    float64
+	GroupsFraction float64
+}
+
+// SizeHistogram computes the Figure 3 distribution: for every occurring
+// group size, the number of groups of that size and their share of all
+// jobs.
+func (idx *Index) SizeHistogram() []SizeDistribution {
+	bySize := map[int]*SizeDistribution{}
+	totalJobs, totalGroups := 0, 0
+	for _, g := range idx.groups {
+		d := bySize[g.Size()]
+		if d == nil {
+			d = &SizeDistribution{GroupSize: g.Size()}
+			bySize[g.Size()] = d
+		}
+		d.NumGroups++
+		d.Jobs += g.Size()
+		totalJobs += g.Size()
+		totalGroups++
+	}
+	out := make([]SizeDistribution, 0, len(bySize))
+	for _, d := range bySize {
+		if totalJobs > 0 {
+			d.JobFraction = float64(d.Jobs) / float64(totalJobs)
+		}
+		if totalGroups > 0 {
+			d.GroupsFraction = float64(d.NumGroups) / float64(totalGroups)
+		}
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GroupSize < out[j].GroupSize })
+	return out
+}
+
+// CoverageAtLeast reports which share of groups have at least minSize
+// jobs and which share of all jobs those groups contain. The paper
+// reports (19.4 %, 83 %) for minSize=10 on the CM5 log.
+func (idx *Index) CoverageAtLeast(minSize int) (groupShare, jobShare float64) {
+	totalGroups, totalJobs := 0, 0
+	bigGroups, bigJobs := 0, 0
+	for _, g := range idx.groups {
+		totalGroups++
+		totalJobs += g.Size()
+		if g.Size() >= minSize {
+			bigGroups++
+			bigJobs += g.Size()
+		}
+	}
+	if totalGroups == 0 {
+		return 0, 0
+	}
+	return float64(bigGroups) / float64(totalGroups), float64(bigJobs) / float64(totalJobs)
+}
+
+// GainPoint is one point of Figure 4's scatter plot.
+type GainPoint struct {
+	Key             Key
+	Size            int
+	SimilarityRange float64 // x: max used / min used
+	PotentialGain   float64 // y: requested / max used
+}
+
+// GainScatter returns the Figure 4 scatter for groups with at least
+// minSize jobs (the paper uses 10) and defined usage statistics, sorted
+// by ascending similarity range.
+func (idx *Index) GainScatter(minSize int) []GainPoint {
+	var pts []GainPoint
+	for _, g := range idx.Groups() {
+		if g.Size() < minSize {
+			continue
+		}
+		u := g.Usage()
+		if !u.Defined {
+			continue
+		}
+		pts = append(pts, GainPoint{
+			Key:             g.Key,
+			Size:            g.Size(),
+			SimilarityRange: u.SimilarityRange,
+			PotentialGain:   u.PotentialGain,
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].SimilarityRange < pts[j].SimilarityRange })
+	return pts
+}

@@ -1,0 +1,216 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+func mkJob(id, user, app int, req, used float64) trace.Job {
+	return trace.Job{
+		ID: id, Submit: units.Seconds(id), Runtime: 100, Nodes: 32,
+		ReqMem: units.MemSize(req), UsedMem: units.MemSize(used),
+		User: user, App: app, Status: trace.StatusCompleted,
+	}
+}
+
+func TestKeyFunctions(t *testing.T) {
+	j := mkJob(1, 3, 7, 32, 8)
+	full := ByUserAppReqMem(&j)
+	if full.User != 3 || full.App != 7 || full.ReqMemKB != 32*1024 {
+		t.Errorf("full key = %+v", full)
+	}
+	ua := ByUserApp(&j)
+	if ua.User != 3 || ua.App != 7 || ua.ReqMemKB != -1 {
+		t.Errorf("user+app key = %+v", ua)
+	}
+	u := ByUser(&j)
+	if u.User != 3 || u.App != -1 {
+		t.Errorf("user key = %+v", u)
+	}
+}
+
+func TestKeysDistinguishRequests(t *testing.T) {
+	a := mkJob(1, 1, 1, 32, 8)
+	b := mkJob(2, 1, 1, 16, 8)
+	if ByUserAppReqMem(&a) == ByUserAppReqMem(&b) {
+		t.Error("different requested memory must yield different full keys")
+	}
+	if ByUserApp(&a) != ByUserApp(&b) {
+		t.Error("user+app key must merge different memory requests")
+	}
+}
+
+func TestIndexGrouping(t *testing.T) {
+	tr := &trace.Trace{Jobs: []trace.Job{
+		mkJob(1, 1, 1, 32, 8),
+		mkJob(2, 1, 1, 32, 9),
+		mkJob(3, 1, 2, 32, 8),
+		mkJob(4, 2, 1, 32, 8),
+	}}
+	idx := NewIndex(tr, ByUserAppReqMem)
+	if idx.NumGroups() != 3 {
+		t.Fatalf("groups = %d, want 3", idx.NumGroups())
+	}
+	g := idx.Lookup(&tr.Jobs[0])
+	if g == nil || g.Size() != 2 {
+		t.Fatalf("lookup failed or wrong size: %+v", g)
+	}
+	// Groups() is ordered by descending size, deterministically.
+	gs := idx.Groups()
+	if gs[0].Size() != 2 {
+		t.Errorf("largest group first, got size %d", gs[0].Size())
+	}
+}
+
+func TestGroupsAreDisjointProperty(t *testing.T) {
+	// Property: every job appears in exactly one group (the paper
+	// requires *disjoint* similarity groups).
+	err := quick.Check(func(seed uint8) bool {
+		var jobs []trace.Job
+		n := int(seed)%40 + 5
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, mkJob(i+1, i%3+1, i%4+1, float64(8*(i%3+1)), 4))
+		}
+		tr := &trace.Trace{Jobs: jobs}
+		idx := NewIndex(tr, ByUserAppReqMem)
+		seen := map[int]int{}
+		for _, g := range idx.Groups() {
+			for _, j := range g.Jobs {
+				seen[j.ID]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUsageStats(t *testing.T) {
+	tr := &trace.Trace{Jobs: []trace.Job{
+		mkJob(1, 1, 1, 32, 8),
+		mkJob(2, 1, 1, 32, 10),
+		mkJob(3, 1, 1, 32, 16),
+	}}
+	idx := NewIndex(tr, ByUserAppReqMem)
+	g := idx.Lookup(&tr.Jobs[0])
+	u := g.Usage()
+	if !u.Defined {
+		t.Fatal("usage should be defined")
+	}
+	if !u.MinUsed.Eq(8) || !u.MaxUsed.Eq(16) {
+		t.Errorf("min/max = %v/%v", u.MinUsed, u.MaxUsed)
+	}
+	if u.SimilarityRange != 2 {
+		t.Errorf("range = %g, want 2 (16/8)", u.SimilarityRange)
+	}
+	if u.PotentialGain != 2 {
+		t.Errorf("gain = %g, want 2 (32/16)", u.PotentialGain)
+	}
+}
+
+func TestUsageStatsSkipsZeroUsage(t *testing.T) {
+	tr := &trace.Trace{Jobs: []trace.Job{
+		mkJob(1, 1, 1, 32, 0),
+		mkJob(2, 1, 1, 32, 8),
+	}}
+	idx := NewIndex(tr, ByUserAppReqMem)
+	u := idx.Lookup(&tr.Jobs[0]).Usage()
+	if !u.Defined || !u.MinUsed.Eq(8) {
+		t.Errorf("usage = %+v, want zero-usage job skipped", u)
+	}
+	all0 := &trace.Trace{Jobs: []trace.Job{mkJob(1, 1, 1, 32, 0)}}
+	u0 := NewIndex(all0, ByUserAppReqMem).Lookup(&all0.Jobs[0]).Usage()
+	if u0.Defined {
+		t.Error("all-zero usage group should be undefined")
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	tr := &trace.Trace{Jobs: []trace.Job{
+		mkJob(1, 1, 1, 32, 8), mkJob(2, 1, 1, 32, 8), // size-2 group
+		mkJob(3, 2, 1, 32, 8), mkJob(4, 2, 1, 32, 8), // size-2 group
+		mkJob(5, 3, 1, 32, 8), // size-1 group
+	}}
+	idx := NewIndex(tr, ByUserAppReqMem)
+	hist := idx.SizeHistogram()
+	if len(hist) != 2 {
+		t.Fatalf("distinct sizes = %d, want 2", len(hist))
+	}
+	if hist[0].GroupSize != 1 || hist[0].NumGroups != 1 || hist[0].Jobs != 1 {
+		t.Errorf("size-1 row = %+v", hist[0])
+	}
+	if hist[1].GroupSize != 2 || hist[1].NumGroups != 2 || hist[1].Jobs != 4 {
+		t.Errorf("size-2 row = %+v", hist[1])
+	}
+	if hist[1].JobFraction != 0.8 {
+		t.Errorf("size-2 job fraction = %g, want 0.8", hist[1].JobFraction)
+	}
+}
+
+func TestCoverageAtLeast(t *testing.T) {
+	var jobs []trace.Job
+	id := 1
+	// One group of 10 jobs, five groups of 2 jobs.
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, mkJob(id, 1, 1, 32, 8))
+		id++
+	}
+	for u := 2; u <= 6; u++ {
+		for i := 0; i < 2; i++ {
+			jobs = append(jobs, mkJob(id, u, 1, 32, 8))
+			id++
+		}
+	}
+	idx := NewIndex(&trace.Trace{Jobs: jobs}, ByUserAppReqMem)
+	gs, js := idx.CoverageAtLeast(10)
+	if gs != 1.0/6.0 {
+		t.Errorf("group share = %g, want 1/6", gs)
+	}
+	if js != 0.5 {
+		t.Errorf("job share = %g, want 0.5", js)
+	}
+}
+
+func TestGainScatterThresholdAndOrder(t *testing.T) {
+	var jobs []trace.Job
+	id := 1
+	addGroup := func(user, n int, used ...float64) {
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, mkJob(id, user, 1, 32, used[i%len(used)]))
+			id++
+		}
+	}
+	addGroup(1, 12, 8, 9)  // range 1.125
+	addGroup(2, 11, 4, 16) // range 4
+	addGroup(3, 5, 2)      // below threshold
+	idx := NewIndex(&trace.Trace{Jobs: jobs}, ByUserAppReqMem)
+	pts := idx.GainScatter(10)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2 (small group excluded)", len(pts))
+	}
+	if pts[0].SimilarityRange > pts[1].SimilarityRange {
+		t.Error("scatter not sorted by similarity range")
+	}
+	if pts[0].PotentialGain != 32.0/9.0 {
+		t.Errorf("tight group gain = %g, want 32/9", pts[0].PotentialGain)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{User: 3, App: 7, ReqMemKB: 32 * 1024}
+	if got := k.String(); got != "u3/a7/32MB" {
+		t.Errorf("Key.String = %q", got)
+	}
+}

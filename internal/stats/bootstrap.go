@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point, Lo, Hi float64
+	// Level is the nominal coverage, e.g. 0.95.
+	Level float64
+}
+
+// Contains reports whether x falls inside the interval.
+func (c CI) Contains(x float64) bool { return x >= c.Lo && x <= c.Hi }
+
+// BootstrapCI estimates a confidence interval for an arbitrary statistic
+// of xs by the percentile bootstrap: resamples resamplings with
+// replacement, statistic evaluated on each, percentile cut at the given
+// level. Deterministic for a fixed seed. Used to put error bars on the
+// reproduction's headline numbers (EXPERIMENTS.md).
+func BootstrapCI(xs []float64, statistic func([]float64) float64, resamples int, level float64, seed uint64) (CI, error) {
+	if len(xs) == 0 {
+		return CI{}, ErrInsufficientData
+	}
+	if statistic == nil {
+		return CI{}, errors.New("stats: nil statistic")
+	}
+	if resamples < 10 {
+		return CI{}, errors.New("stats: need at least 10 bootstrap resamples")
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, errors.New("stats: confidence level outside (0,1)")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x2545F4914F6CDD1D))
+	point := statistic(xs)
+	samples := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for i := range samples {
+		for k := range buf {
+			buf[k] = xs[rng.IntN(len(xs))]
+		}
+		samples[i] = statistic(buf)
+	}
+	sort.Float64s(samples)
+	alpha := (1 - level) / 2
+	lo := samples[int(alpha*float64(resamples-1))]
+	hi := samples[int((1-alpha)*float64(resamples-1))]
+	return CI{Point: point, Lo: lo, Hi: hi, Level: level}, nil
+}
+
+// BootstrapMeanCI is BootstrapCI with the mean as the statistic.
+func BootstrapMeanCI(xs []float64, resamples int, level float64, seed uint64) (CI, error) {
+	return BootstrapCI(xs, Mean, resamples, level, seed)
+}

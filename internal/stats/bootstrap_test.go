@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBootstrapMeanCICoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 0))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	ci, err := BootstrapMeanCI(xs, 500, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(10) {
+		t.Errorf("95%% CI [%g,%g] misses the true mean 10", ci.Lo, ci.Hi)
+	}
+	if ci.Lo > ci.Point || ci.Point > ci.Hi {
+		t.Errorf("point %g outside its own interval [%g,%g]", ci.Point, ci.Lo, ci.Hi)
+	}
+	// The interval should be tight around 10 with n=500: ±~0.3.
+	if ci.Hi-ci.Lo > 1 {
+		t.Errorf("interval [%g,%g] implausibly wide", ci.Lo, ci.Hi)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := BootstrapMeanCI(xs, 200, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapMeanCI(xs, 200, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same-seed bootstrap differs: %+v vs %+v", a, b)
+	}
+	c, err := BootstrapMeanCI(xs, 200, 0.9, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical intervals")
+	}
+}
+
+func TestBootstrapCustomStatistic(t *testing.T) {
+	xs := []float64{1, 2, 3, 100} // median robust to the outlier
+	ci, err := BootstrapCI(xs, func(s []float64) float64 {
+		m, _ := Median(s)
+		return m
+	}, 300, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Point != 2.5 {
+		t.Errorf("median point = %g, want 2.5", ci.Point)
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	xs := []float64{1, 2}
+	if _, err := BootstrapMeanCI(nil, 100, 0.95, 1); err == nil {
+		t.Error("empty data must be rejected")
+	}
+	if _, err := BootstrapCI(xs, nil, 100, 0.95, 1); err == nil {
+		t.Error("nil statistic must be rejected")
+	}
+	if _, err := BootstrapMeanCI(xs, 5, 0.95, 1); err == nil {
+		t.Error("too few resamples must be rejected")
+	}
+	if _, err := BootstrapMeanCI(xs, 100, 1.5, 1); err == nil {
+		t.Error("bad level must be rejected")
+	}
+}

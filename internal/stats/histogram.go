@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Bin is one histogram bucket: the half-open interval [Lo, Hi) and the
+// number of observations that fell into it. The last bin of a histogram
+// is closed on both ends so the maximum observation is not lost.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Center returns the midpoint of the bin (arithmetic midpoint for linear
+// histograms, geometric midpoint for logarithmic ones — the histogram
+// tracks which applies).
+type Histogram struct {
+	Bins []Bin
+	// Log records whether bin edges are logarithmically spaced; it only
+	// affects Centers and formatting.
+	Log bool
+	// Underflow and Overflow count observations outside the bin range.
+	Underflow, Overflow int
+}
+
+// NewLinearHistogram builds an empty histogram with n equal-width bins
+// covering [lo, hi].
+func NewLinearHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: bad histogram range [%g,%g]", lo, hi)
+	}
+	h := &Histogram{Bins: make([]Bin, n)}
+	w := (hi - lo) / float64(n)
+	for i := range h.Bins {
+		h.Bins[i].Lo = lo + float64(i)*w
+		h.Bins[i].Hi = lo + float64(i+1)*w
+	}
+	h.Bins[n-1].Hi = hi
+	return h, nil
+}
+
+// NewLogHistogram builds an empty histogram with n bins whose edges are
+// geometrically spaced over [lo, hi]; lo must be positive.
+func NewLogHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if lo <= 0 || !(hi > lo) {
+		return nil, fmt.Errorf("stats: bad log histogram range [%g,%g]", lo, hi)
+	}
+	h := &Histogram{Bins: make([]Bin, n), Log: true}
+	ratio := math.Pow(hi/lo, 1/float64(n))
+	edge := lo
+	for i := range h.Bins {
+		h.Bins[i].Lo = edge
+		edge *= ratio
+		h.Bins[i].Hi = edge
+	}
+	h.Bins[n-1].Hi = hi
+	return h, nil
+}
+
+// NewIntegerHistogram builds a histogram with one unit-wide bin per
+// integer in [lo, hi]: bin i covers [lo+i, lo+i+1). It is used for the
+// over-provisioning ratio histogram of Figure 1, whose x axis is the
+// integer part of the requested/used ratio.
+func NewIntegerHistogram(lo, hi int) (*Histogram, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("stats: bad integer histogram range [%d,%d]", lo, hi)
+	}
+	h := &Histogram{Bins: make([]Bin, hi-lo+1)}
+	for i := range h.Bins {
+		h.Bins[i].Lo = float64(lo + i)
+		h.Bins[i].Hi = float64(lo + i + 1)
+	}
+	return h, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Bins)
+	if n == 0 {
+		return
+	}
+	if x < h.Bins[0].Lo {
+		h.Underflow++
+		return
+	}
+	last := &h.Bins[n-1]
+	if x > last.Hi {
+		h.Overflow++
+		return
+	}
+	if x == last.Hi { // closed top edge
+		last.Count++
+		return
+	}
+	// Binary search for the bin with Lo ≤ x < Hi.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x >= h.Bins[mid].Hi {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.Bins[lo].Count++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of observations inside the bins (underflow and
+// overflow excluded).
+func (h *Histogram) Total() int {
+	t := 0
+	for _, b := range h.Bins {
+		t += b.Count
+	}
+	return t
+}
+
+// Fraction returns bin i's share of the in-range observations, or 0 when
+// the histogram is empty.
+func (h *Histogram) Fraction(i int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Bins[i].Count) / float64(t)
+}
+
+// FractionAtLeast returns the share of in-range observations with value
+// ≥ x. Observations counted as overflow are included in the numerator
+// and denominator, since they certainly exceed x.
+func (h *Histogram) FractionAtLeast(x float64) float64 {
+	total := h.Total() + h.Overflow
+	if total == 0 {
+		return 0
+	}
+	count := h.Overflow
+	for _, b := range h.Bins {
+		switch {
+		case b.Lo >= x:
+			count += b.Count
+		case b.Hi > x:
+			// Partially covered bin: attribute counts proportionally to
+			// the covered width. Exact for the unit-wide integer bins
+			// used in Figure 1 when x is an integer edge.
+			frac := (b.Hi - x) / (b.Hi - b.Lo)
+			count += int(math.Round(float64(b.Count) * frac))
+		}
+	}
+	return float64(count) / float64(total)
+}
+
+// Centers returns the representative x value of every bin: the
+// arithmetic midpoint for linear histograms, the geometric midpoint for
+// logarithmic ones.
+func (h *Histogram) Centers() []float64 {
+	cs := make([]float64, len(h.Bins))
+	for i, b := range h.Bins {
+		if h.Log {
+			cs[i] = math.Sqrt(b.Lo * b.Hi)
+		} else {
+			cs[i] = (b.Lo + b.Hi) / 2
+		}
+	}
+	return cs
+}
+
+// Counts returns the per-bin observation counts.
+func (h *Histogram) Counts() []float64 {
+	cs := make([]float64, len(h.Bins))
+	for i, b := range h.Bins {
+		cs[i] = float64(b.Count)
+	}
+	return cs
+}
+
+// LogCountFit fits a regression line to (center, log10(count)) over the
+// bins with a positive count, reproducing the fit drawn through the
+// log-scaled histogram of Figure 1. Empty bins carry no information about
+// the decay rate and are skipped.
+func (h *Histogram) LogCountFit() (LinFit, error) {
+	var xs, ys []float64
+	for i, b := range h.Bins {
+		if b.Count > 0 {
+			xs = append(xs, h.Centers()[i])
+			ys = append(ys, math.Log10(float64(b.Count)))
+		}
+	}
+	return LinReg(xs, ys)
+}

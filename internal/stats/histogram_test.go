@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearHistogramBasics(t *testing.T) {
+	h, err := NewLinearHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 1.9, 2, 5, 9.9, 10}) // 10 lands in the closed top bin
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+	wantCounts := []int{2, 1, 1, 0, 2}
+	for i, want := range wantCounts {
+		if h.Bins[i].Count != want {
+			t.Errorf("bin %d count = %d, want %d", i, h.Bins[i].Count, want)
+		}
+	}
+	if got := h.Fraction(0); !almostEq(got, 2.0/6.0, 1e-12) {
+		t.Errorf("Fraction(0) = %g", got)
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h, _ := NewLinearHistogram(0, 10, 2)
+	h.Add(-1)
+	h.Add(11)
+	h.Add(5)
+	if h.Underflow != 1 || h.Overflow != 1 || h.Total() != 1 {
+		t.Errorf("under/over/total = %d/%d/%d", h.Underflow, h.Overflow, h.Total())
+	}
+}
+
+func TestHistogramMassConservation(t *testing.T) {
+	// Property: every added observation lands in exactly one of bins,
+	// underflow, or overflow.
+	err := quick.Check(func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		h, err := NewLinearHistogram(0, 1, 7)
+		if err != nil {
+			return false
+		}
+		count := int(n)
+		for i := 0; i < count; i++ {
+			h.Add(rng.Float64()*1.4 - 0.2) // some out of range on both sides
+		}
+		return h.Total()+h.Underflow+h.Overflow == count
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegerHistogram(t *testing.T) {
+	h, err := NewIntegerHistogram(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Bins) != 5 {
+		t.Fatalf("bins = %d, want 5", len(h.Bins))
+	}
+	h.AddAll([]float64{1, 1.5, 2, 3.99, 5, 6}) // 6 lands in the closed top bin [5,6]
+	want := []int{2, 1, 1, 0, 2}
+	for i, w := range want {
+		if h.Bins[i].Count != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Bins[i].Count, w)
+		}
+	}
+}
+
+func TestFractionAtLeast(t *testing.T) {
+	h, _ := NewIntegerHistogram(1, 10)
+	// 67 observations of ratio ~1.x, 33 of ratio ≥ 2 — the Figure 1
+	// shape.
+	for i := 0; i < 67; i++ {
+		h.Add(1.5)
+	}
+	for i := 0; i < 20; i++ {
+		h.Add(2.5)
+	}
+	for i := 0; i < 13; i++ {
+		h.Add(4.5)
+	}
+	if got := h.FractionAtLeast(2); !almostEq(got, 0.33, 1e-9) {
+		t.Errorf("FractionAtLeast(2) = %g, want 0.33", got)
+	}
+	if got := h.FractionAtLeast(1); !almostEq(got, 1, 1e-9) {
+		t.Errorf("FractionAtLeast(1) = %g, want 1", got)
+	}
+}
+
+func TestFractionAtLeastCountsOverflow(t *testing.T) {
+	h, _ := NewIntegerHistogram(1, 3)
+	h.Add(1.5)
+	h.Add(100) // overflow — still certainly ≥ 2
+	if got := h.FractionAtLeast(2); !almostEq(got, 0.5, 1e-9) {
+		t.Errorf("FractionAtLeast(2) = %g, want 0.5", got)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h, err := NewLogHistogram(1, 1024, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Log {
+		t.Error("log flag not set")
+	}
+	// Edges must be geometric: each bin's Hi/Lo ratio is constant.
+	ratio := h.Bins[0].Hi / h.Bins[0].Lo
+	for _, b := range h.Bins {
+		if !almostEq(b.Hi/b.Lo, ratio, 1e-9) {
+			t.Errorf("bin [%g,%g) breaks geometric spacing", b.Lo, b.Hi)
+		}
+	}
+	// Geometric centers.
+	cs := h.Centers()
+	for i, b := range h.Bins {
+		if !almostEq(cs[i], math.Sqrt(b.Lo*b.Hi), 1e-9) {
+			t.Errorf("center %d = %g, want geometric midpoint", i, cs[i])
+		}
+	}
+	if _, err := NewLogHistogram(0, 10, 5); err == nil {
+		t.Error("log histogram with lo=0 should error")
+	}
+}
+
+func TestHistogramBadArgs(t *testing.T) {
+	if _, err := NewLinearHistogram(0, 10, 0); err == nil {
+		t.Error("0 bins should error")
+	}
+	if _, err := NewLinearHistogram(10, 0, 5); err == nil {
+		t.Error("inverted range should error")
+	}
+	if _, err := NewIntegerHistogram(5, 1); err == nil {
+		t.Error("inverted integer range should error")
+	}
+}
+
+func TestLogCountFitGeometricDecay(t *testing.T) {
+	// A geometric per-bin decay must fit the log-count line almost
+	// perfectly — this is the mechanism behind Figure 1's regression.
+	h, _ := NewIntegerHistogram(1, 10)
+	count := 100000.0
+	for r := 1; r <= 10; r++ {
+		for i := 0; i < int(count); i++ {
+			h.Add(float64(r) + 0.5)
+		}
+		count *= 0.328
+		if count < 1 {
+			break
+		}
+	}
+	fit, err := h.LogCountFit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("geometric decay R² = %g, want ≈1", fit.R2)
+	}
+	wantSlope := math.Log10(0.328)
+	if !almostEq(fit.Slope, wantSlope, 0.01) {
+		t.Errorf("slope = %g, want %g", fit.Slope, wantSlope)
+	}
+}
+
+func TestBinarySearchAddMatchesLinear(t *testing.T) {
+	// Property: Add's binary search agrees with a linear scan.
+	err := quick.Check(func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		h, _ := NewLinearHistogram(0, 100, 13)
+		ref := make([]int, 13)
+		for i := 0; i < 200; i++ {
+			x := rng.Float64() * 100
+			h.Add(x)
+			for k := range ref {
+				lo, hi := h.Bins[k].Lo, h.Bins[k].Hi
+				if (x >= lo && x < hi) || (k == len(ref)-1 && x == hi) {
+					ref[k]++
+					break
+				}
+			}
+		}
+		for k := range ref {
+			if h.Bins[k].Count != ref[k] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	// Unbiased sample variance of this classic set is 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 11 {
+		t.Errorf("Min/Max/Sum = %g/%g/%g", Min(xs), Max(xs), Sum(xs))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile of empty slice should error")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile with q>1 should error")
+	}
+	// Input must not be reordered.
+	ys := []float64{5, 1, 3}
+	if _, err := Median(ys); err != nil {
+		t.Fatal(err)
+	}
+	if ys[0] != 5 || ys[1] != 1 || ys[2] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestLinRegExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := LinReg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 3, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("R² = %g, want 1 for an exact fit", fit.R2)
+	}
+	if got := fit.Predict(10); !almostEq(got, 23, 1e-12) {
+		t.Errorf("Predict(10) = %g, want 23", got)
+	}
+}
+
+func TestLinRegErrors(t *testing.T) {
+	if _, err := LinReg([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := LinReg([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := LinReg([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should error")
+	}
+}
+
+func TestLinRegRecoversPlantedModel(t *testing.T) {
+	// Property: regression recovers a planted linear model with small
+	// noise to within the noise scale.
+	rng := rand.New(rand.NewPCG(42, 0))
+	err := quick.Check(func(rawSlope, rawIntercept int8) bool {
+		slope := float64(rawSlope) / 8
+		intercept := float64(rawIntercept) / 8
+		xs := make([]float64, 200)
+		ys := make([]float64, 200)
+		for i := range xs {
+			xs[i] = float64(i) / 10
+			ys[i] = slope*xs[i] + intercept + (rng.Float64()-0.5)*0.01
+		}
+		fit, err := LinReg(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEq(fit.Slope, slope, 0.01) && almostEq(fit.Intercept, intercept, 0.05)
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Errorf("Pearson = %g, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, -1, 1e-12) {
+		t.Errorf("Pearson = %g, want -1", r)
+	}
+	if _, err := Pearson(xs, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Error("constant series should error")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", w.N(), len(xs))
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Welford mean %g != batch mean %g", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Welford variance %g != batch variance %g", w.Variance(), Variance(xs))
+	}
+	if !almostEq(w.StdDev(), StdDev(xs), 1e-9) {
+		t.Errorf("Welford stddev %g != batch stddev %g", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Error("single observation: mean 5, variance 0")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone transform yields perfect rank correlation.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // x³
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Errorf("Spearman = %g, want 1 for a monotone relation", r)
+	}
+	desc := []float64{5, 4, 3, 2, 1}
+	r, err = Spearman(xs, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, -1, 1e-12) {
+		t.Errorf("Spearman = %g, want -1", r)
+	}
+}
+
+func TestSpearmanRobustToOutlier(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 1e9} // outlier preserves monotonicity
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Errorf("Spearman = %g, want 1 despite the outlier", r)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point must be rejected")
+	}
+	if _, err := Spearman([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+}

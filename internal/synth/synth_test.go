@@ -1,0 +1,343 @@
+package synth
+
+import (
+	"testing"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// fullTrace is generated once: full-scale generation takes a moment and
+// several calibration tests share it.
+var fullTrace *trace.Trace
+
+func getFullTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-scale calibration skipped in -short mode")
+	}
+	if fullTrace == nil {
+		tr, err := Generate(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullTrace = tr
+	}
+	return fullTrace
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := SmallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default small config invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero jobs", func(c *Config) { c.Jobs = 0 }},
+		{"groups above jobs", func(c *Config) { c.Groups = c.Jobs + 1 }},
+		{"zero span", func(c *Config) { c.Span = 0 }},
+		{"zero node mem", func(c *Config) { c.NodeMem = 0 }},
+		{"bad ratio q", func(c *Config) { c.GeometricRatioQ = 1.0 }},
+		{"negative alpha", func(c *Config) { c.GroupSizeAlpha = -1 }},
+		{"bad wide fraction", func(c *Config) { c.WideGroupFraction = 1.5 }},
+		{"zero users", func(c *Config) { c.Users = 0 }},
+		{"zero runtime median", func(c *Config) { c.RuntimeMedian = 0 }},
+	}
+	for _, c := range cases {
+		cfg := SmallConfig()
+		c.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestGenerateSmallIsValid(t *testing.T) {
+	cfg := SmallConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != cfg.Jobs {
+		t.Fatalf("generated %d jobs, want %d", tr.Len(), cfg.Jobs)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if tr.MaxNodes != cfg.MaxNodes {
+		t.Errorf("MaxNodes = %d, want %d", tr.MaxNodes, cfg.MaxNodes)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SmallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Jobs {
+		x, y := a.Jobs[i], b.Jobs[i]
+		if x != y {
+			t.Fatalf("job %d differs between same-seed runs:\n%+v\n%+v", i, x, y)
+		}
+	}
+	cfg.Seed++
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Jobs {
+		if a.Jobs[i] == c.Jobs[i] {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestFullMachineJobs(t *testing.T) {
+	cfg := SmallConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 0
+	for i := range tr.Jobs {
+		if tr.Jobs[i].Nodes == cfg.MaxNodes {
+			full++
+		}
+	}
+	if full != cfg.FullMachineJobs {
+		t.Errorf("full-machine jobs = %d, want %d", full, cfg.FullMachineJobs)
+	}
+}
+
+func TestUsageNeverExceedsRequest(t *testing.T) {
+	tr, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.UsedMem.MBf() > j.ReqMem.MBf()+1e-9 {
+			t.Fatalf("job %d uses %v but requested %v", j.ID, j.UsedMem, j.ReqMem)
+		}
+		if j.UsedMem <= 0 {
+			t.Fatalf("job %d has non-positive usage %v", j.ID, j.UsedMem)
+		}
+	}
+}
+
+func TestArrivalsSortedWithinSpan(t *testing.T) {
+	cfg := SmallConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Jobs[i].Submit < tr.Jobs[i-1].Submit {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	last := tr.Jobs[tr.Len()-1].Submit
+	if last > cfg.Span {
+		t.Errorf("last arrival %v beyond span %v", last, cfg.Span)
+	}
+}
+
+func TestOverprovisionCalibrationSmall(t *testing.T) {
+	tr, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.ComputeStats(tr)
+	// Paper: 32.8 % of jobs at ratio ≥ 2. The small trace should land
+	// within a loose band.
+	if s.OverprovAtLeast2 < 0.25 || s.OverprovAtLeast2 > 0.42 {
+		t.Errorf("P(ratio ≥ 2) = %.3f, want ≈ 0.33", s.OverprovAtLeast2)
+	}
+}
+
+func TestGroupCountCalibrationSmall(t *testing.T) {
+	cfg := SmallConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := similarity.NewIndex(tr, similarity.ByUserAppReqMem)
+	got := idx.NumGroups()
+	// Each generated group has a unique (user, app, reqmem) key, so the
+	// index must recover exactly the target count.
+	if got != cfg.Groups {
+		t.Errorf("similarity groups = %d, want %d", got, cfg.Groups)
+	}
+}
+
+func TestGroupsAreTight(t *testing.T) {
+	tr, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := similarity.NewIndex(tr, similarity.ByUserAppReqMem)
+	pts := idx.GainScatter(10)
+	if len(pts) == 0 {
+		t.Fatal("no groups of ≥10 jobs")
+	}
+	tight := 0
+	for _, p := range pts {
+		if p.SimilarityRange < 1.5 {
+			tight++
+		}
+	}
+	// Figure 4: "a large fraction of the similarity groups are at the
+	// lower end of the similarity range values."
+	if frac := float64(tight) / float64(len(pts)); frac < 0.6 {
+		t.Errorf("tight-group fraction = %.2f, want most groups tight", frac)
+	}
+}
+
+// Full-scale calibration against every §1–2 statistic the paper reports.
+func TestFullScaleCalibration(t *testing.T) {
+	tr := getFullTrace(t)
+	cfg := DefaultConfig()
+
+	if tr.Len() != cfg.Jobs {
+		t.Fatalf("jobs = %d, want %d", tr.Len(), cfg.Jobs)
+	}
+
+	s := trace.ComputeStats(tr)
+	if s.OverprovAtLeast2 < 0.30 || s.OverprovAtLeast2 > 0.36 {
+		t.Errorf("P(ratio≥2) = %.4f, paper reports 0.328", s.OverprovAtLeast2)
+	}
+
+	idx := similarity.NewIndex(tr, similarity.ByUserAppReqMem)
+	if got := idx.NumGroups(); got != cfg.Groups {
+		t.Errorf("groups = %d, want %d (paper: 9,885)", got, cfg.Groups)
+	}
+	groupShare, jobShare := idx.CoverageAtLeast(10)
+	// Paper: ≥10-job groups are 19.4 % of groups and 83 % of jobs.
+	if groupShare < 0.10 || groupShare > 0.30 {
+		t.Errorf("≥10-job group share = %.3f, paper reports 0.194", groupShare)
+	}
+	if jobShare < 0.70 || jobShare > 0.95 {
+		t.Errorf("≥10-job job share = %.3f, paper reports 0.83", jobShare)
+	}
+
+	// Six full-machine jobs, removable as in §3.1.
+	if kept := tr.DropLargerThan(512); tr.Len()-kept.Len() != cfg.FullMachineJobs {
+		t.Errorf("removed %d full-machine jobs, want %d", tr.Len()-kept.Len(), cfg.FullMachineJobs)
+	}
+
+	// Two-year span.
+	if span := tr.SubmitSpan(); span < 600*units.Day || span > 750*units.Day {
+		t.Errorf("span = %v, want ≈ 2 years", span)
+	}
+}
+
+func TestScaleMemChoiceScalesWithNodeMem(t *testing.T) {
+	if got := scaleMemChoice(32, 64); !got.Eq(64) {
+		t.Errorf("full-node choice on a 64MB node = %v, want 64MB", got)
+	}
+	if got := scaleMemChoice(16, 64); !got.Eq(32) {
+		t.Errorf("half-node choice on a 64MB node = %v, want 32MB", got)
+	}
+}
+
+func TestZipfIntBounds(t *testing.T) {
+	tr, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SmallConfig()
+	for i := range tr.Jobs {
+		if u := tr.Jobs[i].User; u < 1 || u > cfg.Users {
+			t.Fatalf("user %d outside [1,%d]", u, cfg.Users)
+		}
+	}
+}
+
+func TestWeeklyModulation(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.WeekendFactor = 0.4
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weekday, weekend := 0, 0
+	for i := range tr.Jobs {
+		day := int(tr.Jobs[i].Submit.Sec()/units.Day.Sec()) % 7
+		if day >= 5 {
+			weekend++
+		} else {
+			weekday++
+		}
+	}
+	// Per-day rates: weekends should run clearly below weekdays.
+	weekdayRate := float64(weekday) / 5
+	weekendRate := float64(weekend) / 2
+	if weekendRate >= weekdayRate*0.7 {
+		t.Errorf("weekend rate %.0f vs weekday rate %.0f — weekly cycle missing",
+			weekendRate, weekdayRate)
+	}
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config must be rejected")
+	}
+	bad := SmallConfig()
+	bad.WeekendFactor = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("WeekendFactor > 1 must be rejected")
+	}
+}
+
+func TestSP2LikePreset(t *testing.T) {
+	cfg := SP2LikeConfig()
+	cfg.Jobs = 8000 // keep the test fast; shape is what matters
+	cfg.Groups = 1000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	maxNodes, maxMem := 0, units.MemSize(0)
+	full := 0
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.Nodes > maxNodes {
+			maxNodes = j.Nodes
+		}
+		if j.Nodes == cfg.MaxNodes {
+			full++
+		}
+		if j.ReqMem > maxMem {
+			maxMem = j.ReqMem
+		}
+	}
+	if maxNodes > cfg.MaxNodes {
+		t.Errorf("job with %d nodes exceeds the %d-node machine", maxNodes, cfg.MaxNodes)
+	}
+	if full != cfg.FullMachineJobs {
+		t.Errorf("full-machine jobs = %d, want %d", full, cfg.FullMachineJobs)
+	}
+	if !maxMem.Eq(cfg.NodeMem) {
+		t.Errorf("max request = %v, want the %v node size", maxMem, cfg.NodeMem)
+	}
+	s := trace.ComputeStats(tr)
+	// Heavier over-provisioning than the CM5 preset.
+	if s.OverprovAtLeast2 < 0.36 || s.OverprovAtLeast2 > 0.56 {
+		t.Errorf("P(ratio≥2) = %.3f, want ≈ 0.46", s.OverprovAtLeast2)
+	}
+}

@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"math"
+	"sort"
+
+	"overprov/internal/units"
+)
+
+// UserStats aggregates one user's submissions — the raw material for
+// choosing similarity keys (§2.2) and for diagnosing which users drive
+// the over-provisioning mass of Figure 1.
+type UserStats struct {
+	User int
+	Jobs int
+	// Apps is the number of distinct applications the user ran.
+	Apps int
+	// NodeSeconds is the user's total resource demand.
+	NodeSeconds float64
+	// MeanOverprovision is the mean requested/used memory ratio over
+	// the user's jobs with a defined ratio; 0 when none is defined.
+	MeanOverprovision float64
+	// RatioDefined counts jobs contributing to MeanOverprovision.
+	RatioDefined int
+}
+
+// ByUserStats aggregates the trace per user, sorted by descending
+// node-seconds (the heaviest users first).
+func ByUserStats(t *Trace) []UserStats {
+	type acc struct {
+		stats UserStats
+		apps  map[int]bool
+		ratio float64
+	}
+	users := map[int]*acc{}
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		a := users[j.User]
+		if a == nil {
+			a = &acc{stats: UserStats{User: j.User}, apps: map[int]bool{}}
+			users[j.User] = a
+		}
+		a.stats.Jobs++
+		a.apps[j.App] = true
+		a.stats.NodeSeconds += j.NodeSeconds()
+		if r, ok := j.OverprovisionRatio(); ok {
+			a.ratio += r
+			a.stats.RatioDefined++
+		}
+	}
+	out := make([]UserStats, 0, len(users))
+	for _, a := range users {
+		a.stats.Apps = len(a.apps)
+		if a.stats.RatioDefined > 0 {
+			a.stats.MeanOverprovision = a.ratio / float64(a.stats.RatioDefined)
+		}
+		out = append(out, a.stats)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].NodeSeconds != out[k].NodeSeconds {
+			return out[i].NodeSeconds > out[k].NodeSeconds
+		}
+		return out[i].User < out[k].User
+	})
+	return out
+}
+
+// ArrivalPattern is the trace's submission rhythm.
+type ArrivalPattern struct {
+	// Hourly[h] counts submissions whose time-of-day falls in hour h.
+	Hourly [24]int
+	// PeakHour and TroughHour locate the extremes.
+	PeakHour, TroughHour int
+	// DayNightRatio is the mean daytime (8–20h) rate over the mean
+	// night-time rate; production logs typically show 2–4×.
+	DayNightRatio float64
+	// MeanInterarrival and CV describe the arrival process; a CV near 1
+	// is Poisson-like, larger means bursty.
+	MeanInterarrival units.Seconds
+	InterarrivalCV   float64
+}
+
+// Arrivals analyses the submission process of a submit-ordered trace.
+func Arrivals(t *Trace) ArrivalPattern {
+	var p ArrivalPattern
+	if t.Len() == 0 {
+		return p
+	}
+	for i := range t.Jobs {
+		hour := int(math.Mod(t.Jobs[i].Submit.Sec(), units.Day.Sec()) / units.Hour.Sec())
+		if hour < 0 {
+			hour = 0
+		}
+		if hour > 23 {
+			hour = 23
+		}
+		p.Hourly[hour]++
+	}
+	day, night := 0, 0
+	for h, c := range p.Hourly {
+		if c > p.Hourly[p.PeakHour] {
+			p.PeakHour = h
+		}
+		if c < p.Hourly[p.TroughHour] {
+			p.TroughHour = h
+		}
+		if h >= 8 && h < 20 {
+			day += c
+		} else {
+			night += c
+		}
+	}
+	if night > 0 {
+		p.DayNightRatio = float64(day) / float64(night)
+	}
+	if t.Len() > 1 {
+		var gaps []float64
+		for i := 1; i < t.Len(); i++ {
+			gaps = append(gaps, (t.Jobs[i].Submit - t.Jobs[i-1].Submit).Sec())
+		}
+		mean := 0.0
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		p.MeanInterarrival = units.Seconds(mean)
+		if mean > 0 {
+			ss := 0.0
+			for _, g := range gaps {
+				ss += (g - mean) * (g - mean)
+			}
+			p.InterarrivalCV = math.Sqrt(ss/float64(len(gaps))) / mean
+		}
+	}
+	return p
+}
+
+// RuntimeDistribution summarises job runtimes.
+type RuntimeDistribution struct {
+	Min, Median, Mean, P90, Max units.Seconds
+	// LogStdDev is the standard deviation of ln(runtime) — the shape
+	// parameter if runtimes are lognormal, as in most production logs.
+	LogStdDev float64
+}
+
+// Runtimes summarises the trace's runtime distribution (zero-runtime
+// jobs are skipped).
+func Runtimes(t *Trace) RuntimeDistribution {
+	var d RuntimeDistribution
+	var rs []float64
+	for i := range t.Jobs {
+		if r := t.Jobs[i].Runtime.Sec(); r > 0 {
+			rs = append(rs, r)
+		}
+	}
+	if len(rs) == 0 {
+		return d
+	}
+	sort.Float64s(rs)
+	d.Min = units.Seconds(rs[0])
+	d.Max = units.Seconds(rs[len(rs)-1])
+	d.Median = units.Seconds(rs[len(rs)/2])
+	d.P90 = units.Seconds(rs[int(float64(len(rs))*0.9)])
+	sum, logSum := 0.0, 0.0
+	for _, r := range rs {
+		sum += r
+		logSum += math.Log(r)
+	}
+	mean := sum / float64(len(rs))
+	logMean := logSum / float64(len(rs))
+	d.Mean = units.Seconds(mean)
+	ss := 0.0
+	for _, r := range rs {
+		dl := math.Log(r) - logMean
+		ss += dl * dl
+	}
+	d.LogStdDev = math.Sqrt(ss / float64(len(rs)))
+	return d
+}
+
+// MemoryProfile breaks the trace's memory demand into the request
+// distribution and usage distribution the estimator operates between.
+type MemoryProfile struct {
+	// RequestLevels maps each distinct requested capacity to its job
+	// count, capacity-ascending.
+	RequestLevels []MemLevel
+	// MeanRequested and MeanUsed are job-weighted means.
+	MeanRequested, MeanUsed units.MemSize
+	// ReclaimablePerJob is the mean per-node memory the estimator could
+	// reclaim with perfect knowledge: mean(requested − used).
+	ReclaimablePerJob units.MemSize
+}
+
+// MemLevel is one requested-capacity level.
+type MemLevel struct {
+	Mem  units.MemSize
+	Jobs int
+}
+
+// Memory profiles the trace's requested and used memory.
+func Memory(t *Trace) MemoryProfile {
+	var p MemoryProfile
+	if t.Len() == 0 {
+		return p
+	}
+	levels := map[int64]*MemLevel{}
+	var req, used float64
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		key := j.ReqMem.Bytes()
+		lv := levels[key]
+		if lv == nil {
+			lv = &MemLevel{Mem: j.ReqMem}
+			levels[key] = lv
+		}
+		lv.Jobs++
+		req += j.ReqMem.MBf()
+		used += j.UsedMem.MBf()
+	}
+	for _, lv := range levels {
+		p.RequestLevels = append(p.RequestLevels, *lv)
+	}
+	sort.Slice(p.RequestLevels, func(i, k int) bool {
+		return p.RequestLevels[i].Mem < p.RequestLevels[k].Mem
+	})
+	n := float64(t.Len())
+	p.MeanRequested = units.MemSize(req / n)
+	p.MeanUsed = units.MemSize(used / n)
+	p.ReclaimablePerJob = units.MemSize((req - used) / n)
+	return p
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"overprov/internal/units"
+)
+
+func TestByUserStats(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		mkJob(1, 0, 100, 10, 32, 8),  // user 1, ratio 4
+		mkJob(2, 1, 100, 10, 32, 16), // user 1, ratio 2
+		mkJob(3, 2, 50, 100, 32, 0),  // user 2, undefined ratio, heavy
+	}}
+	tr.Jobs[2].User = 2
+	tr.Jobs[2].App = 9
+
+	stats := ByUserStats(tr)
+	if len(stats) != 2 {
+		t.Fatalf("users = %d, want 2", len(stats))
+	}
+	// User 2 has 5000 node-seconds vs user 1's 2000 → first.
+	if stats[0].User != 2 || stats[0].NodeSeconds != 5000 {
+		t.Errorf("heaviest user = %+v", stats[0])
+	}
+	u1 := stats[1]
+	if u1.Jobs != 2 || u1.Apps != 1 {
+		t.Errorf("user 1 jobs/apps = %d/%d", u1.Jobs, u1.Apps)
+	}
+	if u1.MeanOverprovision != 3 {
+		t.Errorf("user 1 mean ratio = %g, want 3", u1.MeanOverprovision)
+	}
+	if stats[0].RatioDefined != 0 || stats[0].MeanOverprovision != 0 {
+		t.Errorf("undefined-ratio user should report zeros: %+v", stats[0])
+	}
+}
+
+func TestArrivalsHourly(t *testing.T) {
+	var tr Trace
+	// Ten jobs at 14:00, two at 02:00 (on different days).
+	for i := 0; i < 10; i++ {
+		tr.Jobs = append(tr.Jobs, mkJob(i+1,
+			float64(i)*units.Day.Sec()+14*units.Hour.Sec(), 10, 1, 32, 8))
+	}
+	for i := 0; i < 2; i++ {
+		tr.Jobs = append(tr.Jobs, mkJob(20+i,
+			float64(i)*units.Day.Sec()+2*units.Hour.Sec(), 10, 1, 32, 8))
+	}
+	tr.SortBySubmit()
+	p := Arrivals(&tr)
+	if p.Hourly[14] != 10 || p.Hourly[2] != 2 {
+		t.Errorf("hourly = 14h:%d 2h:%d", p.Hourly[14], p.Hourly[2])
+	}
+	if p.PeakHour != 14 {
+		t.Errorf("peak hour = %d, want 14", p.PeakHour)
+	}
+	if p.DayNightRatio != 5 {
+		t.Errorf("day/night = %g, want 5", p.DayNightRatio)
+	}
+}
+
+func TestArrivalsInterarrival(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		mkJob(1, 0, 1, 1, 32, 8),
+		mkJob(2, 100, 1, 1, 32, 8),
+		mkJob(3, 200, 1, 1, 32, 8),
+	}}
+	p := Arrivals(tr)
+	if p.MeanInterarrival != 100 {
+		t.Errorf("mean interarrival = %v, want 100", p.MeanInterarrival)
+	}
+	if p.InterarrivalCV != 0 {
+		t.Errorf("CV = %g, want 0 for a deterministic process", p.InterarrivalCV)
+	}
+	if got := Arrivals(&Trace{}); got.MeanInterarrival != 0 {
+		t.Error("empty trace should yield zero pattern")
+	}
+}
+
+func TestRuntimesSummary(t *testing.T) {
+	var tr Trace
+	for _, r := range []float64{10, 20, 30, 40, 1000} {
+		tr.Jobs = append(tr.Jobs, mkJob(len(tr.Jobs)+1, 0, r, 1, 32, 8))
+	}
+	tr.Jobs = append(tr.Jobs, mkJob(99, 0, 0, 1, 32, 8)) // skipped
+	d := Runtimes(&tr)
+	if d.Min != 10 || d.Max != 1000 {
+		t.Errorf("min/max = %v/%v", d.Min, d.Max)
+	}
+	if d.Median != 30 {
+		t.Errorf("median = %v, want 30", d.Median)
+	}
+	if d.Mean != 220 {
+		t.Errorf("mean = %v, want 220", d.Mean)
+	}
+	if d.LogStdDev <= 0 {
+		t.Error("log stddev should be positive for varied runtimes")
+	}
+	if got := Runtimes(&Trace{}); got.Mean != 0 {
+		t.Error("empty trace should yield zeros")
+	}
+}
+
+func TestMemoryProfile(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		mkJob(1, 0, 1, 1, 32, 8),
+		mkJob(2, 0, 1, 1, 32, 16),
+		mkJob(3, 0, 1, 1, 16, 4),
+	}}
+	p := Memory(tr)
+	if len(p.RequestLevels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(p.RequestLevels))
+	}
+	if !p.RequestLevels[0].Mem.Eq(16) || p.RequestLevels[0].Jobs != 1 {
+		t.Errorf("first level = %+v", p.RequestLevels[0])
+	}
+	if !p.RequestLevels[1].Mem.Eq(32) || p.RequestLevels[1].Jobs != 2 {
+		t.Errorf("second level = %+v", p.RequestLevels[1])
+	}
+	wantMeanReq := (32.0 + 32 + 16) / 3
+	if math.Abs(p.MeanRequested.MBf()-wantMeanReq) > 1e-9 {
+		t.Errorf("mean requested = %v, want %g", p.MeanRequested, wantMeanReq)
+	}
+	wantReclaim := wantMeanReq - (8.0+16+4)/3
+	if math.Abs(p.ReclaimablePerJob.MBf()-wantReclaim) > 1e-9 {
+		t.Errorf("reclaimable = %v, want %g", p.ReclaimablePerJob, wantReclaim)
+	}
+}

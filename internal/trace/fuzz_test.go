@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSWF checks that arbitrary input never panics the parser and
+// that anything it accepts survives a write/read round trip with the
+// same job count.
+func FuzzReadSWF(f *testing.F) {
+	f.Add(sampleSWF)
+	f.Add("; header only\n")
+	f.Add("")
+	f.Add("1 0 0 1 1 -1 1024 1 10 32768 1 1 1 1 1 1 -1 -1\n")
+	f.Add("not a number at all\n")
+	f.Add("1 2 3\n; comment\n4 5 6\n")
+	f.Add(strings.Repeat("9999999999 ", 18) + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadSWF(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialise: %v", err)
+		}
+		back, err := ReadSWF(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed job count: %d → %d", tr.Len(), back.Len())
+		}
+	})
+}

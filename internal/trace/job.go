@@ -1,0 +1,221 @@
+// Package trace models parallel-workload traces: the per-job records the
+// estimator learns from and the simulator replays, together with a reader
+// and writer for the Standard Workload Format (SWF) used by the Parallel
+// Workloads Archive, from which the paper's LANL CM5 log comes.
+//
+// The paper's key observation lives in two fields of this model: ReqMem
+// (what the user asked for) and UsedMem (what the job actually consumed).
+// Their ratio is the over-provisioning ratio of Figure 1.
+package trace
+
+import (
+	"fmt"
+
+	"overprov/internal/units"
+)
+
+// Status is the completion status of a job, following the SWF encoding.
+type Status int
+
+// SWF status codes.
+const (
+	StatusFailed    Status = 0 // job failed
+	StatusCompleted Status = 1 // job completed successfully
+	StatusPartial   Status = 2 // partial-execution record (multi-record jobs)
+	StatusCancelled Status = 5 // job was cancelled before or during execution
+	StatusUnknown   Status = -1
+)
+
+// String returns a short human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case StatusFailed:
+		return "failed"
+	case StatusCompleted:
+		return "completed"
+	case StatusPartial:
+		return "partial"
+	case StatusCancelled:
+		return "cancelled"
+	default:
+		return "unknown"
+	}
+}
+
+// Job is one record of a workload trace. Memory quantities are per node,
+// following the CM5 log's convention (each CM-5 node had 32 MB and jobs
+// were space-shared across whole nodes).
+type Job struct {
+	// ID is the job's sequence number within the trace, starting at 1.
+	ID int
+	// Submit is the job's arrival time, relative to the start of the
+	// trace.
+	Submit units.Seconds
+	// Wait is the queueing delay recorded in the original log. The
+	// simulator recomputes waits; this field preserves the log's value
+	// for analysis.
+	Wait units.Seconds
+	// Runtime is the job's actual execution time.
+	Runtime units.Seconds
+	// Nodes is the number of nodes the job ran on. The CM-5 allocated
+	// power-of-two partitions of at least 32 nodes.
+	Nodes int
+	// ReqTime is the user's runtime estimate (batch time limit).
+	ReqTime units.Seconds
+	// ReqMem is the per-node memory capacity the user requested. This is
+	// the quantity users over-provision.
+	ReqMem units.MemSize
+	// UsedMem is the per-node memory the job actually consumed — the
+	// "actual job requirement" the estimators try to discover.
+	UsedMem units.MemSize
+	// User identifies the submitting user; part of the similarity key.
+	User int
+	// Group is the user's (unix) group.
+	Group int
+	// App identifies the application/executable; part of the similarity
+	// key.
+	App int
+	// Queue and Partition are the log's queue and partition numbers.
+	Queue, Partition int
+	// Status is the job's completion status in the original log.
+	Status Status
+}
+
+// OverprovisionRatio returns ReqMem/UsedMem, the paper's central
+// statistic. It returns ok=false when UsedMem is zero (the ratio is
+// undefined; the CM5 log contains a handful of such records).
+func (j *Job) OverprovisionRatio() (ratio float64, ok bool) {
+	if j.UsedMem.IsZero() {
+		return 0, false
+	}
+	return j.ReqMem.MBf() / j.UsedMem.MBf(), true
+}
+
+// NodeSeconds returns the job's resource demand in node-seconds.
+func (j *Job) NodeSeconds() float64 {
+	return float64(j.Nodes) * j.Runtime.Sec()
+}
+
+// Validate reports the first structural problem with the record, or nil.
+func (j *Job) Validate() error {
+	switch {
+	case j.ID <= 0:
+		return fmt.Errorf("trace: job %d: non-positive ID", j.ID)
+	case j.Submit < 0:
+		return fmt.Errorf("trace: job %d: negative submit time %v", j.ID, j.Submit)
+	case j.Runtime < 0:
+		return fmt.Errorf("trace: job %d: negative runtime %v", j.ID, j.Runtime)
+	case j.Nodes <= 0:
+		return fmt.Errorf("trace: job %d: non-positive node count %d", j.ID, j.Nodes)
+	case j.ReqMem < 0:
+		return fmt.Errorf("trace: job %d: negative requested memory %v", j.ID, j.ReqMem)
+	case j.UsedMem < 0:
+		return fmt.Errorf("trace: job %d: negative used memory %v", j.ID, j.UsedMem)
+	case j.UsedMem.MBf() > j.ReqMem.MBf()+1e-9:
+		// The paper's working assumption (§1.3): requests are always ≥
+		// actual use; it does not attempt to fix under-requests.
+		return fmt.Errorf("trace: job %d: used memory %v exceeds requested %v",
+			j.ID, j.UsedMem, j.ReqMem)
+	}
+	return nil
+}
+
+// Trace is an ordered collection of jobs plus the header metadata carried
+// by an SWF file.
+type Trace struct {
+	// Jobs are the records, conventionally ordered by submit time.
+	Jobs []Job
+	// Header holds the SWF comment lines (without the leading ';'),
+	// preserved across read/write round trips.
+	Header []string
+	// MaxNodes is the size of the machine the trace was recorded on
+	// (0 when unknown).
+	MaxNodes int
+}
+
+// Len returns the number of jobs.
+func (t *Trace) Len() int { return len(t.Jobs) }
+
+// Span returns the duration from the first submit to the last job-end
+// event (submit + wait-in-log + runtime), i.e. the period the log covers.
+func (t *Trace) Span() units.Seconds {
+	if len(t.Jobs) == 0 {
+		return 0
+	}
+	first := t.Jobs[0].Submit
+	last := units.Seconds(0)
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		if j.Submit < first {
+			first = j.Submit
+		}
+		end := j.Submit + j.Wait + j.Runtime
+		if end > last {
+			last = end
+		}
+	}
+	return last - first
+}
+
+// SubmitSpan returns the duration between the first and last submission.
+func (t *Trace) SubmitSpan() units.Seconds {
+	if len(t.Jobs) < 2 {
+		return 0
+	}
+	first, last := t.Jobs[0].Submit, t.Jobs[0].Submit
+	for i := range t.Jobs {
+		s := t.Jobs[i].Submit
+		if s < first {
+			first = s
+		}
+		if s > last {
+			last = s
+		}
+	}
+	return last - first
+}
+
+// TotalNodeSeconds returns the summed node-seconds demand of all jobs.
+func (t *Trace) TotalNodeSeconds() float64 {
+	sum := 0.0
+	for i := range t.Jobs {
+		sum += t.Jobs[i].NodeSeconds()
+	}
+	return sum
+}
+
+// OfferedLoad returns the trace's demand relative to a machine of
+// totalNodes nodes over the submission span: total node-seconds divided
+// by (totalNodes × span). A value near 1 means the trace saturates the
+// machine.
+func (t *Trace) OfferedLoad(totalNodes int) float64 {
+	span := t.SubmitSpan().Sec()
+	if span <= 0 || totalNodes <= 0 {
+		return 0
+	}
+	return t.TotalNodeSeconds() / (float64(totalNodes) * span)
+}
+
+// Validate checks every job and the ordering invariant.
+func (t *Trace) Validate() error {
+	for i := range t.Jobs {
+		if err := t.Jobs[i].Validate(); err != nil {
+			return err
+		}
+		if i > 0 && t.Jobs[i].Submit < t.Jobs[i-1].Submit {
+			return fmt.Errorf("trace: job %d submitted at %v before predecessor at %v",
+				t.Jobs[i].ID, t.Jobs[i].Submit, t.Jobs[i-1].Submit)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{
+		Jobs:     append([]Job(nil), t.Jobs...),
+		Header:   append([]string(nil), t.Header...),
+		MaxNodes: t.MaxNodes,
+	}
+	return c
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"overprov/internal/units"
+)
+
+// The Standard Workload Format (SWF) is the line-oriented format of the
+// Parallel Workloads Archive. Each non-comment line holds the 18
+// whitespace-separated fields below; -1 marks a missing value. Memory
+// fields are kilobytes per processor. Comment lines start with ';'.
+//
+//	1 job number          10 requested memory (KB/proc)
+//	2 submit time (s)     11 status
+//	3 wait time (s)       12 user id
+//	4 run time (s)        13 group id
+//	5 allocated procs     14 executable (application) number
+//	6 avg cpu time (s)    15 queue number
+//	7 used memory (KB/proc) 16 partition number
+//	8 requested procs     17 preceding job number
+//	9 requested time (s)  18 think time from preceding job
+const swfFields = 18
+
+// missing is the SWF marker for an unknown field.
+const missing = -1
+
+// ReadSWF parses an SWF stream into a Trace. Records with missing node
+// counts or non-positive runtimes are kept verbatim (callers filter with
+// the transforms in this package); malformed lines produce an error that
+// names the line number.
+func ReadSWF(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			header := strings.TrimPrefix(line, ";")
+			header = strings.TrimPrefix(header, " ")
+			t.Header = append(t.Header, header)
+			if n, ok := parseHeaderInt(header, "MaxNodes:"); ok {
+				t.MaxNodes = n
+			}
+			continue
+		}
+		job, err := parseSWFLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		t.Jobs = append(t.Jobs, job)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading SWF: %w", err)
+	}
+	return t, nil
+}
+
+func parseHeaderInt(header, key string) (int, bool) {
+	if !strings.HasPrefix(header, key) {
+		return 0, false
+	}
+	v := strings.TrimSpace(strings.TrimPrefix(header, key))
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func parseSWFLine(line string) (Job, error) {
+	fields := strings.Fields(line)
+	if len(fields) < swfFields {
+		return Job{}, fmt.Errorf("expected %d fields, got %d", swfFields, len(fields))
+	}
+	var raw [swfFields]float64
+	for i := 0; i < swfFields; i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Job{}, fmt.Errorf("field %d %q: %v", i+1, fields[i], err)
+		}
+		raw[i] = v
+	}
+	j := Job{
+		ID:        int(raw[0]),
+		Submit:    nonNegSeconds(raw[1]),
+		Wait:      nonNegSeconds(raw[2]),
+		Runtime:   nonNegSeconds(raw[3]),
+		Nodes:     intOrZero(raw[4]),
+		UsedMem:   kbToMem(raw[6]),
+		ReqTime:   nonNegSeconds(raw[8]),
+		ReqMem:    kbToMem(raw[9]),
+		Status:    Status(int(raw[10])),
+		User:      intOrZero(raw[11]),
+		Group:     intOrZero(raw[12]),
+		App:       intOrZero(raw[13]),
+		Queue:     intOrZero(raw[14]),
+		Partition: intOrZero(raw[15]),
+	}
+	// Prefer the allocated processor count; fall back to the request.
+	if j.Nodes == 0 {
+		j.Nodes = intOrZero(raw[7])
+	}
+	return j, nil
+}
+
+func nonNegSeconds(v float64) units.Seconds {
+	if v == missing || v < 0 {
+		return 0
+	}
+	return units.Seconds(v)
+}
+
+func intOrZero(v float64) int {
+	if v == missing || v < 0 {
+		return 0
+	}
+	return int(v)
+}
+
+func kbToMem(v float64) units.MemSize {
+	if v == missing || v < 0 {
+		return 0
+	}
+	return units.MemSize(v / 1024.0)
+}
+
+// StandardHeader builds the conventional Parallel Workloads Archive
+// header block for a trace: the comment lines real SWF files open with,
+// derived from the trace itself. Assign the result to Trace.Header
+// before WriteSWF to produce an archive-style file.
+func StandardHeader(t *Trace, computer, installation string) []string {
+	s := ComputeStats(t)
+	maxNodes := t.MaxNodes
+	for i := range t.Jobs {
+		if t.Jobs[i].Nodes > maxNodes {
+			maxNodes = t.Jobs[i].Nodes
+		}
+	}
+	return []string{
+		"Version: 2",
+		"Computer: " + computer,
+		"Installation: " + installation,
+		fmt.Sprintf("MaxJobs: %d", t.Len()),
+		fmt.Sprintf("MaxNodes: %d", maxNodes),
+		fmt.Sprintf("MaxProcs: %d", maxNodes),
+		"UnixStartTime: 0",
+		"TimeZoneString: UTC",
+		fmt.Sprintf("EndTime: %d", int64(t.Span().Sec())),
+		fmt.Sprintf("Note: %d users, %d applications, mean requested memory %v",
+			s.Users, s.Apps, s.MeanReqMem),
+		"Note: memory fields are KB per processor",
+	}
+}
+
+// WriteSWF writes the trace in Standard Workload Format. Header comment
+// lines are emitted first. Fields we do not model (average CPU time,
+// preceding job, think time) are written as -1.
+func WriteSWF(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, h := range t.Header {
+		if _, err := fmt.Fprintf(bw, "; %s\n", h); err != nil {
+			return fmt.Errorf("trace: writing SWF header: %w", err)
+		}
+	}
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		_, err := fmt.Fprintf(bw, "%d %d %d %d %d -1 %d %d %d %d %d %d %d %d %d %d -1 -1\n",
+			j.ID,
+			int64(math.Round(j.Submit.Sec())),
+			int64(math.Round(j.Wait.Sec())),
+			int64(math.Round(j.Runtime.Sec())),
+			j.Nodes,
+			memToKB(j.UsedMem),
+			j.Nodes,
+			int64(math.Round(j.ReqTime.Sec())),
+			memToKB(j.ReqMem),
+			int(j.Status),
+			j.User,
+			j.Group,
+			j.App,
+			j.Queue,
+			j.Partition,
+		)
+		if err != nil {
+			return fmt.Errorf("trace: writing SWF job %d: %w", j.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func memToKB(m units.MemSize) int64 {
+	return int64(math.Round(m.MBf() * 1024.0))
+}

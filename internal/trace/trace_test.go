@@ -1,0 +1,402 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"overprov/internal/units"
+)
+
+func mkJob(id int, submit, runtime float64, nodes int, req, used float64) Job {
+	return Job{
+		ID:      id,
+		Submit:  units.Seconds(submit),
+		Runtime: units.Seconds(runtime),
+		Nodes:   nodes,
+		ReqTime: units.Seconds(runtime * 2),
+		ReqMem:  units.MemSize(req),
+		UsedMem: units.MemSize(used),
+		User:    1,
+		App:     1,
+		Status:  StatusCompleted,
+	}
+}
+
+func TestOverprovisionRatio(t *testing.T) {
+	j := mkJob(1, 0, 10, 32, 32, 8)
+	r, ok := j.OverprovisionRatio()
+	if !ok || r != 4 {
+		t.Errorf("ratio = (%g,%v), want (4,true)", r, ok)
+	}
+	z := mkJob(2, 0, 10, 32, 32, 0)
+	if _, ok := z.OverprovisionRatio(); ok {
+		t.Error("zero usage should make the ratio undefined")
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	good := mkJob(1, 0, 10, 32, 32, 8)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Job)
+	}{
+		{"zero id", func(j *Job) { j.ID = 0 }},
+		{"negative submit", func(j *Job) { j.Submit = -1 }},
+		{"negative runtime", func(j *Job) { j.Runtime = -1 }},
+		{"zero nodes", func(j *Job) { j.Nodes = 0 }},
+		{"negative reqmem", func(j *Job) { j.ReqMem = -1 }},
+		{"used above request", func(j *Job) { j.UsedMem = j.ReqMem + 1 }},
+	}
+	for _, c := range cases {
+		j := good
+		c.mut(&j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestTraceValidateOrdering(t *testing.T) {
+	tr := &Trace{Jobs: []Job{mkJob(1, 100, 10, 32, 32, 8), mkJob(2, 50, 10, 32, 32, 8)}}
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-order submits should fail validation")
+	}
+	tr.SortBySubmit()
+	if err := tr.Validate(); err != nil {
+		t.Errorf("sorted trace should validate: %v", err)
+	}
+}
+
+func TestSpanAndLoad(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		mkJob(1, 0, 100, 10, 32, 8),
+		mkJob(2, 100, 50, 20, 32, 8),
+	}}
+	// Submit span = 100; node-seconds = 10·100 + 20·50 = 2000.
+	if got := tr.SubmitSpan(); got != 100 {
+		t.Errorf("SubmitSpan = %v, want 100", got)
+	}
+	if got := tr.TotalNodeSeconds(); got != 2000 {
+		t.Errorf("TotalNodeSeconds = %g, want 2000", got)
+	}
+	if got := tr.OfferedLoad(20); got != 1.0 {
+		t.Errorf("OfferedLoad(20) = %g, want 1.0", got)
+	}
+}
+
+func TestScaleLoad(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		mkJob(1, 0, 100, 10, 32, 8),
+		mkJob(2, 100, 50, 20, 32, 8),
+	}}
+	scaled, err := tr.ScaleLoad(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scaled.Jobs[1].Submit; got != 50 {
+		t.Errorf("compressed submit = %v, want 50", got)
+	}
+	if got := scaled.OfferedLoad(20); !floatEq(got, 2.0) {
+		t.Errorf("compressed load = %g, want 2.0", got)
+	}
+	// Original must be untouched.
+	if tr.Jobs[1].Submit != 100 {
+		t.Error("ScaleLoad mutated its receiver")
+	}
+	if _, err := tr.ScaleLoad(0); err == nil {
+		t.Error("zero factor should error")
+	}
+}
+
+func TestScaleToOfferedLoad(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		mkJob(1, 0, 100, 10, 32, 8),
+		mkJob(2, 100, 50, 20, 32, 8),
+	}}
+	for _, target := range []float64{0.3, 0.6, 1.0, 1.5} {
+		scaled, err := tr.ScaleToOfferedLoad(target, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := scaled.OfferedLoad(20); !floatEq(got, target) {
+			t.Errorf("load after scaling = %g, want %g", got, target)
+		}
+	}
+}
+
+func floatEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9*(1+b)
+}
+
+func TestFilterAndDrop(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		mkJob(1, 0, 10, 1024, 32, 8),
+		mkJob(2, 1, 10, 512, 32, 8),
+		mkJob(3, 2, 10, 32, 32, 8),
+	}}
+	dropped := tr.DropLargerThan(512)
+	if dropped.Len() != 2 {
+		t.Errorf("DropLargerThan(512) kept %d jobs, want 2", dropped.Len())
+	}
+	if tr.Len() != 3 {
+		t.Error("DropLargerThan mutated its receiver")
+	}
+}
+
+func TestCompleteOnlyClampsUsage(t *testing.T) {
+	over := mkJob(1, 0, 10, 32, 16, 16)
+	over.UsedMem = 20 // recorded usage above request
+	tr := &Trace{Jobs: []Job{over, mkJob(2, 1, 0, 32, 32, 8)}}
+	clean := tr.CompleteOnly()
+	if clean.Len() != 1 {
+		t.Fatalf("CompleteOnly kept %d jobs, want 1 (zero-runtime dropped)", clean.Len())
+	}
+	if !clean.Jobs[0].UsedMem.Eq(16) {
+		t.Errorf("usage not clamped to request: %v", clean.Jobs[0].UsedMem)
+	}
+}
+
+func TestHeadAndRenumber(t *testing.T) {
+	tr := &Trace{Jobs: []Job{mkJob(9, 0, 1, 1, 1, 1), mkJob(8, 1, 1, 1, 1, 1), mkJob(7, 2, 1, 1, 1, 1)}}
+	h := tr.Head(2)
+	if h.Len() != 2 {
+		t.Fatalf("Head(2) = %d jobs", h.Len())
+	}
+	h.Renumber()
+	if h.Jobs[0].ID != 1 || h.Jobs[1].ID != 2 {
+		t.Error("Renumber should assign 1..n")
+	}
+	if tr.Head(99).Len() != 3 {
+		t.Error("Head beyond length should return everything")
+	}
+}
+
+const sampleSWF = `; MaxNodes: 1024
+; Computer: Thinking Machines CM-5
+1 0 10 100 32 -1 5120 32 200 32768 1 3 3 7 1 1 -1 -1
+2 60 0 50 64 -1 8192 64 100 32768 1 4 4 9 1 1 -1 -1
+`
+
+func TestReadSWF(t *testing.T) {
+	tr, err := ReadSWF(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxNodes != 1024 {
+		t.Errorf("MaxNodes = %d, want 1024", tr.MaxNodes)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if j.ID != 1 || j.Wait != 10 || j.Runtime != 100 || j.Nodes != 32 {
+		t.Errorf("bad first job: %+v", j)
+	}
+	if !j.UsedMem.Eq(5) { // 5120 KB = 5 MB
+		t.Errorf("UsedMem = %v, want 5MB", j.UsedMem)
+	}
+	if !j.ReqMem.Eq(32) { // 32768 KB = 32 MB
+		t.Errorf("ReqMem = %v, want 32MB", j.ReqMem)
+	}
+	if j.User != 3 || j.App != 7 {
+		t.Errorf("user/app = %d/%d, want 3/7", j.User, j.App)
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	if _, err := ReadSWF(strings.NewReader("1 2 3\n")); err == nil {
+		t.Error("short line should error")
+	}
+	if _, err := ReadSWF(strings.NewReader(strings.Repeat("x ", 18) + "\n")); err == nil {
+		t.Error("non-numeric fields should error")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	orig := &Trace{
+		Header:   []string{"MaxNodes: 128", "synthetic"},
+		MaxNodes: 128,
+		Jobs: []Job{
+			mkJob(1, 0, 100, 32, 32, 5),
+			mkJob(2, 60, 50, 64, 24, 12),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxNodes != 128 || len(back.Jobs) != 2 {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	for i := range orig.Jobs {
+		o, b := orig.Jobs[i], back.Jobs[i]
+		if o.ID != b.ID || o.Nodes != b.Nodes || o.User != b.User || o.App != b.App {
+			t.Errorf("job %d identity fields changed: %+v vs %+v", i, o, b)
+		}
+		if !o.ReqMem.Eq(b.ReqMem) || !o.UsedMem.Eq(b.UsedMem) {
+			t.Errorf("job %d memory changed: req %v→%v used %v→%v",
+				i, o.ReqMem, b.ReqMem, o.UsedMem, b.UsedMem)
+		}
+		if o.Submit != b.Submit || o.Runtime != b.Runtime {
+			t.Errorf("job %d times changed", i)
+		}
+	}
+}
+
+func TestSWFRoundTripProperty(t *testing.T) {
+	// Property: write∘read preserves every integer-second,
+	// whole-kilobyte job.
+	err := quick.Check(func(submit uint16, runtime uint16, nodes uint8, reqKB, usedKB uint16) bool {
+		n := int(nodes)%512 + 1
+		req := float64(reqKB%32768+1) / 1024
+		used := float64(usedKB) / 1024
+		if used > req {
+			used = req
+		}
+		orig := &Trace{Jobs: []Job{{
+			ID: 1, Submit: units.Seconds(submit), Runtime: units.Seconds(runtime),
+			Nodes: n, ReqMem: units.MemSize(req), UsedMem: units.MemSize(used),
+			User: 1, App: 1, Status: StatusCompleted,
+		}}}
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, orig); err != nil {
+			return false
+		}
+		back, err := ReadSWF(&buf)
+		if err != nil || len(back.Jobs) != 1 {
+			return false
+		}
+		b := back.Jobs[0]
+		return b.Submit == orig.Jobs[0].Submit &&
+			b.Runtime == orig.Jobs[0].Runtime &&
+			b.Nodes == n &&
+			b.ReqMem.Eq(orig.Jobs[0].ReqMem) &&
+			b.UsedMem.Eq(orig.Jobs[0].UsedMem)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		mkJob(1, 0, 100, 32, 32, 8),   // ratio 4
+		mkJob(2, 10, 100, 32, 32, 32), // ratio 1
+		mkJob(3, 20, 100, 32, 32, 0),  // undefined ratio
+	}}
+	s := ComputeStats(tr)
+	if s.Jobs != 3 || s.RatioDefined != 2 {
+		t.Errorf("jobs/defined = %d/%d", s.Jobs, s.RatioDefined)
+	}
+	if !floatEq(s.OverprovAtLeast2, 0.5) {
+		t.Errorf("OverprovAtLeast2 = %g, want 0.5", s.OverprovAtLeast2)
+	}
+	if s.Users != 1 || s.Apps != 1 {
+		t.Errorf("users/apps = %d/%d", s.Users, s.Apps)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := &Trace{Jobs: []Job{mkJob(1, 0, 1, 1, 2, 1)}, Header: []string{"h"}}
+	c := tr.Clone()
+	c.Jobs[0].ReqMem = 99
+	c.Header[0] = "changed"
+	if tr.Jobs[0].ReqMem.Eq(99) || tr.Header[0] == "changed" {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		mkJob(1, 10, 5, 1, 32, 8),
+		mkJob(2, 100, 5, 1, 32, 8),
+		mkJob(3, 250, 5, 1, 32, 8),
+	}}
+	w, err := tr.Window(50, 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("window kept %d jobs, want 2", w.Len())
+	}
+	if w.Jobs[0].Submit != 50 || w.Jobs[1].Submit != 200 {
+		t.Errorf("re-anchored submits = %v, %v; want 50, 200", w.Jobs[0].Submit, w.Jobs[1].Submit)
+	}
+	if w.Jobs[0].ID != 1 {
+		t.Error("window should renumber")
+	}
+	if _, err := tr.Window(10, 10); err == nil {
+		t.Error("empty window must be rejected")
+	}
+	if tr.Jobs[0].Submit != 10 {
+		t.Error("Window mutated its receiver")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Trace{Jobs: []Job{mkJob(1, 0, 5, 1, 32, 8), mkJob(2, 100, 5, 1, 32, 8)}, MaxNodes: 64}
+	b := &Trace{Jobs: []Job{mkJob(1, 50, 5, 1, 16, 4)}, MaxNodes: 128}
+	b.Jobs[0].User, b.Jobs[0].App = 1, 1 // collides with a's identifiers
+
+	m := Merge(a, b, nil)
+	if m.Len() != 3 {
+		t.Fatalf("merged %d jobs, want 3", m.Len())
+	}
+	// Sorted by submit: a#1 (0), b#1 (50), a#2 (100).
+	if m.Jobs[1].Submit != 50 {
+		t.Errorf("merge order broken: %v", m.Jobs[1].Submit)
+	}
+	// The b-sourced job's identifiers must not collide with a's.
+	if m.Jobs[1].User == m.Jobs[0].User {
+		t.Error("user identifiers collide across merged traces")
+	}
+	if m.MaxNodes != 128 {
+		t.Errorf("MaxNodes = %d, want the max across sources", m.MaxNodes)
+	}
+	if m.Jobs[0].ID != 1 || m.Jobs[2].ID != 3 {
+		t.Error("merge should renumber 1..n")
+	}
+}
+
+func TestStandardHeader(t *testing.T) {
+	tr := &Trace{
+		Jobs:     []Job{mkJob(1, 0, 10, 64, 32, 8), mkJob(2, 5, 10, 128, 32, 8)},
+		MaxNodes: 64, // deliberately stale: jobs go up to 128
+	}
+	h := StandardHeader(tr, "Thinking Machines CM-5", "LANL")
+	joined := strings.Join(h, "\n")
+	for _, want := range []string{
+		"Version: 2", "Computer: Thinking Machines CM-5",
+		"MaxJobs: 2", "MaxNodes: 128", "memory fields are KB",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("header missing %q:\n%s", want, joined)
+		}
+	}
+	// Round trip through SWF keeps the header.
+	tr.Header = h
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxNodes != 128 {
+		t.Errorf("MaxNodes from generated header = %d, want 128", back.MaxNodes)
+	}
+}

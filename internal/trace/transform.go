@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"overprov/internal/units"
+)
+
+// Filter returns a new trace containing the jobs for which keep returns
+// true. Header metadata is copied.
+func (t *Trace) Filter(keep func(*Job) bool) *Trace {
+	out := &Trace{Header: append([]string(nil), t.Header...), MaxNodes: t.MaxNodes}
+	for i := range t.Jobs {
+		if keep(&t.Jobs[i]) {
+			out.Jobs = append(out.Jobs, t.Jobs[i])
+		}
+	}
+	return out
+}
+
+// DropLargerThan removes jobs needing more than maxNodes nodes. The paper
+// removes the six 1024-node jobs from the CM5 log so the workload can run
+// on a heterogeneous cluster in which only half the machine keeps the
+// original memory size.
+func (t *Trace) DropLargerThan(maxNodes int) *Trace {
+	return t.Filter(func(j *Job) bool { return j.Nodes <= maxNodes })
+}
+
+// CompleteOnly removes records that are not successful completions and
+// records lacking the data the estimator needs (zero runtime, zero
+// requested memory). Following the paper, jobs whose recorded usage
+// exceeds their request are clamped rather than dropped: the paper
+// assumes requests are always ≥ actual use, so usage is capped at the
+// request.
+func (t *Trace) CompleteOnly() *Trace {
+	out := t.Filter(func(j *Job) bool {
+		return j.Status == StatusCompleted && j.Runtime > 0 && j.ReqMem > 0 && j.Nodes > 0
+	})
+	for i := range out.Jobs {
+		j := &out.Jobs[i]
+		if j.UsedMem > j.ReqMem {
+			j.UsedMem = j.ReqMem
+		}
+	}
+	return out
+}
+
+// SortBySubmit orders the jobs by submission time (stably), renumbering
+// nothing.
+func (t *Trace) SortBySubmit() {
+	sort.SliceStable(t.Jobs, func(i, k int) bool {
+		return t.Jobs[i].Submit < t.Jobs[k].Submit
+	})
+}
+
+// Renumber rewrites job IDs as 1..n in current order.
+func (t *Trace) Renumber() {
+	for i := range t.Jobs {
+		t.Jobs[i].ID = i + 1
+	}
+}
+
+// Head returns a copy of the trace truncated to the first n jobs (in
+// current order).
+func (t *Trace) Head(n int) *Trace {
+	if n > len(t.Jobs) {
+		n = len(t.Jobs)
+	}
+	return &Trace{
+		Jobs:     append([]Job(nil), t.Jobs[:n]...),
+		Header:   append([]string(nil), t.Header...),
+		MaxNodes: t.MaxNodes,
+	}
+}
+
+// ScaleLoad returns a copy of the trace whose submission times are
+// compressed (factor > 1) or stretched (factor < 1) around the first
+// submission, changing the offered load by the same factor while
+// preserving runtimes, sizes, and arrival order. This is how the
+// utilization-versus-load curves of Figures 5 and 6 are swept.
+func (t *Trace) ScaleLoad(factor float64) (*Trace, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("trace: non-positive load factor %g", factor)
+	}
+	out := t.Clone()
+	if len(out.Jobs) == 0 {
+		return out, nil
+	}
+	base := out.Jobs[0].Submit
+	for i := range out.Jobs {
+		if out.Jobs[i].Submit < base {
+			base = out.Jobs[i].Submit
+		}
+	}
+	for i := range out.Jobs {
+		rel := out.Jobs[i].Submit - base
+		out.Jobs[i].Submit = base + units.Seconds(rel.Sec()/factor)
+	}
+	return out, nil
+}
+
+// ScaleToOfferedLoad returns a copy of the trace rescaled so its offered
+// load on a machine of totalNodes nodes equals target (e.g. 0.6 for the
+// 60 % point of Figure 6).
+func (t *Trace) ScaleToOfferedLoad(target float64, totalNodes int) (*Trace, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("trace: non-positive target load %g", target)
+	}
+	current := t.OfferedLoad(totalNodes)
+	if current <= 0 {
+		return nil, fmt.Errorf("trace: trace has no measurable offered load")
+	}
+	return t.ScaleLoad(target / current)
+}
+
+// Window returns a copy containing the jobs submitted in [from, to),
+// with submissions re-anchored so the window starts at time zero. It is
+// the usual way to carve an evaluation month out of a multi-year log.
+func (t *Trace) Window(from, to units.Seconds) (*Trace, error) {
+	if !(to > from) {
+		return nil, fmt.Errorf("trace: empty window [%v,%v)", from, to)
+	}
+	out := t.Filter(func(j *Job) bool { return j.Submit >= from && j.Submit < to })
+	for i := range out.Jobs {
+		out.Jobs[i].Submit -= from
+	}
+	out.SortBySubmit()
+	out.Renumber()
+	return out, nil
+}
+
+// Merge interleaves several traces by submission time into one log,
+// renumbering jobs and offsetting user and application identifiers per
+// source so similarity groups from different logs never collide. It
+// supports multi-site studies (one trace per source cluster).
+func Merge(traces ...*Trace) *Trace {
+	out := &Trace{}
+	userBase, appBase := 0, 0
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		maxUser, maxApp := 0, 0
+		for i := range t.Jobs {
+			j := t.Jobs[i] // copy
+			j.User += userBase
+			j.Group += userBase
+			j.App += appBase
+			out.Jobs = append(out.Jobs, j)
+			if t.Jobs[i].User > maxUser {
+				maxUser = t.Jobs[i].User
+			}
+			if t.Jobs[i].App > maxApp {
+				maxApp = t.Jobs[i].App
+			}
+		}
+		userBase += maxUser + 1
+		appBase += maxApp + 1
+		if t.MaxNodes > out.MaxNodes {
+			out.MaxNodes = t.MaxNodes
+		}
+	}
+	out.SortBySubmit()
+	out.Renumber()
+	return out
+}
+
+// Stats summarises a trace for reporting and calibration checks.
+type Stats struct {
+	Jobs             int
+	Users            int
+	Apps             int
+	Span             units.Seconds
+	TotalNodeSeconds float64
+	MeanNodes        float64
+	MeanRuntime      units.Seconds
+	MeanReqMem       units.MemSize
+	MeanUsedMem      units.MemSize
+	// OverprovAtLeast2 is the fraction of jobs (with defined ratio)
+	// whose requested/used memory ratio is ≥ 2 — the paper reports
+	// 32.8 % for the CM5 log.
+	OverprovAtLeast2 float64
+	// RatioDefined counts jobs with nonzero used memory.
+	RatioDefined int
+}
+
+// ComputeStats summarises the trace.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{Jobs: len(t.Jobs), Span: t.Span(), TotalNodeSeconds: t.TotalNodeSeconds()}
+	if len(t.Jobs) == 0 {
+		return s
+	}
+	users := map[int]bool{}
+	apps := map[int]bool{}
+	var nodes, runtime, reqMem, usedMem float64
+	atLeast2 := 0
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		users[j.User] = true
+		apps[j.App] = true
+		nodes += float64(j.Nodes)
+		runtime += j.Runtime.Sec()
+		reqMem += j.ReqMem.MBf()
+		usedMem += j.UsedMem.MBf()
+		if r, ok := j.OverprovisionRatio(); ok {
+			s.RatioDefined++
+			if r >= 2 {
+				atLeast2++
+			}
+		}
+	}
+	n := float64(len(t.Jobs))
+	s.Users = len(users)
+	s.Apps = len(apps)
+	s.MeanNodes = nodes / n
+	s.MeanRuntime = units.Seconds(runtime / n)
+	s.MeanReqMem = units.MemSize(reqMem / n)
+	s.MeanUsedMem = units.MemSize(usedMem / n)
+	if s.RatioDefined > 0 {
+		s.OverprovAtLeast2 = float64(atLeast2) / float64(s.RatioDefined)
+	}
+	return s
+}

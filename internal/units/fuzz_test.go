@@ -1,0 +1,29 @@
+package units
+
+import "testing"
+
+// FuzzParseMemSize checks that arbitrary input never panics the parser,
+// accepted values are non-negative, and formatting an accepted value
+// yields a string the parser accepts again.
+func FuzzParseMemSize(f *testing.F) {
+	f.Add("32MB")
+	f.Add("1.5GB")
+	f.Add("512KB")
+	f.Add("24")
+	f.Add("")
+	f.Add("-1MB")
+	f.Add("MBMB")
+	f.Add("1e309GB")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ParseMemSize(input)
+		if err != nil {
+			return
+		}
+		if m < 0 {
+			t.Fatalf("accepted a negative size: %v from %q", m, input)
+		}
+		if _, err := ParseMemSize(m.String()); err != nil {
+			t.Fatalf("own formatting rejected: %v → %q: %v", float64(m), m.String(), err)
+		}
+	})
+}

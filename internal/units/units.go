@@ -1,0 +1,184 @@
+// Package units defines the scalar quantities shared by the workload,
+// estimation, and simulation packages: memory capacities and simulation
+// time.
+//
+// Memory is measured in megabytes using a float64-based type. The paper's
+// successive-approximation estimator repeatedly divides capacities by a
+// learning rate α (e.g. 20 MB / 1.2 = 16.7 MB), so fractional megabytes
+// are first-class values rather than rounding artifacts. Simulation time
+// is measured in seconds, following the Standard Workload Format.
+package units
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MemSize is an amount of memory in megabytes (MB). The zero value means
+// "no memory" and is a valid capacity (the paper treats a job that does
+// not use a resource as consuming zero capacity of it).
+type MemSize float64
+
+// Common capacities used throughout the CM5 reproduction.
+const (
+	MB MemSize = 1
+	GB MemSize = 1024
+)
+
+// memEpsilon is the tolerance used when comparing memory quantities.
+// Capacities in this system are derived from integer megabyte machine
+// sizes divided by small rational learning rates, so 1 KB of slack is far
+// below any meaningful difference and far above float64 noise.
+const memEpsilon = 1.0 / 1024.0
+
+// MBf reports the size as a float64 number of megabytes.
+func (m MemSize) MBf() float64 { return float64(m) }
+
+// Bytes reports the size as a whole number of bytes, rounding to the
+// nearest byte.
+func (m MemSize) Bytes() int64 { return int64(math.Round(float64(m) * 1024 * 1024)) }
+
+// IsZero reports whether the size is zero within tolerance.
+func (m MemSize) IsZero() bool { return math.Abs(float64(m)) < memEpsilon }
+
+// Fits reports whether a demand of size m can be satisfied by a capacity
+// of size capacity, i.e. m ≤ capacity within tolerance.
+func (m MemSize) Fits(capacity MemSize) bool {
+	return float64(m) <= float64(capacity)+memEpsilon
+}
+
+// Less reports whether m < other by more than the comparison tolerance.
+func (m MemSize) Less(other MemSize) bool {
+	return float64(m) < float64(other)-memEpsilon
+}
+
+// Eq reports whether the two sizes are equal within tolerance.
+func (m MemSize) Eq(other MemSize) bool {
+	return math.Abs(float64(m)-float64(other)) < memEpsilon
+}
+
+// Div returns m divided by the (positive) factor f.
+func (m MemSize) Div(f float64) MemSize { return MemSize(float64(m) / f) }
+
+// String formats the size compactly: "24MB", "1.5GB", "16.7MB".
+func (m MemSize) String() string {
+	v := float64(m)
+	switch {
+	case math.Abs(v) >= float64(GB):
+		return trimFloat(v/float64(GB)) + "GB"
+	default:
+		return trimFloat(v) + "MB"
+	}
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 1, 64)
+	return strings.TrimSuffix(s, ".0")
+}
+
+// ParseMemSize parses strings like "32MB", "24", "1.5GB", "512KB". A bare
+// number is interpreted as megabytes, matching the SWF convention used by
+// the LANL CM5 trace.
+func ParseMemSize(s string) (MemSize, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty memory size")
+	}
+	mult := 1.0
+	upper := strings.ToUpper(t)
+	switch {
+	case strings.HasSuffix(upper, "GB"):
+		mult, t = float64(GB), t[:len(t)-2]
+	case strings.HasSuffix(upper, "MB"):
+		mult, t = 1, t[:len(t)-2]
+	case strings.HasSuffix(upper, "KB"):
+		mult, t = 1.0/1024.0, t[:len(t)-2]
+	case strings.HasSuffix(upper, "B") && !strings.HasSuffix(upper, "MB"):
+		mult, t = 1.0/(1024.0*1024.0), t[:len(t)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad memory size %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative memory size %q", s)
+	}
+	return MemSize(v * mult), nil
+}
+
+// CeilTo rounds m up to the smallest value in capacities that is ≥ m.
+// capacities need not be sorted. It returns ok=false when every capacity
+// is smaller than m. This implements the ⌈·⌉ operator of Algorithm 1
+// line 6: "the estimated resource capacity for the job is rounded to the
+// lowest resource capacity within the cluster greater than Eᵢ".
+func (m MemSize) CeilTo(capacities []MemSize) (rounded MemSize, ok bool) {
+	best := MemSize(math.Inf(1))
+	found := false
+	for _, c := range capacities {
+		if m.Fits(c) && c.Less(best) {
+			best, found = c, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return best, true
+}
+
+// SortMemSizes sorts the slice ascending in place.
+func SortMemSizes(s []MemSize) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// MaxMem returns the larger of a and b.
+func MaxMem(a, b MemSize) MemSize {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinMem returns the smaller of a and b.
+func MinMem(a, b MemSize) MemSize {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Seconds is a span of simulated wall-clock time, in seconds. The
+// Standard Workload Format records all times as integer seconds from the
+// start of the log; this type keeps fractional precision because failure
+// times are drawn uniformly inside a job's runtime.
+type Seconds float64
+
+// Common time spans.
+const (
+	Second Seconds = 1
+	Minute         = 60 * Second
+	Hour           = 60 * Minute
+	Day            = 24 * Hour
+	Week           = 7 * Day
+)
+
+// Sec reports the span as a float64 number of seconds.
+func (s Seconds) Sec() float64 { return float64(s) }
+
+// String formats the span using the largest convenient unit.
+func (s Seconds) String() string {
+	v := float64(s)
+	abs := math.Abs(v)
+	switch {
+	case abs >= float64(Day):
+		return trimFloat(v/float64(Day)) + "d"
+	case abs >= float64(Hour):
+		return trimFloat(v/float64(Hour)) + "h"
+	case abs >= float64(Minute):
+		return trimFloat(v/float64(Minute)) + "m"
+	default:
+		return trimFloat(v) + "s"
+	}
+}

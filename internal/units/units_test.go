@@ -1,0 +1,217 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemSizeString(t *testing.T) {
+	cases := []struct {
+		in   MemSize
+		want string
+	}{
+		{32, "32MB"},
+		{24, "24MB"},
+		{0, "0MB"},
+		{1536, "1.5GB"},
+		{1024, "1GB"},
+		{16.7, "16.7MB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("MemSize(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseMemSize(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    MemSize
+		wantErr bool
+	}{
+		{"32MB", 32, false},
+		{"32", 32, false},
+		{"1.5GB", 1536, false},
+		{"512KB", 0.5, false},
+		{" 24 MB", 24, false},
+		{"24mb", 24, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"-4MB", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMemSize(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseMemSize(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMemSize(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Eq(c.want) {
+			t.Errorf("ParseMemSize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseMemSizeRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw uint16) bool {
+		m := MemSize(float64(raw) / 4)
+		parsed, err := ParseMemSize(m.String())
+		if err != nil {
+			return false
+		}
+		// String keeps one decimal of the display unit (MB below 1 GB,
+		// GB above), so allow half a display decimal of slack.
+		unit := 1.0
+		if m >= GB {
+			unit = float64(GB)
+		}
+		return math.Abs(parsed.MBf()-m.MBf()) <= 0.05*unit+1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitsAndLess(t *testing.T) {
+	if !MemSize(24).Fits(24) {
+		t.Error("24MB should fit a 24MB capacity")
+	}
+	if !MemSize(24).Fits(32) {
+		t.Error("24MB should fit a 32MB capacity")
+	}
+	if MemSize(24.01).Fits(24) {
+		t.Error("24.01MB should not fit a 24MB capacity")
+	}
+	if MemSize(24).Less(24) {
+		t.Error("24 is not less than 24")
+	}
+	if !MemSize(23.9).Less(24) {
+		t.Error("23.9 is less than 24")
+	}
+	// Tolerance: values within 1 KB compare equal.
+	if MemSize(24).Less(24 + 1.0/4096) {
+		t.Error("sub-tolerance difference should not register as Less")
+	}
+}
+
+func TestCeilTo(t *testing.T) {
+	caps := []MemSize{24, 32, 8}
+	cases := []struct {
+		in     MemSize
+		want   MemSize
+		wantOK bool
+	}{
+		{4, 8, true},
+		{8, 8, true},
+		{8.5, 24, true},
+		{16, 24, true},
+		{24, 24, true},
+		{25, 32, true},
+		{32, 32, true},
+		{33, 0, false},
+		{0, 8, true},
+	}
+	for _, c := range cases {
+		got, ok := c.in.CeilTo(caps)
+		if ok != c.wantOK || (ok && !got.Eq(c.want)) {
+			t.Errorf("CeilTo(%v) = (%v,%v), want (%v,%v)", c.in, got, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+func TestCeilToProperty(t *testing.T) {
+	caps := []MemSize{4, 8, 16, 24, 32}
+	err := quick.Check(func(raw uint8) bool {
+		m := MemSize(float64(raw) / 8) // 0..31.875
+		got, ok := m.CeilTo(caps)
+		if !ok {
+			return m.MBf() > 32
+		}
+		// The result is ≥ m and no smaller capacity would do.
+		if !m.Fits(got) {
+			return false
+		}
+		for _, c := range caps {
+			if m.Fits(c) && c.Less(got) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCeilToEmpty(t *testing.T) {
+	if _, ok := MemSize(1).CeilTo(nil); ok {
+		t.Error("CeilTo with no capacities should report !ok")
+	}
+}
+
+func TestMinMaxMem(t *testing.T) {
+	if MaxMem(3, 7) != 7 || MaxMem(7, 3) != 7 {
+		t.Error("MaxMem broken")
+	}
+	if MinMem(3, 7) != 3 || MinMem(7, 3) != 3 {
+		t.Error("MinMem broken")
+	}
+}
+
+func TestSortMemSizes(t *testing.T) {
+	s := []MemSize{32, 4, 24, 8}
+	SortMemSizes(s)
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			t.Fatalf("not sorted: %v", s)
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	if got := MemSize(20).Div(1.2); math.Abs(got.MBf()-16.6667) > 0.001 {
+		t.Errorf("20/1.2 = %v, want ≈16.667 (the paper's §3.2 example)", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := MemSize(1).Bytes(); got != 1024*1024 {
+		t.Errorf("1MB = %d bytes, want %d", got, 1024*1024)
+	}
+	if got := MemSize(0.5).Bytes(); got != 512*1024 {
+		t.Errorf("0.5MB = %d bytes, want %d", got, 512*1024)
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{30, "30s"},
+		{90, "1.5m"},
+		{3 * Hour, "3h"},
+		{36 * Hour, "1.5d"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Seconds(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !MemSize(0).IsZero() {
+		t.Error("0 should be zero")
+	}
+	if MemSize(0.01).IsZero() {
+		t.Error("0.01MB is not zero")
+	}
+}

@@ -1,0 +1,216 @@
+// Package overprov reproduces Yom-Tov & Aridor, "Improving Resource
+// Matching Through Estimation of Actual Job Requirements" (IBM Research
+// Report / HPDC 2006): machine-learning estimation of the resources jobs
+// actually use, so heterogeneous-cluster schedulers can match jobs to
+// machines with less capacity than users request.
+//
+// The package is a façade over the implementation packages:
+//
+//	internal/trace      workload model + Standard Workload Format I/O
+//	internal/synth      calibrated synthetic LANL-CM5-like generator
+//	internal/similarity similarity groups (paper §2.2)
+//	internal/estimate   the estimators (Algorithm 1 and the Table 1 quadrant)
+//	internal/cluster    heterogeneous machine pools
+//	internal/sched      FCFS / EASY + conservative backfilling / SJF
+//	internal/sim        the discrete-event scheduler↔estimator loop
+//	internal/metrics    utilization, slowdown, saturation
+//	internal/classad    declarative matchmaking (requirements language)
+//	internal/server     the loop as a deployable HTTP scheduler daemon
+//	internal/experiments one entry point per paper table/figure
+//
+// A minimal end-to-end run (see example_test.go for runnable versions):
+//
+//	tr, _ := overprov.GenerateTrace(overprov.SmallTraceConfig())
+//	cl, _ := overprov.CM5Cluster(24) // 512×32MB + 512×24MB
+//	est, _ := overprov.NewSuccessiveApprox(2, 0, cl)
+//	res, _ := overprov.Simulate(overprov.SimConfig{Trace: tr, Cluster: cl, Estimator: est})
+//	fmt.Println(overprov.Summarize(res).Utilization)
+//
+// The paper-reproduction experiments (one per table/figure, plus
+// ablations and extensions) live in internal/experiments and are driven
+// by the cmd/ tools and the root benchmarks in bench_test.go.
+package overprov
+
+import (
+	"io"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/experiments"
+	"overprov/internal/metrics"
+	"overprov/internal/sched"
+	"overprov/internal/sim"
+	"overprov/internal/similarity"
+	"overprov/internal/synth"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Re-exported core types. The aliases keep one set of identities across
+// the façade and the implementation packages.
+type (
+	// Trace is an ordered workload of jobs (see Job).
+	Trace = trace.Trace
+	// Job is one workload record with requested and actual memory.
+	Job = trace.Job
+	// MemSize is a memory quantity in megabytes.
+	MemSize = units.MemSize
+	// Seconds is a simulated time span.
+	Seconds = units.Seconds
+	// Cluster is a heterogeneous pool of nodes.
+	Cluster = cluster.Cluster
+	// ClusterSpec describes one capacity pool when building a cluster.
+	ClusterSpec = cluster.Spec
+	// Estimator predicts actual job requirements and learns from
+	// feedback.
+	Estimator = estimate.Estimator
+	// Outcome is the feedback given to an estimator after a job ends.
+	Outcome = estimate.Outcome
+	// Policy is a scheduling discipline.
+	Policy = sched.Policy
+	// SimConfig configures one simulation run.
+	SimConfig = sim.Config
+	// SimResult is a finished run's audit trail.
+	SimResult = sim.Result
+	// Summary condenses a run into the paper's metrics.
+	Summary = metrics.Summary
+	// TraceConfig drives the synthetic workload generator.
+	TraceConfig = synth.Config
+	// Scale sizes the paper-reproduction experiments.
+	Scale = experiments.Scale
+	// SimilarityKey identifies a similarity group.
+	SimilarityKey = similarity.Key
+)
+
+// Scheduling policies (the paper simulates FCFS; the others are its
+// stated future work).
+var (
+	// FCFS is strict first-come first-served.
+	FCFS Policy = sched.FCFS{}
+	// EASYBackfill is EASY backfilling with a head reservation.
+	EASYBackfill Policy = sched.EASY{}
+	// ConservativeBackfill reserves every queued job in arrival order.
+	ConservativeBackfill Policy = sched.Conservative{}
+	// SJF is shortest-job-first by the user's runtime estimate.
+	SJF Policy = sched.SJF{}
+)
+
+// Journal captures a run's full event stream when assigned to
+// SimConfig.Journal: arrivals, dispatches, completions, failures, and
+// rejections, with lifecycle validation and occupancy reconstruction.
+type Journal = sim.Journal
+
+// Distribution summarises a per-job metric with percentiles.
+type Distribution = metrics.Distribution
+
+// WaitDistribution returns the queueing-delay distribution of a run.
+func WaitDistribution(r *SimResult) Distribution { return metrics.WaitDistribution(r) }
+
+// SlowdownDistribution returns the per-job slowdown distribution of a
+// run.
+func SlowdownDistribution(r *SimResult) Distribution { return metrics.SlowdownDistribution(r) }
+
+// DefaultTraceConfig returns the full-scale CM5 calibration
+// (122,055 jobs over two simulated years).
+func DefaultTraceConfig() TraceConfig { return synth.DefaultConfig() }
+
+// SmallTraceConfig returns a few-thousand-job trace with the same
+// calibrated shape, suitable for tests and demos.
+func SmallTraceConfig() TraceConfig { return synth.SmallConfig() }
+
+// GenerateTrace produces a calibrated synthetic LANL-CM5-like trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return synth.Generate(cfg) }
+
+// ReadSWF parses a Standard Workload Format stream — use it to replace
+// the synthetic workload with a real archive trace.
+func ReadSWF(r io.Reader) (*Trace, error) { return trace.ReadSWF(r) }
+
+// WriteSWF serialises a trace in Standard Workload Format.
+func WriteSWF(w io.Writer, t *Trace) error { return trace.WriteSWF(w, t) }
+
+// NewCluster builds a heterogeneous cluster from capacity pools.
+func NewCluster(specs ...ClusterSpec) (*Cluster, error) { return cluster.New(specs...) }
+
+// CM5Cluster builds the paper's evaluation machine: 512 nodes with
+// 32 MB plus 512 nodes with secondMem megabytes per node.
+func CM5Cluster(secondMem MemSize) (*Cluster, error) {
+	return cluster.CM5Heterogeneous(secondMem)
+}
+
+// NoEstimation returns the identity baseline estimator (classical
+// matching on the user's request).
+func NoEstimation() Estimator { return estimate.Identity{} }
+
+// Oracle returns the perfect-knowledge estimator — the upper bound no
+// learning algorithm can beat.
+func Oracle() Estimator { return &estimate.Oracle{} }
+
+// MultiResource generalises Algorithm 1 to several resources at once via
+// coordinate descent (the paper's §2.3 multidimensional extension).
+type MultiResource = estimate.MultiResource
+
+// NewMultiResource builds the multi-resource estimator over the named
+// resource dimensions with the paper's Algorithm 1 parameters.
+func NewMultiResource(resources []string, alpha, beta float64) (*MultiResource, error) {
+	return estimate.NewMultiResource(estimate.MultiResourceConfig{
+		Resources: resources, Alpha: alpha, Beta: beta,
+	})
+}
+
+// NewSuccessiveApprox builds the paper's Algorithm 1 with learning rate
+// alpha (>1), damping beta (∈ [0,1)), and estimates rounded to cl's
+// capacities. Pass alpha=2, beta=0 for the paper's setting; cl may be
+// nil to skip rounding.
+func NewSuccessiveApprox(alpha, beta float64, cl *Cluster) (Estimator, error) {
+	cfg := estimate.SuccessiveApproxConfig{Alpha: alpha, Beta: beta}
+	if cl != nil {
+		cfg.Round = cl
+	}
+	return estimate.NewSuccessiveApprox(cfg)
+}
+
+// NewLastInstance builds the explicit-feedback similarity estimator:
+// each group's next estimate is its previous submission's actual usage,
+// inflated by margin.
+func NewLastInstance(margin float64, cl *Cluster) (Estimator, error) {
+	cfg := estimate.LastInstanceConfig{Margin: margin}
+	if cl != nil {
+		cfg.Round = cl
+	}
+	return estimate.NewLastInstance(cfg)
+}
+
+// NewReinforcement builds the implicit-feedback global-policy estimator
+// (an ε-greedy bandit over request-reduction factors).
+func NewReinforcement(seed uint64, cl *Cluster) (Estimator, error) {
+	cfg := estimate.ReinforcementConfig{Seed: seed}
+	if cl != nil {
+		cfg.Round = cl
+	}
+	return estimate.NewReinforcement(cfg)
+}
+
+// NewRegression builds the explicit-feedback regression estimator with
+// the given safety margin.
+func NewRegression(margin float64, cl *Cluster) (Estimator, error) {
+	cfg := estimate.RegressionConfig{Margin: margin}
+	if cl != nil {
+		cfg.Round = cl
+	}
+	return estimate.NewRegression(cfg)
+}
+
+// Simulate runs one trace-driven simulation to completion.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// Summarize condenses a run into utilization, slowdown, and the paper's
+// conservatism statistics.
+func Summarize(r *SimResult) Summary { return metrics.Summarize(r) }
+
+// FullScale sizes the figure/table reproductions at the paper's
+// dimensions (122,055 jobs).
+func FullScale() Scale { return experiments.FullScale() }
+
+// SmallScale sizes the reproductions at test scale with the same
+// calibrated shape.
+func SmallScale() Scale { return experiments.SmallScale() }

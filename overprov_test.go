@@ -1,0 +1,276 @@
+package overprov
+
+// Integration tests of the public façade: the full generate → cluster →
+// estimate → simulate → summarise pipeline, exercised the way README
+// tells users to.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallWorkload(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := GenerateTrace(SmallTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = tr.DropLargerThan(512).CompleteOnly()
+	tr.SortBySubmit()
+	tr, err = tr.ScaleToOfferedLoad(1.0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestQuickstartPipeline(t *testing.T) {
+	tr := smallWorkload(t)
+
+	runWith := func(build func(cl *Cluster) (Estimator, error), explicit bool) Summary {
+		cl, err := CM5Cluster(24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := build(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(SimConfig{
+			Trace: tr, Cluster: cl, Estimator: est,
+			ExplicitFeedback: explicit, Policy: FCFS, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(res)
+	}
+
+	base := runWith(func(*Cluster) (Estimator, error) { return NoEstimation(), nil }, false)
+	est := runWith(func(cl *Cluster) (Estimator, error) { return NewSuccessiveApprox(2, 0, cl) }, false)
+
+	if est.Utilization <= base.Utilization*1.2 {
+		t.Errorf("estimation utilization %.3f should clearly beat baseline %.3f",
+			est.Utilization, base.Utilization)
+	}
+	if est.MeanSlowdown >= base.MeanSlowdown {
+		t.Errorf("estimation slowdown %.1f should beat baseline %.1f",
+			est.MeanSlowdown, base.MeanSlowdown)
+	}
+	if est.LoweredJobFraction < 0.1 {
+		t.Errorf("lowered fraction %.3f: estimation barely engaged", est.LoweredJobFraction)
+	}
+}
+
+func TestAllFacadeEstimatorsRun(t *testing.T) {
+	tr := smallWorkload(t).Head(800)
+	builders := []struct {
+		name     string
+		build    func(cl *Cluster) (Estimator, error)
+		explicit bool
+	}{
+		{"identity", func(*Cluster) (Estimator, error) { return NoEstimation(), nil }, false},
+		{"oracle", func(*Cluster) (Estimator, error) { return Oracle(), nil }, false},
+		{"successive", func(cl *Cluster) (Estimator, error) { return NewSuccessiveApprox(2, 0, cl) }, false},
+		{"lastinstance", func(cl *Cluster) (Estimator, error) { return NewLastInstance(0.1, cl) }, true},
+		{"reinforcement", func(cl *Cluster) (Estimator, error) { return NewReinforcement(3, cl) }, false},
+		{"regression", func(cl *Cluster) (Estimator, error) { return NewRegression(0.1, cl) }, true},
+	}
+	for _, b := range builders {
+		cl, err := CM5Cluster(24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := b.build(cl)
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		res, err := Simulate(SimConfig{
+			Trace: tr, Cluster: cl, Estimator: est,
+			ExplicitFeedback: b.explicit, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		sum := Summarize(res)
+		if sum.Completed == 0 {
+			t.Errorf("%s completed no jobs", b.name)
+		}
+		if sum.Completed+sum.Rejected != tr.Len() {
+			t.Errorf("%s: %d completed + %d rejected != %d jobs",
+				b.name, sum.Completed, sum.Rejected, tr.Len())
+		}
+	}
+}
+
+func TestFacadeEstimatorsWithoutRounding(t *testing.T) {
+	// Every constructor must accept a nil cluster (no rounding).
+	for _, build := range []func() (Estimator, error){
+		func() (Estimator, error) { return NewSuccessiveApprox(2, 0, nil) },
+		func() (Estimator, error) { return NewLastInstance(0, nil) },
+		func() (Estimator, error) { return NewReinforcement(1, nil) },
+		func() (Estimator, error) { return NewRegression(0, nil) },
+	} {
+		if _, err := build(); err != nil {
+			t.Errorf("nil-cluster constructor failed: %v", err)
+		}
+	}
+}
+
+func TestSWFRoundTripThroughFacade(t *testing.T) {
+	tr, err := GenerateTrace(SmallTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip lost jobs: %d vs %d", back.Len(), tr.Len())
+	}
+	if back.MaxNodes != tr.MaxNodes {
+		t.Errorf("MaxNodes lost: %d vs %d", back.MaxNodes, tr.MaxNodes)
+	}
+}
+
+func TestPoliciesExported(t *testing.T) {
+	for _, p := range []Policy{FCFS, EASYBackfill, SJF} {
+		if p.Name() == "" {
+			t.Error("exported policy with empty name")
+		}
+	}
+	if FCFS.Name() != "fcfs" {
+		t.Errorf("FCFS.Name() = %q", FCFS.Name())
+	}
+}
+
+func TestScalesExported(t *testing.T) {
+	full, small := FullScale(), SmallScale()
+	if full.TraceCfg.Jobs != 122055 {
+		t.Errorf("full scale jobs = %d, want the paper's 122,055", full.TraceCfg.Jobs)
+	}
+	if small.TraceCfg.Jobs >= full.TraceCfg.Jobs {
+		t.Error("small scale should be smaller than full scale")
+	}
+	if len(full.SecondPoolMems) != 32 {
+		t.Errorf("full Figure 8 sweep has %d points, want 32 (1–32 MB)", len(full.SecondPoolMems))
+	}
+}
+
+func TestMultiResourceFacade(t *testing.T) {
+	mr, err := NewMultiResource([]string{"memory", "disk"}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := []MemSize{32, 100}
+	probe, err := mr.Estimate("class-a", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe) != 2 || !probe[0].Eq(32) {
+		t.Errorf("first probe = %v, want the request", probe)
+	}
+	if err := mr.Feedback("class-a", probe, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorNamesDistinct(t *testing.T) {
+	cl, err := CM5Cluster(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, build := range []func() (Estimator, error){
+		func() (Estimator, error) { return NoEstimation(), nil },
+		func() (Estimator, error) { return Oracle(), nil },
+		func() (Estimator, error) { return NewSuccessiveApprox(2, 0, cl) },
+		func() (Estimator, error) { return NewLastInstance(0, cl) },
+		func() (Estimator, error) { return NewReinforcement(1, cl) },
+		func() (Estimator, error) { return NewRegression(0, cl) },
+	} {
+		e, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if names[e.Name()] {
+			t.Errorf("duplicate estimator name %q", e.Name())
+		}
+		names[e.Name()] = true
+	}
+}
+
+func TestGeneratedTraceMatchesPaperHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation skipped in -short mode")
+	}
+	tr, err := GenerateTrace(DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 122055 {
+		t.Errorf("jobs = %d, want 122,055", tr.Len())
+	}
+	kept := tr.DropLargerThan(512)
+	if removed := tr.Len() - kept.Len(); removed != 6 {
+		t.Errorf("full-machine jobs = %d, want the paper's 6", removed)
+	}
+	if !strings.Contains(strings.Join(tr.Header, "\n"), "MaxNodes: 1024") {
+		t.Error("SWF header missing MaxNodes")
+	}
+}
+
+func TestFacadeJournalAndDistributions(t *testing.T) {
+	tr := smallWorkload(t).Head(500)
+	cl, err := CM5Cluster(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewSuccessiveApprox(2, 0, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Journal{}
+	res, err := Simulate(SimConfig{Trace: tr, Cluster: cl, Estimator: est, Journal: j, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() == 0 {
+		t.Fatal("journal empty")
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := WaitDistribution(res)
+	s := SlowdownDistribution(res)
+	if w.N == 0 || s.N == 0 {
+		t.Fatalf("empty distributions: wait %+v slowdown %+v", w, s)
+	}
+	if s.P99 < s.P50 || w.Max < w.P90 {
+		t.Errorf("distribution ordering broken: wait %+v slowdown %+v", w, s)
+	}
+}
+
+func TestFacadeConservativePolicy(t *testing.T) {
+	tr := smallWorkload(t).Head(300)
+	cl, err := CM5Cluster(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{
+		Trace: tr, Cluster: cl, Estimator: NoEstimation(),
+		Policy: ConservativeBackfill, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Rejected != tr.Len() {
+		t.Errorf("conservation broken: %d+%d != %d", res.Completed, res.Rejected, tr.Len())
+	}
+}
