@@ -1,0 +1,28 @@
+# The full verification gate: build, vet, the custom invariant
+# analyzers (units, locks, determinism — see DESIGN.md §7), and the
+# race-enabled test suite. CI runs exactly this via `make verify`.
+
+GO ?= go
+
+.PHONY: build test lint race verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+overprovlint: $(shell find cmd/overprovlint internal/analysis -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o overprovlint ./cmd/overprovlint
+
+lint: overprovlint
+	$(GO) vet ./...
+	./overprovlint ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build lint race
+
+clean:
+	rm -f overprovlint

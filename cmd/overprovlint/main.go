@@ -1,0 +1,137 @@
+// Command overprovlint is the repo's multichecker: it runs the four
+// custom analyzers from internal/analysis (memsafe, lockcheck, detrand,
+// errfeedback) over module packages and exits non-zero on any finding.
+// It is built purely on the standard library — the stock vet passes are
+// not linked in (that would need golang.org/x/tools), so the CI gate
+// pairs it with `go vet ./...`:
+//
+//	go build ./cmd/overprovlint && ./overprovlint ./... && go vet ./...
+//
+// Patterns resolve against the enclosing module: "./..." (the default)
+// means every package, "./internal/..." a subtree, and "./internal/sim"
+// or "overprov/internal/sim" a single package. Test files are not
+// analyzed; the invariants bind the shipped code, and tests poke
+// estimator internals deliberately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"overprov/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: overprovlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the overprov static-analysis suite; defaults to ./...\n\nAnalyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "overprovlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	moduleDir, modulePath, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := expand(patterns, cwd, moduleDir, modulePath)
+	if err != nil {
+		return err
+	}
+
+	loader := analysis.NewLoader(moduleDir, modulePath)
+	found := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return err
+		}
+		diags, err := analysis.Run(loader.Fset, pkg, analysis.Suite())
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// expand resolves package patterns to module import paths, preserving
+// pattern order while deduplicating.
+func expand(patterns []string, cwd, moduleDir, modulePath string) ([]string, error) {
+	all, err := analysis.ListModulePackages(moduleDir, modulePath)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "/...")
+		if base == "." && recursive {
+			base = "./"
+		}
+		// Relative patterns anchor at cwd; bare ones are import paths.
+		anchor := base
+		if strings.HasPrefix(base, "./") || base == "." || strings.HasPrefix(base, "../") {
+			abs := filepath.Join(cwd, base)
+			rel, err := filepath.Rel(moduleDir, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("pattern %q escapes module %s", pat, modulePath)
+			}
+			if rel == "." {
+				anchor = modulePath
+			} else {
+				anchor = modulePath + "/" + filepath.ToSlash(rel)
+			}
+		}
+		matched := false
+		for _, p := range all {
+			if p == anchor || (recursive && strings.HasPrefix(p, anchor+"/")) {
+				add(p)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}

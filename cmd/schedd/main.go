@@ -57,9 +57,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("schedd: %v", err)
 	}
+	// The estimator is shared between HTTP handler goroutines and the
+	// periodic state saver below; the Synchronized wrapper is the one
+	// lock both sides go through. Touching sa directly past this point
+	// would reintroduce the race the wrapper exists to close.
+	est := estimate.NewSynchronized(sa)
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
-			loadErr := sa.LoadState(f)
+			loadErr := est.LoadState(f)
 			f.Close()
 			if loadErr != nil {
 				log.Fatalf("schedd: loading %s: %v", *state, loadErr)
@@ -72,7 +77,7 @@ func main() {
 
 	srv, err := server.New(server.Config{
 		Cluster:          cl,
-		Estimator:        sa,
+		Estimator:        est,
 		ExplicitFeedback: *explicit,
 	})
 	if err != nil {
@@ -89,7 +94,7 @@ func main() {
 			log.Printf("schedd: saving state: %v", err)
 			return
 		}
-		if err := sa.SaveState(f); err != nil {
+		if err := est.SaveState(f); err != nil {
 			f.Close()
 			log.Printf("schedd: saving state: %v", err)
 			return
@@ -105,7 +110,7 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
-		log.Printf("schedd: %s on %s, estimator %s", cl, *addr, sa.Name())
+		log.Printf("schedd: %s on %s, estimator %s", cl, *addr, est.Name())
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("schedd: %v", err)
 		}

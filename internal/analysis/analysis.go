@@ -1,0 +1,104 @@
+// Package analysis is overprovlint: a small static-analysis suite that
+// machine-checks the three invariants this reproduction's numbers rest
+// on —
+//
+//  1. units discipline: `units.MemSize`/`units.Seconds` never mix with
+//     raw numerics outside internal/units (analyzer "memsafe");
+//  2. lock discipline: types that guard state with a mutex field only
+//     touch their map/slice fields while holding it ("lockcheck");
+//  3. simulation determinism: internal/sim, internal/estimate and
+//     internal/synth never reach for ambient randomness or wall-clock
+//     time ("detrand") — all randomness flows through an injected
+//     seeded *rand.Rand so trace-driven runs replay bit-identically;
+//
+// plus "errfeedback", which flags silently dropped errors from
+// feedback-recording and estimator persistence calls, since lost
+// feedback corrupts the Algorithm 1 walk-down without any visible
+// symptom.
+//
+// The suite is modeled on golang.org/x/tools/go/analysis but is built
+// exclusively on the standard library (go/ast, go/types, go/build), so
+// the repository stays dependency-free: Analyzer/Pass mirror their
+// x/tools namesakes closely enough that migrating to the real
+// multichecker later is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("memsafe").
+	Name string
+	// Doc is the one-paragraph help text shown by `overprovlint -help`.
+	Doc string
+	// Run inspects a type-checked package via the Pass and reports
+	// findings with Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass connects one analyzer run to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way `go vet` does, with the
+// analyzer name appended so multichecker output stays attributable.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to one loaded package and returns the
+// combined findings sorted by file position.
+func Run(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// Suite returns the full overprovlint analyzer set in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{Memsafe, Lockcheck, Detrand, Errfeedback}
+}

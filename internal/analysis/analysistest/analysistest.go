@@ -1,0 +1,101 @@
+// Package analysistest verifies analyzers against fixture packages, in
+// the style of golang.org/x/tools/go/analysis/analysistest: fixture
+// sources carry `// want "regexp"` annotations on the lines expected to
+// be flagged, and the harness fails the test on any missed or
+// unexpected diagnostic. Fixture packages live under a testdata/src
+// root and import each other by directory-relative path (e.g. a fixture
+// `units` package stands in for overprov/internal/units).
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"overprov/internal/analysis"
+)
+
+// wantRE extracts the quoted regexps of a want comment; both
+// double-quoted and backquoted patterns are accepted, as in the real
+// analysistest.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one `// want` pattern and whether a diagnostic matched
+// it.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture package at rel (relative to testdata/src in the
+// caller's directory), applies the analyzer, and diffs its diagnostics
+// against the fixture's want annotations.
+func Run(t *testing.T, a *analysis.Analyzer, rel string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src")
+	loader := analysis.NewLoader("", "")
+	loader.SetFixtureRoot(root)
+	pkg, err := loader.Load(rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+
+	// Gather expectations keyed by file:line.
+	wants := make(map[string][]*expectation)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+				for _, q := range wantRE.FindAllString(c.Text[idx:], -1) {
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(loader.Fset, pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, rel, err)
+	}
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		if !consume(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.raw)
+			}
+		}
+	}
+}
+
+// consume marks the first unmatched expectation whose regexp matches
+// msg.
+func consume(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detrand enforces simulation determinism: inside internal/sim,
+// internal/estimate and internal/synth, nothing may consult the
+// process-global random generator or the wall clock. A single stray
+// rand.Float64() makes every trace-driven run unrepeatable — the
+// failure-point sampling, synthetic workload draws and reinforcement
+// exploration would differ between runs with identical seeds, and the
+// paper's figures would stop being reproductions. Randomness must flow
+// through an injected, seeded *rand.Rand (constructors like rand.New
+// and rand.NewPCG stay legal — creating a seeded generator is the
+// sanctioned pattern); simulated time is units.Seconds, never time.Now.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand and time.Now/time.Since in internal/sim, internal/estimate " +
+		"and internal/synth; inject a seeded *rand.Rand and simulated units.Seconds instead",
+	Run: runDetrand,
+}
+
+// detrandApplies reports whether the package path is one of the
+// determinism-critical trees (matched as path segments, so fixture
+// packages like "detrand/internal/sim" qualify too).
+func detrandApplies(path string) bool {
+	segs := strings.Split(path, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] != "internal" {
+			continue
+		}
+		switch segs[i+1] {
+		case "sim", "estimate", "synth":
+			return true
+		}
+	}
+	return false
+}
+
+func runDetrand(pass *Pass) error {
+	if !detrandApplies(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				checkRandSel(pass, info, sel)
+			case "time":
+				if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+					pass.Reportf(sel.Pos(),
+						"time.%s makes simulation results wall-clock dependent; thread simulated units.Seconds instead",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRandSel flags references to package-level math/rand functions
+// and variables that draw from the shared global source. Constructors
+// (New, NewPCG, NewSource, NewChaCha8, …) build seeded generators and
+// stay legal; type references (rand.Rand in signatures) are not draws.
+func checkRandSel(pass *Pass, info *types.Info, sel *ast.SelectorExpr) {
+	switch info.Uses[sel.Sel].(type) {
+	case *types.Func, *types.Var:
+	default:
+		return
+	}
+	if strings.HasPrefix(sel.Sel.Name, "New") {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"rand.%s draws from the process-global generator and breaks same-seed replay; use the injected seeded *rand.Rand",
+		sel.Sel.Name)
+}

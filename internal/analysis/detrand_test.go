@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"overprov/internal/analysis"
+	"overprov/internal/analysis/analysistest"
+)
+
+func TestDetrandFlagged(t *testing.T) {
+	analysistest.Run(t, analysis.Detrand, "detrand/internal/sim")
+}
+
+// TestDetrandCleanInjectedRNG checks that a determinism-critical
+// package drawing only through an injected seeded generator is silent.
+func TestDetrandCleanInjectedRNG(t *testing.T) {
+	analysistest.Run(t, analysis.Detrand, "detrandclean/internal/synth")
+}
+
+// TestDetrandIgnoresOutsidePackages checks that ambient randomness
+// outside internal/sim|estimate|synth is out of scope.
+func TestDetrandIgnoresOutsidePackages(t *testing.T) {
+	analysistest.Run(t, analysis.Detrand, "detrandoutside")
+}

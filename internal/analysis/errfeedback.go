@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errfeedback flags silently dropped errors from feedback-recording and
+// estimator-persistence calls. The Algorithm 1 walk-down is a feedback
+// loop: if a Record/Observe call or a SaveState/LoadState round-trip
+// fails and the error vanishes, the estimator keeps walking on state
+// that no longer matches reality — a corruption with no visible symptom
+// until the utilization numbers are quietly wrong. Unlike a general
+// errcheck, this analyzer is scoped to exactly the calls whose loss
+// corrupts learned state, so it can afford to be strict: discarding via
+// a bare call statement, `go`/`defer`, or an explicit blank assignment
+// are all flagged.
+var Errfeedback = &Analyzer{
+	Name: "errfeedback",
+	Doc: "flag dropped errors from Record*/Observe* feedback methods and estimator " +
+		"SaveState/LoadState persistence calls",
+	Run: runErrfeedback,
+}
+
+func runErrfeedback(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDropped(pass, info, call, "is discarded")
+				}
+			case *ast.DeferStmt:
+				checkDropped(pass, info, s.Call, "is discarded by defer")
+			case *ast.GoStmt:
+				checkDropped(pass, info, s.Call, "is discarded by go")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, info, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// feedbackCallee returns the called function when call is a
+// feedback-shaped call whose last result is an error, and nil
+// otherwise.
+func feedbackCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || !isFeedbackName(fn.Name()) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return fn
+}
+
+// isFeedbackName matches the method shapes whose lost errors corrupt
+// estimator state: Record, RecordOutcome, Observe, ObserveUsage, … plus
+// the persistence pair from internal/estimate/persist.go.
+func isFeedbackName(name string) bool {
+	return strings.HasPrefix(name, "Record") ||
+		strings.HasPrefix(name, "Observe") ||
+		name == "SaveState" || name == "LoadState"
+}
+
+func checkDropped(pass *Pass, info *types.Info, call *ast.CallExpr, how string) {
+	if fn := feedbackCallee(info, call); fn != nil {
+		pass.Reportf(call.Pos(),
+			"error returned by %s %s; lost feedback silently corrupts estimator state — handle or log it",
+			fn.Name(), how)
+	}
+}
+
+// checkBlankAssign flags `_ = x.Record(...)` and `v, _ := x.Load(...)`
+// where the blank identifier lands on the error result.
+func checkBlankAssign(pass *Pass, info *types.Info, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := feedbackCallee(info, call)
+	if fn == nil {
+		return
+	}
+	// The error is the last result, so it lands on the last LHS operand.
+	last, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		pass.Reportf(s.Pos(),
+			"error returned by %s is assigned to the blank identifier; lost feedback silently corrupts estimator state — handle or log it",
+			fn.Name())
+	}
+}

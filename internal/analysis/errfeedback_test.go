@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"overprov/internal/analysis"
+	"overprov/internal/analysis/analysistest"
+)
+
+func TestErrfeedbackFlagged(t *testing.T) {
+	analysistest.Run(t, analysis.Errfeedback, "errfeedback/flagged")
+}
+
+func TestErrfeedbackClean(t *testing.T) {
+	analysistest.Run(t, analysis.Errfeedback, "errfeedback/clean")
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression/object facts.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages from source using only the
+// standard library — a miniature replacement for go/packages, which
+// this repository deliberately does not depend on. Import paths resolve
+// in three layers:
+//
+//  1. the enclosing module (modulePath → moduleDir),
+//  2. an optional fixture root (analysistest fixtures under
+//     testdata/src, where the import path is the directory path),
+//  3. GOROOT/src, with the GOROOT vendor directory as fallback —
+//     standard-library dependencies are type-checked from source with
+//     function bodies ignored, which is all importers need.
+//
+// Cgo is disabled so the pure-Go fallbacks of net and friends are
+// selected; test files are excluded throughout.
+type Loader struct {
+	Fset *token.FileSet
+
+	ctxt        build.Context
+	moduleDir   string
+	modulePath  string
+	fixtureRoot string
+
+	full    map[string]*Package       // module/fixture packages, bodies checked
+	typed   map[string]*types.Package // every completed package incl. stdlib
+	loading map[string]bool           // cycle guard
+}
+
+// NewLoader builds a loader rooted at the module. Either argument may
+// be empty when only fixture and standard-library packages are loaded.
+func NewLoader(moduleDir, modulePath string) *Loader {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		moduleDir:  moduleDir,
+		modulePath: modulePath,
+		full:       make(map[string]*Package),
+		typed:      make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// SetFixtureRoot adds a directory (typically testdata/src) whose
+// subdirectories resolve imports by relative path.
+func (l *Loader) SetFixtureRoot(dir string) { l.fixtureRoot = dir }
+
+// Load parses and fully type-checks the package at the given import
+// path, which must resolve inside the module or the fixture root.
+func (l *Loader) Load(path string) (*Package, error) {
+	if _, err := l.Import(path); err != nil {
+		return nil, err
+	}
+	pkg, ok := l.full[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %q resolved outside the module/fixture roots; only its API was loaded", path)
+	}
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := l.typed[path]; ok {
+		return tp, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, full, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: listing %s: %w", dir, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: !full,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tp, _ := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil && full {
+		// Analysis targets must type-check cleanly; dependency packages
+		// (stdlib checked without bodies) tolerate residual soft errors.
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, firstErr)
+	}
+	if tp == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, firstErr)
+	}
+	l.typed[path] = tp
+	if full {
+		l.full[path] = &Package{Path: path, Dir: dir, Files: files, Types: tp, Info: info}
+	}
+	return tp, nil
+}
+
+// resolve maps an import path to a source directory and reports whether
+// the package is an analysis target (module/fixture ⇒ full check).
+func (l *Loader) resolve(path string) (dir string, full bool, err error) {
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			return l.moduleDir, true, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			return filepath.Join(l.moduleDir, filepath.FromSlash(rest)), true, nil
+		}
+	}
+	if l.fixtureRoot != "" {
+		d := filepath.Join(l.fixtureRoot, filepath.FromSlash(path))
+		if isDir(d) {
+			return d, true, nil
+		}
+	}
+	goroot := l.ctxt.GOROOT
+	if d := filepath.Join(goroot, "src", filepath.FromSlash(path)); isDir(d) {
+		return d, false, nil
+	}
+	if d := filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)); isDir(d) {
+		return d, false, nil
+	}
+	return "", false, fmt.Errorf("analysis: cannot resolve import %q (module %q, no network: third-party modules are unavailable)", path, l.modulePath)
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

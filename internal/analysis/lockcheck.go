@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Lockcheck enforces the lock discipline for mutex-guarded state: when
+// a struct declares a sync.Mutex/sync.RWMutex field, its methods must
+// acquire that mutex before touching sibling map or slice fields — the
+// shapes whose concurrent mutation corrupts silently (estimator group
+// maps, the server's job table and queue).
+//
+// The repo's convention for helpers that run under a caller-held lock
+// is a name ending in "Locked" (dispatchLocked, viewLocked); such
+// methods are exempt, as is any method that never touches guarded
+// state. The check is intentionally method-local: a method either
+// locks somewhere in its body or it does not. Path-sensitive analysis
+// (lock on some branches only) is the race detector's job; lockcheck
+// catches the structural mistake of forgetting the mutex entirely,
+// which -race only finds when a test happens to race the exact pair of
+// accesses.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flag methods of mutex-guarded structs that access sibling map/slice fields " +
+		"without acquiring the mutex (suffix the name with Locked to mark caller-holds-lock helpers)",
+	Run: runLockcheck,
+}
+
+// guardedStruct records one struct with a mutex and the fields it
+// protects.
+type guardedStruct struct {
+	mutexField string
+	guarded    map[string]bool
+}
+
+func runLockcheck(pass *Pass) error {
+	info := pass.Pkg.Info
+	structs := findGuardedStructs(info)
+	if len(structs) == 0 {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			checkMethod(pass, info, structs, fd)
+		}
+	}
+	return nil
+}
+
+// findGuardedStructs collects package-level structs declaring both a
+// mutex field and at least one map/slice field.
+func findGuardedStructs(info *types.Info) map[*types.TypeName]guardedStruct {
+	out := make(map[*types.TypeName]guardedStruct)
+	for _, obj := range info.Defs {
+		tn, ok := obj.(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		gs := guardedStruct{guarded: make(map[string]bool)}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			switch {
+			case isSyncMutex(f.Type()):
+				if gs.mutexField == "" {
+					gs.mutexField = f.Name()
+				}
+			default:
+				switch f.Type().Underlying().(type) {
+				case *types.Map, *types.Slice:
+					gs.guarded[f.Name()] = true
+				}
+			}
+		}
+		if gs.mutexField != "" && len(gs.guarded) > 0 {
+			out[tn] = gs
+		}
+	}
+	return out
+}
+
+// isSyncMutex reports whether t is sync.Mutex/sync.RWMutex or a pointer
+// to one.
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkMethod flags fd when it reads or writes a guarded field of its
+// receiver without ever locking the receiver's mutex.
+func checkMethod(pass *Pass, info *types.Info, structs map[*types.TypeName]guardedStruct, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if strings.HasSuffix(name, "Locked") || strings.HasSuffix(name, "locked") {
+		return
+	}
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return
+	}
+	gs, ok := structs[named.Obj()]
+	if !ok {
+		return
+	}
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return // unnamed receiver cannot touch fields
+	}
+	recvVar := info.Defs[fd.Recv.List[0].Names[0]]
+	if recvVar == nil {
+		return
+	}
+
+	locks := false
+	var firstAccess *ast.SelectorExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// s.mu.Lock() / s.mu.RLock(): the selector chain is
+		// (s.mu).Lock, so look for Lock/RLock selected from recv.mutex.
+		if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok &&
+				inner.Sel.Name == gs.mutexField && isUseOf(info, inner.X, recvVar) {
+				locks = true
+			}
+		}
+		if gs.guarded[sel.Sel.Name] && isUseOf(info, sel.X, recvVar) && firstAccess == nil {
+			firstAccess = sel
+		}
+		return true
+	})
+	if firstAccess != nil && !locks {
+		pass.Reportf(firstAccess.Pos(),
+			"method %s.%s accesses guarded field %q without acquiring %s; lock it or use the Locked suffix to mark a caller-holds-lock helper",
+			named.Obj().Name(), name, firstAccess.Sel.Name, gs.mutexField)
+	}
+}
+
+// isUseOf reports whether e is an identifier resolving to obj.
+func isUseOf(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}

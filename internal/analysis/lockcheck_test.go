@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"overprov/internal/analysis"
+	"overprov/internal/analysis/analysistest"
+)
+
+func TestLockcheckFlagged(t *testing.T) {
+	analysistest.Run(t, analysis.Lockcheck, "lockcheck/flagged")
+}
+
+func TestLockcheckClean(t *testing.T) {
+	analysistest.Run(t, analysis.Lockcheck, "lockcheck/clean")
+}

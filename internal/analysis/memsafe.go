@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Memsafe enforces the units discipline: outside the units package
+// itself, `units.MemSize` and `units.Seconds` values never mix with raw
+// numerics. Three shapes are flagged:
+//
+//   - arithmetic (`+ - * / %`) combining a unit-typed value with a bare
+//     numeric constant — `mem * 1024` silently changes the unit, where
+//     `mem * 2` silently changes the quantity; both must spell out the
+//     unit (`1024 * units.MB`) or use a helper such as Div;
+//   - comparisons against bare numeric constants other than zero
+//     (comparing against zero is how the zero value is detected and
+//     stays legal);
+//   - conversions that strip or cross units: `float64(mem)` bypasses
+//     MBf()/Sec(), and `units.MemSize(sec)` reinterprets seconds as
+//     megabytes. Both compile silently because the unit types share the
+//     float64 underlying type — which is exactly why a checker is
+//     needed.
+var Memsafe = &Analyzer{
+	Name: "memsafe",
+	Doc: "flag arithmetic, comparisons and conversions that mix units.MemSize/units.Seconds " +
+		"with raw numerics outside internal/units",
+	Run: runMemsafe,
+}
+
+// unitHelpers names the sanctioned escape hatch per unit type.
+var unitHelpers = map[string]string{"MemSize": "MBf()", "Seconds": "Sec()"}
+
+// unitExamples names a unit constant to spell quantities with.
+var unitExamples = map[string]string{"MemSize": "units.MB", "Seconds": "units.Second"}
+
+// isUnitsPackage reports whether path is the units package itself (or a
+// fixture stand-in), where raw float math is the implementation.
+func isUnitsPackage(path string) bool {
+	return path == "units" || strings.HasSuffix(path, "/units")
+}
+
+// unitTypeName returns "MemSize"/"Seconds" when t is one of the unit
+// types, and "" otherwise.
+func unitTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !isUnitsPackage(obj.Pkg().Path()) {
+		return ""
+	}
+	if _, ok := unitHelpers[obj.Name()]; ok {
+		return obj.Name()
+	}
+	return ""
+}
+
+func runMemsafe(pass *Pass) error {
+	if isUnitsPackage(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkMix(pass, info, e)
+			case *ast.CallExpr:
+				checkConversion(pass, info, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMix flags unit ⊕ bare-constant expressions. The type checker
+// converts untyped constants to the unit type before recording them, so
+// mixing is detected syntactically: one operand is a non-constant unit
+// value, the other a constant expression that never mentions a
+// unit-typed name.
+func checkMix(pass *Pass, info *types.Info, e *ast.BinaryExpr) {
+	arith := false
+	switch e.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+		arith = true
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	x, y := info.Types[e.X], info.Types[e.Y]
+	for _, side := range [2]struct {
+		val, other types.TypeAndValue
+		otherExpr  ast.Expr
+	}{
+		{x, y, e.Y}, {y, x, e.X},
+	} {
+		unit := unitTypeName(side.val.Type)
+		if unit == "" || side.val.Value != nil {
+			continue // only non-constant unit values anchor a violation
+		}
+		if side.other.Value == nil || mentionsUnit(info, side.otherExpr) {
+			continue // other side is unit-typed data or spells out a unit
+		}
+		if !arith && constant.Sign(side.other.Value) == 0 {
+			continue // comparisons against the zero value stay legal
+		}
+		verb := "compared with"
+		if arith {
+			verb = "combined with"
+		}
+		pass.Reportf(e.OpPos,
+			"units.%s value %s bare constant %s; spell out the unit (e.g. %s * %s) or use the %s helpers",
+			unit, verb, side.other.Value, side.other.Value, unitExamples[unit], unit)
+		return
+	}
+}
+
+// mentionsUnit reports whether the expression references any unit-typed
+// constant, variable, or type (e.g. units.MB, units.MemSize(…)).
+func mentionsUnit(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := info.Uses[id]; obj != nil && unitTypeName(obj.Type()) != "" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkConversion flags conversions that strip a unit into a basic
+// numeric type, or silently reinterpret one unit as another.
+func checkConversion(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	src, ok := info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	srcUnit := unitTypeName(src.Type)
+	dstUnit := unitTypeName(tv.Type)
+	switch {
+	case srcUnit != "" && dstUnit == "" && isBasicNumeric(tv.Type):
+		pass.Reportf(call.Pos(),
+			"conversion strips units.%s to %s; use the %s helper instead",
+			srcUnit, tv.Type.String(), unitHelpers[srcUnit])
+	case srcUnit != "" && dstUnit != "" && srcUnit != dstUnit:
+		pass.Reportf(call.Pos(),
+			"conversion reinterprets units.%s as units.%s; convert through an explicit quantity instead",
+			srcUnit, dstUnit)
+	}
+}
+
+func isBasicNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

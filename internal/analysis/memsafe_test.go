@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"overprov/internal/analysis"
+	"overprov/internal/analysis/analysistest"
+)
+
+func TestMemsafeFlagged(t *testing.T) {
+	analysistest.Run(t, analysis.Memsafe, "memsafe/flagged")
+}
+
+func TestMemsafeClean(t *testing.T) {
+	analysistest.Run(t, analysis.Memsafe, "memsafe/clean")
+}
+
+// TestMemsafeSkipsUnitsPackage checks the one sanctioned home of raw
+// unit math: the units package itself (the fixture stand-in converts
+// MemSize to float64 in its helpers and must not be flagged).
+func TestMemsafeSkipsUnitsPackage(t *testing.T) {
+	analysistest.Run(t, analysis.Memsafe, "units")
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ListModulePackages walks the module tree and returns the import paths
+// of every buildable package (any directory holding at least one
+// non-test .go file), sorted. testdata trees, hidden directories and
+// the results directory are skipped — matching what go list ./...
+// would report for this module.
+func ListModulePackages(moduleDir, modulePath string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != moduleDir && (name == "testdata" || name == "results" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		hasGo, err := hasBuildableGoFile(path)
+		if err != nil {
+			return err
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(moduleDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, modulePath)
+		} else {
+			out = append(out, modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: listing module packages: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasBuildableGoFile(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod and
+// returns that directory plus the declared module path.
+func FindModuleRoot(dir string) (moduleDir, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"overprov/internal/analysis"
+)
+
+// TestSuiteIsCleanOnModule is the lint gate in test form: the full
+// analyzer suite over every package of this module must report nothing,
+// so `go test ./internal/analysis/...` fails the moment a units,
+// locking, determinism or dropped-feedback violation lands anywhere in
+// the tree — even where CI runs only the tier-1 command.
+func TestSuiteIsCleanOnModule(t *testing.T) {
+	moduleDir, modulePath, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	pkgs, err := analysis.ListModulePackages(moduleDir, modulePath)
+	if err != nil {
+		t.Fatalf("listing packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected the module to have at least 10 packages, found %d: %v", len(pkgs), pkgs)
+	}
+	loader := analysis.NewLoader(moduleDir, modulePath)
+	for _, path := range pkgs {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.Run(loader.Fset, pkg, analysis.Suite())
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestListModulePackages pins the package walker's basic contract.
+func TestListModulePackages(t *testing.T) {
+	moduleDir, modulePath, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	pkgs, err := analysis.ListModulePackages(moduleDir, modulePath)
+	if err != nil {
+		t.Fatalf("listing packages: %v", err)
+	}
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		seen[p] = true
+		if strings.Contains(p, "/testdata/") {
+			t.Errorf("testdata package leaked into the list: %s", p)
+		}
+	}
+	for _, want := range []string{
+		modulePath,
+		modulePath + "/internal/analysis",
+		modulePath + "/internal/estimate",
+		modulePath + "/internal/sim",
+		modulePath + "/cmd/overprovlint",
+	} {
+		if !seen[want] {
+			t.Errorf("expected package %s in module listing %v", want, pkgs)
+		}
+	}
+	if _, _, err := analysis.FindModuleRoot(filepath.Join(moduleDir, "internal", "analysis")); err != nil {
+		t.Errorf("FindModuleRoot from a subdirectory: %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+// Package sim sits on a determinism-critical path (its import path
+// contains internal/sim), so detrand forbids ambient randomness and
+// wall-clock reads here.
+package sim
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+	"time"
+)
+
+// Draw consults the process-global v2 generator.
+func Draw() float64 {
+	return rand.Float64() // want `rand.Float64 draws from the process-global generator`
+}
+
+// Shuffle consults the global v1 generator through an aliased import.
+func Shuffle(xs []int) {
+	mrand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the process-global generator`
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `time.Now makes simulation results wall-clock dependent`
+}
+
+// Elapsed measures wall-clock time.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since makes simulation results wall-clock dependent`
+}
+
+// Seeded builds an injected generator — constructors stay legal, and
+// mentioning the rand.Rand type is not a draw.
+func Seeded(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 1))
+}

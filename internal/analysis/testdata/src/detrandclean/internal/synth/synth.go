@@ -1,0 +1,22 @@
+// Package synth is determinism-critical but clean: every draw flows
+// through an injected seeded generator.
+package synth
+
+import "math/rand/v2"
+
+// Sampler owns a seeded generator.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// New seeds the sampler; constructing generators is the sanctioned
+// pattern.
+func New(seed uint64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewPCG(seed, 99))}
+}
+
+// Draw uses the injected generator, never the global one.
+func (s *Sampler) Draw() float64 { return s.rng.Float64() }
+
+// Pick draws through a passed-in generator.
+func Pick(rng *rand.Rand, n int) int { return rng.IntN(n) }

@@ -1,0 +1,15 @@
+// Package detrandoutside is NOT on a determinism-critical path, so
+// detrand leaves its global randomness and clock reads alone (they are
+// a style question elsewhere, not a replay-correctness one).
+package detrandoutside
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Jitter may use ambient randomness outside the simulation trees.
+func Jitter() float64 { return rand.Float64() }
+
+// Stamp may read the wall clock outside the simulation trees.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,23 @@
+// Package clean handles feedback errors properly; errfeedback must
+// stay silent.
+package clean
+
+import "errors"
+
+// Sink mirrors the flagged fixture's feedback surface.
+type Sink struct{}
+
+// RecordOutcome mimics an estimator feedback method.
+func (Sink) RecordOutcome(ok bool) error { return errors.New("x") }
+
+// SaveState mimics the persistence call.
+func (Sink) SaveState() error { return nil }
+
+// Use checks every feedback error.
+func Use(s Sink) error {
+	if err := s.RecordOutcome(true); err != nil {
+		return err
+	}
+	err := s.SaveState()
+	return err
+}

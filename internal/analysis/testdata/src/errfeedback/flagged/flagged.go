@@ -1,0 +1,33 @@
+// Package flagged exercises every errfeedback diagnostic shape.
+package flagged
+
+import "errors"
+
+// Sink carries feedback-shaped methods whose errors must not vanish.
+type Sink struct{}
+
+// RecordOutcome mimics an estimator feedback method.
+func (Sink) RecordOutcome(ok bool) error { return errors.New("feedback lost") }
+
+// Observe mimics a usage-observation method.
+func (Sink) Observe(v float64) error { return nil }
+
+// SaveState mimics the persistence call from internal/estimate/persist.go.
+func (Sink) SaveState() error { return nil }
+
+// LoadState mimics the restore path.
+func (Sink) LoadState() error { return nil }
+
+// Note returns an error but is not feedback-shaped; the general
+// errcheck owns it, not this analyzer.
+func (Sink) Note() error { return nil }
+
+// Drop loses feedback errors in every flagged shape.
+func Drop(s Sink) {
+	s.RecordOutcome(true)     // want `error returned by RecordOutcome is discarded`
+	s.Observe(1)              // want `error returned by Observe is discarded`
+	defer s.SaveState()       // want `error returned by SaveState is discarded by defer`
+	go s.RecordOutcome(false) // want `error returned by RecordOutcome is discarded by go`
+	_ = s.LoadState()         // want `error returned by LoadState is assigned to the blank identifier`
+	s.Note()                  // out of scope for errfeedback
+}

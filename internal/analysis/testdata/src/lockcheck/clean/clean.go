@@ -1,0 +1,37 @@
+// Package clean holds lock-disciplined code lockcheck must not flag.
+package clean
+
+import "sync"
+
+// Table locks around every guarded access.
+type Table struct {
+	mu   sync.Mutex
+	rows map[string][]float64
+}
+
+// Add locks before touching the map.
+func (t *Table) Add(k string, v float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[k] = append(t.rows[k], v)
+}
+
+// Len delegates to a Locked helper under the mutex.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lenLocked()
+}
+
+// lenLocked runs under the caller's lock.
+func (t *Table) lenLocked() int { return len(t.rows) }
+
+// Unguarded has no mutex at all, so lockcheck does not apply: a
+// single-goroutine type (like the estimators the simulator drives) may
+// use its maps freely.
+type Unguarded struct {
+	seen map[int]bool
+}
+
+// Mark records an id without any locking.
+func (u *Unguarded) Mark(id int) { u.seen[id] = true }

@@ -1,0 +1,54 @@
+// Package flagged exercises the lockcheck diagnostics.
+package flagged
+
+import "sync"
+
+// Registry guards a map and a slice with one mutex.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]int
+	order []string
+	name  string // plain fields are not guarded state
+}
+
+// Get forgets the mutex entirely.
+func (r *Registry) Get(k string) int {
+	return r.items[k] // want `method Registry.Get accesses guarded field "items" without acquiring mu`
+}
+
+// Append mutates the slice without locking.
+func (r *Registry) Append(k string) {
+	r.order = append(r.order, k) // want `method Registry.Append accesses guarded field "order" without acquiring mu`
+}
+
+// Name touches only unguarded fields, so no lock is required.
+func (r *Registry) Name() string { return r.name }
+
+// Put locks correctly.
+func (r *Registry) Put(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = v
+	r.order = append(r.order, k)
+}
+
+// sizeLocked is a caller-holds-lock helper by naming convention.
+func (r *Registry) sizeLocked() int { return len(r.items) }
+
+// Shared guards reads with an RWMutex.
+type Shared struct {
+	mu   sync.RWMutex
+	byID map[int]string
+}
+
+// Lookup uses a read lock — legal.
+func (s *Shared) Lookup(id int) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byID[id]
+}
+
+// Peek skips the read lock.
+func (s *Shared) Peek(id int) string {
+	return s.byID[id] // want `method Shared.Peek accesses guarded field "byID" without acquiring mu`
+}

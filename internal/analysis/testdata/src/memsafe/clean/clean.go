@@ -1,0 +1,38 @@
+// Package clean holds unit-correct code the memsafe analyzer must not
+// flag.
+package clean
+
+import "units"
+
+// Budget is a non-constant unit value.
+var Budget = 24 * units.MB
+
+// Grow spells quantities out in units and uses the helpers.
+func Grow(extra units.MemSize) units.MemSize {
+	total := Budget + extra    // unit + unit
+	total = total + 2*units.MB // constant side mentions the unit
+	halved := total.Div(2)     // scaling goes through the helper
+	return halved
+}
+
+// Inspect compares against the zero value and equal-typed quantities.
+func Inspect(m units.MemSize) bool {
+	if m == 0 { // zero-value checks stay legal
+		return false
+	}
+	if m > 0 && m.Eq(Budget) {
+		return true
+	}
+	return m > 2*units.GB
+}
+
+// Report leaves unit land through the sanctioned helpers only.
+func Report(m units.MemSize, s units.Seconds) float64 {
+	return m.MBf() * 1024 / s.Sec() // raw math on raw floats is fine
+}
+
+// Build converts raw inputs into units at the boundary — constructors
+// are the one legal direction.
+func Build(megabytes float64) units.MemSize {
+	return units.MemSize(megabytes)
+}

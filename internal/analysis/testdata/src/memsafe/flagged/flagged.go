@@ -1,0 +1,41 @@
+// Package flagged exercises every memsafe diagnostic shape.
+package flagged
+
+import "units"
+
+// Mem and Span are non-constant unit values; only those anchor
+// diagnostics (constant unit expressions like 2*units.MB are the
+// sanctioned way to spell quantities).
+var (
+	Mem  = 32 * units.MB
+	Span = 5 * units.Minute
+)
+
+// Scale mixes a unit value with bare constants.
+func Scale() units.MemSize {
+	doubled := Mem * 2     // want `units.MemSize value combined with bare constant 2`
+	shifted := Mem + 16    // want `units.MemSize value combined with bare constant 16`
+	stretched := Span * 60 // want `units.Seconds value combined with bare constant 60`
+	_ = stretched
+	return doubled + shifted
+}
+
+// Compare mixes comparisons with bare non-zero constants.
+func Compare() bool {
+	if Mem > 100 { // want `units.MemSize value compared with bare constant 100`
+		return true
+	}
+	return Span <= 3600 // want `units.Seconds value compared with bare constant 3600`
+}
+
+// Strip bypasses the unit helpers with raw conversions.
+func Strip() float64 {
+	raw := float64(Mem) // want `conversion strips units.MemSize to float64; use the MBf\(\) helper`
+	n := int64(Span)    // want `conversion strips units.Seconds to int64; use the Sec\(\) helper`
+	return raw + float64(n)
+}
+
+// Reinterpret silently converts one unit into another.
+func Reinterpret() units.MemSize {
+	return units.MemSize(Span) // want `conversion reinterprets units.Seconds as units.MemSize`
+}

@@ -1,0 +1,31 @@
+// Package units is the fixture stand-in for overprov/internal/units:
+// the memsafe analyzer recognises unit types by name and package, so
+// fixtures exercise it without importing the real module.
+package units
+
+// MemSize mirrors the real megabyte-valued memory type.
+type MemSize float64
+
+// Seconds mirrors the real simulated-time type.
+type Seconds float64
+
+// Common quantities, as in the real package.
+const (
+	MB MemSize = 1
+	GB MemSize = 1024
+
+	Second Seconds = 1
+	Minute         = 60 * Second
+)
+
+// MBf reports the size as a raw float64 number of megabytes.
+func (m MemSize) MBf() float64 { return float64(m) }
+
+// Div returns m divided by f.
+func (m MemSize) Div(f float64) MemSize { return MemSize(float64(m) / f) }
+
+// Eq reports exact equality (the fixture needs no tolerance).
+func (m MemSize) Eq(other MemSize) bool { return m == other }
+
+// Sec reports the span as a raw float64 number of seconds.
+func (s Seconds) Sec() float64 { return float64(s) }

@@ -1,0 +1,104 @@
+package estimate
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// TestSynchronizedConcurrentUse hammers one wrapped estimator from many
+// goroutines mixing Estimate, Feedback and SaveState. Its value is
+// under `go test -race`: this is the schedd interleaving (periodic
+// saver vs. HTTP traffic) that corrupted the group map when the saver
+// bypassed the lock.
+func TestSynchronizedConcurrentUse(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewSynchronized(sa)
+
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				j := &trace.Job{
+					ID: w*rounds + i, Nodes: 1,
+					User: w, App: i % 7,
+					ReqMem: 32 * units.MB, ReqTime: units.Hour,
+				}
+				e := est.Estimate(j)
+				est.Feedback(Outcome{Job: j, Allocated: e, Success: i%3 != 0})
+				if i%17 == 0 {
+					var buf bytes.Buffer
+					if err := est.SaveState(&buf); err != nil {
+						t.Errorf("SaveState: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := est.SaveState(&buf); err != nil {
+		t.Fatalf("final SaveState: %v", err)
+	}
+	if sa.NumGroups() == 0 {
+		t.Fatal("no similarity groups learned under concurrent feedback")
+	}
+	if est.Name() != sa.Name() {
+		t.Errorf("Name() = %q, want passthrough %q", est.Name(), sa.Name())
+	}
+	if est.Unwrap() != Estimator(sa) {
+		t.Error("Unwrap did not return the inner estimator")
+	}
+}
+
+// TestSynchronizedRoundTrip checks the persistence passthrough against
+// a fresh wrapped estimator.
+func TestSynchronizedRoundTrip(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewSynchronized(sa)
+	j := &trace.Job{ID: 1, Nodes: 2, User: 3, App: 4, ReqMem: 64 * units.MB}
+	est.Feedback(Outcome{Job: j, Allocated: 64 * units.MB, Success: true})
+
+	var buf bytes.Buffer
+	if err := est.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sa2, err := NewSuccessiveApprox(SuccessiveApproxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est2 := NewSynchronized(sa2)
+	if err := est2.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if sa2.NumGroups() != sa.NumGroups() {
+		t.Errorf("restored %d groups, want %d", sa2.NumGroups(), sa.NumGroups())
+	}
+}
+
+// TestSynchronizedWithoutPersistence pins the error for estimators that
+// keep no state.
+func TestSynchronizedWithoutPersistence(t *testing.T) {
+	est := NewSynchronized(Identity{})
+	if err := est.SaveState(&bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "does not persist") {
+		t.Errorf("SaveState on identity: err = %v, want 'does not persist'", err)
+	}
+	if err := est.LoadState(strings.NewReader("{}")); err == nil || !strings.Contains(err.Error(), "does not persist") {
+		t.Errorf("LoadState on identity: err = %v, want 'does not persist'", err)
+	}
+}

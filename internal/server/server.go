@@ -300,7 +300,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sa, ok := s.cfg.Estimator.(*estimate.SuccessiveApprox)
+	// Any persisting estimator qualifies, including a mutex-wrapped
+	// estimate.Synchronized shared with an out-of-band state saver.
+	sa, ok := s.cfg.Estimator.(estimate.StatePersister)
 	if !ok {
 		httpError(w, http.StatusNotImplemented,
 			"estimator %q does not expose persistent state", s.cfg.Estimator.Name())

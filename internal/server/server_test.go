@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -333,5 +334,76 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	if st.FreeNodes+st.Running > st.Total && st.Running == 0 {
 		t.Errorf("node books broken: %+v", st)
+	}
+}
+
+// TestConcurrentStateSaverDoesNotRace reproduces cmd/schedd's sharing
+// pattern: HTTP handlers train the estimator while a periodic saver
+// serialises it out-of-band. Before the estimate.Synchronized wrapper,
+// the saver read the group map without the server's lock — a data race
+// the race detector flags here the moment the wrapper is bypassed.
+func TestConcurrentStateSaverDoesNotRace(t *testing.T) {
+	cl, err := cluster.New(cluster.Spec{Nodes: 2, Mem: 24}, cluster.Spec{Nodes: 2, Mem: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{Alpha: 2, Round: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.NewSynchronized(sa)
+	srv, err := New(Config{Cluster: cl, Estimator: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	stop := make(chan struct{})
+	var saver sync.WaitGroup
+	saver.Add(1)
+	go func() {
+		defer saver.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := est.SaveState(io.Discard); err != nil {
+					t.Errorf("out-of-band SaveState: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				v := submit(t, ts, w+1, i%3+1, 1, 16)
+				if v.State == StateRunning {
+					complete(t, ts, v.ID, true)
+				}
+				// The estimates endpoint snapshots state through the
+				// same persister interface the saver uses.
+				resp, err := http.Get(ts.URL + "/api/v1/estimates")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	saver.Wait()
+
+	if sa.NumGroups() == 0 {
+		t.Error("no similarity groups learned under concurrent traffic")
 	}
 }
