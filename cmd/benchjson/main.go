@@ -1,0 +1,223 @@
+// Command benchjson records benchmark results as machine-readable JSON,
+// so performance PRs can commit a before/after pair (BENCH_<n>.json)
+// instead of pasting terminal output into commit messages.
+//
+// It either runs `go test -bench` itself or parses a saved output file,
+// then writes the results into the "baseline" or "current" section of
+// the output JSON, preserving the other section:
+//
+//	benchjson -as current -out BENCH_2.json -bench . -benchtime 1x
+//	benchjson -as current -out BENCH_2.json -merge \
+//	    -bench SimulatorThroughput -benchtime 2s -count 3
+//	benchjson -as baseline -out BENCH_2.json -parse old_bench.txt
+//
+// With -count > 1 each benchmark keeps its median run (by ns/op). With
+// -merge the new results are merged into the section instead of
+// replacing it, so a long-benchtime rerun can refine one entry.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchResult is one benchmark's outcome.
+type benchResult struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds the custom b.ReportMetric values (jobs/s, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// section is one side of the before/after pair.
+type section struct {
+	RecordedAt string                 `json:"recorded_at"`
+	GoVersion  string                 `json:"go_version"`
+	Note       string                 `json:"note,omitempty"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// file is the on-disk BENCH_<n>.json layout.
+type file struct {
+	Baseline *section `json:"baseline,omitempty"`
+	Current  *section `json:"current,omitempty"`
+}
+
+func main() {
+	var (
+		as        = flag.String("as", "current", `which section to write: "baseline" or "current"`)
+		out       = flag.String("out", "BENCH_2.json", "output JSON file")
+		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "passed to go test -benchtime")
+		count     = flag.Int("count", 1, "runs per benchmark; the median by ns/op is kept")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		parse     = flag.String("parse", "", "parse a saved go test -bench output file instead of running")
+		note      = flag.String("note", "", "free-form provenance note stored in the section")
+		merge     = flag.Bool("merge", false, "merge results into the section instead of replacing it")
+	)
+	flag.Parse()
+	if *as != "baseline" && *as != "current" {
+		fatal(fmt.Errorf("-as must be baseline or current, got %q", *as))
+	}
+
+	var (
+		results map[string][]benchResult
+		err     error
+	)
+	if *parse != "" {
+		data, rerr := os.ReadFile(*parse)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		results, err = parseBenchOutput(string(data))
+	} else {
+		results, err = runBenchmarks(*pkg, *bench, *benchtime, *count)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results found"))
+	}
+
+	var f file
+	if data, rerr := os.ReadFile(*out); rerr == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatal(fmt.Errorf("parsing existing %s: %w", *out, err))
+		}
+	}
+
+	sec := &section{Benchmarks: map[string]benchResult{}}
+	old := f.Current
+	if *as == "baseline" {
+		old = f.Baseline
+	}
+	if *merge && old != nil {
+		sec = old
+	}
+	sec.RecordedAt = time.Now().UTC().Format(time.RFC3339)
+	sec.GoVersion = runtime.Version()
+	if *note != "" {
+		sec.Note = *note
+	}
+	for name, runs := range results {
+		sec.Benchmarks[name] = median(runs)
+	}
+	if *as == "baseline" {
+		f.Baseline = sec
+	} else {
+		f.Current = sec
+	}
+
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := sec.Benchmarks[name]
+		fmt.Printf("%-40s %12.0f ns/op", name, r.NsPerOp)
+		for _, unit := range sortedKeys(r.Metrics) {
+			fmt.Printf("  %g %s", r.Metrics[unit], unit)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("wrote %s section of %s (%d benchmarks)\n", *as, *out, len(results))
+}
+
+// runBenchmarks shells out to go test and parses its output.
+func runBenchmarks(pkg, bench, benchtime string, count int) (map[string][]benchResult, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outp, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	return parseBenchOutput(string(outp))
+}
+
+// parseBenchOutput extracts benchmark lines of the form
+//
+//	BenchmarkName-8   800   1622107 ns/op   3697665 jobs/s
+//
+// keeping every run of each benchmark.
+func parseBenchOutput(out string) (map[string][]benchResult, error) {
+	results := map[string][]benchResult{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix go test appends for parallel benchmarks.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := benchResult{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], sc.Text())
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				r.NsPerOp = val
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+		results[name] = append(results[name], r)
+	}
+	return results, sc.Err()
+}
+
+// median returns the run with the median ns/op (lower-middle for even
+// counts), keeping that run's iteration count and metrics together.
+func median(runs []benchResult) benchResult {
+	sorted := append([]benchResult(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].NsPerOp < sorted[j].NsPerOp })
+	return sorted[(len(sorted)-1)/2]
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

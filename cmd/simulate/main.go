@@ -19,6 +19,7 @@ import (
 	"overprov/internal/estimate"
 	"overprov/internal/experiments"
 	"overprov/internal/metrics"
+	"overprov/internal/profiling"
 	"overprov/internal/report"
 	"overprov/internal/sched"
 	"overprov/internal/sim"
@@ -40,8 +41,21 @@ func main() {
 		seed      = flag.Uint64("seed", 7, "simulation seed")
 		fig7      = flag.Bool("fig7", false, "print the Figure 7 estimate trajectory and exit")
 		journal   = flag.String("journal", "", "write the event journal of the (last) run to this file")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *fig7 {
 		r, err := experiments.Figure7(experiments.Figure7Config{Alpha: *alpha, Beta: *beta})

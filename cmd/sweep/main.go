@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"overprov/internal/experiments"
+	"overprov/internal/profiling"
 	"overprov/internal/report"
 )
 
@@ -28,11 +29,23 @@ func main() {
 		robust     = flag.Bool("robustness", false, "Figure 5 gain across several trace seeds with a bootstrap CI")
 		generality = flag.Bool("generality", false, "Figure 5 pipeline on the SP2-like second preset")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	if !*fig5 && !*fig6 && !*fig8 && !*easy && !*robust && !*generality {
 		*fig5, *fig6, *fig8 = true, true, true
 	}
+
+	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	s := experiments.FullScale()
 	if *small {

@@ -71,7 +71,14 @@ type Cluster struct {
 	totalNodes int
 	// policy selects the pool iteration order for Allocate.
 	policy AllocPolicy
+	// spare recycles released perPool slices so the allocate/release
+	// churn of a long simulation does not allocate one counter slice
+	// per dispatch.
+	spare [][]int
 }
+
+// maxSpare bounds how many released perPool slices are kept for reuse.
+const maxSpare = 64
 
 // SetAllocPolicy switches the allocation policy (BestFit by default).
 func (c *Cluster) SetAllocPolicy(p AllocPolicy) { c.policy = p }
@@ -145,6 +152,13 @@ func (c *Cluster) FreeNodes() int {
 // Pools returns a snapshot of the pools (capacity-ascending).
 func (c *Cluster) Pools() []Pool { return append([]Pool(nil), c.pools...) }
 
+// NumPools returns the number of capacity pools. Together with PoolAt it
+// lets hot paths iterate pools without the copy Pools makes.
+func (c *Cluster) NumPools() int { return len(c.pools) }
+
+// PoolAt returns a copy of the i-th pool (capacity-ascending order).
+func (c *Cluster) PoolAt(i int) Pool { return c.pools[i] }
+
 // Capacities returns the distinct per-node capacities, ascending.
 func (c *Cluster) Capacities() []units.MemSize {
 	return append([]units.MemSize(nil), c.capacities...)
@@ -163,19 +177,48 @@ func (c *Cluster) CeilCapacity(m units.MemSize) (units.MemSize, bool) {
 	return m.CeilTo(c.capacities)
 }
 
+// inlinePools is how many pools an Allocation tracks without heap
+// allocation. The paper's machine has two pools; clusters beyond four
+// fall back to a pooled counter slice.
+const inlinePools = 4
+
 // Allocation records which pools a job's nodes were taken from, so they
 // can be returned on release.
 type Allocation struct {
-	// perPool[i] is the node count taken from pool i.
-	perPool []int
-	nodes   int
+	// inline[i] is the node count taken from pool i for clusters with
+	// at most inlinePools pools — the common case, kept pointer-free so
+	// allocations on the simulator's hot path cost nothing to create or
+	// retain. overflow replaces it for larger clusters.
+	inline   [inlinePools]int32
+	overflow []int
+	// np is the owning cluster's pool count; Release uses it to reject
+	// allocations from a different cluster.
+	np    int32
+	nodes int32
 	// minMem is the smallest per-node capacity among the allocated
 	// nodes; the job fails if its true usage exceeds this.
 	minMem units.MemSize
 }
 
+// take returns the node count taken from pool i.
+func (a *Allocation) take(i int) int {
+	if a.overflow != nil {
+		return a.overflow[i]
+	}
+	return int(a.inline[i])
+}
+
+// setTake records the node count taken from pool i.
+func (a *Allocation) setTake(i, n int) {
+	if a.overflow != nil {
+		a.overflow[i] = n
+		return
+	}
+	a.inline[i] = int32(n)
+}
+
 // Nodes returns the allocation's node count.
-func (a *Allocation) Nodes() int { return a.nodes }
+func (a *Allocation) Nodes() int { return int(a.nodes) }
 
 // MinMem returns the smallest per-node memory among the allocated nodes.
 func (a *Allocation) MinMem() units.MemSize { return a.minMem }
@@ -220,12 +263,21 @@ func (c *Cluster) FitsAtAll(n int, mem units.MemSize) bool {
 // paper's M1/M2 blocking scenario visible. It returns ok=false (and
 // changes nothing) when not enough eligible nodes are free.
 func (c *Cluster) Allocate(n int, mem units.MemSize) (Allocation, bool) {
-	if !c.CanAllocate(n, mem) {
+	if n <= 0 {
 		return Allocation{}, false
 	}
-	a := Allocation{perPool: make([]int, len(c.pools)), nodes: n}
+	// Plan the takes read-only first, then commit them only on success —
+	// the frequent can't-fit outcome (a blocked queue head retrying on
+	// every freed node) touches no pool state at all, and the separate
+	// CanAllocate pre-scan the old code needed is gone. The committed
+	// allocation is identical to what the check-then-take version
+	// produced.
+	a := Allocation{np: int32(len(c.pools)), nodes: int32(n)}
+	if len(c.pools) > inlinePools {
+		a.overflow = c.newPerPool()
+	}
 	remaining := n
-	for k := 0; k < len(c.pools); k++ {
+	for k := 0; k < len(c.pools) && remaining > 0; k++ {
 		i := k
 		if c.policy == WorstFit {
 			i = len(c.pools) - 1 - k
@@ -238,15 +290,18 @@ func (c *Cluster) Allocate(n int, mem units.MemSize) (Allocation, bool) {
 		if take > remaining {
 			take = remaining
 		}
-		p.free -= take
-		a.perPool[i] = take
+		a.setTake(i, take)
 		if a.minMem.IsZero() || p.Mem.Less(a.minMem) {
 			a.minMem = p.Mem
 		}
 		remaining -= take
-		if remaining == 0 {
-			break
-		}
+	}
+	if remaining > 0 {
+		c.recyclePerPool(a.overflow)
+		return Allocation{}, false
+	}
+	for i := range c.pools {
+		c.pools[i].free -= a.take(i)
 	}
 	return a, true
 }
@@ -255,11 +310,12 @@ func (c *Cluster) Allocate(n int, mem units.MemSize) (Allocation, bool) {
 // allocation twice corrupts the books; the simulator owns that
 // discipline and the invariant is checked by Check.
 func (c *Cluster) Release(a Allocation) error {
-	if len(a.perPool) != len(c.pools) {
+	if int(a.np) != len(c.pools) {
 		return fmt.Errorf("cluster: allocation from a different cluster (pools %d vs %d)",
-			len(a.perPool), len(c.pools))
+			a.np, len(c.pools))
 	}
-	for i, take := range a.perPool {
+	for i := range c.pools {
+		take := a.take(i)
 		p := &c.pools[i]
 		if p.free+take > p.Total {
 			return fmt.Errorf("cluster: release overflows pool %v (%d free + %d > %d total)",
@@ -267,7 +323,32 @@ func (c *Cluster) Release(a Allocation) error {
 		}
 		p.free += take
 	}
+	// Recycle the overflow counter slice only after a fully successful
+	// release; its contents stay intact until a future Allocate reuses
+	// it, so a buggy double release is still detected by the overflow
+	// check above.
+	c.recyclePerPool(a.overflow)
 	return nil
+}
+
+// newPerPool returns a zeroed per-pool counter slice for clusters too
+// large for the inline array, reusing a recycled one when available.
+func (c *Cluster) newPerPool() []int {
+	if n := len(c.spare); n > 0 {
+		s := c.spare[n-1]
+		c.spare[n-1] = nil
+		c.spare = c.spare[:n-1]
+		clear(s)
+		return s
+	}
+	return make([]int, len(c.pools))
+}
+
+// recyclePerPool stashes a released overflow slice for reuse.
+func (c *Cluster) recyclePerPool(s []int) {
+	if s != nil && len(c.spare) < maxSpare {
+		c.spare = append(c.spare, s)
+	}
 }
 
 // Check verifies the pool invariants (0 ≤ free ≤ total), returning the

@@ -1,0 +1,132 @@
+package estimate
+
+import "overprov/internal/similarity"
+
+// groupTable is an open-addressing hash table from similarity.Key to a
+// dense group index, replacing a built-in map on the estimator's hottest
+// path: every Estimate and every Feedback does one group lookup, and the
+// runtime map spends most of that in generic 24-byte key hashing plus a
+// pointer chase to the heap-allocated group. A fixed multiply-xor hash
+// over the three key fields, linear probing, and groups stored in a
+// dense append-only slice keep the lookup branch-predictable and
+// allocation-free — and give every group a stable integer handle that
+// callers (the simulation engine) can cache to skip the key derivation
+// and probe entirely on repeat visits. Groups are never deleted, so
+// probing needs no tombstones, and lookup results are independent of
+// insertion order — determinism is untouched.
+type groupTable struct {
+	slots []tableSlot // power-of-two length
+	// keys[i] is the key of groups[i]; groups is append-only, so
+	// indices are stable for the table's lifetime.
+	keys   []similarity.Key
+	groups []saGroup
+}
+
+type tableSlot struct {
+	key similarity.Key
+	// idx is the group index plus one; zero marks an empty slot.
+	idx int32
+}
+
+// hashKey mixes the key fields splitmix64-style. The constants are
+// fixed, so the table (unlike a Go map) hashes identically across
+// processes — nothing observable depends on that, but it keeps profiles
+// comparable between runs.
+func hashKey(k similarity.Key) uint64 {
+	h := uint64(k.User)*0x9E3779B97F4A7C15 ^
+		uint64(k.App)*0xBF58476D1CE4E5B9 ^
+		uint64(k.ReqMemKB)*0x94D049BB133111EB
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+const groupTableMinSize = 64
+
+// lookup returns the handle of the group stored under k, or -1.
+func (t *groupTable) lookup(k similarity.Key) int32 {
+	if len(t.groups) == 0 {
+		return -1
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.idx == 0 {
+			return -1
+		}
+		if s.key == k {
+			return s.idx - 1
+		}
+	}
+}
+
+// lookupOrAdd returns k's handle, appending an empty group when k is
+// absent (found=false); a single probe serves both the hit and the miss.
+func (t *groupTable) lookupOrAdd(k similarity.Key) (h int32, found bool) {
+	if 4*(len(t.groups)+1) > 3*len(t.slots) { // keep load factor ≤ 3/4
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := hashKey(k) & mask
+	for t.slots[i].idx != 0 {
+		if t.slots[i].key == k {
+			return t.slots[i].idx - 1, true
+		}
+		i = (i + 1) & mask
+	}
+	h = int32(len(t.groups))
+	t.keys = append(t.keys, k)
+	t.groups = append(t.groups, saGroup{})
+	t.slots[i] = tableSlot{key: k, idx: h + 1}
+	return h, false
+}
+
+// at returns the group for a handle. The pointer aliases the dense
+// group slice and is invalidated by the next add; callers must not hold
+// it across one.
+func (t *groupTable) at(h int32) *saGroup { return &t.groups[h] }
+
+// keyAt returns the key a handle was added under.
+func (t *groupTable) keyAt(h int32) similarity.Key { return t.keys[h] }
+
+// get returns the group stored under k, or nil. The pointer is
+// invalidated by the next add, like at's.
+func (t *groupTable) get(k similarity.Key) *saGroup {
+	h := t.lookup(k)
+	if h < 0 {
+		return nil
+	}
+	return &t.groups[h]
+}
+
+// insert adds an empty group under k — which must not already be
+// present — and returns its pointer, valid until the next add.
+func (t *groupTable) insert(k similarity.Key) *saGroup {
+	h, _ := t.lookupOrAdd(k)
+	return &t.groups[h]
+}
+
+func (t *groupTable) len() int { return len(t.groups) }
+
+func (t *groupTable) grow() {
+	newSize := groupTableMinSize
+	if len(t.slots) > 0 {
+		newSize = 2 * len(t.slots)
+	}
+	t.slots = make([]tableSlot, newSize)
+	mask := uint64(newSize - 1)
+	for h, k := range t.keys {
+		i := hashKey(k) & mask
+		for t.slots[i].idx != 0 {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = tableSlot{key: k, idx: int32(h) + 1}
+	}
+}
+
+// allKeys returns a copy of every stored key in insertion order;
+// callers that need a canonical order must sort.
+func (t *groupTable) allKeys() []similarity.Key {
+	return append([]similarity.Key(nil), t.keys...)
+}

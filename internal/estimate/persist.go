@@ -44,10 +44,7 @@ func (s *SuccessiveApprox) SaveState(w io.Writer) error {
 		Alpha:   s.cfg.Alpha,
 		Beta:    s.cfg.Beta,
 	}
-	keys := make([]similarity.Key, 0, len(s.groups))
-	for k := range s.groups {
-		keys = append(keys, k)
-	}
+	keys := s.groups.allKeys()
 	sort.Slice(keys, func(i, j int) bool {
 		a, b := keys[i], keys[j]
 		if a.User != b.User {
@@ -59,7 +56,7 @@ func (s *SuccessiveApprox) SaveState(w io.Writer) error {
 		return a.ReqMemKB < b.ReqMemKB
 	})
 	for _, k := range keys {
-		g := s.groups[k]
+		g := s.groups.get(k)
 		st.Groups = append(st.Groups, persistedGroup{
 			User:     k.User,
 			App:      k.App,
@@ -98,10 +95,15 @@ func (s *SuccessiveApprox) LoadState(r io.Reader) error {
 				i, g.Estimate, g.LastGood, g.Alpha)
 		}
 		k := similarity.Key{User: g.User, App: g.App, ReqMemKB: g.ReqMemKB}
-		s.groups[k] = &saGroup{
+		loaded := saGroup{
 			est:      units.MemSize(g.Estimate),
 			lastGood: units.MemSize(g.LastGood),
 			alpha:    g.Alpha,
+		}
+		if existing := s.groups.get(k); existing != nil {
+			*existing = loaded
+		} else {
+			*s.groups.insert(k) = loaded
 		}
 	}
 	return nil

@@ -61,7 +61,7 @@ type saGroup struct {
 // damps α by β.
 type SuccessiveApprox struct {
 	cfg    SuccessiveApproxConfig
-	groups map[similarity.Key]*saGroup
+	groups groupTable
 	traced map[similarity.Key]bool
 }
 
@@ -80,7 +80,6 @@ func NewSuccessiveApprox(cfg SuccessiveApproxConfig) (*SuccessiveApprox, error) 
 	}
 	return &SuccessiveApprox{
 		cfg:    cfg,
-		groups: make(map[similarity.Key]*saGroup),
 		traced: make(map[similarity.Key]bool),
 	}, nil
 }
@@ -94,7 +93,29 @@ func (s *SuccessiveApprox) Name() string {
 // job's similarity group and return the group's estimate rounded up to a
 // real machine capacity.
 func (s *SuccessiveApprox) Estimate(j *trace.Job) units.MemSize {
-	g := s.group(j)
+	return s.estimateGroup(s.group(j), j)
+}
+
+// GroupHandle returns a stable handle for j's similarity group, creating
+// the group (Algorithm 1 line 4) when it has never been seen. Handles
+// stay valid for the estimator's lifetime; the simulation engine caches
+// one per job so repeat estimates and feedback skip the key derivation
+// and hash probe that dominate the plain Estimate/Feedback path.
+func (s *SuccessiveApprox) GroupHandle(j *trace.Job) int32 {
+	h, found := s.groups.lookupOrAdd(s.cfg.Key(j))
+	if !found {
+		// Algorithm 1 line 4: initialise Eᵢ ← R, αᵢ ← α.
+		*s.groups.at(h) = saGroup{est: j.ReqMem, lastGood: j.ReqMem, alpha: s.cfg.Alpha}
+	}
+	return h
+}
+
+// EstimateByHandle is Estimate for a pre-resolved group handle.
+func (s *SuccessiveApprox) EstimateByHandle(h int32, j *trace.Job) units.MemSize {
+	return s.estimateGroup(s.groups.at(h), j)
+}
+
+func (s *SuccessiveApprox) estimateGroup(g *saGroup, j *trace.Job) units.MemSize {
 	e := g.est
 	if s.cfg.Round != nil {
 		if rounded, ok := s.cfg.Round.CeilCapacity(e); ok {
@@ -110,24 +131,41 @@ func (s *SuccessiveApprox) Estimate(j *trace.Job) units.MemSize {
 }
 
 func (s *SuccessiveApprox) group(j *trace.Job) *saGroup {
-	k := s.cfg.Key(j)
-	g := s.groups[k]
-	if g == nil {
+	return s.groupByKey(s.cfg.Key(j), j)
+}
+
+func (s *SuccessiveApprox) groupByKey(k similarity.Key, j *trace.Job) *saGroup {
+	h, found := s.groups.lookupOrAdd(k)
+	g := s.groups.at(h)
+	if !found {
 		// Algorithm 1 line 4: initialise Eᵢ ← R, αᵢ ← α.
-		g = &saGroup{est: j.ReqMem, lastGood: j.ReqMem, alpha: s.cfg.Alpha}
-		s.groups[k] = g
+		*g = saGroup{est: j.ReqMem, lastGood: j.ReqMem, alpha: s.cfg.Alpha}
 	}
 	return g
 }
 
 // Feedback implements Algorithm 1 lines 8–13.
 func (s *SuccessiveApprox) Feedback(o Outcome) {
-	g := s.group(o.Job)
-	if s.traced[s.cfg.Key(o.Job)] {
+	k := s.cfg.Key(o.Job)
+	g := s.groupByKey(k, o.Job)
+	if len(s.traced) > 0 && s.traced[k] {
 		// One trajectory entry per executed dispatch — the estimation
 		// cycles plotted in Figure 7.
 		g.trajectory = append(g.trajectory, o.Allocated)
 	}
+	s.feedbackGroup(g, o)
+}
+
+// FeedbackByHandle is Feedback for a pre-resolved group handle.
+func (s *SuccessiveApprox) FeedbackByHandle(h int32, o Outcome) {
+	g := s.groups.at(h)
+	if len(s.traced) > 0 && s.traced[s.groups.keyAt(h)] {
+		g.trajectory = append(g.trajectory, o.Allocated)
+	}
+	s.feedbackGroup(g, o)
+}
+
+func (s *SuccessiveApprox) feedbackGroup(g *saGroup, o Outcome) {
 	if o.Success {
 		// Line 9: Eᵢ ← E′/αᵢ. The allocated capacity is now known-safe.
 		g.lastGood = o.Allocated
@@ -147,8 +185,8 @@ func (s *SuccessiveApprox) Feedback(o Outcome) {
 // GroupEstimate exposes a group's current raw estimate for inspection;
 // ok is false when the group has never been seen.
 func (s *SuccessiveApprox) GroupEstimate(k similarity.Key) (units.MemSize, bool) {
-	g, ok := s.groups[k]
-	if !ok {
+	g := s.groups.get(k)
+	if g == nil {
 		return 0, false
 	}
 	return g.est, true
@@ -156,8 +194,8 @@ func (s *SuccessiveApprox) GroupEstimate(k similarity.Key) (units.MemSize, bool)
 
 // GroupAlpha exposes a group's current learning rate.
 func (s *SuccessiveApprox) GroupAlpha(k similarity.Key) (float64, bool) {
-	g, ok := s.groups[k]
-	if !ok {
+	g := s.groups.get(k)
+	if g == nil {
 		return 0, false
 	}
 	return g.alpha, true
@@ -172,8 +210,8 @@ func (s *SuccessiveApprox) TraceGroup(k similarity.Key) { s.traced[k] = true }
 // Trajectory returns the allocated-capacity sequence recorded for a
 // traced group.
 func (s *SuccessiveApprox) Trajectory(k similarity.Key) []units.MemSize {
-	g, ok := s.groups[k]
-	if !ok {
+	g := s.groups.get(k)
+	if g == nil {
 		return nil
 	}
 	return append([]units.MemSize(nil), g.trajectory...)
@@ -181,4 +219,4 @@ func (s *SuccessiveApprox) Trajectory(k similarity.Key) []units.MemSize {
 
 // NumGroups returns how many similarity groups the estimator has state
 // for.
-func (s *SuccessiveApprox) NumGroups() int { return len(s.groups) }
+func (s *SuccessiveApprox) NumGroups() int { return s.groups.len() }

@@ -66,34 +66,35 @@ type profile struct {
 }
 
 // newProfile builds the availability profile from the cluster's current
-// free nodes plus the expected completions of running jobs.
+// free nodes plus the expected completions of running jobs. It consumes
+// the engine-sorted RunningByEnd list when available, so the per-round
+// sort of all releases disappears; coincident releases merge into one
+// breakpoint either way, which makes the profile independent of tie
+// order among equal expected ends.
 func newProfile(v *View) *profile {
-	type release struct {
-		at    units.Seconds
-		nodes int
+	ends := v.runningByEnd()
+	p := &profile{
+		times: make([]units.Seconds, 1, len(ends)+1),
+		free:  make([]int, 1, len(ends)+1),
 	}
-	releases := make([]release, 0, len(v.Running))
-	for _, r := range v.Running {
+	p.times[0] = v.Now
+	p.free[0] = v.Cluster.FreeNodes()
+	for _, r := range ends {
 		at := r.ExpectedEnd
 		if at < v.Now {
 			// Overdue per the user's estimate; treat as releasing now —
 			// optimistic, but conservative backfilling re-plans every
-			// round so the error self-corrects.
+			// round so the error self-corrects. Clamping a list sorted
+			// by ExpectedEnd keeps the release times nondecreasing.
 			at = v.Now
 		}
-		releases = append(releases, release{at: at, nodes: r.Nodes})
-	}
-	sort.Slice(releases, func(i, j int) bool { return releases[i].at < releases[j].at })
-
-	p := &profile{times: []units.Seconds{v.Now}, free: []int{v.Cluster.FreeNodes()}}
-	for _, rel := range releases {
 		last := len(p.times) - 1
-		if rel.at == p.times[last] {
-			p.free[last] += rel.nodes
+		if at == p.times[last] {
+			p.free[last] += r.Nodes
 			continue
 		}
-		p.times = append(p.times, rel.at)
-		p.free = append(p.free, p.free[last]+rel.nodes)
+		p.times = append(p.times, at)
+		p.free = append(p.free, p.free[last]+r.Nodes)
 	}
 	return p
 }

@@ -69,8 +69,26 @@ type View struct {
 	Queue []QueuedJob
 	// Running lists executing jobs.
 	Running []RunningJob
+	// RunningByEnd, when non-nil, is Running sorted ascending by
+	// ExpectedEnd. The engine maintains it incrementally across rounds
+	// so backfill policies do not re-sort every release list per round;
+	// policies must treat it as read-only and fall back to sorting
+	// Running themselves when it is nil (e.g. hand-built views in
+	// tests).
+	RunningByEnd []RunningJob
 	// Cluster exposes current free capacity.
 	Cluster *cluster.Cluster
+}
+
+// runningByEnd returns the running jobs sorted ascending by ExpectedEnd,
+// using the engine-maintained cache when present.
+func (v *View) runningByEnd() []RunningJob {
+	if v.RunningByEnd != nil {
+		return v.RunningByEnd
+	}
+	ends := append([]RunningJob(nil), v.Running...)
+	sort.Slice(ends, func(i, j int) bool { return ends[i].ExpectedEnd < ends[j].ExpectedEnd })
+	return ends
 }
 
 // TryFunc attempts to dispatch the queued job at the given queue
@@ -116,17 +134,74 @@ func (SJF) Name() string { return "sjf" }
 // Schedule attempts jobs in ascending requested-runtime order until one
 // fails to start.
 func (SJF) Schedule(v *View, try TryFunc) {
-	order := make([]int, len(v.Queue))
-	for i := range order {
-		order[i] = i
+	entries := make([]sjfEntry, len(v.Queue))
+	for i := range entries {
+		entries[i] = sjfEntry{key: v.Queue[i].PredictedRuntime(), pos: int32(i)}
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return v.Queue[order[a]].PredictedRuntime() < v.Queue[order[b]].PredictedRuntime()
-	})
-	for _, pos := range order {
-		if !try(pos) {
+	stableSortByKey(entries)
+	for _, e := range entries {
+		if !try(int(e.pos)) {
 			return
 		}
+	}
+}
+
+// sjfEntry pairs a queue position with its precomputed sort key, so the
+// sort compares plain floats instead of re-deriving the runtime estimate
+// at every comparison.
+type sjfEntry struct {
+	key units.Seconds
+	pos int32
+}
+
+// stableSortByKey sorts entries by key ascending, equal keys keeping
+// their original (queue) order — a bottom-up merge sort. The stable
+// permutation of a sequence is unique, so this yields exactly the order
+// sort.SliceStable produced, without the reflection-based swapping and
+// O(n log n) comparator closure calls.
+func stableSortByKey(a []sjfEntry) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	buf := make([]sjfEntry, n)
+	src, dst := a, buf
+	for width := 1; width < n; width *= 2 {
+		for i := 0; i < n; i += 2 * width {
+			mid, hi := i+width, i+2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			l, r, o := i, mid, i
+			for l < mid && r < hi {
+				// Strict < keeps the left run first on ties: stability.
+				if src[r].key < src[l].key {
+					dst[o] = src[r]
+					r++
+				} else {
+					dst[o] = src[l]
+					l++
+				}
+				o++
+			}
+			for l < mid {
+				dst[o] = src[l]
+				l++
+				o++
+			}
+			for r < hi {
+				dst[o] = src[r]
+				r++
+				o++
+			}
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
 	}
 }
 
@@ -193,8 +268,8 @@ func (e EASY) Schedule(v *View, try TryFunc) {
 // that time.
 func (e EASY) reservation(v *View, started []bool, head QueuedJob) (units.Seconds, int) {
 	eligible := 0
-	for _, p := range v.Cluster.Pools() {
-		if head.Estimate.Fits(p.Mem) {
+	for i, np := 0, v.Cluster.NumPools(); i < np; i++ {
+		if p := v.Cluster.PoolAt(i); head.Estimate.Fits(p.Mem) {
 			eligible += p.Free()
 		}
 	}
@@ -204,10 +279,9 @@ func (e EASY) reservation(v *View, started []bool, head QueuedJob) (units.Second
 		// shorter-than-now jobs.
 		return v.Now, 0
 	}
-	// Sort running jobs by expected end and accumulate released eligible
-	// nodes until the head fits.
-	ends := append([]RunningJob(nil), v.Running...)
-	sort.Slice(ends, func(i, j int) bool { return ends[i].ExpectedEnd < ends[j].ExpectedEnd })
+	// Walk running jobs in expected-end order, accumulating released
+	// eligible nodes until the head fits.
+	ends := v.runningByEnd()
 	free := eligible
 	for _, r := range ends {
 		if head.Estimate.Fits(r.MinMem) {

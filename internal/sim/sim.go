@@ -9,12 +9,25 @@
 // less memory than it actually uses fails after a time drawn uniformly
 // in (0, runtime), occupies its nodes until then, and returns to the
 // head of the queue. There is no preemption.
+//
+// # Hot path
+//
+// The engine is optimised for per-event incremental work (see DESIGN.md
+// § Performance): scheduling rounds are gated on a dirty flag, the wait
+// queue is a ring deque, the running set is index-tracked for O(1)
+// removal, termination events are pooled, and the policy view (queue
+// snapshot, running list, and its ExpectedEnd-ascending sort) lives in
+// scratch buffers reused across rounds. All of this state is mutated
+// from the single goroutine that owns the run — there is deliberately
+// no mutex here (lockcheck: no guarded fields), and determinism is
+// pinned by determinism_test.go plus the golden equivalence suite in
+// equivalence_test.go.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 
 	"overprov/internal/cluster"
 	"overprov/internal/estimate"
@@ -32,6 +45,14 @@ type Config struct {
 	Cluster *cluster.Cluster
 	// Estimator predicts actual job requirements. estimate.Identity{}
 	// reproduces classical matching (no estimation).
+	//
+	// Estimate is treated as a pure query of the estimator's state: the
+	// engine caches estimates between Feedback calls and skips
+	// scheduling rounds whose estimates provably cannot have changed.
+	// All in-tree estimators satisfy this except Reinforcement, whose
+	// ε-greedy Estimate consumes its own RNG — runs stay
+	// seed-deterministic, but the arm-draw sequence depends on how
+	// often the engine asks.
 	Estimator estimate.Estimator
 	// Policy picks jobs to dispatch; defaults to strict FCFS, the
 	// paper's policy.
@@ -56,7 +77,9 @@ type Config struct {
 	// learned predictions for the scheduler's reservation and backfill
 	// arithmetic (Tsafrir et al., the paper's related work [18]). Nil
 	// keeps the user's ReqTime. Predictions never affect job execution —
-	// only planning.
+	// only planning. Like Estimator.Estimate, EstimateRuntime must be a
+	// pure query: the engine caches predictions between FeedbackRuntime
+	// calls.
 	Runtime estimate.RuntimeEstimator
 	// Journal, when non-nil, receives the run's full event stream
 	// (arrivals, dispatches, completions, failures, rejections) for
@@ -145,8 +168,10 @@ type Result struct {
 
 // jobState is the engine's mutable per-job bookkeeping.
 type jobState struct {
-	job      *trace.Job
-	rec      JobRecord
+	job *trace.Job
+	// rec points into Result.Records, so per-job accounting is written
+	// in place instead of copied out at the end of the run.
+	rec      *JobRecord
 	retry    bool
 	enqueued bool
 	// lastFailedEst remembers the capacity of the job's most recent
@@ -154,6 +179,13 @@ type jobState struct {
 	// proved insufficient.
 	lastFailedEst   units.MemSize
 	hadResourceFail bool
+	// rtEst caches the runtime prediction for the policy view; valid
+	// while rtGen matches the engine's runtime-feedback generation.
+	rtEst units.Seconds
+	rtGen int
+	// estHandle caches the job's similarity-group handle when the
+	// estimator supports the handle fast path; -1 until resolved.
+	estHandle int32
 }
 
 // endEvent is a scheduled termination.
@@ -166,39 +198,190 @@ type endEvent struct {
 	success  bool
 	spurious bool
 	startAt  units.Seconds
+	// runIdx is the event's current index in engine.running, kept in
+	// sync by removeRunning so removal is O(1) instead of a scan.
+	runIdx int
+	// id is the event's permanent slot in engine.byID; heap entries
+	// carry it instead of the pointer.
+	id int32
 }
 
-// eventHeap orders terminations by (time, seq) for determinism.
-type eventHeap []*endEvent
+// heapEntry is one termination as stored in the heap: the ordering key
+// plus the event's id. Keeping entries pointer-free matters twice over:
+// sift comparisons read the key from the entry itself instead of
+// chasing an *endEvent (the old layout's cache misses), and swaps move
+// plain values, so the write barrier that used to fire on every pointer
+// swap (a measurable slice of the pre-overhaul profile) disappears.
+// The entry is 16 bytes, so a 4-ary node's children share at most two
+// cache lines. seq is narrowed to uint32: it would wrap only after 4.3
+// billion dispatches, orders of magnitude beyond any simulated trace.
+type heapEntry struct {
+	at  units.Seconds
+	seq uint32
+	id  int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventHeap is a hand-rolled 4-ary min-heap of terminations ordered by
+// (time, seq). (time, seq) is a total order — seq is unique — so the
+// pop sequence is fully determined by the comparator and independent of
+// the heap's internal layout; replacing container/heap with typed
+// sift-up/sift-down therefore cannot change results, and neither can
+// the pointer-free entry layout or the wider fan-out (which halves the
+// sift depth and keeps sibling entries on the same cache lines).
+type eventHeap struct {
+	h []heapEntry
+}
+
+func (h *eventHeap) len() int { return len(h.h) }
+
+func entryBefore(a, b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push adds a termination. It sifts a hole up and writes the entry once
+// at its final position instead of swapping at every level — half the
+// memory traffic of the swap form, same resulting order.
+func (h *eventHeap) push(e heapEntry) {
+	hh := append(h.h, e)
+	h.h = hh
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryBefore(e, hh[parent]) {
+			break
+		}
+		hh[i] = hh[parent]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*endEvent)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	hh[i] = e
 }
 
-// engine is one run's state.
+// pop removes and returns the earliest termination's entry, sifting the
+// displaced last element down hole-style (move the winning child up,
+// place the element once at the end). The internal layout this leaves
+// differs from the swap form's, but pops always return the (at, seq)
+// minimum of the current contents, so the pop sequence — the only thing
+// the simulation observes — is identical.
+func (h *eventHeap) pop() heapEntry {
+	hh := h.h
+	top := hh[0]
+	n := len(hh) - 1
+	x := hh[n]
+	hh = hh[:n]
+	h.h = hh
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if entryBefore(hh[c], hh[min]) {
+				min = c
+			}
+		}
+		if !entryBefore(hh[min], x) {
+			break
+		}
+		hh[i] = hh[min]
+		i = min
+	}
+	hh[i] = x
+	return top
+}
+
+// dirty bits accumulated between scheduling rounds; schedule consults
+// them to skip rounds that provably cannot dispatch anything.
+const (
+	// dirtyArrival: a new job joined the tail of the queue.
+	dirtyArrival uint8 = 1 << iota
+	// dirtyRequeue: a failed job returned to the head of the queue.
+	dirtyRequeue
+	// dirtyFreed: a termination released nodes (and fed the estimator).
+	dirtyFreed
+)
+
+// handleEstimator is the optional fast path implemented by estimators
+// whose per-job state lives in similarity groups (SuccessiveApprox): the
+// engine resolves a job's group handle once and reuses it for every
+// later estimate and feedback, skipping the key derivation and hash
+// probe those calls would otherwise repeat. The handle path answers
+// exactly what the plain calls would — it is a lookup shortcut, not a
+// different estimator.
+type handleEstimator interface {
+	GroupHandle(j *trace.Job) int32
+	EstimateByHandle(h int32, j *trace.Job) units.MemSize
+	FeedbackByHandle(h int32, o estimate.Outcome)
+}
+
+// engine is one run's state. Everything below is owned by the single
+// goroutine driving Run; none of it is safe for concurrent use and none
+// of it needs a lock.
 type engine struct {
 	cfg     Config
+	keyed   handleEstimator
 	rng     *rand.Rand
-	queue   []*jobState
+	queue   ringQueue
 	events  eventHeap
 	running []*endEvent
 	result  Result
 	now     units.Seconds
 	seq     int
+
+	// isFCFS selects the allocation-free fast path; needView gates the
+	// policy-view mirror maintenance below.
+	isFCFS   bool
+	needView bool
+	// dirty accumulates what changed since the last scheduling round;
+	// blocked remembers that the FCFS head failed to start, so rounds
+	// triggered only by arrivals are skipped until a node is freed or a
+	// retry takes the head (bit-identical for pure estimators: nothing
+	// the failing dispatch reads can have changed).
+	dirty   uint8
+	blocked bool
+
+	// estGen counts Estimator.Feedback calls; rtGen counts
+	// RuntimeEstimator.FeedbackRuntime calls. They version the caches
+	// below: a cache entry tagged with the current generation is
+	// exactly what the estimator would answer now.
+	estGen int
+	rtGen  int
+
+	// Scratch buffers reused across scheduleWithPolicy rounds instead
+	// of reallocating the full sched.View every round.
+	viewQueue   []sched.QueuedJob
+	startedBuf  []bool
+	rejectedBuf []bool
+
+	// runningView mirrors running index-for-index as the policies see
+	// it; sortedByEnd caches its ExpectedEnd-ascending sort (rebuilt
+	// only when runningGen moves). viewRTGen is the rtGen at which the
+	// mirror's ExpectedEnds were computed.
+	runningView []sched.RunningJob
+	sortedByEnd []sched.RunningJob
+	runningGen  int
+	sortedGen   int
+	viewRTGen   int
+
+	// Head-estimate cache for the policy view's reservation arithmetic.
+	headEstJob *trace.Job
+	headEstGen int
+	headEst    units.MemSize
+
+	// free recycles endEvents: one is needed per in-flight execution,
+	// not per dispatch over the whole run. byID resolves a heap entry's
+	// id back to its event; it grows to the peak number of concurrent
+	// executions and is written only when an event is first created.
+	free []*endEvent
+	byID []*endEvent
 }
 
 // Run executes the simulation to completion and returns the result.
@@ -219,14 +402,20 @@ func Run(cfg Config) (*Result, error) {
 		cfg: cfg,
 		rng: rand.New(rand.NewPCG(cfg.Seed, 0x853C49E6748FEA9B)),
 	}
+	e.keyed, _ = cfg.Estimator.(handleEstimator)
+	_, e.isFCFS = cfg.Policy.(sched.FCFS)
+	e.needView = !e.isFCFS
+	e.sortedGen = -1
 	e.result.TotalNodes = cfg.Cluster.TotalNodes()
 	e.result.EstimatorName = cfg.Estimator.Name()
 	e.result.PolicyName = cfg.Policy.Name()
 
 	jobs := cfg.Trace.Jobs
+	e.result.Records = make([]JobRecord, len(jobs))
 	states := make([]jobState, len(jobs))
 	for i := range jobs {
-		states[i] = jobState{job: &jobs[i], rec: JobRecord{Job: &jobs[i], Submit: jobs[i].Submit}}
+		e.result.Records[i] = JobRecord{Job: &jobs[i], Submit: jobs[i].Submit}
+		states[i] = jobState{job: &jobs[i], rec: &e.result.Records[i], estHandle: -1}
 	}
 	if len(jobs) > 0 {
 		e.result.FirstSubmit = jobs[0].Submit
@@ -235,12 +424,12 @@ func Run(cfg Config) (*Result, error) {
 
 	nextArrival := 0
 	lastEvent := e.now
-	for nextArrival < len(states) || len(e.events) > 0 {
+	for nextArrival < len(states) || e.events.len() > 0 {
 		// Pick the next event: terminations win ties so nodes free up
 		// before same-instant arrivals are scheduled.
-		if len(e.events) > 0 &&
-			(nextArrival >= len(states) || e.events[0].at <= states[nextArrival].job.Submit) {
-			ev := heap.Pop(&e.events).(*endEvent)
+		if e.events.len() > 0 &&
+			(nextArrival >= len(states) || e.events.h[0].at <= states[nextArrival].job.Submit) {
+			ev := e.byID[e.events.pop().id]
 			e.now = ev.at
 			e.handleEnd(ev)
 		} else {
@@ -256,10 +445,6 @@ func Run(cfg Config) (*Result, error) {
 	}
 	e.result.Makespan = lastEvent - e.result.FirstSubmit
 
-	e.result.Records = make([]JobRecord, len(states))
-	for i := range states {
-		e.result.Records[i] = states[i].rec
-	}
 	if err := cfg.Cluster.Check(); err != nil {
 		return nil, fmt.Errorf("sim: cluster invariant broken after run: %w", err)
 	}
@@ -275,11 +460,40 @@ func (e *engine) enqueue(js *jobState, retry bool) {
 	js.retry = retry
 	js.enqueued = true
 	if retry {
-		e.queue = append([]*jobState{js}, e.queue...)
+		e.queue.pushFront(js)
+		e.dirty |= dirtyRequeue
 	} else {
-		e.queue = append(e.queue, js)
-		e.journal(Event{At: e.now, Kind: EventArrival, JobID: js.job.ID, Nodes: js.job.Nodes})
+		e.queue.pushBack(js)
+		e.dirty |= dirtyArrival
+		if e.cfg.Journal != nil {
+			e.journal(Event{At: e.now, Kind: EventArrival, JobID: js.job.ID, Nodes: js.job.Nodes})
+		}
 	}
+}
+
+// estimate asks the configured estimator for js's capacity estimate,
+// via the cached group handle when the estimator supports it.
+func (e *engine) estimate(js *jobState) units.MemSize {
+	if e.keyed != nil {
+		if js.estHandle < 0 {
+			js.estHandle = e.keyed.GroupHandle(js.job)
+		}
+		return e.keyed.EstimateByHandle(js.estHandle, js.job)
+	}
+	return e.cfg.Estimator.Estimate(js.job)
+}
+
+// feedback delivers an execution outcome to the estimator, via the
+// cached group handle when the estimator supports it.
+func (e *engine) feedback(js *jobState, o estimate.Outcome) {
+	if e.keyed != nil {
+		if js.estHandle < 0 {
+			js.estHandle = e.keyed.GroupHandle(js.job)
+		}
+		e.keyed.FeedbackByHandle(js.estHandle, o)
+		return
+	}
+	e.cfg.Estimator.Feedback(o)
 }
 
 // journal records an event when journaling is enabled.
@@ -290,12 +504,13 @@ func (e *engine) journal(ev Event) {
 }
 
 // handleEnd releases the allocation, reports feedback, and finishes or
-// re-queues the job.
+// re-queues the job. The endEvent is recycled on return.
 func (e *engine) handleEnd(ev *endEvent) {
 	if err := e.cfg.Cluster.Release(ev.alloc); err != nil {
 		// A release failure is a simulator bug; make it loud.
 		panic(err)
 	}
+	e.dirty |= dirtyFreed
 	e.removeRunning(ev)
 
 	elapsed := (e.now - ev.startAt).Sec()
@@ -309,15 +524,15 @@ func (e *engine) handleEnd(ev *endEvent) {
 		e.result.WastedNodeSeconds += nodeSeconds
 	}
 
-	switch {
-	case ev.success:
-		e.journal(Event{At: e.now, Kind: EventComplete, JobID: ev.js.job.ID,
-			Nodes: ev.alloc.Nodes(), Estimate: ev.est, Allocated: ev.alloc.MinMem()})
-	case ev.spurious:
-		e.journal(Event{At: e.now, Kind: EventSpuriousFail, JobID: ev.js.job.ID,
-			Nodes: ev.alloc.Nodes(), Estimate: ev.est, Allocated: ev.alloc.MinMem()})
-	default:
-		e.journal(Event{At: e.now, Kind: EventResourceFail, JobID: ev.js.job.ID,
+	if e.cfg.Journal != nil {
+		kind := EventResourceFail
+		switch {
+		case ev.success:
+			kind = EventComplete
+		case ev.spurious:
+			kind = EventSpuriousFail
+		}
+		e.journal(Event{At: e.now, Kind: kind, JobID: ev.js.job.ID,
 			Nodes: ev.alloc.Nodes(), Estimate: ev.est, Allocated: ev.alloc.MinMem()})
 	}
 
@@ -330,99 +545,173 @@ func (e *engine) handleEnd(ev *endEvent) {
 		o.Explicit = true
 		o.Used = ev.js.job.UsedMem
 	}
-	e.cfg.Estimator.Feedback(o)
+	e.feedback(ev.js, o)
+	e.estGen++
 
-	if ev.success {
+	js := ev.js
+	success, startAt, est, minMem := ev.success, ev.startAt, ev.est, ev.alloc.MinMem()
+	e.recycle(ev)
+
+	if success {
 		if e.cfg.Runtime != nil {
-			e.cfg.Runtime.FeedbackRuntime(ev.js.job, e.now-ev.startAt)
+			e.cfg.Runtime.FeedbackRuntime(js.job, e.now-startAt)
+			e.rtGen++
 		}
-		ev.js.rec.Start = ev.startAt
-		ev.js.rec.End = e.now
-		ev.js.rec.FinalAlloc = ev.alloc.MinMem()
-		ev.js.rec.FinalEst = ev.est
-		ev.js.rec.Completed = true
+		js.rec.Start = startAt
+		js.rec.End = e.now
+		js.rec.FinalAlloc = minMem
+		js.rec.FinalEst = est
+		js.rec.Completed = true
 		e.result.Completed++
 		return
 	}
-	e.enqueue(ev.js, true)
+	e.enqueue(js, true)
 }
 
+// recycle drops a finished endEvent's references — so completed-job
+// state is not retained by the pool — and returns it to the pool for
+// the next dispatch. Only the reference fields are cleared: every value
+// field is unconditionally overwritten by the next dispatch, and
+// zeroing the whole struct would fire a write barrier over its pointer
+// words on every completion.
+func (e *engine) recycle(ev *endEvent) {
+	ev.js = nil
+	ev.alloc = cluster.Allocation{}
+	e.free = append(e.free, ev)
+}
+
+// removeRunning deletes ev from the running set in O(1) via its tracked
+// index, mirroring the move in the policy view. The swap-with-last
+// ordering is exactly what the previous linear scan produced, so the
+// running order (and everything downstream of it) is unchanged.
 func (e *engine) removeRunning(ev *endEvent) {
-	for i, r := range e.running {
-		if r == ev {
-			e.running[i] = e.running[len(e.running)-1]
-			e.running = e.running[:len(e.running)-1]
-			return
-		}
+	i, last := ev.runIdx, len(e.running)-1
+	moved := e.running[last]
+	e.running[i] = moved
+	moved.runIdx = i
+	e.running[last] = nil
+	e.running = e.running[:last]
+	if e.needView {
+		e.runningView[i] = e.runningView[last]
+		e.runningView[last] = sched.RunningJob{}
+		e.runningView = e.runningView[:last]
 	}
+	e.runningGen++
 }
 
-// schedule runs one scheduling round under the configured policy.
+// schedule runs one scheduling round under the configured policy — or
+// proves it unnecessary and skips it. A round can only change the
+// outcome if, since the last round, a node was freed, a job arrived, or
+// a failed job was requeued; otherwise every input the policy and the
+// dispatch path read (queue, estimator state, free capacity) is
+// unchanged and the round is skipped.
 func (e *engine) schedule() {
-	if len(e.queue) == 0 {
+	if e.queue.len() == 0 {
+		e.dirty = 0
 		return
 	}
-	if _, isFCFS := e.cfg.Policy.(sched.FCFS); isFCFS {
-		// Fast path: strict FCFS needs no queue snapshot.
-		for len(e.queue) > 0 {
-			js := e.queue[0]
+	if e.dirty == 0 {
+		return
+	}
+	if e.isFCFS {
+		// Strict FCFS additionally ignores arrivals while the head is
+		// blocked: a new tail job cannot unblock the head, and the
+		// failing head attempt would re-read identical state. Only a
+		// freed node or a head requeue can change the answer.
+		if e.blocked && e.dirty&(dirtyFreed|dirtyRequeue) == 0 {
+			e.dirty &^= dirtyArrival
+			return
+		}
+		e.dirty = 0
+		e.blocked = false
+		for e.queue.len() > 0 {
+			js := e.queue.at(0)
 			started, rejected := e.dispatch(js)
 			if rejected {
-				e.queue = e.queue[1:]
+				e.queue.popFront()
 				continue
 			}
 			if !started {
+				e.blocked = true
 				return
 			}
-			e.queue = e.queue[1:]
+			e.queue.popFront()
 		}
 		return
 	}
+	e.dirty = 0
 	e.scheduleWithPolicy()
 }
 
-// scheduleWithPolicy builds the policy view and honours its dispatch
-// choices.
+// policyRunningViews returns the running list in engine order and its
+// ExpectedEnd-ascending sort, refreshing the caches only when the
+// running set (or a runtime prediction) changed since they were built.
+// The sort is the same sort.Slice over the same input order and
+// comparator the policies used to run per round, so the cached result
+// is bit-identical to resorting every round.
+func (e *engine) policyRunningViews() (inOrder, byEnd []sched.RunningJob) {
+	if e.cfg.Runtime != nil && e.viewRTGen != e.rtGen {
+		for i := range e.runningView {
+			r := &e.runningView[i]
+			r.ExpectedEnd = r.Start + e.cfg.Runtime.EstimateRuntime(r.Job)
+		}
+		e.viewRTGen = e.rtGen
+		e.runningGen++
+	}
+	if e.sortedGen != e.runningGen {
+		e.sortedByEnd = append(e.sortedByEnd[:0], e.runningView...)
+		sort.Slice(e.sortedByEnd, func(i, j int) bool {
+			return e.sortedByEnd[i].ExpectedEnd < e.sortedByEnd[j].ExpectedEnd
+		})
+		e.sortedGen = e.runningGen
+	}
+	return e.runningView, e.sortedByEnd
+}
+
+// scheduleWithPolicy builds the policy view in the engine's scratch
+// buffers and honours the policy's dispatch choices.
 func (e *engine) scheduleWithPolicy() {
-	visible := len(e.queue)
+	visible := e.queue.len()
 	if visible > e.cfg.MaxVisibleQueue {
 		visible = e.cfg.MaxVisibleQueue
 	}
-	view := sched.View{Now: e.now, Cluster: e.cfg.Cluster}
-	view.Queue = make([]sched.QueuedJob, visible)
+	if cap(e.viewQueue) < visible {
+		e.viewQueue = make([]sched.QueuedJob, 0, max(visible, 64))
+	}
+	e.viewQueue = e.viewQueue[:0]
 	for i := 0; i < visible; i++ {
-		js := e.queue[i]
-		view.Queue[i] = sched.QueuedJob{Job: js.job, Retry: js.retry}
+		js := e.queue.at(i)
+		q := sched.QueuedJob{Job: js.job, Retry: js.retry}
 		if e.cfg.Runtime != nil {
-			view.Queue[i].RuntimeEstimate = e.cfg.Runtime.EstimateRuntime(js.job)
+			if js.rtGen != e.rtGen {
+				js.rtEst = e.cfg.Runtime.EstimateRuntime(js.job)
+				js.rtGen = e.rtGen
+			}
+			q.RuntimeEstimate = js.rtEst
 		}
+		e.viewQueue = append(e.viewQueue, q)
 	}
+	view := sched.View{Now: e.now, Cluster: e.cfg.Cluster, Queue: e.viewQueue}
 	if visible > 0 {
-		// The head's estimate feeds backfilling reservation arithmetic.
-		view.Queue[0].Estimate = e.cfg.Estimator.Estimate(e.queue[0].job)
-	}
-	view.Running = make([]sched.RunningJob, len(e.running))
-	for i, r := range e.running {
-		expected := r.js.job.ReqTime
-		if e.cfg.Runtime != nil {
-			expected = e.cfg.Runtime.EstimateRuntime(r.js.job)
+		// The head's estimate feeds backfilling reservation arithmetic;
+		// it can only change when the estimator absorbs feedback.
+		head := e.queue.at(0)
+		if e.headEstJob != head.job || e.headEstGen != e.estGen {
+			e.headEst = e.estimate(head)
+			e.headEstJob, e.headEstGen = head.job, e.estGen
 		}
-		view.Running[i] = sched.RunningJob{
-			Job:         r.js.job,
-			Start:       r.startAt,
-			ExpectedEnd: r.startAt + expected,
-			Nodes:       r.alloc.Nodes(),
-			MinMem:      r.alloc.MinMem(),
-		}
+		view.Queue[0].Estimate = e.headEst
 	}
+	view.Running, view.RunningByEnd = e.policyRunningViews()
 
-	started := make([]bool, visible)
-	rejectedPos := make([]bool, visible)
+	e.startedBuf = resetBools(e.startedBuf, visible)
+	e.rejectedBuf = resetBools(e.rejectedBuf, visible)
+	started, rejectedPos := e.startedBuf, e.rejectedBuf
 	e.cfg.Policy.Schedule(&view, func(pos int) bool {
 		if pos < 0 || pos >= visible || started[pos] || rejectedPos[pos] {
 			return false
 		}
-		js := e.queue[pos]
+		js := e.queue.at(pos)
 		ok, rejected := e.dispatch(js)
 		if rejected {
 			rejectedPos[pos] = true
@@ -435,14 +724,18 @@ func (e *engine) scheduleWithPolicy() {
 	})
 
 	// Compact the queue, dropping started and rejected entries.
-	kept := e.queue[:0]
-	for i, js := range e.queue {
-		if i < visible && (started[i] || rejectedPos[i]) {
-			continue
-		}
-		kept = append(kept, js)
+	e.queue.compact(visible, func(i int) bool { return started[i] || rejectedPos[i] })
+}
+
+// resetBools returns a zeroed length-n bool slice, reusing b's backing
+// array when it is large enough.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
 	}
-	e.queue = kept
+	b = b[:n]
+	clear(b)
+	return b
 }
 
 // dispatch estimates, allocates, and starts a job. It returns
@@ -452,7 +745,7 @@ func (e *engine) scheduleWithPolicy() {
 // queue forever.
 func (e *engine) dispatch(js *jobState) (started, rejected bool) {
 	j := js.job
-	est := e.cfg.Estimator.Estimate(j)
+	est := e.estimate(js)
 	if js.hadResourceFail && est.Eq(js.lastFailedEst) {
 		// The estimator restored a capacity that this very job just
 		// failed with (Algorithm 1 with a frozen learning rate and a
@@ -470,7 +763,9 @@ func (e *engine) dispatch(js *jobState) (started, rejected bool) {
 	if !e.cfg.Cluster.FitsAtAll(j.Nodes, est) {
 		js.rec.Completed = false
 		e.result.Rejected++
-		e.journal(Event{At: e.now, Kind: EventReject, JobID: j.ID, Nodes: j.Nodes, Estimate: est})
+		if e.cfg.Journal != nil {
+			e.journal(Event{At: e.now, Kind: EventReject, JobID: j.ID, Nodes: j.Nodes, Estimate: est})
+		}
 		return false, true
 	}
 	alloc, ok := e.cfg.Cluster.Allocate(j.Nodes, est)
@@ -489,12 +784,15 @@ func (e *engine) dispatch(js *jobState) (started, rejected bool) {
 		js.rec.Start = e.now
 	}
 
-	e.journal(Event{At: e.now, Kind: EventDispatch, JobID: j.ID,
-		Nodes: j.Nodes, Estimate: est, Allocated: alloc.MinMem()})
+	if e.cfg.Journal != nil {
+		e.journal(Event{At: e.now, Kind: EventDispatch, JobID: j.ID,
+			Nodes: j.Nodes, Estimate: est, Allocated: alloc.MinMem()})
+	}
 
 	insufficient := !j.UsedMem.Fits(alloc.MinMem())
 	spurious := e.cfg.SpuriousFailureProb > 0 && e.rng.Float64() < e.cfg.SpuriousFailureProb
-	ev := &endEvent{seq: e.nextSeq(), js: js, alloc: alloc, est: est, startAt: e.now}
+	ev := e.newEvent()
+	ev.seq, ev.js, ev.alloc, ev.est, ev.startAt = e.nextSeq(), js, alloc, est, e.now
 	ev.spurious = spurious && !insufficient
 	switch {
 	case insufficient || spurious:
@@ -515,9 +813,38 @@ func (e *engine) dispatch(js *jobState) (started, rejected bool) {
 		ev.success = true
 		ev.at = e.now + j.Runtime
 	}
-	heap.Push(&e.events, ev)
+	e.events.push(heapEntry{at: ev.at, seq: uint32(ev.seq), id: ev.id})
+	ev.runIdx = len(e.running)
 	e.running = append(e.running, ev)
+	if e.needView {
+		expected := j.ReqTime
+		if e.cfg.Runtime != nil {
+			expected = e.cfg.Runtime.EstimateRuntime(j)
+		}
+		e.runningView = append(e.runningView, sched.RunningJob{
+			Job:         j,
+			Start:       e.now,
+			ExpectedEnd: e.now + expected,
+			Nodes:       alloc.Nodes(),
+			MinMem:      alloc.MinMem(),
+		})
+	}
+	e.runningGen++
 	return true, false
+}
+
+// newEvent returns a pooled endEvent, or a fresh one (registered in
+// byID) when the pool is dry.
+func (e *engine) newEvent() *endEvent {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	ev := &endEvent{id: int32(len(e.byID))}
+	e.byID = append(e.byID, ev)
+	return ev
 }
 
 func (e *engine) nextSeq() int {
