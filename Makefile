@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race verify bench clean
+.PHONY: build test lint race verify bench bench3 clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,19 @@ bench:
 	$(GO) run ./cmd/benchjson -as current -out BENCH_2.json -merge \
 		-bench SimulatorThroughput -benchtime 2s -count 3 \
 		-note "figure benches single 1x runs; SimulatorThroughput median of 3 x 2s runs"
+
+# Record the concurrent-serving scaling curves (estimator striping and
+# the daemon's single vs batch protocol at 1/2/4/8 goroutines) into the
+# "current" section of BENCH_3.json; the committed baseline section was
+# captured on the pre-sharding server and is never overwritten.
+BENCH3_NOTE = median of 3 x 1s runs; GOMAXPROCS pinned per sub-benchmark; single-core container — see EXPERIMENTS.md
+bench3:
+	$(GO) run ./cmd/benchjson -as current -out BENCH_3.json \
+		-pkg ./internal/estimate -bench ConcurrentEstimator -benchtime 1s -count 3 \
+		-note "$(BENCH3_NOTE)"
+	$(GO) run ./cmd/benchjson -as current -out BENCH_3.json -merge \
+		-pkg ./internal/server -bench ServerSubmitComplete -benchtime 1s -count 3 \
+		-note "$(BENCH3_NOTE)"
 
 verify: build lint race
 

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// config parameterizes one closed-loop run. The zero value is not
+// usable; main and the tests fill every field.
+type config struct {
+	Addr      string
+	Clients   int
+	Duration  time.Duration
+	Batch     int
+	Users     int
+	Apps      int
+	Nodes     int
+	MemMB     float64
+	ReqTimeS  float64
+	FailEvery int
+}
+
+func (c config) validate() error {
+	switch {
+	case c.Addr == "":
+		return fmt.Errorf("missing -addr")
+	case c.Clients <= 0:
+		return fmt.Errorf("-clients must be positive")
+	case c.Duration <= 0:
+		return fmt.Errorf("-duration must be positive")
+	case c.Batch <= 0:
+		return fmt.Errorf("-batch must be positive")
+	case c.Users <= 0 || c.Apps <= 0:
+		return fmt.Errorf("-users and -apps must be positive")
+	case c.FailEvery < 0:
+		return fmt.Errorf("-fail must be >= 0")
+	}
+	return nil
+}
+
+// report aggregates all clients' measurements.
+type report struct {
+	Clients    int
+	Batch      int
+	Elapsed    time.Duration
+	Submitted  int           // jobs accepted by the daemon
+	Started    int           // of those, dispatched immediately
+	Completed  int           // completion reports delivered
+	Rejected   int           // per-item submit errors (e.g. unsatisfiable)
+	HTTPErrors int           // transport or non-2xx failures
+	Latencies  latencySample // one sample per HTTP request
+}
+
+// latencySample holds per-request wall-clock latencies.
+type latencySample []time.Duration
+
+func (l latencySample) percentile(p float64) time.Duration {
+	if len(l) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(l)-1))
+	return l[i]
+}
+
+func (r report) String() string {
+	var b strings.Builder
+	perSec := float64(r.Completed) / r.Elapsed.Seconds()
+	fmt.Fprintf(&b, "clients %d  batch %d  elapsed %v\n", r.Clients, r.Batch, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "submitted %d (started %d, rejected %d)  completed %d  http errors %d\n",
+		r.Submitted, r.Started, r.Rejected, r.Completed, r.HTTPErrors)
+	fmt.Fprintf(&b, "throughput %.0f jobs/s over %d requests\n", perSec, len(r.Latencies))
+	fmt.Fprintf(&b, "request latency p50 %v  p95 %v  p99 %v  max %v\n",
+		r.Latencies.percentile(0.50), r.Latencies.percentile(0.95),
+		r.Latencies.percentile(0.99), r.Latencies.percentile(1))
+	return b.String()
+}
+
+// run executes the closed loop and merges per-client stats. It is the
+// whole generator behind a testable seam: tests point Addr at an
+// httptest server.
+func run(cfg config) (report, error) {
+	if err := cfg.validate(); err != nil {
+		return report{}, err
+	}
+	base := strings.TrimRight(cfg.Addr, "/")
+	deadline := time.Now().Add(cfg.Duration)
+	stats := make([]clientStats, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			(&worker{cfg: cfg, base: base, id: c, stats: &stats[c]}).loop(deadline)
+		}()
+	}
+	wg.Wait()
+	rep := report{Clients: cfg.Clients, Batch: cfg.Batch, Elapsed: time.Since(start)}
+	for i := range stats {
+		s := &stats[i]
+		rep.Submitted += s.submitted
+		rep.Started += s.started
+		rep.Completed += s.completed
+		rep.Rejected += s.rejected
+		rep.HTTPErrors += s.httpErrors
+		rep.Latencies = append(rep.Latencies, s.latencies...)
+	}
+	sort.Slice(rep.Latencies, func(i, j int) bool { return rep.Latencies[i] < rep.Latencies[j] })
+	return rep, nil
+}
+
+type clientStats struct {
+	submitted, started, completed, rejected, httpErrors int
+	latencies                                           []time.Duration
+}
+
+type worker struct {
+	cfg   config
+	base  string
+	id    int
+	seq   int
+	stats *clientStats
+}
+
+// loop submits a window, completes whatever started, and repeats until
+// the deadline. One request in flight per client — closed loop.
+func (w *worker) loop(deadline time.Time) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	for time.Now().Before(deadline) {
+		ids := w.submitWindow(client)
+		if len(ids) > 0 {
+			w.completeWindow(client, ids)
+		}
+	}
+}
+
+// jobSpec builds the i-th job of this client, cycling deterministically
+// through the similarity groups.
+func (w *worker) jobSpec() map[string]any {
+	i := w.seq
+	w.seq++
+	return map[string]any{
+		"user":       (w.id*31 + i) % w.cfg.Users,
+		"app":        i % w.cfg.Apps,
+		"nodes":      w.cfg.Nodes,
+		"req_mem_mb": w.cfg.MemMB,
+		"req_time_s": w.cfg.ReqTimeS,
+	}
+}
+
+// post sends one timed request; ok is false on transport error or a
+// status outside wantStatus.
+func (w *worker) post(client *http.Client, path string, body, out any, wantStatus int) bool {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		w.stats.httpErrors++
+		return false
+	}
+	t0 := time.Now()
+	resp, err := client.Post(w.base+path, "application/json", bytes.NewReader(buf))
+	w.stats.latencies = append(w.stats.latencies, time.Since(t0))
+	if err != nil {
+		w.stats.httpErrors++
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		w.stats.httpErrors++
+		return false
+	}
+	if out == nil {
+		return true
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		w.stats.httpErrors++
+		return false
+	}
+	return true
+}
+
+type jobView struct {
+	ID    int64  `json:"id"`
+	State string `json:"state"`
+}
+
+type batchResult struct {
+	Results []struct {
+		Job   *jobView `json:"job"`
+		Error string   `json:"error"`
+	} `json:"results"`
+}
+
+// submitWindow submits cfg.Batch jobs and returns the IDs that started
+// running (queued jobs are left to the daemon; a closed loop must not
+// block on them).
+func (w *worker) submitWindow(client *http.Client) []int64 {
+	var running []int64
+	if w.cfg.Batch == 1 {
+		var v jobView
+		if !w.post(client, "/api/v1/jobs", w.jobSpec(), &v, http.StatusCreated) {
+			return nil
+		}
+		w.stats.submitted++
+		if v.State == "running" {
+			w.stats.started++
+			running = append(running, v.ID)
+		}
+		return running
+	}
+	jobs := make([]map[string]any, w.cfg.Batch)
+	for i := range jobs {
+		jobs[i] = w.jobSpec()
+	}
+	var resp batchResult
+	if !w.post(client, "/api/v1/jobs:batch", map[string]any{"jobs": jobs}, &resp, http.StatusOK) {
+		return nil
+	}
+	for _, r := range resp.Results {
+		if r.Error != "" || r.Job == nil {
+			w.stats.rejected++
+			continue
+		}
+		w.stats.submitted++
+		if r.Job.State == "running" {
+			w.stats.started++
+			running = append(running, r.Job.ID)
+		}
+	}
+	return running
+}
+
+// completeWindow reports completions for the started jobs; every
+// FailEvery-th report (per client) is a failure so the estimator's
+// raise path stays exercised.
+func (w *worker) completeWindow(client *http.Client, ids []int64) {
+	success := func(k int) bool {
+		return w.cfg.FailEvery == 0 || (w.stats.completed+k+1)%w.cfg.FailEvery != 0
+	}
+	if w.cfg.Batch == 1 {
+		for _, id := range ids {
+			path := fmt.Sprintf("/api/v1/jobs/%d/complete", id)
+			if w.post(client, path, map[string]any{"success": success(0)}, nil, http.StatusOK) {
+				w.stats.completed++
+			}
+		}
+		return
+	}
+	comps := make([]map[string]any, len(ids))
+	for k, id := range ids {
+		comps[k] = map[string]any{"id": id, "success": success(k)}
+	}
+	var resp batchResult
+	if !w.post(client, "/api/v1/complete:batch", map[string]any{"completions": comps}, &resp, http.StatusOK) {
+		return
+	}
+	for _, r := range resp.Results {
+		if r.Error == "" && r.Job != nil {
+			w.stats.completed++
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command loadgen drives a running schedd with a closed-loop synthetic
+// workload: each client goroutine keeps exactly one request in flight —
+// submit a window of jobs, report their completions, repeat — so
+// offered load tracks service capacity and the measurement is the
+// daemon's sustainable throughput, not a queue filling up.
+//
+// It is the measurement harness behind BENCH_3.json's serving numbers:
+//
+//	schedd -addr :8080 -shards 32 &
+//	loadgen -addr http://localhost:8080 -clients 8 -duration 30s -batch 64
+//
+// With -batch 1 each job transition is its own HTTP request (the
+// pre-batch protocol); larger values exercise the jobs:batch and
+// complete:batch endpoints. Jobs cycle deterministically through
+// -users × -apps similarity groups, so the estimator's group table and
+// hit pattern are reproducible run to run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.Addr, "addr", "http://localhost:8080", "schedd base URL")
+	flag.IntVar(&cfg.Clients, "clients", 4, "closed-loop client goroutines")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "measurement window")
+	flag.IntVar(&cfg.Batch, "batch", 64, "jobs per request window (1 = per-job endpoints)")
+	flag.IntVar(&cfg.Users, "users", 53, "distinct users cycled through")
+	flag.IntVar(&cfg.Apps, "apps", 7, "distinct applications cycled through")
+	flag.IntVar(&cfg.Nodes, "nodes", 1, "nodes requested per job")
+	flag.Float64Var(&cfg.MemMB, "mem", 32, "requested memory per node (MB)")
+	flag.Float64Var(&cfg.ReqTimeS, "req-time", 600, "requested runtime (s)")
+	flag.IntVar(&cfg.FailEvery, "fail", 16, "every Nth completion reports failure (0 = never)")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+}

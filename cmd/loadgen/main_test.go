@@ -1,0 +1,132 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/server"
+	"overprov/internal/units"
+)
+
+// testDaemon stands up the real serving stack — sharded estimator, split
+// locking, batch endpoints — behind httptest, so the generator is tested
+// against exactly what it will measure.
+func testDaemon(t *testing.T) (*httptest.Server, *server.Server) {
+	t.Helper()
+	cl, err := cluster.New(cluster.Spec{Nodes: 1 << 16, Mem: units.MemSize(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{
+		Alpha: 2, Round: cl,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Cluster: cl, Estimator: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func testConfig(addr string, batch int) config {
+	return config{
+		Addr:     addr,
+		Clients:  4,
+		Duration: 150 * time.Millisecond,
+		Batch:    batch,
+		Users:    5, Apps: 3, Nodes: 1,
+		MemMB: 32, ReqTimeS: 60,
+		FailEvery: 7,
+	}
+}
+
+func TestRunBatchMode(t *testing.T) {
+	ts, srv := testDaemon(t)
+	rep, err := run(testConfig(ts.URL, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HTTPErrors != 0 {
+		t.Fatalf("HTTP errors: %d\n%s", rep.HTTPErrors, rep)
+	}
+	if rep.Submitted == 0 || rep.Started == 0 || rep.Completed == 0 {
+		t.Fatalf("no work done:\n%s", rep)
+	}
+	if rep.Completed > rep.Started || rep.Started > rep.Submitted {
+		t.Errorf("counter ordering broken:\n%s", rep)
+	}
+	if len(rep.Latencies) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	p50, p99 := rep.Latencies.percentile(0.5), rep.Latencies.percentile(0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Errorf("percentiles broken: p50=%v p99=%v", p50, p99)
+	}
+	// The generator's view agrees with the daemon's.
+	m := srv.Metrics()
+	if m.FeedbackEvents != uint64(rep.Completed) {
+		t.Errorf("daemon saw %d feedback events, generator delivered %d", m.FeedbackEvents, rep.Completed)
+	}
+	if int(m.Estimator.Groups) > 5*3 {
+		t.Errorf("estimator learned %d groups, want at most users×apps = 15", m.Estimator.Groups)
+	}
+}
+
+func TestRunSingleMode(t *testing.T) {
+	ts, _ := testDaemon(t)
+	rep, err := run(testConfig(ts.URL, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HTTPErrors != 0 || rep.Completed == 0 {
+		t.Fatalf("single-mode run failed:\n%s", rep)
+	}
+	// Per-job endpoints: one submit + one complete request per lifecycle.
+	if len(rep.Latencies) < rep.Submitted+rep.Completed {
+		t.Errorf("latency samples %d < requests %d", len(rep.Latencies), rep.Submitted+rep.Completed)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig("http://x", 4)
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*config){
+		"addr":     func(c *config) { c.Addr = "" },
+		"clients":  func(c *config) { c.Clients = 0 },
+		"duration": func(c *config) { c.Duration = 0 },
+		"batch":    func(c *config) { c.Batch = 0 },
+		"users":    func(c *config) { c.Users = 0 },
+		"apps":     func(c *config) { c.Apps = -1 },
+		"fail":     func(c *config) { c.FailEvery = -1 },
+	} {
+		c := good
+		mutate(&c)
+		if err := c.validate(); err == nil {
+			t.Errorf("%s: bad config accepted", name)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	var empty latencySample
+	if empty.percentile(0.5) != 0 {
+		t.Error("empty sample should report 0")
+	}
+	one := latencySample{5 * time.Millisecond}
+	if one.percentile(0) != 5*time.Millisecond || one.percentile(1) != 5*time.Millisecond {
+		t.Error("single sample percentiles")
+	}
+	four := latencySample{1, 2, 3, 4}
+	if four.percentile(1) != 4 || four.percentile(0) != 1 {
+		t.Errorf("bounds: min=%v max=%v", four.percentile(0), four.percentile(1))
+	}
+}

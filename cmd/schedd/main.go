@@ -9,12 +9,20 @@
 //	schedd -addr :8080                          # paper cluster, α=2 β=0
 //	schedd -cluster "512x32,512x24" -alpha 2    # explicit cluster spec
 //	schedd -state /var/lib/schedd/groups.json   # load + periodically save state
+//	schedd -shards 64 -debug-addr :6060         # wider striping + pprof/metrics
 //
 // API (see internal/server):
 //
 //	POST /api/v1/jobs                {"user":3,"app":7,"nodes":32,"req_mem_mb":32,"req_time_s":600}
 //	POST /api/v1/jobs/{id}/complete  {"success":true,"used_mem_mb":5.2}
+//	POST /api/v1/jobs:batch          {"jobs":[...]}
+//	POST /api/v1/complete:batch      {"completions":[{"id":7,"success":true}]}
 //	GET  /api/v1/jobs/{id}  /api/v1/status  /api/v1/estimates
+//
+// With -debug-addr set, a second listener serves net/http/pprof under
+// /debug/pprof/ and the serving counters at GET /api/v1/metrics. It is
+// a separate listener so profiling and scraping can stay firewalled off
+// from the job-submission API.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +53,8 @@ func main() {
 		explicit = flag.Bool("explicit", false, "accept used_mem_mb in completion reports")
 		state    = flag.String("state", "", "estimator state file (loaded at start, saved periodically)")
 		saveEach = flag.Duration("save-interval", time.Minute, "state save period when -state is set")
+		shards   = flag.Int("shards", estimate.DefaultShards, "estimator lock stripes (rounded up to a power of two)")
+		debug    = flag.String("debug-addr", "", "optional second listener for /debug/pprof/ and /api/v1/metrics")
 	)
 	flag.Parse()
 
@@ -51,17 +62,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("schedd: %v", err)
 	}
-	sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{
+	// The estimator is shared between HTTP handler goroutines and the
+	// periodic state saver below; the lock-striped wrapper is the only
+	// synchronization both sides go through. -shards 1 degenerates to a
+	// single stripe, i.e. the old global-mutex behavior.
+	est, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{
 		Alpha: *alpha, Beta: *beta, Round: cl,
-	})
+	}, *shards)
 	if err != nil {
 		log.Fatalf("schedd: %v", err)
 	}
-	// The estimator is shared between HTTP handler goroutines and the
-	// periodic state saver below; the Synchronized wrapper is the one
-	// lock both sides go through. Touching sa directly past this point
-	// would reintroduce the race the wrapper exists to close.
-	est := estimate.NewSynchronized(sa)
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
 			loadErr := est.LoadState(f)
@@ -69,7 +79,7 @@ func main() {
 			if loadErr != nil {
 				log.Fatalf("schedd: loading %s: %v", *state, loadErr)
 			}
-			log.Printf("schedd: restored %d similarity groups from %s", sa.NumGroups(), *state)
+			log.Printf("schedd: restored %d similarity groups from %s", est.NumGroups(), *state)
 		} else if !os.IsNotExist(err) {
 			log.Fatalf("schedd: %v", err)
 		}
@@ -116,6 +126,17 @@ func main() {
 		}
 	}()
 
+	var debugSrv *http.Server
+	if *debug != "" {
+		debugSrv = &http.Server{Addr: *debug, Handler: debugMux(srv)}
+		go func() {
+			log.Printf("schedd: pprof and metrics on %s", *debug)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("schedd: debug listener: %v", err)
+			}
+		}()
+	}
+
 	ticker := time.NewTicker(*saveEach)
 	defer ticker.Stop()
 	sig := make(chan os.Signal, 1)
@@ -128,9 +149,26 @@ func main() {
 			log.Printf("schedd: %v — saving state and shutting down", s)
 			save()
 			_ = httpSrv.Close()
+			if debugSrv != nil {
+				_ = debugSrv.Close()
+			}
 			return
 		}
 	}
+}
+
+// debugMux assembles the -debug-addr handler: the standard pprof
+// endpoints (registered explicitly — the daemon never serves
+// http.DefaultServeMux) plus the serving counters.
+func debugMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /api/v1/metrics", srv.MetricsHandler())
+	return mux
 }
 
 // parseCluster parses "512x32,512x24" into pool specs.

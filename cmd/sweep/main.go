@@ -29,10 +29,12 @@ func main() {
 		robust     = flag.Bool("robustness", false, "Figure 5 gain across several trace seeds with a bootstrap CI")
 		generality = flag.Bool("generality", false, "Figure 5 pipeline on the SP2-like second preset")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers    = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS); results are identical at any count")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 	if !*fig5 && !*fig6 && !*fig8 && !*easy && !*robust && !*generality {
 		*fig5, *fig6, *fig8 = true, true, true
 	}

@@ -35,3 +35,64 @@ type Unguarded struct {
 
 // Mark records an id without any locking.
 func (u *Unguarded) Mark(id int) { u.seen[id] = true }
+
+// stripe is one lock stripe of a sharded table: the mutex guards only
+// this stripe's map, the striped-lock shape ShardedSynchronized uses.
+type stripe struct {
+	mu     sync.RWMutex
+	groups map[uint64]float64
+}
+
+// get takes the stripe's read lock — the read-mostly fast path.
+func (s *stripe) get(k uint64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.groups[k]
+}
+
+// put takes the stripe's write lock.
+func (s *stripe) put(k uint64, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groups[k] = v
+}
+
+// snapshotLocked runs under a caller-held stripe lock (all-shard
+// snapshots lock every stripe in ascending order, then call this).
+func (s *stripe) snapshotLocked() map[uint64]float64 {
+	out := make(map[uint64]float64, len(s.groups))
+	for k, v := range s.groups {
+		out[k] = v
+	}
+	return out
+}
+
+// Striped shards keys across stripes. It owns no mutex itself — each
+// stripe's lock guards that stripe — so its methods are clean as long
+// as every guarded access goes through the stripe's own methods.
+type Striped struct {
+	stripes []stripe
+}
+
+// Get routes to the owning stripe's locked accessor.
+func (t *Striped) Get(k uint64) float64 {
+	return t.stripes[k%uint64(len(t.stripes))].get(k)
+}
+
+// Put routes to the owning stripe's locked mutator.
+func (t *Striped) Put(k uint64, v float64) {
+	t.stripes[k%uint64(len(t.stripes))].put(k, v)
+}
+
+// Snapshot locks every stripe in ascending index order — the repo's one
+// global lock-order rule for consistent multi-stripe snapshots.
+func (t *Striped) Snapshot() []map[uint64]float64 {
+	out := make([]map[uint64]float64, len(t.stripes))
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		out[i] = s.snapshotLocked()
+		s.mu.RUnlock()
+	}
+	return out
+}

@@ -52,3 +52,57 @@ func (s *Shared) Lookup(id int) string {
 func (s *Shared) Peek(id int) string {
 	return s.byID[id] // want `method Shared.Peek accesses guarded field "byID" without acquiring mu`
 }
+
+// stripe is one lock stripe of a sharded table, as in the estimator's
+// striped wrapper: the per-stripe mutex guards the per-stripe map.
+type stripe struct {
+	mu     sync.RWMutex
+	groups map[uint64]float64
+}
+
+// get forgets the stripe's read lock: sharding does not exempt a stripe
+// from its own lock discipline.
+func (s *stripe) get(k uint64) float64 {
+	return s.groups[k] // want `method stripe.get accesses guarded field "groups" without acquiring mu`
+}
+
+// drop unlocks a lock taken by the caller but never acquires one
+// itself; without the Locked suffix that contract is invisible, so it
+// is flagged.
+func (s *stripe) drop(k uint64) {
+	defer s.mu.Unlock()
+	delete(s.groups, k) // want `method stripe.drop accesses guarded field "groups" without acquiring mu`
+}
+
+// put locks its own stripe correctly.
+func (s *stripe) put(k uint64, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groups[k] = v
+}
+
+// Striped shards keys across stripes and additionally guards a
+// top-level index map with its own mutex. The stripe array is fixed at
+// construction (an array, not a slice), so only byOwner is guarded.
+type Striped struct {
+	mu      sync.Mutex
+	byOwner map[string][]uint64
+	stripes [4]stripe
+}
+
+// Route locks a stripe's mutex — but that lock does not cover the
+// wrapper's own guarded map, and the wrapper's mutex is never taken.
+func (t *Striped) Route(owner string, k uint64) {
+	s := &t.stripes[k%uint64(len(t.stripes))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groups[k] = 0
+	t.byOwner[owner] = append(t.byOwner[owner], k) // want `method Striped.Route accesses guarded field "byOwner" without acquiring mu`
+}
+
+// Register takes the wrapper's lock before the wrapper's map — clean.
+func (t *Striped) Register(owner string, k uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byOwner[owner] = append(t.byOwner[owner], k)
+}

@@ -46,11 +46,18 @@ const groupTableMinSize = 64
 
 // lookup returns the handle of the group stored under k, or -1.
 func (t *groupTable) lookup(k similarity.Key) int32 {
+	return t.lookupHash(k, hashKey(k))
+}
+
+// lookupHash is lookup with the caller-supplied hash hashKey(k), so
+// callers that already hashed k (the sharded wrapper routes by the same
+// hash) do not pay for it twice.
+func (t *groupTable) lookupHash(k similarity.Key, hash uint64) int32 {
 	if len(t.groups) == 0 {
 		return -1
 	}
 	mask := uint64(len(t.slots) - 1)
-	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+	for i := hash & mask; ; i = (i + 1) & mask {
 		s := &t.slots[i]
 		if s.idx == 0 {
 			return -1
@@ -64,11 +71,17 @@ func (t *groupTable) lookup(k similarity.Key) int32 {
 // lookupOrAdd returns k's handle, appending an empty group when k is
 // absent (found=false); a single probe serves both the hit and the miss.
 func (t *groupTable) lookupOrAdd(k similarity.Key) (h int32, found bool) {
+	return t.lookupOrAddHash(k, hashKey(k))
+}
+
+// lookupOrAddHash is lookupOrAdd with the caller-supplied hash
+// hashKey(k).
+func (t *groupTable) lookupOrAddHash(k similarity.Key, hash uint64) (h int32, found bool) {
 	if 4*(len(t.groups)+1) > 3*len(t.slots) { // keep load factor ≤ 3/4
 		t.grow()
 	}
 	mask := uint64(len(t.slots) - 1)
-	i := hashKey(k) & mask
+	i := hash & mask
 	for t.slots[i].idx != 0 {
 		if t.slots[i].key == k {
 			return t.slots[i].idx - 1, true

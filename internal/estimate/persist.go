@@ -14,6 +14,9 @@ import (
 const stateVersion = 1
 
 // persistedState is the on-disk form of a SuccessiveApprox estimator.
+// ShardedSynchronized writes the identical format (the shard layout is
+// a runtime concern, not learned state), so state files move freely
+// between the single-lock and sharded deployments.
 type persistedState struct {
 	Version int              `json:"version"`
 	Kind    string           `json:"kind"`
@@ -32,21 +35,39 @@ type persistedGroup struct {
 	Alpha    float64 `json:"alpha"`
 }
 
-// SaveState serialises the estimator's learned similarity-group state as
-// JSON, so a scheduler restart does not forget months of feedback. Only
-// the state Algorithm 1 actually keeps (Eᵢ, the last safe capacity, αᵢ)
-// is written — the paper stresses this is all the memory the algorithm
-// needs.
-func (s *SuccessiveApprox) SaveState(w io.Writer) error {
-	st := persistedState{
-		Version: stateVersion,
-		Kind:    "successive-approx",
-		Alpha:   s.cfg.Alpha,
-		Beta:    s.cfg.Beta,
+// key reconstructs the group's similarity key.
+func (g persistedGroup) key() similarity.Key {
+	return similarity.Key{User: g.User, App: g.App, ReqMemKB: g.ReqMemKB}
+}
+
+// snapshotGroups returns every group's persisted form in insertion
+// order. Callers needing the canonical on-disk order sort with
+// sortPersistedGroups.
+func (s *SuccessiveApprox) snapshotGroups() []persistedGroup {
+	if s.groups.len() == 0 {
+		return nil // keep the pre-refactor "groups": null encoding
 	}
-	keys := s.groups.allKeys()
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
+	out := make([]persistedGroup, 0, s.groups.len())
+	for _, k := range s.groups.allKeys() {
+		g := s.groups.get(k)
+		out = append(out, persistedGroup{
+			User:     k.User,
+			App:      k.App,
+			ReqMemKB: k.ReqMemKB,
+			Estimate: g.est.MBf(),
+			LastGood: g.lastGood.MBf(),
+			Alpha:    g.alpha,
+		})
+	}
+	return out
+}
+
+// sortPersistedGroups puts groups in the canonical (user, app, reqmem)
+// order of the state file, making the output independent of insertion
+// order and shard layout.
+func sortPersistedGroups(groups []persistedGroup) {
+	sort.Slice(groups, func(i, j int) bool {
+		a, b := groups[i], groups[j]
 		if a.User != b.User {
 			return a.User < b.User
 		}
@@ -55,16 +76,17 @@ func (s *SuccessiveApprox) SaveState(w io.Writer) error {
 		}
 		return a.ReqMemKB < b.ReqMemKB
 	})
-	for _, k := range keys {
-		g := s.groups.get(k)
-		st.Groups = append(st.Groups, persistedGroup{
-			User:     k.User,
-			App:      k.App,
-			ReqMemKB: k.ReqMemKB,
-			Estimate: g.est.MBf(),
-			LastGood: g.lastGood.MBf(),
-			Alpha:    g.alpha,
-		})
+}
+
+// writeState serialises groups (already in canonical order) with the
+// configuration header.
+func writeState(w io.Writer, alpha, beta float64, groups []persistedGroup) error {
+	st := persistedState{
+		Version: stateVersion,
+		Kind:    "successive-approx",
+		Alpha:   alpha,
+		Beta:    beta,
+		Groups:  groups,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -74,37 +96,65 @@ func (s *SuccessiveApprox) SaveState(w io.Writer) error {
 	return nil
 }
 
+// readState parses and validates a state file.
+func readState(r io.Reader) (*persistedState, error) {
+	var st persistedState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("estimate: loading state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("estimate: unsupported state version %d", st.Version)
+	}
+	if st.Kind != "successive-approx" {
+		return nil, fmt.Errorf("estimate: state kind %q is not successive-approx", st.Kind)
+	}
+	for i, g := range st.Groups {
+		if g.Estimate < 0 || g.LastGood < 0 || g.Alpha < 1 {
+			return nil, fmt.Errorf("estimate: state group %d has implausible values (est %g, lastGood %g, α %g)",
+				i, g.Estimate, g.LastGood, g.Alpha)
+		}
+	}
+	return &st, nil
+}
+
+// applyGroup installs one persisted group, replacing any in-memory
+// group with the same key.
+func (s *SuccessiveApprox) applyGroup(g persistedGroup) {
+	k := g.key()
+	loaded := saGroup{
+		est:      units.MemSize(g.Estimate),
+		lastGood: units.MemSize(g.LastGood),
+		alpha:    g.Alpha,
+	}
+	if existing := s.groups.get(k); existing != nil {
+		*existing = loaded
+	} else {
+		*s.groups.insert(k) = loaded
+	}
+}
+
+// SaveState serialises the estimator's learned similarity-group state as
+// JSON, so a scheduler restart does not forget months of feedback. Only
+// the state Algorithm 1 actually keeps (Eᵢ, the last safe capacity, αᵢ)
+// is written — the paper stresses this is all the memory the algorithm
+// needs.
+func (s *SuccessiveApprox) SaveState(w io.Writer) error {
+	groups := s.snapshotGroups()
+	sortPersistedGroups(groups)
+	return writeState(w, s.cfg.Alpha, s.cfg.Beta, groups)
+}
+
 // LoadState restores group state previously written by SaveState,
 // replacing any in-memory groups with the same key. The estimator's own
 // (α, β) configuration is kept; the file's values are only validated for
 // plausibility.
 func (s *SuccessiveApprox) LoadState(r io.Reader) error {
-	var st persistedState
-	if err := json.NewDecoder(r).Decode(&st); err != nil {
-		return fmt.Errorf("estimate: loading state: %w", err)
+	st, err := readState(r)
+	if err != nil {
+		return err
 	}
-	if st.Version != stateVersion {
-		return fmt.Errorf("estimate: unsupported state version %d", st.Version)
-	}
-	if st.Kind != "successive-approx" {
-		return fmt.Errorf("estimate: state kind %q is not successive-approx", st.Kind)
-	}
-	for i, g := range st.Groups {
-		if g.Estimate < 0 || g.LastGood < 0 || g.Alpha < 1 {
-			return fmt.Errorf("estimate: state group %d has implausible values (est %g, lastGood %g, α %g)",
-				i, g.Estimate, g.LastGood, g.Alpha)
-		}
-		k := similarity.Key{User: g.User, App: g.App, ReqMemKB: g.ReqMemKB}
-		loaded := saGroup{
-			est:      units.MemSize(g.Estimate),
-			lastGood: units.MemSize(g.LastGood),
-			alpha:    g.Alpha,
-		}
-		if existing := s.groups.get(k); existing != nil {
-			*existing = loaded
-		} else {
-			*s.groups.insert(k) = loaded
-		}
+	for _, g := range st.Groups {
+		s.applyGroup(g)
 	}
 	return nil
 }

@@ -1,0 +1,274 @@
+package estimate
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// DefaultShards is the shard count NewShardedSynchronized selects when
+// the caller passes 0. 32 stripes keep two shard locks from sharing a
+// similarity group with high probability at any realistic core count
+// while the all-shard snapshot stays cheap.
+const DefaultShards = 32
+
+// maxShards bounds the shard count; beyond this the all-shard snapshot
+// and per-shard memory overhead outweigh any contention win.
+const maxShards = 1 << 10
+
+// ShardedSynchronized makes Algorithm 1 safe for concurrent use without
+// the single global mutex of Synchronized: the similarity-group space is
+// striped across power-of-two shards by group-key hash, each shard
+// holding its own SuccessiveApprox behind a sync.RWMutex. A similarity
+// group lives entirely in one shard (the shard index is a function of
+// the key), so per-group learning is exactly Algorithm 1 — only the
+// locking is striped.
+//
+// Estimate is read-mostly: after a group's first sighting it takes only
+// the shard's read lock, so concurrent estimates for different jobs of
+// the same shard do not serialise, and estimates for different shards
+// share nothing but the (padded) shard array. Feedback takes the one
+// shard's write lock. SaveState/LoadState take a consistent all-shard
+// snapshot.
+//
+// Lock order: shard locks are leaves — no estimator code acquires any
+// other lock while holding one. Multi-shard operations (SaveState,
+// LoadState, NumGroups' exact variant) acquire shards in ascending
+// index order, the repo's one global lock order for stripe sets, so
+// two concurrent multi-shard operations cannot deadlock. Callers must
+// not hold their own locks across calls (cmd/schedd and
+// internal/server call the estimator outside the server mutex).
+//
+// The simulator does not use this wrapper: its estimators stay
+// deliberately single-goroutine (see Estimator), keeping replay
+// determinism and the results/golden equivalence suite untouched.
+type ShardedSynchronized struct {
+	// shift maps a 64-bit key hash to a shard index via its top bits.
+	// The intra-shard group table indexes with the hash's low bits, so
+	// the two never alias (which would cluster every shard's table into
+	// a fraction of its slots).
+	shift  uint
+	shards []estimatorShard
+	key    similarity.KeyFunc
+	name   string
+}
+
+// estimatorShard is one lock stripe. The struct is padded to a cache
+// line so neighbouring shards' locks and counters do not false-share.
+type estimatorShard struct {
+	mu sync.RWMutex
+	sa *SuccessiveApprox
+	// estimates counts Estimate calls routed to this shard; readHits
+	// the subset served entirely under the read lock (no write-lock
+	// acquisition — the "lock-wait-free" fast path); feedbacks the
+	// Feedback calls.
+	estimates atomic.Uint64
+	readHits  atomic.Uint64
+	feedbacks atomic.Uint64
+	_         [8]byte
+}
+
+// ConcurrencyStats are a concurrent estimator wrapper's serving
+// counters, exposed by cmd/schedd's metrics endpoint.
+type ConcurrencyStats struct {
+	// Shards is the stripe count (0 for non-sharded wrappers).
+	Shards int `json:"shards"`
+	// Groups is the live similarity-group count across all shards.
+	Groups int `json:"groups"`
+	// Estimates counts Estimate calls served.
+	Estimates uint64 `json:"estimates"`
+	// EstimateReadHits counts estimates served entirely under a shard
+	// read lock — the lock-wait-free fast path. Estimates −
+	// EstimateReadHits is the number of first-sight group creations.
+	EstimateReadHits uint64 `json:"estimate_read_hits"`
+	// Feedbacks counts Feedback events applied.
+	Feedbacks uint64 `json:"feedback_events"`
+}
+
+// NewShardedSynchronized builds a sharded concurrent estimator running
+// Algorithm 1 with the given configuration. shards ≤ 0 selects
+// DefaultShards; other values are rounded up to the next power of two
+// (capped at 1024).
+func NewShardedSynchronized(cfg SuccessiveApproxConfig, shards int) (*ShardedSynchronized, error) {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > maxShards {
+		return nil, fmt.Errorf("estimate: shard count %d exceeds the maximum %d", shards, maxShards)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &ShardedSynchronized{
+		shift:  uint(64 - bits.Len(uint(n-1))),
+		shards: make([]estimatorShard, n),
+	}
+	for i := range s.shards {
+		sa, err := NewSuccessiveApprox(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].sa = sa
+	}
+	s.key = s.shards[0].sa.cfg.Key
+	s.name = fmt.Sprintf("sharded(%s, %d shards)", s.shards[0].sa.Name(), n)
+	return s, nil
+}
+
+// NumShards returns the stripe count.
+func (s *ShardedSynchronized) NumShards() int { return len(s.shards) }
+
+// shardFor routes a key hash to its stripe via the hash's top bits.
+func (s *ShardedSynchronized) shardFor(hash uint64) *estimatorShard {
+	return &s.shards[hash>>s.shift]
+}
+
+// Name implements Estimator.
+func (s *ShardedSynchronized) Name() string { return s.name }
+
+// Estimate implements Estimator. The common case — the job's similarity
+// group exists — runs entirely under the shard's read lock; only a
+// group's first sighting upgrades to the write lock to create it
+// (Algorithm 1 line 4).
+func (s *ShardedSynchronized) Estimate(j *trace.Job) units.MemSize {
+	k := s.key(j)
+	hash := hashKey(k)
+	sh := s.shardFor(hash)
+	sh.estimates.Add(1)
+	sh.mu.RLock()
+	e, ok := sh.sa.estimateKnown(k, hash, j)
+	sh.mu.RUnlock()
+	if ok {
+		sh.readHits.Add(1)
+		return e
+	}
+	sh.mu.Lock()
+	e = sh.sa.estimateByKeyHash(k, hash, j)
+	sh.mu.Unlock()
+	return e
+}
+
+// Feedback implements Estimator, taking only the owning shard's write
+// lock.
+func (s *ShardedSynchronized) Feedback(o Outcome) {
+	k := s.key(o.Job)
+	hash := hashKey(k)
+	sh := s.shardFor(hash)
+	sh.feedbacks.Add(1)
+	sh.mu.Lock()
+	sh.sa.feedbackByKeyHash(k, hash, o)
+	sh.mu.Unlock()
+}
+
+// SaveState implements StatePersister with a consistent snapshot: every
+// shard's read lock is held simultaneously (acquired in ascending shard
+// order) while group state is copied out, so a concurrent Feedback is
+// either fully visible or not at all — never a half-applied update.
+// Serialisation happens after the locks are released. The output is
+// byte-identical to an unsharded SuccessiveApprox holding the same
+// groups.
+func (s *ShardedSynchronized) SaveState(w io.Writer) error {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	var groups []persistedGroup
+	for i := range s.shards {
+		groups = append(groups, s.shards[i].sa.snapshotGroups()...)
+	}
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
+	sortPersistedGroups(groups)
+	cfg := s.shards[0].sa.cfg
+	return writeState(w, cfg.Alpha, cfg.Beta, groups)
+}
+
+// LoadState implements StatePersister, routing each persisted group to
+// its owning shard. All shard write locks are held (ascending order)
+// for the duration, so concurrent readers see either the old or the
+// fully loaded state.
+func (s *ShardedSynchronized) LoadState(r io.Reader) error {
+	st, err := readState(r)
+	if err != nil {
+		return err
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	for _, g := range st.Groups {
+		s.shardFor(hashKey(g.key())).sa.applyGroup(g)
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+	return nil
+}
+
+// NumGroups returns the similarity-group count across all shards. Each
+// shard is read-locked in turn, so the total is a per-shard-consistent
+// (not globally instantaneous) count — exact whenever no group creation
+// is concurrently in flight.
+func (s *ShardedSynchronized) NumGroups() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += s.shards[i].sa.NumGroups()
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// GroupEstimate exposes a group's current raw estimate for inspection;
+// ok is false when the group has never been seen.
+func (s *ShardedSynchronized) GroupEstimate(k similarity.Key) (units.MemSize, bool) {
+	sh := s.shardFor(hashKey(k))
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.sa.GroupEstimate(k)
+}
+
+// ConcurrencyStats sums the per-shard serving counters.
+func (s *ShardedSynchronized) ConcurrencyStats() ConcurrencyStats {
+	st := ConcurrencyStats{Shards: len(s.shards)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		st.Estimates += sh.estimates.Load()
+		st.EstimateReadHits += sh.readHits.Load()
+		st.Feedbacks += sh.feedbacks.Load()
+		sh.mu.RLock()
+		st.Groups += sh.sa.NumGroups()
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// concurrencySafe marks the wrapper for ConcurrencySafe.
+func (s *ShardedSynchronized) concurrencySafe() {}
+
+// ConcurrencySafe marks estimators whose methods may be called from
+// multiple goroutines without external locking. Bare estimators are
+// single-goroutine by contract (see Estimator); only the wrappers in
+// this package — Synchronized and ShardedSynchronized — implement the
+// marker, and consumers that serve concurrent traffic (internal/server)
+// wrap anything else in Synchronized at construction.
+type ConcurrencySafe interface {
+	Estimator
+	concurrencySafe()
+}
+
+// CanPersist reports whether est can save and load learned state,
+// looking through the Synchronized wrapper.
+func CanPersist(est Estimator) bool {
+	if s, ok := est.(*Synchronized); ok {
+		est = s.inner
+	}
+	_, ok := est.(StatePersister)
+	return ok
+}

@@ -1,0 +1,106 @@
+package estimate
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// benchGroups is the working-set size for the concurrency benchmarks:
+// enough similarity groups that the sharded wrapper spreads load across
+// all stripes, small enough to stay cache-resident.
+const benchGroups = 1024
+
+// benchEstJob returns the i-th job of the benchmark working set. Purely
+// arithmetic — the determinism discipline of internal/estimate (no
+// rand, no wall clock) extends to its benchmarks so runs are
+// comparable.
+func benchEstJob(i int) *trace.Job {
+	g := i % benchGroups
+	return &trace.Job{
+		ID: i, Nodes: 1, Runtime: 100, ReqTime: 200,
+		ReqMem:  units.MemSize(64 + float64(g%8)),
+		UsedMem: units.MemSize(8),
+		User:    g % 256,
+		App:     g / 256,
+		Status:  trace.StatusCompleted,
+	}
+}
+
+// concurrentEstimator is the benchmark surface shared by the global-
+// mutex and sharded implementations.
+type concurrentEstimator interface {
+	Estimator
+	NumGroups() int
+}
+
+func newBenchEstimator(b *testing.B, impl string) concurrentEstimator {
+	cfg := SuccessiveApproxConfig{Alpha: 2,
+		Round: fixedRounder(8, 16, 32, 64, 128, 256)}
+	switch impl {
+	case "global":
+		sa, err := NewSuccessiveApprox(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return NewSynchronized(sa)
+	case "sharded":
+		s, err := NewShardedSynchronized(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Fatalf("unknown impl %q", impl)
+	return nil
+}
+
+// BenchmarkConcurrentEstimator measures multi-goroutine Estimate/
+// Feedback throughput of the global-mutex Synchronized baseline against
+// the lock-striped ShardedSynchronized, over 1/2/4/8 goroutines — the
+// scaling curve recorded in BENCH_3.json. GOMAXPROCS is pinned to the
+// goroutine count inside each sub-benchmark so the curve measures lock
+// behaviour under true scheduling pressure even on small CI machines.
+// The workload is the serving mix: 15 estimates per feedback event,
+// all groups pre-seeded (steady state, the read-mostly regime the
+// sharded fast path targets).
+func BenchmarkConcurrentEstimator(b *testing.B) {
+	for _, impl := range []string{"global", "sharded"} {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("impl=%s/goroutines=%d", impl, g), func(b *testing.B) {
+				est := newBenchEstimator(b, impl)
+				// Pre-seed every group so the timed region never takes a
+				// creation (write) lock on the sharded path.
+				for i := 0; i < benchGroups; i++ {
+					j := benchEstJob(i)
+					e := est.Estimate(j)
+					est.Feedback(Outcome{Job: j, Allocated: e, Success: true})
+				}
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(g))
+				b.SetParallelism(1) // g goroutines total (parallelism × GOMAXPROCS)
+				var nextWorker atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					// Stride each worker through a disjoint slice of the
+					// working set, deterministically.
+					i := int(nextWorker.Add(1)) * 7919
+					for pb.Next() {
+						j := benchEstJob(i)
+						if i%16 == 0 {
+							est.Feedback(Outcome{Job: j, Allocated: j.ReqMem, Success: false})
+						} else {
+							est.Estimate(j)
+						}
+						i++
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			})
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package estimate
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+func newSharded(t testing.TB, cfg SuccessiveApproxConfig, shards int) *ShardedSynchronized {
+	t.Helper()
+	s, err := NewShardedSynchronized(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// shardJob spreads work across many similarity groups (and therefore
+// shards) deterministically.
+func shardJob(i int) *trace.Job {
+	u := i % 53
+	a := i % 7
+	return &trace.Job{
+		ID: i, Nodes: 1, Runtime: 100, ReqTime: 200,
+		ReqMem:  units.MemSize(64 + 8*float64(u%4)),
+		UsedMem: units.MemSize(4 + float64(a)),
+		User:    u, App: a, Status: trace.StatusCompleted,
+	}
+}
+
+func TestShardedMatchesPlainSuccessiveApprox(t *testing.T) {
+	cfg := SuccessiveApproxConfig{Alpha: 2, Beta: 0.5,
+		Round: fixedRounder(4, 8, 16, 32, 64, 128)}
+	plain, err := NewSuccessiveApprox(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := newSharded(t, cfg, 8)
+
+	// Single-goroutine, identical call sequence: the sharded wrapper must
+	// be observationally identical to Algorithm 1 — same estimates, same
+	// group count, byte-identical persisted state.
+	for i := 0; i < 2000; i++ {
+		j := shardJob(i)
+		ep, es := plain.Estimate(j), sharded.Estimate(j)
+		if !ep.Eq(es) {
+			t.Fatalf("job %d: plain estimate %v, sharded %v", i, ep, es)
+		}
+		if i%3 != 0 {
+			o := Outcome{Job: j, Allocated: ep, Success: j.UsedMem.Fits(ep)}
+			plain.Feedback(o)
+			sharded.Feedback(o)
+		}
+	}
+	if plain.NumGroups() != sharded.NumGroups() {
+		t.Fatalf("groups: plain %d, sharded %d", plain.NumGroups(), sharded.NumGroups())
+	}
+
+	var bp, bs bytes.Buffer
+	if err := plain.SaveState(&bp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.SaveState(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bp.Bytes(), bs.Bytes()) {
+		t.Errorf("persisted state differs between plain and sharded:\nplain:\n%s\nsharded:\n%s",
+			bp.String(), bs.String())
+	}
+}
+
+func TestShardedEmptyStateMatchesPlain(t *testing.T) {
+	cfg := SuccessiveApproxConfig{Alpha: 2}
+	plain, err := NewSuccessiveApprox(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := newSharded(t, cfg, 4)
+	var bp, bs bytes.Buffer
+	if err := plain.SaveState(&bp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.SaveState(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bp.Bytes(), bs.Bytes()) {
+		t.Errorf("empty state differs:\nplain:\n%s\nsharded:\n%s", bp.String(), bs.String())
+	}
+}
+
+func TestShardedStateInterchangeable(t *testing.T) {
+	cfg := SuccessiveApproxConfig{Alpha: 2}
+	sharded := newSharded(t, cfg, 16)
+	for i := 0; i < 500; i++ {
+		j := shardJob(i)
+		e := sharded.Estimate(j)
+		sharded.Feedback(Outcome{Job: j, Allocated: e, Success: true})
+	}
+	var buf bytes.Buffer
+	if err := sharded.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sharded → plain: the state file carries no shard layout.
+	plain, err := NewSuccessiveApprox(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Plain → sharded with a different shard count.
+	resharded := newSharded(t, cfg, 2)
+	if err := resharded.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumGroups() != sharded.NumGroups() || resharded.NumGroups() != sharded.NumGroups() {
+		t.Fatalf("groups after round-trip: plain %d, resharded %d, want %d",
+			plain.NumGroups(), resharded.NumGroups(), sharded.NumGroups())
+	}
+	for i := 0; i < 500; i += 37 {
+		j := shardJob(i)
+		want := sharded.Estimate(j)
+		if got := plain.Estimate(j); !got.Eq(want) {
+			t.Errorf("job %d: plain restored estimate %v, want %v", i, got, want)
+		}
+		if got := resharded.Estimate(j); !got.Eq(want) {
+			t.Errorf("job %d: resharded restored estimate %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestShardedConcurrentHammer drives estimates, feedback, saves, loads
+// and stats from many goroutines at once; it exists to fail under
+// -race if any path touches shard state outside its lock.
+func TestShardedConcurrentHammer(t *testing.T) {
+	sharded := newSharded(t, SuccessiveApproxConfig{Alpha: 2}, 4)
+	const (
+		workers = 8
+		iters   = 400
+	)
+	var seed bytes.Buffer
+	if err := sharded.SaveState(&seed); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				j := shardJob(w*iters + i)
+				switch i % 8 {
+				case 6:
+					var buf bytes.Buffer
+					if err := sharded.SaveState(&buf); err != nil {
+						t.Errorf("SaveState: %v", err)
+						return
+					}
+				case 7:
+					if w == 0 {
+						if err := sharded.LoadState(bytes.NewReader(seed.Bytes())); err != nil {
+							t.Errorf("LoadState: %v", err)
+							return
+						}
+					} else {
+						sharded.ConcurrencyStats()
+						sharded.NumGroups()
+					}
+				default:
+					e := sharded.Estimate(j)
+					sharded.Feedback(Outcome{Job: j, Allocated: e, Success: i%3 != 0})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := sharded.NumGroups(); n == 0 {
+		t.Error("no groups learned under concurrency")
+	}
+}
+
+func TestShardedConcurrencyStats(t *testing.T) {
+	sharded := newSharded(t, SuccessiveApproxConfig{Alpha: 2}, 4)
+	j := shardJob(1)
+	sharded.Estimate(j) // first sight: miss, creates the group
+	sharded.Estimate(j) // read-lock hit
+	sharded.Estimate(j) // read-lock hit
+	sharded.Feedback(Outcome{Job: j, Allocated: j.ReqMem, Success: true})
+
+	st := sharded.ConcurrencyStats()
+	if st.Shards != 4 {
+		t.Errorf("Shards = %d, want 4", st.Shards)
+	}
+	if st.Estimates != 3 {
+		t.Errorf("Estimates = %d, want 3", st.Estimates)
+	}
+	if st.EstimateReadHits != 2 {
+		t.Errorf("EstimateReadHits = %d, want 2 (first sight must miss the read path)", st.EstimateReadHits)
+	}
+	if st.Feedbacks != 1 {
+		t.Errorf("Feedbacks = %d, want 1", st.Feedbacks)
+	}
+	if st.Groups != 1 {
+		t.Errorf("Groups = %d, want 1", st.Groups)
+	}
+}
+
+func TestShardedShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {32, 32}, {33, 64},
+	} {
+		s := newSharded(t, SuccessiveApproxConfig{Alpha: 2}, tc.in)
+		if got := s.NumShards(); got != tc.want {
+			t.Errorf("NewShardedSynchronized(%d): %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+	if _, err := NewShardedSynchronized(SuccessiveApproxConfig{Alpha: 2}, 1<<20); err == nil {
+		t.Error("expected error for absurd shard count")
+	}
+	if _, err := NewShardedSynchronized(SuccessiveApproxConfig{Alpha: 0.5}, 4); err == nil {
+		t.Error("expected config validation error to propagate")
+	}
+}
+
+// TestShardedSingleShardDegenerate covers the shift == 64 edge: with one
+// shard every hash must route to index 0 (Go defines x >> 64 == 0 for
+// uint64).
+func TestShardedSingleShardDegenerate(t *testing.T) {
+	s := newSharded(t, SuccessiveApproxConfig{Alpha: 2}, 1)
+	for i := 0; i < 200; i++ {
+		j := shardJob(i)
+		e := s.Estimate(j)
+		s.Feedback(Outcome{Job: j, Allocated: e, Success: true})
+	}
+	if s.NumGroups() == 0 {
+		t.Fatal("single-shard estimator learned nothing")
+	}
+}
+
+func TestShardedGroupEstimate(t *testing.T) {
+	s := newSharded(t, SuccessiveApproxConfig{Alpha: 2}, 8)
+	j := shardJob(3)
+	est := s.Estimate(j)
+	s.Feedback(Outcome{Job: j, Allocated: est, Success: true})
+	k := similarity.ByUserAppReqMem(j)
+	got, ok := s.GroupEstimate(k)
+	if !ok {
+		t.Fatal("GroupEstimate: group not found after feedback")
+	}
+	if want := est.Div(2); !got.Eq(want) {
+		t.Errorf("GroupEstimate = %v, want %v after one success with α=2", got, want)
+	}
+	if _, ok := s.GroupEstimate(similarity.Key{User: 999, App: 999, ReqMemKB: 1}); ok {
+		t.Error("GroupEstimate found a never-seen group")
+	}
+}
+
+func TestConcurrencySafeMarker(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est Estimator = sa
+	if _, ok := est.(ConcurrencySafe); ok {
+		t.Error("bare SuccessiveApprox must not be ConcurrencySafe")
+	}
+	est = NewSynchronized(sa)
+	if _, ok := est.(ConcurrencySafe); !ok {
+		t.Error("Synchronized must be ConcurrencySafe")
+	}
+	est = newSharded(t, SuccessiveApproxConfig{Alpha: 2}, 2)
+	if _, ok := est.(ConcurrencySafe); !ok {
+		t.Error("ShardedSynchronized must be ConcurrencySafe")
+	}
+}
+
+func TestCanPersist(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		est  Estimator
+		want bool
+	}{
+		{"bare successive-approx", sa, true},
+		{"synchronized persisting", NewSynchronized(sa), true},
+		{"synchronized non-persisting", NewSynchronized(Identity{}), false},
+		{"sharded", newSharded(t, SuccessiveApproxConfig{Alpha: 2}, 2), true},
+		{"non-persisting", Identity{}, false},
+	} {
+		if got := CanPersist(tc.est); got != tc.want {
+			t.Errorf("CanPersist(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSynchronizedNumGroups(t *testing.T) {
+	sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSynchronized(sa)
+	if got := s.NumGroups(); got != 0 {
+		t.Fatalf("NumGroups = %d before any estimate", got)
+	}
+	s.Estimate(shardJob(1))
+	if got := s.NumGroups(); got != 1 {
+		t.Errorf("NumGroups = %d, want 1", got)
+	}
+	st := s.ConcurrencyStats()
+	if st.Shards != 1 || st.Groups != 1 {
+		t.Errorf("ConcurrencyStats = %+v, want Shards=1 Groups=1", st)
+	}
+	if got := NewSynchronized(Identity{}).NumGroups(); got != 0 {
+		t.Errorf("NumGroups on group-less estimator = %d, want 0", got)
+	}
+}
+
+// TestShardedNameStable pins the diagnostic name format used by
+// cmd/schedd logs and GET /status.
+func TestShardedNameStable(t *testing.T) {
+	s := newSharded(t, SuccessiveApproxConfig{Alpha: 2}, 4)
+	want := fmt.Sprintf("sharded(%s, 4 shards)", "successive-approx(α=2,β=0)")
+	if got := s.Name(); got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+}

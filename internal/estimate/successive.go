@@ -131,11 +131,12 @@ func (s *SuccessiveApprox) estimateGroup(g *saGroup, j *trace.Job) units.MemSize
 }
 
 func (s *SuccessiveApprox) group(j *trace.Job) *saGroup {
-	return s.groupByKey(s.cfg.Key(j), j)
+	k := s.cfg.Key(j)
+	return s.groupByKeyHash(k, hashKey(k), j)
 }
 
-func (s *SuccessiveApprox) groupByKey(k similarity.Key, j *trace.Job) *saGroup {
-	h, found := s.groups.lookupOrAdd(k)
+func (s *SuccessiveApprox) groupByKeyHash(k similarity.Key, hash uint64, j *trace.Job) *saGroup {
+	h, found := s.groups.lookupOrAddHash(k, hash)
 	g := s.groups.at(h)
 	if !found {
 		// Algorithm 1 line 4: initialise Eᵢ ← R, αᵢ ← α.
@@ -144,16 +145,41 @@ func (s *SuccessiveApprox) groupByKey(k similarity.Key, j *trace.Job) *saGroup {
 	return g
 }
 
-// Feedback implements Algorithm 1 lines 8–13.
-func (s *SuccessiveApprox) Feedback(o Outcome) {
-	k := s.cfg.Key(o.Job)
-	g := s.groupByKey(k, o.Job)
+// estimateKnown is the read-only half of Estimate: it returns j's
+// estimate when its similarity group already exists and mutates nothing,
+// reporting ok=false for never-seen groups instead of creating them.
+// hash must be hashKey(k). It is the sharded wrapper's fast path — safe
+// under a shard's read lock, where Estimate's group creation would not
+// be.
+func (s *SuccessiveApprox) estimateKnown(k similarity.Key, hash uint64, j *trace.Job) (units.MemSize, bool) {
+	h := s.groups.lookupHash(k, hash)
+	if h < 0 {
+		return 0, false
+	}
+	return s.estimateGroup(s.groups.at(h), j), true
+}
+
+// estimateByKeyHash is Estimate for a pre-derived key and hash,
+// creating the group on first sight (Algorithm 1 line 4).
+func (s *SuccessiveApprox) estimateByKeyHash(k similarity.Key, hash uint64, j *trace.Job) units.MemSize {
+	return s.estimateGroup(s.groupByKeyHash(k, hash, j), j)
+}
+
+// feedbackByKeyHash is Feedback for a pre-derived key and hash.
+func (s *SuccessiveApprox) feedbackByKeyHash(k similarity.Key, hash uint64, o Outcome) {
+	g := s.groupByKeyHash(k, hash, o.Job)
 	if len(s.traced) > 0 && s.traced[k] {
-		// One trajectory entry per executed dispatch — the estimation
-		// cycles plotted in Figure 7.
 		g.trajectory = append(g.trajectory, o.Allocated)
 	}
 	s.feedbackGroup(g, o)
+}
+
+// Feedback implements Algorithm 1 lines 8–13. A traced group
+// additionally records one trajectory entry per executed dispatch — the
+// estimation cycles plotted in Figure 7.
+func (s *SuccessiveApprox) Feedback(o Outcome) {
+	k := s.cfg.Key(o.Job)
+	s.feedbackByKeyHash(k, hashKey(k), o)
 }
 
 // FeedbackByHandle is Feedback for a pre-resolved group handle.

@@ -82,6 +82,27 @@ func (s *Synchronized) LoadState(r io.Reader) error {
 	return p.LoadState(r)
 }
 
+// NumGroups returns the wrapped estimator's similarity-group count, or
+// 0 when the inner estimator does not track groups.
+func (s *Synchronized) NumGroups() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.inner.(interface{ NumGroups() int }); ok {
+		return g.NumGroups()
+	}
+	return 0
+}
+
+// ConcurrencyStats reports the wrapper's serving shape: a single global
+// lock has one "shard" and no lock-wait-free fast path, so only the
+// group count is populated.
+func (s *Synchronized) ConcurrencyStats() ConcurrencyStats {
+	return ConcurrencyStats{Shards: 1, Groups: s.NumGroups()}
+}
+
+// concurrencySafe marks the wrapper for ConcurrencySafe.
+func (s *Synchronized) concurrencySafe() {}
+
 // Unwrap exposes the inner estimator for single-goroutine phases
 // (startup inspection, tests). Callers must not retain it across
 // concurrent use.

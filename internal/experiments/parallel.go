@@ -3,19 +3,45 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
+// workerOverride holds the pool size set by SetWorkers; 0 means "size to
+// the machine". An atomic so sweeps and tests may adjust it while other
+// sweeps run.
+var workerOverride atomic.Int64
+
+// SetWorkers fixes the worker-pool size used by experiment sweeps.
+// n <= 0 restores the default (GOMAXPROCS). Worker count only changes
+// wall-clock time, never results: every sweep point owns its cluster,
+// estimator, and RNG, and results land in their input slot.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+}
+
+// Workers reports the pool size the next sweep will use.
+func Workers() int {
+	if n := int(workerOverride.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // parallelFor runs fn(i) for i in [0, n) across a bounded worker pool
-// and returns the first error. Experiment sweeps are embarrassingly
+// and returns the first error (by index, so the reported error is the
+// same whatever the worker count). Experiment sweeps are embarrassingly
 // parallel — every simulation owns its cluster, estimator, and RNG — so
 // results are identical to sequential execution; only wall-clock time
-// changes. The pool is sized to the machine (GOMAXPROCS), matching how
-// the sweeps are CPU-bound.
+// changes. The pool is sized by Workers: the machine's GOMAXPROCS
+// unless SetWorkers pinned it.
 func parallelFor(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := Workers()
 	if workers > n {
 		workers = n
 	}
@@ -31,6 +57,7 @@ func parallelFor(n int, fn func(i int) error) error {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		firstIdx int
 	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -40,8 +67,8 @@ func parallelFor(n int, fn func(i int) error) error {
 			for i := range next {
 				if err := fn(i); err != nil {
 					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					if firstErr == nil || i < firstIdx {
+						firstErr, firstIdx = err, i
 					}
 					mu.Unlock()
 				}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+)
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("default Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Errorf("Workers() after SetWorkers(3) = %d", got)
+	}
+	SetWorkers(0)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("SetWorkers(0) did not restore the default: %d", got)
+	}
+	SetWorkers(-7)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("negative SetWorkers did not restore the default: %d", got)
+	}
+}
+
+// TestParallelForWorkerCountInvariance pins the -workers contract: the
+// results and the reported error are identical whatever the pool size,
+// because results land at their input index and the lowest-index error
+// wins.
+func TestParallelForWorkerCountInvariance(t *testing.T) {
+	defer SetWorkers(0)
+	const n = 64
+	errA := errors.New("boom at 11")
+	errB := errors.New("boom at 50")
+	var want []int
+	for _, w := range []int{1, 2, 3, 8, n + 5} {
+		SetWorkers(w)
+		got := make([]int, n)
+		if err := parallelFor(n, func(i int) error {
+			got[i] = 3*i + 1
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+		// Two failing points: the lowest index is reported whatever the
+		// worker count (the sequential path stops there; the parallel
+		// path drains but keeps the lowest-index error).
+		err := parallelFor(n, func(i int) error {
+			switch i {
+			case 11:
+				return errA
+			case 50:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want the lowest-index error", w, err)
+		}
+	}
+}
+
+// TestLoadSweepWorkerCountInvariance runs the real sweep pipeline with
+// the pool pinned to different sizes and demands bit-identical tables —
+// the guarantee cmd/sweep -workers relies on.
+func TestLoadSweepWorkerCountInvariance(t *testing.T) {
+	defer SetWorkers(0)
+	s := SmallScale()
+	s.Loads = []float64{0.5, 0.9}
+	SetWorkers(1)
+	seq, err := LoadSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		SetWorkers(w)
+		par, err := LoadSweep(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq.Loads {
+			if seq.Baseline[i] != par.Baseline[i] || seq.Estimated[i] != par.Estimated[i] {
+				t.Fatalf("workers=%d: sweep diverges at load %g", w, seq.Loads[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"overprov/internal/estimate"
+)
+
+// maxBatchItems bounds one batch request, keeping a single client from
+// parking the job-table lock (and the decoder) on an arbitrarily large
+// payload.
+const maxBatchItems = 4096
+
+// SubmitBatchRequest is the POST /api/v1/jobs:batch payload.
+type SubmitBatchRequest struct {
+	Jobs []SubmitRequest `json:"jobs"`
+}
+
+// CompleteBatchRequest is the POST /api/v1/complete:batch payload.
+type CompleteBatchRequest struct {
+	Completions []CompletionItem `json:"completions"`
+}
+
+// CompletionItem is one completion report within a batch.
+type CompletionItem struct {
+	ID        int64   `json:"id"`
+	Success   bool    `json:"success"`
+	UsedMemMB float64 `json:"used_mem_mb,omitempty"`
+}
+
+// BatchItemResult is one item's outcome within a batch response: either
+// the job's resulting view or a per-item error. The batch as a whole
+// answers 200 as long as the request itself was well-formed — per-item
+// failures must not make the other items' outcomes unreachable.
+type BatchItemResult struct {
+	Job   *JobView `json:"job,omitempty"`
+	Error string   `json:"error,omitempty"`
+}
+
+// BatchResponse is the jobs:batch and complete:batch response body.
+type BatchResponse struct {
+	Results []BatchItemResult `json:"results"`
+}
+
+// decodeBatch rejects malformed or oversized batch payloads.
+func decodeBatch(w http.ResponseWriter, r *http.Request, v interface{}, n func() int) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	if n() == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return false
+	}
+	if n() > maxBatchItems {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds the %d-item limit", n(), maxBatchItems)
+		return false
+	}
+	return true
+}
+
+// handleSubmitBatch is handleSubmit amortized: one JSON decode and one
+// lock acquisition enqueue the whole batch, then a single dispatch pass
+// starts everything that fits.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req SubmitBatchRequest
+	if !decodeBatch(w, r, &req, func() int { return len(req.Jobs) }) {
+		return
+	}
+	results := make([]BatchItemResult, len(req.Jobs))
+	jobs := make([]*job, len(req.Jobs))
+	s.mu.Lock()
+	for i := range req.Jobs {
+		if err := req.Jobs[i].validate(); err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		jobs[i] = s.enqueueLocked(req.Jobs[i])
+	}
+	s.mu.Unlock()
+	s.dispatch()
+	s.mu.Lock()
+	for i, j := range jobs {
+		if j != nil {
+			v := s.viewLocked(j)
+			results[i].Job = &v
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// handleCompleteBatch applies a batch of completion reports under one
+// lock acquisition, then feeds the estimator with every outcome (no
+// lock held) before the single re-dispatch pass — the same
+// feedback-before-dispatch order handleComplete guarantees per job.
+func (s *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
+	var req CompleteBatchRequest
+	if !decodeBatch(w, r, &req, func() int { return len(req.Completions) }) {
+		return
+	}
+	results := make([]BatchItemResult, len(req.Completions))
+	jobs := make([]*job, len(req.Completions))
+	outcomes := make([]estimate.Outcome, 0, len(req.Completions))
+	s.mu.Lock()
+	for i, c := range req.Completions {
+		j, o, cerr := s.finishLocked(c.ID, CompleteRequest{Success: c.Success, UsedMemMB: c.UsedMemMB})
+		if cerr != nil {
+			results[i].Error = cerr.msg
+			continue
+		}
+		jobs[i] = j
+		outcomes = append(outcomes, o)
+	}
+	s.mu.Unlock()
+	for _, o := range outcomes {
+		s.feedback(o)
+	}
+	s.dispatch()
+	s.mu.Lock()
+	for i, j := range jobs {
+		if j != nil {
+			v := s.viewLocked(j)
+			results[i].Job = &v
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}

@@ -1,0 +1,182 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/server"
+	"overprov/internal/units"
+)
+
+// The serving benchmarks live in server_test (external test package) and
+// speak only the public HTTP API, so the same file measures the daemon
+// before and after internal refactors — the before/after pair recorded
+// in BENCH_3.json.
+
+// benchServer builds a daemon with capacity far beyond the benchmark's
+// in-flight job count, so dispatch never head-blocks.
+func benchServer(b *testing.B) http.Handler {
+	cl, err := cluster.New(cluster.Spec{Nodes: 1 << 20, Mem: units.MemSize(64)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{
+		Alpha: 2, Round: cl,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Cluster: cl, Estimator: estimate.NewSynchronized(sa)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv.Handler()
+}
+
+// postJSON drives the handler directly through httptest (no network),
+// so the measurement is the daemon's own cost: routing, JSON, locking,
+// estimation, matching.
+func postJSON(h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func benchSubmitBody(worker, i int) []byte {
+	return []byte(fmt.Sprintf(
+		`{"user":%d,"app":%d,"nodes":1,"req_mem_mb":64,"req_time_s":600}`,
+		(worker*31+i)%53, i%7))
+}
+
+// submitComplete runs one job lifecycle over the per-job endpoints.
+func submitComplete(b *testing.B, h http.Handler, worker, i int) {
+	rec := postJSON(h, "/api/v1/jobs", benchSubmitBody(worker, i))
+	if rec.Code != http.StatusCreated {
+		b.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	var v struct {
+		ID    int64  `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		b.Fatal(err)
+	}
+	if v.State != "running" {
+		b.Fatalf("job %d is %q, not running", v.ID, v.State)
+	}
+	rec = postJSON(h, fmt.Sprintf("/api/v1/jobs/%d/complete", v.ID), []byte(`{"success":true}`))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("complete: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// submitCompleteBatch runs n job lifecycles through the batch endpoints
+// with two requests total, the amortization the batch API exists for.
+func submitCompleteBatch(b *testing.B, h http.Handler, worker, start, n int) {
+	var sb bytes.Buffer
+	sb.WriteString(`{"jobs":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.Write(benchSubmitBody(worker, start+i))
+	}
+	sb.WriteString(`]}`)
+	rec := postJSON(h, "/api/v1/jobs:batch", sb.Bytes())
+	if rec.Code != http.StatusOK {
+		b.Fatalf("jobs:batch: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Results []struct {
+			Job *struct {
+				ID    int64  `json:"id"`
+				State string `json:"state"`
+			} `json:"job"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		b.Fatal(err)
+	}
+	if len(resp.Results) != n {
+		b.Fatalf("jobs:batch returned %d results, want %d", len(resp.Results), n)
+	}
+	var cb bytes.Buffer
+	cb.WriteString(`{"completions":[`)
+	for i, r := range resp.Results {
+		if r.Job == nil || r.Error != "" {
+			b.Fatalf("jobs:batch item %d: %+v", i, r)
+		}
+		if i > 0 {
+			cb.WriteByte(',')
+		}
+		fmt.Fprintf(&cb, `{"id":%d,"success":true}`, r.Job.ID)
+	}
+	cb.WriteString(`]}`)
+	rec = postJSON(h, "/api/v1/complete:batch", cb.Bytes())
+	if rec.Code != http.StatusOK {
+		b.Fatalf("complete:batch: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServerSubmitComplete measures end-to-end daemon throughput in
+// job lifecycles per second (submit + completion report), across
+// 1/2/4/8 concurrent clients. mode=single is one HTTP request per
+// transition — the only protocol the pre-sharding daemon offered, so it
+// is the BENCH_3.json baseline; mode=batch64 amortizes routing, JSON
+// and lock acquisition over 64-job batches. GOMAXPROCS is pinned to the
+// client count like BenchmarkConcurrentEstimator.
+func BenchmarkServerSubmitComplete(b *testing.B) {
+	const batch = 64
+	for _, mode := range []string{"single", "batch64"} {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("mode=%s/goroutines=%d", mode, g), func(b *testing.B) {
+				h := benchServer(b)
+				// Warm the estimator and the job table.
+				submitComplete(b, h, 0, 0)
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(g))
+				b.SetParallelism(1) // g client goroutines
+				var nextWorker atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					worker := int(nextWorker.Add(1))
+					i := 0
+					if mode == "single" {
+						for pb.Next() {
+							submitComplete(b, h, worker, i)
+							i++
+						}
+						return
+					}
+					// Batch mode: each pb.Next() is still one job, so
+					// jobs/s is comparable across modes; flush every
+					// `batch` jobs and drain the remainder at the end.
+					pending := 0
+					for pb.Next() {
+						pending++
+						if pending == batch {
+							submitCompleteBatch(b, h, worker, i, pending)
+							i += pending
+							pending = 0
+						}
+					}
+					if pending > 0 {
+						submitCompleteBatch(b, h, worker, i, pending)
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			})
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+)
+
+// shardedServer builds the production serving stack of cmd/schedd: a
+// ShardedSynchronized estimator in front of a roomy cluster.
+func shardedServer(t *testing.T, nodes int) (*Server, *httptest.Server, *estimate.ShardedSynchronized) {
+	t.Helper()
+	cl, err := cluster.New(cluster.Spec{Nodes: nodes, Mem: 24}, cluster.Spec{Nodes: nodes, Mem: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{
+		Alpha: 2, Round: cl,
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Cluster: cl, Estimator: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, est
+}
+
+func TestBatchSubmitAndComplete(t *testing.T) {
+	_, ts, _ := shardedServer(t, 8)
+	req := SubmitBatchRequest{}
+	for i := 0; i < 5; i++ {
+		req.Jobs = append(req.Jobs, SubmitRequest{
+			User: i, App: 1, Nodes: 1, ReqMemMB: 24, ReqTimeS: 60,
+		})
+	}
+	var resp BatchResponse
+	doJSON(t, "POST", ts.URL+"/api/v1/jobs:batch", req, http.StatusOK, &resp)
+	if len(resp.Results) != 5 {
+		t.Fatalf("results = %d, want 5", len(resp.Results))
+	}
+	var comp CompleteBatchRequest
+	for i, r := range resp.Results {
+		if r.Error != "" || r.Job == nil {
+			t.Fatalf("item %d: %+v", i, r)
+		}
+		if r.Job.State != StateRunning {
+			t.Fatalf("item %d state = %s, want running (16 nodes free)", i, r.Job.State)
+		}
+		comp.Completions = append(comp.Completions, CompletionItem{ID: r.Job.ID, Success: true})
+	}
+	var cresp BatchResponse
+	doJSON(t, "POST", ts.URL+"/api/v1/complete:batch", comp, http.StatusOK, &cresp)
+	for i, r := range cresp.Results {
+		if r.Error != "" || r.Job == nil || r.Job.State != StateDone {
+			t.Fatalf("completion %d: %+v", i, r)
+		}
+	}
+	var st StatusView
+	doJSON(t, "GET", ts.URL+"/api/v1/status", nil, http.StatusOK, &st)
+	if st.Done != 5 || st.Running != 0 || st.Queued != 0 {
+		t.Errorf("status after batch round-trip = %+v", st)
+	}
+}
+
+// TestBatchQueuesInOrder pins FCFS semantics across the batch path: a
+// batch larger than the cluster starts the head and queues the tail in
+// submission order.
+func TestBatchQueuesInOrder(t *testing.T) {
+	_, ts, _ := shardedServer(t, 1) // 1×24MB + 1×32MB nodes
+	req := SubmitBatchRequest{}
+	for i := 0; i < 4; i++ {
+		req.Jobs = append(req.Jobs, SubmitRequest{
+			User: 1, App: 1, Nodes: 2, ReqMemMB: 24, ReqTimeS: 60,
+		})
+	}
+	var resp BatchResponse
+	doJSON(t, "POST", ts.URL+"/api/v1/jobs:batch", req, http.StatusOK, &resp)
+	if s := resp.Results[0].Job.State; s != StateRunning {
+		t.Errorf("head state = %s, want running", s)
+	}
+	for i := 1; i < 4; i++ {
+		j := resp.Results[i].Job
+		if j.State != StateQueued || j.QueuePos != i {
+			t.Errorf("item %d: state %s queue_pos %d, want queued at %d", i, j.State, j.QueuePos, i)
+		}
+	}
+}
+
+func TestBatchPerItemErrors(t *testing.T) {
+	_, ts, _ := shardedServer(t, 8)
+	req := SubmitBatchRequest{Jobs: []SubmitRequest{
+		{User: 1, App: 1, Nodes: 1, ReqMemMB: 24, ReqTimeS: 60},
+		{User: 1, App: 1, Nodes: 0, ReqMemMB: 24, ReqTimeS: 60}, // invalid
+		{User: 1, App: 1, Nodes: 1, ReqMemMB: -5, ReqTimeS: 60}, // invalid
+	}}
+	var resp BatchResponse
+	doJSON(t, "POST", ts.URL+"/api/v1/jobs:batch", req, http.StatusOK, &resp)
+	if resp.Results[0].Error != "" || resp.Results[0].Job == nil {
+		t.Errorf("valid item rejected: %+v", resp.Results[0])
+	}
+	for i := 1; i < 3; i++ {
+		if resp.Results[i].Error == "" || resp.Results[i].Job != nil {
+			t.Errorf("invalid item %d accepted: %+v", i, resp.Results[i])
+		}
+	}
+
+	id := resp.Results[0].Job.ID
+	comp := CompleteBatchRequest{Completions: []CompletionItem{
+		{ID: id, Success: true},
+		{ID: 999999, Success: true}, // unknown job
+		{ID: id, Success: true},     // already done by item 0 → conflict
+	}}
+	var cresp BatchResponse
+	doJSON(t, "POST", ts.URL+"/api/v1/complete:batch", comp, http.StatusOK, &cresp)
+	if cresp.Results[0].Error != "" || cresp.Results[0].Job == nil {
+		t.Errorf("valid completion failed: %+v", cresp.Results[0])
+	}
+	if cresp.Results[1].Error == "" {
+		t.Errorf("unknown-job completion succeeded: %+v", cresp.Results[1])
+	}
+	if cresp.Results[2].Error == "" {
+		t.Errorf("double completion succeeded: %+v", cresp.Results[2])
+	}
+}
+
+func TestBatchBadRequests(t *testing.T) {
+	_, ts, _ := shardedServer(t, 2)
+	doJSON(t, "POST", ts.URL+"/api/v1/jobs:batch", SubmitBatchRequest{}, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/api/v1/complete:batch", CompleteBatchRequest{}, http.StatusBadRequest, nil)
+	over := SubmitBatchRequest{Jobs: make([]SubmitRequest, maxBatchItems+1)}
+	for i := range over.Jobs {
+		over.Jobs[i] = SubmitRequest{Nodes: 1, ReqMemMB: 1}
+	}
+	doJSON(t, "POST", ts.URL+"/api/v1/jobs:batch", over, http.StatusBadRequest, nil)
+}
+
+func TestMetrics(t *testing.T) {
+	srv, ts, _ := shardedServer(t, 8)
+	a := submit(t, ts, 1, 1, 1, 24)
+	complete(t, ts, a.ID, true)
+	b := submit(t, ts, 1, 1, 1, 24) // same group: read-path estimate
+	complete(t, ts, b.ID, true)
+
+	m := srv.Metrics()
+	if m.RequestsServed != 4 {
+		t.Errorf("RequestsServed = %d, want 4", m.RequestsServed)
+	}
+	if m.FeedbackEvents != 2 {
+		t.Errorf("FeedbackEvents = %d, want 2", m.FeedbackEvents)
+	}
+	if m.Estimator.Shards != 8 {
+		t.Errorf("Estimator.Shards = %d, want 8", m.Estimator.Shards)
+	}
+	if m.Estimator.Groups != 1 {
+		t.Errorf("Estimator.Groups = %d, want 1", m.Estimator.Groups)
+	}
+	if m.Estimator.EstimateReadHits == 0 {
+		t.Error("EstimateReadHits = 0: repeat estimates must take the read-lock fast path")
+	}
+
+	// The handler serves the same counters (itself not counted: it is
+	// mounted on the debug listener, not the API handler).
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics handler: %d", rec.Code)
+	}
+	var mv MetricsView
+	if err := jsonDecode(rec.Body, &mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv.RequestsServed < 4 || mv.Estimator.Shards != 8 {
+		t.Errorf("served metrics = %+v", mv)
+	}
+}
+
+// TestConcurrentBatchAndSingleClients hammers every mutating endpoint —
+// single and batch submits, single and batch completions, estimates
+// dumps, status scrapes and out-of-band saves — from many goroutines.
+// This is the regression test for the old handleComplete holding the
+// server lock across estimator feedback: with split locking it must
+// stay deadlock-free and conservation must hold, and under -race it
+// proves the estimator is never touched unsynchronized.
+func TestConcurrentBatchAndSingleClients(t *testing.T) {
+	srv, ts, est := shardedServer(t, 16)
+	const (
+		workers = 8
+		rounds  = 12
+		batch   = 5
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch i % 4 {
+				case 0: // single-job round trip, alternating success
+					v := submit(t, ts, w+1, i%3+1, 1, 16)
+					if v.State == StateRunning {
+						complete(t, ts, v.ID, i%2 == 0)
+					}
+				case 1: // batch round trip
+					req := SubmitBatchRequest{}
+					for k := 0; k < batch; k++ {
+						req.Jobs = append(req.Jobs, SubmitRequest{
+							User: w + 1, App: k%3 + 1, Nodes: 1, ReqMemMB: 16, ReqTimeS: 60,
+						})
+					}
+					var resp BatchResponse
+					doJSON(t, "POST", ts.URL+"/api/v1/jobs:batch", req, http.StatusOK, &resp)
+					comp := CompleteBatchRequest{}
+					for _, r := range resp.Results {
+						if r.Job != nil && r.Job.State == StateRunning {
+							comp.Completions = append(comp.Completions,
+								CompletionItem{ID: r.Job.ID, Success: true})
+						}
+					}
+					if len(comp.Completions) > 0 {
+						var cresp BatchResponse
+						doJSON(t, "POST", ts.URL+"/api/v1/complete:batch", comp, http.StatusOK, &cresp)
+					}
+				case 2: // read the learned state while others write it
+					resp, err := http.Get(ts.URL + "/api/v1/estimates")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				case 3: // out-of-band saver + metrics scrape
+					if err := est.SaveState(io.Discard); err != nil {
+						t.Errorf("SaveState: %v", err)
+						return
+					}
+					_ = srv.Metrics()
+					var st StatusView
+					doJSON(t, "GET", ts.URL+"/api/v1/status", nil, http.StatusOK, &st)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Drain: complete whatever is still running so conservation is easy
+	// to state. Jobs queued behind a blocked head stay queued.
+	var st StatusView
+	doJSON(t, "GET", ts.URL+"/api/v1/status", nil, http.StatusOK, &st)
+	submitted := workers * (rounds / 4 * (1 + batch))
+	if total := st.Running + st.Queued + st.Done + st.Failed + st.Rejected; total != submitted {
+		t.Errorf("job conservation broken: %d tracked, %d submitted (%+v)", total, submitted, st)
+	}
+	m := srv.Metrics()
+	if m.FeedbackEvents == 0 || m.Estimator.Estimates == 0 {
+		t.Errorf("metrics did not move: %+v", m)
+	}
+}
+
+// TestAutoWrapUnsafeEstimator pins the construction-time guarantee: a
+// bare estimator (single-goroutine by contract) handed to New must be
+// wrapped before the split-locked server calls it concurrently.
+func TestAutoWrapUnsafeEstimator(t *testing.T) {
+	cl, err := cluster.New(cluster.Spec{Nodes: 4, Mem: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{Alpha: 2, Round: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Cluster: cl, Estimator: sa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.est.(*estimate.Synchronized); !ok {
+		t.Fatalf("bare estimator not wrapped: %T", srv.est)
+	}
+	// An already-safe estimator is used as-is.
+	sh, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{Alpha: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(Config{Cluster: cl, Estimator: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.est != estimate.ConcurrencySafe(sh) {
+		t.Fatalf("concurrency-safe estimator re-wrapped: %T", srv2.est)
+	}
+}
+
+// TestEstimatesNotImplemented pins the 501 for estimators with no
+// persistent state, including through the auto-wrap.
+func TestEstimatesNotImplemented(t *testing.T) {
+	cl, err := cluster.New(cluster.Spec{Nodes: 4, Mem: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Cluster: cl, Estimator: estimate.Identity{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	doJSON(t, "GET", ts.URL+"/api/v1/estimates", nil, http.StatusNotImplemented, nil)
+}
+
+func jsonDecode(r io.Reader, v interface{}) error {
+	return json.NewDecoder(r).Decode(v)
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"net/http"
+
+	"overprov/internal/estimate"
+)
+
+// MetricsView is the GET /api/v1/metrics payload: the daemon's serving
+// counters plus the estimator's concurrency counters. cmd/schedd mounts
+// MetricsHandler on the -debug-addr listener next to net/http/pprof.
+type MetricsView struct {
+	// RequestsServed counts every API request the handler has seen.
+	RequestsServed uint64 `json:"requests_served"`
+	// FeedbackEvents counts completion reports delivered to the
+	// estimator (batch items count individually).
+	FeedbackEvents uint64 `json:"feedback_events"`
+	// Estimator carries the wrapper's counters: shard count, similarity
+	// groups, estimates served, and the lock-wait-free read-path hits.
+	Estimator estimate.ConcurrencyStats `json:"estimator"`
+}
+
+// concurrencyStatser is implemented by both estimate.Synchronized and
+// estimate.ShardedSynchronized.
+type concurrencyStatser interface {
+	ConcurrencyStats() estimate.ConcurrencyStats
+}
+
+// Metrics snapshots the serving counters. Reads only atomics and the
+// estimator's own counters — s.mu is not taken, so scraping metrics
+// never slows the serving path.
+func (s *Server) Metrics() MetricsView {
+	m := MetricsView{
+		RequestsServed: s.requests.Load(),
+		FeedbackEvents: s.feedbacks.Load(),
+	}
+	if cs, ok := s.est.(concurrencyStatser); ok {
+		m.Estimator = cs.ConcurrencyStats()
+	}
+	return m
+}
+
+// MetricsHandler serves Metrics as JSON.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+}

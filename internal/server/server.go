@@ -8,14 +8,38 @@
 // The API is JSON over HTTP (stdlib only):
 //
 //	POST /api/v1/jobs                submit {user, app, nodes, req_mem_mb, req_time_s}
+//	POST /api/v1/jobs:batch          submit {"jobs": [...]} in one request
 //	GET  /api/v1/jobs/{id}           job state
 //	POST /api/v1/jobs/{id}/complete  report {success, used_mem_mb}
+//	POST /api/v1/complete:batch      report {"completions": [...]} in one request
 //	GET  /api/v1/status              cluster and queue state
 //	GET  /api/v1/estimates           learned similarity-group state
 //
 // Scheduling is strict FCFS with the paper's failure handling: a job
 // whose completion is reported unsuccessful re-enters the queue at the
 // head and is re-dispatched with the (restored) estimate.
+//
+// # Locking
+//
+// The daemon has exactly two locking domains, never held together:
+//
+//   - s.mu guards the job table, the FCFS queue, the cluster (whose
+//     allocation state is not internally synchronized) and the lifetime
+//     counters. It is held only across in-memory bookkeeping — never
+//     across an estimator call, JSON encoding/decoding, or I/O.
+//   - the estimator's own locks (estimate.Synchronized's mutex or
+//     estimate.ShardedSynchronized's per-shard RWMutexes). The server
+//     calls the estimator only while holding no lock at all, so these
+//     are leaves and the overall lock order is trivially acyclic:
+//     s.mu ≺ nothing, shard locks ≺ nothing.
+//
+// Estimate/Feedback therefore run concurrently with each other and with
+// job bookkeeping, which is what lets a sharded estimator scale with
+// cores; the cost is that dispatch must revalidate the queue head after
+// re-acquiring s.mu (see dispatch), and a re-queued failing job can
+// race a concurrent dispatcher to its restored estimate — the dispatch
+// in the completion's own goroutine always runs after its feedback, so
+// the single-client sequence of the paper is preserved.
 package server
 
 import (
@@ -25,6 +49,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"overprov/internal/cluster"
 	"overprov/internal/estimate"
@@ -44,13 +69,22 @@ const (
 	StateRejected JobState = "rejected"
 )
 
-// SubmitRequest is the POST /jobs payload.
+// SubmitRequest is the POST /jobs payload (and one element of the
+// jobs:batch payload).
 type SubmitRequest struct {
 	User     int     `json:"user"`
 	App      int     `json:"app"`
 	Nodes    int     `json:"nodes"`
 	ReqMemMB float64 `json:"req_mem_mb"`
 	ReqTimeS float64 `json:"req_time_s"`
+}
+
+// validate mirrors the checks handleSubmit has always enforced.
+func (r *SubmitRequest) validate() error {
+	if r.Nodes <= 0 || r.ReqMemMB <= 0 {
+		return fmt.Errorf("nodes and req_mem_mb must be positive (got %d, %g)", r.Nodes, r.ReqMemMB)
+	}
+	return nil
 }
 
 // CompleteRequest is the POST /jobs/{id}/complete payload.
@@ -105,7 +139,11 @@ type PoolView struct {
 
 // Config wires a Server.
 type Config struct {
-	Cluster   *cluster.Cluster
+	Cluster *cluster.Cluster
+	// Estimator serves estimates and learns from feedback. An estimator
+	// that is not already safe for concurrent use (estimate.ConcurrencySafe)
+	// is wrapped in estimate.NewSynchronized at construction, because the
+	// server calls it outside its own lock.
 	Estimator estimate.Estimator
 	// ExplicitFeedback forwards reported usage to the estimator.
 	ExplicitFeedback bool
@@ -114,18 +152,22 @@ type Config struct {
 	MaxAttempts int
 }
 
-// job is the server's internal record.
+// job is the server's internal record. spec and view.ID are immutable
+// after creation; everything else is guarded by Server.mu.
 type job struct {
 	view  JobView
 	alloc cluster.Allocation
 	spec  SubmitRequest
 }
 
-// Server is the scheduler daemon core. All state is behind one mutex —
-// submissions and completions are rare events compared to a lock's cost.
+// Server is the scheduler daemon core. The job table lives behind
+// s.mu; the estimator is called with no lock held (see the package
+// comment for the lock order).
 type Server struct {
 	mu          sync.Mutex
 	cfg         Config
+	est         estimate.ConcurrencySafe
+	estName     string
 	nextID      int64
 	queue       []*job
 	jobs        map[int64]*job
@@ -135,6 +177,9 @@ type Server struct {
 		dispatches, lowered    int
 		reclaimedMBNodes       float64
 	}
+	// Serving counters, updated without s.mu.
+	requests  atomic.Uint64
+	feedbacks atomic.Uint64
 }
 
 // New builds the daemon core.
@@ -152,8 +197,14 @@ func New(cfg Config) (*Server, error) {
 	if ma < 1 {
 		return nil, fmt.Errorf("server: MaxAttempts must be ≥ 1, got %d", cfg.MaxAttempts)
 	}
+	est, ok := cfg.Estimator.(estimate.ConcurrencySafe)
+	if !ok {
+		est = estimate.NewSynchronized(cfg.Estimator)
+	}
 	return &Server{
 		cfg:         cfg,
+		est:         est,
+		estName:     est.Name(),
 		jobs:        make(map[int64]*job),
 		maxAttempts: ma,
 	}, nil
@@ -163,11 +214,21 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /api/v1/jobs:batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("POST /api/v1/jobs/{id}/complete", s.handleComplete)
+	mux.HandleFunc("POST /api/v1/complete:batch", s.handleCompleteBatch)
 	mux.HandleFunc("GET /api/v1/status", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/estimates", s.handleEstimates)
-	return mux
+	return s.countRequests(mux)
+}
+
+// countRequests feeds the requests-served metric.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -176,13 +237,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	if req.Nodes <= 0 || req.ReqMemMB <= 0 {
-		httpError(w, http.StatusBadRequest,
-			"nodes and req_mem_mb must be positive (got %d, %g)", req.Nodes, req.ReqMemMB)
+	if err := req.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	j := s.enqueueLocked(req)
+	s.mu.Unlock()
+	s.dispatch()
+	s.mu.Lock()
+	v := s.viewLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, v)
+}
+
+// enqueueLocked creates a job record and appends it to the FCFS queue.
+func (s *Server) enqueueLocked(req SubmitRequest) *job {
 	s.nextID++
 	j := &job{
 		spec: req,
@@ -194,8 +264,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs[j.view.ID] = j
 	s.queue = append(s.queue, j)
-	s.dispatchLocked()
-	writeJSON(w, http.StatusCreated, s.viewLocked(j))
+	return j
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
@@ -205,13 +274,75 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
+	var v JobView
+	if ok {
+		v = s.viewLocked(j)
+	}
+	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "job %d not found", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.viewLocked(j))
+	writeJSON(w, http.StatusOK, v)
+}
+
+// completionError is a per-job completion failure with its HTTP status.
+type completionError struct {
+	status int
+	msg    string
+}
+
+func (e *completionError) Error() string { return e.msg }
+
+// finishLocked applies one completion report to a running job: releases
+// its allocation, advances its lifecycle state, and returns the
+// feedback outcome the caller must deliver to the estimator *after*
+// unlocking. Failed jobs re-enter the queue at the head (the paper's
+// semantics), so the caller must also run dispatch afterwards.
+func (s *Server) finishLocked(id int64, req CompleteRequest) (*job, estimate.Outcome, *completionError) {
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, estimate.Outcome{}, &completionError{http.StatusNotFound,
+			fmt.Sprintf("job %d not found", id)}
+	}
+	if j.view.State != StateRunning {
+		return nil, estimate.Outcome{}, &completionError{http.StatusConflict,
+			fmt.Sprintf("job %d is %s, not running", id, j.view.State)}
+	}
+	if err := s.cfg.Cluster.Release(j.alloc); err != nil {
+		return nil, estimate.Outcome{}, &completionError{http.StatusInternalServerError,
+			fmt.Sprintf("release: %v", err)}
+	}
+	o := estimate.Outcome{
+		Job:       specToTraceJob(j),
+		Allocated: j.alloc.MinMem(),
+		Success:   req.Success,
+	}
+	if s.cfg.ExplicitFeedback && req.UsedMemMB > 0 {
+		o.Explicit = true
+		o.Used = units.MemSize(req.UsedMemMB)
+	}
+	switch {
+	case req.Success:
+		j.view.State = StateDone
+		s.counters.done++
+	case j.view.Attempts >= s.maxAttempts:
+		j.view.State = StateFailed
+		s.counters.failed++
+	default:
+		// The paper's semantics: a failed job returns to the head of
+		// the queue and is re-dispatched with the restored estimate.
+		j.view.State = StateQueued
+		s.queue = append([]*job{j}, s.queue...)
+	}
+	return j, o, nil
+}
+
+// feedback trains the estimator. Must be called with s.mu NOT held.
+func (s *Server) feedback(o estimate.Outcome) {
+	s.feedbacks.Add(1)
+	s.est.Feedback(o)
 }
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -226,51 +357,25 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		httpError(w, http.StatusNotFound, "job %d not found", id)
+	j, o, cerr := s.finishLocked(id, req)
+	s.mu.Unlock()
+	if cerr != nil {
+		httpError(w, cerr.status, "%s", cerr.msg)
 		return
 	}
-	if j.view.State != StateRunning {
-		httpError(w, http.StatusConflict, "job %d is %s, not running", id, j.view.State)
-		return
-	}
-	if err := s.cfg.Cluster.Release(j.alloc); err != nil {
-		httpError(w, http.StatusInternalServerError, "release: %v", err)
-		return
-	}
-	o := estimate.Outcome{
-		Job:       specToTraceJob(j),
-		Allocated: j.alloc.MinMem(),
-		Success:   req.Success,
-	}
-	if s.cfg.ExplicitFeedback && req.UsedMemMB > 0 {
-		o.Explicit = true
-		o.Used = units.MemSize(req.UsedMemMB)
-	}
-	s.cfg.Estimator.Feedback(o)
-
-	switch {
-	case req.Success:
-		j.view.State = StateDone
-		s.counters.done++
-	case j.view.Attempts >= s.maxAttempts:
-		j.view.State = StateFailed
-		s.counters.failed++
-	default:
-		// The paper's semantics: a failed job returns to the head of
-		// the queue and is re-dispatched with the restored estimate.
-		j.view.State = StateQueued
-		s.queue = append([]*job{j}, s.queue...)
-	}
-	s.dispatchLocked()
-	writeJSON(w, http.StatusOK, s.viewLocked(j))
+	// Feedback strictly before this goroutine's dispatch: a re-queued
+	// failing job must see its restored estimate (Algorithm 1 line 11)
+	// when we re-dispatch it below.
+	s.feedback(o)
+	s.dispatch()
+	s.mu.Lock()
+	v := s.viewLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	running := 0
 	for _, j := range s.jobs {
 		if j.view.State == StateRunning {
@@ -283,7 +388,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Total:             s.cfg.Cluster.TotalNodes(),
 		Queued:            len(s.queue),
 		Running:           running,
-		Estimator:         s.cfg.Estimator.Name(),
+		Estimator:         s.estName,
 		Done:              s.counters.done,
 		Failed:            s.counters.failed,
 		Rejected:          s.counters.rejected,
@@ -294,42 +399,63 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	for _, p := range s.cfg.Cluster.Pools() {
 		st.Pools = append(st.Pools, PoolView{MemMB: p.Mem.MBf(), Total: p.Total, Free: p.Free()})
 	}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleEstimates(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Any persisting estimator qualifies, including a mutex-wrapped
-	// estimate.Synchronized shared with an out-of-band state saver.
-	sa, ok := s.cfg.Estimator.(estimate.StatePersister)
-	if !ok {
+	// The estimator snapshots its own state consistently; holding s.mu
+	// here would serialize estimate traffic behind JSON encoding.
+	if !estimate.CanPersist(s.est) {
 		httpError(w, http.StatusNotImplemented,
-			"estimator %q does not expose persistent state", s.cfg.Estimator.Name())
+			"estimator %q does not expose persistent state", s.estName)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := sa.SaveState(w); err != nil {
+	if err := s.est.(estimate.StatePersister).SaveState(w); err != nil {
 		httpError(w, http.StatusInternalServerError, "save: %v", err)
 	}
 }
 
-// dispatchLocked starts queue heads FCFS until one does not fit. Caller
-// holds the lock.
-func (s *Server) dispatchLocked() {
-	for len(s.queue) > 0 {
+// dispatch starts queue heads FCFS until one does not fit. The caller
+// must NOT hold s.mu: each round peeks the head under the lock, asks
+// the estimator with no lock held, then re-acquires the lock and
+// revalidates that the same job is still at the head (a concurrent
+// dispatcher may have won the race) before allocating.
+func (s *Server) dispatch() {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
 		j := s.queue[0]
-		est := s.cfg.Estimator.Estimate(specToTraceJob(j))
+		s.mu.Unlock()
+
+		// j.spec and j.view.ID are immutable, so building the trace job
+		// and estimating need no lock.
+		est := s.est.Estimate(specToTraceJob(j))
+
+		s.mu.Lock()
+		if len(s.queue) == 0 || s.queue[0] != j {
+			// Lost the race: some other goroutine dispatched (or
+			// rejected) this head while we were estimating. Start over
+			// with the new head.
+			s.mu.Unlock()
+			continue
+		}
 		if !s.cfg.Cluster.FitsAtAll(j.spec.Nodes, est) {
 			j.view.State = StateRejected
 			j.view.Rejection = fmt.Sprintf(
 				"%d nodes with %v per node can never fit this cluster", j.spec.Nodes, est)
 			s.counters.rejected++
 			s.queue = s.queue[1:]
+			s.mu.Unlock()
 			continue
 		}
 		alloc, ok := s.cfg.Cluster.Allocate(j.spec.Nodes, est)
 		if !ok {
+			s.mu.Unlock()
 			return // strict FCFS: head blocks
 		}
 		j.alloc = alloc
@@ -343,6 +469,7 @@ func (s *Server) dispatchLocked() {
 			s.counters.reclaimedMBNodes += (j.spec.ReqMemMB - est.MBf()) * float64(j.spec.Nodes)
 		}
 		s.queue = s.queue[1:]
+		s.mu.Unlock()
 	}
 }
 
