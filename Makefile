@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race verify bench bench3 clean
+.PHONY: build test lint race verify bench bench3 bench4 clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,19 @@ bench3:
 	$(GO) run ./cmd/benchjson -as current -out BENCH_3.json -merge \
 		-pkg ./internal/server -bench ServerSubmitComplete -benchtime 1s -count 3 \
 		-note "$(BENCH3_NOTE)"
+
+# Record the trace-pipeline benchmarks (SWF parser allocations, memoized
+# workload reuse, sweep data-pipeline latency) into the "current" section
+# of BENCH_4.json; the committed baseline section was captured on the
+# pre-copy-on-write pipeline and is never overwritten.
+BENCH4_NOTE = median of 3 x 1s runs; single-core container — see EXPERIMENTS.md
+bench4:
+	$(GO) run ./cmd/benchjson -as current -out BENCH_4.json \
+		-pkg ./internal/trace -bench ReadSWF -benchtime 1s -count 3 \
+		-note "$(BENCH4_NOTE)"
+	$(GO) run ./cmd/benchjson -as current -out BENCH_4.json -merge \
+		-pkg . -bench 'WorkloadCached|LoadSweepSmall' -benchtime 1s -count 3 \
+		-note "$(BENCH4_NOTE)"
 
 verify: build lint race
 

@@ -352,6 +352,53 @@ func BenchmarkExtension_RuntimePrediction(b *testing.B) {
 	b.ReportMetric(best, "best-cell-util")
 }
 
+// BenchmarkWorkloadCached measures acquiring the simulation-ready
+// workload for a Scale — the call every figure, ablation, and extension
+// entry point opens with. Since the workload cache landed this is a
+// content-keyed lookup handing out a shared read-only view; before, it
+// regenerated the synthetic trace from scratch on every call.
+func BenchmarkWorkloadCached(b *testing.B) {
+	s := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := experiments.Workload(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			b.Fatal("empty workload")
+		}
+	}
+}
+
+// BenchmarkLoadSweepSmall measures the data-pipeline side of one
+// Figure 5/6 load sweep at SmallScale: acquiring the simulation-ready
+// workload and preparing the scaled per-load-point trace for every load
+// in the sweep — everything LoadSweepWithPolicy does around the
+// simulations themselves (the engine is measured separately by
+// BenchmarkSimulatorThroughput).
+func BenchmarkLoadSweepSmall(b *testing.B) {
+	s := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := experiments.Workload(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, load := range s.Loads {
+			scaled, err := tr.ScaleToOfferedLoad(load, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if scaled.Len() != tr.Len() {
+				b.Fatal("scaling changed job count")
+			}
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the raw discrete-event engine:
 // jobs simulated per second on the paper's cluster with estimation on.
 func BenchmarkSimulatorThroughput(b *testing.B) {

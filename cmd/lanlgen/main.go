@@ -5,6 +5,7 @@
 //
 //	lanlgen                      # full-scale trace (122,055 jobs) to stdout
 //	lanlgen -small -out cm5.swf  # test-scale trace to a file
+//	lanlgen -out cm5.swfb        # binary trace cache (fast reload)
 //	lanlgen -jobs 50000 -seed 9  # custom size and seed
 package main
 
@@ -58,20 +59,15 @@ func main() {
 			s.Jobs, s.Users, s.Span, s.MeanNodes, s.OverprovAtLeast2)
 	}
 
-	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// WriteFile picks the encoder by extension: a .swfb path gets
+		// the binary format, anything else SWF text.
+		if err := trace.WriteFile(*out, tr); err != nil {
 			fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
+		return
 	}
-	if err := trace.WriteSWF(w, tr); err != nil {
+	if err := trace.WriteSWF(os.Stdout, tr); err != nil {
 		fatal(err)
 	}
 }

@@ -156,22 +156,9 @@ func writeJournal(path string, j *sim.Journal) error {
 }
 
 func loadWorkload(s experiments.Scale, path string) (*trace.Trace, error) {
-	if path == "" {
-		return experiments.Workload(s)
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	tr, err := trace.ReadSWF(f)
-	if err != nil {
-		return nil, err
-	}
-	tr = tr.DropLargerThan(s.TraceCfg.MaxNodes / 2).CompleteOnly()
-	tr.SortBySubmit()
-	tr.Renumber()
-	return tr, nil
+	// Shared helper: understands both SWF text and .swfb binary traces
+	// and applies the same preparation chain either way.
+	return experiments.LoadWorkload(s, path)
 }
 
 func pickPolicy(name string) (sched.Policy, error) {

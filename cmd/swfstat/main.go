@@ -119,19 +119,12 @@ func main() {
 }
 
 func loadTrace(path string, small bool) (*trace.Trace, error) {
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return trace.ReadSWF(f)
-	}
 	s := experiments.FullScale()
 	if small {
 		s = experiments.SmallScale()
 	}
-	return experiments.RawWorkload(s)
+	// Shared helper: path may be SWF text or .swfb binary.
+	return experiments.LoadRawWorkload(s, path)
 }
 
 func fatal(err error) {

@@ -96,3 +96,40 @@ func (t *Striped) Snapshot() []map[uint64]float64 {
 	}
 	return out
 }
+
+// slot is one generation cell of a memoizing cache. It has no mutex of
+// its own: the Once serialises the single write.
+type slot struct {
+	once sync.Once
+	val  float64
+}
+
+// Memo is the workload-cache shape: the mutex guards only the entries
+// map, and generation runs outside the lock under each slot's Once so a
+// slow fill never blocks lookups of other keys.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[string]*slot
+}
+
+// cell returns the slot for a key, creating it under the lock.
+func (m *Memo) cell(k string) *slot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = make(map[string]*slot)
+	}
+	s, ok := m.entries[k]
+	if !ok {
+		s = &slot{}
+		m.entries[k] = s
+	}
+	return s
+}
+
+// Get fills the slot at most once, outside the map lock.
+func (m *Memo) Get(k string, gen func() float64) float64 {
+	s := m.cell(k)
+	s.once.Do(func() { s.val = gen() })
+	return s.val
+}

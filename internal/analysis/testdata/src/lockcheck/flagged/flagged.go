@@ -106,3 +106,26 @@ func (t *Striped) Register(owner string, k uint64) {
 	defer t.mu.Unlock()
 	t.byOwner[owner] = append(t.byOwner[owner], k)
 }
+
+// LazyMemo skips the lock on its fast path — the racy double-checked
+// cache lookup lockcheck exists to catch.
+type LazyMemo struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+// Peek reads the guarded map without the lock.
+func (m *LazyMemo) Peek(k string) (int, bool) {
+	v, ok := m.entries[k] // want `method LazyMemo.Peek accesses guarded field "entries" without acquiring mu`
+	return v, ok
+}
+
+// Fill locks correctly.
+func (m *LazyMemo) Fill(k string, v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = make(map[string]int)
+	}
+	m.entries[k] = v
+}

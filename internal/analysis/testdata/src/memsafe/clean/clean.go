@@ -36,3 +36,13 @@ func Report(m units.MemSize, s units.Seconds) float64 {
 func Build(megabytes float64) units.MemSize {
 	return units.MemSize(megabytes)
 }
+
+// Ingest converts a raw KB-per-processor log field into units at the
+// parse boundary — the SWF reader's kbToMem shape: raw math stays on
+// raw floats, the constructor is the last step.
+func Ingest(kbPerProc float64) units.MemSize {
+	if kbPerProc < 0 {
+		return 0
+	}
+	return units.MemSize(kbPerProc / 1024.0)
+}

@@ -39,3 +39,9 @@ func Strip() float64 {
 func Reinterpret() units.MemSize {
 	return units.MemSize(Span) // want `conversion reinterprets units.Seconds as units.MemSize`
 }
+
+// IngestWrong scales the unit value itself instead of converting the
+// raw field first: KB-per-proc handling must not touch unit land.
+func IngestWrong(m units.MemSize) units.MemSize {
+	return m / 1024 // want `units.MemSize value combined with bare constant 1024`
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"sync"
+
+	"overprov/internal/synth"
+	"overprov/internal/trace"
+)
+
+// Workload generation is memoized: every figure, ablation, and
+// extension entry point asks for the same handful of (synth.Config,
+// variant) workloads, and generating the full-scale trace takes orders
+// of magnitude longer than any transform of it. The cache generates
+// each workload once per process and hands out read-only views of the
+// shared trace, so a whole figure sweep pays one generation instead of
+// one per panel.
+//
+// synth.Config is a flat struct of scalars, so the config itself is the
+// canonical content key: two Scales with equal TraceCfg share a single
+// generated trace regardless of how the Scale was built.
+
+// workloadVariant distinguishes the cached forms of one config.
+type workloadVariant int
+
+const (
+	// rawVariant is synth.Generate output verbatim (figures 1, 3, 4).
+	rawVariant workloadVariant = iota
+	// simReadyVariant is the prepared form: full-machine jobs dropped,
+	// incomplete records removed, sorted, renumbered.
+	simReadyVariant
+)
+
+// workloadKey identifies one cached workload by content.
+type workloadKey struct {
+	cfg     synth.Config
+	variant workloadVariant
+}
+
+// workloadEntry is one cache slot. The sync.Once guarantees a single
+// generation even when experiment sweeps race on a cold key; tr is
+// written exactly once inside the Once and read-only afterwards.
+type workloadEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// workloadCacheTable maps content keys to generation slots. The mutex
+// guards only the entries map; generation itself runs outside the lock
+// under the entry's Once, so a slow full-scale generation never blocks
+// lookups of other keys.
+type workloadCacheTable struct {
+	mu      sync.Mutex
+	entries map[workloadKey]*workloadEntry
+}
+
+// entry returns the slot for key, creating it under the lock.
+func (c *workloadCacheTable) entry(key workloadKey) *workloadEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[workloadKey]*workloadEntry)
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		e = &workloadEntry{}
+		c.entries[key] = e
+	}
+	return e
+}
+
+var workloadCache workloadCacheTable
+
+// cachedWorkload returns a copy-on-write view of the memoized workload
+// for (cfg, variant), generating it on first use. Views share the
+// cached backing array; any mutating transform a caller applies copies
+// first, so the cache's own trace stays pristine for the process
+// lifetime.
+func cachedWorkload(cfg synth.Config, variant workloadVariant) (*trace.Trace, error) {
+	e := workloadCache.entry(workloadKey{cfg: cfg, variant: variant})
+	e.once.Do(func() {
+		e.tr, e.err = generateWorkload(cfg, variant)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.tr.View(), nil
+}
+
+// generateWorkload produces the trace for one cache slot. The
+// simulation-ready variant derives from the cached raw variant, so the
+// generator runs once per config even when both variants are used.
+func generateWorkload(cfg synth.Config, variant workloadVariant) (*trace.Trace, error) {
+	if variant == rawVariant {
+		return synth.Generate(cfg)
+	}
+	raw, err := cachedWorkload(cfg, rawVariant)
+	if err != nil {
+		return nil, err
+	}
+	return raw.Prepared(cfg.MaxNodes / 2), nil
+}
+
+// LoadWorkload returns the simulation-ready workload for a run: the
+// trace at path (SWF text or .swfb binary, chosen by extension) when
+// one is given, otherwise the cached synthetic workload for the scale.
+// File-loaded traces get the same preparation chain as synthetic ones.
+func LoadWorkload(s Scale, path string) (*trace.Trace, error) {
+	if path == "" {
+		return Workload(s)
+	}
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Prepared(s.TraceCfg.MaxNodes / 2), nil
+}
+
+// LoadRawWorkload returns the unfiltered workload for trace analysis:
+// the trace at path (SWF or .swfb) when given, otherwise the cached raw
+// synthetic trace.
+func LoadRawWorkload(s Scale, path string) (*trace.Trace, error) {
+	if path == "" {
+		return RawWorkload(s)
+	}
+	return trace.ReadFile(path)
+}

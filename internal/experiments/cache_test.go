@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestWorkloadMemoized proves repeated Workload calls share one
+// generated trace: the returned views alias the same backing array, and
+// the content matches a from-scratch generation.
+func TestWorkloadMemoized(t *testing.T) {
+	s := SmallScale()
+	a, err := Workload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Workload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || &a.Jobs[0] != &b.Jobs[0] {
+		t.Fatal("repeated Workload calls do not share one backing array")
+	}
+
+	raw, err := RawWorkload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Len() <= a.Len() {
+		t.Fatalf("raw workload (%d jobs) should exceed prepared (%d)", raw.Len(), a.Len())
+	}
+	raw2, err := RawWorkload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &raw.Jobs[0] != &raw2.Jobs[0] {
+		t.Fatal("repeated RawWorkload calls do not share one backing array")
+	}
+
+	// A different config is a different cache key.
+	s2 := s
+	s2.TraceCfg.Seed++
+	c, err := Workload(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c.Jobs[0] == &a.Jobs[0] {
+		t.Fatal("different configs share a cache entry")
+	}
+}
+
+// TestWorkloadViewMutationDoesNotCorruptCache mutates one handed-out
+// view and checks later calls still see the pristine workload.
+func TestWorkloadViewMutationDoesNotCorruptCache(t *testing.T) {
+	s := SmallScale()
+	v1, err := Workload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, 0, v1.Len())
+	for i := range v1.Jobs {
+		want = append(want, v1.Jobs[i].ID)
+	}
+	// Narrow and renumber the view — a real mutation through the
+	// copy-on-write API.
+	v1.Jobs = v1.Jobs[10:]
+	v1.Renumber()
+
+	v2, err := Workload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, 0, v2.Len())
+	for i := range v2.Jobs {
+		got = append(got, v2.Jobs[i].ID)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("mutating a handed-out view corrupted the cached workload")
+	}
+}
+
+// TestWorkloadConcurrentAccess hammers cold and warm cache paths from
+// many goroutines; run under -race this checks the locking discipline.
+func TestWorkloadConcurrentAccess(t *testing.T) {
+	s := SmallScale()
+	s.TraceCfg.Jobs = 300
+	s.TraceCfg.Groups = 40
+	s.TraceCfg.Seed = 424242 // cold key private to this test
+
+	var wg sync.WaitGroup
+	traces := make([]int, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn := Workload
+			if i%2 == 1 {
+				fn = RawWorkload
+			}
+			tr, err := fn(s)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = tr.Len()
+		}(i)
+	}
+	wg.Wait()
+	for i := 2; i < 16; i += 2 {
+		if traces[i] != traces[0] {
+			t.Fatalf("concurrent Workload calls disagree: %d vs %d jobs", traces[i], traces[0])
+		}
+	}
+}

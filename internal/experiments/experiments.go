@@ -71,26 +71,21 @@ func memRange(lo, hi int) []units.MemSize {
 	return out
 }
 
-// Workload generates the simulation-ready trace: the calibrated
+// Workload returns the simulation-ready trace: the calibrated
 // synthetic CM5 log with the full-machine jobs removed — the paper's
 // "minimum change" that lets the workload run on a cluster where only
-// half the nodes keep the original memory size.
+// half the nodes keep the original memory size. Workloads are memoized
+// by config (see cache.go): repeated calls return copy-on-write views
+// of one shared trace instead of regenerating it.
 func Workload(s Scale) (*trace.Trace, error) {
-	t, err := synth.Generate(s.TraceCfg)
-	if err != nil {
-		return nil, err
-	}
-	t = t.DropLargerThan(s.TraceCfg.MaxNodes / 2)
-	t = t.CompleteOnly()
-	t.SortBySubmit()
-	t.Renumber()
-	return t, nil
+	return cachedWorkload(s.TraceCfg, simReadyVariant)
 }
 
-// RawWorkload generates the trace without the simulation filtering —
-// the version the trace-analysis figures (1, 3, 4) are computed from.
+// RawWorkload returns the trace without the simulation filtering — the
+// version the trace-analysis figures (1, 3, 4) are computed from. Like
+// Workload, results are memoized views.
 func RawWorkload(s Scale) (*trace.Trace, error) {
-	return synth.Generate(s.TraceCfg)
+	return cachedWorkload(s.TraceCfg, rawVariant)
 }
 
 // runSpec describes one simulation invocation inside an experiment.

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"overprov/internal/units"
+)
+
+// benchTrace builds a deterministic mid-sized trace for parser and
+// binary-codec benchmarks. A tiny inline LCG varies the fields so the
+// parser sees realistic digit widths without pulling in a generator
+// dependency (synth imports this package).
+func benchTrace(jobs int) *Trace {
+	t := &Trace{MaxNodes: 1024, Header: []string{
+		"Version: 2",
+		"Computer: bench fixture",
+		"MaxNodes: 1024",
+	}}
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	t.Jobs = make([]Job, jobs)
+	for i := range t.Jobs {
+		nodes := 32 << next(5)
+		req := units.MemSize(8 * (1 + next(4)))
+		t.Jobs[i] = Job{
+			ID:      i + 1,
+			Submit:  units.Seconds(i * 60),
+			Wait:    units.Seconds(next(10000)),
+			Runtime: units.Seconds(1 + next(86400)),
+			Nodes:   nodes,
+			ReqTime: units.Seconds(1 + next(90000)),
+			ReqMem:  req,
+			UsedMem: req.Div(float64(1 + next(7))),
+			Status:  StatusCompleted,
+			User:    next(200),
+			Group:   next(40),
+			App:     next(500),
+			Queue:   next(4),
+		}
+	}
+	return t
+}
+
+// BenchmarkReadSWF measures SWF ingest throughput and allocation
+// behaviour on an in-memory archive-style file (10k jobs).
+func BenchmarkReadSWF(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, benchTrace(10000)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := ReadSWF(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() != 10000 {
+			b.Fatalf("parsed %d jobs", tr.Len())
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"overprov/internal/units"
+)
+
+// The .swfb binary trace format is a columnar, little-endian cache
+// encoding of a Trace. It exists purely as a faster-to-load companion
+// to SWF: a simulate/sweep run over a large archive log pays the text
+// parse once, writes the .swfb next to it, and every later run decodes
+// straight columns of fixed-width words instead of re-parsing text.
+//
+// Layout:
+//
+//	magic   "SWFB"                    4 bytes
+//	version uint32                    currently 1
+//	paylen  uint64                    length of payload in bytes
+//	crc     uint32                    CRC-32 (IEEE) of payload
+//	payload:
+//	  maxNodes    int64
+//	  headerCount uint64, then per header line: byteLen uint64 + bytes
+//	  jobCount    uint64
+//	  14 columns of jobCount × 8-byte words, in this order:
+//	    id, nodes, user, group, app, queue, partition, status  (int64)
+//	    submit, wait, runtime, reqtime   (Float64bits of seconds)
+//	    reqmem, usedmem                  (Float64bits of MB)
+//
+// Time and memory columns store the raw IEEE-754 bits of the unit
+// values, so a Write/Read round trip reproduces every Job field
+// bit-for-bit — unlike SWF text, which rounds to whole seconds and KB.
+const (
+	binaryMagic   = "SWFB"
+	binaryVersion = 1
+)
+
+// binaryExt is the file extension ReadFile/WriteFile dispatch on.
+const binaryExt = ".swfb"
+
+// IsBinaryPath reports whether path names a binary (.swfb) trace file.
+func IsBinaryPath(path string) bool {
+	return strings.EqualFold(filepath.Ext(path), binaryExt)
+}
+
+// binaryColumns is the number of per-job 8-byte columns.
+const binaryColumns = 14
+
+// WriteBinary encodes the trace in the .swfb format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	payloadLen := 8 + // maxNodes
+		8 + // headerCount
+		8 + // jobCount
+		binaryColumns*8*len(t.Jobs)
+	for _, h := range t.Header {
+		payloadLen += 8 + len(h)
+	}
+	buf := make([]byte, 0, 20+payloadLen)
+	buf = append(buf, binaryMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, binaryVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(payloadLen))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // crc patched below
+
+	payloadStart := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(t.MaxNodes)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.Header)))
+	for _, h := range t.Header {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(h)))
+		buf = append(buf, h...)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.Jobs)))
+	appendInts := func(get func(j *Job) int64) {
+		for i := range t.Jobs {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(get(&t.Jobs[i])))
+		}
+	}
+	appendFloats := func(get func(j *Job) float64) {
+		for i := range t.Jobs {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(get(&t.Jobs[i])))
+		}
+	}
+	appendInts(func(j *Job) int64 { return int64(j.ID) })
+	appendInts(func(j *Job) int64 { return int64(j.Nodes) })
+	appendInts(func(j *Job) int64 { return int64(j.User) })
+	appendInts(func(j *Job) int64 { return int64(j.Group) })
+	appendInts(func(j *Job) int64 { return int64(j.App) })
+	appendInts(func(j *Job) int64 { return int64(j.Queue) })
+	appendInts(func(j *Job) int64 { return int64(j.Partition) })
+	appendInts(func(j *Job) int64 { return int64(j.Status) })
+	appendFloats(func(j *Job) float64 { return j.Submit.Sec() })
+	appendFloats(func(j *Job) float64 { return j.Wait.Sec() })
+	appendFloats(func(j *Job) float64 { return j.Runtime.Sec() })
+	appendFloats(func(j *Job) float64 { return j.ReqTime.Sec() })
+	appendFloats(func(j *Job) float64 { return j.ReqMem.MBf() })
+	appendFloats(func(j *Job) float64 { return j.UsedMem.MBf() })
+
+	if got := len(buf) - payloadStart; got != payloadLen {
+		return fmt.Errorf("trace: internal error: binary payload %d bytes, expected %d", got, payloadLen)
+	}
+	crc := crc32.ChecksumIEEE(buf[payloadStart:])
+	binary.LittleEndian.PutUint32(buf[payloadStart-4:payloadStart], crc)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("trace: writing binary trace: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary decodes a .swfb stream written by WriteBinary, verifying
+// the magic, version, length, and payload checksum.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading binary trace: %w", err)
+	}
+	if len(data) < 20 || string(data[:4]) != binaryMagic {
+		return nil, fmt.Errorf("trace: not a binary trace (missing %q magic)", binaryMagic)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported binary trace version %d (want %d)", v, binaryVersion)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[8:16])
+	payload := data[20:]
+	if uint64(len(payload)) != payloadLen {
+		return nil, fmt.Errorf("trace: binary trace payload is %d bytes, header says %d", len(payload), payloadLen)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(data[16:20]) {
+		return nil, fmt.Errorf("trace: binary trace checksum mismatch (corrupt file?)")
+	}
+
+	d := binDecoder{buf: payload}
+	t := &Trace{MaxNodes: int(int64(d.u64()))}
+	headerCount := d.u64()
+	if headerCount > payloadLen { // cheap sanity bound before allocating
+		return nil, fmt.Errorf("trace: binary trace claims %d header lines", headerCount)
+	}
+	if headerCount > 0 {
+		t.Header = make([]string, headerCount)
+		for i := range t.Header {
+			n := d.u64()
+			t.Header[i] = string(d.bytes(n))
+		}
+	}
+	jobCount := d.u64()
+	if d.err == nil {
+		// Divide rather than multiply so an adversarial count can't
+		// overflow past the size check into a huge allocation.
+		rest := uint64(len(d.buf)) - d.off
+		if jobCount != rest/(binaryColumns*8) || rest%(binaryColumns*8) != 0 {
+			return nil, fmt.Errorf("trace: binary trace claims %d jobs but has %d column bytes",
+				jobCount, rest)
+		}
+	}
+	t.Jobs = make([]Job, jobCount)
+	readInts := func(set func(j *Job, v int64)) {
+		for i := range t.Jobs {
+			set(&t.Jobs[i], int64(d.u64()))
+		}
+	}
+	readFloats := func(set func(j *Job, v float64)) {
+		for i := range t.Jobs {
+			set(&t.Jobs[i], math.Float64frombits(d.u64()))
+		}
+	}
+	readInts(func(j *Job, v int64) { j.ID = int(v) })
+	readInts(func(j *Job, v int64) { j.Nodes = int(v) })
+	readInts(func(j *Job, v int64) { j.User = int(v) })
+	readInts(func(j *Job, v int64) { j.Group = int(v) })
+	readInts(func(j *Job, v int64) { j.App = int(v) })
+	readInts(func(j *Job, v int64) { j.Queue = int(v) })
+	readInts(func(j *Job, v int64) { j.Partition = int(v) })
+	readInts(func(j *Job, v int64) { j.Status = Status(v) })
+	readFloats(func(j *Job, v float64) { j.Submit = units.Seconds(v) })
+	readFloats(func(j *Job, v float64) { j.Wait = units.Seconds(v) })
+	readFloats(func(j *Job, v float64) { j.Runtime = units.Seconds(v) })
+	readFloats(func(j *Job, v float64) { j.ReqTime = units.Seconds(v) })
+	readFloats(func(j *Job, v float64) { j.ReqMem = units.MemSize(v) })
+	readFloats(func(j *Job, v float64) { j.UsedMem = units.MemSize(v) })
+	if d.err != nil {
+		return nil, fmt.Errorf("trace: binary trace truncated: %w", d.err)
+	}
+	return t, nil
+}
+
+// binDecoder walks the payload, latching the first out-of-bounds read
+// so the column loops stay branch-light.
+type binDecoder struct {
+	buf []byte
+	off uint64
+	err error
+}
+
+func (d *binDecoder) u64() uint64 {
+	if d.err != nil || d.off+8 > uint64(len(d.buf)) {
+		if d.err == nil {
+			d.err = io.ErrUnexpectedEOF
+		}
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *binDecoder) bytes(n uint64) []byte {
+	if d.err != nil || n > uint64(len(d.buf))-d.off {
+		if d.err == nil {
+			d.err = io.ErrUnexpectedEOF
+		}
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// ReadFile loads a trace from disk, choosing the decoder by extension:
+// .swfb files use ReadBinary, everything else is parsed as SWF text.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	defer f.Close()
+	if IsBinaryPath(path) {
+		return ReadBinary(f)
+	}
+	return ReadSWF(f)
+}
+
+// WriteFile stores a trace on disk, choosing the encoder by extension:
+// .swfb files use WriteBinary, everything else is written as SWF text.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	var werr error
+	if IsBinaryPath(path) {
+		werr = WriteBinary(f, t)
+	} else {
+		werr = WriteSWF(f, t)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"overprov/internal/units"
+)
+
+func binaryFixture() *Trace {
+	tr := benchTrace(97)
+	// Fractional values SWF text would round away: the binary format
+	// must carry them bit-for-bit.
+	tr.Jobs[3].Submit = units.Seconds(12.75)
+	tr.Jobs[3].UsedMem = units.MemSize(3.141592653589793)
+	tr.Jobs[5].ReqMem = units.MemSize(31.999)
+	return tr
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := binaryFixture()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Jobs, tr.Jobs) {
+		t.Fatal("jobs changed across binary round trip")
+	}
+	if !reflect.DeepEqual(back.Header, tr.Header) {
+		t.Fatalf("header changed: %v vs %v", back.Header, tr.Header)
+	}
+	if back.MaxNodes != tr.MaxNodes {
+		t.Fatalf("MaxNodes %d vs %d", back.MaxNodes, tr.MaxNodes)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, &Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 || len(back.Header) != 0 || back.MaxNodes != 0 {
+		t.Fatalf("empty trace round trip: %+v", back)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, binaryFixture()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"bad magic":       func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":     func(b []byte) []byte { b[4] = 99; return b },
+		"truncated":       func(b []byte) []byte { return b[:len(b)-9] },
+		"flipped payload": func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"too short":       func(b []byte) []byte { return b[:10] },
+	}
+	for name, corrupt := range cases {
+		data := corrupt(append([]byte(nil), good...))
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+	// SWF text handed to the binary reader must fail cleanly too.
+	if _, err := ReadBinary(bytes.NewReader([]byte(sampleSWF))); err == nil {
+		t.Error("SWF text accepted as binary")
+	}
+}
+
+func TestReadWriteFileDispatch(t *testing.T) {
+	tr := binaryFixture()
+	dir := t.TempDir()
+
+	binPath := filepath.Join(dir, "trace.swfb")
+	if err := WriteFile(binPath, tr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:4]) != binaryMagic {
+		t.Fatalf(".swfb file does not start with magic: %q", data[:4])
+	}
+	back, err := ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Jobs, tr.Jobs) {
+		t.Fatal("binary file round trip changed jobs")
+	}
+
+	swfPath := filepath.Join(dir, "trace.swf")
+	if err := WriteFile(swfPath, tr); err != nil {
+		t.Fatal(err)
+	}
+	text, err := ReadFile(swfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text.Len() != tr.Len() {
+		t.Fatalf("SWF file round trip: %d jobs, want %d", text.Len(), tr.Len())
+	}
+
+	if !IsBinaryPath("X.SWFB") || IsBinaryPath("x.swf") || IsBinaryPath("swfb") {
+		t.Error("IsBinaryPath extension dispatch wrong")
+	}
+}

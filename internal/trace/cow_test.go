@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"overprov/internal/units"
+)
+
+// sameBacking reports whether two traces share a Jobs backing array.
+func sameBacking(a, b *Trace) bool {
+	return len(a.Jobs) > 0 && len(b.Jobs) > 0 && &a.Jobs[0] == &b.Jobs[0]
+}
+
+func TestViewSharesUntilMutation(t *testing.T) {
+	parent := benchTrace(50)
+	v := parent.View()
+	if !sameBacking(parent, v) {
+		t.Fatal("fresh view does not share the backing array")
+	}
+	// A no-op mutator on an already-sorted, already-numbered view must
+	// not copy.
+	v.SortBySubmit()
+	v.Renumber()
+	if !sameBacking(parent, v) {
+		t.Fatal("no-op mutators materialized the view")
+	}
+	// A real mutation must copy first and leave the parent untouched:
+	// narrow the view so its IDs no longer start at 1, then renumber.
+	v.Jobs = v.Jobs[3:]
+	v.Renumber()
+	if parent.Jobs[3].ID != 4 {
+		t.Fatalf("view mutation leaked into the parent: job ID %d", parent.Jobs[3].ID)
+	}
+	if v.Jobs[0].ID != 1 {
+		t.Fatalf("view not renumbered: first ID %d", v.Jobs[0].ID)
+	}
+}
+
+func TestFilterAllPassIsView(t *testing.T) {
+	parent := benchTrace(40)
+	kept := parent.Filter(func(*Job) bool { return true })
+	if !sameBacking(parent, kept) {
+		t.Fatal("all-pass Filter copied instead of returning a view")
+	}
+	dropped := parent.Filter(func(j *Job) bool { return j.ID != 7 })
+	if sameBacking(parent, dropped) {
+		t.Fatal("selective Filter returned a shared view")
+	}
+	if dropped.Len() != parent.Len()-1 {
+		t.Fatalf("selective Filter kept %d of %d", dropped.Len(), parent.Len())
+	}
+}
+
+func TestHeadIsViewAndRenumberCopies(t *testing.T) {
+	parent := benchTrace(30)
+	h := parent.Head(10)
+	if !sameBacking(parent, h) {
+		t.Fatal("Head did not return a view")
+	}
+	// Force a renumber by perturbing the view's IDs through the
+	// mutating API path: Renumber on mismatched IDs must own() first.
+	h.Jobs = h.Jobs[1:] // view of jobs 2..10, IDs now off by one
+	h.Renumber()
+	if parent.Jobs[1].ID != 2 {
+		t.Fatalf("Renumber on a view leaked into the parent: parent job ID %d", parent.Jobs[1].ID)
+	}
+	if h.Jobs[0].ID != 1 {
+		t.Fatalf("view not renumbered: first ID %d", h.Jobs[0].ID)
+	}
+}
+
+func TestPreparedMatchesLegacyChain(t *testing.T) {
+	tr := benchTrace(200)
+	// Dirty the fixture so every stage has work: oversized jobs,
+	// failures, over-reported usage, shuffled order, stale IDs.
+	for i := range tr.Jobs {
+		switch i % 5 {
+		case 0:
+			tr.Jobs[i].Nodes = 1024
+		case 1:
+			tr.Jobs[i].Status = StatusFailed
+		case 2:
+			tr.Jobs[i].UsedMem = units.MemSize(tr.Jobs[i].ReqMem.MBf() * 2)
+		}
+		tr.Jobs[i].Submit = units.Seconds((i * 7919) % 100000)
+		tr.Jobs[i].ID = 5000 - i
+	}
+
+	legacy := tr.Clone()
+	legacy = legacy.DropLargerThan(512)
+	legacy = legacy.CompleteOnly()
+	legacy.SortBySubmit()
+	legacy.Renumber()
+
+	fused := tr.Prepared(512)
+	if !reflect.DeepEqual(fused.Jobs, legacy.Jobs) {
+		t.Fatal("Prepared diverges from DropLargerThan+CompleteOnly+SortBySubmit+Renumber")
+	}
+	if fused.MaxNodes != legacy.MaxNodes || !reflect.DeepEqual(fused.Header, legacy.Header) {
+		t.Fatal("Prepared metadata diverges from legacy chain")
+	}
+}
+
+func TestScaleLoadSharesHeaderNotJobs(t *testing.T) {
+	parent := benchTrace(20)
+	scaled, err := parent.ScaleLoad(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameBacking(parent, scaled) {
+		t.Fatal("ScaleLoad shares the Jobs backing it rewrites")
+	}
+	if scaled.Jobs[0].Runtime != parent.Jobs[0].Runtime {
+		t.Fatal("ScaleLoad changed a non-submit field")
+	}
+	if _, err := parent.ScaleLoad(0); err == nil {
+		t.Fatal("ScaleLoad accepted factor 0")
+	}
+}
+
+func TestWindowDoesNotLeakRebase(t *testing.T) {
+	parent := benchTrace(60)
+	before := append([]Job(nil), parent.Jobs...)
+	w, err := parent.Window(units.Seconds(600), units.Seconds(1800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() == 0 {
+		t.Fatal("window unexpectedly empty")
+	}
+	if w.Jobs[0].Submit != 0 {
+		t.Fatalf("window not re-anchored: first submit %v", w.Jobs[0].Submit)
+	}
+	if !reflect.DeepEqual(parent.Jobs, before) {
+		t.Fatal("Window rebase leaked into the parent trace")
+	}
+
+	// All-pass window over a late-starting trace: Filter returns a
+	// shared view, so the rebase must materialize it first.
+	late := benchTrace(20)
+	for i := range late.Jobs {
+		late.Jobs[i].Submit += units.Seconds(600)
+	}
+	lateBefore := append([]Job(nil), late.Jobs...)
+	lw, err := late.Window(units.Seconds(600), units.Seconds(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lw.Len() != late.Len() || lw.Jobs[0].Submit != 0 {
+		t.Fatalf("all-pass window wrong: %d jobs, first submit %v", lw.Len(), lw.Jobs[0].Submit)
+	}
+	if !reflect.DeepEqual(late.Jobs, lateBefore) {
+		t.Fatal("all-pass Window rebase leaked into the parent trace")
+	}
+}

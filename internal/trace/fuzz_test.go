@@ -33,5 +33,49 @@ func FuzzReadSWF(f *testing.F) {
 		if back.Len() != tr.Len() {
 			t.Fatalf("round trip changed job count: %d → %d", tr.Len(), back.Len())
 		}
+		// Any accepted trace must survive the binary codec losslessly.
+		// Compare re-encodings instead of DeepEqual so NaN fields (SWF
+		// text accepts "NaN") compare by bit pattern, not by ==.
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, tr); err != nil {
+			t.Fatalf("accepted trace failed binary encode: %v", err)
+		}
+		binBack, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("own binary output rejected: %v", err)
+		}
+		var bin2 bytes.Buffer
+		if err := WriteBinary(&bin2, binBack); err != nil {
+			t.Fatalf("binary re-encode failed: %v", err)
+		}
+		if !bytes.Equal(bin.Bytes(), bin2.Bytes()) {
+			t.Fatal("binary round trip is not lossless")
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary decoder never panics on corrupt
+// bytes and that everything it accepts re-encodes identically.
+func FuzzReadBinary(f *testing.F) {
+	for _, seed := range []string{"", "SWFB", sampleSWF} {
+		f.Add([]byte(seed))
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, benchTrace(5)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, input []byte) {
+		tr, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), input) {
+			t.Fatal("accepted binary input does not re-encode to itself")
+		}
 	})
 }

@@ -122,8 +122,20 @@ func (j *Job) Validate() error {
 
 // Trace is an ordered collection of jobs plus the header metadata carried
 // by an SWF file.
+//
+// Traces support copy-on-write views: the transforms in this package
+// (Filter, DropLargerThan, CompleteOnly, Head, Window, Prepared) return
+// views that share the backing Jobs array with their parent whenever the
+// transform keeps every record unchanged, and the in-place mutators
+// (SortBySubmit, Renumber) transparently copy a shared backing before
+// writing. The contract this relies on: outside this package, Jobs
+// elements are read-only — reorder, renumber, or rescale through the
+// methods, never by assigning to Jobs[i] fields directly. All in-tree
+// consumers (the simulator, estimators, metrics) only read.
 type Trace struct {
 	// Jobs are the records, conventionally ordered by submit time.
+	// Treat elements as read-only outside this package: the slice may be
+	// shared with other traces (see View).
 	Jobs []Job
 	// Header holds the SWF comment lines (without the leading ';'),
 	// preserved across read/write round trips.
@@ -131,6 +143,9 @@ type Trace struct {
 	// MaxNodes is the size of the machine the trace was recorded on
 	// (0 when unknown).
 	MaxNodes int
+	// shared marks Jobs as aliasing another trace's backing array; the
+	// first in-package mutation copies it (copy-on-write).
+	shared bool
 }
 
 // Len returns the number of jobs.
@@ -210,7 +225,7 @@ func (t *Trace) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the trace.
+// Clone returns a deep copy of the trace with its own backing arrays.
 func (t *Trace) Clone() *Trace {
 	c := &Trace{
 		Jobs:     append([]Job(nil), t.Jobs...),
@@ -218,4 +233,33 @@ func (t *Trace) Clone() *Trace {
 		MaxNodes: t.MaxNodes,
 	}
 	return c
+}
+
+// View returns a zero-copy view of the trace: a new Trace sharing the
+// backing Jobs array. Reading through the view is free; the first
+// mutating method called on it (SortBySubmit, Renumber, the in-place
+// parts of Window) copies the backing first, so a view mutation never
+// leaks into the parent. The parent must not be mutated in place while
+// views of it are alive; the workload cache guarantees this by owning
+// its parents forever.
+func (t *Trace) View() *Trace {
+	return &Trace{
+		// Cap-limited so an append through either side can never
+		// overwrite the other's tail.
+		Jobs:     t.Jobs[:len(t.Jobs):len(t.Jobs)],
+		Header:   t.Header[:len(t.Header):len(t.Header)],
+		MaxNodes: t.MaxNodes,
+		shared:   true,
+	}
+}
+
+// own makes the trace the sole owner of its backing Jobs array, copying
+// it when shared with another trace. Every in-place mutation in this
+// package goes through own first — the write half of copy-on-write.
+func (t *Trace) own() {
+	if !t.shared {
+		return
+	}
+	t.Jobs = append([]Job(nil), t.Jobs...)
+	t.shared = false
 }

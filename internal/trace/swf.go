@@ -34,6 +34,13 @@ const missing = -1
 // counts or non-positive runtimes are kept verbatim (callers filter with
 // the transforms in this package); malformed lines produce an error that
 // names the line number.
+//
+// The hot path is allocation-free: data lines are scanned directly from
+// the bufio.Scanner's byte buffer with an inline field splitter and a
+// fast integer-to-float path, so the only steady-state allocations are
+// the Jobs slice growth (plus one string per rare header or
+// slow-path-float line). Lines containing non-ASCII bytes fall back to
+// the unicode-aware string path with identical semantics.
 func ReadSWF(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	sc := bufio.NewScanner(r)
@@ -41,17 +48,21 @@ func ReadSWF(r io.Reader) (*Trace, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		line := trimASCIISpace(sc.Bytes())
+		if !isASCII(line) {
+			// Non-ASCII line (never produced by real SWF writers): take
+			// the legacy unicode-whitespace path so exotic inputs keep
+			// their exact pre-rewrite semantics.
+			if err := t.addUnicodeLine(strings.TrimSpace(string(line)), lineNo); err != nil {
+				return nil, err
+			}
 			continue
 		}
-		if strings.HasPrefix(line, ";") {
-			header := strings.TrimPrefix(line, ";")
-			header = strings.TrimPrefix(header, " ")
-			t.Header = append(t.Header, header)
-			if n, ok := parseHeaderInt(header, "MaxNodes:"); ok {
-				t.MaxNodes = n
-			}
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == ';' {
+			t.addHeader(strings.TrimPrefix(string(line[1:]), " "))
 			continue
 		}
 		job, err := parseSWFLine(line)
@@ -61,9 +72,69 @@ func ReadSWF(r io.Reader) (*Trace, error) {
 		t.Jobs = append(t.Jobs, job)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: reading SWF: %w", err)
+		// The failed read was for the line after the last delivered one
+		// (e.g. bufio.ErrTooLong on an over-long line).
+		return nil, fmt.Errorf("trace: line %d: reading SWF: %w", lineNo+1, err)
 	}
 	return t, nil
+}
+
+// addHeader records one header comment line (without the leading ';').
+func (t *Trace) addHeader(header string) {
+	t.Header = append(t.Header, header)
+	if n, ok := parseHeaderInt(header, "MaxNodes:"); ok {
+		t.MaxNodes = n
+	}
+}
+
+// addUnicodeLine handles the rare line containing non-ASCII bytes with
+// the original string-based logic (unicode whitespace trimming and
+// splitting).
+func (t *Trace) addUnicodeLine(line string, lineNo int) error {
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, ";") {
+		t.addHeader(strings.TrimPrefix(strings.TrimPrefix(line, ";"), " "))
+		return nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < swfFields {
+		return fmt.Errorf("trace: line %d: expected %d fields, got %d", lineNo, swfFields, len(fields))
+	}
+	var raw [swfFields]float64
+	for i := 0; i < swfFields; i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return fmt.Errorf("trace: line %d: field %d %q: %v", lineNo, i+1, fields[i], err)
+		}
+		raw[i] = v
+	}
+	t.Jobs = append(t.Jobs, jobFromFields(&raw))
+	return nil
+}
+
+// asciiSpace marks the ASCII whitespace bytes, exactly the set
+// unicode.IsSpace accepts below utf8.RuneSelf.
+var asciiSpace = [256]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
+
+func trimASCIISpace(b []byte) []byte {
+	for len(b) > 0 && asciiSpace[b[0]] {
+		b = b[1:]
+	}
+	for len(b) > 0 && asciiSpace[b[len(b)-1]] {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isASCII(b []byte) bool {
+	for _, c := range b {
+		if c >= 0x80 {
+			return false
+		}
+	}
+	return true
 }
 
 func parseHeaderInt(header, key string) (int, bool) {
@@ -78,19 +149,78 @@ func parseHeaderInt(header, key string) (int, bool) {
 	return n, true
 }
 
-func parseSWFLine(line string) (Job, error) {
-	fields := strings.Fields(line)
-	if len(fields) < swfFields {
-		return Job{}, fmt.Errorf("expected %d fields, got %d", swfFields, len(fields))
+// parseSWFLine parses one ASCII data line without allocating: the field
+// splitter and integer fast path below work on sub-slices of the
+// scanner's buffer; only the error paths build strings.
+func parseSWFLine(line []byte) (Job, error) {
+	var fields [swfFields][]byte
+	n, total := 0, 0
+	for i := 0; i < len(line); {
+		for i < len(line) && asciiSpace[line[i]] {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		start := i
+		for i < len(line) && !asciiSpace[line[i]] {
+			i++
+		}
+		if n < swfFields {
+			fields[n] = line[start:i]
+			n++
+		}
+		total++
+	}
+	// Field count is validated before any parsing, matching the legacy
+	// strings.Fields behaviour (extra trailing fields are tolerated).
+	if total < swfFields {
+		return Job{}, fmt.Errorf("expected %d fields, got %d", swfFields, total)
 	}
 	var raw [swfFields]float64
 	for i := 0; i < swfFields; i++ {
-		v, err := strconv.ParseFloat(fields[i], 64)
+		v, err := parseFloatBytes(fields[i])
 		if err != nil {
 			return Job{}, fmt.Errorf("field %d %q: %v", i+1, fields[i], err)
 		}
 		raw[i] = v
 	}
+	return jobFromFields(&raw), nil
+}
+
+// parseFloatBytes converts one SWF field to float64. Nearly every field
+// in a real log is a short signed integer, so those are converted
+// directly: for up to 18 digits the int64 value is exact and
+// float64(int64) applies the same round-to-nearest-even conversion as
+// strconv.ParseFloat, giving bit-identical results. Everything else
+// (decimal points, exponents, inf/NaN, 19+ digits) falls back to
+// strconv.ParseFloat, allocating one string.
+func parseFloatBytes(b []byte) (float64, error) {
+	s := b
+	neg := false
+	if len(s) > 0 && (s[0] == '-' || s[0] == '+') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if n := len(s); n > 0 && n <= 18 {
+		v := int64(0)
+		for _, c := range s {
+			if c < '0' || c > '9' {
+				return strconv.ParseFloat(string(b), 64)
+			}
+			v = v*10 + int64(c-'0')
+		}
+		f := float64(v)
+		if neg {
+			// Negate in float space so "-0" keeps its sign bit.
+			f = -f
+		}
+		return f, nil
+	}
+	return strconv.ParseFloat(string(b), 64)
+}
+
+func jobFromFields(raw *[swfFields]float64) Job {
 	j := Job{
 		ID:        int(raw[0]),
 		Submit:    nonNegSeconds(raw[1]),
@@ -111,7 +241,7 @@ func parseSWFLine(line string) (Job, error) {
 	if j.Nodes == 0 {
 		j.Nodes = intOrZero(raw[7])
 	}
-	return j, nil
+	return j
 }
 
 func nonNegSeconds(v float64) units.Seconds {

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// line18 builds a data line of 18 copies of the given field.
+func line18(field string) string {
+	return strings.TrimSpace(strings.Repeat(field+" ", swfFields)) + "\n"
+}
+
+func TestParseFloatBytesMatchesStrconv(t *testing.T) {
+	cases := []string{
+		"0", "-0", "+0", "1", "-1", "007", "+42",
+		"123456789", "999999999999999999", // 18 digits: fast path
+		"9223372036854775807",                // 19 digits: slow path
+		"18446744073709551616",               // > int64
+		"3.5", "1e3", "-2.75e-3", ".5", "1.", // slow path shapes
+		"inf", "-Inf", "NaN",
+	}
+	for _, s := range cases {
+		want, werr := strconv.ParseFloat(s, 64)
+		got, gerr := parseFloatBytes([]byte(s))
+		if (werr == nil) != (gerr == nil) {
+			t.Errorf("%q: error mismatch: %v vs %v", s, gerr, werr)
+			continue
+		}
+		if werr != nil {
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("%q: %v (%x) != strconv %v (%x)",
+				s, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	for _, bad := range []string{"", "-", "+", "1x", "--1", "1 2"} {
+		if _, err := parseFloatBytes([]byte(bad)); err == nil {
+			t.Errorf("%q: accepted", bad)
+		}
+	}
+}
+
+func TestReadSWFErrorMessages(t *testing.T) {
+	_, err := ReadSWF(strings.NewReader("; header\n1 2 3\n"))
+	if err == nil || err.Error() != "trace: line 2: expected 18 fields, got 3" {
+		t.Errorf("short-line error = %v", err)
+	}
+	_, err = ReadSWF(strings.NewReader(line18("bogus")))
+	if err == nil || !strings.Contains(err.Error(), `field 1 "bogus"`) {
+		t.Errorf("bad-field error = %v", err)
+	}
+	// Extra trailing fields beyond 18 are tolerated — even non-numeric
+	// ones, matching the historical parser.
+	extras := strings.TrimSpace(strings.Repeat("2 ", swfFields)) + " junk extra\n"
+	tr, err := ReadSWF(strings.NewReader(line18("1") + extras))
+	if err != nil {
+		t.Fatalf("extra fields rejected: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("parsed %d jobs, want 2", tr.Len())
+	}
+}
+
+func TestReadSWFUnicodeWhitespaceFallback(t *testing.T) {
+	// U+00A0 (no-break space) is unicode whitespace: strings.Fields
+	// splits on it, so the byte-level parser must defer to the legacy
+	// path for non-ASCII lines rather than treat it as a field byte.
+	fields := make([]string, swfFields)
+	for i := range fields {
+		fields[i] = strconv.Itoa(i + 1)
+	}
+	line := strings.Join(fields, "\u00a0") + "\n"
+	tr, err := ReadSWF(strings.NewReader(line))
+	if err != nil {
+		t.Fatalf("NBSP-separated line rejected: %v", err)
+	}
+	if tr.Len() != 1 || tr.Jobs[0].ID != 1 || tr.Jobs[0].Nodes != 5 {
+		t.Fatalf("NBSP-separated line misparsed: %+v", tr.Jobs)
+	}
+
+	// A non-ASCII header line must still be recognised as a header.
+	tr, err = ReadSWF(strings.NewReader("; café MaxNodes: 64\n;MaxNodes: 32\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Header) != 2 || tr.MaxNodes != 32 {
+		t.Fatalf("non-ASCII header handling: %+v MaxNodes=%d", tr.Header, tr.MaxNodes)
+	}
+}
+
+func TestReadSWFScannerErrorHasLineNumber(t *testing.T) {
+	// A 2MB single line overflows the scanner's 1MB cap; the error must
+	// name the line it happened on.
+	input := "; ok\n" + strings.Repeat("1", 2<<20)
+	_, err := ReadSWF(strings.NewReader(input))
+	if err == nil || !strings.Contains(err.Error(), "trace: line 2:") {
+		t.Errorf("scanner error lacks line number: %v", err)
+	}
+}

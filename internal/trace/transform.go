@@ -7,11 +7,22 @@ import (
 	"overprov/internal/units"
 )
 
-// Filter returns a new trace containing the jobs for which keep returns
-// true. Header metadata is copied.
+// Filter returns a trace containing the jobs for which keep returns
+// true. When every job passes, the result is a zero-copy view sharing
+// the backing Jobs array (see View); otherwise the kept jobs are copied
+// into a fresh array. Header metadata is shared either way.
 func (t *Trace) Filter(keep func(*Job) bool) *Trace {
-	out := &Trace{Header: append([]string(nil), t.Header...), MaxNodes: t.MaxNodes}
-	for i := range t.Jobs {
+	i := 0
+	for i < len(t.Jobs) && keep(&t.Jobs[i]) {
+		i++
+	}
+	if i == len(t.Jobs) {
+		return t.View()
+	}
+	out := &Trace{Header: t.Header[:len(t.Header):len(t.Header)], MaxNodes: t.MaxNodes}
+	out.Jobs = make([]Job, i, len(t.Jobs)-1)
+	copy(out.Jobs, t.Jobs[:i])
+	for i++; i < len(t.Jobs); i++ {
 		if keep(&t.Jobs[i]) {
 			out.Jobs = append(out.Jobs, t.Jobs[i])
 		}
@@ -27,72 +38,156 @@ func (t *Trace) DropLargerThan(maxNodes int) *Trace {
 	return t.Filter(func(j *Job) bool { return j.Nodes <= maxNodes })
 }
 
+// simReady reports whether the job is a usable successful completion —
+// the CompleteOnly selection predicate.
+func simReady(j *Job) bool {
+	return j.Status == StatusCompleted && j.Runtime > 0 && j.ReqMem > 0 && j.Nodes > 0
+}
+
 // CompleteOnly removes records that are not successful completions and
 // records lacking the data the estimator needs (zero runtime, zero
 // requested memory). Following the paper, jobs whose recorded usage
 // exceeds their request are clamped rather than dropped: the paper
 // assumes requests are always ≥ actual use, so usage is capped at the
-// request.
+// request. Selection and clamping run in one pass; a trace that needs
+// neither comes back as a zero-copy view.
 func (t *Trace) CompleteOnly() *Trace {
-	out := t.Filter(func(j *Job) bool {
-		return j.Status == StatusCompleted && j.Runtime > 0 && j.ReqMem > 0 && j.Nodes > 0
-	})
-	for i := range out.Jobs {
-		j := &out.Jobs[i]
+	i := 0
+	for i < len(t.Jobs) && simReady(&t.Jobs[i]) && t.Jobs[i].UsedMem <= t.Jobs[i].ReqMem {
+		i++
+	}
+	if i == len(t.Jobs) {
+		return t.View()
+	}
+	out := &Trace{Header: t.Header[:len(t.Header):len(t.Header)], MaxNodes: t.MaxNodes}
+	out.Jobs = make([]Job, i, len(t.Jobs))
+	copy(out.Jobs, t.Jobs[:i])
+	for ; i < len(t.Jobs); i++ {
+		j := t.Jobs[i]
+		if !simReady(&j) {
+			continue
+		}
 		if j.UsedMem > j.ReqMem {
 			j.UsedMem = j.ReqMem
 		}
+		out.Jobs = append(out.Jobs, j)
 	}
 	return out
 }
 
+// Prepared returns the simulation-ready version of the trace: jobs
+// larger than maxNodes dropped, incomplete records removed, usage
+// clamped to the request, ordered by submission, and renumbered 1..n.
+// It is the DropLargerThan → CompleteOnly → SortBySubmit → Renumber
+// chain fused into a single selection pass with at most one allocation;
+// a trace that is already simulation-ready comes back as a zero-copy
+// view.
+func (t *Trace) Prepared(maxNodes int) *Trace {
+	keep := func(j *Job) bool { return j.Nodes <= maxNodes && simReady(j) }
+	i := 0
+	for i < len(t.Jobs) && keep(&t.Jobs[i]) && t.Jobs[i].UsedMem <= t.Jobs[i].ReqMem {
+		i++
+	}
+	var out *Trace
+	if i == len(t.Jobs) {
+		out = t.View()
+	} else {
+		out = &Trace{Header: t.Header[:len(t.Header):len(t.Header)], MaxNodes: t.MaxNodes}
+		out.Jobs = make([]Job, i, len(t.Jobs))
+		copy(out.Jobs, t.Jobs[:i])
+		for ; i < len(t.Jobs); i++ {
+			j := t.Jobs[i]
+			if !keep(&j) {
+				continue
+			}
+			if j.UsedMem > j.ReqMem {
+				j.UsedMem = j.ReqMem
+			}
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	out.SortBySubmit()
+	out.Renumber()
+	return out
+}
+
 // SortBySubmit orders the jobs by submission time (stably), renumbering
-// nothing.
+// nothing. Already-sorted traces (the common case for prepared
+// workloads and views of them) are left untouched, so no copy-on-write
+// materialization happens.
 func (t *Trace) SortBySubmit() {
+	sorted := true
+	for i := 1; i < len(t.Jobs); i++ {
+		if t.Jobs[i].Submit < t.Jobs[i-1].Submit {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	t.own()
 	sort.SliceStable(t.Jobs, func(i, k int) bool {
 		return t.Jobs[i].Submit < t.Jobs[k].Submit
 	})
 }
 
-// Renumber rewrites job IDs as 1..n in current order.
+// Renumber rewrites job IDs as 1..n in current order. A trace already
+// numbered 1..n is left untouched (no copy-on-write materialization).
 func (t *Trace) Renumber() {
-	for i := range t.Jobs {
+	i := 0
+	for i < len(t.Jobs) && t.Jobs[i].ID == i+1 {
+		i++
+	}
+	if i == len(t.Jobs) {
+		return
+	}
+	t.own()
+	for ; i < len(t.Jobs); i++ {
 		t.Jobs[i].ID = i + 1
 	}
 }
 
-// Head returns a copy of the trace truncated to the first n jobs (in
-// current order).
+// Head returns a view of the trace truncated to the first n jobs (in
+// current order), sharing the backing array with the parent.
 func (t *Trace) Head(n int) *Trace {
 	if n > len(t.Jobs) {
 		n = len(t.Jobs)
 	}
 	return &Trace{
-		Jobs:     append([]Job(nil), t.Jobs[:n]...),
-		Header:   append([]string(nil), t.Header...),
+		Jobs:     t.Jobs[:n:n],
+		Header:   t.Header[:len(t.Header):len(t.Header)],
 		MaxNodes: t.MaxNodes,
+		shared:   true,
 	}
 }
 
-// ScaleLoad returns a copy of the trace whose submission times are
-// compressed (factor > 1) or stretched (factor < 1) around the first
-// submission, changing the offered load by the same factor while
-// preserving runtimes, sizes, and arrival order. This is how the
+// ScaleLoad returns a trace whose submission times are compressed
+// (factor > 1) or stretched (factor < 1) around the first submission,
+// changing the offered load by the same factor while preserving
+// runtimes, sizes, and arrival order. This is how the
 // utilization-versus-load curves of Figures 5 and 6 are swept.
+//
+// Only the submit-time column is rewritten: the result materializes the
+// job rows in a single bulk copy-and-patch pass and shares the header
+// with the parent, instead of the former deep clone followed by a
+// second rewrite pass.
 func (t *Trace) ScaleLoad(factor float64) (*Trace, error) {
 	if factor <= 0 {
 		return nil, fmt.Errorf("trace: non-positive load factor %g", factor)
 	}
-	out := t.Clone()
-	if len(out.Jobs) == 0 {
+	out := &Trace{Header: t.Header[:len(t.Header):len(t.Header)], MaxNodes: t.MaxNodes}
+	if len(t.Jobs) == 0 {
 		return out, nil
 	}
-	base := out.Jobs[0].Submit
-	for i := range out.Jobs {
-		if out.Jobs[i].Submit < base {
-			base = out.Jobs[i].Submit
+	base := t.Jobs[0].Submit
+	for i := range t.Jobs {
+		if t.Jobs[i].Submit < base {
+			base = t.Jobs[i].Submit
 		}
 	}
+	out.Jobs = make([]Job, len(t.Jobs))
+	copy(out.Jobs, t.Jobs)
 	for i := range out.Jobs {
 		rel := out.Jobs[i].Submit - base
 		out.Jobs[i].Submit = base + units.Seconds(rel.Sec()/factor)
@@ -122,8 +217,13 @@ func (t *Trace) Window(from, to units.Seconds) (*Trace, error) {
 		return nil, fmt.Errorf("trace: empty window [%v,%v)", from, to)
 	}
 	out := t.Filter(func(j *Job) bool { return j.Submit >= from && j.Submit < to })
-	for i := range out.Jobs {
-		out.Jobs[i].Submit -= from
+	if from != 0 {
+		// Re-anchoring writes every submit; materialize the view first
+		// so the rebase never leaks into the parent trace.
+		out.own()
+		for i := range out.Jobs {
+			out.Jobs[i].Submit -= from
+		}
 	}
 	out.SortBySubmit()
 	out.Renumber()
