@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race verify bench bench3 bench4 clean
+.PHONY: build test lint race chaos verify bench bench3 bench4 clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,18 @@ lint: overprovlint
 
 race:
 	$(GO) test -race ./...
+
+# The fault-injection suite under the race detector: WAL crash matrix
+# (a simulated SIGKILL at every filesystem operation), torn-tail and
+# corruption recovery, graceful-degradation serving, drain deadlines,
+# and loadgen retry behaviour. `make race` already includes these;
+# this target runs only them, with -count=1 so chaos is never cached.
+CHAOS_PKGS = ./internal/wal/... ./internal/faultinject/... ./internal/server ./cmd/schedd ./cmd/loadgen
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Crash|Torn|Chaos|Fault|Recover|Rotate|Halt|Degrade|Drain|Healthz|Retry|DiskFull|BitFlip' \
+		$(CHAOS_PKGS)
+	$(GO) test -run '^$$' -fuzz FuzzScanRecords -fuzztime 10s ./internal/wal/
 
 # Record the benchmark suite into the "current" section of BENCH_2.json:
 # every figure bench once, then the throughput bench refined with the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
@@ -24,6 +25,16 @@ type config struct {
 	MemMB     float64
 	ReqTimeS  float64
 	FailEvery int
+	// Retries bounds per-request retry attempts for transient failures
+	// (connection refused, timeouts, 5xx): a restarting or draining
+	// daemon looks exactly like this, and a closed-loop generator that
+	// counts those as hard errors cannot measure a rolling restart.
+	// Zero disables retrying.
+	Retries int
+	// RetryBase is the first backoff delay; it doubles per attempt
+	// (with jitter) and is capped at RetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
 func (c config) validate() error {
@@ -40,6 +51,12 @@ func (c config) validate() error {
 		return fmt.Errorf("-users and -apps must be positive")
 	case c.FailEvery < 0:
 		return fmt.Errorf("-fail must be >= 0")
+	case c.Retries < 0:
+		return fmt.Errorf("-retries must be >= 0")
+	case c.Retries > 0 && c.RetryBase <= 0:
+		return fmt.Errorf("-retry-base must be positive when retrying")
+	case c.Retries > 0 && c.RetryMax < c.RetryBase:
+		return fmt.Errorf("-retry-max must be >= -retry-base")
 	}
 	return nil
 }
@@ -53,8 +70,9 @@ type report struct {
 	Started    int           // of those, dispatched immediately
 	Completed  int           // completion reports delivered
 	Rejected   int           // per-item submit errors (e.g. unsatisfiable)
-	HTTPErrors int           // transport or non-2xx failures
-	Latencies  latencySample // one sample per HTTP request
+	HTTPErrors int           // requests that failed after exhausting retries
+	Retries    int           // transient failures absorbed by backoff + retry
+	Latencies  latencySample // one sample per HTTP request attempt
 }
 
 // latencySample holds per-request wall-clock latencies.
@@ -72,8 +90,8 @@ func (r report) String() string {
 	var b strings.Builder
 	perSec := float64(r.Completed) / r.Elapsed.Seconds()
 	fmt.Fprintf(&b, "clients %d  batch %d  elapsed %v\n", r.Clients, r.Batch, r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(&b, "submitted %d (started %d, rejected %d)  completed %d  http errors %d\n",
-		r.Submitted, r.Started, r.Rejected, r.Completed, r.HTTPErrors)
+	fmt.Fprintf(&b, "submitted %d (started %d, rejected %d)  completed %d  http errors %d  retries %d\n",
+		r.Submitted, r.Started, r.Rejected, r.Completed, r.HTTPErrors, r.Retries)
 	fmt.Fprintf(&b, "throughput %.0f jobs/s over %d requests\n", perSec, len(r.Latencies))
 	fmt.Fprintf(&b, "request latency p50 %v  p95 %v  p99 %v  max %v\n",
 		r.Latencies.percentile(0.50), r.Latencies.percentile(0.95),
@@ -98,7 +116,15 @@ func run(cfg config) (report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			(&worker{cfg: cfg, base: base, id: c, stats: &stats[c]}).loop(deadline)
+			w := &worker{
+				cfg: cfg, base: base, id: c, stats: &stats[c],
+				// Per-worker seeded generator: backoff jitter stays
+				// deterministic for a given client id, so runs are
+				// reproducible (and workers never share a rand source).
+				rng:      rand.New(rand.NewSource(int64(c) + 1)),
+				deadline: deadline,
+			}
+			w.loop(deadline)
 		}()
 	}
 	wg.Wait()
@@ -110,6 +136,7 @@ func run(cfg config) (report, error) {
 		rep.Completed += s.completed
 		rep.Rejected += s.rejected
 		rep.HTTPErrors += s.httpErrors
+		rep.Retries += s.retries
 		rep.Latencies = append(rep.Latencies, s.latencies...)
 	}
 	sort.Slice(rep.Latencies, func(i, j int) bool { return rep.Latencies[i] < rep.Latencies[j] })
@@ -117,16 +144,18 @@ func run(cfg config) (report, error) {
 }
 
 type clientStats struct {
-	submitted, started, completed, rejected, httpErrors int
-	latencies                                           []time.Duration
+	submitted, started, completed, rejected, httpErrors, retries int
+	latencies                                                    []time.Duration
 }
 
 type worker struct {
-	cfg   config
-	base  string
-	id    int
-	seq   int
-	stats *clientStats
+	cfg      config
+	base     string
+	id       int
+	seq      int
+	stats    *clientStats
+	rng      *rand.Rand
+	deadline time.Time
 }
 
 // loop submits a window, completes whatever started, and repeats until
@@ -155,33 +184,68 @@ func (w *worker) jobSpec() map[string]any {
 	}
 }
 
-// post sends one timed request; ok is false on transport error or a
-// status outside wantStatus.
+// post sends one timed request, retrying transient failures (transport
+// errors — connection refused, timeouts — and 5xx responses) with
+// capped exponential backoff plus jitter. A restarting or draining
+// daemon presents exactly those failures; without retries a closed-loop
+// generator reports a rolling restart as a wall of hard errors instead
+// of a latency blip. ok is false only after retries are exhausted or on
+// a non-retryable failure (4xx, malformed response).
 func (w *worker) post(client *http.Client, path string, body, out any, wantStatus int) bool {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		w.stats.httpErrors++
 		return false
 	}
+	for attempt := 0; ; attempt++ {
+		retryable, ok := w.attempt(client, path, buf, out, wantStatus)
+		if ok {
+			return true
+		}
+		if !retryable || attempt >= w.cfg.Retries || !w.sleepBackoff(attempt) {
+			w.stats.httpErrors++
+			return false
+		}
+		w.stats.retries++
+	}
+}
+
+// attempt issues a single timed request. retryable reports whether the
+// failure is transient (worth backing off and retrying).
+func (w *worker) attempt(client *http.Client, path string, buf []byte, out any, wantStatus int) (retryable, ok bool) {
 	t0 := time.Now()
 	resp, err := client.Post(w.base+path, "application/json", bytes.NewReader(buf))
 	w.stats.latencies = append(w.stats.latencies, time.Since(t0))
 	if err != nil {
-		w.stats.httpErrors++
-		return false
+		return true, false // connection refused, reset, client timeout
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
-		w.stats.httpErrors++
-		return false
+		return resp.StatusCode >= 500, false
 	}
 	if out == nil {
-		return true
+		return false, true
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		w.stats.httpErrors++
+		return false, false
+	}
+	return false, true
+}
+
+// sleepBackoff waits min(RetryMax, RetryBase·2^attempt) scaled by a
+// jitter factor in [0.5, 1.5) from the worker's seeded generator, so
+// clients retrying the same outage don't stampede in lockstep. Returns
+// false instead of sleeping past the run deadline.
+func (w *worker) sleepBackoff(attempt int) bool {
+	d := w.cfg.RetryBase << uint(attempt)
+	if d > w.cfg.RetryMax || d <= 0 { // <= 0: shift overflow
+		d = w.cfg.RetryMax
+	}
+	d = time.Duration((0.5 + w.rng.Float64()) * float64(d))
+	if !w.deadline.IsZero() && time.Now().Add(d).After(w.deadline) {
 		return false
 	}
+	time.Sleep(d)
 	return true
 }
 

@@ -35,6 +35,9 @@ func main() {
 	flag.Float64Var(&cfg.MemMB, "mem", 32, "requested memory per node (MB)")
 	flag.Float64Var(&cfg.ReqTimeS, "req-time", 600, "requested runtime (s)")
 	flag.IntVar(&cfg.FailEvery, "fail", 16, "every Nth completion reports failure (0 = never)")
+	flag.IntVar(&cfg.Retries, "retries", 5, "retry attempts for transient failures (0 = fail hard)")
+	flag.DurationVar(&cfg.RetryBase, "retry-base", 10*time.Millisecond, "first retry backoff (doubles per attempt)")
+	flag.DurationVar(&cfg.RetryMax, "retry-max", time.Second, "backoff cap")
 	flag.Parse()
 
 	rep, err := run(cfg)

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -107,12 +110,124 @@ func TestConfigValidate(t *testing.T) {
 		"users":    func(c *config) { c.Users = 0 },
 		"apps":     func(c *config) { c.Apps = -1 },
 		"fail":     func(c *config) { c.FailEvery = -1 },
+		"retries":  func(c *config) { c.Retries = -1 },
+		"base":     func(c *config) { c.Retries = 3; c.RetryBase = 0 },
+		"max":      func(c *config) { c.Retries = 3; c.RetryBase = time.Second; c.RetryMax = time.Millisecond },
 	} {
 		c := good
 		mutate(&c)
 		if err := c.validate(); err == nil {
 			t.Errorf("%s: bad config accepted", name)
 		}
+	}
+}
+
+// flakyFront simulates a daemon mid-restart: the first fail requests
+// get 503, then traffic flows to the real handler. Connection-refused
+// and timeout failures take the same retry path (transport errors);
+// 503 is the variant an httptest server can stage deterministically.
+type flakyFront struct {
+	mu   sync.Mutex
+	fail int
+	next http.Handler
+}
+
+func (f *flakyFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	failing := f.fail > 0
+	if failing {
+		f.fail--
+	}
+	f.mu.Unlock()
+	if failing {
+		http.Error(w, "restarting", http.StatusServiceUnavailable)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// TestRetryAbsorbsTransientErrors: a burst of 503s at the front of the
+// run must surface as retries, not hard errors.
+func TestRetryAbsorbsTransientErrors(t *testing.T) {
+	ts, srv := testDaemon(t)
+	front := &flakyFront{fail: 6, next: srv.Handler()}
+	flaky := httptest.NewServer(front)
+	t.Cleanup(flaky.Close)
+
+	cfg := testConfig(flaky.URL, 8)
+	cfg.Retries = 8
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryMax = 10 * time.Millisecond
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HTTPErrors != 0 {
+		t.Fatalf("transient 503s counted as hard errors:\n%s", rep)
+	}
+	if rep.Retries < 6 {
+		t.Fatalf("retries = %d, want at least the 6 injected failures\n%s", rep.Retries, rep)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("no work done after the flaky front cleared:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "retries") {
+		t.Error("summary does not report the retry count")
+	}
+	_ = ts
+}
+
+// TestRetriesExhausted: a permanently failing daemon still produces
+// hard errors once the budget runs out — retrying must not mask a real
+// outage forever.
+func TestRetriesExhausted(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+	cfg := testConfig(dead.URL, 1)
+	cfg.Clients = 1
+	cfg.Duration = 80 * time.Millisecond
+	cfg.Retries = 2
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryMax = 2 * time.Millisecond
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HTTPErrors == 0 {
+		t.Fatalf("permanent 500s never became hard errors:\n%s", rep)
+	}
+	if rep.Retries == 0 {
+		t.Fatalf("no retries attempted before giving up:\n%s", rep)
+	}
+	if rep.Completed != 0 {
+		t.Fatalf("completed %d jobs against a dead daemon", rep.Completed)
+	}
+}
+
+// TestNonRetryableNotRetried: 4xx responses are the client's fault and
+// must fail immediately, with zero retries burned.
+func TestNonRetryableNotRetried(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	t.Cleanup(bad.Close)
+	cfg := testConfig(bad.URL, 1)
+	cfg.Clients = 1
+	cfg.Duration = 30 * time.Millisecond
+	cfg.Retries = 5
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryMax = 2 * time.Millisecond
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries != 0 {
+		t.Fatalf("burned %d retries on 400 responses", rep.Retries)
+	}
+	if rep.HTTPErrors == 0 {
+		t.Fatal("400 responses not reported as errors")
 	}
 }
 

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/server"
+	"overprov/internal/units"
+	"overprov/internal/wal"
+)
+
+// walDaemon assembles the daemon exactly as main does with -wal-dir:
+// WAL open + recover, journal wired ahead of the estimator.
+func walDaemon(t *testing.T, dir string) (*httptest.Server, *server.Server, *estimate.ShardedSynchronized, *wal.Log) {
+	t.Helper()
+	cl, err := cluster.New(cluster.Spec{Nodes: 1 << 12, Mem: units.MemSize(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{Alpha: 2, Round: cl}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(est.LoadState, func(r wal.Record) error {
+		est.Feedback(r.Outcome())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Cluster: cl, Estimator: est, Journal: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return ts, srv, est, l
+}
+
+// TestDaemonCrashRecovery is the tentpole's end-to-end check: a real
+// daemon journals completions from concurrent clients, the process
+// "dies" without any shutdown (the WAL file is simply abandoned, plus
+// torn garbage appended to the journal tail), and a fresh daemon
+// recovering from the directory must (a) have trained on every acked
+// completion and (b) hold state byte-identical to loading the newest
+// snapshot and replaying the journal suffix.
+func TestDaemonCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ts, srv, est, l := walDaemon(t, dir)
+
+	// Phase 1: concurrent closed-loop clients, completions acked → WAL.
+	const clients, perClient = 4, 25
+	var mu sync.Mutex
+	var ackedJobs []int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				body := fmt.Sprintf(`{"user":%d,"app":%d,"nodes":1,"req_mem_mb":32,"req_time_s":600}`,
+					c, i%3)
+				resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				var v server.JobView
+				err = json.NewDecoder(resp.Body).Decode(&v)
+				resp.Body.Close()
+				if err != nil || v.State != server.StateRunning {
+					t.Errorf("submit: %v state %q", err, v.State)
+					return
+				}
+				resp, err = http.Post(
+					fmt.Sprintf("%s/api/v1/jobs/%d/complete", ts.URL, v.ID),
+					"application/json", strings.NewReader(`{"success":true}`))
+				if err != nil {
+					t.Errorf("complete: %v", err)
+					return
+				}
+				ok := resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+				if ok {
+					mu.Lock()
+					ackedJobs = append(ackedJobs, v.ID)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(ackedJobs) != clients*perClient {
+		t.Fatalf("only %d/%d completions acked", len(ackedJobs), clients*perClient)
+	}
+	m := srv.Metrics()
+	if m.WALErrors != 0 || m.WALRecords != uint64(len(ackedJobs)) {
+		t.Fatalf("wal_records=%d wal_errors=%d, want %d and 0", m.WALRecords, m.WALErrors, len(ackedJobs))
+	}
+
+	// Mid-life rotation, then more acked load on the new generation.
+	if err := l.Rotate(est.SaveState); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		body := fmt.Sprintf(`{"user":9,"app":%d,"nodes":1,"req_mem_mb":16,"req_time_s":60}`, i%2)
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v server.JobView
+		json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		resp, err = http.Post(fmt.Sprintf("%s/api/v1/jobs/%d/complete", ts.URL, v.ID),
+			"application/json", strings.NewReader(`{"success":true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// The live state the crash must not lose.
+	var live bytes.Buffer
+	if err := est.SaveState(&live); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL: no drain, no Close, no final rotation — and the torn tail
+	// of a half-written append on top.
+	ts.Close()
+	journalPath := filepath.Join(dir, fmt.Sprintf("journal-%08d.wal", l.Seq()))
+	f, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x41, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Restart: a fresh daemon recovers from the directory alone.
+	ts2, _, est2, l2 := walDaemon(t, dir)
+	defer ts2.Close()
+	defer l2.Close()
+
+	var recovered bytes.Buffer
+	if err := est2.SaveState(&recovered); err != nil {
+		t.Fatal(err)
+	}
+	if recovered.String() != live.String() {
+		t.Fatalf("recovered estimator state differs from pre-crash state\npre:  %s\npost: %s",
+			live.String(), recovered.String())
+	}
+
+	// Independent reconstruction: newest snapshot + journal replay via
+	// Dump must produce the identical state (snapshot+replay invariant).
+	snap, recs, err := wal.Dump(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("rotation happened but Dump found no snapshot")
+	}
+	manual, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{Alpha: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := manual.LoadState(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		manual.Feedback(r.Outcome())
+	}
+	var rebuilt bytes.Buffer
+	if err := manual.SaveState(&rebuilt); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.String() != recovered.String() {
+		t.Fatalf("snapshot+replay differs from recovered state\nreplay: %s\nrecovered: %s",
+			rebuilt.String(), recovered.String())
+	}
+
+	// The recovered daemon keeps serving and journaling.
+	resp, err := http.Post(ts2.URL+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"user":1,"app":1,"nodes":1,"req_mem_mb":32,"req_time_s":600}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-recovery submit: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestDaemonRecoveryNoRotation: without any rotation every acked
+// completion is a journal record; the replayed JobID set must contain
+// every acked job exactly once.
+func TestDaemonRecoveryNoRotation(t *testing.T) {
+	dir := t.TempDir()
+	ts, srv, _, l := walDaemon(t, dir)
+	var acked []int64
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"user":%d,"app":0,"nodes":1,"req_mem_mb":32,"req_time_s":600}`, i%4)
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v server.JobView
+		json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		resp, err = http.Post(fmt.Sprintf("%s/api/v1/jobs/%d/complete", ts.URL, v.ID),
+			"application/json", strings.NewReader(`{"success":true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			acked = append(acked, v.ID)
+		}
+		resp.Body.Close()
+	}
+	ts.Close() // abandon: no l.Close(), no rotation
+	if m := srv.Metrics(); m.WALRecords != uint64(len(acked)) {
+		t.Fatalf("wal_records=%d, acked=%d", m.WALRecords, len(acked))
+	}
+
+	_, recs, err := wal.Dump(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[int64]int)
+	for _, r := range recs {
+		got[r.JobID]++
+	}
+	for _, id := range acked {
+		if got[id] != 1 {
+			t.Errorf("acked job %d appears %d times in the journal, want 1", id, got[id])
+		}
+	}
+	if len(recs) != len(acked) {
+		t.Errorf("journal has %d records, want exactly the %d acked", len(recs), len(acked))
+	}
+	_ = l // the abandoned log: its descriptor dies with the test process
+}

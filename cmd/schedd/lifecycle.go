@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"overprov/internal/server"
+)
+
+// atomicWriteFile writes path durably: the content goes to a temp file
+// in the same directory, is fsynced, atomically renamed over path, and
+// the directory is fsynced so the rename itself survives a crash. The
+// pre-WAL state saver renamed without either fsync — a crash shortly
+// after "saving" could lose the snapshot entirely (the satellite bug
+// this helper fixes).
+func atomicWriteFile(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// drainResult reports what a graceful shutdown achieved.
+type drainResult struct {
+	// Drained is how many in-flight requests completed within the
+	// deadline; Aborted how many were cut off when it expired.
+	Drained, Aborted int64
+	// Clean is true when every listener shut down inside the deadline.
+	Clean bool
+}
+
+func (d drainResult) String() string {
+	state := "clean"
+	if !d.Clean {
+		state = "deadline exceeded"
+	}
+	return fmt.Sprintf("drained %d request(s), aborted %d (%s)", d.Drained, d.Aborted, state)
+}
+
+// drain gracefully shuts down the API listener (and the optional debug
+// listener) with one shared deadline: readiness flips to draining
+// first, then http.Server.Shutdown waits for in-flight requests, and
+// whatever is still running at the deadline is aborted by Close. The
+// old shutdown path called Close directly, dropping in-flight
+// completion reports — feedback the estimator never saw.
+func drain(srv *server.Server, httpSrv, debugSrv *http.Server, timeout time.Duration) drainResult {
+	srv.BeginDrain()
+	before := srv.InFlight()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	res := drainResult{Clean: true}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		res.Clean = false
+		_ = httpSrv.Close()
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			res.Clean = false
+			_ = debugSrv.Close()
+		}
+	}
+	res.Aborted = srv.InFlight()
+	res.Drained = before - res.Aborted
+	if res.Drained < 0 {
+		res.Drained = 0
+	}
+	return res
+}

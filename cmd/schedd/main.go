@@ -2,14 +2,20 @@
 // the paper's Figure 2 loop in wall-clock time. Jobs are submitted over
 // the JSON API, matched using learned estimates of their actual
 // requirements, and completion reports train the estimator. Learned
-// similarity-group state can be persisted across restarts.
+// similarity-group state can be persisted across restarts — either as
+// periodic snapshots (-state) or, for crash-grade durability, as a
+// write-ahead feedback journal with snapshot rotation (-wal-dir): every
+// acked completion hits the fsynced journal before the estimator trains
+// on it, and restart recovery replays exactly the acked feedback stream.
 //
 // Usage:
 //
 //	schedd -addr :8080                          # paper cluster, α=2 β=0
 //	schedd -cluster "512x32,512x24" -alpha 2    # explicit cluster spec
 //	schedd -state /var/lib/schedd/groups.json   # load + periodically save state
+//	schedd -wal-dir /var/lib/schedd/wal         # durable feedback WAL + snapshots
 //	schedd -shards 64 -debug-addr :6060         # wider striping + pprof/metrics
+//	schedd -drain-timeout 30s                   # graceful-shutdown deadline
 //
 // API (see internal/server):
 //
@@ -17,7 +23,12 @@
 //	POST /api/v1/jobs/{id}/complete  {"success":true,"used_mem_mb":5.2}
 //	POST /api/v1/jobs:batch          {"jobs":[...]}
 //	POST /api/v1/complete:batch      {"completions":[{"id":7,"success":true}]}
-//	GET  /api/v1/jobs/{id}  /api/v1/status  /api/v1/estimates
+//	GET  /api/v1/jobs/{id}  /api/v1/status  /api/v1/estimates  /api/v1/healthz
+//
+// On SIGTERM/SIGINT the daemon flips /api/v1/healthz to 503 (so load
+// balancers stop routing to it), drains in-flight requests up to
+// -drain-timeout, logs how many were drained vs aborted, takes a final
+// durable snapshot, and exits.
 //
 // With -debug-addr set, a second listener serves net/http/pprof under
 // /debug/pprof/ and the serving counters at GET /api/v1/metrics. It is
@@ -42,6 +53,7 @@ import (
 	"overprov/internal/estimate"
 	"overprov/internal/server"
 	"overprov/internal/units"
+	"overprov/internal/wal"
 )
 
 func main() {
@@ -52,11 +64,16 @@ func main() {
 		beta     = flag.Float64("beta", 0, "Algorithm 1 damping β")
 		explicit = flag.Bool("explicit", false, "accept used_mem_mb in completion reports")
 		state    = flag.String("state", "", "estimator state file (loaded at start, saved periodically)")
-		saveEach = flag.Duration("save-interval", time.Minute, "state save period when -state is set")
+		walDir   = flag.String("wal-dir", "", "feedback WAL directory (durable journal + rotated snapshots)")
+		saveEach = flag.Duration("save-interval", time.Minute, "state save / WAL rotation period")
+		drainFor = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 		shards   = flag.Int("shards", estimate.DefaultShards, "estimator lock stripes (rounded up to a power of two)")
 		debug    = flag.String("debug-addr", "", "optional second listener for /debug/pprof/ and /api/v1/metrics")
 	)
 	flag.Parse()
+	if *state != "" && *walDir != "" {
+		log.Fatalf("schedd: -state and -wal-dir are mutually exclusive (the WAL keeps its own snapshots)")
+	}
 
 	cl, err := parseCluster(*clSpec)
 	if err != nil {
@@ -72,7 +89,28 @@ func main() {
 	if err != nil {
 		log.Fatalf("schedd: %v", err)
 	}
-	if *state != "" {
+
+	var feedbackLog *wal.Log
+	switch {
+	case *walDir != "":
+		feedbackLog, err = wal.Open(*walDir, wal.Options{})
+		if err != nil {
+			log.Fatalf("schedd: %v", err)
+		}
+		stats, err := feedbackLog.Recover(est.LoadState, func(r wal.Record) error {
+			est.Feedback(r.Outcome())
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("schedd: recovering %s: %v", *walDir, err)
+		}
+		log.Printf("schedd: recovered %d similarity groups from %s (snapshot %d + %d journal records)",
+			est.NumGroups(), *walDir, stats.SnapshotSeq, stats.Records)
+		if stats.TornBytes > 0 {
+			log.Printf("schedd: truncated %d torn byte(s) from the journal tail (corrupt=%v, dropped %d journal(s))",
+				stats.TornBytes, stats.Corrupt, stats.DroppedJournals)
+		}
+	case *state != "":
 		if f, err := os.Open(*state); err == nil {
 			loadErr := est.LoadState(f)
 			f.Close()
@@ -85,40 +123,46 @@ func main() {
 		}
 	}
 
-	srv, err := server.New(server.Config{
+	srvCfg := server.Config{
 		Cluster:          cl,
 		Estimator:        est,
 		ExplicitFeedback: *explicit,
-	})
+	}
+	if feedbackLog != nil {
+		srvCfg.Journal = feedbackLog
+	}
+	srv, err := server.New(srvCfg)
 	if err != nil {
 		log.Fatalf("schedd: %v", err)
 	}
 
-	save := func() {
-		if *state == "" {
-			return
-		}
-		tmp := *state + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			log.Printf("schedd: saving state: %v", err)
-			return
-		}
-		if err := est.SaveState(f); err != nil {
-			f.Close()
-			log.Printf("schedd: saving state: %v", err)
-			return
-		}
-		if err := f.Close(); err != nil {
-			log.Printf("schedd: saving state: %v", err)
-			return
-		}
-		if err := os.Rename(tmp, *state); err != nil {
-			log.Printf("schedd: saving state: %v", err)
+	// persist makes learned state durable: WAL rotation (snapshot +
+	// fresh journal generation) when the WAL is on, otherwise an
+	// fsynced atomic rewrite of the -state file.
+	persist := func() {
+		switch {
+		case feedbackLog != nil:
+			if err := feedbackLog.Rotate(est.SaveState); err != nil {
+				log.Printf("schedd: rotating WAL: %v", err)
+			}
+		case *state != "":
+			if err := atomicWriteFile(*state, est.SaveState); err != nil {
+				log.Printf("schedd: saving state: %v", err)
+			}
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Per-request server timeouts: a stuck client cannot pin a handler
+	// goroutine (and its connection) forever. Generous enough for the
+	// batch endpoints' largest payloads.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		log.Printf("schedd: %s on %s, estimator %s", cl, *addr, est.Name())
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -128,7 +172,11 @@ func main() {
 
 	var debugSrv *http.Server
 	if *debug != "" {
-		debugSrv = &http.Server{Addr: *debug, Handler: debugMux(srv)}
+		debugSrv = &http.Server{
+			Addr:              *debug,
+			Handler:           debugMux(srv),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() {
 			log.Printf("schedd: pprof and metrics on %s", *debug)
 			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -144,13 +192,18 @@ func main() {
 	for {
 		select {
 		case <-ticker.C:
-			save()
+			persist()
 		case s := <-sig:
-			log.Printf("schedd: %v — saving state and shutting down", s)
-			save()
-			_ = httpSrv.Close()
-			if debugSrv != nil {
-				_ = debugSrv.Close()
+			log.Printf("schedd: %v — draining (deadline %v)", s, *drainFor)
+			// Order matters: drain first so in-flight completions reach
+			// the journal and estimator, then snapshot what they taught.
+			res := drain(srv, httpSrv, debugSrv, *drainFor)
+			log.Printf("schedd: %s", res)
+			persist()
+			if feedbackLog != nil {
+				if err := feedbackLog.Close(); err != nil {
+					log.Printf("schedd: closing WAL: %v", err)
+				}
 			}
 			return
 		}

@@ -18,8 +18,8 @@ import (
 // are all flagged.
 var Errfeedback = &Analyzer{
 	Name: "errfeedback",
-	Doc: "flag dropped errors from Record*/Observe* feedback methods and estimator " +
-		"SaveState/LoadState persistence calls",
+	Doc: "flag dropped errors from Record*/Observe* feedback methods, estimator " +
+		"SaveState/LoadState persistence calls, and WAL Rotate/Replay/Recover calls",
 	Run: runErrfeedback,
 }
 
@@ -75,11 +75,15 @@ func feedbackCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 
 // isFeedbackName matches the method shapes whose lost errors corrupt
 // estimator state: Record, RecordOutcome, Observe, ObserveUsage, … plus
-// the persistence pair from internal/estimate/persist.go.
+// the persistence pair from internal/estimate/persist.go and the
+// durability protocol from internal/wal (a swallowed Rotate error means
+// snapshots silently stop advancing; a swallowed Recover/Replay error
+// means the estimator starts from feedback it never actually saw).
 func isFeedbackName(name string) bool {
 	return strings.HasPrefix(name, "Record") ||
 		strings.HasPrefix(name, "Observe") ||
-		name == "SaveState" || name == "LoadState"
+		name == "SaveState" || name == "LoadState" ||
+		name == "Rotate" || name == "Replay" || name == "Recover"
 }
 
 func checkDropped(pass *Pass, info *types.Info, call *ast.CallExpr, how string) {

@@ -13,11 +13,30 @@ func (Sink) RecordOutcome(ok bool) error { return errors.New("x") }
 // SaveState mimics the persistence call.
 func (Sink) SaveState() error { return nil }
 
+// Wal mirrors the flagged fixture's durability surface.
+type Wal struct{}
+
+// Rotate mimics wal.Log.Rotate.
+func (Wal) Rotate(save func() error) error { return nil }
+
+// Recover mimics wal.Log.Recover.
+func (Wal) Recover() (int, error) { return 0, nil }
+
 // Use checks every feedback error.
 func Use(s Sink) error {
 	if err := s.RecordOutcome(true); err != nil {
 		return err
 	}
 	err := s.SaveState()
+	return err
+}
+
+// UseWal checks every durability-protocol error.
+func UseWal(w Wal) error {
+	if err := w.Rotate(nil); err != nil {
+		return err
+	}
+	n, err := w.Recover()
+	_ = n
 	return err
 }

@@ -22,6 +22,23 @@ func (Sink) LoadState() error { return nil }
 // errcheck owns it, not this analyzer.
 func (Sink) Note() error { return nil }
 
+// Wal carries the durability-protocol methods from internal/wal whose
+// lost errors silently stop snapshots or corrupt recovery.
+type Wal struct{}
+
+// Rotate mimics wal.Log.Rotate.
+func (Wal) Rotate(save func() error) error { return nil }
+
+// Recover mimics wal.Log.Recover.
+func (Wal) Recover() (int, error) { return 0, nil }
+
+// Replay mimics a journal replay entry point.
+func (Wal) Replay(apply func() error) error { return nil }
+
+// Rotation is Rotate-prefixed but not the protocol method; prefix
+// matching must not overreach onto it.
+func (Wal) Rotation() error { return nil }
+
 // Drop loses feedback errors in every flagged shape.
 func Drop(s Sink) {
 	s.RecordOutcome(true)     // want `error returned by RecordOutcome is discarded`
@@ -30,4 +47,12 @@ func Drop(s Sink) {
 	go s.RecordOutcome(false) // want `error returned by RecordOutcome is discarded by go`
 	_ = s.LoadState()         // want `error returned by LoadState is assigned to the blank identifier`
 	s.Note()                  // out of scope for errfeedback
+}
+
+// DropWal loses durability-protocol errors in every flagged shape.
+func DropWal(w Wal) {
+	w.Rotate(nil)       // want `error returned by Rotate is discarded`
+	_, _ = w.Recover()  // want `error returned by Recover is assigned to the blank identifier`
+	defer w.Replay(nil) // want `error returned by Replay is discarded by defer`
+	w.Rotation()        // exact-name match only: not the protocol method
 }

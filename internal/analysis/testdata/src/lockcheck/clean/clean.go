@@ -133,3 +133,27 @@ func (m *Memo) Get(k string, gen func() float64) float64 {
 	s.once.Do(func() { s.val = gen() })
 	return s.val
 }
+
+// journal mirrors the feedback-WAL shape: mutex-guarded scratch buffer
+// and replay backlog, accessed only under the lock or via the Locked
+// naming contract.
+type journal struct {
+	mu      sync.Mutex
+	buf     []byte
+	pending []int
+}
+
+// record appends a frame under the lock.
+func (j *journal) record(b byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.buf = append(j.buf, b)
+	j.pending = append(j.pending, int(b))
+}
+
+// drainLocked hands the backlog to a caller that holds the lock.
+func (j *journal) drainLocked() []int {
+	out := j.pending
+	j.pending = nil
+	return out
+}

@@ -129,3 +129,31 @@ func (m *LazyMemo) Fill(k string, v int) {
 	}
 	m.entries[k] = v
 }
+
+// journal is the feedback-WAL shape from internal/wal: one mutex
+// guarding an open file's scratch buffer and the replay backlog.
+type journal struct {
+	mu      sync.Mutex
+	buf     []byte
+	pending []int
+}
+
+// appendFrame builds a frame in the shared scratch buffer without the
+// lock: two handler goroutines appending concurrently would interleave
+// frames and corrupt the journal.
+func (j *journal) appendFrame(b byte) {
+	j.buf = append(j.buf, b) // want `method journal.appendFrame accesses guarded field "buf" without acquiring mu`
+}
+
+// drain replays the backlog without the lock.
+func (j *journal) drain() []int {
+	out := j.pending // want `method journal.drain accesses guarded field "pending" without acquiring mu`
+	return out
+}
+
+// record appends under the lock, as wal.Log.RecordOutcome does.
+func (j *journal) record(b byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.buf = append(j.buf, b)
+}

@@ -1,0 +1,47 @@
+package estimate
+
+import (
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Fallible is the serve-time error surface of an estimator. The paper's
+// estimators are pure in-memory arithmetic and cannot fail, but a
+// deployed estimation service can: a remote model endpoint times out, a
+// store read errors, or the fault-injection harness says so. A server
+// talking to a Fallible estimator must degrade, not break: on error it
+// falls back to matching on the *requested* capacity — the paper's
+// no-estimation baseline — so the worst failure mode of the estimation
+// layer is the classical scheduler, never an outage (internal/server
+// counts every such fallback in its metrics).
+type Fallible interface {
+	// TryEstimate is Estimate with an error path.
+	TryEstimate(j *trace.Job) (units.MemSize, error)
+	// TryFeedback is Feedback with an error path.
+	TryFeedback(o Outcome) error
+}
+
+// TryEstimate implements Fallible by delegating to the wrapped
+// estimator: its own error path when it has one, the infallible
+// Estimate otherwise. Synchronized therefore preserves the fallibility
+// of whatever it wraps — without this, wrapping a fault-injected
+// estimator for concurrency would silently hide its error surface.
+func (s *Synchronized) TryEstimate(j *trace.Job) (units.MemSize, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.inner.(Fallible); ok {
+		return f.TryEstimate(j)
+	}
+	return s.inner.Estimate(j), nil
+}
+
+// TryFeedback implements Fallible; see TryEstimate.
+func (s *Synchronized) TryFeedback(o Outcome) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.inner.(Fallible); ok {
+		return f.TryFeedback(o)
+	}
+	s.inner.Feedback(o)
+	return nil
+}

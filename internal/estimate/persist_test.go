@@ -89,6 +89,29 @@ func TestLoadStateRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestLoadStateDuplicateGroupLastWins: a state file carrying the same
+// similarity key twice (which a buggy writer or a concatenated recovery
+// could produce) must not fail or double-count — the later entry
+// replaces the earlier one, mirroring WAL replay semantics where later
+// feedback supersedes earlier feedback.
+func TestLoadStateDuplicateGroupLastWins(t *testing.T) {
+	sa, _ := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+	state := `{"version": 1, "kind": "successive-approx", "groups": [
+	  {"user":1,"app":1,"reqmem_kb":32768,"estimate_mb":24,"last_good_mb":24,"alpha":2},
+	  {"user":1,"app":1,"reqmem_kb":32768,"estimate_mb":6,"last_good_mb":6,"alpha":4}
+	]}`
+	if err := sa.LoadState(strings.NewReader(state)); err != nil {
+		t.Fatal(err)
+	}
+	if sa.NumGroups() != 1 {
+		t.Fatalf("duplicate key produced %d groups, want 1", sa.NumGroups())
+	}
+	probe := job(1, 32, 8)
+	if got := sa.Estimate(probe); !got.Eq(6) {
+		t.Errorf("estimate %v, want the later duplicate's 6 MB", got)
+	}
+}
+
 func TestLoadStateMergesWithLiveGroups(t *testing.T) {
 	donor, _ := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
 	driveGroup(donor, 32, 5, 3) // user 1's group learned

@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"overprov/internal/estimate"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Estimator operation names.
+const (
+	OpEstimate = "estimate"
+	OpFeedback = "feedback"
+)
+
+// WAL operation name used by Journal.
+const OpWALAppend = "wal.append"
+
+// Estimator wraps a concurrency-safe estimator with fault injection.
+// Embedding promotes the wrapped estimator's concurrency-safety marker,
+// so internal/server accepts the wrapper without re-wrapping it in a
+// mutex; it also implements estimate.Fallible, which is the error
+// surface the server's graceful-degradation path consumes.
+//
+// Estimate/Feedback (the infallible interface) only inject latency —
+// they have no error channel; TryEstimate/TryFeedback inject both.
+type Estimator struct {
+	estimate.ConcurrencySafe
+	sched *Schedule
+}
+
+// NewEstimator wraps inner with sched.
+func NewEstimator(inner estimate.ConcurrencySafe, sched *Schedule) *Estimator {
+	return &Estimator{ConcurrencySafe: inner, sched: sched}
+}
+
+// Estimate implements estimate.Estimator, injecting latency only.
+func (e *Estimator) Estimate(j *trace.Job) units.MemSize {
+	e.sched.Check(OpEstimate, "").Sleep()
+	return e.ConcurrencySafe.Estimate(j)
+}
+
+// Feedback implements estimate.Estimator, injecting latency only.
+func (e *Estimator) Feedback(o estimate.Outcome) {
+	e.sched.Check(OpFeedback, "").Sleep()
+	e.ConcurrencySafe.Feedback(o)
+}
+
+// TryEstimate implements estimate.Fallible.
+func (e *Estimator) TryEstimate(j *trace.Job) (units.MemSize, error) {
+	if f := e.sched.Check(OpEstimate, ""); f != nil {
+		f.Sleep()
+		if f.Err != nil {
+			return 0, f.Err
+		}
+	}
+	return e.ConcurrencySafe.Estimate(j), nil
+}
+
+// TryFeedback implements estimate.Fallible.
+func (e *Estimator) TryFeedback(o estimate.Outcome) error {
+	if f := e.sched.Check(OpFeedback, ""); f != nil {
+		f.Sleep()
+		if f.Err != nil {
+			return f.Err
+		}
+	}
+	e.ConcurrencySafe.Feedback(o)
+	return nil
+}
+
+// FeedbackLog matches internal/server's journal surface (structurally,
+// to keep this package free of a server dependency).
+type FeedbackLog interface {
+	RecordOutcome(o estimate.Outcome) error
+}
+
+// Journal wraps a feedback WAL with fault injection on the append path.
+type Journal struct {
+	inner FeedbackLog
+	sched *Schedule
+}
+
+// NewJournal wraps inner with sched.
+func NewJournal(inner FeedbackLog, sched *Schedule) *Journal {
+	return &Journal{inner: inner, sched: sched}
+}
+
+// RecordOutcome implements the server's FeedbackLog.
+func (j *Journal) RecordOutcome(o estimate.Outcome) error {
+	if f := j.sched.Check(OpWALAppend, ""); f != nil {
+		f.Sleep()
+		if f.Err != nil {
+			return f.Err
+		}
+	}
+	return j.inner.RecordOutcome(o)
+}

@@ -1,0 +1,203 @@
+// Package faultinject is the chaos harness for the serving stack:
+// deterministic, seedable wrappers around the estimator, the feedback
+// WAL and the filesystem that inject errors, latency, partial writes
+// and SIGKILL-style halts on an exact schedule. The crash-matrix tests
+// use it to kill the WAL protocol at every single filesystem operation
+// and prove recovery holds at each one; the degradation tests use it to
+// fail the estimator at serve time and prove the daemon falls back to
+// the paper's no-estimation baseline instead of failing requests.
+//
+// Determinism is the point: a fault schedule is either an explicit list
+// of (operation, occurrence) trigger rules or a seeded random process,
+// so every chaos failure is replayable from its seed or rule set.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error carried by injected faults.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrHalted is returned by every operation after a halting fault fires:
+// the moral equivalent of SIGKILL — nothing reaches the wrapped
+// implementation anymore.
+var ErrHalted = errors.New("faultinject: halted (simulated crash)")
+
+// Fault describes one injected failure.
+type Fault struct {
+	// Err is returned to the caller; nil injects only latency.
+	Err error
+	// Latency is slept before the operation (and before Err returns),
+	// simulating a slow disk or a slow estimator dependency.
+	Latency time.Duration
+	// Partial applies to writes: how many bytes of the payload reach
+	// the wrapped writer before Err is returned. Negative means none —
+	// the write vanishes entirely. It is how torn writes are staged.
+	Partial int
+	// Halt makes this fault terminal: after it fires, every subsequent
+	// operation on the schedule fails with ErrHalted and performs no
+	// I/O, simulating process death mid-protocol.
+	Halt bool
+}
+
+// Rule triggers a Fault at exact occurrences of an operation.
+type Rule struct {
+	// Op names the operation ("fs.write", "estimate", "wal.append", …).
+	// Empty matches every operation — with Nth set, that is "halt at
+	// the k-th operation overall", the crash-matrix probe.
+	Op string
+	// Path restricts the rule to operands containing this substring
+	// (file paths for fs ops). Empty matches any operand.
+	Path string
+	// Nth fires the fault on the Nth matching occurrence only
+	// (1-based). Zero fires on every matching occurrence.
+	Nth int
+	// Fault is what happens when the rule triggers.
+	Fault Fault
+}
+
+// Schedule decides, per operation, whether a fault fires. Safe for
+// concurrent use; occurrence counting is under one mutex so a schedule
+// shared by many goroutines still triggers each Nth rule exactly once.
+type Schedule struct {
+	mu     sync.Mutex
+	rules  []Rule
+	counts []int // per-rule occurrence counts
+	ops    int
+	fired  int
+	halted bool
+
+	// Random mode: fires fault with probability prob per op, drawn from
+	// a seeded generator — deterministic given the seed and call order.
+	rng   *rand.Rand
+	prob  float64
+	rfail Fault
+}
+
+// NewSchedule builds a rule-driven schedule.
+func NewSchedule(rules ...Rule) *Schedule {
+	return &Schedule{rules: rules, counts: make([]int, len(rules))}
+}
+
+// NewSeeded builds a schedule that fires f on each operation with the
+// given probability, from a generator seeded with seed.
+func NewSeeded(seed int64, prob float64, f Fault) *Schedule {
+	return &Schedule{rng: rand.New(rand.NewSource(seed)), prob: prob, rfail: f}
+}
+
+// Check records one occurrence of op and returns the fault to inject,
+// or nil. The caller owes the fault its latency and error handling;
+// Sleep does both for the common case.
+func (s *Schedule) Check(op, path string) *Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	if s.halted {
+		f := Fault{Err: ErrHalted, Partial: -1}
+		return &f
+	}
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		s.counts[i]++
+		if r.Nth != 0 && s.counts[i] != r.Nth {
+			continue
+		}
+		s.fired++
+		if r.Fault.Halt {
+			s.halted = true
+		}
+		f := r.Fault
+		return &f
+	}
+	if s.rng != nil && s.rng.Float64() < s.prob {
+		s.fired++
+		if s.rfail.Halt {
+			s.halted = true
+		}
+		f := s.rfail
+		return &f
+	}
+	return nil
+}
+
+// Ops returns how many operations the schedule has observed — run a
+// probe pass with a no-fault schedule to size a crash matrix.
+func (s *Schedule) Ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+// Fired returns how many faults have been injected.
+func (s *Schedule) Fired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// Halted reports whether a halting fault has fired.
+func (s *Schedule) Halted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.halted
+}
+
+// Sleep serves f's latency; it is safe on a nil fault.
+func (f *Fault) Sleep() {
+	if f != nil && f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+}
+
+// HaltAt is the crash-matrix probe rule: simulate process death at the
+// k-th operation overall (1-based), tearing any in-flight write.
+func HaltAt(k int) Rule {
+	return Rule{Nth: k, Fault: Fault{Err: ErrHalted, Partial: -1, Halt: true}}
+}
+
+// HaltAtTearing is HaltAt, but a write in flight at the kill point
+// leaves its first partial bytes on disk — the torn-tail case.
+func HaltAtTearing(k, partial int) Rule {
+	return Rule{Nth: k, Fault: Fault{Err: ErrHalted, Partial: partial, Halt: true}}
+}
+
+// FailNth makes the Nth occurrence of op fail with err (once).
+func FailNth(op string, n int, err error) Rule {
+	if err == nil {
+		err = ErrInjected
+	}
+	return Rule{Op: op, Nth: n, Fault: Fault{Err: err, Partial: -1}}
+}
+
+// FailAll makes every occurrence of op fail with err.
+func FailAll(op string, err error) Rule {
+	if err == nil {
+		err = ErrInjected
+	}
+	return Rule{Op: op, Fault: Fault{Err: err, Partial: -1}}
+}
+
+// SlowAll injects latency into every occurrence of op without failing it.
+func SlowAll(op string, d time.Duration) Rule {
+	return Rule{Op: op, Fault: Fault{Latency: d}}
+}
+
+// String summarises the schedule state for test logs.
+func (s *Schedule) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("faultinject.Schedule{rules %d, ops %d, fired %d, halted %v}",
+		len(s.rules), s.ops, s.fired, s.halted)
+}

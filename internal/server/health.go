@@ -1,0 +1,40 @@
+package server
+
+import "net/http"
+
+// HealthView is the GET /api/v1/healthz payload.
+type HealthView struct {
+	// Status is "ok" while serving and "draining" once a graceful
+	// shutdown has begun.
+	Status string `json:"status"`
+	// InFlight is the number of requests currently being served
+	// (including the healthz probe itself).
+	InFlight int64 `json:"in_flight"`
+}
+
+// BeginDrain flips the readiness endpoint to draining. cmd/schedd calls
+// it on SIGTERM before http.Server.Shutdown, so load balancers stop
+// routing new work to a daemon that is finishing its in-flight
+// requests. In-flight and follow-up requests still succeed — drain is
+// advisory, not a gate.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the number of requests currently inside the handler.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// handleHealthz is the readiness probe: 200 while serving, 503 while
+// draining. It reads two atomics and never touches s.mu or the
+// estimator, so health checks stay cheap and cannot block behind a
+// slow dependency — exactly what a probe must guarantee.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	v := HealthView{Status: "ok", InFlight: s.inflight.Load()}
+	code := http.StatusOK
+	if s.draining.Load() {
+		v.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, v)
+}

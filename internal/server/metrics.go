@@ -15,6 +15,21 @@ type MetricsView struct {
 	// FeedbackEvents counts completion reports delivered to the
 	// estimator (batch items count individually).
 	FeedbackEvents uint64 `json:"feedback_events"`
+	// InFlight is the number of requests currently being served.
+	InFlight int64 `json:"in_flight_requests"`
+	// Draining reports whether a graceful shutdown has begun.
+	Draining bool `json:"draining"`
+	// WALRecords counts feedback outcomes durably journaled; WALErrors
+	// counts journal appends that failed (the completion was still
+	// acked — durability degraded, availability did not).
+	WALRecords uint64 `json:"wal_records"`
+	WALErrors  uint64 `json:"wal_errors"`
+	// DegradedEstimates counts dispatches that fell back to the user's
+	// requested capacity (the paper's no-estimation baseline) because
+	// the estimator errored; DegradedFeedbacks counts feedback events
+	// the estimator failed to learn from.
+	DegradedEstimates uint64 `json:"degraded_estimates"`
+	DegradedFeedbacks uint64 `json:"degraded_feedbacks"`
 	// Estimator carries the wrapper's counters: shard count, similarity
 	// groups, estimates served, and the lock-wait-free read-path hits.
 	Estimator estimate.ConcurrencyStats `json:"estimator"`
@@ -31,8 +46,14 @@ type concurrencyStatser interface {
 // never slows the serving path.
 func (s *Server) Metrics() MetricsView {
 	m := MetricsView{
-		RequestsServed: s.requests.Load(),
-		FeedbackEvents: s.feedbacks.Load(),
+		RequestsServed:    s.requests.Load(),
+		FeedbackEvents:    s.feedbacks.Load(),
+		InFlight:          s.inflight.Load(),
+		Draining:          s.draining.Load(),
+		WALRecords:        s.walRecords.Load(),
+		WALErrors:         s.walErrors.Load(),
+		DegradedEstimates: s.degradedEstimates.Load(),
+		DegradedFeedbacks: s.degradedFeedbacks.Load(),
 	}
 	if cs, ok := s.est.(concurrencyStatser); ok {
 		m.Estimator = cs.ConcurrencyStats()

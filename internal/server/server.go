@@ -14,10 +14,24 @@
 //	POST /api/v1/complete:batch      report {"completions": [...]} in one request
 //	GET  /api/v1/status              cluster and queue state
 //	GET  /api/v1/estimates           learned similarity-group state
+//	GET  /api/v1/healthz             readiness (503 while draining)
 //
 // Scheduling is strict FCFS with the paper's failure handling: a job
 // whose completion is reported unsuccessful re-enters the queue at the
 // head and is re-dispatched with the (restored) estimate.
+//
+// # Fault tolerance
+//
+// The serving path degrades instead of failing (DESIGN.md §12). When a
+// durable feedback journal is configured (Config.Journal, backed by
+// internal/wal), every acked completion is appended to it *before* the
+// estimator trains, so a crash replays exactly the acked feedback
+// stream. When the journal or a fallible estimator errors at serve
+// time, the request still succeeds: estimation falls back to the user's
+// requested capacity — the paper's no-estimation baseline — and the
+// event is counted in Metrics. The worst failure mode of the whole
+// estimation layer is therefore the classical scheduler, never an
+// outage.
 //
 // # Locking
 //
@@ -150,6 +164,18 @@ type Config struct {
 	// MaxAttempts bounds re-dispatches of a failing job before it is
 	// marked terminally failed; 0 selects 10.
 	MaxAttempts int
+	// Journal, when non-nil, receives every acked completion outcome
+	// before the estimator trains on it (write-ahead). An append error
+	// degrades durability — the completion is still acked and the
+	// estimator still learns — and is counted in Metrics.
+	Journal FeedbackLog
+}
+
+// FeedbackLog is the durable feedback journal the server writes ahead
+// of estimator training; *wal.Log implements it, and the fault-injection
+// harness wraps it.
+type FeedbackLog interface {
+	RecordOutcome(o estimate.Outcome) error
 }
 
 // job is the server's internal record. spec and view.ID are immutable
@@ -167,6 +193,7 @@ type Server struct {
 	mu          sync.Mutex
 	cfg         Config
 	est         estimate.ConcurrencySafe
+	fallible    estimate.Fallible // non-nil when est has an error path
 	estName     string
 	nextID      int64
 	queue       []*job
@@ -180,6 +207,13 @@ type Server struct {
 	// Serving counters, updated without s.mu.
 	requests  atomic.Uint64
 	feedbacks atomic.Uint64
+	inflight  atomic.Int64
+	// Fault-tolerance counters (see Metrics).
+	walRecords        atomic.Uint64
+	walErrors         atomic.Uint64
+	degradedEstimates atomic.Uint64
+	degradedFeedbacks atomic.Uint64
+	draining          atomic.Bool
 }
 
 // New builds the daemon core.
@@ -201,13 +235,17 @@ func New(cfg Config) (*Server, error) {
 	if !ok {
 		est = estimate.NewSynchronized(cfg.Estimator)
 	}
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		est:         est,
 		estName:     est.Name(),
 		jobs:        make(map[int64]*job),
 		maxAttempts: ma,
-	}, nil
+	}
+	// Cache the estimator's error surface once: the dispatch hot path
+	// should not repeat the type assertion per estimate.
+	s.fallible, _ = est.(estimate.Fallible)
+	return s, nil
 }
 
 // Handler returns the HTTP handler for the daemon API.
@@ -220,13 +258,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/complete:batch", s.handleCompleteBatch)
 	mux.HandleFunc("GET /api/v1/status", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/estimates", s.handleEstimates)
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
 	return s.countRequests(mux)
 }
 
-// countRequests feeds the requests-served metric.
+// countRequests feeds the requests-served and in-flight metrics. The
+// in-flight gauge is what cmd/schedd uses to report how many requests
+// a graceful shutdown drained versus aborted.
 func (s *Server) countRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
 		next.ServeHTTP(w, r)
 	})
 }
@@ -339,10 +382,44 @@ func (s *Server) finishLocked(id int64, req CompleteRequest) (*job, estimate.Out
 	return j, o, nil
 }
 
-// feedback trains the estimator. Must be called with s.mu NOT held.
+// feedback journals then trains: the outcome is appended to the
+// durable WAL (when configured) strictly before the estimator learns
+// from it, so every trained-on event is recoverable after a crash.
+// Both layers degrade instead of failing — a journal error costs
+// durability, an estimator error costs learning; neither fails the
+// completion request. Must be called with s.mu NOT held.
 func (s *Server) feedback(o estimate.Outcome) {
 	s.feedbacks.Add(1)
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.RecordOutcome(o); err != nil {
+			s.walErrors.Add(1)
+		} else {
+			s.walRecords.Add(1)
+		}
+	}
+	if s.fallible != nil {
+		if err := s.fallible.TryFeedback(o); err != nil {
+			s.degradedFeedbacks.Add(1)
+		}
+		return
+	}
 	s.est.Feedback(o)
+}
+
+// estimateFor asks the estimator for a job's matching capacity,
+// degrading to the request itself — the paper's no-estimation
+// baseline — when the estimator's error path fires. Must be called
+// with s.mu NOT held.
+func (s *Server) estimateFor(tj *trace.Job) units.MemSize {
+	if s.fallible != nil {
+		e, err := s.fallible.TryEstimate(tj)
+		if err != nil {
+			s.degradedEstimates.Add(1)
+			return tj.ReqMem
+		}
+		return e
+	}
+	return s.est.Estimate(tj)
 }
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -434,7 +511,7 @@ func (s *Server) dispatch() {
 
 		// j.spec and j.view.ID are immutable, so building the trace job
 		// and estimating need no lock.
-		est := s.est.Estimate(specToTraceJob(j))
+		est := s.estimateFor(specToTraceJob(j))
 
 		s.mu.Lock()
 		if len(s.queue) == 0 || s.queue[0] != j {

@@ -1,0 +1,332 @@
+// Crash-matrix tests: kill the WAL protocol at every single filesystem
+// operation (and again with a torn in-flight write) and prove that
+// recovery never loses an acked record and always reconstructs exactly
+// snapshot + journal replay. These live in an external test package
+// because the fault-injection harness imports wal.
+package wal_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"overprov/internal/estimate"
+	"overprov/internal/faultinject"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+	"overprov/internal/wal"
+)
+
+func outcomeID(id int) estimate.Outcome {
+	return estimate.Outcome{
+		Job: &trace.Job{
+			ID: id, User: id % 5, App: id % 3, Nodes: 1,
+			ReqMem: units.MemSize(32), ReqTime: units.Seconds(600),
+		},
+		Allocated: units.MemSize(float64(4 + id%8)),
+		Success:   id%3 != 0,
+	}
+}
+
+// walScript runs a fixed append/rotate workload against a WAL whose
+// filesystem is controlled by sched. It returns the JobIDs whose
+// RecordOutcome call was acknowledged (returned nil) — the records the
+// durability contract covers — and the "trained" list mirroring what an
+// estimator fed journal-first would have learned. Errors from the log
+// are expected (that is the point) and only affect which appends count
+// as acked.
+func walScript(dir string, sched *faultinject.Schedule) (acked []int, err error) {
+	fsys := faultinject.NewFS(nil, sched)
+	l, err := wal.Open(dir, wal.Options{FS: fsys})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	var trained []int
+	if _, err := l.Recover(
+		func(r io.Reader) error { return json.NewDecoder(r).Decode(&trained) },
+		func(r wal.Record) error { trained = append(trained, int(r.JobID)); return nil },
+	); err != nil {
+		return nil, err
+	}
+	save := func(w io.Writer) error { return json.NewEncoder(w).Encode(trained) }
+	next := 0
+	appendN := func(n int) {
+		for i := 0; i < n; i++ {
+			id := next
+			next++
+			if err := l.RecordOutcome(outcomeID(id)); err == nil {
+				acked = append(acked, id)
+				trained = append(trained, id)
+			}
+		}
+	}
+	appendN(3)
+	_ = l.Rotate(save)
+	appendN(2)
+	_ = l.Rotate(save)
+	appendN(2)
+	return acked, nil
+}
+
+// recoverAll reopens dir with a healthy filesystem and returns the full
+// recovered feedback stream: snapshot-covered IDs plus replayed IDs, in
+// training order.
+func recoverAll(t *testing.T, dir string) ([]int, wal.RecoveryStats) {
+	t.Helper()
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	defer l.Close()
+	var ids []int
+	stats, err := l.Recover(
+		func(r io.Reader) error { return json.NewDecoder(r).Decode(&ids) },
+		func(r wal.Record) error { ids = append(ids, int(r.JobID)); return nil },
+	)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	return ids, stats
+}
+
+// checkNoAckedLoss asserts the durability contract: every acked ID is
+// in the recovered stream, in order (the recovered stream may have a
+// suffix of un-acked IDs that made it to disk before the crash — extra
+// durability is fine, lost acks are not).
+func checkNoAckedLoss(t *testing.T, acked, recovered []int) {
+	t.Helper()
+	if len(recovered) < len(acked) {
+		t.Fatalf("recovered %d records < %d acked\nacked:     %v\nrecovered: %v",
+			len(recovered), len(acked), acked, recovered)
+	}
+	for i, id := range acked {
+		if recovered[i] != id {
+			t.Fatalf("recovered stream diverges at %d: acked %v, recovered %v", i, acked, recovered)
+		}
+	}
+}
+
+// checkDumpEquivalence asserts recovered state == snapshot + replay as
+// seen from outside through Dump.
+func checkDumpEquivalence(t *testing.T, dir string, recovered []int) {
+	t.Helper()
+	snap, recs, err := wal.Dump(dir, nil)
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	var ids []int
+	if snap != nil {
+		if err := json.Unmarshal(snap, &ids); err != nil {
+			t.Fatalf("snapshot payload: %v", err)
+		}
+	}
+	for _, r := range recs {
+		ids = append(ids, int(r.JobID))
+	}
+	if len(ids) != len(recovered) {
+		t.Fatalf("Dump reconstruction %v != recovered %v", ids, recovered)
+	}
+	for i := range ids {
+		if ids[i] != recovered[i] {
+			t.Fatalf("Dump reconstruction %v != recovered %v", ids, recovered)
+		}
+	}
+}
+
+// TestCrashMatrix sizes the workload with a probe pass, then replays it
+// once per filesystem operation with a SIGKILL-style halt injected at
+// exactly that operation.
+func TestCrashMatrix(t *testing.T) {
+	probe := faultinject.NewSchedule()
+	if _, err := walScript(t.TempDir(), probe); err != nil {
+		t.Fatalf("probe pass: %v", err)
+	}
+	total := probe.Ops()
+	if total < 20 {
+		t.Fatalf("probe counted only %d fs ops — script too small for a matrix", total)
+	}
+	t.Logf("crash matrix over %d filesystem operations", total)
+
+	for k := 1; k <= total; k++ {
+		k := k
+		t.Run(fmt.Sprintf("halt=%d", k), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			sched := faultinject.NewSchedule(faultinject.HaltAt(k))
+			acked, err := walScript(dir, sched)
+			if err != nil && !sched.Halted() {
+				t.Fatalf("script failed without a halt: %v", err)
+			}
+			recovered, _ := recoverAll(t, dir)
+			checkNoAckedLoss(t, acked, recovered)
+			checkDumpEquivalence(t, dir, recovered)
+		})
+	}
+}
+
+// TestCrashMatrixTearing reruns the matrix with the kill tearing the
+// in-flight write: only its first bytes reach disk, staging exactly the
+// torn tail a real power cut leaves.
+func TestCrashMatrixTearing(t *testing.T) {
+	probe := faultinject.NewSchedule()
+	if _, err := walScript(t.TempDir(), probe); err != nil {
+		t.Fatalf("probe pass: %v", err)
+	}
+	total := probe.Ops()
+	for k := 1; k <= total; k++ {
+		for _, partial := range []int{1, 9} { // mid-header and mid-payload tears
+			k, partial := k, partial
+			t.Run(fmt.Sprintf("halt=%d,partial=%d", k, partial), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				sched := faultinject.NewSchedule(faultinject.HaltAtTearing(k, partial))
+				acked, err := walScript(dir, sched)
+				if err != nil && !sched.Halted() {
+					t.Fatalf("script failed without a halt: %v", err)
+				}
+				recovered, _ := recoverAll(t, dir)
+				checkNoAckedLoss(t, acked, recovered)
+				checkDumpEquivalence(t, dir, recovered)
+			})
+		}
+	}
+}
+
+// TestDiskFullSnapshot: every write to a snapshot temp file fails, as
+// on a full disk. Rotation must abort cleanly, appends must keep
+// working, and recovery must still see every acked record.
+func TestDiskFullSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	enospc := errors.New("no space left on device")
+	sched := faultinject.NewSchedule(
+		faultinject.Rule{Op: faultinject.OpWrite, Path: "snapshot-", Fault: faultinject.Fault{Err: enospc, Partial: -1}},
+	)
+	fsys := faultinject.NewFS(nil, sched)
+	l, err := wal.Open(dir, wal.Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var acked []int
+	for i := 0; i < 3; i++ {
+		if err := l.RecordOutcome(outcomeID(i)); err != nil {
+			t.Fatal(err)
+		}
+		acked = append(acked, i)
+	}
+	if err := l.Rotate(func(w io.Writer) error {
+		_, err := w.Write([]byte("state"))
+		return err
+	}); err == nil {
+		t.Fatal("Rotate must report the failed snapshot")
+	}
+	// Appends continue on the new journal generation.
+	for i := 3; i < 5; i++ {
+		if err := l.RecordOutcome(outcomeID(i)); err != nil {
+			t.Fatalf("append after failed rotation: %v", err)
+		}
+		acked = append(acked, i)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, stats := recoverAll(t, dir)
+	checkNoAckedLoss(t, acked, recovered)
+	if stats.SnapshotSeq != 0 {
+		t.Errorf("a failed snapshot must not be loadable, got seq %d", stats.SnapshotSeq)
+	}
+	if len(recovered) != len(acked) {
+		t.Errorf("recovered %d records, want exactly the %d acked", len(recovered), len(acked))
+	}
+}
+
+// TestEstimatorRecoveryEquivalence is the end-to-end form of the
+// invariant with the real estimator: state recovered through
+// wal.Log.Recover must be byte-identical to loading the Dump snapshot
+// into a fresh estimator and replaying the Dump records.
+func TestEstimatorRecoveryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	newEst := func() *estimate.ShardedSynchronized {
+		est, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{Alpha: 2}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	est := newEst()
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(est.LoadState, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Journal-first training, with a rotation mid-stream.
+	for i := 0; i < 40; i++ {
+		o := outcomeID(i)
+		if err := l.RecordOutcome(o); err != nil {
+			t.Fatal(err)
+		}
+		est.Feedback(o)
+		if i == 25 {
+			if err := l.Rotate(est.SaveState); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	l.Close() // crash-ish: no final rotation
+
+	// Path A: the daemon's recovery.
+	recovered := newEst()
+	l2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Recover(recovered.LoadState, func(r wal.Record) error {
+		recovered.Feedback(r.Outcome())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	// Path B: snapshot + replay via Dump, outside the Log.
+	snap, recs, err := wal.Dump(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := newEst()
+	if snap != nil {
+		if err := manual.LoadState(bytes.NewReader(snap)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range recs {
+		manual.Feedback(r.Outcome())
+	}
+
+	stateA, stateB := saveString(t, recovered), saveString(t, manual)
+	if stateA != stateB {
+		t.Fatalf("recovered state != snapshot + replay\nA: %s\nB: %s", stateA, stateB)
+	}
+	// And both must equal the live estimator that did the training.
+	if live := saveString(t, est); stateA != live {
+		t.Fatalf("recovered state != live pre-crash state\nrecovered: %s\nlive: %s", stateA, live)
+	}
+}
+
+func saveString(t *testing.T, est *estimate.ShardedSynchronized) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := est.SaveState(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,205 @@
+// Package wal gives the scheduler daemon a durable feedback pipeline:
+// every acked completion is appended to a checksummed, length-prefixed
+// journal *before* the estimator trains on it, and learned state is
+// snapshotted with full fsync discipline. Recovery is load-snapshot +
+// replay-journal-suffix, truncating at the first torn or corrupt
+// record, so a crash — even a SIGKILL mid-write — loses at most the
+// records that were never acknowledged.
+//
+// The paper's estimator (Algorithm 1) learns only from implicit
+// success/failure feedback, so feedback lost in a crash is learning the
+// scheduler never recovers. The WAL makes the feedback loop durable
+// with two files per generation N in one directory:
+//
+//	journal-%08d.wal   appended records since snapshot N was taken
+//	snapshot-%08d.json estimator state covering everything before
+//	                   journal N existed
+//
+// Rotation (Log.Rotate) creates journal N+1, snapshots the estimator
+// (which has already applied journal N), atomically installs
+// snapshot-N+1, and only then deletes generation N. Every crash window
+// leaves a directory from which load-newest-snapshot + replay-journals
+// reconstructs exactly the acked feedback stream; see DESIGN.md §12 for
+// the window-by-window argument.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"overprov/internal/estimate"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// Record is the wire form of one feedback event: the similarity-key
+// fields of the completed job plus the outcome Algorithm 1 consumes.
+// Memory quantities are stored as raw MB floats (the unit types are an
+// in-memory discipline; the file format spells its units in the field
+// names).
+type Record struct {
+	JobID    int64
+	User     int
+	App      int
+	Nodes    int
+	ReqMemMB float64
+	ReqTimeS float64
+	// AllocatedMB is the rounded estimate E' the job ran with.
+	AllocatedMB float64
+	// UsedMB carries explicit usage feedback; meaningful only when
+	// Explicit is set.
+	UsedMB   float64
+	Success  bool
+	Explicit bool
+}
+
+// FromOutcome converts an estimator outcome to its wire form.
+func FromOutcome(o estimate.Outcome) Record {
+	r := Record{
+		Success:     o.Success,
+		Explicit:    o.Explicit,
+		AllocatedMB: o.Allocated.MBf(),
+		UsedMB:      o.Used.MBf(),
+	}
+	if o.Job != nil {
+		r.JobID = int64(o.Job.ID)
+		r.User = o.Job.User
+		r.App = o.Job.App
+		r.Nodes = o.Job.Nodes
+		r.ReqMemMB = o.Job.ReqMem.MBf()
+		r.ReqTimeS = o.Job.ReqTime.Sec()
+	}
+	return r
+}
+
+// Outcome reconstructs the estimator outcome a replayed record carries.
+func (r Record) Outcome() estimate.Outcome {
+	return estimate.Outcome{
+		Job: &trace.Job{
+			ID:      int(r.JobID),
+			User:    r.User,
+			App:     r.App,
+			Nodes:   r.Nodes,
+			ReqMem:  units.MemSize(r.ReqMemMB),
+			ReqTime: units.Seconds(r.ReqTimeS),
+		},
+		Allocated: units.MemSize(r.AllocatedMB),
+		Used:      units.MemSize(r.UsedMB),
+		Success:   r.Success,
+		Explicit:  r.Explicit,
+	}
+}
+
+// Wire framing: every record is
+//
+//	uint32 payload length | uint32 CRC-32C of payload | payload
+//
+// in little-endian byte order. The CRC covers only the payload; a torn
+// header, a torn payload, and a bit flip anywhere all fail validation,
+// and replay truncates at the first invalid frame.
+const (
+	frameHeaderLen = 8
+	payloadLen     = 65 // 4 int64 + 4 float64 + 1 flag byte
+	frameLen       = frameHeaderLen + payloadLen
+
+	flagSuccess  = 1 << 0
+	flagExplicit = 1 << 1
+)
+
+// castagnoli is the CRC-32C polynomial table (hardware-accelerated on
+// amd64/arm64, and a different polynomial than the zip default so WAL
+// frames are not accidentally valid zip CRCs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends r's framed wire form to buf and returns the
+// extended slice.
+func appendFrame(buf []byte, r Record) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, frameLen)...)
+	payload := buf[start+frameHeaderLen : start+frameLen]
+	le := binary.LittleEndian
+	le.PutUint64(payload[0:], uint64(r.JobID))
+	le.PutUint64(payload[8:], uint64(int64(r.User)))
+	le.PutUint64(payload[16:], uint64(int64(r.App)))
+	le.PutUint64(payload[24:], uint64(int64(r.Nodes)))
+	le.PutUint64(payload[32:], floatBits(r.ReqMemMB))
+	le.PutUint64(payload[40:], floatBits(r.ReqTimeS))
+	le.PutUint64(payload[48:], floatBits(r.AllocatedMB))
+	le.PutUint64(payload[56:], floatBits(r.UsedMB))
+	var flags byte
+	if r.Success {
+		flags |= flagSuccess
+	}
+	if r.Explicit {
+		flags |= flagExplicit
+	}
+	payload[64] = flags
+	le.PutUint32(buf[start:], payloadLen)
+	le.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// decodePayload parses one validated payload.
+func decodePayload(payload []byte) Record {
+	le := binary.LittleEndian
+	flags := payload[64]
+	return Record{
+		JobID:       int64(le.Uint64(payload[0:])),
+		User:        int(int64(le.Uint64(payload[8:]))),
+		App:         int(int64(le.Uint64(payload[16:]))),
+		Nodes:       int(int64(le.Uint64(payload[24:]))),
+		ReqMemMB:    floatFromBits(le.Uint64(payload[32:])),
+		ReqTimeS:    floatFromBits(le.Uint64(payload[40:])),
+		AllocatedMB: floatFromBits(le.Uint64(payload[48:])),
+		UsedMB:      floatFromBits(le.Uint64(payload[56:])),
+		Success:     flags&flagSuccess != 0,
+		Explicit:    flags&flagExplicit != 0,
+	}
+}
+
+// scanRecords walks data frame by frame and returns every valid record
+// plus the byte length of the valid prefix. Anything after validLen —
+// a torn header, a short payload, a length field that is not this
+// version's, or a checksum mismatch — is unreplayable and must be
+// truncated by the caller; scanning never fails, it just stops.
+func scanRecords(data []byte) (recs []Record, validLen int) {
+	le := binary.LittleEndian
+	off := 0
+	for len(data)-off >= frameHeaderLen {
+		n := int(le.Uint32(data[off:]))
+		if n != payloadLen {
+			break // unknown version or torn/garbage length field
+		}
+		if len(data)-off-frameHeaderLen < n {
+			break // torn payload
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(payload, castagnoli) != le.Uint32(data[off+4:]) {
+			break // bit flip or torn write inside the payload
+		}
+		recs = append(recs, decodePayload(payload))
+		off += frameHeaderLen + n
+	}
+	return recs, off
+}
+
+// journalHeader opens every journal file, versioning the frame format.
+var journalHeader = []byte("OPWALv1\n")
+
+// checkHeader validates a journal file's magic and returns the frame
+// region. ok is false when the header is torn (shorter than the magic);
+// a present-but-different magic is a hard error, not a torn write.
+func checkHeader(data []byte) (frames []byte, ok bool, err error) {
+	if len(data) < len(journalHeader) {
+		return nil, false, nil
+	}
+	if string(data[:len(journalHeader)]) != string(journalHeader) {
+		return nil, false, fmt.Errorf("wal: bad journal magic %q", data[:len(journalHeader)])
+	}
+	return data[len(journalHeader):], true, nil
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }

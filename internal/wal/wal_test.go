@@ -1,0 +1,451 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"overprov/internal/estimate"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+)
+
+// outcomeN builds a distinguishable feedback outcome; JobID n is the
+// identity the tests track across crash/recover cycles.
+func outcomeN(n int) estimate.Outcome {
+	return estimate.Outcome{
+		Job: &trace.Job{
+			ID:      n,
+			User:    n % 7,
+			App:     n % 3,
+			Nodes:   1 + n%4,
+			ReqMem:  units.MemSize(32),
+			ReqTime: units.Seconds(600),
+		},
+		Allocated: units.MemSize(float64(8 + n)),
+		Used:      units.MemSize(float64(n) / 2),
+		Success:   n%2 == 0,
+		Explicit:  n%5 == 0,
+	}
+}
+
+// openRecovered opens dir and runs recovery, collecting the replayed
+// records and the snapshot payload handed to load.
+func openRecovered(t *testing.T, dir string) (*Log, RecoveryStats, []byte, []Record) {
+	t.Helper()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []byte
+	var recs []Record
+	stats, err := l.Recover(
+		func(r io.Reader) error {
+			var err error
+			snap, err = io.ReadAll(r)
+			return err
+		},
+		func(r Record) error { recs = append(recs, r); return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, stats, snap, recs
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	want := []Record{
+		FromOutcome(outcomeN(0)),
+		FromOutcome(outcomeN(1)),
+		{JobID: -9, User: -1, App: 2, Nodes: 3, ReqMemMB: 0.5, Success: true},
+		{}, // zero record must survive too
+	}
+	var buf []byte
+	for _, r := range want {
+		buf = appendFrame(buf, r)
+	}
+	got, valid := scanRecords(buf)
+	if valid != len(buf) {
+		t.Fatalf("valid prefix %d, want all %d bytes", valid, len(buf))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOutcomeRoundTrip(t *testing.T) {
+	o := outcomeN(42)
+	back := FromOutcome(o).Outcome()
+	if back.Job.ID != o.Job.ID || back.Job.User != o.Job.User || back.Job.App != o.Job.App ||
+		back.Job.Nodes != o.Job.Nodes || !back.Job.ReqMem.Eq(o.Job.ReqMem) {
+		t.Errorf("job fields changed: %+v vs %+v", back.Job, o.Job)
+	}
+	if !back.Allocated.Eq(o.Allocated) || !back.Used.Eq(o.Used) ||
+		back.Success != o.Success || back.Explicit != o.Explicit {
+		t.Errorf("outcome fields changed: %+v vs %+v", back, o)
+	}
+}
+
+func TestAppendAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, stats, _, recs := openRecovered(t, dir)
+	if stats.Records != 0 || len(recs) != 0 {
+		t.Fatalf("fresh dir replayed %d records", stats.Records)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := l.RecordOutcome(outcomeN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats, snap, recs := openRecovered(t, dir)
+	if snap != nil {
+		t.Fatalf("no snapshot was taken, load saw %d bytes", len(snap))
+	}
+	if stats.Records != n || len(recs) != n {
+		t.Fatalf("replayed %d records, want %d (stats %+v)", len(recs), n, stats)
+	}
+	for i, r := range recs {
+		if r != FromOutcome(outcomeN(i)) {
+			t.Errorf("record %d: got %+v", i, r)
+		}
+	}
+	if stats.TornBytes != 0 || stats.Corrupt {
+		t.Errorf("clean shutdown reported damage: %+v", stats)
+	}
+}
+
+// TestDuplicateRecords: the WAL is an append log, not a set — the same
+// outcome acked twice must replay twice (the estimator trained on it
+// twice).
+func TestDuplicateRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, _ := openRecovered(t, dir)
+	for i := 0; i < 2; i++ {
+		if err := l.RecordOutcome(outcomeN(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	_, _, _, recs := openRecovered(t, dir)
+	if len(recs) != 2 {
+		t.Fatalf("duplicate record replayed %d times, want 2", len(recs))
+	}
+	if recs[0] != recs[1] {
+		t.Fatalf("duplicates differ: %+v vs %+v", recs[0], recs[1])
+	}
+}
+
+// TestTornTail cuts the journal at every byte length and checks that
+// recovery truncates to the last whole record, never errors, and the
+// log accepts appends afterwards.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, _ := openRecovered(t, dir)
+	const n = 3
+	for i := 0; i < n; i++ {
+		if err := l.RecordOutcome(outcomeN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, journalName(1))
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(whole); cut++ {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, journalName(1)), whole[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, stats, _, recs := openRecovered(t, dir)
+			wantRecs := 0
+			if cut >= len(journalHeader) {
+				wantRecs = (cut - len(journalHeader)) / frameLen
+			}
+			if len(recs) != wantRecs {
+				t.Fatalf("cut %d: replayed %d records, want %d", cut, len(recs), wantRecs)
+			}
+			for i, r := range recs {
+				if r != FromOutcome(outcomeN(i)) {
+					t.Errorf("record %d corrupted by truncation: %+v", i, r)
+				}
+			}
+			wantTorn := int64(cut)
+			if cut >= len(journalHeader) {
+				wantTorn = int64(cut-len(journalHeader)) % int64(frameLen)
+			}
+			if stats.TornBytes != wantTorn {
+				t.Errorf("cut %d: torn bytes %d, want %d", cut, stats.TornBytes, wantTorn)
+			}
+			if stats.Corrupt {
+				t.Errorf("cut %d: a torn tail is not corruption", cut)
+			}
+			// The log must be writable after every repair.
+			if err := l.RecordOutcome(outcomeN(99)); err != nil {
+				t.Fatalf("cut %d: append after repair: %v", cut, err)
+			}
+			l.Close()
+			_, _, _, recs = openRecovered(t, dir)
+			if len(recs) != wantRecs+1 || recs[len(recs)-1] != FromOutcome(outcomeN(99)) {
+				t.Fatalf("cut %d: post-repair append not replayed (%d records)", cut, len(recs))
+			}
+		})
+	}
+}
+
+// TestBitFlip flips one bit in each record's payload in turn; replay
+// must stop at the damaged record and keep everything before it.
+func TestBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, _ := openRecovered(t, dir)
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := l.RecordOutcome(outcomeN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	whole, err := os.ReadFile(filepath.Join(dir, journalName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		t.Run(fmt.Sprintf("record=%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			flipped := bytes.Clone(whole)
+			// Flip a bit in record k's payload.
+			flipped[len(journalHeader)+k*frameLen+frameHeaderLen+20] ^= 0x10
+			if err := os.WriteFile(filepath.Join(dir, journalName(1)), flipped, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, stats, _, recs := openRecovered(t, dir)
+			if len(recs) != k {
+				t.Fatalf("flip in record %d: replayed %d records, want %d", k, len(recs), k)
+			}
+			if stats.TornBytes != int64((n-k)*frameLen) {
+				t.Errorf("flip in record %d: torn bytes %d, want %d", k, stats.TornBytes, (n-k)*frameLen)
+			}
+		})
+	}
+}
+
+func TestBadMagicIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalName(1)), []byte("NOTAWAL!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("wrong journal magic must fail Open, not silently truncate")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, _ := openRecovered(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := l.RecordOutcome(outcomeN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot "covers" records 0..2: save a marker the reopen can check.
+	save := func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(map[string]int{"covered": 3})
+	}
+	if err := l.Rotate(save); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Seq(); got != 2 {
+		t.Fatalf("after first Rotate seq=%d, want 2", got)
+	}
+	for i := 3; i < 5; i++ {
+		if err := l.RecordOutcome(outcomeN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Generation 1 must be gone.
+	if _, err := os.Stat(filepath.Join(dir, journalName(1))); !os.IsNotExist(err) {
+		t.Errorf("journal generation 1 not deleted after rotation: %v", err)
+	}
+
+	_, stats, snap, recs := openRecovered(t, dir)
+	if stats.SnapshotSeq != 2 {
+		t.Fatalf("snapshot seq %d, want 2", stats.SnapshotSeq)
+	}
+	var m map[string]int
+	if err := json.Unmarshal(snap, &m); err != nil || m["covered"] != 3 {
+		t.Fatalf("snapshot payload %q, %v", snap, err)
+	}
+	if len(recs) != 2 || recs[0] != FromOutcome(outcomeN(3)) || recs[1] != FromOutcome(outcomeN(4)) {
+		t.Fatalf("replayed %d records after snapshot, want exactly the post-rotation 2: %+v", len(recs), recs)
+	}
+}
+
+func TestRotateRepeatedly(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, _ := openRecovered(t, dir)
+	count := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 2; i++ {
+			if err := l.RecordOutcome(outcomeN(count)); err != nil {
+				t.Fatal(err)
+			}
+			count++
+		}
+		n := count
+		if err := l.Rotate(func(w io.Writer) error {
+			return json.NewEncoder(w).Encode(n)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Exactly one snapshot and one (empty) journal should remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("rotation left %d files, want 2: %v", len(entries), names)
+	}
+	_, stats, snap, recs := openRecovered(t, dir)
+	var covered int
+	if err := json.Unmarshal(snap, &covered); err != nil || covered != count {
+		t.Fatalf("final snapshot covers %d, want %d (%v)", covered, count, err)
+	}
+	if len(recs) != 0 || stats.Records != 0 {
+		t.Fatalf("replayed %d records, want 0 (all snapshotted)", len(recs))
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordOutcome(outcomeN(1)); err == nil {
+		t.Error("RecordOutcome before Recover must fail")
+	}
+	if err := l.Rotate(func(io.Writer) error { return nil }); err == nil {
+		t.Error("Rotate before Recover must fail")
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err == nil {
+		t.Error("second Recover must fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double Close should be a no-op, got %v", err)
+	}
+	if err := l.RecordOutcome(outcomeN(1)); err == nil {
+		t.Error("RecordOutcome after Close must fail")
+	}
+}
+
+// TestReplayErrorPropagates: an apply error aborts recovery — feedback
+// must not be silently skipped.
+func TestReplayErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, _ := openRecovered(t, dir)
+	l.RecordOutcome(outcomeN(1))
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	wantErr := fmt.Errorf("estimator rejected it")
+	if _, err := l2.Recover(nil, func(Record) error { return wantErr }); err == nil {
+		t.Fatal("apply error must propagate out of Recover")
+	}
+}
+
+// TestDumpMatchesRecover: Dump must see exactly the stream Recover
+// replays, without mutating the directory.
+func TestDumpMatchesRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, _ := openRecovered(t, dir)
+	for i := 0; i < 3; i++ {
+		l.RecordOutcome(outcomeN(i))
+	}
+	l.Rotate(func(w io.Writer) error { _, err := w.Write([]byte(`"snap"`)); return err })
+	for i := 3; i < 5; i++ {
+		l.RecordOutcome(outcomeN(i))
+	}
+	l.Close()
+
+	snap, recs, err := Dump(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, snap2, recs2 := openRecovered(t, dir)
+	if !bytes.Equal(snap, snap2) {
+		t.Errorf("Dump snapshot %q differs from Recover's %q", snap, snap2)
+	}
+	if len(recs) != len(recs2) {
+		t.Fatalf("Dump saw %d records, Recover %d", len(recs), len(recs2))
+	}
+	for i := range recs {
+		if recs[i] != recs2[i] {
+			t.Errorf("record %d differs: %+v vs %+v", i, recs[i], recs2[i])
+		}
+	}
+}
+
+// TestStaleGenerationsCleaned: files a crashed rotation left behind
+// (old journals/snapshots below the newest snapshot, temp files) are
+// removed by Open.
+func TestStaleGenerationsCleaned(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, _ := openRecovered(t, dir)
+	l.RecordOutcome(outcomeN(1))
+	l.Rotate(func(w io.Writer) error { _, err := w.Write([]byte("{}")); return err })
+	l.RecordOutcome(outcomeN(2))
+	l.Close()
+	// Fake crash litter: a stale journal, a stale snapshot, a temp file.
+	for _, name := range []string{journalName(1), snapshotName(1), snapshotName(3) + ".tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(""), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stale journal needs a valid header or Open treats it as torn.
+	if err := os.WriteFile(filepath.Join(dir, journalName(1)), journalHeader, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, stats, _, recs := openRecovered(t, dir)
+	defer l2.Close()
+	if stats.SnapshotSeq != 2 || len(recs) != 1 {
+		t.Fatalf("recovery confused by litter: %+v, %d records", stats, len(recs))
+	}
+	for _, name := range []string{journalName(1), snapshotName(1), snapshotName(3) + ".tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("stale file %s survived Open", name)
+		}
+	}
+}
