@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
@@ -25,11 +27,22 @@ type config struct {
 	MemMB     float64
 	ReqTimeS  float64
 	FailEvery int
-	// Retries bounds per-request retry attempts for transient failures
-	// (connection refused, timeouts, 5xx): a restarting or draining
-	// daemon looks exactly like this, and a closed-loop generator that
-	// counts those as hard errors cannot measure a rolling restart.
-	// Zero disables retrying.
+	// Retries bounds per-request retry attempts for transient failures:
+	// a restarting or draining daemon looks exactly like this, and a
+	// closed-loop generator that counts those as hard errors cannot
+	// measure a rolling restart. Zero disables retrying.
+	//
+	// Requests carry no idempotency key, so what counts as transient
+	// depends on what a replay could do. Completions retry every
+	// transport error and 5xx (a replayed completion is rejected with a
+	// 409 — the daemon trains nothing twice). Submits retry only
+	// failures that provably never reached the daemon — dial errors and
+	// 5xx responses; an ambiguous post-write transport error (timeout or
+	// reset after the request was sent) is a hard error, because
+	// replaying it could double-submit: the orphaned first job would
+	// occupy capacity unseen by this closed loop for the rest of the
+	// run, skewing the very occupancy numbers a restart scenario
+	// measures.
 	Retries int
 	// RetryBase is the first backoff delay; it doubles per attempt
 	// (with jitter) and is capped at RetryMax.
@@ -184,21 +197,26 @@ func (w *worker) jobSpec() map[string]any {
 	}
 }
 
-// post sends one timed request, retrying transient failures (transport
-// errors — connection refused, timeouts — and 5xx responses) with
+// post sends one timed request, retrying transient failures with
 // capped exponential backoff plus jitter. A restarting or draining
 // daemon presents exactly those failures; without retries a closed-loop
 // generator reports a rolling restart as a wall of hard errors instead
-// of a latency blip. ok is false only after retries are exhausted or on
-// a non-retryable failure (4xx, malformed response).
-func (w *worker) post(client *http.Client, path string, body, out any, wantStatus int) bool {
+// of a latency blip.
+//
+// replaySafe says whether re-sending a request the daemon may have
+// already applied is acceptable (see config.Retries): when false, only
+// failures that prove the request never reached the daemon — dial
+// errors and 5xx responses — are retried. ok is false after retries
+// are exhausted or on a non-retryable failure (4xx, malformed
+// response, ambiguous transport error on a replay-unsafe request).
+func (w *worker) post(client *http.Client, path string, body, out any, wantStatus int, replaySafe bool) bool {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		w.stats.httpErrors++
 		return false
 	}
 	for attempt := 0; ; attempt++ {
-		retryable, ok := w.attempt(client, path, buf, out, wantStatus)
+		retryable, ok := w.attempt(client, path, buf, out, wantStatus, replaySafe)
 		if ok {
 			return true
 		}
@@ -211,13 +229,18 @@ func (w *worker) post(client *http.Client, path string, body, out any, wantStatu
 }
 
 // attempt issues a single timed request. retryable reports whether the
-// failure is transient (worth backing off and retrying).
-func (w *worker) attempt(client *http.Client, path string, buf []byte, out any, wantStatus int) (retryable, ok bool) {
+// failure is transient (worth backing off and retrying). A 5xx
+// response is always retryable — the daemon answered without applying
+// the request, so a replay cannot double-apply it. A transport error is
+// retryable when the dial itself failed (nothing was sent) or when the
+// caller marked the request safe to replay; anything else is an
+// ambiguous maybe-applied failure and fails hard.
+func (w *worker) attempt(client *http.Client, path string, buf []byte, out any, wantStatus int, replaySafe bool) (retryable, ok bool) {
 	t0 := time.Now()
 	resp, err := client.Post(w.base+path, "application/json", bytes.NewReader(buf))
 	w.stats.latencies = append(w.stats.latencies, time.Since(t0))
 	if err != nil {
-		return true, false // connection refused, reset, client timeout
+		return replaySafe || preWrite(err), false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
@@ -230,6 +253,17 @@ func (w *worker) attempt(client *http.Client, path string, buf []byte, out any, 
 		return false, false
 	}
 	return false, true
+}
+
+// preWrite reports whether a transport error happened before any byte
+// of the request could have reached the daemon: the dial itself failed
+// (connection refused — the common face of a restart). Errors on an
+// established connection (client timeout, reset mid-exchange) are
+// ambiguous — the daemon may have applied the request and only the
+// response was lost — so they do not qualify.
+func preWrite(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
 }
 
 // sleepBackoff waits min(RetryMax, RetryBase·2^attempt) scaled by a
@@ -263,12 +297,14 @@ type batchResult struct {
 
 // submitWindow submits cfg.Batch jobs and returns the IDs that started
 // running (queued jobs are left to the daemon; a closed loop must not
-// block on them).
+// block on them). Submits are not replay-safe: a double-submitted job
+// would never be completed by this loop and would squat on cluster
+// capacity for the rest of the run.
 func (w *worker) submitWindow(client *http.Client) []int64 {
 	var running []int64
 	if w.cfg.Batch == 1 {
 		var v jobView
-		if !w.post(client, "/api/v1/jobs", w.jobSpec(), &v, http.StatusCreated) {
+		if !w.post(client, "/api/v1/jobs", w.jobSpec(), &v, http.StatusCreated, false) {
 			return nil
 		}
 		w.stats.submitted++
@@ -283,7 +319,7 @@ func (w *worker) submitWindow(client *http.Client) []int64 {
 		jobs[i] = w.jobSpec()
 	}
 	var resp batchResult
-	if !w.post(client, "/api/v1/jobs:batch", map[string]any{"jobs": jobs}, &resp, http.StatusOK) {
+	if !w.post(client, "/api/v1/jobs:batch", map[string]any{"jobs": jobs}, &resp, http.StatusOK, false) {
 		return nil
 	}
 	for _, r := range resp.Results {
@@ -302,7 +338,11 @@ func (w *worker) submitWindow(client *http.Client) []int64 {
 
 // completeWindow reports completions for the started jobs; every
 // FailEvery-th report (per client) is a failure so the estimator's
-// raise path stays exercised.
+// raise path stays exercised. Completions are replay-safe: if the
+// first attempt was applied and only its response lost, the replay is
+// rejected with a 409 (the job is no longer running) and the daemon
+// trains nothing twice — the cost is one completion counted as a hard
+// error, not corrupted state.
 func (w *worker) completeWindow(client *http.Client, ids []int64) {
 	success := func(k int) bool {
 		return w.cfg.FailEvery == 0 || (w.stats.completed+k+1)%w.cfg.FailEvery != 0
@@ -310,7 +350,7 @@ func (w *worker) completeWindow(client *http.Client, ids []int64) {
 	if w.cfg.Batch == 1 {
 		for _, id := range ids {
 			path := fmt.Sprintf("/api/v1/jobs/%d/complete", id)
-			if w.post(client, path, map[string]any{"success": success(0)}, nil, http.StatusOK) {
+			if w.post(client, path, map[string]any{"success": success(0)}, nil, http.StatusOK, true) {
 				w.stats.completed++
 			}
 		}
@@ -321,7 +361,7 @@ func (w *worker) completeWindow(client *http.Client, ids []int64) {
 		comps[k] = map[string]any{"id": id, "success": success(k)}
 	}
 	var resp batchResult
-	if !w.post(client, "/api/v1/complete:batch", map[string]any{"completions": comps}, &resp, http.StatusOK) {
+	if !w.post(client, "/api/v1/complete:batch", map[string]any{"completions": comps}, &resp, http.StatusOK, true) {
 		return
 	}
 	for _, r := range resp.Results {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -124,8 +125,8 @@ func TestConfigValidate(t *testing.T) {
 
 // flakyFront simulates a daemon mid-restart: the first fail requests
 // get 503, then traffic flows to the real handler. Connection-refused
-// and timeout failures take the same retry path (transport errors);
-// 503 is the variant an httptest server can stage deterministically.
+// failures take the same retry path; 503 is the variant an httptest
+// server can stage deterministically.
 type flakyFront struct {
 	mu   sync.Mutex
 	fail int
@@ -228,6 +229,83 @@ func TestNonRetryableNotRetried(t *testing.T) {
 	}
 	if rep.HTTPErrors == 0 {
 		t.Fatal("400 responses not reported as errors")
+	}
+}
+
+// retryWorker builds a bare worker against base with a small retry
+// budget, for driving post directly.
+func retryWorker(base string) *worker {
+	return &worker{
+		cfg: config{
+			Addr: base, Clients: 1, Duration: time.Second, Batch: 1,
+			Users: 1, Apps: 1, Nodes: 1, MemMB: 32, ReqTimeS: 60,
+			Retries: 3, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
+		},
+		base:     base,
+		stats:    &clientStats{},
+		rng:      rand.New(rand.NewSource(1)),
+		deadline: time.Now().Add(time.Second),
+	}
+}
+
+// TestSubmitRetriesDialErrors: connection refused proves the request
+// never reached the daemon, so even a replay-unsafe submit retries it.
+func TestSubmitRetriesDialErrors(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close() // nothing listens: every attempt is a dial error
+	w := retryWorker(url)
+	client := &http.Client{Timeout: time.Second}
+	if ok := w.post(client, "/api/v1/jobs", map[string]any{}, nil, http.StatusCreated, false); ok {
+		t.Fatal("post against a closed port reported success")
+	}
+	if w.stats.retries != w.cfg.Retries {
+		t.Errorf("retries = %d, want the full budget %d (dial errors are replay-safe)",
+			w.stats.retries, w.cfg.Retries)
+	}
+	if w.stats.httpErrors != 1 {
+		t.Errorf("httpErrors = %d, want 1", w.stats.httpErrors)
+	}
+}
+
+// TestSubmitNotReplayedAfterAmbiguousFailure: a transport error after
+// the request was written (the server aborts the exchange mid-flight)
+// may mean the daemon already applied the submit; replaying it could
+// double-submit, so the generator must fail hard with zero retries.
+func TestSubmitNotReplayedAfterAmbiguousFailure(t *testing.T) {
+	aborter := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler) // connection cut after the request arrived
+	}))
+	t.Cleanup(aborter.Close)
+	w := retryWorker(aborter.URL)
+	client := &http.Client{Timeout: time.Second}
+	if ok := w.post(client, "/api/v1/jobs", map[string]any{}, nil, http.StatusCreated, false); ok {
+		t.Fatal("aborted submit reported success")
+	}
+	if w.stats.retries != 0 {
+		t.Errorf("replay-unsafe submit retried %d times after a post-write failure", w.stats.retries)
+	}
+	if w.stats.httpErrors != 1 {
+		t.Errorf("httpErrors = %d, want 1", w.stats.httpErrors)
+	}
+}
+
+// TestCompleteRetriesAmbiguousFailure: completions are replay-safe (a
+// duplicate is rejected with 409, nothing trains twice), so the same
+// post-write failure is retried.
+func TestCompleteRetriesAmbiguousFailure(t *testing.T) {
+	aborter := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	t.Cleanup(aborter.Close)
+	w := retryWorker(aborter.URL)
+	client := &http.Client{Timeout: time.Second}
+	if ok := w.post(client, "/api/v1/jobs/1/complete", map[string]any{"success": true}, nil, http.StatusOK, true); ok {
+		t.Fatal("aborted complete reported success")
+	}
+	if w.stats.retries != w.cfg.Retries {
+		t.Errorf("retries = %d, want the full budget %d (completions are replay-safe)",
+			w.stats.retries, w.cfg.Retries)
 	}
 }
 

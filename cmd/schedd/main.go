@@ -138,11 +138,17 @@ func main() {
 
 	// persist makes learned state durable: WAL rotation (snapshot +
 	// fresh journal generation) when the WAL is on, otherwise an
-	// fsynced atomic rewrite of the -state file.
+	// fsynced atomic rewrite of the -state file. Rotation goes through
+	// srv.Quiesce so it can never run between a completion's journal
+	// append and its estimator training — a snapshot taken in that
+	// window would miss the record while rotation deletes the journal
+	// holding it, losing acked feedback across a crash.
 	persist := func() {
 		switch {
 		case feedbackLog != nil:
-			if err := feedbackLog.Rotate(est.SaveState); err != nil {
+			if err := srv.Quiesce(func() error {
+				return feedbackLog.Rotate(est.SaveState)
+			}); err != nil {
 				log.Printf("schedd: rotating WAL: %v", err)
 			}
 		case *state != "":

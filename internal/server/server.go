@@ -35,17 +35,25 @@
 //
 // # Locking
 //
-// The daemon has exactly two locking domains, never held together:
+// The daemon has three locking domains:
 //
 //   - s.mu guards the job table, the FCFS queue, the cluster (whose
 //     allocation state is not internally synchronized) and the lifetime
 //     counters. It is held only across in-memory bookkeeping — never
-//     across an estimator call, JSON encoding/decoding, or I/O.
+//     across an estimator call, JSON encoding/decoding, or I/O — and is
+//     never held together with any other lock.
+//   - s.rotMu makes each feedback event's journal-append + train pair
+//     atomic with respect to snapshot rotation: feedback holds the read
+//     side across both steps, and Quiesce (which cmd/schedd routes WAL
+//     rotation through) takes the write side. Without it a rotation
+//     could snapshot estimator state that lacks a just-journaled record
+//     and then delete the journal generation holding it — losing an
+//     acked, fsynced feedback event across a crash.
 //   - the estimator's own locks (estimate.Synchronized's mutex or
-//     estimate.ShardedSynchronized's per-shard RWMutexes). The server
-//     calls the estimator only while holding no lock at all, so these
-//     are leaves and the overall lock order is trivially acyclic:
-//     s.mu ≺ nothing, shard locks ≺ nothing.
+//     estimate.ShardedSynchronized's per-shard RWMutexes) and the
+//     journal's internal mutex (wal.Log). Both are acquired only under
+//     s.rotMu or under no lock at all, so the order is acyclic:
+//     s.rotMu ≺ wal.Log's mutex ≺ estimator locks, s.mu ≺ nothing.
 //
 // Estimate/Feedback therefore run concurrently with each other and with
 // job bookkeeping, which is what lets a sharded estimator scale with
@@ -190,7 +198,12 @@ type job struct {
 // s.mu; the estimator is called with no lock held (see the package
 // comment for the lock order).
 type Server struct {
-	mu          sync.Mutex
+	mu sync.Mutex
+	// rotMu orders feedback against snapshot rotation: the read side
+	// spans one outcome's journal append + estimator training, the write
+	// side (Quiesce) spans a rotation, so a snapshot never lands between
+	// the two halves of a feedback event (see the package comment).
+	rotMu       sync.RWMutex
 	cfg         Config
 	est         estimate.ConcurrencySafe
 	fallible    estimate.Fallible // non-nil when est has an error path
@@ -388,8 +401,15 @@ func (s *Server) finishLocked(id int64, req CompleteRequest) (*job, estimate.Out
 // Both layers degrade instead of failing — a journal error costs
 // durability, an estimator error costs learning; neither fails the
 // completion request. Must be called with s.mu NOT held.
+//
+// The append+train pair runs under rotMu's read side: a snapshot
+// rotation (Quiesce) between the two would capture estimator state
+// missing the just-journaled record and then delete the journal that
+// holds it, so the pair must be atomic with respect to rotation.
 func (s *Server) feedback(o estimate.Outcome) {
 	s.feedbacks.Add(1)
+	s.rotMu.RLock()
+	defer s.rotMu.RUnlock()
 	if s.cfg.Journal != nil {
 		if err := s.cfg.Journal.RecordOutcome(o); err != nil {
 			s.walErrors.Add(1)
@@ -404,6 +424,20 @@ func (s *Server) feedback(o estimate.Outcome) {
 		return
 	}
 	s.est.Feedback(o)
+}
+
+// Quiesce runs fn while no feedback event is between its journal
+// append and its estimator training: every outcome already journaled
+// has also been trained on, and new feedback waits until fn returns.
+// cmd/schedd routes WAL rotation through it so the rotated-out
+// generation's records are all reflected in the snapshot that
+// supersedes them — the invariant wal.Log.Rotate documents. fn should
+// be brief (a snapshot is a few KB); completions block for the
+// duration, everything else proceeds.
+func (s *Server) Quiesce(fn func() error) error {
+	s.rotMu.Lock()
+	defer s.rotMu.Unlock()
+	return fn()
 }
 
 // estimateFor asks the estimator for a job's matching capacity,

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -43,11 +44,12 @@ type RecoveryStats struct {
 // are safe for concurrent use; appends from HTTP handler goroutines and
 // the periodic rotation in cmd/schedd share the one mutex.
 //
-// Lock order: l.mu is acquired while holding no other lock, and Rotate
-// calls the snapshot callback (typically the estimator's SaveState,
-// which takes the estimator's shard locks) under l.mu — so l.mu
-// precedes the estimator locks and nothing acquires them in the other
-// order (the server calls RecordOutcome while holding no lock at all).
+// Lock order: Rotate calls the snapshot callback (typically the
+// estimator's SaveState, which takes the estimator's shard locks) under
+// l.mu — so l.mu precedes the estimator locks and nothing acquires them
+// in the other order. The server holds its rotation read-lock (see
+// server.Quiesce) around RecordOutcome, which precedes both; l.mu is
+// never held while acquiring anything but the estimator locks.
 type Log struct {
 	mu     sync.Mutex
 	fs     FS
@@ -68,13 +70,17 @@ func journalName(seq uint64) string  { return fmt.Sprintf("journal-%08d.wal", se
 func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%08d.json", seq) }
 
 // parseSeq extracts the generation from a journal/snapshot file name.
+// The middle segment must be exactly a positive decimal number —
+// anything else (trailing garbage, a sign, an overflow) means the file
+// is not a WAL generation and must be left alone, never "repaired"
+// against a reconstructed canonical name it does not match.
 func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
 		return 0, false
 	}
 	mid := name[len(prefix) : len(name)-len(suffix)]
-	var seq uint64
-	if _, err := fmt.Sscanf(mid, "%d", &seq); err != nil || seq == 0 {
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil || seq == 0 {
 		return 0, false
 	}
 	return seq, true
@@ -376,10 +382,16 @@ func (l *Log) RecordOutcome(o estimate.Outcome) error {
 // Rotate snapshots the estimator and starts a fresh journal generation:
 //
 //  1. journal N+1 is created and synced; new appends go there;
-//  2. save writes the estimator state (which already includes journal
-//     N's records) to snapshot-N+1.json.tmp, fsynced, then atomically
-//     renamed over and the directory fsynced;
+//  2. save writes the estimator state to snapshot-N+1.json.tmp,
+//     fsynced, then atomically renamed over and the directory fsynced;
 //  3. generation N's files are deleted.
+//
+// Step (3) is only sound when the state save writes already reflects
+// every record in journal N: the caller must ensure no feedback event
+// is between its RecordOutcome and its estimator training when Rotate
+// runs — l.mu alone cannot, because training happens outside this
+// package. cmd/schedd guarantees it by routing rotation through
+// server.Quiesce, whose write lock excludes that window.
 //
 // Every failure mode leaves a recoverable directory: aborting before
 // (2) completes leaves snapshot N plus journals N and N+1, which replay

@@ -449,3 +449,60 @@ func TestStaleGenerationsCleaned(t *testing.T) {
 		}
 	}
 }
+
+// TestParseSeqRejectsForeignNames: the middle segment must be exactly a
+// positive decimal number. fmt.Sscanf("%d") accepted trailing garbage,
+// so a foreign or renamed file (journal-000001x.wal) parsed as seq 1
+// and could later be "repaired" — truncated or deleted — against a
+// reconstructed canonical name that names a different file entirely.
+func TestParseSeqRejectsForeignNames(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  uint64
+		ok   bool
+	}{
+		{"journal-00000001.wal", 1, true},
+		{"journal-12345678.wal", 12345678, true},
+		{"journal-000001x.wal", 0, false},  // trailing garbage in the number
+		{"journal-x0000001.wal", 0, false}, // leading garbage
+		{"journal-0000 001.wal", 0, false}, // embedded space
+		{"journal-+0000001.wal", 0, false}, // sign
+		{"journal--0000001.wal", 0, false},
+		{"journal-.wal", 0, false},                     // empty segment
+		{"journal-00000000.wal", 0, false},             // generation zero is reserved
+		{"journal-18446744073709551616.wal", 0, false}, // uint64 overflow
+		{"journal-00000001.wal.bak", 0, false},
+		{"notes-00000001.wal", 0, false},
+	}
+	for _, c := range cases {
+		seq, ok := parseSeq(c.name, "journal-", ".wal")
+		if seq != c.seq || ok != c.ok {
+			t.Errorf("parseSeq(%q) = (%d, %v), want (%d, %v)", c.name, seq, ok, c.seq, c.ok)
+		}
+	}
+}
+
+// TestForeignFileLeftAlone: a non-WAL file whose name merely resembles
+// a journal must be invisible to Open — neither replayed, repaired,
+// nor deleted.
+func TestForeignFileLeftAlone(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, _ := openRecovered(t, dir)
+	if err := l.RecordOutcome(outcomeN(1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	foreign := filepath.Join(dir, "journal-000001x.wal")
+	if err := os.WriteFile(foreign, []byte("not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, stats, _, recs := openRecovered(t, dir)
+	defer l2.Close()
+	if stats.Journals != 1 || len(recs) != 1 || stats.TornBytes != 0 {
+		t.Fatalf("foreign file changed recovery: %+v, %d records", stats, len(recs))
+	}
+	data, err := os.ReadFile(foreign)
+	if err != nil || string(data) != "not a journal" {
+		t.Fatalf("foreign file was touched: %q, %v", data, err)
+	}
+}
