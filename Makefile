@@ -15,10 +15,19 @@ test:
 overprovlint: $(shell find cmd/overprovlint internal/analysis -name '*.go' -not -path '*/testdata/*')
 	$(GO) build -o overprovlint ./cmd/overprovlint
 
+# Standalone invariant gate: vet, the seven custom analyzers over the
+# shipped sources, then the package-local analyzers over the test files
+# too (-tests), so chaos/rotation tests obey the determinism and
+# no-dropped-feedback rules. DESIGN.md §7 documents the analyzers.
 lint: overprovlint
 	$(GO) vet ./...
 	./overprovlint ./...
+	./overprovlint -tests -analyzers detrand,errfeedback ./...
 
+# `race` also carries the analyzer self-checks: TestSuiteIsCleanOnModule
+# and TestEveryAnalyzerHasExercisedFixtures (internal/analysis) fail
+# verify if the suite reports anything on the tree or any analyzer's
+# fixtures stop producing diagnostics.
 race:
 	$(GO) test -race ./...
 

@@ -1,33 +1,57 @@
-// Command overprovlint is the repo's multichecker: it runs the four
-// custom analyzers from internal/analysis (memsafe, lockcheck, detrand,
-// errfeedback) over module packages and exits non-zero on any finding.
-// It is built purely on the standard library — the stock vet passes are
-// not linked in (that would need golang.org/x/tools), so the CI gate
-// pairs it with `go vet ./...`:
+// Command overprovlint is the repo's multichecker: it runs the custom
+// analyzers from internal/analysis (memsafe, lockcheck, detrand,
+// errfeedback, lockorder, walorder, fsyncrename) over module packages
+// and exits non-zero on any finding. It is built purely on the
+// standard library — the stock vet passes are not linked in (that
+// would need golang.org/x/tools), so the CI gate pairs it with
+// `go vet ./...`:
 //
 //	go build ./cmd/overprovlint && ./overprovlint ./... && go vet ./...
 //
 // Patterns resolve against the enclosing module: "./..." (the default)
 // means every package, "./internal/..." a subtree, and "./internal/sim"
-// or "overprov/internal/sim" a single package. Test files are not
-// analyzed; the invariants bind the shipped code, and tests poke
-// estimator internals deliberately.
+// or "overprov/internal/sim" a single package.
+//
+// The module is loaded and type-checked once and the package set is
+// shared by every analyzer, together with one module-wide call-graph
+// summary — the flow-sensitive analyzers need cross-package lock
+// facts, and the AST-level ones get a free speedup (the old binary
+// re-loaded the module per package pattern).
+//
+// Flags:
+//
+//	-list               list the analyzers and exit
+//	-analyzers a,b,...  run only the named analyzers
+//	-json               emit diagnostics as a JSON array on stdout
+//	-tests              include _test.go files (package-local analyzers
+//	                    only: detrand and errfeedback are the intended
+//	                    pairing — see Loader.LoadTests)
+//	-time               report load/analysis wall-clock on stderr
+//
+// By default test files are not analyzed; the invariants bind the
+// shipped code, and tests poke estimator internals deliberately.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"overprov/internal/analysis"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
+	tests := flag.Bool("tests", false, "include _test.go files in the analyzed packages")
+	timing := flag.Bool("time", false, "report load/analysis wall-clock on stderr")
+	names := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: overprovlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: overprovlint [-list] [-json] [-tests] [-time] [-analyzers a,b] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the overprov static-analysis suite; defaults to ./...\n\nAnalyzers:\n")
 		for _, a := range analysis.Suite() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
@@ -40,13 +64,48 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Args()); err != nil {
+	analyzers, err := selectAnalyzers(*names)
+	if err == nil {
+		err = run(flag.Args(), analyzers, *jsonOut, *tests, *timing)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "overprovlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string) error {
+// selectAnalyzers resolves the -analyzers flag against the suite.
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	suite := analysis.Suite()
+	if names == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// jsonDiagnostic is the -json wire shape, one object per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(patterns []string, analyzers []*analysis.Analyzer, jsonOut, tests, timing bool) error {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -63,26 +122,66 @@ func run(patterns []string) error {
 		return err
 	}
 
+	// Load once; every analyzer shares the package set and one module
+	// summary.
 	loader := analysis.NewLoader(moduleDir, modulePath)
-	found := 0
+	start := time.Now()
+	var pkgs []*analysis.Package
 	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			return err
-		}
-		diags, err := analysis.Run(loader.Fset, pkg, analysis.Suite())
-		if err != nil {
-			return err
-		}
-		for _, d := range diags {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
+		if tests {
+			ps, err := loader.LoadTests(path)
+			if err != nil {
+				return err
 			}
-			fmt.Println(d)
-			found++
+			pkgs = append(pkgs, ps...)
+		} else {
+			pkg, err := loader.Load(path)
+			if err != nil {
+				return err
+			}
+			pkgs = append(pkgs, pkg)
 		}
 	}
-	if found > 0 {
+	loaded := time.Now()
+
+	sum := analysis.Summarize(loader.Fset, pkgs)
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunWithSummary(loader.Fset, pkg, analyzers, sum)
+		if err != nil {
+			return err
+		}
+		all = append(all, diags...)
+	}
+	if timing {
+		fmt.Fprintf(os.Stderr, "overprovlint: %d packages loaded in %v, analyzed in %v\n",
+			len(pkgs), loaded.Sub(start).Round(time.Millisecond), time.Since(loaded).Round(time.Millisecond))
+	}
+
+	for i := range all {
+		if rel, err := filepath.Rel(cwd, all[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			all[i].Pos.Filename = rel
+		}
+	}
+	if jsonOut {
+		out := make([]jsonDiagnostic, 0, len(all))
+		for _, d := range all {
+			out = append(out, jsonDiagnostic{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if len(all) > 0 {
 		os.Exit(1)
 	}
 	return nil

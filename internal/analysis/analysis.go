@@ -16,6 +16,24 @@
 // feedback corrupts the Algorithm 1 walk-down without any visible
 // symptom.
 //
+// Since PR 6 the suite also has a flow-sensitive half — an
+// intraprocedural CFG (cfg.go) with dominance (dom.go), a held-lock
+// dataflow (lockflow.go) and a module-wide call-graph summary
+// (callsummary.go) — powering three ordering analyzers:
+//
+//  5. "lockorder": the module's lock-acquisition graph must follow the
+//     canonical hierarchy of DESIGN.md §7 — no cycles, no
+//     descending-rank acquisitions, and nothing acquired and no
+//     durability operation performed while the exclusive Server.mu is
+//     held;
+//  6. "walorder": every estimator train call in a rotation-locked
+//     package is dominated by a journal append under the same
+//     rotation-lock hold (the PR 5 durability-race fix as a static
+//     rule);
+//  7. "fsyncrename": a rename publishing persistent state is dominated
+//     by a Sync of the written file and followed by a directory sync
+//     (the schedd saver bug, generalized).
+//
 // The suite is modeled on golang.org/x/tools/go/analysis but is built
 // exclusively on the standard library (go/ast, go/types, go/build), so
 // the repository stays dependency-free: Analyzer/Pass mirror their
@@ -45,6 +63,10 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Summary is the module-wide call-graph and lock summary shared by
+	// every pass of a run; the flow-sensitive analyzers (lockorder,
+	// walorder) read cross-package facts from it.
+	Summary *Summary
 
 	diags []Diagnostic
 }
@@ -72,11 +94,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 }
 
 // Run applies the analyzers to one loaded package and returns the
-// combined findings sorted by file position.
+// combined findings sorted by file position. The summary is built
+// from the single package — callers analyzing a whole module should
+// Summarize once over every package and use RunWithSummary so
+// cross-package lock edges are visible (and the summary work is not
+// repeated per package).
 func Run(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithSummary(fset, pkg, analyzers, Summarize(fset, []*Package{pkg}))
+}
+
+// RunWithSummary is Run with a caller-provided module summary.
+func RunWithSummary(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, sum *Summary) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg}
+		pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Summary: sum}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 		}
@@ -100,5 +131,5 @@ func Run(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Diagnostic
 
 // Suite returns the full overprovlint analyzer set in stable order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Memsafe, Lockcheck, Detrand, Errfeedback}
+	return []*Analyzer{Memsafe, Lockcheck, Detrand, Errfeedback, Lockorder, Walorder, Fsyncrename}
 }

@@ -1,0 +1,518 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The call-graph summary layer: which locks every function in the
+// module (transitively) acquires and which durability operations it
+// performs. The ordering analyzers (lockorder, walorder) consume it
+// through Pass.Summary, so the whole suite shares one computation per
+// run instead of re-deriving facts per analyzer.
+//
+// Locks are mutex *fields* of named structs — the repo's convention
+// for guarded state — identified by the field's types.Var, so the
+// same lock keeps one identity across every package of a shared
+// loader. Two comment directives refine the picture:
+//
+//	//overprov:lock rank=N [exclusive] [rotation]
+//
+// on a mutex field declares its place in the canonical lock hierarchy
+// (DESIGN.md §7): rank orders acquisition (lower ranks are acquired
+// first), `exclusive` marks a lock that must never be held across any
+// other lock acquisition or estimator/WAL durability call (Server.mu),
+// and `rotation` marks the snapshot-rotation lock the walorder
+// analyzer checks write-ahead ordering against (Server.rotMu).
+//
+//	//overprov:callsunder <lockField>
+//
+// on a function declares that its function-typed arguments are invoked
+// while <lockField> (a mutex field of the receiver) is held — the
+// analyzers cannot see through an indirect call, so wal.Log.Rotate and
+// server.Quiesce carry the annotation and the engine analyzes callback
+// literals at the call site with the lock already held.
+
+// LockInfo describes one declared lock: a sync.Mutex/RWMutex field of
+// a named struct.
+type LockInfo struct {
+	// Field is the lock's identity across packages.
+	Field *types.Var
+	// Name is the qualified display name, "server.Server.mu".
+	Name string
+	// Rank is the lock's position in the canonical hierarchy; 0 means
+	// unranked (cycle detection still applies, rank checking does not).
+	Rank int
+	// Exclusive marks a lock never held across another acquisition or
+	// a durability call.
+	Exclusive bool
+	// Rotation marks the snapshot-rotation lock walorder checks.
+	Rotation bool
+	// Pos is the field declaration site.
+	Pos token.Pos
+	// PkgPath is the declaring package.
+	PkgPath string
+}
+
+// FuncSummary is the per-function half of the summary: everything a
+// call to the function may do that the ordering invariants care about.
+type FuncSummary struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// acquires is the transitively acquired lock set (locks the
+	// function or any resolvable callee locks, in any mode).
+	acquires map[*types.Var]bool
+	// durability is the transitive set of durability operation names
+	// (Feedback, RecordOutcome, …) the function may perform.
+	durability map[string]bool
+	// callsUnder, when non-nil, is the lock the function's func-typed
+	// arguments are invoked under (the //overprov:callsunder directive).
+	callsUnder *types.Var
+
+	callees []*types.Func
+}
+
+// durabilityOps are the estimator and WAL method names whose calls
+// must never run under an exclusive lock: estimation/training and the
+// journal/snapshot protocol. These are the operations the server
+// deliberately moved outside Server.mu in PR 3/PR 5.
+var durabilityOps = map[string]bool{
+	"Estimate": true, "TryEstimate": true,
+	"Feedback": true, "TryFeedback": true,
+	"SaveState": true, "LoadState": true,
+	"RecordOutcome": true, "Rotate": true, "Recover": true,
+}
+
+// LockEdge records one observed ordering fact: To was acquired (or a
+// callee acquiring it was entered) while From was held.
+type LockEdge struct {
+	From, To *types.Var
+	// Pos is the acquisition or call site.
+	Pos token.Pos
+	// PkgPath is the package containing the site (diagnostics are
+	// reported by the pass analyzing that package).
+	PkgPath string
+	// Via names the callee that performs the acquisition; empty for a
+	// direct Lock/RLock at the site.
+	Via string
+}
+
+// exclusiveUse records a durability call reachable while an exclusive
+// lock is held.
+type exclusiveUse struct {
+	Lock    *types.Var
+	Pos     token.Pos
+	PkgPath string
+	What    string
+}
+
+// Summary is the module-wide analysis context shared by all analyzers
+// of one run.
+type Summary struct {
+	fset *token.FileSet
+	pkgs []*Package
+
+	// Locks maps every discovered mutex field to its description.
+	Locks map[*types.Var]*LockInfo
+
+	funcs         map[*types.Func]*FuncSummary
+	methodsByName map[string][]*types.Func
+
+	flowed     bool
+	lockEdges  []LockEdge
+	exclusives []exclusiveUse
+}
+
+// Summarize builds the module-wide summary over the loaded packages.
+// The flow-sensitive facts (lock edges, exclusive-lock violations) are
+// computed lazily on first use, so runs that select only the AST-level
+// analyzers pay nothing for them.
+func Summarize(fset *token.FileSet, pkgs []*Package) *Summary {
+	s := &Summary{
+		fset:          fset,
+		pkgs:          pkgs,
+		Locks:         make(map[*types.Var]*LockInfo),
+		funcs:         make(map[*types.Func]*FuncSummary),
+		methodsByName: make(map[string][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		s.collectLocks(pkg)
+	}
+	for _, pkg := range pkgs {
+		s.collectFuncs(pkg)
+	}
+	for _, fs := range s.funcs {
+		s.directFacts(fs)
+	}
+	s.closeOver()
+	return s
+}
+
+// FuncOf returns the summary of a declared module function, or nil.
+func (s *Summary) FuncOf(fn *types.Func) *FuncSummary { return s.funcs[fn] }
+
+// collectLocks finds every sync.Mutex/RWMutex field of a named struct
+// and parses its //overprov:lock directive, if any.
+func (s *Summary) collectLocks(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						obj, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok || !isSyncMutex(obj.Type()) {
+							continue
+						}
+						li := &LockInfo{
+							Field:   obj,
+							Name:    fmt.Sprintf("%s.%s.%s", pkg.Types.Name(), ts.Name.Name, name.Name),
+							Pos:     name.Pos(),
+							PkgPath: pkg.Path,
+						}
+						applyLockDirective(li, field.Doc)
+						applyLockDirective(li, field.Comment)
+						s.Locks[obj] = li
+					}
+				}
+			}
+		}
+	}
+}
+
+// applyLockDirective parses "//overprov:lock rank=N [exclusive]
+// [rotation]" from a field's comment group.
+func applyLockDirective(li *LockInfo, cg *ast.CommentGroup) {
+	if cg == nil {
+		return
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, "//overprov:lock")
+		if !ok {
+			continue
+		}
+		for _, tok := range strings.Fields(rest) {
+			switch {
+			case strings.HasPrefix(tok, "rank="):
+				if n, err := strconv.Atoi(tok[len("rank="):]); err == nil {
+					li.Rank = n
+				}
+			case tok == "exclusive":
+				li.Exclusive = true
+			case tok == "rotation":
+				li.Rotation = true
+			}
+		}
+	}
+}
+
+// collectFuncs registers every function declaration with a body.
+func (s *Summary) collectFuncs(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fs := &FuncSummary{
+				Fn: fn, Decl: fd, Pkg: pkg,
+				acquires:   make(map[*types.Var]bool),
+				durability: make(map[string]bool),
+			}
+			s.funcs[fn] = fs
+			if fn.Type().(*types.Signature).Recv() != nil {
+				s.methodsByName[fn.Name()] = append(s.methodsByName[fn.Name()], fn)
+			}
+		}
+	}
+}
+
+// directFacts computes a function's own acquisitions, durability calls,
+// resolvable callees, and //overprov:callsunder directive. The walk
+// includes nested function literals: a literal's effects are attributed
+// to the declaring function (conservative for ordering facts).
+func (s *Summary) directFacts(fs *FuncSummary) {
+	info := fs.Pkg.Info
+	ast.Inspect(fs.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lock, mode := s.lockOp(info, call); lock != nil && mode != 0 {
+			fs.acquires[lock] = true
+			return true
+		}
+		if name := calleeName(call); durabilityOps[name] {
+			fs.durability[name] = true
+		}
+		fs.callees = append(fs.callees, s.resolveCallees(fs.Pkg, call)...)
+		return true
+	})
+	if fs.Decl.Doc != nil {
+		for _, c := range fs.Decl.Doc.List {
+			rest, ok := strings.CutPrefix(c.Text, "//overprov:callsunder")
+			if !ok {
+				continue
+			}
+			if lock := s.resolveLockName(fs, strings.TrimSpace(rest)); lock != nil {
+				fs.callsUnder = lock
+			}
+		}
+	}
+}
+
+// resolveLockName maps a //overprov:callsunder operand to a lock: a
+// mutex field of the function's receiver type ("mu"), or a
+// "Type.field" pair in the function's package.
+func (s *Summary) resolveLockName(fs *FuncSummary, name string) *types.Var {
+	if typ, field, ok := strings.Cut(name, "."); ok {
+		want := fmt.Sprintf("%s.%s.%s", fs.Pkg.Types.Name(), typ, field)
+		for v, li := range s.Locks {
+			if li.Name == want {
+				return v
+			}
+		}
+		return nil
+	}
+	recv := fs.Fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	st, ok := rt.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name {
+			if _, ok := s.Locks[f]; ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// closeOver propagates acquisitions and durability ops over the call
+// graph to a fixpoint.
+func (s *Summary) closeOver() {
+	for changed := true; changed; {
+		changed = false
+		for _, fs := range s.funcs {
+			for _, callee := range fs.callees {
+				cs, ok := s.funcs[callee]
+				if !ok || cs == fs {
+					continue
+				}
+				for l := range cs.acquires {
+					if !fs.acquires[l] {
+						fs.acquires[l] = true
+						changed = true
+					}
+				}
+				for d := range cs.durability {
+					if !fs.durability[d] {
+						fs.durability[d] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockOp classifies a call as a lock operation on a declared lock.
+// mode is holdR/holdW for acquisitions, 0 for releases (lock non-nil
+// either way); (nil, 0) for anything that is not a lock op.
+func (s *Summary) lockOp(info *types.Info, call *ast.CallExpr) (*types.Var, holdMode) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	var mode holdMode
+	switch sel.Sel.Name {
+	case "Lock", "TryLock":
+		mode = holdW
+	case "RLock", "TryRLock":
+		mode = holdR
+	case "Unlock", "RUnlock":
+		mode = 0
+	default:
+		return nil, 0
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	v, ok := info.Uses[inner.Sel].(*types.Var)
+	if !ok {
+		return nil, 0
+	}
+	if _, declared := s.Locks[v]; !declared {
+		return nil, 0
+	}
+	return v, mode
+}
+
+// releaseMode reports which hold a release call drops (holdW for
+// Unlock, holdR for RUnlock); used by the dataflow transfer.
+func releaseMode(name string) holdMode {
+	switch name {
+	case "Unlock":
+		return holdW
+	case "RUnlock":
+		return holdR
+	}
+	return 0
+}
+
+// calleeName is the syntactic name of a call's target.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// resolveCallees maps a call expression to the module function it
+// statically invokes. Interface-method calls resolve to nothing here:
+// expanding them by class hierarchy manufactures phantom ordering
+// edges between the estimator wrappers (Synchronized "calling"
+// ShardedSynchronized through the Estimator interface and vice versa)
+// and with them false cycles, while every real cross-lock path in the
+// module goes through either a concrete call or an
+// //overprov:callsunder callback, where implementations() is applied
+// to the callback value instead. Durability stays visible at
+// interface calls because directFacts records it by method name.
+func (s *Summary) resolveCallees(pkg *Package, call *ast.CallExpr) []*types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			return nil
+		}
+	}
+	return []*types.Func{fn}
+}
+
+// implementations expands an interface method to its module
+// implementations; concrete functions resolve to themselves.
+func (s *Summary) implementations(fn *types.Func) []*types.Func {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return []*types.Func{fn}
+	}
+	recv := sig.Recv()
+	if recv == nil || !types.IsInterface(recv.Type()) {
+		return []*types.Func{fn}
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return []*types.Func{fn}
+	}
+	var out []*types.Func
+	for _, m := range s.methodsByName[fn.Name()] {
+		mrecv := m.Type().(*types.Signature).Recv().Type()
+		if types.Implements(mrecv, iface) {
+			out = append(out, m)
+			continue
+		}
+		if p, ok := mrecv.(*types.Pointer); !ok {
+			if types.Implements(types.NewPointer(mrecv), iface) {
+				out = append(out, m)
+			}
+		} else if types.Implements(p.Elem(), iface) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// resolveFuncValue resolves a func-typed argument expression (a method
+// value like est.SaveState, or a named function) to its declaration.
+func (s *Summary) resolveFuncValue(pkg *Package, e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
+}
+
+// LockEdges returns the module-wide lock-acquisition graph, computing
+// it (and the exclusive-lock findings) on first use.
+func (s *Summary) LockEdges() []LockEdge {
+	s.ensureFlow()
+	return s.lockEdges
+}
+
+// exclusiveUses returns durability calls observed under exclusive
+// locks.
+func (s *Summary) exclusiveUses() []exclusiveUse {
+	s.ensureFlow()
+	return s.exclusives
+}
+
+func (s *Summary) ensureFlow() {
+	if s.flowed {
+		return
+	}
+	s.flowed = true
+	if len(s.Locks) == 0 {
+		return
+	}
+	for _, fs := range s.funcs {
+		s.flowFunc(fs)
+	}
+	// Stable order for deterministic diagnostics.
+	sort.Slice(s.lockEdges, func(i, j int) bool { return s.lockEdges[i].Pos < s.lockEdges[j].Pos })
+	sort.Slice(s.exclusives, func(i, j int) bool { return s.exclusives[i].Pos < s.exclusives[j].Pos })
+}

@@ -1,0 +1,408 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the flow-sensitive half of the framework: an
+// intraprocedural control-flow graph at statement granularity. The
+// AST-level analyzers (memsafe, lockcheck, detrand, errfeedback) ask
+// "does this syntax appear anywhere"; the ordering analyzers
+// (lockorder, walorder, fsyncrename) ask "does A happen strictly
+// before B on every execution path", which needs a CFG plus dominance
+// (dom.go) and a held-lock dataflow (lockflow.go).
+//
+// Nodes are simple statements and branch conditions — never a
+// composite statement — so a node's AST subtree contains only code
+// that executes exactly when the node does (plus nested func literals,
+// which every consumer skips; their bodies run elsewhere). `go` and
+// `defer` statements appear as nodes for position bookkeeping, but
+// consumers treat them specially: the calls they carry do not execute
+// at the node's program point.
+
+// A Block is one basic block: a maximal straight-line node sequence.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes are the block's statements/conditions in execution order.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs, Preds []*Block
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks holds every block; Blocks[0] is the entry.
+	Blocks []*Block
+	// Entry is where execution starts; Exit is the single synthetic
+	// block every return and fall-off-the-end edge targets.
+	Entry, Exit *Block
+
+	site map[ast.Node]nodeSite
+}
+
+// nodeSite locates a node inside its block.
+type nodeSite struct {
+	b *Block
+	i int
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// breaks/continues are the innermost-last stacks of jump targets;
+	// an entry's label is non-empty for labeled loops/switches.
+	breaks    []jumpTarget
+	continues []jumpTarget
+	// pendingLabel is the label of the labeled statement currently
+	// being built, consumed by the next loop/switch.
+	pendingLabel string
+	// labelBlocks maps goto labels to their blocks (created on first
+	// definition or first reference, whichever comes first).
+	labelBlocks map[string]*Block
+	// fallthroughTo is the next case clause's block while a switch
+	// clause body is being built.
+	fallthroughTo *Block
+}
+
+type jumpTarget struct {
+	label  string
+	target *Block
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{site: make(map[ast.Node]nodeSite)}
+	b := &cfgBuilder{cfg: c, labelBlocks: make(map[string]*Block)}
+	c.Entry = b.newBlock()
+	c.Exit = &Block{}
+	b.cur = c.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, c.Exit)
+	c.Exit.Index = len(c.Blocks)
+	c.Blocks = append(c.Blocks, c.Exit)
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block and records its site.
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cfg.site[n] = nodeSite{b: b.cur, i: len(b.cur.Nodes)}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a loop or switch.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, false)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		// A labeled statement starts a fresh block so gotos have a
+		// stable target; the label is also offered to the next
+		// loop/switch for labeled break/continue.
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock()
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Simple statements: expression, assignment, declaration,
+		// inc/dec, send, go, defer.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+
+	join := b.newBlock()
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.edge(thenEnd, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	header := b.newBlock()
+	b.edge(b.cur, header)
+	b.cur = header
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	headerEnd := b.cur
+
+	body := b.newBlock()
+	b.edge(headerEnd, body)
+	join := b.newBlock()
+	if s.Cond != nil {
+		b.edge(headerEnd, join)
+	}
+	post := b.newBlock()
+
+	b.breaks = append(b.breaks, jumpTarget{label, join})
+	b.continues = append(b.continues, jumpTarget{label, post})
+	b.cur = body
+	b.stmt(s.Body)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+
+	b.edge(b.cur, post)
+	b.cur = post
+	if s.Post != nil {
+		b.add(s.Post)
+	}
+	b.edge(b.cur, header)
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	header := b.newBlock()
+	b.edge(b.cur, header)
+	b.cur = header
+	// The ranged expression is the header's node; the per-iteration
+	// key/value assignment carries no calls worth modeling.
+	b.add(s.X)
+
+	body := b.newBlock()
+	b.edge(header, body)
+	join := b.newBlock()
+	b.edge(header, join)
+
+	b.breaks = append(b.breaks, jumpTarget{label, join})
+	b.continues = append(b.continues, jumpTarget{label, header})
+	b.cur = body
+	b.stmt(s.Body)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+
+	b.edge(b.cur, header)
+	b.cur = join
+}
+
+// switchBody builds the clause blocks of a switch or type switch.
+// allowFallthrough is true for expression switches.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, allowFallthrough bool) {
+	label := b.takeLabel()
+	head := b.cur
+	join := b.newBlock()
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, s := range body.List {
+		clauses = append(clauses, s.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+
+	b.breaks = append(b.breaks, jumpTarget{label, join})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if allowFallthrough && i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.fallthroughTo = nil
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	join := b.newBlock()
+
+	b.breaks = append(b.breaks, jumpTarget{label, join})
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	find := func(stack []jumpTarget) *Block {
+		if s.Label != nil {
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].label == s.Label.Name {
+					return stack[i].target
+				}
+			}
+			return nil
+		}
+		if len(stack) > 0 {
+			return stack[len(stack)-1].target
+		}
+		return nil
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := find(b.breaks); t != nil {
+			b.edge(b.cur, t)
+		}
+	case token.CONTINUE:
+		if t := find(b.continues); t != nil {
+			b.edge(b.cur, t)
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.edge(b.cur, b.labelBlock(s.Label.Name))
+		}
+	case token.FALLTHROUGH:
+		if b.fallthroughTo != nil {
+			b.edge(b.cur, b.fallthroughTo)
+		}
+	}
+	// Whatever follows an unconditional jump is unreachable.
+	b.cur = b.newBlock()
+}
+
+// labelBlock returns (creating on demand) the block a goto label names.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labelBlocks[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labelBlocks[name] = blk
+	return blk
+}
+
+// Site returns the block and intra-block index of a node, or (nil, -1)
+// when the node is not part of the graph.
+func (c *CFG) Site(n ast.Node) (*Block, int) {
+	s, ok := c.site[n]
+	if !ok {
+		return nil, -1
+	}
+	return s.b, s.i
+}
+
+// ReachableFrom reports whether node m can execute strictly after node
+// n on some path: m later in the same block, or m's block reachable
+// through n's block's successors.
+func (c *CFG) ReachableFrom(n, m ast.Node) bool {
+	sn, okN := c.site[n]
+	sm, okM := c.site[m]
+	if !okN || !okM {
+		return false
+	}
+	if sn.b == sm.b && sm.i > sn.i {
+		return true
+	}
+	seen := make(map[*Block]bool)
+	work := append([]*Block(nil), sn.b.Succs...)
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		if blk == sm.b {
+			return true
+		}
+		work = append(work, blk.Succs...)
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"overprov/internal/analysis"
+)
+
+// buildFixtureCFG parses src (a single function f), builds its CFG,
+// and indexes the statements carrying calls by callee name.
+func buildFixtureCFG(t *testing.T, src string) (*analysis.CFG, map[string]ast.Node) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	var fd *ast.FuncDecl
+	for _, decl := range file.Decls {
+		if d, ok := decl.(*ast.FuncDecl); ok {
+			fd = d
+			break
+		}
+	}
+	cfg := analysis.BuildCFG(fd.Body)
+
+	// Map each call name to the CFG node containing it.
+	nodes := make(map[string]ast.Node)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					nodes[id.Name] = n
+				}
+				return true
+			})
+		}
+	}
+	return cfg, nodes
+}
+
+func TestCFGDominance(t *testing.T) {
+	cfg, nodes := buildFixtureCFG(t, `package p
+func f(c bool) {
+	a()
+	if c {
+		b()
+	}
+	d()
+	for i := 0; i < 3; i++ {
+		e()
+	}
+	g()
+}`)
+	dom := cfg.Dominators()
+
+	mustDominate := [][2]string{
+		{"a", "b"}, {"a", "d"}, {"a", "g"}, {"d", "e"}, {"d", "g"},
+	}
+	for _, p := range mustDominate {
+		if !dom.NodeDominates(nodes[p[0]], nodes[p[1]]) {
+			t.Errorf("expected %s() to dominate %s()", p[0], p[1])
+		}
+	}
+	mustNotDominate := [][2]string{
+		{"b", "d"}, // if body runs on one path only
+		{"e", "g"}, // loop body may run zero times
+		{"d", "a"}, // dominance is not symmetric
+	}
+	for _, p := range mustNotDominate {
+		if dom.NodeDominates(nodes[p[0]], nodes[p[1]]) {
+			t.Errorf("did not expect %s() to dominate %s()", p[0], p[1])
+		}
+	}
+}
+
+func TestCFGReachability(t *testing.T) {
+	cfg, nodes := buildFixtureCFG(t, `package p
+func f(c bool) {
+	a()
+	if c {
+		b()
+		return
+	}
+	for i := 0; i < 3; i++ {
+		e()
+	}
+	g()
+}`)
+
+	if !cfg.ReachableFrom(nodes["a"], nodes["g"]) {
+		t.Errorf("g() should be reachable from a()")
+	}
+	if cfg.ReachableFrom(nodes["b"], nodes["g"]) {
+		t.Errorf("g() should not be reachable from b(): the branch returns")
+	}
+	if !cfg.ReachableFrom(nodes["e"], nodes["e"]) {
+		t.Errorf("a loop body should reach itself through the back edge")
+	}
+	if cfg.ReachableFrom(nodes["g"], nodes["a"]) {
+		t.Errorf("a() should not be reachable from g()")
+	}
+}
+
+// TestCFGSwitchBreak pins the trickier shapes: switch fallthrough and
+// labeled break.
+func TestCFGSwitchBreak(t *testing.T) {
+	cfg, nodes := buildFixtureCFG(t, `package p
+func f(n int) {
+loop:
+	for {
+		switch n {
+		case 0:
+			a()
+			fallthrough
+		case 1:
+			b()
+		default:
+			break loop
+		}
+		d()
+	}
+	g()
+}`)
+	dom := cfg.Dominators()
+
+	if !cfg.ReachableFrom(nodes["a"], nodes["b"]) {
+		t.Errorf("fallthrough: b() should be reachable from a()")
+	}
+	if dom.NodeDominates(nodes["a"], nodes["b"]) {
+		t.Errorf("case 1 is reachable without case 0; a() must not dominate b()")
+	}
+	if !cfg.ReachableFrom(nodes["b"], nodes["g"]) {
+		t.Errorf("g() should be reachable from b() via the labeled break path")
+	}
+	if dom.NodeDominates(nodes["d"], nodes["g"]) {
+		t.Errorf("break loop skips d(); it must not dominate g()")
+	}
+}

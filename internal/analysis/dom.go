@@ -1,0 +1,127 @@
+package analysis
+
+import "go/ast"
+
+// Dominance over the CFG, via the iterative algorithm of Cooper,
+// Harvey and Kennedy ("A Simple, Fast Dominance Algorithm"): compute
+// immediate dominators over a reverse postorder until fixpoint. The
+// ordering analyzers use it for "A executes before B on *every* path"
+// questions — a journal append dominating the estimator training, a
+// file Sync dominating the rename that publishes the file.
+
+// DomTree is the immediate-dominator tree of one CFG.
+type DomTree struct {
+	cfg *CFG
+	// idom[b.Index] is b's immediate dominator; nil for the entry and
+	// for unreachable blocks.
+	idom []*Block
+	// rpo[b.Index] is b's reverse-postorder number; -1 if unreachable.
+	rpo []int
+}
+
+// Dominators computes the dominator tree rooted at the entry block.
+func (c *CFG) Dominators() *DomTree {
+	d := &DomTree{
+		cfg:  c,
+		idom: make([]*Block, len(c.Blocks)),
+		rpo:  make([]int, len(c.Blocks)),
+	}
+	for i := range d.rpo {
+		d.rpo[i] = -1
+	}
+
+	// Reverse postorder over reachable blocks.
+	var order []*Block
+	seen := make([]bool, len(c.Blocks))
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(c.Entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for i, b := range order {
+		d.rpo[b.Index] = i
+	}
+
+	d.idom[c.Entry.Index] = c.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if d.idom[p.Index] == nil {
+					continue // unprocessed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b.Index] != newIdom {
+				d.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.idom[c.Entry.Index] = nil // the entry has no dominator but itself
+	return d
+}
+
+// intersect walks two blocks up the (partially built) dominator tree
+// to their common ancestor.
+func (d *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for d.rpo[a.Index] > d.rpo[b.Index] {
+			a = d.idom[a.Index]
+		}
+		for d.rpo[b.Index] > d.rpo[a.Index] {
+			b = d.idom[b.Index]
+		}
+	}
+	return a
+}
+
+// BlockDominates reports whether a dominates b (reflexively: a block
+// dominates itself). Unreachable blocks are dominated by everything —
+// code that cannot execute satisfies every ordering vacuously.
+func (d *DomTree) BlockDominates(a, b *Block) bool {
+	if d.rpo[b.Index] < 0 {
+		return true
+	}
+	if d.rpo[a.Index] < 0 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b.Index]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// NodeDominates reports whether node a strictly dominates node b:
+// every path from the entry to b executes a first.
+func (d *DomTree) NodeDominates(a, b ast.Node) bool {
+	ba, ia := d.cfg.Site(a)
+	bb, ib := d.cfg.Site(b)
+	if ba == nil || bb == nil {
+		return false
+	}
+	if ba == bb {
+		return ia < ib
+	}
+	return d.BlockDominates(ba, bb)
+}

@@ -52,6 +52,14 @@ type Loader struct {
 	full    map[string]*Package       // module/fixture packages, bodies checked
 	typed   map[string]*types.Package // every completed package incl. stdlib
 	loading map[string]bool           // cycle guard
+
+	// augment lists import paths whose in-package _test.go files are
+	// included when the package is loaded (see LoadTests).
+	augment map[string]bool
+	// stdlib caches packages resolved outside the module/fixture roots.
+	// It is shared with loaders derived by LoadTests so every type-check
+	// universe agrees on the identity of standard-library named types.
+	stdlib map[string]*types.Package
 }
 
 // NewLoader builds a loader rooted at the module. Either argument may
@@ -67,6 +75,7 @@ func NewLoader(moduleDir, modulePath string) *Loader {
 		full:       make(map[string]*Package),
 		typed:      make(map[string]*types.Package),
 		loading:    make(map[string]bool),
+		stdlib:     make(map[string]*types.Package),
 	}
 }
 
@@ -105,12 +114,22 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !full {
+		if tp, ok := l.stdlib[path]; ok {
+			l.typed[path] = tp
+			return tp, nil
+		}
+	}
 	bp, err := l.ctxt.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: listing %s: %w", dir, err)
 	}
-	files := make([]*ast.File, 0, len(bp.GoFiles))
-	for _, name := range bp.GoFiles {
+	names := bp.GoFiles
+	if l.augment[path] {
+		names = append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
@@ -151,8 +170,130 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	l.typed[path] = tp
 	if full {
 		l.full[path] = &Package{Path: path, Dir: dir, Files: files, Types: tp, Info: info}
+	} else {
+		l.stdlib[path] = tp
 	}
 	return tp, nil
+}
+
+// LoadTests loads the package at path together with its test files.
+// The first returned package is the in-package test variant — GoFiles
+// plus TestGoFiles type-checked as one package under the original
+// import path, so path-scoped analyzers (detrand) keep applying — and
+// is a superset of what Load returns; when the directory also has
+// external (package foo_test) test files they are returned as a second
+// package under path + "_test", importing the augmented variant.
+//
+// When in-package test files exist, the whole dependency universe is
+// re-resolved by a derived loader in which path loads with its test
+// files included — mirroring how `go test` recompiles a [p.test]
+// variant of the import graph, so a dependency that itself imports
+// path (e.g. a fault-injection harness implementing one of its
+// interfaces) agrees with the augmented package on type identity.
+// Standard-library packages are shared between universes; module
+// packages are re-checked per universe.
+//
+// Test variants are kept out of the parent loader's cache: other
+// packages that import path still see the plain, shipped sources.
+// Cross-package facts about test code are therefore invisible to the
+// module summary — the -tests mode exists for the package-local
+// analyzers (detrand, errfeedback), not for lockorder.
+func (l *Loader) LoadTests(path string) ([]*Package, error) {
+	dir, full, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if !full {
+		return nil, fmt.Errorf("analysis: %q is not a module or fixture package", path)
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: listing %s: %w", dir, err)
+	}
+
+	var out []*Package
+	base := l
+	if len(bp.TestGoFiles) == 0 {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	} else {
+		child := NewLoader(l.moduleDir, l.modulePath)
+		child.Fset = l.Fset
+		child.fixtureRoot = l.fixtureRoot
+		child.stdlib = l.stdlib
+		child.augment = map[string]bool{path: true}
+		pkg, err := child.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		base = child
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		imp := &xtestImporter{l: base, path: path, underTest: out[0].Types}
+		xpkg, err := base.checkVariant(path+"_test", dir, bp.XTestGoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, xpkg)
+	}
+	return out, nil
+}
+
+// checkVariant parses and fully type-checks one file set as asPath
+// without touching the loader's caches.
+func (l *Loader) checkVariant(asPath, dir string, names []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tp, _ := conf.Check(asPath, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", asPath, firstErr)
+	}
+	return &Package{Path: asPath, Dir: dir, Files: files, Types: tp, Info: info}, nil
+}
+
+// xtestImporter routes an external test package's import of the
+// package under test to the augmented in-package variant.
+type xtestImporter struct {
+	l         *Loader
+	path      string
+	underTest *types.Package
+}
+
+func (x *xtestImporter) Import(path string) (*types.Package, error) {
+	if path == x.path {
+		return x.underTest, nil
+	}
+	return x.l.Import(path)
 }
 
 // resolve maps an import path to a source directory and reports whether

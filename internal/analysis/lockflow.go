@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The held-lock dataflow: a forward must-hold analysis over the CFG.
+// A lock is in the held set at a program point only if *every* path to
+// the point acquired it without releasing it — the meet is
+// intersection, so a lock taken on one branch of an if contributes
+// nothing at the join. Deferred unlocks are deliberately not applied
+// at the defer statement: the lock stays held until function exit,
+// which is exactly the repo's `mu.Lock(); defer mu.Unlock()` idiom.
+//
+// On top of the per-function flow the summary derives the module-wide
+// facts lockorder consumes: every LockEdge "To acquired while From
+// held", and every durability call observed under an exclusive lock.
+
+// holdMode distinguishes read from write holds of an RWMutex; a plain
+// Mutex only ever uses holdW.
+type holdMode uint8
+
+const (
+	holdR holdMode = 1 << iota
+	holdW
+)
+
+// heldSet maps each must-held lock to the union of modes it may be
+// held in.
+type heldSet map[*types.Var]holdMode
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// Holds reports whether the lock is held in any mode.
+func (h heldSet) Holds(v *types.Var) bool { return h[v] != 0 }
+
+// meet intersects an incoming state into a block's current before
+// state. cur == nil is TOP (block not yet visited). Keys intersect
+// (must-hold), modes union (held, possibly differently, on both
+// paths). Reports whether the result differs from cur.
+func meet(cur, in heldSet) (heldSet, bool) {
+	if cur == nil {
+		return in.clone(), true
+	}
+	changed := false
+	out := make(heldSet, len(cur))
+	for k, v := range cur {
+		m, ok := in[k]
+		if !ok {
+			changed = true
+			continue
+		}
+		out[k] = v | m
+		if v|m != v {
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// lockOpInfo is one Lock/RLock/Unlock/RUnlock call on a declared lock.
+type lockOpInfo struct {
+	lock    *types.Var
+	acquire holdMode // non-zero for acquisitions
+	release holdMode // non-zero for releases
+	call    *ast.CallExpr
+}
+
+// lockOpsIn collects the lock operations a CFG node performs, in
+// source order. `go` and `defer` nodes perform none at their program
+// point: goroutine bodies run concurrently and deferred releases
+// happen at exit, not here.
+func (s *Summary) lockOpsIn(info *types.Info, n ast.Node) []lockOpInfo {
+	switch n.(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return nil
+	}
+	var ops []lockOpInfo
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		lock, mode := s.lockOp(info, call)
+		if lock == nil {
+			return true
+		}
+		op := lockOpInfo{lock: lock, call: call}
+		if mode != 0 {
+			op.acquire = mode
+		} else {
+			op.release = releaseMode(call.Fun.(*ast.SelectorExpr).Sel.Name)
+		}
+		ops = append(ops, op)
+		return true
+	})
+	return ops
+}
+
+// applyNode advances the held set across one node.
+func (s *Summary) applyNode(info *types.Info, n ast.Node, held heldSet) {
+	for _, op := range s.lockOpsIn(info, n) {
+		if op.acquire != 0 {
+			held[op.lock] |= op.acquire
+		} else {
+			held[op.lock] &^= op.release
+			if held[op.lock] == 0 {
+				delete(held, op.lock)
+			}
+		}
+	}
+}
+
+// flowCFG runs the must-hold analysis and returns each node's
+// before state. entry seeds the entry block (nil means no locks held).
+func (s *Summary) flowCFG(pkg *Package, cfg *CFG, entry heldSet) map[ast.Node]heldSet {
+	if entry == nil {
+		entry = heldSet{}
+	}
+	before := make([]heldSet, len(cfg.Blocks))
+	before[cfg.Entry.Index] = entry.clone()
+	nodeBefore := make(map[ast.Node]heldSet)
+
+	work := []*Block{cfg.Entry}
+	queued := make([]bool, len(cfg.Blocks))
+	queued[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+
+		out := before[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			nodeBefore[n] = out.clone()
+			s.applyNode(pkg.Info, n, out)
+		}
+		for _, succ := range blk.Succs {
+			merged, changed := meet(before[succ.Index], out)
+			if !changed {
+				continue
+			}
+			before[succ.Index] = merged
+			if !queued[succ.Index] {
+				work = append(work, succ)
+				queued[succ.Index] = true
+			}
+		}
+	}
+	return nodeBefore
+}
+
+// FlowFor builds the CFG of a function declaration and runs the
+// held-lock analysis over it with no locks held at entry. Analyzers
+// use it for flow questions the shared edge computation doesn't
+// answer (walorder's append-before-train dominance).
+func (s *Summary) FlowFor(pkg *Package, fd *ast.FuncDecl) (*CFG, map[ast.Node]heldSet) {
+	cfg := BuildCFG(fd.Body)
+	return cfg, s.flowCFG(pkg, cfg, nil)
+}
+
+// flowFunc analyzes one declared function for the module-wide facts.
+func (s *Summary) flowFunc(fs *FuncSummary) {
+	s.analyzeBody(fs.Pkg, fs.Decl.Body, nil)
+}
+
+// analyzeBody flows one body (a declaration's or a function
+// literal's), emitting lock edges and exclusive-lock findings at each
+// node, then recurses into nested literals. A literal invoked at a
+// known program point — immediately called, or passed to an
+// //overprov:callsunder function — inherits the holds of its
+// invocation site; every other literal (goroutine bodies, deferred
+// cleanups, stored callbacks) is analyzed with nothing held.
+func (s *Summary) analyzeBody(pkg *Package, body *ast.BlockStmt, entry heldSet) {
+	cfg := BuildCFG(body)
+	nodeBefore := s.flowCFG(pkg, cfg, entry)
+
+	litEntries := make(map[*ast.FuncLit]heldSet)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			switch n.(type) {
+			case *ast.GoStmt, *ast.DeferStmt:
+				continue
+			}
+			s.nodeEffects(pkg, n, nodeBefore[n].clone(), litEntries)
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		s.analyzeBody(pkg, lit.Body, litEntries[lit])
+		return false
+	})
+}
+
+// nodeEffects walks one node's calls in source order, maintaining the
+// running held set and recording edges and exclusive uses.
+func (s *Summary) nodeEffects(pkg *Package, n ast.Node, held heldSet, litEntries map[*ast.FuncLit]heldSet) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			litEntries[lit] = held.clone() // immediately invoked
+			return true
+		}
+		s.callEffects(pkg, call, held, litEntries)
+		return true
+	})
+}
+
+// callEffects interprets one call against the current held set.
+func (s *Summary) callEffects(pkg *Package, call *ast.CallExpr, held heldSet, litEntries map[*ast.FuncLit]heldSet) {
+	// Lock operations: acquisitions create an edge from every held
+	// lock (including a direct re-acquisition of a held lock — a
+	// self-deadlock, surfaced as a cycle).
+	if lock, mode := s.lockOp(pkg.Info, call); lock != nil {
+		if mode != 0 {
+			for h := range held {
+				s.addEdge(h, lock, call.Pos(), pkg.Path, "")
+			}
+			held[lock] |= mode
+		} else {
+			rel := releaseMode(call.Fun.(*ast.SelectorExpr).Sel.Name)
+			held[lock] &^= rel
+			if held[lock] == 0 {
+				delete(held, lock)
+			}
+		}
+		return
+	}
+
+	name := calleeName(call)
+	if durabilityOps[name] {
+		s.checkExclusive(pkg, held, call.Pos(), "calls "+name)
+	}
+
+	var callsUnder *types.Var
+	for _, callee := range s.resolveCallees(pkg, call) {
+		cs := s.funcs[callee]
+		if cs == nil {
+			continue
+		}
+		for l := range cs.acquires {
+			for h := range held {
+				if h == l {
+					// An indirect self-edge is almost always wrapper
+					// recursion noise, not a deadlock; only direct
+					// re-acquisition (above) is reported.
+					continue
+				}
+				s.addEdge(h, l, call.Pos(), pkg.Path, callee.Name())
+			}
+		}
+		if len(cs.durability) > 0 && !durabilityOps[name] {
+			s.checkExclusive(pkg, held, call.Pos(),
+				fmt.Sprintf("calls %s which performs %s", callee.Name(), oneDurability(cs.durability)))
+		}
+		if cs.callsUnder != nil {
+			callsUnder = cs.callsUnder
+		}
+	}
+	if callsUnder == nil {
+		return
+	}
+
+	// The callee invokes its func-typed arguments under callsUnder:
+	// literals are analyzed with the lock (plus the site's holds)
+	// held; named functions and method values contribute their
+	// summarized acquisitions as edges from the lock.
+	for _, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			e := held.clone()
+			e[callsUnder] |= holdW
+			litEntries[lit] = e
+			continue
+		}
+		fv := s.resolveFuncValue(pkg, arg)
+		if fv == nil {
+			continue
+		}
+		under := held.clone()
+		under[callsUnder] |= holdW
+		for _, impl := range s.implementations(fv) {
+			cs := s.funcs[impl]
+			if cs == nil {
+				continue
+			}
+			for l := range cs.acquires {
+				for h := range under {
+					if h == l {
+						continue
+					}
+					s.addEdge(h, l, arg.Pos(), pkg.Path, impl.Name())
+				}
+			}
+			if len(cs.durability) > 0 {
+				s.checkExclusive(pkg, held, arg.Pos(),
+					fmt.Sprintf("passes %s, which performs %s, to %s", impl.Name(), oneDurability(cs.durability), calleeName(call)))
+			}
+		}
+	}
+}
+
+func (s *Summary) addEdge(from, to *types.Var, pos token.Pos, pkgPath, via string) {
+	if _, ok := s.Locks[to]; !ok {
+		return
+	}
+	s.lockEdges = append(s.lockEdges, LockEdge{From: from, To: to, Pos: pos, PkgPath: pkgPath, Via: via})
+}
+
+// checkExclusive records a durability operation performed while an
+// exclusive lock is held.
+func (s *Summary) checkExclusive(pkg *Package, held heldSet, pos token.Pos, what string) {
+	for h := range held {
+		if li := s.Locks[h]; li != nil && li.Exclusive {
+			s.exclusives = append(s.exclusives, exclusiveUse{Lock: h, Pos: pos, PkgPath: pkg.Path, What: what})
+		}
+	}
+}
+
+// oneDurability picks a deterministic representative operation name.
+func oneDurability(m map[string]bool) string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names[0]
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Lockorder checks the module's lock-acquisition graph against the
+// canonical hierarchy documented in DESIGN.md §7:
+//
+//	server.Server.mu (10, exclusive) ≺ server.Server.rotMu (20, rotation)
+//	  ≺ wal.Log.mu (30) ≺ estimator locks (40)
+//
+// Three rules, all over the module-wide LockEdge set built by the
+// held-lock dataflow:
+//
+//  1. no descending-rank acquisition: a ranked lock must not be
+//     acquired while a higher-ranked lock is held (equal ranks form a
+//     tier and are permitted — the estimator wrappers share rank 40);
+//  2. no cycles: any strongly connected component of the acquisition
+//     graph, including a direct re-acquisition self-loop, is a
+//     potential deadlock regardless of ranks;
+//  3. exclusive isolation: while an `exclusive` lock (Server.mu) is
+//     held, nothing else may be acquired and no estimator/WAL
+//     durability operation may run — the dispatcher's "estimate
+//     outside the lock, revalidate after" discipline, enforced.
+//
+// Edges are attributed to the package containing the acquisition site,
+// so a module-wide violation is reported exactly once, by the pass
+// over that package.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc: "check lock acquisitions against the canonical hierarchy: " +
+		"no rank inversions, no cycles, nothing acquired or made durable under an exclusive lock",
+	Run: runLockorder,
+}
+
+func runLockorder(pass *Pass) error {
+	s := pass.Summary
+	if s == nil {
+		return nil
+	}
+	edges := s.LockEdges()
+	scc := cyclicLockSCCs(edges)
+
+	seen := make(map[string]bool)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		msg := fmt.Sprintf(format, args...)
+		key := fmt.Sprintf("%d|%s", pos, msg)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		pass.Reportf(pos, "%s", msg)
+	}
+
+	for _, e := range edges {
+		if e.PkgPath != pass.Pkg.Path {
+			continue
+		}
+		from, to := s.Locks[e.From], s.Locks[e.To]
+		via := ""
+		if e.Via != "" {
+			via = " via " + e.Via
+		}
+		switch {
+		case from.Exclusive:
+			report(e.Pos, "%s acquired%s while exclusive lock %s is held; %s must never be held across another lock acquisition (DESIGN.md §7)",
+				to.Name, via, from.Name, from.Name)
+		case e.From == e.To:
+			report(e.Pos, "%s re-acquired%s while already held (self-deadlock)", to.Name, via)
+		case from.Rank > 0 && to.Rank > 0 && to.Rank < from.Rank:
+			report(e.Pos, "lock order violation: %s (rank %d) acquired%s while %s (rank %d) is held; the canonical hierarchy (DESIGN.md §7) orders %s before %s",
+				to.Name, to.Rank, via, from.Name, from.Rank, to.Name, from.Name)
+		case scc[e.From] != 0 && scc[e.From] == scc[e.To]:
+			report(e.Pos, "lock cycle: acquiring %s%s while %s is held closes a cycle in the module's lock-acquisition graph",
+				to.Name, via, from.Name)
+		}
+	}
+
+	for _, u := range s.exclusiveUses() {
+		if u.PkgPath != pass.Pkg.Path {
+			continue
+		}
+		report(u.Pos, "durability operation under exclusive lock %s: %s; estimator and WAL calls must run outside it (DESIGN.md §7)",
+			s.Locks[u.Lock].Name, u.What)
+	}
+	return nil
+}
+
+// cyclicLockSCCs runs Tarjan's algorithm over the acquisition graph
+// and maps each lock that participates in a cycle — a strongly
+// connected component of size > 1, or a self-loop — to its component
+// id (ids start at 1; locks not in any cycle are absent).
+func cyclicLockSCCs(edges []LockEdge) map[*types.Var]int {
+	adj := make(map[*types.Var]map[*types.Var]bool)
+	selfLoop := make(map[*types.Var]bool)
+	var nodes []*types.Var
+	addNode := func(v *types.Var) {
+		if _, ok := adj[v]; !ok {
+			adj[v] = make(map[*types.Var]bool)
+			nodes = append(nodes, v)
+		}
+	}
+	for _, e := range edges {
+		addNode(e.From)
+		addNode(e.To)
+		if e.From == e.To {
+			selfLoop[e.From] = true
+			continue
+		}
+		adj[e.From][e.To] = true
+	}
+	// Deterministic visit order.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+
+	index := make(map[*types.Var]int)
+	low := make(map[*types.Var]int)
+	onStack := make(map[*types.Var]bool)
+	var stack []*types.Var
+	next := 0
+
+	out := make(map[*types.Var]int)
+	comp := 0
+
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		next++
+		index[v] = next
+		low[v] = next
+		stack = append(stack, v)
+		onStack[v] = true
+
+		succs := make([]*types.Var, 0, len(adj[v]))
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Slice(succs, func(i, j int) bool { return succs[i].Pos() < succs[j].Pos() })
+		for _, w := range succs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+
+		if low[v] == index[v] {
+			var members []*types.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 || selfLoop[v] {
+				comp++
+				for _, m := range members {
+					out[m] = comp
+				}
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"overprov/internal/analysis"
+	"overprov/internal/analysis/analysistest"
+)
+
+// TestLockorderFlagged exercises every rule on the pre-fix shapes:
+// rank inversion, exclusive-lock acquisition and durability, a
+// self-deadlock, an inverted rotation callback, and an unranked cycle.
+func TestLockorderFlagged(t *testing.T) {
+	analysistest.Run(t, analysis.Lockorder, "lockorder/flagged")
+}
+
+// TestLockorderClean checks the module's real protocol — ranks
+// acquired ascending, the exclusive apex held alone, callbacks wired
+// through //overprov:callsunder — is silent.
+func TestLockorderClean(t *testing.T) {
+	analysistest.Run(t, analysis.Lockorder, "lockorder/clean")
+}

@@ -1,7 +1,10 @@
 package analysis_test
 
 import (
+	"os"
 	"path/filepath"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 
@@ -11,32 +14,116 @@ import (
 // TestSuiteIsCleanOnModule is the lint gate in test form: the full
 // analyzer suite over every package of this module must report nothing,
 // so `go test ./internal/analysis/...` fails the moment a units,
-// locking, determinism or dropped-feedback violation lands anywhere in
-// the tree — even where CI runs only the tier-1 command.
+// locking, determinism, ordering or dropped-feedback violation lands
+// anywhere in the tree — even where CI runs only the tier-1 command.
+// It mirrors cmd/overprovlint exactly: load once, one module-wide
+// summary, RunWithSummary per package — so the flow-sensitive
+// analyzers see the same cross-package lock edges the binary does.
 func TestSuiteIsCleanOnModule(t *testing.T) {
 	moduleDir, modulePath, err := analysis.FindModuleRoot(".")
 	if err != nil {
 		t.Fatalf("finding module root: %v", err)
 	}
-	pkgs, err := analysis.ListModulePackages(moduleDir, modulePath)
+	paths, err := analysis.ListModulePackages(moduleDir, modulePath)
 	if err != nil {
 		t.Fatalf("listing packages: %v", err)
 	}
-	if len(pkgs) < 10 {
-		t.Fatalf("expected the module to have at least 10 packages, found %d: %v", len(pkgs), pkgs)
+	if len(paths) < 10 {
+		t.Fatalf("expected the module to have at least 10 packages, found %d: %v", len(paths), paths)
 	}
 	loader := analysis.NewLoader(moduleDir, modulePath)
-	for _, path := range pkgs {
+	var pkgs []*analysis.Package
+	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		diags, err := analysis.Run(loader.Fset, pkg, analysis.Suite())
+		pkgs = append(pkgs, pkg)
+	}
+	sum := analysis.Summarize(loader.Fset, pkgs)
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunWithSummary(loader.Fset, pkg, analysis.Suite(), sum)
 		if err != nil {
-			t.Fatalf("analyzing %s: %v", path, err)
+			t.Fatalf("analyzing %s: %v", pkg.Path, err)
 		}
 		for _, d := range diags {
 			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestEveryAnalyzerHasExercisedFixtures is the self-check against
+// silent rot (`make verify` runs it through the race gate): every
+// analyzer in the suite must have fixture packages under
+// testdata/src/<name>* that carry at least one `// want` annotation
+// AND still produce at least one diagnostic when the analyzer runs
+// over them. An analyzer whose fixtures stop firing — because a
+// refactor hollowed it out or the fixtures drifted to clean shapes —
+// fails here even though every per-analyzer test would "pass" with
+// zero expectations.
+func TestEveryAnalyzerHasExercisedFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading fixture root: %v", err)
+	}
+	for _, a := range analysis.Suite() {
+		var fixtures []string // import paths relative to the fixture root
+		for _, e := range entries {
+			if !e.IsDir() || !strings.HasPrefix(e.Name(), a.Name) {
+				continue
+			}
+			err := filepath.WalkDir(filepath.Join(root, e.Name()), func(path string, d os.DirEntry, err error) error {
+				if err != nil || d.IsDir() {
+					return err
+				}
+				if strings.HasSuffix(path, ".go") {
+					rel, _ := filepath.Rel(root, filepath.Dir(path))
+					fixtures = append(fixtures, filepath.ToSlash(rel))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("walking fixtures for %s: %v", a.Name, err)
+			}
+		}
+		sort.Strings(fixtures)
+		fixtures = slices.Compact(fixtures)
+		if len(fixtures) == 0 {
+			t.Errorf("analyzer %s has no fixture packages under %s/%s*", a.Name, root, a.Name)
+			continue
+		}
+
+		wants, diags := 0, 0
+		loader := analysis.NewLoader("", "")
+		loader.SetFixtureRoot(root)
+		for _, rel := range fixtures {
+			pkg, err := loader.Load(rel)
+			if err != nil {
+				t.Errorf("analyzer %s: loading fixture %s: %v", a.Name, rel, err)
+				continue
+			}
+			for _, file := range pkg.Files {
+				for _, cg := range file.Comments {
+					for _, c := range cg.List {
+						if strings.Contains(c.Text, "want ") {
+							wants++
+						}
+					}
+				}
+			}
+			ds, err := analysis.Run(loader.Fset, pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Errorf("analyzer %s: running on fixture %s: %v", a.Name, rel, err)
+				continue
+			}
+			diags += len(ds)
+		}
+		if wants == 0 {
+			t.Errorf("analyzer %s: fixtures %v carry no `// want` annotations", a.Name, fixtures)
+		}
+		if diags == 0 {
+			t.Errorf("analyzer %s: zero diagnostics produced over fixtures %v — the analyzer is not exercised", a.Name, fixtures)
 		}
 	}
 }

@@ -1,0 +1,70 @@
+// Package clean mirrors the durable-rename protocol the module uses
+// (cmd/schedd's atomicWriteFile, wal.Log.Rotate): write tmp → Sync →
+// Rename → SyncDir, with the error-chaining guards the real code uses.
+// It must produce no fsyncrename diagnostics.
+package clean
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// writeNoSyncMode is wal.Log.Rotate's shape: an explicit test-only
+// no-sync mode gates both fsyncs; reaching the decision point
+// satisfies the ordering.
+func writeNoSyncMode(path string, data []byte, noSync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil && !noSync {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err == nil && !noSync {
+		err = syncDir(filepath.Dir(path))
+	}
+	return err
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,75 @@
+// Package flagged reconstructs the pre-fix schedd state saver: a
+// write-then-rename "atomic" update with no file fsync and no
+// directory fsync, so a crash shortly after "saving" can publish an
+// empty file or lose the rename entirely.
+package flagged
+
+import "os"
+
+// saveState is the original saver bug verbatim: both halves of the
+// durable-rename protocol are missing.
+func saveState(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `rename is not dominated by a Sync of the written file` `no directory sync \(SyncDir\) follows the rename`
+}
+
+// saveStateSynced fsyncs the file but still skips the directory sync:
+// the content is durable, the directory entry pointing at it may not
+// be.
+func saveStateSynced(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `no directory sync \(SyncDir\) follows the rename`
+}
+
+// saveStateGuardedSync gates the fsync behind a caller flag — the
+// guard's decision point still dominates the rename, so rule 1 is
+// satisfied (the wal.Log noSync shape), but the missing directory
+// sync is still caught.
+func saveStateGuardedSync(path string, data []byte, sync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil && sync {
+		err = f.Sync()
+	} else {
+		err = nil // explicitly skip the sync on this branch
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil { // want `no directory sync \(SyncDir\) follows the rename`
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Package clean mirrors the module's real locking protocol — the
+// canonical hierarchy acquired strictly descending the ranks, the
+// exclusive apex held alone, rotation callbacks wired through
+// //overprov:callsunder — and must produce no lockorder diagnostics.
+package clean
+
+import "sync"
+
+type Daemon struct {
+	//overprov:lock rank=10 exclusive
+	mu sync.Mutex
+	//overprov:lock rank=20 rotation
+	rotMu sync.RWMutex
+	jobs  map[int]string
+}
+
+type Journal struct {
+	//overprov:lock rank=30
+	mu      sync.Mutex
+	records []int
+}
+
+type Estimator struct {
+	//overprov:lock rank=40
+	mu     sync.RWMutex
+	groups map[string]int
+}
+
+// Bookkeep holds the exclusive apex alone, touching only plain state.
+func (d *Daemon) Bookkeep() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.jobs[1] = "done"
+}
+
+func (j *Journal) Append(v int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.records = append(j.records, v)
+}
+
+func (e *Estimator) Train(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.groups["g"] += v
+}
+
+func (e *Estimator) SaveState() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return nil
+}
+
+// Feedback is the server's protocol: rotation read-hold around append
+// then train — every acquisition ascends the ranks.
+func (d *Daemon) Feedback(j *Journal, e *Estimator, v int) {
+	d.rotMu.RLock()
+	defer d.rotMu.RUnlock()
+	j.Append(v)
+	e.Train(v)
+}
+
+// Rotate invokes the snapshot callback under the journal lock.
+//
+//overprov:callsunder mu
+func (j *Journal) Rotate(save func() error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return save()
+}
+
+// Quiesce invokes its callback under the rotation write-lock.
+//
+//overprov:callsunder rotMu
+func (d *Daemon) Quiesce(fn func() error) error {
+	d.rotMu.Lock()
+	defer d.rotMu.Unlock()
+	return fn()
+}
+
+// persist is cmd/schedd's shape: rotation under Quiesce, the snapshot
+// callback descending Journal.mu → Estimator.mu.
+func persist(d *Daemon, j *Journal, e *Estimator) error {
+	return d.Quiesce(func() error {
+		return j.Rotate(e.SaveState)
+	})
+}

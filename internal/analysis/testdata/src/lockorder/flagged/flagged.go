@@ -1,0 +1,114 @@
+// Package flagged exercises every lockorder rule: rank inversion,
+// cycles between unranked locks, self-deadlock, and both exclusive
+// violations (acquisition and durability under the apex lock). The
+// lock cast mirrors the real module: an exclusive apex (Daemon.mu ~
+// Server.mu), a rotation lock, a journal lock, an estimator lock.
+package flagged
+
+import "sync"
+
+type Daemon struct {
+	//overprov:lock rank=10 exclusive
+	mu sync.Mutex
+	//overprov:lock rank=20 rotation
+	rotMu sync.RWMutex
+	jobs  map[int]string
+}
+
+type Journal struct {
+	//overprov:lock rank=30
+	mu      sync.Mutex
+	records []int
+}
+
+type Estimator struct {
+	//overprov:lock rank=40
+	mu     sync.RWMutex
+	groups map[string]int
+}
+
+func (e *Estimator) Feedback(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.groups["g"] += v
+}
+
+// Flush acquires the journal lock under the estimator lock — the
+// canonical hierarchy orders them the other way around.
+func (e *Estimator) Flush(j *Journal) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j.mu.Lock() // want `lock order violation: flagged\.Journal\.mu \(rank 30\) acquired while flagged\.Estimator\.mu \(rank 40\) is held`
+	j.records = append(j.records, 1)
+	j.mu.Unlock()
+}
+
+// Rebalance acquires another lock while holding the exclusive apex.
+func (d *Daemon) Rebalance(e *Estimator) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.mu.Lock() // want `flagged\.Estimator\.mu acquired while exclusive lock flagged\.Daemon\.mu is held`
+	e.mu.Unlock()
+}
+
+// Finish trains the estimator while holding the exclusive apex: the
+// call both performs a durability operation and (through the callee
+// summary) acquires the estimator lock.
+func (d *Daemon) Finish(e *Estimator) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.Feedback(1) // want `durability operation under exclusive lock flagged\.Daemon\.mu: calls Feedback` `flagged\.Estimator\.mu acquired via Feedback while exclusive lock flagged\.Daemon\.mu is held`
+}
+
+// Reenter re-acquires a held lock: self-deadlock.
+func (j *Journal) Reenter() {
+	j.mu.Lock()
+	j.mu.Lock() // want `flagged\.Journal\.mu re-acquired while already held \(self-deadlock\)`
+	j.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// Rotate invokes its callback under the journal lock, like
+// wal.Log.Rotate.
+//
+//overprov:callsunder mu
+func (j *Journal) Rotate(save func() error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return save()
+}
+
+// persistWrong grabs the rotation lock inside a rotation callback —
+// rank 20 under rank 30, the inverted form of the PR 5 protocol where
+// the rotation lock is taken first and the journal lock inside it.
+func persistWrong(j *Journal, d *Daemon) {
+	_ = j.Rotate(func() error {
+		d.rotMu.RLock() // want `lock order violation: flagged\.Daemon\.rotMu \(rank 20\) acquired while flagged\.Journal\.mu \(rank 30\) is held`
+		defer d.rotMu.RUnlock()
+		return nil
+	})
+}
+
+// Two unranked locks acquired in both orders: a cycle even without
+// ranks.
+type cacheA struct {
+	mu sync.Mutex
+}
+
+type cacheB struct {
+	mu sync.Mutex
+}
+
+func fillA(a *cacheA, b *cacheB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock cycle: acquiring flagged\.cacheB\.mu while flagged\.cacheA\.mu is held closes a cycle`
+	b.mu.Unlock()
+}
+
+func fillB(a *cacheA, b *cacheB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock cycle: acquiring flagged\.cacheA\.mu while flagged\.cacheB\.mu is held closes a cycle`
+	a.mu.Unlock()
+}

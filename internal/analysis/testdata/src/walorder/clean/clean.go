@@ -1,0 +1,51 @@
+// Package clean mirrors internal/server's post-PR 5 feedback protocol
+// — journal append then train, both under one rotation read-hold, the
+// append guarded by the optional-journal nil check — and must produce
+// no walorder diagnostics.
+package clean
+
+import "sync"
+
+type Outcome struct{ MB int }
+
+type Journal struct{ records []Outcome }
+
+func (j *Journal) RecordOutcome(o Outcome) error {
+	j.records = append(j.records, o)
+	return nil
+}
+
+type Estimator struct{ n int }
+
+func (e *Estimator) Feedback(o Outcome)          { e.n++ }
+func (e *Estimator) TryFeedback(o Outcome) error { e.n++; return nil }
+
+type Server struct {
+	//overprov:lock rank=20 rotation
+	rotMu    sync.RWMutex
+	journal  *Journal
+	est      *Estimator
+	fallible bool
+}
+
+// feedback is the current tree's shape: the rotation read-hold spans
+// the append decision and both training paths.
+func (s *Server) feedback(o Outcome) {
+	s.rotMu.RLock()
+	defer s.rotMu.RUnlock()
+	if s.journal != nil {
+		_ = s.journal.RecordOutcome(o)
+	}
+	if s.fallible {
+		_ = s.est.TryFeedback(o)
+		return
+	}
+	s.est.Feedback(o)
+}
+
+// Quiesce is the rotation writer; it trains nothing itself.
+func (s *Server) Quiesce(fn func() error) error {
+	s.rotMu.Lock()
+	defer s.rotMu.Unlock()
+	return fn()
+}

@@ -1,0 +1,65 @@
+// Package flagged reconstructs the pre-fix shapes of the PR 5
+// rotation-vs-feedback durability race: estimator training that a
+// snapshot rotation can separate from its journal append.
+package flagged
+
+import "sync"
+
+type Outcome struct{ MB int }
+
+type Journal struct{ records []Outcome }
+
+func (j *Journal) RecordOutcome(o Outcome) error {
+	j.records = append(j.records, o)
+	return nil
+}
+
+type Estimator struct{ n int }
+
+func (e *Estimator) Feedback(o Outcome)          { e.n++ }
+func (e *Estimator) TryFeedback(o Outcome) error { e.n++; return nil }
+
+type Server struct {
+	//overprov:lock rank=20 rotation
+	rotMu    sync.RWMutex
+	journal  *Journal
+	est      *Estimator
+	fallible bool
+}
+
+// feedback is the pre-PR 5 bug verbatim: train first, append after, no
+// rotation hold anywhere. A rotation between the two snapshots an
+// estimator that has seen the outcome, then deletes the only journal
+// record of it — crash recovery silently forgets the feedback.
+func (s *Server) feedback(o Outcome) {
+	s.est.Feedback(o) // want `estimator train call Feedback without holding rotation lock flagged\.Server\.rotMu` `estimator train call Feedback is not dominated by a journal append \(RecordOutcome\) under flagged\.Server\.rotMu`
+	if s.journal != nil {
+		_ = s.journal.RecordOutcome(o)
+	}
+}
+
+// feedbackUnlockedTrain appends correctly under the rotation lock but
+// releases it before training — the second half of the race window.
+func (s *Server) feedbackUnlockedTrain(o Outcome) {
+	s.rotMu.RLock()
+	if s.journal != nil {
+		_ = s.journal.RecordOutcome(o)
+	}
+	s.rotMu.RUnlock()
+	s.est.Feedback(o) // want `estimator train call Feedback without holding rotation lock flagged\.Server\.rotMu`
+}
+
+// feedbackNoAppend holds the lock but never reaches a journal append
+// before the degraded-path training.
+func (s *Server) feedbackNoAppend(o Outcome) {
+	s.rotMu.RLock()
+	defer s.rotMu.RUnlock()
+	if s.fallible {
+		_ = s.est.TryFeedback(o) // want `estimator train call TryFeedback is not dominated by a journal append \(RecordOutcome\) under flagged\.Server\.rotMu`
+		return
+	}
+	if s.journal != nil {
+		_ = s.journal.RecordOutcome(o)
+	}
+	s.est.Feedback(o)
+}

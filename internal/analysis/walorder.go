@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// Walorder re-derives the PR 5 durability-race fix as a static rule.
+// The race: a snapshot rotation landing between an estimator train
+// call and its journal append (or vice versa) deletes the only
+// durable copy of the observation — on crash-recovery the estimator
+// silently forgets feedback and Algorithm 1's walk-down diverges from
+// its journal. The fix was twofold: every feedback path (1) appends to
+// the journal *before* training, and (2) does both under a read-hold
+// of the rotation lock so a rotation cannot interleave.
+//
+// The analyzer checks exactly that, in every package that declares a
+// `//overprov:lock ... rotation` lock: each estimator train call
+// (a call named Feedback or TryFeedback) must
+//
+//  1. run with the rotation lock must-held (any mode — the dataflow
+//     proves it on every path), and
+//  2. be dominated by a journal append: a RecordOutcome call, or the
+//     condition of an if-statement whose body appends (the
+//     `if s.cfg.Journal != nil` guard — reaching the decision point
+//     that appends whenever a journal is configured is what the
+//     ordering needs).
+//
+// The append site must itself be under the rotation lock, otherwise
+// the rotation can still slip between append and train.
+var Walorder = &Analyzer{
+	Name: "walorder",
+	Doc: "require every estimator train call in a rotation-locked package to be " +
+		"dominated by a journal append under the same rotation-lock hold",
+	Run: runWalorder,
+}
+
+func runWalorder(pass *Pass) error {
+	s := pass.Summary
+	if s == nil {
+		return nil
+	}
+	var rot []*LockInfo
+	for _, li := range s.Locks {
+		if li.Rotation && li.PkgPath == pass.Pkg.Path {
+			rot = append(rot, li)
+		}
+	}
+	if len(rot) == 0 {
+		return nil
+	}
+	sort.Slice(rot, func(i, j int) bool { return rot[i].Name < rot[j].Name })
+
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walCheckFunc(pass, fd, rot)
+		}
+	}
+	return nil
+}
+
+func walCheckFunc(pass *Pass, fd *ast.FuncDecl, rot []*LockInfo) {
+	s := pass.Summary
+	cfg, before := s.FlowFor(pass.Pkg, fd)
+	dom := cfg.Dominators()
+
+	holdsRotation := func(h heldSet) bool {
+		for _, li := range rot {
+			if h.Holds(li.Field) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Conditions of if-statements whose body performs a journal append
+	// count as append sites: the guard is the decision point that
+	// appends whenever a journal is configured.
+	guards := make(map[ast.Node]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if len(callsNamedIn(ifs.Body, "RecordOutcome")) > 0 {
+			guards[ifs.Cond] = true
+		}
+		return true
+	})
+
+	var appendSites []ast.Node
+	type trainSite struct {
+		node ast.Node
+		call *ast.CallExpr
+	}
+	var trains []trainSite
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			switch n.(type) {
+			case *ast.GoStmt, *ast.DeferStmt:
+				continue
+			}
+			if guards[n] || len(callsNamedIn(n, "RecordOutcome")) > 0 {
+				if holdsRotation(before[n]) {
+					appendSites = append(appendSites, n)
+				}
+			}
+			for _, call := range callsNamedIn(n, "Feedback", "TryFeedback") {
+				trains = append(trains, trainSite{node: n, call: call})
+			}
+		}
+	}
+
+	rotName := rot[0].Name
+	for _, t := range trains {
+		if !holdsRotation(before[t.node]) {
+			pass.Reportf(t.call.Pos(),
+				"estimator train call %s without holding rotation lock %s: a snapshot rotation can interleave and drop the observation (see PR 5)",
+				calleeName(t.call), rotName)
+		}
+		dominated := false
+		for _, a := range appendSites {
+			if a == t.node || dom.NodeDominates(a, t.node) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			pass.Reportf(t.call.Pos(),
+				"estimator train call %s is not dominated by a journal append (RecordOutcome) under %s: on crash the estimator forgets feedback its journal never saw",
+				calleeName(t.call), rotName)
+		}
+	}
+}
+
+// callsNamedIn collects the calls with one of the given callee names
+// inside a node's subtree, skipping nested function literals; `go` and
+// `defer` nodes contribute nothing (their calls do not run at the
+// node's program point).
+func callsNamedIn(n ast.Node, names ...string) []*ast.CallExpr {
+	switch n.(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return nil
+	}
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		for _, want := range names {
+			if name == want {
+				out = append(out, call)
+				break
+			}
+		}
+		return true
+	})
+	return out
+}

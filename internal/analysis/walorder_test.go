@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"overprov/internal/analysis"
+	"overprov/internal/analysis/analysistest"
+)
+
+// TestWalorderFlagged reconstructs the PR 5 rotation-vs-feedback
+// durability race: training before the append, training after the
+// rotation hold is released, and a degraded path that never appends.
+func TestWalorderFlagged(t *testing.T) {
+	analysistest.Run(t, analysis.Walorder, "walorder/flagged")
+}
+
+// TestWalorderClean checks the current tree's feedback protocol —
+// append decision and both training paths under one rotation
+// read-hold — is silent.
+func TestWalorderClean(t *testing.T) {
+	analysistest.Run(t, analysis.Walorder, "walorder/clean")
+}

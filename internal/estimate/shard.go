@@ -62,6 +62,12 @@ type ShardedSynchronized struct {
 // estimatorShard is one lock stripe. The struct is padded to a cache
 // line so neighbouring shards' locks and counters do not false-share.
 type estimatorShard struct {
+	// mu is an estimator-tier lock (rank 40, DESIGN.md §7). SaveState
+	// and LoadState hold multiple shards' instances at once, always in
+	// ascending shard order — instances of one lock field share a rank,
+	// so the analyzer relies on this documented convention rather than
+	// tracking instances.
+	//overprov:lock rank=40
 	mu sync.RWMutex
 	sa *SuccessiveApprox
 	// estimates counts Estimate calls routed to this shard; readHits

@@ -29,6 +29,10 @@ type StatePersister interface {
 // mutex) acquire mu strictly after them and never the other way
 // around, so the nesting is acyclic.
 type Synchronized struct {
+	// mu is an estimator-tier lock: the leaves of the canonical
+	// hierarchy (DESIGN.md §7), acquired last and never held while
+	// acquiring anything else.
+	//overprov:lock rank=40
 	mu    sync.Mutex
 	inner Estimator
 }

@@ -198,11 +198,17 @@ type job struct {
 // s.mu; the estimator is called with no lock held (see the package
 // comment for the lock order).
 type Server struct {
+	// mu guards the job table and counters. It is the exclusive apex of
+	// the canonical lock hierarchy (DESIGN.md §7): nothing acquires
+	// another lock and no estimator or WAL durability call runs while
+	// it is held — the lockorder analyzer enforces both.
+	//overprov:lock rank=10 exclusive
 	mu sync.Mutex
 	// rotMu orders feedback against snapshot rotation: the read side
 	// spans one outcome's journal append + estimator training, the write
 	// side (Quiesce) spans a rotation, so a snapshot never lands between
 	// the two halves of a feedback event (see the package comment).
+	//overprov:lock rank=20 rotation
 	rotMu       sync.RWMutex
 	cfg         Config
 	est         estimate.ConcurrencySafe
@@ -434,6 +440,8 @@ func (s *Server) feedback(o estimate.Outcome) {
 // supersedes them — the invariant wal.Log.Rotate documents. fn should
 // be brief (a snapshot is a few KB); completions block for the
 // duration, everything else proceeds.
+//
+//overprov:callsunder rotMu
 func (s *Server) Quiesce(fn func() error) error {
 	s.rotMu.Lock()
 	defer s.rotMu.Unlock()

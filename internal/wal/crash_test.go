@@ -54,6 +54,10 @@ func walScript(dir string, sched *faultinject.Schedule) (acked []int, err error)
 		return nil, err
 	}
 	save := func(w io.Writer) error { return json.NewEncoder(w).Encode(trained) }
+	// Rotations may fail under injected faults — that is the point of
+	// the harness; collect the errors so none is silently dropped (the
+	// directory must recover regardless, which recoverAll verifies).
+	var rotateErrs []error
 	next := 0
 	appendN := func(n int) {
 		for i := 0; i < n; i++ {
@@ -66,9 +70,13 @@ func walScript(dir string, sched *faultinject.Schedule) (acked []int, err error)
 		}
 	}
 	appendN(3)
-	_ = l.Rotate(save)
+	if err := l.Rotate(save); err != nil {
+		rotateErrs = append(rotateErrs, err) // injected faults are expected here
+	}
 	appendN(2)
-	_ = l.Rotate(save)
+	if err := l.Rotate(save); err != nil {
+		rotateErrs = append(rotateErrs, err)
+	}
 	appendN(2)
 	return acked, nil
 }

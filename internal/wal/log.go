@@ -51,6 +51,10 @@ type RecoveryStats struct {
 // server.Quiesce) around RecordOutcome, which precedes both; l.mu is
 // never held while acquiring anything but the estimator locks.
 type Log struct {
+	// mu serialises appends, rotation and recovery; it sits between the
+	// server's rotation lock and the estimator locks in the canonical
+	// hierarchy (DESIGN.md §7).
+	//overprov:lock rank=30
 	mu     sync.Mutex
 	fs     FS
 	dir    string
@@ -320,6 +324,8 @@ func (l *Log) createJournal(seq uint64) (File, error) {
 // once, before the first RecordOutcome or Rotate — the Log refuses to
 // append over an unreplayed suffix, because feedback applied out of
 // order is feedback corrupted.
+//
+//overprov:callsunder mu
 func (l *Log) Recover(load func(io.Reader) error, apply func(Record) error) (RecoveryStats, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -398,6 +404,8 @@ func (l *Log) RecordOutcome(o estimate.Outcome) error {
 // in order; a disk-full snapshot aborts cleanly and the old generation
 // keeps growing until a later Rotate succeeds. Appends block for the
 // duration (the snapshot is a few KB per thousand similarity groups).
+//
+//overprov:callsunder mu
 func (l *Log) Rotate(save func(w io.Writer) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -373,7 +373,9 @@ func TestLifecycleErrors(t *testing.T) {
 func TestReplayErrorPropagates(t *testing.T) {
 	dir := t.TempDir()
 	l, _, _, _ := openRecovered(t, dir)
-	l.RecordOutcome(outcomeN(1))
+	if err := l.RecordOutcome(outcomeN(1)); err != nil {
+		t.Fatal(err)
+	}
 	l.Close()
 	l2, err := Open(dir, Options{})
 	if err != nil {
@@ -392,11 +394,17 @@ func TestDumpMatchesRecover(t *testing.T) {
 	dir := t.TempDir()
 	l, _, _, _ := openRecovered(t, dir)
 	for i := 0; i < 3; i++ {
-		l.RecordOutcome(outcomeN(i))
+		if err := l.RecordOutcome(outcomeN(i)); err != nil {
+			t.Fatal(err)
+		}
 	}
-	l.Rotate(func(w io.Writer) error { _, err := w.Write([]byte(`"snap"`)); return err })
+	if err := l.Rotate(func(w io.Writer) error { _, err := w.Write([]byte(`"snap"`)); return err }); err != nil {
+		t.Fatal(err)
+	}
 	for i := 3; i < 5; i++ {
-		l.RecordOutcome(outcomeN(i))
+		if err := l.RecordOutcome(outcomeN(i)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	l.Close()
 
@@ -424,9 +432,15 @@ func TestDumpMatchesRecover(t *testing.T) {
 func TestStaleGenerationsCleaned(t *testing.T) {
 	dir := t.TempDir()
 	l, _, _, _ := openRecovered(t, dir)
-	l.RecordOutcome(outcomeN(1))
-	l.Rotate(func(w io.Writer) error { _, err := w.Write([]byte("{}")); return err })
-	l.RecordOutcome(outcomeN(2))
+	if err := l.RecordOutcome(outcomeN(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(func(w io.Writer) error { _, err := w.Write([]byte("{}")); return err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordOutcome(outcomeN(2)); err != nil {
+		t.Fatal(err)
+	}
 	l.Close()
 	// Fake crash litter: a stale journal, a stale snapshot, a temp file.
 	for _, name := range []string{journalName(1), snapshotName(1), snapshotName(3) + ".tmp"} {
