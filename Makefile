@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race chaos verify bench bench3 bench4 clean
+.PHONY: build test lint race chaos verify bench bench3 bench4 bench7 clean
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ race:
 CHAOS_PKGS = ./internal/wal/... ./internal/faultinject/... ./internal/server ./cmd/schedd ./cmd/loadgen
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Crash|Torn|Chaos|Fault|Recover|Rotate|Halt|Degrade|Drain|Healthz|Retry|DiskFull|BitFlip' \
+		-run 'Crash|Torn|Chaos|Fault|Recover|Rotate|Halt|Degrade|Drain|Healthz|Retry|DiskFull|BitFlip|Wire' \
 		$(CHAOS_PKGS)
 	$(GO) test -run '^$$' -fuzz FuzzScanRecords -fuzztime 10s ./internal/wal/
 
@@ -65,6 +65,24 @@ bench3:
 	$(GO) run ./cmd/benchjson -as current -out BENCH_3.json -merge \
 		-pkg ./internal/server -bench ServerSubmitComplete -benchtime 1s -count 3 \
 		-note "$(BENCH3_NOTE)"
+
+# Record the multicore serving matrix (BENCH_3's estimator + protocol
+# curves plus the swp wire protocol) into the "current" section of
+# BENCH_7.json. Run with GOMAXPROCS=8 (or on a machine with >= 4 cores)
+# so the scaling curves measure parallelism; benchjson records
+# gomaxprocs/num_cpu in the section and refuses to pair sections from
+# differing core counts without -allow-cpu-mismatch.
+BENCH7_NOTE = median of 3 x 1s runs; GOMAXPROCS pinned per sub-benchmark; see EXPERIMENTS.md §BENCH_7
+bench7:
+	$(GO) run ./cmd/benchjson -as current -out BENCH_7.json \
+		-pkg ./internal/estimate -bench ConcurrentEstimator -benchtime 1s -count 3 \
+		-note "$(BENCH7_NOTE)"
+	$(GO) run ./cmd/benchjson -as current -out BENCH_7.json -merge \
+		-pkg ./internal/server -bench ServerSubmitComplete -benchtime 1s -count 3 \
+		-note "$(BENCH7_NOTE)"
+	$(GO) run ./cmd/benchjson -as current -out BENCH_7.json -merge \
+		-pkg ./internal/server -bench WireSubmitComplete -benchtime 1s -count 3 \
+		-note "$(BENCH7_NOTE)"
 
 # Record the trace-pipeline benchmarks (SWF parser allocations, memoized
 # workload reuse, sweep data-pipeline latency) into the "current" section

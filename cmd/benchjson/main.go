@@ -38,10 +38,16 @@ type benchResult struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// section is one side of the before/after pair.
+// section is one side of the before/after pair. The environment fields
+// (gomaxprocs, num_cpu, cpu_model) pin down what hardware parallelism
+// the numbers were recorded under — a jobs/s comparison between a
+// 1-core and an 8-core run measures the machine, not the code.
 type section struct {
 	RecordedAt string                 `json:"recorded_at"`
 	GoVersion  string                 `json:"go_version"`
+	GoMaxProcs int                    `json:"gomaxprocs,omitempty"`
+	NumCPU     int                    `json:"num_cpu,omitempty"`
+	CPUModel   string                 `json:"cpu_model,omitempty"`
 	Note       string                 `json:"note,omitempty"`
 	Benchmarks map[string]benchResult `json:"benchmarks"`
 }
@@ -63,6 +69,8 @@ func main() {
 		parse     = flag.String("parse", "", "parse a saved go test -bench output file instead of running")
 		note      = flag.String("note", "", "free-form provenance note stored in the section")
 		merge     = flag.Bool("merge", false, "merge results into the section instead of replacing it")
+		allowCPU  = flag.Bool("allow-cpu-mismatch", false,
+			"permit baseline and current sections recorded under differing GOMAXPROCS/CPU counts")
 	)
 	flag.Parse()
 	if *as != "baseline" && *as != "current" {
@@ -106,11 +114,29 @@ func main() {
 	}
 	sec.RecordedAt = time.Now().UTC().Format(time.RFC3339)
 	sec.GoVersion = runtime.Version()
+	sec.GoMaxProcs = runtime.GOMAXPROCS(0)
+	sec.NumCPU = runtime.NumCPU()
+	sec.CPUModel = cpuModel()
 	if *note != "" {
 		sec.Note = *note
 	}
 	for name, runs := range results {
 		sec.Benchmarks[name] = median(runs)
+	}
+	// The written pair is a comparison: refuse to record numbers against
+	// a counterpart from a machine with different parallelism unless the
+	// caller explicitly accepts the mismatch. Sections from before the
+	// environment fields existed are not backfilled and not checked.
+	other := f.Baseline
+	if *as == "baseline" {
+		other = f.Current
+	}
+	if other != nil && other.GoMaxProcs != 0 && !*allowCPU {
+		if other.GoMaxProcs != sec.GoMaxProcs || other.NumCPU != sec.NumCPU {
+			fatal(fmt.Errorf(
+				"core-count mismatch with the existing %s section (GOMAXPROCS %d/NumCPU %d there, %d/%d here); rerun with -allow-cpu-mismatch to record anyway",
+				otherName(*as), other.GoMaxProcs, other.NumCPU, sec.GoMaxProcs, sec.NumCPU))
+		}
 	}
 	if *as == "baseline" {
 		f.Baseline = sec
@@ -215,6 +241,30 @@ func sortedKeys(m map[string]float64) []string {
 	}
 	sort.Strings(ks)
 	return ks
+}
+
+// otherName names the section opposite to the one being written.
+func otherName(as string) string {
+	if as == "baseline" {
+		return "current"
+	}
+	return "baseline"
+}
+
+// cpuModel reads the processor model from /proc/cpuinfo; empty when
+// unavailable (non-Linux or restricted environments).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
 }
 
 func fatal(err error) {

@@ -17,7 +17,11 @@ import (
 // config parameterizes one closed-loop run. The zero value is not
 // usable; main and the tests fill every field.
 type config struct {
-	Addr      string
+	Addr string
+	// Proto selects the daemon protocol: "http" (the JSON API; Addr is
+	// a base URL) or "wire" (the swp binary batch protocol over a
+	// persistent TCP connection per client; Addr is host:port).
+	Proto     string
 	Clients   int
 	Duration  time.Duration
 	Batch     int
@@ -54,6 +58,10 @@ func (c config) validate() error {
 	switch {
 	case c.Addr == "":
 		return fmt.Errorf("missing -addr")
+	case c.Proto != "http" && c.Proto != "wire":
+		return fmt.Errorf("-proto must be http or wire, not %q", c.Proto)
+	case c.Proto == "wire" && strings.Contains(c.Addr, "://"):
+		return fmt.Errorf("-proto wire takes a host:port address, not a URL (%q)", c.Addr)
 	case c.Clients <= 0:
 		return fmt.Errorf("-clients must be positive")
 	case c.Duration <= 0:
@@ -76,6 +84,7 @@ func (c config) validate() error {
 
 // report aggregates all clients' measurements.
 type report struct {
+	Proto      string
 	Clients    int
 	Batch      int
 	Elapsed    time.Duration
@@ -102,11 +111,11 @@ func (l latencySample) percentile(p float64) time.Duration {
 func (r report) String() string {
 	var b strings.Builder
 	perSec := float64(r.Completed) / r.Elapsed.Seconds()
-	fmt.Fprintf(&b, "clients %d  batch %d  elapsed %v\n", r.Clients, r.Batch, r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(&b, "submitted %d (started %d, rejected %d)  completed %d  http errors %d  retries %d\n",
+	fmt.Fprintf(&b, "proto %s  clients %d  batch %d  elapsed %v\n", r.Proto, r.Clients, r.Batch, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "submitted %d (started %d, rejected %d)  completed %d  request errors %d  retries %d\n",
 		r.Submitted, r.Started, r.Rejected, r.Completed, r.HTTPErrors, r.Retries)
 	fmt.Fprintf(&b, "throughput %.0f jobs/s over %d requests\n", perSec, len(r.Latencies))
-	fmt.Fprintf(&b, "request latency p50 %v  p95 %v  p99 %v  max %v\n",
+	fmt.Fprintf(&b, "%s request latency p50 %v  p95 %v  p99 %v  max %v\n", r.Proto,
 		r.Latencies.percentile(0.50), r.Latencies.percentile(0.95),
 		r.Latencies.percentile(0.99), r.Latencies.percentile(1))
 	return b.String()
@@ -116,6 +125,9 @@ func (r report) String() string {
 // whole generator behind a testable seam: tests point Addr at an
 // httptest server.
 func run(cfg config) (report, error) {
+	if cfg.Proto == "" {
+		cfg.Proto = "http"
+	}
 	if err := cfg.validate(); err != nil {
 		return report{}, err
 	}
@@ -137,11 +149,15 @@ func run(cfg config) (report, error) {
 				rng:      rand.New(rand.NewSource(int64(c) + 1)),
 				deadline: deadline,
 			}
-			w.loop(deadline)
+			if cfg.Proto == "wire" {
+				w.wireLoop(deadline)
+			} else {
+				w.loop(deadline)
+			}
 		}()
 	}
 	wg.Wait()
-	rep := report{Clients: cfg.Clients, Batch: cfg.Batch, Elapsed: time.Since(start)}
+	rep := report{Proto: cfg.Proto, Clients: cfg.Clients, Batch: cfg.Batch, Elapsed: time.Since(start)}
 	for i := range stats {
 		s := &stats[i]
 		rep.Submitted += s.submitted

@@ -14,6 +14,13 @@
 // complete:batch endpoints. Jobs cycle deterministically through
 // -users × -apps similarity groups, so the estimator's group table and
 // hit pattern are reproducible run to run.
+//
+// With -proto wire the same closed loop speaks the swp binary batch
+// protocol (internal/wire) over one persistent TCP connection per
+// client (schedd must run with -wire-addr; point -addr at it as
+// host:port). Replay-safety classification matches HTTP: a submit
+// frame that faulted after it was written fails hard (a replay could
+// double-submit), completions retry through reconnects.
 package main
 
 import (
@@ -25,7 +32,8 @@ import (
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.Addr, "addr", "http://localhost:8080", "schedd base URL")
+	flag.StringVar(&cfg.Addr, "addr", "http://localhost:8080", "schedd base URL (-proto http) or host:port (-proto wire)")
+	flag.StringVar(&cfg.Proto, "proto", "http", "daemon protocol: http (JSON API) or wire (swp binary batches)")
 	flag.IntVar(&cfg.Clients, "clients", 4, "closed-loop client goroutines")
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "measurement window")
 	flag.IntVar(&cfg.Batch, "batch", 64, "jobs per request window (1 = per-job endpoints)")

@@ -42,6 +42,7 @@ func testDaemon(t *testing.T) (*httptest.Server, *server.Server) {
 func testConfig(addr string, batch int) config {
 	return config{
 		Addr:     addr,
+		Proto:    "http",
 		Clients:  4,
 		Duration: 150 * time.Millisecond,
 		Batch:    batch,

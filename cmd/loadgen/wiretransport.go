@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"overprov/internal/wire"
+)
+
+// wireConn is one worker's persistent swp connection. It lazily dials
+// and re-dials after a fault; the connection survives across windows,
+// which is the protocol's whole point — no per-request connection or
+// header overhead.
+type wireConn struct {
+	addr    string
+	c       net.Conn
+	fr      *wire.Reader
+	bw      *bufio.Writer
+	enc     wire.Encoder
+	version uint8
+}
+
+// ensure makes the connection usable, dialing and negotiating if
+// needed. An error here is always pre-write: nothing of the caller's
+// request has been sent, so retrying is unconditionally safe — the
+// wire analogue of preWrite's dial classification.
+func (wc *wireConn) ensure() error {
+	if wc.c != nil {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", wc.addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	fr := wire.NewReader(bufio.NewReader(c))
+	bw := bufio.NewWriter(c)
+	var enc wire.Encoder
+	if _, err := bw.Write(enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, wire.VersionMin)); err != nil {
+		_ = c.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = c.Close()
+		return err
+	}
+	f, err := fr.ReadFrame()
+	if err != nil {
+		_ = c.Close()
+		return err
+	}
+	if f.Type != wire.TypeHello {
+		_ = c.Close()
+		return fmt.Errorf("handshake rejected: %s", wire.DecodeError(f.Payload))
+	}
+	wc.c, wc.fr, wc.bw, wc.version = c, fr, bw, f.Version
+	return nil
+}
+
+// reset tears the connection down after a fault; the next ensure
+// re-dials.
+func (wc *wireConn) reset() {
+	if wc.c != nil {
+		_ = wc.c.Close()
+		wc.c, wc.fr, wc.bw = nil, nil, nil
+	}
+}
+
+// exchange writes one frame and reads its reply. Any error after
+// ensure succeeded is post-write: bytes of the request may have
+// reached the daemon, so the caller must apply its replay-safety rule.
+// The connection is reset on every error — a faulted stream cannot be
+// trusted for framing.
+func (wc *wireConn) exchange(frame []byte, want wire.FrameType) ([]wire.Result, error) {
+	if _, err := wc.bw.Write(frame); err != nil {
+		wc.reset()
+		return nil, err
+	}
+	if err := wc.bw.Flush(); err != nil {
+		wc.reset()
+		return nil, err
+	}
+	f, err := wc.fr.ReadFrame()
+	if err != nil {
+		wc.reset()
+		return nil, err
+	}
+	if f.Type == wire.TypeError {
+		wc.reset()
+		return nil, fmt.Errorf("server error: %s", wire.DecodeError(f.Payload))
+	}
+	if f.Type != want {
+		wc.reset()
+		return nil, fmt.Errorf("reply type %d, want %d", f.Type, want)
+	}
+	res, err := wire.DecodeResults(f.Payload, nil)
+	if err != nil {
+		wc.reset()
+		return nil, err
+	}
+	return res, nil
+}
+
+// wireLoop is the closed loop over the swp protocol: same windows,
+// same replay-safety classification as the HTTP loop, different
+// framing.
+func (w *worker) wireLoop(deadline time.Time) {
+	wc := &wireConn{addr: w.cfg.Addr}
+	defer wc.reset()
+	for time.Now().Before(deadline) {
+		ids := w.wireSubmitWindow(wc)
+		if len(ids) > 0 {
+			w.wireCompleteWindow(wc, ids)
+		}
+	}
+}
+
+// wireJobSpec is jobSpec in wire encoding.
+func (w *worker) wireJobSpec() wire.Job {
+	i := w.seq
+	w.seq++
+	return wire.Job{
+		User:     int32((w.id*31 + i) % w.cfg.Users),
+		App:      int32(i % w.cfg.Apps),
+		Nodes:    int32(w.cfg.Nodes),
+		ReqMemMB: w.cfg.MemMB,
+		ReqTimeS: w.cfg.ReqTimeS,
+	}
+}
+
+// wireExchange runs one timed exchange with the same retry
+// classification as post: pre-write failures (dial/handshake) back off
+// and retry; post-write failures retry only when the request is
+// replay-safe. The frame is built by mk after the connection is up, so
+// it always carries the negotiated version. ok is false once retries
+// are exhausted or a replay-unsafe request faulted post-write.
+func (w *worker) wireExchange(wc *wireConn, mk func() []byte, want wire.FrameType, replaySafe bool) ([]wire.Result, bool) {
+	for attempt := 0; ; attempt++ {
+		retryable, res, ok := func() (bool, []wire.Result, bool) {
+			if err := wc.ensure(); err != nil {
+				return true, nil, false // pre-write: nothing sent
+			}
+			t0 := time.Now()
+			res, err := wc.exchange(mk(), want)
+			w.stats.latencies = append(w.stats.latencies, time.Since(t0))
+			if err != nil {
+				return replaySafe, nil, false // post-write: maybe applied
+			}
+			return false, res, true
+		}()
+		if ok {
+			return res, true
+		}
+		if !retryable || attempt >= w.cfg.Retries || !w.sleepBackoff(attempt) {
+			w.stats.httpErrors++
+			return nil, false
+		}
+		w.stats.retries++
+	}
+}
+
+// wireSubmitWindow submits one batch frame and returns the IDs that
+// started running. Submits are not replay-safe (see submitWindow): a
+// post-write fault fails hard rather than risk a double-submitted job
+// squatting on capacity.
+func (w *worker) wireSubmitWindow(wc *wireConn) []int64 {
+	jobs := make([]wire.Job, w.cfg.Batch)
+	for i := range jobs {
+		jobs[i] = w.wireJobSpec()
+	}
+	res, ok := w.wireExchange(wc, func() []byte {
+		return wc.enc.SubmitBatch(wc.version, jobs)
+	}, wire.TypeSubmitResult, false)
+	if !ok {
+		return nil
+	}
+	var running []int64
+	for i := range res {
+		if res[i].Err != "" {
+			w.stats.rejected++
+			continue
+		}
+		w.stats.submitted++
+		if res[i].State == wire.StateRunning {
+			w.stats.started++
+			running = append(running, res[i].ID)
+		}
+	}
+	return running
+}
+
+// wireCompleteWindow reports completions for the started jobs.
+// Completions are replay-safe (see completeWindow): a replayed
+// completion is answered with a per-item error, never trained twice.
+func (w *worker) wireCompleteWindow(wc *wireConn, ids []int64) {
+	comps := make([]wire.Completion, len(ids))
+	for k, id := range ids {
+		success := w.cfg.FailEvery == 0 || (w.stats.completed+k+1)%w.cfg.FailEvery != 0
+		comps[k] = wire.Completion{ID: id, Success: success}
+	}
+	res, ok := w.wireExchange(wc, func() []byte {
+		return wc.enc.CompleteBatch(wc.version, comps)
+	}, wire.TypeCompleteResult, true)
+	if !ok {
+		return
+	}
+	for i := range res {
+		if res[i].Err == "" {
+			w.stats.completed++
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"overprov/internal/server"
+	"overprov/internal/wire"
+)
+
+// wireDaemon attaches a real swp listener to the real serving stack.
+func wireDaemon(t *testing.T) string {
+	t.Helper()
+	_, srv := testDaemon(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := server.NewWireServer(srv)
+	go func() { _ = ws.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = ws.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+func wireConfig(addr string, batch int) config {
+	cfg := testConfig(addr, batch)
+	cfg.Proto = "wire"
+	return cfg
+}
+
+func TestRunWireMode(t *testing.T) {
+	addr := wireDaemon(t)
+	rep, err := run(wireConfig(addr, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HTTPErrors != 0 {
+		t.Fatalf("request errors: %d\n%s", rep.HTTPErrors, rep)
+	}
+	if rep.Submitted == 0 || rep.Started == 0 || rep.Completed == 0 {
+		t.Fatalf("no work done:\n%s", rep)
+	}
+	if rep.Completed > rep.Started || rep.Started > rep.Submitted {
+		t.Errorf("counter ordering broken:\n%s", rep)
+	}
+	if len(rep.Latencies) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if rep.Proto != "wire" {
+		t.Fatalf("report proto = %q", rep.Proto)
+	}
+}
+
+func TestRunWireSingleJobWindows(t *testing.T) {
+	addr := wireDaemon(t)
+	rep, err := run(wireConfig(addr, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HTTPErrors != 0 || rep.Completed == 0 {
+		t.Fatalf("single-job windows: %s", rep)
+	}
+}
+
+func TestWireRejectsURLAddr(t *testing.T) {
+	cfg := wireConfig("http://localhost:8080", 4)
+	if _, err := run(cfg); err == nil {
+		t.Fatal("URL address accepted for -proto wire")
+	}
+}
+
+// scriptedWire accepts connections one at a time and hands each to the
+// next script function. Each script gets a negotiated connection
+// (handshake already answered).
+func scriptedWire(t *testing.T, scripts ...func(c net.Conn, fr *wire.Reader, bw *bufio.Writer)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for _, script := range scripts {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fr := wire.NewReader(bufio.NewReader(c))
+			bw := bufio.NewWriter(c)
+			var enc wire.Encoder
+			f, err := fr.ReadFrame()
+			if err != nil || f.Type != wire.TypeHello {
+				_ = c.Close()
+				continue
+			}
+			h, err := wire.DecodeHello(f.Payload)
+			if err != nil {
+				_ = c.Close()
+				continue
+			}
+			v, err := wire.Negotiate(h)
+			if err != nil {
+				_ = c.Close()
+				continue
+			}
+			_, _ = bw.Write(enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, v))
+			_ = bw.Flush()
+			script(c, fr, bw)
+			_ = c.Close()
+		}
+		// Out of scripts: refuse further work by closing the listener so
+		// remaining dials fail fast (pre-write).
+		_ = ln.Close()
+	}()
+	return ln.Addr().String()
+}
+
+// TestWireSubmitPostWriteFailsHard: the daemon dies after reading a
+// submit frame without answering. The submit may have been applied, so
+// the generator must count a hard error and NOT retry it — the wire
+// analogue of TestSubmitAmbiguousFailureIsHard.
+func TestWireSubmitPostWriteFailsHard(t *testing.T) {
+	addr := scriptedWire(t, func(c net.Conn, fr *wire.Reader, bw *bufio.Writer) {
+		_, _ = fr.ReadFrame() // swallow the submit frame, answer nothing
+	})
+	cfg := wireConfig(addr, 4)
+	cfg.Clients = 1
+	cfg.Duration = 50 * time.Millisecond
+	cfg.Retries = 5
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryMax = 5 * time.Millisecond
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 0 {
+		t.Fatalf("ambiguous submit counted as submitted:\n%s", rep)
+	}
+	if rep.HTTPErrors == 0 {
+		t.Fatalf("ambiguous submit not counted as hard error:\n%s", rep)
+	}
+}
+
+// TestWireDialFailureRetries: nothing listens at the address, so every
+// attempt is a pre-write dial error — retried with backoff, never
+// ambiguous.
+func TestWireDialFailureRetries(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close() // now nothing listens there
+
+	cfg := wireConfig(addr, 4)
+	cfg.Clients = 1
+	cfg.Duration = 50 * time.Millisecond
+	cfg.Retries = 3
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryMax = 2 * time.Millisecond
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 {
+		t.Fatalf("dial failures were not retried:\n%s", rep)
+	}
+	if rep.Submitted != 0 {
+		t.Fatalf("submitted against a dead address:\n%s", rep)
+	}
+}
+
+// TestWireCompletionRetriesAcrossReconnect: the daemon answers the
+// submit, then dies mid-completion; a second connection answers the
+// replayed completion. Completions are replay-safe, so the generator
+// must reconnect, resend, and count the jobs completed.
+func TestWireCompletionRetriesAcrossReconnect(t *testing.T) {
+	const batch = 3
+	answerSubmit := func(fr *wire.Reader, bw *bufio.Writer) bool {
+		f, err := fr.ReadFrame()
+		if err != nil || f.Type != wire.TypeSubmitBatch {
+			return false
+		}
+		jobs, err := wire.DecodeSubmitBatch(f.Payload, nil)
+		if err != nil {
+			return false
+		}
+		var enc wire.Encoder
+		res := make([]wire.Result, len(jobs))
+		for i := range res {
+			res[i] = wire.Result{ID: int64(i + 1), State: wire.StateRunning}
+		}
+		_, _ = bw.Write(enc.Results(f.Version, wire.TypeSubmitResult, res))
+		return bw.Flush() == nil
+	}
+	addr := scriptedWire(t,
+		func(c net.Conn, fr *wire.Reader, bw *bufio.Writer) {
+			if !answerSubmit(fr, bw) {
+				return
+			}
+			_, _ = fr.ReadFrame() // swallow the completion, die
+		},
+		func(c net.Conn, fr *wire.Reader, bw *bufio.Writer) {
+			// The reconnect replays the completion frame.
+			f, err := fr.ReadFrame()
+			if err != nil || f.Type != wire.TypeCompleteBatch {
+				return
+			}
+			comps, err := wire.DecodeCompleteBatch(f.Payload, nil)
+			if err != nil {
+				return
+			}
+			var enc wire.Encoder
+			res := make([]wire.Result, len(comps))
+			for i := range comps {
+				res[i] = wire.Result{ID: comps[i].ID, State: wire.StateDone}
+			}
+			_, _ = bw.Write(enc.Results(f.Version, wire.TypeCompleteResult, res))
+			_ = bw.Flush()
+		},
+	)
+	cfg := wireConfig(addr, batch)
+	cfg.Clients = 1
+	cfg.Duration = 50 * time.Millisecond
+	cfg.Retries = 3
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryMax = 2 * time.Millisecond
+	cfg.FailEvery = 0
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != batch {
+		t.Fatalf("completed %d, want %d (completion must retry across reconnect):\n%s",
+			rep.Completed, batch, rep)
+	}
+	if rep.Retries == 0 {
+		t.Fatalf("no retry recorded for the dropped completion:\n%s", rep)
+	}
+}

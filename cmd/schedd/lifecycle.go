@@ -72,12 +72,12 @@ func (d drainResult) String() string {
 }
 
 // drain gracefully shuts down the API listener (and the optional debug
-// listener) with one shared deadline: readiness flips to draining
-// first, then http.Server.Shutdown waits for in-flight requests, and
-// whatever is still running at the deadline is aborted by Close. The
-// old shutdown path called Close directly, dropping in-flight
-// completion reports — feedback the estimator never saw.
-func drain(srv *server.Server, httpSrv, debugSrv *http.Server, timeout time.Duration) drainResult {
+// and wire listeners) with one shared deadline: readiness flips to
+// draining first, then each listener's Shutdown waits for in-flight
+// requests, and whatever is still running at the deadline is aborted
+// by Close. The old shutdown path called Close directly, dropping
+// in-flight completion reports — feedback the estimator never saw.
+func drain(srv *server.Server, httpSrv, debugSrv *http.Server, wireSrv *server.WireServer, timeout time.Duration) drainResult {
 	srv.BeginDrain()
 	before := srv.InFlight()
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
@@ -92,6 +92,14 @@ func drain(srv *server.Server, httpSrv, debugSrv *http.Server, timeout time.Dura
 		if err := debugSrv.Shutdown(ctx); err != nil {
 			res.Clean = false
 			_ = debugSrv.Close()
+		}
+	}
+	if wireSrv != nil {
+		// WireServer.Shutdown lets each connection finish the frame it is
+		// processing (its completion report reaches the estimator) and
+		// force-closes stragglers at the deadline.
+		if err := wireSrv.Shutdown(ctx); err != nil {
+			res.Clean = false
 		}
 	}
 	res.Aborted = srv.InFlight()

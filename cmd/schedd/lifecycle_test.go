@@ -125,7 +125,7 @@ func TestDrainWaitsForInFlight(t *testing.T) {
 	done := submitInBackground(t, base)
 	waitInFlight(t, srv)
 
-	res := drain(srv, httpSrv, nil, 10*time.Second)
+	res := drain(srv, httpSrv, nil, nil, 10*time.Second)
 	if !res.Clean {
 		t.Fatalf("drain not clean: %v", res)
 	}
@@ -148,7 +148,7 @@ func TestDrainDeadlineAborts(t *testing.T) {
 	waitInFlight(t, srv)
 
 	t0 := time.Now()
-	res := drain(srv, httpSrv, nil, 50*time.Millisecond)
+	res := drain(srv, httpSrv, nil, nil, 50*time.Millisecond)
 	if took := time.Since(t0); took > 2*time.Second {
 		t.Fatalf("drain blocked %v past its 50ms deadline", took)
 	}

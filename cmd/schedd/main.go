@@ -16,6 +16,7 @@
 //	schedd -wal-dir /var/lib/schedd/wal         # durable feedback WAL + snapshots
 //	schedd -shards 64 -debug-addr :6060         # wider striping + pprof/metrics
 //	schedd -drain-timeout 30s                   # graceful-shutdown deadline
+//	schedd -wire-addr :8081                     # swp binary batch protocol listener
 //
 // API (see internal/server):
 //
@@ -24,6 +25,12 @@
 //	POST /api/v1/jobs:batch          {"jobs":[...]}
 //	POST /api/v1/complete:batch      {"completions":[{"id":7,"success":true}]}
 //	GET  /api/v1/jobs/{id}  /api/v1/status  /api/v1/estimates  /api/v1/healthz
+//
+// With -wire-addr set, a third listener serves the swp binary batch
+// protocol (internal/wire): length-prefixed CRC-framed submit/complete
+// batches over persistent TCP connections, for high-rate clients that
+// outgrow HTTP+JSON. Both protocols drive the same scheduling core, so
+// a mixed fleet of HTTP and wire clients trains one estimator.
 //
 // On SIGTERM/SIGINT the daemon flips /api/v1/healthz to 503 (so load
 // balancers stop routing to it), drains in-flight requests up to
@@ -40,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -69,6 +77,7 @@ func main() {
 		drainFor = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 		shards   = flag.Int("shards", estimate.DefaultShards, "estimator lock stripes (rounded up to a power of two)")
 		debug    = flag.String("debug-addr", "", "optional second listener for /debug/pprof/ and /api/v1/metrics")
+		wireAddr = flag.String("wire-addr", "", "optional listener for the swp binary batch protocol")
 	)
 	flag.Parse()
 	if *state != "" && *walDir != "" {
@@ -191,6 +200,21 @@ func main() {
 		}()
 	}
 
+	var wireSrv *server.WireServer
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("schedd: wire listener: %v", err)
+		}
+		wireSrv = server.NewWireServer(srv)
+		go func() {
+			log.Printf("schedd: swp wire protocol on %s", ln.Addr())
+			if err := wireSrv.Serve(ln); err != nil {
+				log.Fatalf("schedd: wire listener: %v", err)
+			}
+		}()
+	}
+
 	ticker := time.NewTicker(*saveEach)
 	defer ticker.Stop()
 	sig := make(chan os.Signal, 1)
@@ -203,7 +227,7 @@ func main() {
 			log.Printf("schedd: %v — draining (deadline %v)", s, *drainFor)
 			// Order matters: drain first so in-flight completions reach
 			// the journal and estimator, then snapshot what they taught.
-			res := drain(srv, httpSrv, debugSrv, *drainFor)
+			res := drain(srv, httpSrv, debugSrv, wireSrv, *drainFor)
 			log.Printf("schedd: %s", res)
 			persist()
 			if feedbackLog != nil {

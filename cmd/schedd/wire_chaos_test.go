@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/server"
+	"overprov/internal/units"
+	"overprov/internal/wal"
+	"overprov/internal/wire"
+)
+
+// wireDial opens a negotiated swp connection to addr.
+func wireDial(t *testing.T, addr string) (net.Conn, *wire.Reader, *bufio.Writer, uint8) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	fr := wire.NewReader(bufio.NewReader(c))
+	bw := bufio.NewWriter(c)
+	var enc wire.Encoder
+	if _, err := bw.Write(enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, wire.VersionMin)); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("hello flush: %v", err)
+	}
+	f, err := fr.ReadFrame()
+	if err != nil || f.Type != wire.TypeHello {
+		t.Fatalf("hello reply: %v (type %d)", err, f.Type)
+	}
+	return c, fr, bw, f.Version
+}
+
+// wireExchange sends one frame and decodes the reply's results.
+func wireExchange(t *testing.T, fr *wire.Reader, bw *bufio.Writer, frame []byte) []wire.Result {
+	t.Helper()
+	if _, err := bw.Write(frame); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	f, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	if f.Type == wire.TypeError {
+		t.Fatalf("server error: %s", wire.DecodeError(f.Payload))
+	}
+	res, err := wire.DecodeResults(f.Payload, nil)
+	if err != nil {
+		t.Fatalf("decode results: %v", err)
+	}
+	return res
+}
+
+// TestWireCrashRecovery runs the daemon's WAL crash story over the
+// binary protocol: completions acked over swp connections must survive
+// an unclean death (abandoned WAL directory, torn tail garbage) and be
+// present in a recovered daemon's estimator — the journal-before-train
+// ordering holds on the wire path exactly as on HTTP.
+func TestWireCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ts, srv, est, l := walDaemon(t, dir)
+	defer ts.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := server.NewWireServer(srv)
+	go func() { _ = ws.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = ws.Shutdown(ctx)
+	}()
+
+	_, fr, bw, version := wireDial(t, ln.Addr().String())
+	var enc wire.Encoder
+	const n = 40
+	jobs := make([]wire.Job, 0, n)
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, wire.Job{
+			User: int32(i % 5), App: int32(i % 3), Nodes: 1, ReqMemMB: 32, ReqTimeS: 600,
+		})
+	}
+	res := wireExchange(t, fr, bw, enc.SubmitBatch(version, jobs))
+	comps := make([]wire.Completion, 0, n)
+	for i := range res {
+		if res[i].Err != "" {
+			t.Fatalf("submit item %d: %s", i, res[i].Err)
+		}
+		comps = append(comps, wire.Completion{ID: res[i].ID, Success: true})
+	}
+	cres := wireExchange(t, fr, bw, enc.CompleteBatch(version, comps))
+	for i := range cres {
+		if cres[i].Err != "" {
+			t.Fatalf("complete item %d: %s", i, cres[i].Err)
+		}
+	}
+	var want bytes.Buffer
+	if err := est.SaveState(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "crash": no shutdown, no rotation — the WAL directory is
+	// simply abandoned mid-life (l deliberately never closed) with torn
+	// garbage on the journal tail.
+	journalPath := filepath.Join(dir, fmt.Sprintf("journal-%08d.wal", l.Seq()))
+	jf, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.Write([]byte{0x41, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	cl2, err := cluster.New(cluster.Spec{Nodes: 1 << 12, Mem: units.MemSize(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est2, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{
+		Alpha: 2, Round: cl2,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	stats, err := l2.Recover(est2.LoadState, func(r wal.Record) error {
+		est2.Feedback(r.Outcome())
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if stats.Records != n {
+		t.Fatalf("recovered %d journal records, want %d", stats.Records, n)
+	}
+	var got bytes.Buffer
+	if err := est2.SaveState(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("recovered estimator state differs from pre-crash state:\npre:  %d bytes\npost: %d bytes",
+			want.Len(), got.Len())
+	}
+}
+
+// TestWireDrainFinishesInFlightFrame checks graceful shutdown on the
+// wire path: a frame already received when drain starts still gets its
+// response, and its completions reach the estimator before the daemon
+// exits — the wire analogue of TestDrainWaitsForInFlight.
+func TestWireDrainFinishesInFlightFrame(t *testing.T) {
+	dir := t.TempDir()
+	ts, srv, est, l := walDaemon(t, dir)
+	defer ts.Close()
+	defer l.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := server.NewWireServer(srv)
+	go func() { _ = ws.Serve(ln) }()
+
+	_, fr, bw, version := wireDial(t, ln.Addr().String())
+	var enc wire.Encoder
+	res := wireExchange(t, fr, bw, enc.SubmitBatch(version, []wire.Job{
+		{User: 1, App: 1, Nodes: 1, ReqMemMB: 32, ReqTimeS: 600},
+	}))
+	if res[0].Err != "" {
+		t.Fatalf("submit: %s", res[0].Err)
+	}
+	groupsBefore := est.NumGroups()
+
+	// Write the completion frame, then immediately drain: Shutdown must
+	// let the in-flight frame finish and answer before closing.
+	if _, err := bw.Write(enc.CompleteBatch(version, []wire.Completion{{ID: res[0].ID, Success: true}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ws.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	f, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatalf("in-flight frame got no response across drain: %v", err)
+	}
+	if f.Type != wire.TypeCompleteResult {
+		t.Fatalf("reply type = %d (%s)", f.Type, wire.DecodeError(f.Payload))
+	}
+	cres, err := wire.DecodeResults(f.Payload, nil)
+	if err != nil || cres[0].Err != "" || cres[0].State != wire.StateDone {
+		t.Fatalf("drained completion: %v %+v", err, cres)
+	}
+	if est.NumGroups() < groupsBefore || est.NumGroups() == 0 {
+		t.Fatalf("completion feedback lost during drain: %d groups", est.NumGroups())
+	}
+}

@@ -40,3 +40,18 @@ func UseWal(w Wal) error {
 	_ = n
 	return err
 }
+
+// ServeFrames mirrors the wire listener's frame loop: each decoded
+// completion trains the estimator and the error lands in the per-item
+// result instead of vanishing.
+func ServeFrames(s Sink, frames []bool) []string {
+	out := make([]string, 0, len(frames))
+	for _, ok := range frames {
+		if err := s.RecordOutcome(ok); err != nil {
+			out = append(out, err.Error())
+			continue
+		}
+		out = append(out, "")
+	}
+	return out
+}

@@ -56,3 +56,12 @@ func DropWal(w Wal) {
 	defer w.Replay(nil) // want `error returned by Replay is discarded by defer`
 	w.Rotation()        // exact-name match only: not the protocol method
 }
+
+// ServeFramesDropping is the wire-handler shape done wrong: the frame
+// loop trains the estimator per item and drops the error on the floor
+// instead of surfacing it in the item's result.
+func ServeFramesDropping(s Sink, frames []bool) {
+	for _, ok := range frames {
+		s.RecordOutcome(ok) // want `error returned by RecordOutcome is discarded`
+	}
+}

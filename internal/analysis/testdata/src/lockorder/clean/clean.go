@@ -85,3 +85,70 @@ func persist(d *Daemon, j *Journal, e *Estimator) error {
 		return j.Rotate(e.SaveState)
 	})
 }
+
+// SharedPool is the sharded-allocation shape: one rank-50 lock per
+// pool, always acquired after every lower rank is released and never
+// under the exclusive apex.
+type SharedPool struct {
+	//overprov:lock rank=50
+	mu   sync.Mutex
+	free int
+}
+
+type SharedCluster struct {
+	pools []SharedPool
+}
+
+// Allocate is cluster.Shared's plan-then-commit shape: eligible pool
+// locks taken in ascending index order, planned and committed, then
+// released. Re-locking the same field across loop iterations is the
+// lock-all-ascending idiom, not a self-deadlock.
+func (s *SharedCluster) Allocate(n int) bool {
+	for i := range s.pools {
+		s.pools[i].mu.Lock()
+	}
+	ok := false
+	for i := range s.pools {
+		if !ok && s.pools[i].free >= n {
+			s.pools[i].free -= n
+			ok = true
+		}
+	}
+	for i := range s.pools {
+		s.pools[i].mu.Unlock()
+	}
+	return ok
+}
+
+// WireListener is the wire server's connection registry: rank 60, the
+// outermost leaf — nothing is ever acquired under it.
+type WireListener struct {
+	//overprov:lock rank=60
+	mu    sync.Mutex
+	conns map[int]bool
+}
+
+func (w *WireListener) Track(id int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.conns[id] = true
+}
+
+// dispatchPass is the admission-dispatch shape: queue bookkeeping under
+// the apex alone, the estimator read released, and only then the pool
+// locks (rank 50) via Allocate — dispatch never allocates under
+// Daemon.mu.
+func dispatchPass(d *Daemon, e *Estimator, s *SharedCluster) {
+	d.mu.Lock()
+	job := d.jobs[1]
+	d.mu.Unlock()
+	_ = job
+	e.mu.RLock()
+	est := e.groups["g"]
+	e.mu.RUnlock()
+	if s.Allocate(est) {
+		d.mu.Lock()
+		d.jobs[1] = "running"
+		d.mu.Unlock()
+	}
+}

@@ -89,6 +89,40 @@ func persistWrong(j *Journal, d *Daemon) {
 	})
 }
 
+// Pool is the sharded-allocation lock (rank 50); WireListener the wire
+// server's registry (rank 60).
+type Pool struct {
+	//overprov:lock rank=50
+	mu   sync.Mutex
+	free int
+}
+
+type WireListener struct {
+	//overprov:lock rank=60
+	mu sync.Mutex
+}
+
+// releaseUnderApex releases pool capacity while holding the exclusive
+// apex — the dispatch refactor exists to keep all pool locking out
+// from under Daemon.mu.
+func releaseUnderApex(d *Daemon, p *Pool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p.mu.Lock() // want `flagged\.Pool\.mu acquired while exclusive lock flagged\.Daemon\.mu is held`
+	p.free++
+	p.mu.Unlock()
+}
+
+// shutdownWrong allocates under the connection-registry lock: rank 50
+// under rank 60 inverts the hierarchy.
+func shutdownWrong(w *WireListener, p *Pool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p.mu.Lock() // want `lock order violation: flagged\.Pool\.mu \(rank 50\) acquired while flagged\.WireListener\.mu \(rank 60\) is held`
+	p.free--
+	p.mu.Unlock()
+}
+
 // Two unranked locks acquired in both orders: a cycle even without
 // ranks.
 type cacheA struct {

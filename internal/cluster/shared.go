@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"overprov/internal/units"
+)
+
+// Shared is the concurrent view of a cluster's allocation state: the
+// same pools, capacities and best-fit planning as Cluster, but with the
+// mutable free counts split per pool behind per-pool locks, so the
+// serving tier's dispatch loop can allocate while completion handlers
+// release — without either holding the daemon's job-table lock
+// (server.Server.mu) across pool arithmetic.
+//
+// # Locking
+//
+// Every pool has its own mutex (rank 50, the innermost tier of the
+// canonical hierarchy — DESIGN.md §7/§13). Allocate locks the eligible
+// pools in ascending index order, plans the takes against a consistent
+// snapshot, commits, and unlocks; Release locks only the pools an
+// allocation actually drew from, also ascending. Because pool locks are
+// only ever acquired in ascending index order and nothing else is ever
+// acquired under them, the order is trivially acyclic. Immutable layout
+// (capacities, totals, policy) is read without any lock.
+type Shared struct {
+	// pools are sorted by ascending memory capacity, like Cluster's.
+	pools      []sharedPool
+	capacities []units.MemSize
+	totalNodes int
+	policy     AllocPolicy
+	str        string
+}
+
+// sharedPool is one capacity pool with its own lock. The struct is
+// padded to a cache line so two pools' locks never share one — a
+// dispatcher hammering pool 0 must not invalidate the line a releaser
+// is writing for pool 1.
+type sharedPool struct {
+	//overprov:lock rank=50
+	mu sync.Mutex
+	// free is the pool's unallocated node count, guarded by mu.
+	free int
+	// mem and total are immutable after construction.
+	mem   units.MemSize
+	total int
+	_     [64 - 8 - 8 - 8 - 8]byte
+}
+
+// NewShared snapshots a cluster's pool state into a concurrent view.
+// The source cluster's free counts seed the shared ones; afterwards the
+// two are independent (the server owns the Shared view, the original
+// Cluster keeps serving as the estimator's immutable capacity ladder).
+func NewShared(c *Cluster) *Shared {
+	s := &Shared{
+		pools:      make([]sharedPool, len(c.pools)),
+		capacities: append([]units.MemSize(nil), c.capacities...),
+		totalNodes: c.totalNodes,
+		policy:     c.policy,
+		str:        c.String(),
+	}
+	for i := range c.pools {
+		s.pools[i].mem = c.pools[i].Mem
+		s.pools[i].total = c.pools[i].Total
+		s.pools[i].free = c.pools[i].free
+	}
+	return s
+}
+
+// TotalNodes returns the machine size.
+func (s *Shared) TotalNodes() int { return s.totalNodes }
+
+// NumPools returns the number of capacity pools.
+func (s *Shared) NumPools() int { return len(s.pools) }
+
+// Capacities returns the distinct per-node capacities, ascending.
+func (s *Shared) Capacities() []units.MemSize {
+	return append([]units.MemSize(nil), s.capacities...)
+}
+
+// CeilCapacity implements estimate.Rounder against the immutable
+// capacity ladder.
+func (s *Shared) CeilCapacity(m units.MemSize) (units.MemSize, bool) {
+	return m.CeilTo(s.capacities)
+}
+
+// String summarises the cluster, e.g. "512×32MB + 512×24MB".
+func (s *Shared) String() string { return s.str }
+
+// FreeNodes returns the currently unallocated node count. Each pool is
+// locked in turn, so the sum is per-pool consistent, not a global
+// instant — the same guarantee the sharded estimator's NumGroups gives.
+func (s *Shared) FreeNodes() int {
+	f := 0
+	for i := range s.pools {
+		p := &s.pools[i]
+		p.mu.Lock()
+		f += p.free
+		p.mu.Unlock()
+	}
+	return f
+}
+
+// Pools returns a snapshot of the pools (capacity-ascending) in the
+// Cluster representation, for status reporting.
+func (s *Shared) Pools() []Pool {
+	out := make([]Pool, len(s.pools))
+	for i := range s.pools {
+		p := &s.pools[i]
+		p.mu.Lock()
+		out[i] = Pool{Mem: p.mem, Total: p.total, free: p.free}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// FitsAtAll reports whether the cluster could ever run a job of n nodes
+// with per-node memory mem. Totals are immutable, so no lock is taken.
+func (s *Shared) FitsAtAll(n int, mem units.MemSize) bool {
+	if n <= 0 {
+		return false
+	}
+	capacity := 0
+	for i := range s.pools {
+		if mem.Fits(s.pools[i].mem) {
+			capacity += s.pools[i].total
+		}
+	}
+	return capacity >= n
+}
+
+// Allocate takes n nodes with per-node memory ≥ mem under the same
+// policy Cluster.Allocate uses, returning ok=false (and changing
+// nothing) when not enough eligible nodes are free. The eligible pools
+// are locked in ascending index order for the plan+commit, so a
+// concurrent Release can never make the plan observe a torn state.
+func (s *Shared) Allocate(n int, mem units.MemSize) (Allocation, bool) {
+	if n <= 0 {
+		return Allocation{}, false
+	}
+	s.lockEligible(mem)
+	defer s.unlockEligible(mem)
+
+	a := Allocation{np: int32(len(s.pools)), nodes: int32(n)}
+	if len(s.pools) > inlinePools {
+		a.overflow = make([]int, len(s.pools))
+	}
+	remaining := n
+	for k := 0; k < len(s.pools) && remaining > 0; k++ {
+		i := k
+		if s.policy == WorstFit {
+			i = len(s.pools) - 1 - k
+		}
+		p := &s.pools[i]
+		if !mem.Fits(p.mem) || p.free == 0 {
+			continue
+		}
+		take := p.free
+		if take > remaining {
+			take = remaining
+		}
+		a.setTake(i, take)
+		if a.minMem.IsZero() || p.mem.Less(a.minMem) {
+			a.minMem = p.mem
+		}
+		remaining -= take
+	}
+	if remaining > 0 {
+		return Allocation{}, false
+	}
+	for i := range s.pools {
+		// Skip zero takes: a pool with nothing taken may be ineligible
+		// and therefore unlocked, so even a no-op read-modify-write on
+		// its free count would race a concurrent Release.
+		if t := a.take(i); t != 0 {
+			s.pools[i].free -= t
+		}
+	}
+	return a, true
+}
+
+// lockEligible locks every pool whose capacity fits mem, in ascending
+// index order (the canonical intra-tier order for the rank-50 pool
+// locks).
+func (s *Shared) lockEligible(mem units.MemSize) {
+	for i := range s.pools {
+		if mem.Fits(s.pools[i].mem) {
+			s.pools[i].mu.Lock()
+		}
+	}
+}
+
+// unlockEligible releases what lockEligible took.
+func (s *Shared) unlockEligible(mem units.MemSize) {
+	for i := range s.pools {
+		if mem.Fits(s.pools[i].mem) {
+			s.pools[i].mu.Unlock()
+		}
+	}
+}
+
+// Release returns an allocation's nodes to their pools, locking each
+// touched pool individually in ascending order. It is safe to call
+// concurrently with Allocate and other Releases; releasing the same
+// allocation twice corrupts the books and is reported as an error by
+// the per-pool overflow check.
+func (s *Shared) Release(a Allocation) error {
+	if int(a.np) != len(s.pools) {
+		return fmt.Errorf("cluster: allocation from a different cluster (pools %d vs %d)",
+			a.np, len(s.pools))
+	}
+	for i := range s.pools {
+		take := a.take(i)
+		if take == 0 {
+			continue
+		}
+		p := &s.pools[i]
+		p.mu.Lock()
+		if p.free+take > p.total {
+			p.mu.Unlock()
+			return fmt.Errorf("cluster: release overflows pool %v (%d free + %d > %d total)",
+				p.mem, p.free, take, p.total)
+		}
+		p.free += take
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// Check verifies the pool invariants (0 ≤ free ≤ total), returning the
+// first violation.
+func (s *Shared) Check() error {
+	for i := range s.pools {
+		p := &s.pools[i]
+		p.mu.Lock()
+		free, total := p.free, p.total
+		p.mu.Unlock()
+		if free < 0 || free > total {
+			return fmt.Errorf("cluster: pool %v has %d free of %d total", p.mem, free, total)
+		}
+	}
+	return nil
+}
+
+// DebugString reports current occupancy, for tests and logs.
+func (s *Shared) DebugString() string {
+	parts := make([]string, len(s.pools))
+	for i := range s.pools {
+		p := &s.pools[i]
+		p.mu.Lock()
+		parts[i] = fmt.Sprintf("%d/%d×%v", p.free, p.total, p.mem)
+		p.mu.Unlock()
+	}
+	return strings.Join(parts, " + ")
+}

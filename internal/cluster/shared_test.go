@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"overprov/internal/units"
+)
+
+func newTestShared(t *testing.T) *Shared {
+	t.Helper()
+	c, err := New(
+		Spec{Nodes: 512, Mem: units.MemSize(24)},
+		Spec{Nodes: 512, Mem: units.MemSize(32)},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return NewShared(c)
+}
+
+func TestSharedMatchesClusterPlan(t *testing.T) {
+	c, err := New(
+		Spec{Nodes: 4, Mem: units.MemSize(24)},
+		Spec{Nodes: 4, Mem: units.MemSize(32)},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s := NewShared(c)
+
+	// The same request sequence must produce identical takes on both
+	// implementations (Shared reuses Cluster's best-fit plan).
+	reqs := []struct {
+		n   int
+		mem units.MemSize
+	}{
+		{2, units.MemSize(16)},  // best-fit: drawn from the 24MB pool
+		{3, units.MemSize(24)},  // 2 left in 24MB pool, spills into 32MB
+		{2, units.MemSize(32)},  // only the 32MB pool is eligible
+		{1, units.MemSize(100)}, // fits nowhere
+	}
+	for i, r := range reqs {
+		ac, okc := c.Allocate(r.n, r.mem)
+		as, oks := s.Allocate(r.n, r.mem)
+		if okc != oks {
+			t.Fatalf("req %d: ok mismatch cluster=%v shared=%v", i, okc, oks)
+		}
+		if !okc {
+			continue
+		}
+		for p := 0; p < len(s.pools); p++ {
+			if ac.take(p) != as.take(p) {
+				t.Fatalf("req %d pool %d: take mismatch cluster=%d shared=%d",
+					i, p, ac.take(p), as.take(p))
+			}
+		}
+		if !ac.MinMem().Eq(as.MinMem()) {
+			t.Fatalf("req %d: minMem mismatch %v vs %v", i, ac.MinMem(), as.MinMem())
+		}
+	}
+	if c.FreeNodes() != s.FreeNodes() {
+		t.Fatalf("free mismatch after sequence: cluster=%d shared=%d", c.FreeNodes(), s.FreeNodes())
+	}
+}
+
+func TestSharedReleaseRestoresFree(t *testing.T) {
+	s := newTestShared(t)
+	total := s.FreeNodes()
+	a, ok := s.Allocate(700, units.MemSize(16))
+	if !ok {
+		t.Fatal("Allocate failed on an empty cluster")
+	}
+	if got := s.FreeNodes(); got != total-700 {
+		t.Fatalf("free after allocate = %d, want %d", got, total-700)
+	}
+	if err := s.Release(a); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if got := s.FreeNodes(); got != total {
+		t.Fatalf("free after release = %d, want %d", got, total)
+	}
+	// A double release must be caught by the overflow check, not
+	// silently corrupt the books.
+	if err := s.Release(a); err == nil {
+		t.Fatal("double Release succeeded; want overflow error")
+	}
+}
+
+func TestSharedFitsAtAll(t *testing.T) {
+	s := newTestShared(t)
+	if !s.FitsAtAll(1024, units.MemSize(24)) {
+		t.Fatal("1024×24MB should fit a 512×24 + 512×32 machine")
+	}
+	if s.FitsAtAll(513, units.MemSize(32)) {
+		t.Fatal("513×32MB cannot ever fit")
+	}
+	if s.FitsAtAll(0, units.MemSize(1)) {
+		t.Fatal("zero nodes should not fit")
+	}
+	// Exhaust the machine: FitsAtAll is about totals, not current free.
+	if _, ok := s.Allocate(1024, units.MemSize(1)); !ok {
+		t.Fatal("full-machine allocate failed")
+	}
+	if !s.FitsAtAll(1024, units.MemSize(24)) {
+		t.Fatal("FitsAtAll must ignore current occupancy")
+	}
+}
+
+// TestSharedConcurrentChurn hammers Allocate/Release from many
+// goroutines and checks conservation: no pool ever under- or
+// over-flows, and everything comes back once the churn stops.
+func TestSharedConcurrentChurn(t *testing.T) {
+	s := newTestShared(t)
+	total := s.FreeNodes()
+
+	const workers = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				n := 1 + rng.Intn(64)
+				mem := units.MemSize(float64(8 * (1 + rng.Intn(4))))
+				a, ok := s.Allocate(n, mem)
+				if !ok {
+					continue
+				}
+				if a.Nodes() != n {
+					errs <- fmt.Errorf("allocation granted %d nodes, want %d", a.Nodes(), n)
+					return
+				}
+				if err := s.Release(a); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("churn: %v", err)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatalf("Check after churn: %v", err)
+	}
+	if got := s.FreeNodes(); got != total {
+		t.Fatalf("free after churn = %d, want %d (leaked or duplicated nodes)", got, total)
+	}
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"overprov/internal/units"
+)
+
+// The admission queue decouples producers (submit and completion
+// handlers) from the dispatch loop. Handlers never touch the FCFS
+// queue directly: they push an admission node onto a lock-free MPSC
+// stack and either run the dispatch pass themselves (if they win the
+// single-flight token) or wait for the winner to process the node.
+// Submits therefore enqueue without ever contending on a dispatch
+// pass in progress, and the pass batches everything that arrived while
+// it ran — a combining dispatcher.
+//
+// # Protocol
+//
+// Producer: push node → try to CAS the dispatch token 0→1.
+//
+//   - Win: run dispatchPass (which drains the stack — including, on
+//     some iteration, our node), release the token, and re-check the
+//     stack: if anything was pushed after our final drain, go again.
+//     The release-recheck closes the missed-wakeup window.
+//   - Lose: some holder owns the token. Our push happened before our
+//     failed CAS, so either the holder's next drain takes our node, or
+//     the holder's release-recheck sees a non-empty stack and
+//     re-acquires (or a third producer does — by induction someone
+//     drains it). Nodes that carry a done channel are waited on so the
+//     response view reflects a completed dispatch attempt; kick nodes
+//     (done == nil, pushed by successful completions purely to retry a
+//     blocked head against freed capacity) are fire-and-forget.
+//
+// Only the token holder mutates Server.queue, so the dispatch loop
+// needs no head-revalidation: between its estimator call (made with no
+// lock held) and its commit, nobody else can have popped the head.
+
+// admission is one node of the MPSC admission stack.
+type admission struct {
+	next *admission
+	// jobs are appended to the FCFS queue tail in order.
+	jobs []*job
+	// requeues re-enter the queue at the head (the paper's failed-job
+	// semantics), in slice order: requeues[len-1] ends up at the very
+	// head, matching the serial prepend order of the pre-admission
+	// server.
+	requeues []*job
+	// done, when non-nil, is closed by the dispatch pass once this
+	// node's jobs have been applied AND the pass has run the queue to
+	// empty-or-blocked — i.e. a full dispatch attempt covered them.
+	done chan struct{}
+}
+
+// admitStack is the lock-free MPSC stack (a Treiber stack; the single
+// consumer is whoever holds the dispatch token).
+type admitStack struct {
+	head atomic.Pointer[admission]
+}
+
+// push adds a node; safe from any goroutine.
+func (q *admitStack) push(n *admission) {
+	for {
+		old := q.head.Load()
+		n.next = old
+		if q.head.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// drain detaches the whole stack and returns it in FIFO push order.
+// Only the dispatch-token holder may call it. The returned nodes are
+// appended to buf, which is reused across calls.
+func (q *admitStack) drain(buf []*admission) []*admission {
+	n := q.head.Swap(nil)
+	start := len(buf)
+	for ; n != nil; n = n.next {
+		buf = append(buf, n)
+	}
+	// Reverse the LIFO chain in place to FIFO.
+	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf
+}
+
+// empty reports whether the stack has no pending nodes.
+func (q *admitStack) empty() bool { return q.head.Load() == nil }
+
+// runDispatch drives dispatch for a just-pushed node n (nil for a bare
+// retry kick). It returns once n has been through a dispatch attempt —
+// either by this goroutine winning the token and running the pass, or
+// by waiting on n.done for a concurrent holder to cover it. Kick nodes
+// without a done channel return immediately on a lost race: the
+// current holder's release-recheck guarantees they are drained.
+func (s *Server) runDispatch(n *admission) {
+	for {
+		if s.dispToken.CompareAndSwap(0, 1) {
+			s.dispatchPass()
+			s.dispToken.Store(0)
+			if !s.admit.empty() {
+				// Pushed after our final drain; nobody may be coming
+				// back for it (its producer could have lost the CAS to
+				// us and already moved on). Go again.
+				continue
+			}
+			return
+		}
+		if n == nil || n.done == nil {
+			return
+		}
+		<-n.done
+		return
+	}
+}
+
+// dispatchPass is the combining dispatch loop, run only by the token
+// holder. Each iteration drains newly admitted nodes into the FCFS
+// queue under s.mu, then starts queue heads until one blocks: the
+// estimator is consulted with no lock held, the per-pool cluster locks
+// (rank 50) are taken inside Shared.Allocate with s.mu released, and
+// only the commit of the resulting allocation re-enters s.mu. The
+// pass ends when the queue is empty and no admission is pending, or
+// when the head does not fit (strict FCFS: the head blocks the queue;
+// the kick node pushed by the completion that frees capacity will
+// start the next pass).
+func (s *Server) dispatchPass() {
+	var pending []chan struct{}
+	flush := func() {
+		for _, d := range pending {
+			close(d)
+		}
+		pending = pending[:0]
+	}
+	defer flush()
+	for {
+		s.admitBuf = s.admit.drain(s.admitBuf[:0])
+		s.mu.Lock()
+		for _, n := range s.admitBuf {
+			for _, j := range n.requeues {
+				s.queue = append(s.queue, nil)
+				copy(s.queue[1:], s.queue)
+				s.queue[0] = j
+			}
+			s.queue = append(s.queue, n.jobs...)
+			if n.done != nil {
+				pending = append(pending, n.done)
+			}
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			flush()
+			if s.admit.empty() {
+				return
+			}
+			continue
+		}
+		j := s.queue[0]
+		s.mu.Unlock()
+
+		// j.spec and j.view.ID are immutable, so building the trace job
+		// and estimating need no lock.
+		est := s.estimateFor(specToTraceJob(j))
+
+		if !s.shared.FitsAtAll(j.spec.Nodes, est) {
+			s.mu.Lock()
+			j.view.State = StateRejected
+			j.view.Rejection = fmt.Sprintf(
+				"%d nodes with %v per node can never fit this cluster", j.spec.Nodes, est)
+			s.counters.rejected++
+			s.queue = s.queue[1:]
+			s.mu.Unlock()
+			continue
+		}
+		alloc, ok := s.shared.Allocate(j.spec.Nodes, est)
+		if !ok {
+			return // strict FCFS: head blocks until a completion kicks
+		}
+		s.mu.Lock()
+		j.alloc = alloc
+		j.view.State = StateRunning
+		j.view.Attempts++
+		j.view.EstMemMB = est.MBf()
+		j.view.AllocMB = alloc.MinMem().MBf()
+		s.counters.dispatches++
+		if est.Less(units.MemSize(j.spec.ReqMemMB)) {
+			s.counters.lowered++
+			s.counters.reclaimedMBNodes += (j.spec.ReqMemMB - est.MBf()) * float64(j.spec.Nodes)
+		}
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+	}
+}

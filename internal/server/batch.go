@@ -1,15 +1,18 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
+	"sync"
 
 	"overprov/internal/estimate"
 )
 
 // maxBatchItems bounds one batch request, keeping a single client from
 // parking the job-table lock (and the decoder) on an arbitrarily large
-// payload.
+// payload. The wire protocol enforces the same bound per frame.
 const maxBatchItems = 4096
 
 // SubmitBatchRequest is the POST /api/v1/jobs:batch payload.
@@ -43,9 +46,125 @@ type BatchResponse struct {
 	Results []BatchItemResult `json:"results"`
 }
 
-// decodeBatch rejects malformed or oversized batch payloads.
-func decodeBatch(w http.ResponseWriter, r *http.Request, v interface{}, n func() int) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+// batchOutcome is one item's result from the protocol-independent batch
+// core. Exactly one of view (ok == true) or errMsg is meaningful. Both
+// the HTTP batch handlers and the wire server render their responses
+// from these, which is what makes the two protocols' estimator effects
+// identical by construction: they run the same submitJobs/completeJobs
+// code on the same decoded items.
+type batchOutcome struct {
+	view   JobView
+	errMsg string
+	ok     bool
+}
+
+// submitJobs is the protocol-independent submit core: validate every
+// item, create the valid ones in the job table under one lock
+// acquisition, run them through one admission node (so a single
+// dispatch pass covers the whole batch), and fill out with the
+// resulting views. len(out) must equal len(reqs).
+func (s *Server) submitJobs(reqs []SubmitRequest, out []batchOutcome) {
+	jobs := make([]*job, len(reqs))
+	n := &admission{}
+	s.mu.Lock()
+	for i := range reqs {
+		if err := reqs[i].validate(); err != nil {
+			out[i] = batchOutcome{errMsg: err.Error()}
+			continue
+		}
+		jobs[i] = s.newJobLocked(reqs[i])
+		n.jobs = append(n.jobs, jobs[i])
+	}
+	s.mu.Unlock()
+	if len(n.jobs) > 0 {
+		n.done = make(chan struct{})
+		s.admit.push(n)
+		s.runDispatch(n)
+	}
+	s.mu.Lock()
+	for i, j := range jobs {
+		if j != nil {
+			out[i] = batchOutcome{view: s.viewLocked(j), ok: true}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// completeJobs is the protocol-independent completion core: claim every
+// reported job under one lock acquisition, release their allocations
+// (per-pool locks, outside s.mu), feed the estimator every outcome in
+// item order, then push failed-but-retryable jobs through one
+// admission requeue node and run the dispatch pass. The
+// feedback-before-requeue order guarantees a re-dispatched job sees
+// its restored estimate. len(out) must equal len(items).
+func (s *Server) completeJobs(items []CompletionItem, out []batchOutcome) {
+	jobs := make([]*job, len(items))
+	outcomes := make([]estimate.Outcome, 0, len(items))
+	n := &admission{}
+	s.mu.Lock()
+	for i, c := range items {
+		j, o, rq, cerr := s.finishLocked(c.ID, CompleteRequest{Success: c.Success, UsedMemMB: c.UsedMemMB})
+		if cerr != nil {
+			out[i] = batchOutcome{errMsg: cerr.msg}
+			continue
+		}
+		jobs[i] = j
+		outcomes = append(outcomes, o)
+		if rq {
+			n.requeues = append(n.requeues, j)
+		}
+	}
+	s.mu.Unlock()
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		if cerr := s.releaseAlloc(j); cerr != nil {
+			out[i] = batchOutcome{errMsg: cerr.msg}
+			jobs[i] = nil
+		}
+	}
+	for _, o := range outcomes {
+		s.feedback(o)
+	}
+	if len(n.requeues) > 0 {
+		n.done = make(chan struct{})
+	}
+	// Even with no requeues the node is pushed as a kick: the released
+	// capacity may unblock the queue head.
+	s.admit.push(n)
+	s.runDispatch(n)
+	s.mu.Lock()
+	for i, j := range jobs {
+		if j != nil {
+			out[i] = batchOutcome{view: s.viewLocked(j), ok: true}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Steady-state batch serving allocates nothing per request for decode
+// scratch: request bodies are read into pooled buffers and unmarshaled
+// into pooled request structs whose item slices json.Unmarshal reuses
+// (it resets length to zero and appends, keeping the backing array).
+var (
+	bodyBufPool     = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+	submitReqPool   = sync.Pool{New: func() interface{} { return new(SubmitBatchRequest) }}
+	completeReqPool = sync.Pool{New: func() interface{} { return new(CompleteBatchRequest) }}
+)
+
+// decodeBatchBody reads and unmarshals a batch payload into v (a
+// pooled request struct), rejecting malformed, empty or oversized
+// batches. n reports the decoded item count.
+func decodeBatchBody(w http.ResponseWriter, r *http.Request, v interface{}, n func() int) bool {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if _, err := io.Copy(buf, r.Body); err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return false
+	}
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return false
 	}
@@ -60,71 +179,43 @@ func decodeBatch(w http.ResponseWriter, r *http.Request, v interface{}, n func()
 	return true
 }
 
-// handleSubmitBatch is handleSubmit amortized: one JSON decode and one
-// lock acquisition enqueue the whole batch, then a single dispatch pass
-// starts everything that fits.
+// handleSubmitBatch is handleSubmit amortized: one decode, one lock
+// acquisition and one admission node cover the whole batch.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
-	var req SubmitBatchRequest
-	if !decodeBatch(w, r, &req, func() int { return len(req.Jobs) }) {
+	req := submitReqPool.Get().(*SubmitBatchRequest)
+	defer submitReqPool.Put(req)
+	if !decodeBatchBody(w, r, req, func() int { return len(req.Jobs) }) {
 		return
 	}
-	results := make([]BatchItemResult, len(req.Jobs))
-	jobs := make([]*job, len(req.Jobs))
-	s.mu.Lock()
-	for i := range req.Jobs {
-		if err := req.Jobs[i].validate(); err != nil {
-			results[i].Error = err.Error()
-			continue
-		}
-		jobs[i] = s.enqueueLocked(req.Jobs[i])
-	}
-	s.mu.Unlock()
-	s.dispatch()
-	s.mu.Lock()
-	for i, j := range jobs {
-		if j != nil {
-			v := s.viewLocked(j)
-			results[i].Job = &v
-		}
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	out := make([]batchOutcome, len(req.Jobs))
+	s.submitJobs(req.Jobs, out)
+	writeJSON(w, http.StatusOK, toBatchResponse(out))
 }
 
-// handleCompleteBatch applies a batch of completion reports under one
-// lock acquisition, then feeds the estimator with every outcome (no
-// lock held) before the single re-dispatch pass — the same
-// feedback-before-dispatch order handleComplete guarantees per job.
+// handleCompleteBatch applies a batch of completion reports through
+// the shared completion core.
 func (s *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
-	var req CompleteBatchRequest
-	if !decodeBatch(w, r, &req, func() int { return len(req.Completions) }) {
+	req := completeReqPool.Get().(*CompleteBatchRequest)
+	defer completeReqPool.Put(req)
+	if !decodeBatchBody(w, r, req, func() int { return len(req.Completions) }) {
 		return
 	}
-	results := make([]BatchItemResult, len(req.Completions))
-	jobs := make([]*job, len(req.Completions))
-	outcomes := make([]estimate.Outcome, 0, len(req.Completions))
-	s.mu.Lock()
-	for i, c := range req.Completions {
-		j, o, cerr := s.finishLocked(c.ID, CompleteRequest{Success: c.Success, UsedMemMB: c.UsedMemMB})
-		if cerr != nil {
-			results[i].Error = cerr.msg
-			continue
-		}
-		jobs[i] = j
-		outcomes = append(outcomes, o)
-	}
-	s.mu.Unlock()
-	for _, o := range outcomes {
-		s.feedback(o)
-	}
-	s.dispatch()
-	s.mu.Lock()
-	for i, j := range jobs {
-		if j != nil {
-			v := s.viewLocked(j)
+	out := make([]batchOutcome, len(req.Completions))
+	s.completeJobs(req.Completions, out)
+	writeJSON(w, http.StatusOK, toBatchResponse(out))
+}
+
+// toBatchResponse renders protocol-independent outcomes as the HTTP
+// batch response body.
+func toBatchResponse(out []batchOutcome) BatchResponse {
+	results := make([]BatchItemResult, len(out))
+	for i := range out {
+		if out[i].ok {
+			v := out[i].view
 			results[i].Job = &v
+		} else {
+			results[i].Error = out[i].errMsg
 		}
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	return BatchResponse{Results: results}
 }

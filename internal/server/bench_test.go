@@ -1,19 +1,24 @@
 package server_test
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"overprov/internal/cluster"
 	"overprov/internal/estimate"
 	"overprov/internal/server"
 	"overprov/internal/units"
+	"overprov/internal/wire"
 )
 
 // The serving benchmarks live in server_test (external test package) and
@@ -21,9 +26,9 @@ import (
 // before and after internal refactors — the before/after pair recorded
 // in BENCH_3.json.
 
-// benchServer builds a daemon with capacity far beyond the benchmark's
+// benchDaemon builds a daemon with capacity far beyond the benchmark's
 // in-flight job count, so dispatch never head-blocks.
-func benchServer(b *testing.B) http.Handler {
+func benchDaemon(b *testing.B) *server.Server {
 	cl, err := cluster.New(cluster.Spec{Nodes: 1 << 20, Mem: units.MemSize(64)})
 	if err != nil {
 		b.Fatal(err)
@@ -38,7 +43,11 @@ func benchServer(b *testing.B) http.Handler {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return srv.Handler()
+	return srv
+}
+
+func benchServer(b *testing.B) http.Handler {
+	return benchDaemon(b).Handler()
 }
 
 // postJSON drives the handler directly through httptest (no network),
@@ -172,6 +181,152 @@ func BenchmarkServerSubmitComplete(b *testing.B) {
 					}
 					if pending > 0 {
 						submitCompleteBatch(b, h, worker, i, pending)
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			})
+		}
+	}
+}
+
+// wireBenchClient is a persistent swp connection for the benchmark:
+// one TCP conn per client goroutine, version negotiated once, frames
+// encoded into reused buffers.
+type wireBenchClient struct {
+	c       net.Conn
+	fr      *wire.Reader
+	bw      *bufio.Writer
+	enc     wire.Encoder
+	version uint8
+	jobs    []wire.Job
+	comps   []wire.Completion
+	results []wire.Result
+}
+
+func dialWireBench(b *testing.B, addr string) *wireBenchClient {
+	b.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wc := &wireBenchClient{c: c, fr: wire.NewReader(bufio.NewReader(c)), bw: bufio.NewWriter(c)}
+	frame := wc.enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, wire.VersionMin)
+	if _, err := wc.bw.Write(frame); err != nil {
+		b.Fatal(err)
+	}
+	if err := wc.bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	f, err := wc.fr.ReadFrame()
+	if err != nil || f.Type != wire.TypeHello {
+		b.Fatalf("wire hello: %v (type %d)", err, f.Type)
+	}
+	wc.version = f.Version
+	return wc
+}
+
+// exchange sends one frame and reads the matching result frame.
+func (wc *wireBenchClient) exchange(b *testing.B, frame []byte, want wire.FrameType) []wire.Result {
+	if _, err := wc.bw.Write(frame); err != nil {
+		b.Fatal(err)
+	}
+	if err := wc.bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	f, err := wc.fr.ReadFrame()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if f.Type != want {
+		b.Fatalf("reply type = %d, want %d (%s)", f.Type, want, wire.DecodeError(f.Payload))
+	}
+	wc.results, err = wire.DecodeResults(f.Payload, wc.results[:0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wc.results
+}
+
+// submitCompleteWire runs n job lifecycles over the wire protocol with
+// two frames total.
+func (wc *wireBenchClient) submitCompleteWire(b *testing.B, worker, start, n int) {
+	wc.jobs = wc.jobs[:0]
+	for i := 0; i < n; i++ {
+		wc.jobs = append(wc.jobs, wire.Job{
+			User: int32((worker*31 + start + i) % 53), App: int32((start + i) % 7),
+			Nodes: 1, ReqMemMB: 64, ReqTimeS: 600,
+		})
+	}
+	res := wc.exchange(b, wc.enc.SubmitBatch(wc.version, wc.jobs), wire.TypeSubmitResult)
+	wc.comps = wc.comps[:0]
+	for i := range res {
+		if res[i].Err != "" || res[i].State != wire.StateRunning {
+			b.Fatalf("wire submit item %d: %+v", i, res[i])
+		}
+		wc.comps = append(wc.comps, wire.Completion{ID: res[i].ID, Success: true})
+	}
+	// res aliases wc.results, which exchange reuses — build completions
+	// before the next exchange call.
+	wc.exchange(b, wc.enc.CompleteBatch(wc.version, wc.comps), wire.TypeCompleteResult)
+}
+
+// BenchmarkWireSubmitComplete is BenchmarkServerSubmitComplete's shape
+// over the swp binary protocol on a real TCP loopback connection:
+// persistent connections, one frame pair per batch. mode=single is one
+// job per frame (protocol overhead fully exposed); mode=batch64
+// amortizes framing over 64-job batches. Unlike the HTTP benchmarks
+// this pays real socket round-trips, so single-mode numbers include
+// loopback latency that httptest-driven HTTP numbers do not.
+func BenchmarkWireSubmitComplete(b *testing.B) {
+	const batch = 64
+	for _, mode := range []string{"single", "batch64"} {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("mode=%s/goroutines=%d", mode, g), func(b *testing.B) {
+				srv := benchDaemon(b)
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				ws := server.NewWireServer(srv)
+				go func() { _ = ws.Serve(ln) }()
+				defer func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					defer cancel()
+					_ = ws.Shutdown(ctx)
+				}()
+				addr := ln.Addr().String()
+				// Warm up: one lifecycle primes estimator and job table.
+				warm := dialWireBench(b, addr)
+				warm.submitCompleteWire(b, 0, 0, 1)
+				_ = warm.c.Close()
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(g))
+				b.SetParallelism(1)
+				var nextWorker atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					worker := int(nextWorker.Add(1))
+					wc := dialWireBench(b, addr)
+					defer wc.c.Close()
+					i := 0
+					if mode == "single" {
+						for pb.Next() {
+							wc.submitCompleteWire(b, worker, i, 1)
+							i++
+						}
+						return
+					}
+					pending := 0
+					for pb.Next() {
+						pending++
+						if pending == batch {
+							wc.submitCompleteWire(b, worker, i, pending)
+							i += pending
+							pending = 0
+						}
+					}
+					if pending > 0 {
+						wc.submitCompleteWire(b, worker, i, pending)
 					}
 				})
 				b.StopTimer()

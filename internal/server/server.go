@@ -35,13 +35,12 @@
 //
 // # Locking
 //
-// The daemon has three locking domains:
+// The daemon has four locking domains (DESIGN.md §7, §13):
 //
-//   - s.mu guards the job table, the FCFS queue, the cluster (whose
-//     allocation state is not internally synchronized) and the lifetime
-//     counters. It is held only across in-memory bookkeeping — never
-//     across an estimator call, JSON encoding/decoding, or I/O — and is
-//     never held together with any other lock.
+//   - s.mu guards the job table, the FCFS queue and the lifetime
+//     counters — in-memory bookkeeping only. It is never held across an
+//     estimator call, a cluster-pool lock, JSON encoding/decoding, or
+//     I/O, and is never held together with any other lock.
 //   - s.rotMu makes each feedback event's journal-append + train pair
 //     atomic with respect to snapshot rotation: feedback holds the read
 //     side across both steps, and Quiesce (which cmd/schedd routes WAL
@@ -52,19 +51,27 @@
 //   - the estimator's own locks (estimate.Synchronized's mutex or
 //     estimate.ShardedSynchronized's per-shard RWMutexes) and the
 //     journal's internal mutex (wal.Log). Both are acquired only under
-//     s.rotMu or under no lock at all, so the order is acyclic:
-//     s.rotMu ≺ wal.Log's mutex ≺ estimator locks, s.mu ≺ nothing.
+//     s.rotMu or under no lock at all.
+//   - the per-pool cluster locks inside cluster.Shared (rank 50),
+//     taken by Allocate/Release/pool snapshots with no other lock
+//     held.
 //
-// Estimate/Feedback therefore run concurrently with each other and with
-// job bookkeeping, which is what lets a sharded estimator scale with
-// cores; the cost is that dispatch must revalidate the queue head after
-// re-acquiring s.mu (see dispatch), and a re-queued failing job can
-// race a concurrent dispatcher to its restored estimate — the dispatch
-// in the completion's own goroutine always runs after its feedback, so
-// the single-client sequence of the paper is preserved.
+// The order is acyclic: s.rotMu ≺ wal.Log's mutex ≺ estimator locks;
+// s.mu ≺ nothing; pool locks ≺ nothing.
+//
+// Dispatch never runs under s.mu. Submissions and completions push
+// admission nodes onto a lock-free MPSC stack and a single-flight
+// token elects one goroutine to run the combining dispatch pass (see
+// admit.go); only that holder mutates the FCFS queue, so the pass
+// needs no head-revalidation, and the requeued-failing-job race of the
+// previous design (a concurrent dispatcher beating the feedback to the
+// restored estimate) is gone: a failed job is unreachable until its
+// completion handler, which runs feedback first, pushes the requeue
+// node.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -209,11 +216,25 @@ type Server struct {
 	// side (Quiesce) spans a rotation, so a snapshot never lands between
 	// the two halves of a feedback event (see the package comment).
 	//overprov:lock rank=20 rotation
-	rotMu       sync.RWMutex
-	cfg         Config
-	est         estimate.ConcurrencySafe
-	fallible    estimate.Fallible // non-nil when est has an error path
-	estName     string
+	rotMu    sync.RWMutex
+	cfg      Config
+	est      estimate.ConcurrencySafe
+	fallible estimate.Fallible // non-nil when est has an error path
+	estName  string
+	// shared is the concurrent allocation view of cfg.Cluster (per-pool
+	// rank-50 locks); after New the server allocates exclusively
+	// through it and cfg.Cluster serves only as the estimator's
+	// immutable capacity ladder.
+	shared *cluster.Shared
+	// admit, dispToken and admitBuf implement the MPSC admission queue
+	// and the single-flight combining dispatcher (admit.go). admitBuf
+	// is scratch used only by the dispatch-token holder.
+	admit     admitStack
+	dispToken atomic.Int32
+	admitBuf  []*admission
+	// queue is the FCFS queue. Its contents are guarded by s.mu, but
+	// only the dispatch-token holder adds or removes entries; everyone
+	// else (viewLocked, handleStatus) just reads under s.mu.
 	nextID      int64
 	queue       []*job
 	jobs        map[int64]*job
@@ -232,6 +253,7 @@ type Server struct {
 	walErrors         atomic.Uint64
 	degradedEstimates atomic.Uint64
 	degradedFeedbacks atomic.Uint64
+	releaseErrors     atomic.Uint64
 	draining          atomic.Bool
 }
 
@@ -258,6 +280,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:         cfg,
 		est:         est,
 		estName:     est.Name(),
+		shared:      cluster.NewShared(cfg.Cluster),
 		jobs:        make(map[int64]*job),
 		maxAttempts: ma,
 	}
@@ -304,17 +327,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	j := s.enqueueLocked(req)
+	j := s.newJobLocked(req)
 	s.mu.Unlock()
-	s.dispatch()
+	n := &admission{jobs: []*job{j}, done: make(chan struct{})}
+	s.admit.push(n)
+	s.runDispatch(n)
 	s.mu.Lock()
 	v := s.viewLocked(j)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, v)
 }
 
-// enqueueLocked creates a job record and appends it to the FCFS queue.
-func (s *Server) enqueueLocked(req SubmitRequest) *job {
+// newJobLocked creates a job record in the job table. The job reaches
+// the FCFS queue only when the dispatch pass drains its admission
+// node, so until the caller pushes one the job is invisible to
+// dispatch.
+func (s *Server) newJobLocked(req SubmitRequest) *job {
 	s.nextID++
 	j := &job{
 		spec: req,
@@ -325,7 +353,6 @@ func (s *Server) enqueueLocked(req SubmitRequest) *job {
 		},
 	}
 	s.jobs[j.view.ID] = j
-	s.queue = append(s.queue, j)
 	return j
 }
 
@@ -357,26 +384,28 @@ type completionError struct {
 
 func (e *completionError) Error() string { return e.msg }
 
-// finishLocked applies one completion report to a running job: releases
-// its allocation, advances its lifecycle state, and returns the
-// feedback outcome the caller must deliver to the estimator *after*
-// unlocking. Failed jobs re-enter the queue at the head (the paper's
-// semantics), so the caller must also run dispatch afterwards.
-func (s *Server) finishLocked(id int64, req CompleteRequest) (*job, estimate.Outcome, *completionError) {
+// finishLocked applies one completion report to a running job: it
+// claims the job (so a concurrent duplicate report gets 409, not a
+// double release), advances its lifecycle state, and returns the
+// allocation to release and the feedback outcome to deliver — both of
+// which the caller must do *after* unlocking, in that order, because
+// Release takes the per-pool cluster locks and feedback takes rotMu,
+// neither of which may be acquired under the exclusive s.mu. When
+// requeue is true the job failed but has attempts left: the caller
+// must, after feedback, push it through an admission requeue node so
+// it re-enters the queue at the head (the paper's semantics) with its
+// restored estimate.
+func (s *Server) finishLocked(id int64, req CompleteRequest) (j *job, o estimate.Outcome, requeue bool, cerr *completionError) {
 	j, ok := s.jobs[id]
 	if !ok {
-		return nil, estimate.Outcome{}, &completionError{http.StatusNotFound,
+		return nil, estimate.Outcome{}, false, &completionError{http.StatusNotFound,
 			fmt.Sprintf("job %d not found", id)}
 	}
 	if j.view.State != StateRunning {
-		return nil, estimate.Outcome{}, &completionError{http.StatusConflict,
+		return nil, estimate.Outcome{}, false, &completionError{http.StatusConflict,
 			fmt.Sprintf("job %d is %s, not running", id, j.view.State)}
 	}
-	if err := s.cfg.Cluster.Release(j.alloc); err != nil {
-		return nil, estimate.Outcome{}, &completionError{http.StatusInternalServerError,
-			fmt.Sprintf("release: %v", err)}
-	}
-	o := estimate.Outcome{
+	o = estimate.Outcome{
 		Job:       specToTraceJob(j),
 		Allocated: j.alloc.MinMem(),
 		Success:   req.Success,
@@ -393,12 +422,28 @@ func (s *Server) finishLocked(id int64, req CompleteRequest) (*job, estimate.Out
 		j.view.State = StateFailed
 		s.counters.failed++
 	default:
-		// The paper's semantics: a failed job returns to the head of
-		// the queue and is re-dispatched with the restored estimate.
+		// Queued again, but unreachable by dispatch until the caller's
+		// requeue node lands — which is what guarantees the restored
+		// estimate (written by feedback) is visible when it
+		// re-dispatches.
 		j.view.State = StateQueued
-		s.queue = append([]*job{j}, s.queue...)
+		requeue = true
 	}
-	return j, o, nil
+	return j, o, requeue, nil
+}
+
+// releaseAlloc returns a finished job's nodes to the shared cluster.
+// Must be called with no lock held (pool locks are rank 50). An error
+// here means the allocation books are corrupt — it is surfaced to the
+// client as a 500 and counted, but the completion's state transition
+// has already happened (the job is claimed either way).
+func (s *Server) releaseAlloc(j *job) *completionError {
+	if err := s.shared.Release(j.alloc); err != nil {
+		s.releaseErrors.Add(1)
+		return &completionError{http.StatusInternalServerError,
+			fmt.Sprintf("release: %v", err)}
+	}
+	return nil
 }
 
 // feedback journals then trains: the outcome is appended to the
@@ -476,17 +521,27 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	j, o, cerr := s.finishLocked(id, req)
+	j, o, requeue, cerr := s.finishLocked(id, req)
 	s.mu.Unlock()
 	if cerr != nil {
 		httpError(w, cerr.status, "%s", cerr.msg)
 		return
 	}
-	// Feedback strictly before this goroutine's dispatch: a re-queued
-	// failing job must see its restored estimate (Algorithm 1 line 11)
-	// when we re-dispatch it below.
+	if cerr := s.releaseAlloc(j); cerr != nil {
+		httpError(w, cerr.status, "%s", cerr.msg)
+		return
+	}
+	// Feedback strictly before the requeue node is pushed: the
+	// re-queued failing job must see its restored estimate (Algorithm 1
+	// line 11) when the dispatch pass re-dispatches it below.
 	s.feedback(o)
-	s.dispatch()
+	n := &admission{}
+	if requeue {
+		n.requeues = []*job{j}
+		n.done = make(chan struct{})
+	}
+	s.admit.push(n)
+	s.runDispatch(n)
 	s.mu.Lock()
 	v := s.viewLocked(j)
 	s.mu.Unlock()
@@ -494,6 +549,9 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	// Job-table stats under s.mu; cluster occupancy afterwards, because
+	// reading it takes the per-pool locks (rank 50), which must not be
+	// acquired under the exclusive s.mu.
 	s.mu.Lock()
 	running := 0
 	for _, j := range s.jobs {
@@ -502,9 +560,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	st := StatusView{
-		Cluster:           s.cfg.Cluster.String(),
-		FreeNodes:         s.cfg.Cluster.FreeNodes(),
-		Total:             s.cfg.Cluster.TotalNodes(),
+		Cluster:           s.shared.String(),
+		Total:             s.shared.TotalNodes(),
 		Queued:            len(s.queue),
 		Running:           running,
 		Estimator:         s.estName,
@@ -515,10 +572,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		LoweredDispatches: s.counters.lowered,
 		ReclaimedMBNodes:  s.counters.reclaimedMBNodes,
 	}
-	for _, p := range s.cfg.Cluster.Pools() {
+	s.mu.Unlock()
+	st.FreeNodes = s.shared.FreeNodes()
+	for _, p := range s.shared.Pools() {
 		st.Pools = append(st.Pools, PoolView{MemMB: p.Mem.MBf(), Total: p.Total, Free: p.Free()})
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -533,62 +591,6 @@ func (s *Server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.est.(estimate.StatePersister).SaveState(w); err != nil {
 		httpError(w, http.StatusInternalServerError, "save: %v", err)
-	}
-}
-
-// dispatch starts queue heads FCFS until one does not fit. The caller
-// must NOT hold s.mu: each round peeks the head under the lock, asks
-// the estimator with no lock held, then re-acquires the lock and
-// revalidates that the same job is still at the head (a concurrent
-// dispatcher may have won the race) before allocating.
-func (s *Server) dispatch() {
-	for {
-		s.mu.Lock()
-		if len(s.queue) == 0 {
-			s.mu.Unlock()
-			return
-		}
-		j := s.queue[0]
-		s.mu.Unlock()
-
-		// j.spec and j.view.ID are immutable, so building the trace job
-		// and estimating need no lock.
-		est := s.estimateFor(specToTraceJob(j))
-
-		s.mu.Lock()
-		if len(s.queue) == 0 || s.queue[0] != j {
-			// Lost the race: some other goroutine dispatched (or
-			// rejected) this head while we were estimating. Start over
-			// with the new head.
-			s.mu.Unlock()
-			continue
-		}
-		if !s.cfg.Cluster.FitsAtAll(j.spec.Nodes, est) {
-			j.view.State = StateRejected
-			j.view.Rejection = fmt.Sprintf(
-				"%d nodes with %v per node can never fit this cluster", j.spec.Nodes, est)
-			s.counters.rejected++
-			s.queue = s.queue[1:]
-			s.mu.Unlock()
-			continue
-		}
-		alloc, ok := s.cfg.Cluster.Allocate(j.spec.Nodes, est)
-		if !ok {
-			s.mu.Unlock()
-			return // strict FCFS: head blocks
-		}
-		j.alloc = alloc
-		j.view.State = StateRunning
-		j.view.Attempts++
-		j.view.EstMemMB = est.MBf()
-		j.view.AllocMB = alloc.MinMem().MBf()
-		s.counters.dispatches++
-		if est.Less(units.MemSize(j.spec.ReqMemMB)) {
-			s.counters.lowered++
-			s.counters.reclaimedMBNodes += (j.spec.ReqMemMB - est.MBf()) * float64(j.spec.Nodes)
-		}
-		s.queue = s.queue[1:]
-		s.mu.Unlock()
 	}
 }
 
@@ -619,10 +621,20 @@ func specToTraceJob(j *job) *trace.Job {
 	}
 }
 
+// writeJSON encodes through a pooled buffer so the response path, like
+// the batch decode path, is alloc-free at steady state.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {

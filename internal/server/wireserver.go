@@ -1,0 +1,294 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"overprov/internal/wire"
+)
+
+// WireServer serves the swp binary batch protocol (internal/wire) over
+// persistent TCP connections, alongside the HTTP API. Every frame runs
+// through the same protocol-independent submit/complete cores the HTTP
+// batch endpoints use (submitJobs/completeJobs in batch.go), so the
+// two protocols are observationally identical to the estimator: the
+// wire listener changes the encoding, never the scheduling.
+//
+// Each connection is one goroutine with its own reused decode/encode
+// buffers — steady-state frame handling allocates nothing. A framing
+// fault (torn frame, bad CRC, version skew, unknown type) is answered
+// with an Error frame when possible and poisons the connection; it
+// never partially applies a batch, because frames are CRC-validated
+// before any item decodes.
+type WireServer struct {
+	srv *Server
+	// mu guards the listener pointer, the connection set and the closed
+	// flag — nothing else is ever acquired or called under it.
+	//overprov:lock rank=60
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewWireServer wraps a daemon core.
+func NewWireServer(s *Server) *WireServer {
+	return &WireServer{srv: s, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener fails or Shutdown
+// closes it (which returns nil).
+func (ws *WireServer) Serve(ln net.Listener) error {
+	ws.mu.Lock()
+	if ws.closed {
+		ws.mu.Unlock()
+		return fmt.Errorf("wire: server already shut down")
+	}
+	ws.ln = ln
+	ws.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			ws.mu.Lock()
+			closed := ws.closed
+			ws.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		ws.mu.Lock()
+		if ws.closed {
+			ws.mu.Unlock()
+			_ = c.Close()
+			return nil
+		}
+		ws.conns[c] = struct{}{}
+		ws.wg.Add(1)
+		ws.mu.Unlock()
+		go func() {
+			defer ws.wg.Done()
+			ws.serveConn(c)
+		}()
+	}
+}
+
+// drainGrace bounds how long a draining connection waits for frames
+// already on the wire. The deadline is absolute, so a client streaming
+// continuously cannot extend it; an idle connection closes when it
+// fires.
+const drainGrace = 250 * time.Millisecond
+
+// Shutdown closes the listener, then drains every connection: each
+// conn's read deadline is pulled to now+drainGrace, so frames the
+// client flushed before the drain began are still read, processed and
+// answered (their completion reports reach the estimator), and idle
+// readers unblock when the grace expires. Connections that outlive ctx
+// are force-closed.
+func (ws *WireServer) Shutdown(ctx context.Context) error {
+	ws.mu.Lock()
+	ws.closed = true
+	ln := ws.ln
+	conns := make([]net.Conn, 0, len(ws.conns))
+	for c := range ws.conns {
+		conns = append(conns, c)
+	}
+	ws.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	deadline := time.Now().Add(drainGrace)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for _, c := range conns {
+		_ = c.SetReadDeadline(deadline)
+	}
+	done := make(chan struct{})
+	go func() {
+		ws.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		ws.mu.Lock()
+		for c := range ws.conns {
+			_ = c.Close()
+		}
+		ws.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// forget removes a finished connection from the set.
+func (ws *WireServer) forget(c net.Conn) {
+	ws.mu.Lock()
+	delete(ws.conns, c)
+	ws.mu.Unlock()
+}
+
+// writeFrame flushes one encoded frame to the peer.
+func writeFrame(bw *bufio.Writer, frame []byte) error {
+	if _, err := bw.Write(frame); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// serveConn negotiates a version, then answers batch frames until the
+// stream ends or faults.
+func (ws *WireServer) serveConn(c net.Conn) {
+	defer ws.forget(c)
+	defer func() { _ = c.Close() }()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	fr := wire.NewReader(br)
+	var enc wire.Encoder
+
+	version, ok := ws.handshake(fr, bw, &enc)
+	if !ok {
+		return
+	}
+
+	// Per-connection scratch, reused every frame.
+	var (
+		jobs    []wire.Job
+		comps   []wire.Completion
+		reqs    []SubmitRequest
+		items   []CompletionItem
+		out     []batchOutcome
+		results []wire.Result
+	)
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			if err != io.EOF {
+				_ = writeFrame(bw, enc.Error(version, err.Error()))
+			}
+			return
+		}
+		if f.Version != version {
+			_ = writeFrame(bw, enc.Error(version,
+				fmt.Sprintf("wire: frame version %d after negotiating %d", f.Version, version)))
+			return
+		}
+		ws.srv.requests.Add(1)
+		ws.srv.inflight.Add(1)
+		var fatal error
+		switch f.Type {
+		case wire.TypeSubmitBatch:
+			jobs, err = wire.DecodeSubmitBatch(f.Payload, jobs)
+			if err != nil {
+				fatal = err
+				break
+			}
+			reqs = reqs[:0]
+			for i := range jobs {
+				reqs = append(reqs, SubmitRequest{
+					User:     int(jobs[i].User),
+					App:      int(jobs[i].App),
+					Nodes:    int(jobs[i].Nodes),
+					ReqMemMB: jobs[i].ReqMemMB,
+					ReqTimeS: jobs[i].ReqTimeS,
+				})
+			}
+			out = resizeOutcomes(out, len(reqs))
+			ws.srv.submitJobs(reqs, out)
+			results = appendWireResults(results[:0], out, nil)
+			fatal = writeFrame(bw, enc.Results(version, wire.TypeSubmitResult, results))
+		case wire.TypeCompleteBatch:
+			comps, err = wire.DecodeCompleteBatch(f.Payload, comps)
+			if err != nil {
+				fatal = err
+				break
+			}
+			items = items[:0]
+			for i := range comps {
+				items = append(items, CompletionItem{
+					ID:        comps[i].ID,
+					Success:   comps[i].Success,
+					UsedMemMB: comps[i].UsedMemMB,
+				})
+			}
+			out = resizeOutcomes(out, len(items))
+			ws.srv.completeJobs(items, out)
+			results = appendWireResults(results[:0], out, items)
+			fatal = writeFrame(bw, enc.Results(version, wire.TypeCompleteResult, results))
+		default:
+			fatal = fmt.Errorf("wire: unexpected frame type %d", f.Type)
+		}
+		ws.srv.inflight.Add(-1)
+		if fatal != nil {
+			_ = writeFrame(bw, enc.Error(version, fatal.Error()))
+			return
+		}
+	}
+}
+
+// handshake performs the Hello exchange; on failure it answers with an
+// Error frame and reports !ok.
+func (ws *WireServer) handshake(fr *wire.Reader, bw *bufio.Writer, enc *wire.Encoder) (uint8, bool) {
+	f, err := fr.ReadFrame()
+	if err != nil {
+		return 0, false
+	}
+	if f.Type != wire.TypeHello {
+		_ = writeFrame(bw, enc.Error(wire.VersionMin, "wire: expected Hello frame"))
+		return 0, false
+	}
+	h, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		_ = writeFrame(bw, enc.Error(wire.VersionMin, err.Error()))
+		return 0, false
+	}
+	version, err := wire.Negotiate(h)
+	if err != nil {
+		_ = writeFrame(bw, enc.Error(wire.VersionMin, err.Error()))
+		return 0, false
+	}
+	if err := writeFrame(bw, enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, version)); err != nil {
+		return 0, false
+	}
+	return version, true
+}
+
+// resizeOutcomes grows (never shrinks capacity of) the scratch outcome
+// slice to exactly n cleared entries.
+func resizeOutcomes(out []batchOutcome, n int) []batchOutcome {
+	if cap(out) < n {
+		return make([]batchOutcome, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = batchOutcome{}
+	}
+	return out
+}
+
+// appendWireResults renders protocol-independent outcomes as wire
+// results. For completion errors the reported id is echoed from items
+// (submit errors have no id).
+func appendWireResults(dst []wire.Result, out []batchOutcome, items []CompletionItem) []wire.Result {
+	for i := range out {
+		r := wire.Result{}
+		if out[i].ok {
+			r.ID = out[i].view.ID
+			r.State = wire.StateByte(string(out[i].view.State))
+		} else {
+			r.Err = out[i].errMsg
+			if items != nil {
+				r.ID = items[i].ID
+			}
+		}
+		dst = append(dst, r)
+	}
+	return dst
+}

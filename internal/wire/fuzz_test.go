@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the frame reader and the
+// payload decoders. The invariant under fuzzing is the codec's safety
+// contract: every input either decodes cleanly or returns an error —
+// no panics, no huge allocations from hostile counts, and a valid
+// decode never yields more than MaxItems items (a partial job cannot
+// escape: items materialize only after the whole frame passed CRC).
+func FuzzReadFrame(f *testing.F) {
+	var e Encoder
+	f.Add(append([]byte(nil), e.SubmitBatch(1, []Job{{User: 1, App: 2, Nodes: 3, ReqMemMB: 64, ReqTimeS: 60}})...))
+	f.Add(append([]byte(nil), e.CompleteBatch(1, []Completion{{ID: 9, Success: true, UsedMemMB: 12}})...))
+	f.Add(append([]byte(nil), e.Results(1, TypeSubmitResult, []Result{{ID: 1, State: StateRunning, Err: "x"}})...))
+	f.Add(append([]byte(nil), e.Hello(Hello{Min: 1, Max: 1}, 1)...))
+	f.Add(append([]byte(nil), e.Error(1, "boom")...))
+	f.Add([]byte("SWPF"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewReader(bytes.NewReader(data))
+		for {
+			frame, err := fr.ReadFrame()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) &&
+					!errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadCRC) &&
+					!errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrReserved) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			// A CRC-valid frame: every payload decoder must stay within
+			// its contract regardless of the frame's declared type.
+			if jobs, err := DecodeSubmitBatch(frame.Payload, nil); err == nil && len(jobs) > MaxItems {
+				t.Fatalf("decoded %d jobs > MaxItems", len(jobs))
+			}
+			if comps, err := DecodeCompleteBatch(frame.Payload, nil); err == nil && len(comps) > MaxItems {
+				t.Fatalf("decoded %d completions > MaxItems", len(comps))
+			}
+			if res, err := DecodeResults(frame.Payload, nil); err == nil && len(res) > MaxItems {
+				t.Fatalf("decoded %d results > MaxItems", len(res))
+			}
+			_, _ = DecodeHello(frame.Payload)
+			_ = DecodeError(frame.Payload)
+		}
+	})
+}
+
+// FuzzRoundTrip checks encode→decode identity for structurally valid
+// inputs derived from the fuzz data.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1), int32(2), int32(3), 64.0, true)
+	f.Fuzz(func(t *testing.T, id int64, user int32, nodes int32, mem float64, success bool) {
+		var e Encoder
+		jobs := []Job{{User: user, App: user + 1, Nodes: nodes, ReqMemMB: mem, ReqTimeS: mem * 2}}
+		frame := e.SubmitBatch(1, jobs)
+		fr := NewReader(bytes.NewReader(frame))
+		fm, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame on own encoding: %v", err)
+		}
+		got, err := DecodeSubmitBatch(fm.Payload, nil)
+		if err != nil {
+			t.Fatalf("DecodeSubmitBatch on own encoding: %v", err)
+		}
+		if len(got) != 1 || got[0] != jobs[0] {
+			// NaN never compares equal; skip that case explicitly.
+			if mem == mem {
+				t.Fatalf("round trip: %+v != %+v", got, jobs)
+			}
+		}
+
+		comps := []Completion{{ID: id, Success: success, UsedMemMB: mem}}
+		cf, err := NewReader(bytes.NewReader(e.CompleteBatch(1, comps))).ReadFrame()
+		if err != nil {
+			t.Fatalf("completion ReadFrame: %v", err)
+		}
+		cgot, err := DecodeCompleteBatch(cf.Payload, nil)
+		if err != nil {
+			t.Fatalf("completion decode: %v", err)
+		}
+		if mem == mem && (len(cgot) != 1 || cgot[0] != comps[0]) {
+			t.Fatalf("completion round trip: %+v != %+v", cgot, comps)
+		}
+	})
+}

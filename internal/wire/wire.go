@@ -1,0 +1,512 @@
+// Package wire implements swp, the scheduler's length-prefixed,
+// versioned, CRC-framed binary batch protocol for submit/complete over
+// persistent TCP connections — the serving-tier analogue of the .swfb
+// trace codec (internal/trace/binary.go), built for the opposite
+// access pattern: many small frames on a long-lived stream instead of
+// one large self-contained file.
+//
+// # Frame layout
+//
+// Every frame is a 16-byte little-endian header followed by a payload:
+//
+//	offset  size  field
+//	0       4     magic "SWPF"
+//	4       1     protocol version (negotiated by Hello)
+//	5       1     frame type
+//	6       2     reserved, must be zero
+//	8       4     payload length (bytes)
+//	12      4     CRC-32C (Castagnoli) of the payload
+//	16      …     payload
+//
+// A torn frame (short read), bad magic, bad CRC, oversized payload or
+// unknown version yields a decode error and never a partial batch: the
+// unit of delivery is the whole frame, validated before any item is
+// decoded.
+//
+// # Version negotiation
+//
+// The client opens with a Hello frame carrying the [min, max] protocol
+// versions it speaks; the header's version byte of a Hello is the
+// lowest it supports. The server answers with its own Hello whose
+// header version is the chosen version — the highest version inside
+// both ranges — or with an Error frame if the ranges are disjoint
+// (version skew), after which it closes the connection. Every later
+// frame on the connection must carry the chosen version.
+//
+// # Payloads
+//
+// Item payloads are fixed-width little-endian records after a uint32
+// count: jobs are 28 bytes (user, app, nodes as int32; requested
+// memory and time as float64 bits), completions 17 bytes (id int64,
+// success byte, used-memory float64 bits). Results are
+// variable-width: id int64, state byte, error length uint16, error
+// bytes. Batches are capped at MaxItems, matching the HTTP batch
+// endpoints.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	// Magic starts every frame.
+	Magic = "SWPF"
+	// VersionMin..VersionMax is the version range this implementation
+	// speaks. Version 1 is the initial protocol.
+	VersionMin = 1
+	VersionMax = 1
+	// MaxItems bounds the records in one batch frame, mirroring the
+	// HTTP endpoints' maxBatchItems.
+	MaxItems = 4096
+	// headerLen is the fixed frame-header size.
+	headerLen = 16
+	// maxPayload bounds one frame's payload: the largest legal batch
+	// plus headroom for result strings.
+	maxPayload = 1 << 20
+)
+
+// FrameType discriminates frame payloads.
+type FrameType uint8
+
+// Frame types.
+const (
+	TypeHello          FrameType = 1 // version negotiation, both directions
+	TypeSubmitBatch    FrameType = 2 // client → server: submit jobs
+	TypeSubmitResult   FrameType = 3 // server → client: per-job results
+	TypeCompleteBatch  FrameType = 4 // client → server: report completions
+	TypeCompleteResult FrameType = 5 // server → client: per-completion results
+	TypeError          FrameType = 6 // server → client: fatal protocol error, then close
+)
+
+// Job state bytes carried in Result records. They mirror the server's
+// JobState strings; StateString/StateByte convert.
+const (
+	StateUnknown  byte = 0
+	StateQueued   byte = 1
+	StateRunning  byte = 2
+	StateDone     byte = 3
+	StateFailed   byte = 4
+	StateRejected byte = 5
+)
+
+var stateNames = [...]string{
+	StateUnknown:  "",
+	StateQueued:   "queued",
+	StateRunning:  "running",
+	StateDone:     "done",
+	StateFailed:   "failed",
+	StateRejected: "rejected",
+}
+
+// StateString names a state byte ("" for unknown).
+func StateString(b byte) string {
+	if int(b) < len(stateNames) {
+		return stateNames[b]
+	}
+	return ""
+}
+
+// StateByte is the inverse of StateString (StateUnknown for
+// unrecognized names).
+func StateByte(s string) byte {
+	for b, name := range stateNames {
+		if name == s && name != "" {
+			return byte(b)
+		}
+	}
+	return StateUnknown
+}
+
+// Decode errors. All of them poison the connection: the stream cannot
+// be resynchronized after a framing fault.
+var (
+	ErrBadMagic  = errors.New("wire: bad frame magic")
+	ErrBadCRC    = errors.New("wire: frame CRC mismatch")
+	ErrTooLarge  = errors.New("wire: frame payload exceeds limit")
+	ErrReserved  = errors.New("wire: reserved header bytes not zero")
+	ErrTruncated = fmt.Errorf("wire: truncated frame: %w", io.ErrUnexpectedEOF)
+	// ErrVersionSkew is the negotiation failure: no common version.
+	ErrVersionSkew = errors.New("wire: no protocol version in common")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Job is one submission record (the wire form of server.SubmitRequest).
+type Job struct {
+	User     int32
+	App      int32
+	Nodes    int32
+	ReqMemMB float64
+	ReqTimeS float64
+}
+
+// Completion is one completion report (the wire form of
+// server.CompletionItem).
+type Completion struct {
+	ID        int64
+	Success   bool
+	UsedMemMB float64
+}
+
+// Result is one per-item outcome: the job's id and state on success,
+// or a non-empty Err. For submit results the id is the assigned job
+// id; for completions it echoes the reported id.
+type Result struct {
+	ID    int64
+	State byte
+	Err   string
+}
+
+const (
+	jobRecLen        = 4 + 4 + 4 + 8 + 8 // 28
+	completionRecLen = 8 + 1 + 8         // 17
+	resultFixedLen   = 8 + 1 + 2         // + len(Err)
+)
+
+// Hello is the negotiation payload.
+type Hello struct {
+	Min uint8
+	Max uint8
+}
+
+// Negotiate picks the version a server speaking [VersionMin,
+// VersionMax] uses with a client offering h, or ErrVersionSkew.
+func Negotiate(h Hello) (uint8, error) {
+	lo, hi := uint8(VersionMin), uint8(VersionMax)
+	if h.Min > lo {
+		lo = h.Min
+	}
+	if h.Max < hi {
+		hi = h.Max
+	}
+	if lo > hi {
+		return 0, fmt.Errorf("%w: peer speaks [%d,%d], we speak [%d,%d]",
+			ErrVersionSkew, h.Min, h.Max, VersionMin, VersionMax)
+	}
+	return hi, nil
+}
+
+// An Encoder builds frames into a reusable buffer. The returned slices
+// alias the buffer and are valid until the next Encode call; callers
+// that need the bytes longer must copy (or own the Encoder, as pooled
+// connections do).
+type Encoder struct {
+	buf []byte
+}
+
+// beginFrame reserves the header and returns the payload start offset.
+func (e *Encoder) beginFrame(version uint8, t FrameType) int {
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, Magic...)
+	e.buf = append(e.buf, version, byte(t), 0, 0)
+	e.buf = append(e.buf, 0, 0, 0, 0, 0, 0, 0, 0) // paylen + crc, patched
+	return headerLen
+}
+
+// endFrame patches the payload length and CRC and returns the frame.
+func (e *Encoder) endFrame(start int) []byte {
+	payload := e.buf[start:]
+	binary.LittleEndian.PutUint32(e.buf[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(e.buf[12:16], crc32.Checksum(payload, castagnoli))
+	return e.buf
+}
+
+// Hello encodes a negotiation frame. The header carries the lowest
+// supported version so pre-negotiation peers can parse it.
+func (e *Encoder) Hello(h Hello, headerVersion uint8) []byte {
+	start := e.beginFrame(headerVersion, TypeHello)
+	e.buf = append(e.buf, h.Min, h.Max)
+	return e.endFrame(start)
+}
+
+// SubmitBatch encodes a job batch.
+func (e *Encoder) SubmitBatch(version uint8, jobs []Job) []byte {
+	start := e.beginFrame(version, TypeSubmitBatch)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(jobs)))
+	for i := range jobs {
+		j := &jobs[i]
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(j.User))
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(j.App))
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(j.Nodes))
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(j.ReqMemMB))
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(j.ReqTimeS))
+	}
+	return e.endFrame(start)
+}
+
+// CompleteBatch encodes a completion batch.
+func (e *Encoder) CompleteBatch(version uint8, comps []Completion) []byte {
+	start := e.beginFrame(version, TypeCompleteBatch)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(comps)))
+	for i := range comps {
+		c := &comps[i]
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(c.ID))
+		if c.Success {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(c.UsedMemMB))
+	}
+	return e.endFrame(start)
+}
+
+// Results encodes a result batch as frame type t (TypeSubmitResult or
+// TypeCompleteResult).
+func (e *Encoder) Results(version uint8, t FrameType, results []Result) []byte {
+	start := e.beginFrame(version, t)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(results)))
+	for i := range results {
+		r := &results[i]
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(r.ID))
+		e.buf = append(e.buf, r.State)
+		msg := r.Err
+		if len(msg) > 1<<16-1 {
+			msg = msg[:1<<16-1]
+		}
+		e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(len(msg)))
+		e.buf = append(e.buf, msg...)
+	}
+	return e.endFrame(start)
+}
+
+// Error encodes a fatal protocol-error frame.
+func (e *Encoder) Error(version uint8, msg string) []byte {
+	start := e.beginFrame(version, TypeError)
+	if len(msg) > 1<<16-1 {
+		msg = msg[:1<<16-1]
+	}
+	e.buf = append(e.buf, msg...)
+	return e.endFrame(start)
+}
+
+// Frame is one validated frame: header fields plus the CRC-checked
+// payload. Payload aliases the Reader's internal buffer and is valid
+// until the next ReadFrame.
+type Frame struct {
+	Version uint8
+	Type    FrameType
+	Payload []byte
+}
+
+// Reader decodes frames from a stream, reusing one payload buffer so
+// steady-state reads are alloc-free.
+type Reader struct {
+	r       io.Reader
+	hdr     [headerLen]byte
+	payload []byte
+}
+
+// NewReader wraps a stream. The caller should hand it a buffered
+// reader for small-frame workloads.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadFrame reads and validates the next frame. io.EOF is returned
+// only at a clean frame boundary; a header or payload torn mid-read is
+// ErrTruncated.
+func (fr *Reader) ReadFrame() (Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, ErrTruncated
+	}
+	if string(fr.hdr[0:4]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if fr.hdr[6] != 0 || fr.hdr[7] != 0 {
+		return Frame{}, ErrReserved
+	}
+	paylen := binary.LittleEndian.Uint32(fr.hdr[8:12])
+	if paylen > maxPayload {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, paylen)
+	}
+	if cap(fr.payload) < int(paylen) {
+		fr.payload = make([]byte, paylen)
+	}
+	fr.payload = fr.payload[:paylen]
+	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
+		return Frame{}, ErrTruncated
+	}
+	want := binary.LittleEndian.Uint32(fr.hdr[12:16])
+	if crc32.Checksum(fr.payload, castagnoli) != want {
+		return Frame{}, ErrBadCRC
+	}
+	return Frame{
+		Version: fr.hdr[4],
+		Type:    FrameType(fr.hdr[5]),
+		Payload: fr.payload,
+	}, nil
+}
+
+// payloadDecoder walks a payload with a latched error, the binDecoder
+// idiom from the .swfb codec.
+type payloadDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *payloadDecoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *payloadDecoder) u8() byte {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *payloadDecoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *payloadDecoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *payloadDecoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *payloadDecoder) str(n int) string {
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	v := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return v
+}
+
+// finish asserts the payload was consumed exactly.
+func (d *payloadDecoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wire: %d trailing payload bytes", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// itemCount validates a batch count against the item size and the
+// remaining payload, so a hostile count cannot cause a huge
+// allocation.
+func (d *payloadDecoder) itemCount(recLen int) int {
+	n := d.u32()
+	if d.err != nil {
+		return 0
+	}
+	if n > MaxItems {
+		d.err = fmt.Errorf("%w: %d items", ErrTooLarge, n)
+		return 0
+	}
+	if int(n) > (len(d.buf)-d.off)/recLen {
+		d.err = ErrTruncated
+		return 0
+	}
+	return int(n)
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	d := payloadDecoder{buf: p}
+	h := Hello{Min: d.u8(), Max: d.u8()}
+	if err := d.finish(); err != nil {
+		return Hello{}, err
+	}
+	if h.Min > h.Max {
+		return Hello{}, fmt.Errorf("wire: inverted hello range [%d,%d]", h.Min, h.Max)
+	}
+	return h, nil
+}
+
+// DecodeSubmitBatch parses a job batch into dst (reused; returned
+// re-sliced).
+func DecodeSubmitBatch(p []byte, dst []Job) ([]Job, error) {
+	d := payloadDecoder{buf: p}
+	n := d.itemCount(jobRecLen)
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, Job{
+			User:     int32(d.u32()),
+			App:      int32(d.u32()),
+			Nodes:    int32(d.u32()),
+			ReqMemMB: math.Float64frombits(d.u64()),
+			ReqTimeS: math.Float64frombits(d.u64()),
+		})
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// DecodeCompleteBatch parses a completion batch into dst.
+func DecodeCompleteBatch(p []byte, dst []Completion) ([]Completion, error) {
+	d := payloadDecoder{buf: p}
+	n := d.itemCount(completionRecLen)
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, Completion{
+			ID:        int64(d.u64()),
+			Success:   d.u8() != 0,
+			UsedMemMB: math.Float64frombits(d.u64()),
+		})
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// DecodeResults parses a result batch into dst.
+func DecodeResults(p []byte, dst []Result) ([]Result, error) {
+	d := payloadDecoder{buf: p}
+	n := d.itemCount(resultFixedLen)
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		r := Result{ID: int64(d.u64()), State: d.u8()}
+		r.Err = d.str(int(d.u16()))
+		dst = append(dst, r)
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// DecodeError parses an Error payload (the whole payload is the
+// message).
+func DecodeError(p []byte) string { return string(p) }

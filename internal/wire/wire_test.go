@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func readOne(t *testing.T, frame []byte) Frame {
+	t.Helper()
+	fr := NewReader(bytes.NewReader(frame))
+	f, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return f
+}
+
+func TestSubmitBatchRoundTrip(t *testing.T) {
+	jobs := []Job{
+		{User: 7, App: 3, Nodes: 16, ReqMemMB: 128.5, ReqTimeS: 3600},
+		{User: -1, App: 0, Nodes: 1, ReqMemMB: 0.25, ReqTimeS: 0},
+	}
+	var e Encoder
+	f := readOne(t, e.SubmitBatch(1, jobs))
+	if f.Version != 1 || f.Type != TypeSubmitBatch {
+		t.Fatalf("header = v%d type %d", f.Version, f.Type)
+	}
+	got, err := DecodeSubmitBatch(f.Payload, nil)
+	if err != nil {
+		t.Fatalf("DecodeSubmitBatch: %v", err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("decoded %d jobs, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		if got[i] != jobs[i] {
+			t.Fatalf("job %d: %+v != %+v", i, got[i], jobs[i])
+		}
+	}
+}
+
+func TestCompleteBatchRoundTrip(t *testing.T) {
+	comps := []Completion{
+		{ID: 1, Success: true, UsedMemMB: 17.25},
+		{ID: 1 << 40, Success: false},
+	}
+	var e Encoder
+	f := readOne(t, e.CompleteBatch(1, comps))
+	got, err := DecodeCompleteBatch(f.Payload, nil)
+	if err != nil {
+		t.Fatalf("DecodeCompleteBatch: %v", err)
+	}
+	for i := range comps {
+		if got[i] != comps[i] {
+			t.Fatalf("completion %d: %+v != %+v", i, got[i], comps[i])
+		}
+	}
+}
+
+func TestResultsRoundTrip(t *testing.T) {
+	res := []Result{
+		{ID: 42, State: StateRunning},
+		{ID: 0, State: StateUnknown, Err: "nodes and req_mem_mb must be positive"},
+		{ID: 43, State: StateRejected, Err: ""},
+	}
+	var e Encoder
+	f := readOne(t, e.Results(1, TypeSubmitResult, res))
+	if f.Type != TypeSubmitResult {
+		t.Fatalf("type = %d", f.Type)
+	}
+	got, err := DecodeResults(f.Payload, nil)
+	if err != nil {
+		t.Fatalf("DecodeResults: %v", err)
+	}
+	for i := range res {
+		if got[i] != res[i] {
+			t.Fatalf("result %d: %+v != %+v", i, got[i], res[i])
+		}
+	}
+}
+
+func TestHelloNegotiation(t *testing.T) {
+	var e Encoder
+	f := readOne(t, e.Hello(Hello{Min: 1, Max: 3}, 1))
+	h, err := DecodeHello(f.Payload)
+	if err != nil {
+		t.Fatalf("DecodeHello: %v", err)
+	}
+	v, err := Negotiate(h)
+	if err != nil || v != VersionMax {
+		t.Fatalf("Negotiate = %d, %v; want %d, nil", v, err, VersionMax)
+	}
+	if _, err := Negotiate(Hello{Min: VersionMax + 1, Max: VersionMax + 5}); !errors.Is(err, ErrVersionSkew) {
+		t.Fatalf("future-only client: err = %v, want ErrVersionSkew", err)
+	}
+	if _, err := DecodeHello([]byte{3, 1}); err == nil {
+		t.Fatal("inverted hello range decoded without error")
+	}
+}
+
+func TestReaderRejectsCorruption(t *testing.T) {
+	var e Encoder
+	frame := append([]byte(nil), e.SubmitBatch(1, []Job{{User: 1, App: 1, Nodes: 2, ReqMemMB: 64}})...)
+
+	flip := append([]byte(nil), frame...)
+	flip[len(flip)-1] ^= 0x40
+	if _, err := NewReader(bytes.NewReader(flip)).ReadFrame(); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("payload bit flip: err = %v, want ErrBadCRC", err)
+	}
+
+	magic := append([]byte(nil), frame...)
+	magic[0] = 'X'
+	if _, err := NewReader(bytes.NewReader(magic)).ReadFrame(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+
+	reserved := append([]byte(nil), frame...)
+	reserved[6] = 1
+	if _, err := NewReader(bytes.NewReader(reserved)).ReadFrame(); !errors.Is(err, ErrReserved) {
+		t.Fatalf("reserved byte: err = %v, want ErrReserved", err)
+	}
+
+	huge := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(huge[8:12], maxPayload+1)
+	if _, err := NewReader(bytes.NewReader(huge)).ReadFrame(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized paylen: err = %v, want ErrTooLarge", err)
+	}
+
+	// Torn at every byte boundary: header torn, payload torn — always
+	// ErrTruncated (never a partial decode), except length 0 which is a
+	// clean EOF.
+	for cut := 0; cut < len(frame); cut++ {
+		_, err := NewReader(bytes.NewReader(frame[:cut])).ReadFrame()
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut 0: err = %v, want io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDecodeRejectsBadCounts(t *testing.T) {
+	// A count claiming more items than the payload holds must fail
+	// before allocating: craft count=MaxItems with a one-job payload.
+	var e Encoder
+	frame := append([]byte(nil), e.SubmitBatch(1, []Job{{Nodes: 1, ReqMemMB: 1}})...)
+	f := readOne(t, frame)
+	p := append([]byte(nil), f.Payload...)
+	binary.LittleEndian.PutUint32(p[0:4], MaxItems)
+	if _, err := DecodeSubmitBatch(p, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short payload for count: err = %v, want ErrTruncated", err)
+	}
+	binary.LittleEndian.PutUint32(p[0:4], MaxItems+1)
+	if _, err := DecodeSubmitBatch(p, nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("count over MaxItems: err = %v, want ErrTooLarge", err)
+	}
+	// Trailing garbage after the declared items is also an error.
+	trail := append(append([]byte(nil), f.Payload...), 0xFF)
+	if _, err := DecodeSubmitBatch(trail, nil); err == nil {
+		t.Fatal("trailing bytes decoded without error")
+	}
+}
+
+func TestReaderReusesBuffers(t *testing.T) {
+	// Two frames on one stream: the second decode must reuse the payload
+	// buffer (no per-frame allocation at steady state).
+	var e Encoder
+	var stream bytes.Buffer
+	stream.Write(e.SubmitBatch(1, []Job{{Nodes: 1, ReqMemMB: 64}}))
+	stream.Write(e.SubmitBatch(1, []Job{{Nodes: 2, ReqMemMB: 32}}))
+	fr := NewReader(&stream)
+	f1, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatalf("frame 1: %v", err)
+	}
+	p1 := &f1.Payload[0]
+	f2, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatalf("frame 2: %v", err)
+	}
+	if &f2.Payload[0] != p1 {
+		t.Fatal("payload buffer was reallocated between equal-size frames")
+	}
+	jobs, err := DecodeSubmitBatch(f2.Payload, nil)
+	if err != nil || jobs[0].Nodes != 2 {
+		t.Fatalf("frame 2 decode: %v %+v", err, jobs)
+	}
+}
+
+func TestStateMapping(t *testing.T) {
+	for _, b := range []byte{StateQueued, StateRunning, StateDone, StateFailed, StateRejected} {
+		if got := StateByte(StateString(b)); got != b {
+			t.Fatalf("state %d round-trips to %d", b, got)
+		}
+	}
+	if StateString(99) != "" || StateByte("bogus") != StateUnknown {
+		t.Fatal("unknown states must map to zero values")
+	}
+}
