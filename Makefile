@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race chaos verify bench bench3 bench4 bench7 clean
+.PHONY: build test lint race chaos verify bench bench3 bench4 bench7 bench8 clean
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ race:
 CHAOS_PKGS = ./internal/wal/... ./internal/faultinject/... ./internal/server ./cmd/schedd ./cmd/loadgen
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Crash|Torn|Chaos|Fault|Recover|Rotate|Halt|Degrade|Drain|Healthz|Retry|DiskFull|BitFlip|Wire' \
+		-run 'Crash|Torn|Chaos|Fault|Recover|Rotate|Halt|Degrade|Drain|Healthz|Retry|DiskFull|BitFlip|Wire|Group' \
 		$(CHAOS_PKGS)
 	$(GO) test -run '^$$' -fuzz FuzzScanRecords -fuzztime 10s ./internal/wal/
 
@@ -83,6 +83,23 @@ bench7:
 	$(GO) run ./cmd/benchjson -as current -out BENCH_7.json -merge \
 		-pkg ./internal/server -bench WireSubmitComplete -benchtime 1s -count 3 \
 		-note "$(BENCH7_NOTE)"
+
+# Record the durable-serving pair into BENCH_8.json: the baseline
+# section is the per-completion-fsync path (wal=record, the only
+# durability PR 5's daemon offered) and the current section is the
+# group-commit pipeline (wal=group), both measured over a real journal
+# on the test tempdir so every number pays actual fsyncs. Unlike the
+# other BENCH files, both sections are recorded by this one target —
+# the two modes coexist in the same tree and the comparison is the
+# point of the pipeline.
+BENCH8_NOTE = median of 3 x 1s runs; real fsync on tempdir; GOMAXPROCS pinned per sub-benchmark; see EXPERIMENTS.md §BENCH_8
+bench8:
+	$(GO) run ./cmd/benchjson -as baseline -out BENCH_8.json \
+		-pkg ./internal/server -bench 'DurableSubmitComplete/wal=record' -benchtime 1s -count 3 \
+		-note "$(BENCH8_NOTE)"
+	$(GO) run ./cmd/benchjson -as current -out BENCH_8.json \
+		-pkg ./internal/server -bench 'DurableSubmitComplete/wal=group' -benchtime 1s -count 3 \
+		-note "$(BENCH8_NOTE)"
 
 # Record the trace-pipeline benchmarks (SWF parser allocations, memoized
 # workload reuse, sweep data-pipeline latency) into the "current" section

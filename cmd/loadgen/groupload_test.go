@@ -1,0 +1,153 @@
+// Tests for the completion-batching knob and the WAL fsync-pressure
+// scrape — the loadgen side of the group-commit pipeline.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/server"
+	"overprov/internal/units"
+	"overprov/internal/wal"
+)
+
+// TestCompleteBatchChunking: with -complete-batch smaller than -batch,
+// every complete:batch request must carry at most that many items, and
+// every started job must still be completed exactly once.
+func TestCompleteBatchChunking(t *testing.T) {
+	_, srv := testDaemon(t)
+	inner := srv.Handler()
+	var mu sync.Mutex
+	var sizes []int
+	// Observe completion request sizes on the way into the real handler.
+	obs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/complete:batch" {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			var req struct {
+				Completions []json.RawMessage `json:"completions"`
+			}
+			if json.Unmarshal(body, &req) == nil {
+				mu.Lock()
+				sizes = append(sizes, len(req.Completions))
+				mu.Unlock()
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer obs.Close()
+
+	cfg := testConfig(obs.URL, 12)
+	cfg.CompleteBatch = 4
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HTTPErrors != 0 || rep.Completed == 0 {
+		t.Fatalf("errors=%d completed=%d\n%s", rep.HTTPErrors, rep.Completed, rep)
+	}
+	if rep.CompleteBatch != 4 {
+		t.Fatalf("report complete-batch = %d, want 4", rep.CompleteBatch)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) == 0 {
+		t.Fatal("no complete:batch requests observed")
+	}
+	for _, n := range sizes {
+		if n < 1 || n > 4 {
+			t.Fatalf("complete:batch carried %d items, want 1..4 (sizes %v)", n, sizes)
+		}
+	}
+	if m := srv.Metrics(); m.FeedbackEvents != uint64(rep.Completed) {
+		t.Errorf("daemon saw %d feedback events, generator delivered %d", m.FeedbackEvents, rep.Completed)
+	}
+}
+
+// TestCompleteBatchFollowsBatch: the default (0) follows -batch, and
+// validate rejects a negative value.
+func TestCompleteBatchFollowsBatch(t *testing.T) {
+	cfg := testConfig("http://x", 8)
+	if got := cfg.completeBatchSize(); got != 8 {
+		t.Fatalf("completeBatchSize() = %d, want 8 (follow -batch)", got)
+	}
+	cfg.CompleteBatch = 3
+	if got := cfg.completeBatchSize(); got != 3 {
+		t.Fatalf("completeBatchSize() = %d, want 3", got)
+	}
+	cfg.CompleteBatch = -1
+	if err := cfg.validate(); err == nil {
+		t.Fatal("negative -complete-batch must be rejected")
+	}
+}
+
+// TestWALPressureScrape: with -metrics-addr set the report carries the
+// run's WAL record and fsync deltas from the daemon's metrics endpoint
+// — against a real group-commit WAL the fsync count stays below the
+// record count for batched completions.
+func TestWALPressureScrape(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Spec{Nodes: 1 << 16, Mem: units.MemSize(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{Alpha: 2, Round: cl}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Cluster: cl, Estimator: est, Journal: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// The metrics endpoint lives on schedd's debug listener; stand one up
+	// the same way.
+	debug := httptest.NewServer(srv.MetricsHandler())
+	defer debug.Close()
+
+	cfg := testConfig(ts.URL, 16)
+	cfg.Duration = 300 * time.Millisecond
+	cfg.MetricsAddr = debug.URL
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasWAL {
+		t.Fatal("report has no WAL stats despite -metrics-addr")
+	}
+	if rep.WALRecords != uint64(rep.Completed) {
+		t.Fatalf("wal records %d, completed %d — every completion journals exactly once",
+			rep.WALRecords, rep.Completed)
+	}
+	if rep.WALRecords > 0 && rep.WALSyncs >= rep.WALRecords {
+		t.Fatalf("fsyncs %d >= records %d: batched completions must share fsyncs",
+			rep.WALSyncs, rep.WALRecords)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "wal records") || !strings.Contains(out, "fsyncs/record") {
+		t.Fatalf("report does not print fsync pressure:\n%s", out)
+	}
+}

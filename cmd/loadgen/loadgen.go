@@ -21,16 +21,27 @@ type config struct {
 	// Proto selects the daemon protocol: "http" (the JSON API; Addr is
 	// a base URL) or "wire" (the swp binary batch protocol over a
 	// persistent TCP connection per client; Addr is host:port).
-	Proto     string
-	Clients   int
-	Duration  time.Duration
-	Batch     int
-	Users     int
-	Apps      int
-	Nodes     int
-	MemMB     float64
-	ReqTimeS  float64
-	FailEvery int
+	Proto    string
+	Clients  int
+	Duration time.Duration
+	Batch    int
+	// CompleteBatch sizes completion windows independently of Batch:
+	// how many completion reports ride one complete:batch request (or
+	// one wire frame). 0 follows Batch. With the daemon's WAL in group
+	// commit, this is the lever that sets the append-group size — the
+	// fsync-pressure numbers below measure its effect.
+	CompleteBatch int
+	// MetricsAddr is the daemon's debug listener base URL (schedd
+	// -debug-addr). When set, the generator scrapes /api/v1/metrics
+	// before and after the run and reports the WAL's fsync pressure —
+	// journal fsyncs per completed job — alongside throughput.
+	MetricsAddr string
+	Users       int
+	Apps        int
+	Nodes       int
+	MemMB       float64
+	ReqTimeS    float64
+	FailEvery   int
 	// Retries bounds per-request retry attempts for transient failures:
 	// a restarting or draining daemon looks exactly like this, and a
 	// closed-loop generator that counts those as hard errors cannot
@@ -68,6 +79,8 @@ func (c config) validate() error {
 		return fmt.Errorf("-duration must be positive")
 	case c.Batch <= 0:
 		return fmt.Errorf("-batch must be positive")
+	case c.CompleteBatch < 0:
+		return fmt.Errorf("-complete-batch must be >= 0 (0 follows -batch)")
 	case c.Users <= 0 || c.Apps <= 0:
 		return fmt.Errorf("-users and -apps must be positive")
 	case c.FailEvery < 0:
@@ -82,19 +95,35 @@ func (c config) validate() error {
 	return nil
 }
 
+// completeBatchSize resolves the effective completion window size.
+func (c config) completeBatchSize() int {
+	if c.CompleteBatch > 0 {
+		return c.CompleteBatch
+	}
+	return c.Batch
+}
+
 // report aggregates all clients' measurements.
 type report struct {
-	Proto      string
-	Clients    int
-	Batch      int
-	Elapsed    time.Duration
-	Submitted  int           // jobs accepted by the daemon
-	Started    int           // of those, dispatched immediately
-	Completed  int           // completion reports delivered
-	Rejected   int           // per-item submit errors (e.g. unsatisfiable)
-	HTTPErrors int           // requests that failed after exhausting retries
-	Retries    int           // transient failures absorbed by backoff + retry
-	Latencies  latencySample // one sample per HTTP request attempt
+	Proto         string
+	Clients       int
+	Batch         int
+	CompleteBatch int
+	Elapsed       time.Duration
+	Submitted     int           // jobs accepted by the daemon
+	Started       int           // of those, dispatched immediately
+	Completed     int           // completion reports delivered
+	Rejected      int           // per-item submit errors (e.g. unsatisfiable)
+	HTTPErrors    int           // requests that failed after exhausting retries
+	Retries       int           // transient failures absorbed by backoff + retry
+	Latencies     latencySample // one sample per HTTP request attempt
+
+	// WAL fsync pressure over the run, scraped from the daemon's
+	// metrics endpoint when MetricsAddr is set (HasWAL). Deltas, so a
+	// warm daemon reports only this run's records and fsyncs.
+	HasWAL     bool
+	WALRecords uint64
+	WALSyncs   uint64
 }
 
 // latencySample holds per-request wall-clock latencies.
@@ -111,14 +140,47 @@ func (l latencySample) percentile(p float64) time.Duration {
 func (r report) String() string {
 	var b strings.Builder
 	perSec := float64(r.Completed) / r.Elapsed.Seconds()
-	fmt.Fprintf(&b, "proto %s  clients %d  batch %d  elapsed %v\n", r.Proto, r.Clients, r.Batch, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "proto %s  clients %d  batch %d  complete-batch %d  elapsed %v\n",
+		r.Proto, r.Clients, r.Batch, r.CompleteBatch, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "submitted %d (started %d, rejected %d)  completed %d  request errors %d  retries %d\n",
 		r.Submitted, r.Started, r.Rejected, r.Completed, r.HTTPErrors, r.Retries)
 	fmt.Fprintf(&b, "throughput %.0f jobs/s over %d requests\n", perSec, len(r.Latencies))
 	fmt.Fprintf(&b, "%s request latency p50 %v  p95 %v  p99 %v  max %v\n", r.Proto,
 		r.Latencies.percentile(0.50), r.Latencies.percentile(0.95),
 		r.Latencies.percentile(0.99), r.Latencies.percentile(1))
+	if r.HasWAL {
+		pressure := 0.0
+		if r.WALRecords > 0 {
+			pressure = float64(r.WALSyncs) / float64(r.WALRecords)
+		}
+		fmt.Fprintf(&b, "wal records %d  fsyncs %d  fsyncs/record %.3f\n",
+			r.WALRecords, r.WALSyncs, pressure)
+	}
 	return b.String()
+}
+
+// walStats is the slice of the daemon's metrics payload the generator
+// scrapes for fsync pressure.
+type walStats struct {
+	Records uint64 `json:"wal_records"`
+	Syncs   uint64 `json:"wal_syncs"`
+}
+
+// scrapeWALStats reads the daemon's metrics endpoint (the -debug-addr
+// listener). Errors are returned, not fatal: a daemon without a debug
+// listener simply yields no pressure numbers.
+func scrapeWALStats(base string) (walStats, error) {
+	var s walStats
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/api/v1/metrics")
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("metrics endpoint: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	return s, err
 }
 
 // run executes the closed loop and merges per-client stats. It is the
@@ -132,6 +194,14 @@ func run(cfg config) (report, error) {
 		return report{}, err
 	}
 	base := strings.TrimRight(cfg.Addr, "/")
+	var walBefore walStats
+	scrapeWAL := cfg.MetricsAddr != ""
+	if scrapeWAL {
+		var err error
+		if walBefore, err = scrapeWALStats(cfg.MetricsAddr); err != nil {
+			return report{}, fmt.Errorf("scraping %s before the run: %w", cfg.MetricsAddr, err)
+		}
+	}
 	deadline := time.Now().Add(cfg.Duration)
 	stats := make([]clientStats, cfg.Clients)
 	var wg sync.WaitGroup
@@ -157,7 +227,19 @@ func run(cfg config) (report, error) {
 		}()
 	}
 	wg.Wait()
-	rep := report{Proto: cfg.Proto, Clients: cfg.Clients, Batch: cfg.Batch, Elapsed: time.Since(start)}
+	rep := report{
+		Proto: cfg.Proto, Clients: cfg.Clients, Batch: cfg.Batch,
+		CompleteBatch: cfg.completeBatchSize(), Elapsed: time.Since(start),
+	}
+	if scrapeWAL {
+		after, err := scrapeWALStats(cfg.MetricsAddr)
+		if err != nil {
+			return report{}, fmt.Errorf("scraping %s after the run: %w", cfg.MetricsAddr, err)
+		}
+		rep.HasWAL = true
+		rep.WALRecords = after.Records - walBefore.Records
+		rep.WALSyncs = after.Syncs - walBefore.Syncs
+	}
 	for i := range stats {
 		s := &stats[i]
 		rep.Submitted += s.submitted
@@ -352,18 +434,20 @@ func (w *worker) submitWindow(client *http.Client) []int64 {
 	return running
 }
 
-// completeWindow reports completions for the started jobs; every
-// FailEvery-th report (per client) is a failure so the estimator's
-// raise path stays exercised. Completions are replay-safe: if the
-// first attempt was applied and only its response lost, the replay is
-// rejected with a 409 (the job is no longer running) and the daemon
-// trains nothing twice — the cost is one completion counted as a hard
-// error, not corrupted state.
+// completeWindow reports completions for the started jobs in chunks of
+// the effective completion batch size (-complete-batch, defaulting to
+// -batch); every FailEvery-th report (per client) is a failure so the
+// estimator's raise path stays exercised. Completions are replay-safe:
+// if the first attempt was applied and only its response lost, the
+// replay is rejected with a 409 (the job is no longer running) and the
+// daemon trains nothing twice — the cost is one completion counted as
+// a hard error, not corrupted state.
 func (w *worker) completeWindow(client *http.Client, ids []int64) {
 	success := func(k int) bool {
 		return w.cfg.FailEvery == 0 || (w.stats.completed+k+1)%w.cfg.FailEvery != 0
 	}
-	if w.cfg.Batch == 1 {
+	size := w.cfg.completeBatchSize()
+	if size == 1 {
 		for _, id := range ids {
 			path := fmt.Sprintf("/api/v1/jobs/%d/complete", id)
 			if w.post(client, path, map[string]any{"success": success(0)}, nil, http.StatusOK, true) {
@@ -372,17 +456,24 @@ func (w *worker) completeWindow(client *http.Client, ids []int64) {
 		}
 		return
 	}
-	comps := make([]map[string]any, len(ids))
-	for k, id := range ids {
-		comps[k] = map[string]any{"id": id, "success": success(k)}
-	}
-	var resp batchResult
-	if !w.post(client, "/api/v1/complete:batch", map[string]any{"completions": comps}, &resp, http.StatusOK, true) {
-		return
-	}
-	for _, r := range resp.Results {
-		if r.Error == "" && r.Job != nil {
-			w.stats.completed++
+	for len(ids) > 0 {
+		chunk := ids
+		if len(chunk) > size {
+			chunk = chunk[:size]
+		}
+		ids = ids[len(chunk):]
+		comps := make([]map[string]any, len(chunk))
+		for k, id := range chunk {
+			comps[k] = map[string]any{"id": id, "success": success(k)}
+		}
+		var resp batchResult
+		if !w.post(client, "/api/v1/complete:batch", map[string]any{"completions": comps}, &resp, http.StatusOK, true) {
+			continue
+		}
+		for _, r := range resp.Results {
+			if r.Error == "" && r.Job != nil {
+				w.stats.completed++
+			}
 		}
 	}
 }

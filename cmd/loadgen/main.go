@@ -37,6 +37,8 @@ func main() {
 	flag.IntVar(&cfg.Clients, "clients", 4, "closed-loop client goroutines")
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "measurement window")
 	flag.IntVar(&cfg.Batch, "batch", 64, "jobs per request window (1 = per-job endpoints)")
+	flag.IntVar(&cfg.CompleteBatch, "complete-batch", 0, "completions per request (0 = follow -batch, 1 = per-job endpoint); sets the WAL append-group size under -wal-group-commit")
+	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "schedd -debug-addr base URL; when set, report WAL fsyncs per completion")
 	flag.IntVar(&cfg.Users, "users", 53, "distinct users cycled through")
 	flag.IntVar(&cfg.Apps, "apps", 7, "distinct applications cycled through")
 	flag.IntVar(&cfg.Nodes, "nodes", 1, "nodes requested per job")

@@ -190,24 +190,33 @@ func (w *worker) wireSubmitWindow(wc *wireConn) []int64 {
 	return running
 }
 
-// wireCompleteWindow reports completions for the started jobs.
-// Completions are replay-safe (see completeWindow): a replayed
-// completion is answered with a per-item error, never trained twice.
+// wireCompleteWindow reports completions for the started jobs, one
+// frame per -complete-batch chunk (defaulting to -batch). Completions
+// are replay-safe (see completeWindow): a replayed completion is
+// answered with a per-item error, never trained twice.
 func (w *worker) wireCompleteWindow(wc *wireConn, ids []int64) {
-	comps := make([]wire.Completion, len(ids))
-	for k, id := range ids {
-		success := w.cfg.FailEvery == 0 || (w.stats.completed+k+1)%w.cfg.FailEvery != 0
-		comps[k] = wire.Completion{ID: id, Success: success}
-	}
-	res, ok := w.wireExchange(wc, func() []byte {
-		return wc.enc.CompleteBatch(wc.version, comps)
-	}, wire.TypeCompleteResult, true)
-	if !ok {
-		return
-	}
-	for i := range res {
-		if res[i].Err == "" {
-			w.stats.completed++
+	size := w.cfg.completeBatchSize()
+	for len(ids) > 0 {
+		chunk := ids
+		if len(chunk) > size {
+			chunk = chunk[:size]
+		}
+		ids = ids[len(chunk):]
+		comps := make([]wire.Completion, len(chunk))
+		for k, id := range chunk {
+			success := w.cfg.FailEvery == 0 || (w.stats.completed+k+1)%w.cfg.FailEvery != 0
+			comps[k] = wire.Completion{ID: id, Success: success}
+		}
+		res, ok := w.wireExchange(wc, func() []byte {
+			return wc.enc.CompleteBatch(wc.version, comps)
+		}, wire.TypeCompleteResult, true)
+		if !ok {
+			continue
+		}
+		for i := range res {
+			if res[i].Err == "" {
+				w.stats.completed++
+			}
 		}
 	}
 }

@@ -23,6 +23,14 @@ import (
 // WAL open + recover, journal wired ahead of the estimator.
 func walDaemon(t *testing.T, dir string) (*httptest.Server, *server.Server, *estimate.ShardedSynchronized, *wal.Log) {
 	t.Helper()
+	return walDaemonOpts(t, dir, wal.Options{})
+}
+
+// walDaemonOpts is walDaemon with explicit WAL options — the
+// group-commit chaos tests build the daemon as main does with
+// -wal-group-commit.
+func walDaemonOpts(t *testing.T, dir string, opts wal.Options) (*httptest.Server, *server.Server, *estimate.ShardedSynchronized, *wal.Log) {
+	t.Helper()
 	cl, err := cluster.New(cluster.Spec{Nodes: 1 << 12, Mem: units.MemSize(64)})
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +39,7 @@ func walDaemon(t *testing.T, dir string) (*httptest.Server, *server.Server, *est
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := wal.Open(dir, wal.Options{})
+	l, err := wal.Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,175 @@
+// Group-commit daemon chaos: the crash-recovery contract of
+// chaos_test.go rerun with the batched-fsync pipeline on, mixing
+// batch and single completions with rotations racing through
+// srv.Quiesce — the deployment shape of -wal-dir -wal-group-commit.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"overprov/internal/server"
+	"overprov/internal/wal"
+)
+
+// TestDaemonGroupCommitCrashRecovery: a group-commit daemon under
+// concurrent batch and single completions, with rotations racing the
+// load through Quiesce, is SIGKILL-abandoned with a torn journal tail.
+// A fresh per-record daemon recovering from the directory alone must
+// hold state byte-identical to the pre-crash live state — the two
+// modes share one on-disk format — and the run must show the fsync
+// amortization the pipeline exists for.
+func TestDaemonGroupCommitCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ts, srv, est, l := walDaemonOpts(t, dir, wal.Options{
+		GroupCommit: true,
+		GroupWindow: 2 * time.Millisecond, // widen windows under test load
+	})
+
+	stop := make(chan struct{})
+	rotErr := make(chan error, 1)
+	go func() {
+		rotations := 0
+		// Rotate before checking stop, so at least one rotation races the
+		// load even if this goroutine's first time slice lands late.
+		for {
+			if err := srv.Quiesce(func() error { return l.Rotate(est.SaveState) }); err != nil {
+				rotErr <- fmt.Errorf("rotation %d: %w", rotations, err)
+				return
+			}
+			rotations++
+			select {
+			case <-stop:
+				rotErr <- nil
+				return
+			default:
+			}
+		}
+	}()
+
+	const clients, perClient, batchSize = 4, 24, 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var pending []int64
+			flush := func() {
+				if len(pending) == 0 {
+					return
+				}
+				var sb strings.Builder
+				sb.WriteString(`{"completions":[`)
+				for i, id := range pending {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					fmt.Fprintf(&sb, `{"id":%d,"success":true}`, id)
+				}
+				sb.WriteString(`]}`)
+				resp, err := http.Post(ts.URL+"/api/v1/complete:batch",
+					"application/json", strings.NewReader(sb.String()))
+				if err != nil {
+					t.Errorf("complete:batch: %v", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("complete:batch: status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+				pending = pending[:0]
+			}
+			for i := 0; i < perClient; i++ {
+				body := fmt.Sprintf(`{"user":%d,"app":%d,"nodes":1,"req_mem_mb":32,"req_time_s":600}`, c, i%3)
+				resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				var v server.JobView
+				err = json.NewDecoder(resp.Body).Decode(&v)
+				resp.Body.Close()
+				if err != nil || v.State != server.StateRunning {
+					t.Errorf("submit: %v state %q", err, v.State)
+					return
+				}
+				// Odd clients batch their completions; even clients report
+				// one at a time — both paths hit the same group pipeline.
+				if c%2 == 1 {
+					pending = append(pending, v.ID)
+					if len(pending) == batchSize {
+						flush()
+					}
+					continue
+				}
+				resp, err = http.Post(fmt.Sprintf("%s/api/v1/jobs/%d/complete", ts.URL, v.ID),
+					"application/json", strings.NewReader(`{"success":true}`))
+				if err != nil {
+					t.Errorf("complete: %v", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("complete: status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+			flush()
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-rotErr; err != nil {
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	if m.WALErrors != 0 || m.WALRecords != clients*perClient {
+		t.Fatalf("wal_records=%d wal_errors=%d, want %d and 0", m.WALRecords, m.WALErrors, clients*perClient)
+	}
+	if m.WALSyncs == 0 || m.WALSyncs >= m.WALRecords {
+		t.Fatalf("wal_syncs=%d over %d records: the pipeline never shared an fsync", m.WALSyncs, m.WALRecords)
+	}
+	t.Logf("group commit: %d records over %d fsyncs (%.2f records/fsync)",
+		m.WALRecords, m.WALSyncs, float64(m.WALRecords)/float64(m.WALSyncs))
+
+	var live bytes.Buffer
+	if err := est.SaveState(&live); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL: abandon without drain or Close, plus a torn tail on the
+	// current journal.
+	ts.Close()
+	journalPath := filepath.Join(dir, fmt.Sprintf("journal-%08d.wal", l.Seq()))
+	f, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x41, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Recovery does not need group commit on: the journal format is
+	// mode-independent, so a plain daemon must reconstruct the state.
+	ts2, _, est2, l2 := walDaemon(t, dir)
+	defer ts2.Close()
+	defer l2.Close()
+
+	var recovered bytes.Buffer
+	if err := est2.SaveState(&recovered); err != nil {
+		t.Fatal(err)
+	}
+	if recovered.String() != live.String() {
+		t.Fatalf("recovered estimator state differs from pre-crash state\npre:  %s\npost: %s",
+			live.String(), recovered.String())
+	}
+}

@@ -14,6 +14,8 @@
 //	schedd -cluster "512x32,512x24" -alpha 2    # explicit cluster spec
 //	schedd -state /var/lib/schedd/groups.json   # load + periodically save state
 //	schedd -wal-dir /var/lib/schedd/wal         # durable feedback WAL + snapshots
+//	schedd -wal-dir ... -wal-group-commit       # batched-fsync durability (group commit)
+//	schedd -wal-group-window 2ms -wal-group-max 128   # widen the commit window
 //	schedd -shards 64 -debug-addr :6060         # wider striping + pprof/metrics
 //	schedd -drain-timeout 30s                   # graceful-shutdown deadline
 //	schedd -wire-addr :8081                     # swp binary batch protocol listener
@@ -66,22 +68,29 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		clSpec   = flag.String("cluster", "512x32,512x24", "cluster pools as <nodes>x<memMB>[,...]")
-		alpha    = flag.Float64("alpha", 2, "Algorithm 1 learning rate α")
-		beta     = flag.Float64("beta", 0, "Algorithm 1 damping β")
-		explicit = flag.Bool("explicit", false, "accept used_mem_mb in completion reports")
-		state    = flag.String("state", "", "estimator state file (loaded at start, saved periodically)")
-		walDir   = flag.String("wal-dir", "", "feedback WAL directory (durable journal + rotated snapshots)")
-		saveEach = flag.Duration("save-interval", time.Minute, "state save / WAL rotation period")
-		drainFor = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
-		shards   = flag.Int("shards", estimate.DefaultShards, "estimator lock stripes (rounded up to a power of two)")
-		debug    = flag.String("debug-addr", "", "optional second listener for /debug/pprof/ and /api/v1/metrics")
-		wireAddr = flag.String("wire-addr", "", "optional listener for the swp binary batch protocol")
+		addr           = flag.String("addr", ":8080", "listen address")
+		clSpec         = flag.String("cluster", "512x32,512x24", "cluster pools as <nodes>x<memMB>[,...]")
+		alpha          = flag.Float64("alpha", 2, "Algorithm 1 learning rate α")
+		beta           = flag.Float64("beta", 0, "Algorithm 1 damping β")
+		explicit       = flag.Bool("explicit", false, "accept used_mem_mb in completion reports")
+		state          = flag.String("state", "", "estimator state file (loaded at start, saved periodically)")
+		walDir         = flag.String("wal-dir", "", "feedback WAL directory (durable journal + rotated snapshots)")
+		walGroup       = flag.Bool("wal-group-commit", false, "batch concurrent WAL appends into shared fsyncs (group commit)")
+		walGroupWindow = flag.Duration("wal-group-window", 0,
+			"how long a group-commit leader lingers for more records before fsyncing (0 = commit immediately; batching still happens under load)")
+		walGroupMax = flag.Int("wal-group-max", 64, "max records per group-commit fsync window")
+		saveEach    = flag.Duration("save-interval", time.Minute, "state save / WAL rotation period")
+		drainFor    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
+		shards      = flag.Int("shards", estimate.DefaultShards, "estimator lock stripes (rounded up to a power of two)")
+		debug       = flag.String("debug-addr", "", "optional second listener for /debug/pprof/ and /api/v1/metrics")
+		wireAddr    = flag.String("wire-addr", "", "optional listener for the swp binary batch protocol")
 	)
 	flag.Parse()
 	if *state != "" && *walDir != "" {
 		log.Fatalf("schedd: -state and -wal-dir are mutually exclusive (the WAL keeps its own snapshots)")
+	}
+	if (*walGroup || *walGroupWindow != 0) && *walDir == "" {
+		log.Fatalf("schedd: -wal-group-commit/-wal-group-window require -wal-dir")
 	}
 
 	cl, err := parseCluster(*clSpec)
@@ -102,7 +111,11 @@ func main() {
 	var feedbackLog *wal.Log
 	switch {
 	case *walDir != "":
-		feedbackLog, err = wal.Open(*walDir, wal.Options{})
+		feedbackLog, err = wal.Open(*walDir, wal.Options{
+			GroupCommit: *walGroup,
+			GroupWindow: *walGroupWindow,
+			GroupMax:    *walGroupMax,
+		})
 		if err != nil {
 			log.Fatalf("schedd: %v", err)
 		}

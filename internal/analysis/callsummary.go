@@ -87,7 +87,8 @@ var durabilityOps = map[string]bool{
 	"Estimate": true, "TryEstimate": true,
 	"Feedback": true, "TryFeedback": true,
 	"SaveState": true, "LoadState": true,
-	"RecordOutcome": true, "Rotate": true, "Recover": true,
+	"RecordOutcome": true, "RecordOutcomes": true,
+	"Rotate": true, "Recover": true,
 }
 
 // LockEdge records one observed ordering fact: To was acquired (or a

@@ -16,8 +16,15 @@ type Daemon struct {
 
 type Journal struct {
 	//overprov:lock rank=30
-	mu      sync.Mutex
+	mu sync.Mutex
+	// gcMu is the group-commit window lock (wal.Log.gcMu): appenders
+	// take it with no journal lock held, the commit leader takes it
+	// under mu — rank 35 sits between the journal mutex and the
+	// estimator locks so both chains ascend.
+	//overprov:lock rank=35
+	gcMu    sync.Mutex
 	records []int
+	window  []int
 }
 
 type Estimator struct {
@@ -39,6 +46,27 @@ func (j *Journal) Append(v int) {
 	j.records = append(j.records, v)
 }
 
+// JoinWindow is the group-commit appender: only the window lock, never
+// the journal mutex, so the caller's rotation read-hold precedes it
+// exactly as it precedes Append.
+func (j *Journal) JoinWindow(v int) {
+	j.gcMu.Lock()
+	defer j.gcMu.Unlock()
+	j.window = append(j.window, v)
+}
+
+// LeadCommit is the group-commit leader: the window detaches under the
+// journal mutex, 30 → 35, ascending the hierarchy.
+func (j *Journal) LeadCommit() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.gcMu.Lock()
+	w := j.window
+	j.window = nil
+	j.gcMu.Unlock()
+	j.records = append(j.records, w...)
+}
+
 func (e *Estimator) Train(v int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -57,6 +85,16 @@ func (d *Daemon) Feedback(j *Journal, e *Estimator, v int) {
 	d.rotMu.RLock()
 	defer d.rotMu.RUnlock()
 	j.Append(v)
+	e.Train(v)
+}
+
+// GroupFeedback is the group-commit era's appender chain: rotation
+// read-hold (20), then the window lock (35) via JoinWindow, then the
+// estimator (40) — ascending throughout.
+func (d *Daemon) GroupFeedback(j *Journal, e *Estimator, v int) {
+	d.rotMu.RLock()
+	defer d.rotMu.RUnlock()
+	j.JoinWindow(v)
 	e.Train(v)
 }
 

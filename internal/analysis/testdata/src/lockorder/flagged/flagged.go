@@ -17,8 +17,11 @@ type Daemon struct {
 
 type Journal struct {
 	//overprov:lock rank=30
-	mu      sync.Mutex
+	mu sync.Mutex
+	//overprov:lock rank=35
+	gcMu    sync.Mutex
 	records []int
+	window  []int
 }
 
 type Estimator struct {
@@ -58,6 +61,19 @@ func (d *Daemon) Finish(e *Estimator) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	e.Feedback(1) // want `durability operation under exclusive lock flagged\.Daemon\.mu: calls Feedback` `flagged\.Estimator\.mu acquired via Feedback while exclusive lock flagged\.Daemon\.mu is held`
+}
+
+// CommitInverted takes the journal mutex while holding the window
+// lock — the group-commit leader's acquisition order reversed. A
+// concurrent appender holding gcMu while a leader holds mu waiting for
+// gcMu is exactly the deadlock the 30 ≺ 35 ordering forbids.
+func (j *Journal) CommitInverted() {
+	j.gcMu.Lock()
+	defer j.gcMu.Unlock()
+	j.mu.Lock() // want `lock order violation: flagged\.Journal\.mu \(rank 30\) acquired while flagged\.Journal\.gcMu \(rank 35\) is held`
+	j.records = append(j.records, j.window...)
+	j.window = nil
+	j.mu.Unlock()
 }
 
 // Reenter re-acquires a held lock: self-deadlock.

@@ -15,6 +15,11 @@ func (j *Journal) RecordOutcome(o Outcome) error {
 	return nil
 }
 
+func (j *Journal) RecordOutcomes(os []Outcome) error {
+	j.records = append(j.records, os...)
+	return nil
+}
+
 type Estimator struct{ n int }
 
 func (e *Estimator) Feedback(o Outcome)          { e.n++ }
@@ -48,4 +53,23 @@ func (s *Server) Quiesce(fn func() error) error {
 	s.rotMu.Lock()
 	defer s.rotMu.Unlock()
 	return fn()
+}
+
+// feedbackBatch is the group-commit era's batch shape: one rotation
+// read-hold spans the whole batch's append group (RecordOutcomes — one
+// commit ticket for every record) and the per-outcome training loop
+// that follows. The append guard dominates every train call.
+func (s *Server) feedbackBatch(outcomes []Outcome) {
+	s.rotMu.RLock()
+	defer s.rotMu.RUnlock()
+	if s.journal != nil {
+		_ = s.journal.RecordOutcomes(outcomes)
+	}
+	for _, o := range outcomes {
+		if s.fallible {
+			_ = s.est.TryFeedback(o)
+			continue
+		}
+		s.est.Feedback(o)
+	}
 }

@@ -14,6 +14,11 @@ func (j *Journal) RecordOutcome(o Outcome) error {
 	return nil
 }
 
+func (j *Journal) RecordOutcomes(os []Outcome) error {
+	j.records = append(j.records, os...)
+	return nil
+}
+
 type Estimator struct{ n int }
 
 func (e *Estimator) Feedback(o Outcome)          { e.n++ }
@@ -62,4 +67,33 @@ func (s *Server) feedbackNoAppend(o Outcome) {
 		_ = s.journal.RecordOutcome(o)
 	}
 	s.est.Feedback(o)
+}
+
+// feedbackBatchUnlockedTrain is the batch form of the released-lock
+// race: the whole batch's RecordOutcomes group commits under the
+// rotation read-hold, but the training loop runs after the release — a
+// rotation can snapshot between the halves of every record at once.
+func (s *Server) feedbackBatchUnlockedTrain(outcomes []Outcome) {
+	s.rotMu.RLock()
+	if s.journal != nil {
+		_ = s.journal.RecordOutcomes(outcomes)
+	}
+	s.rotMu.RUnlock()
+	for _, o := range outcomes {
+		s.est.Feedback(o) // want `estimator train call Feedback without holding rotation lock flagged\.Server\.rotMu`
+	}
+}
+
+// feedbackBatchTrainFirst trains the batch before its append group —
+// the pre-fix ordering bug scaled up to a whole batch per rotation
+// window.
+func (s *Server) feedbackBatchTrainFirst(outcomes []Outcome) {
+	s.rotMu.RLock()
+	defer s.rotMu.RUnlock()
+	for _, o := range outcomes {
+		s.est.Feedback(o) // want `estimator train call Feedback is not dominated by a journal append \(RecordOutcome\) under flagged\.Server\.rotMu`
+	}
+	if s.journal != nil {
+		_ = s.journal.RecordOutcomes(outcomes)
+	}
 }

@@ -20,11 +20,11 @@ import (
 //
 //  1. run with the rotation lock must-held (any mode — the dataflow
 //     proves it on every path), and
-//  2. be dominated by a journal append: a RecordOutcome call, or the
-//     condition of an if-statement whose body appends (the
-//     `if s.cfg.Journal != nil` guard — reaching the decision point
-//     that appends whenever a journal is configured is what the
-//     ordering needs).
+//  2. be dominated by a journal append: a RecordOutcome (or batch
+//     RecordOutcomes) call, or the condition of an if-statement whose
+//     body appends (the `if s.cfg.Journal != nil` guard — reaching the
+//     decision point that appends whenever a journal is configured is
+//     what the ordering needs).
 //
 // The append site must itself be under the rotation lock, otherwise
 // the rotation can still slip between append and train.
@@ -89,7 +89,7 @@ func walCheckFunc(pass *Pass, fd *ast.FuncDecl, rot []*LockInfo) {
 		if !ok {
 			return true
 		}
-		if len(callsNamedIn(ifs.Body, "RecordOutcome")) > 0 {
+		if len(callsNamedIn(ifs.Body, "RecordOutcome", "RecordOutcomes")) > 0 {
 			guards[ifs.Cond] = true
 		}
 		return true
@@ -107,7 +107,7 @@ func walCheckFunc(pass *Pass, fd *ast.FuncDecl, rot []*LockInfo) {
 			case *ast.GoStmt, *ast.DeferStmt:
 				continue
 			}
-			if guards[n] || len(callsNamedIn(n, "RecordOutcome")) > 0 {
+			if guards[n] || len(callsNamedIn(n, "RecordOutcome", "RecordOutcomes")) > 0 {
 				if holdsRotation(before[n]) {
 					appendSites = append(appendSites, n)
 				}

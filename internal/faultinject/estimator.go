@@ -74,15 +74,26 @@ type FeedbackLog interface {
 	RecordOutcome(o estimate.Outcome) error
 }
 
+// BatchFeedbackLog is the batch append surface (wal.Log.RecordOutcomes,
+// server.BatchFeedbackLog), again matched structurally.
+type BatchFeedbackLog interface {
+	RecordOutcomes(outcomes []estimate.Outcome) error
+}
+
 // Journal wraps a feedback WAL with fault injection on the append path.
 type Journal struct {
 	inner FeedbackLog
+	batch BatchFeedbackLog // inner's batch surface, nil when absent
 	sched *Schedule
 }
 
-// NewJournal wraps inner with sched.
+// NewJournal wraps inner with sched. The wrapper exposes a batch
+// surface regardless of inner's: a batch against a per-record inner
+// journal degrades to a loop, mirroring the server's own fallback.
 func NewJournal(inner FeedbackLog, sched *Schedule) *Journal {
-	return &Journal{inner: inner, sched: sched}
+	j := &Journal{inner: inner, sched: sched}
+	j.batch, _ = inner.(BatchFeedbackLog)
+	return j
 }
 
 // RecordOutcome implements the server's FeedbackLog.
@@ -94,4 +105,34 @@ func (j *Journal) RecordOutcome(o estimate.Outcome) error {
 		}
 	}
 	return j.inner.RecordOutcome(o)
+}
+
+// RecordOutcomes implements the server's BatchFeedbackLog: one injection
+// point per batch — the batch is one append group with one ticket, so a
+// fault here fails the whole group, exactly like a leader error.
+func (j *Journal) RecordOutcomes(outcomes []estimate.Outcome) error {
+	if f := j.sched.Check(OpWALAppend, ""); f != nil {
+		f.Sleep()
+		if f.Err != nil {
+			return f.Err
+		}
+	}
+	if j.batch != nil {
+		return j.batch.RecordOutcomes(outcomes)
+	}
+	for i := range outcomes {
+		if err := j.inner.RecordOutcome(outcomes[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncStats forwards the inner journal's durability counters when it
+// has them, so a fault-injected daemon still reports wal_syncs.
+func (j *Journal) SyncStats() (records, syncs uint64) {
+	if ss, ok := j.inner.(interface{ SyncStats() (uint64, uint64) }); ok {
+		return ss.SyncStats()
+	}
+	return 0, 0
 }

@@ -124,9 +124,10 @@ func (s *Server) completeJobs(items []CompletionItem, out []batchOutcome) {
 			jobs[i] = nil
 		}
 	}
-	for _, o := range outcomes {
-		s.feedback(o)
-	}
+	// One rotation hold and one journal append group for the whole
+	// batch (feedbackBatch): the wire Complete path funnels through
+	// here too, so both protocols share the amortized fsync.
+	s.feedbackBatch(outcomes)
 	if len(n.requeues) > 0 {
 		n.done = make(chan struct{})
 	}

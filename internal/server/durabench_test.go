@@ -1,0 +1,115 @@
+package server_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/server"
+	"overprov/internal/units"
+	"overprov/internal/wal"
+)
+
+// The durable serving benchmark: BenchmarkServerSubmitComplete's shape
+// with a real write-ahead journal underneath, so every completion pays
+// an actual fsync on the benchmark tempdir before it is acknowledged.
+// This is the measurement behind BENCH_8.json — wal=record is the
+// per-completion-fsync baseline (the only durability the pre-group
+// daemon offered), wal=group is the batched-fsync pipeline.
+
+// benchDurableDaemon is benchDaemon plus a journal opened with the
+// given options. The estimator and cluster match benchDaemon exactly,
+// so any throughput difference against BENCH_3's numbers is the
+// durability path, not the serving stack.
+func benchDurableDaemon(b *testing.B, opts wal.Options) (*server.Server, *wal.Log) {
+	b.Helper()
+	l, err := wal.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = l.Close() })
+	if _, err := l.Recover(nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Spec{Nodes: 1 << 20, Mem: units.MemSize(64)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{
+		Alpha: 2, Round: cl,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Cluster: cl, Estimator: estimate.NewSynchronized(sa), Journal: l,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, l
+}
+
+// BenchmarkDurableSubmitComplete measures job lifecycles per second
+// when every completion must be fsync-durable before its HTTP ack.
+// wal=record fsyncs once per completion; wal=group runs the
+// group-commit pipeline, where complete:batch journals its whole batch
+// under one fsync and concurrent single completions share a leader's
+// fsync. Alongside jobs/s each run reports fsyncs/job, computed from
+// the journal's own sync counters across the timed region — the
+// amortization claim made directly measurable. GOMAXPROCS is pinned to
+// the client count like the other serving benchmarks; on a single-core
+// container the g>1 rows measure fsync overlap, not CPU parallelism.
+func BenchmarkDurableSubmitComplete(b *testing.B) {
+	const batch = 64
+	for _, wmode := range []string{"record", "group"} {
+		opts := wal.Options{GroupCommit: wmode == "group"}
+		for _, mode := range []string{"single", "batch64"} {
+			for _, g := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("wal=%s/mode=%s/goroutines=%d", wmode, mode, g), func(b *testing.B) {
+					srv, l := benchDurableDaemon(b, opts)
+					h := srv.Handler()
+					// Warm the estimator, job table, and journal file.
+					submitComplete(b, h, 0, 0)
+					defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(g))
+					b.SetParallelism(1) // g client goroutines
+					var nextWorker atomic.Int64
+					recs0, syncs0 := l.SyncStats()
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						worker := int(nextWorker.Add(1))
+						i := 0
+						if mode == "single" {
+							for pb.Next() {
+								submitComplete(b, h, worker, i)
+								i++
+							}
+							return
+						}
+						pending := 0
+						for pb.Next() {
+							pending++
+							if pending == batch {
+								submitCompleteBatch(b, h, worker, i, pending)
+								i += pending
+								pending = 0
+							}
+						}
+						if pending > 0 {
+							submitCompleteBatch(b, h, worker, i, pending)
+						}
+					})
+					b.StopTimer()
+					recs1, syncs1 := l.SyncStats()
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+					if d := recs1 - recs0; d > 0 {
+						b.ReportMetric(float64(syncs1-syncs0)/float64(d), "fsyncs/job")
+					}
+				})
+			}
+		}
+	}
+}

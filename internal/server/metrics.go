@@ -24,6 +24,12 @@ type MetricsView struct {
 	// acked — durability degraded, availability did not).
 	WALRecords uint64 `json:"wal_records"`
 	WALErrors  uint64 `json:"wal_errors"`
+	// WALSyncs counts journal fsyncs issued by the append path, as
+	// reported by the journal itself (0 when the journal does not
+	// expose sync stats). WALSyncs/WALRecords is the fsync pressure per
+	// completion — the quantity group commit (DESIGN.md §12) drives
+	// down; loadgen reports the ratio after a run.
+	WALSyncs uint64 `json:"wal_syncs"`
 	// DegradedEstimates counts dispatches that fell back to the user's
 	// requested capacity (the paper's no-estimation baseline) because
 	// the estimator errored; DegradedFeedbacks counts feedback events
@@ -39,6 +45,12 @@ type MetricsView struct {
 // estimate.ShardedSynchronized.
 type concurrencyStatser interface {
 	ConcurrencyStats() estimate.ConcurrencyStats
+}
+
+// syncStatser is the durability-counter surface of wal.Log (and of
+// fault-injection wrappers that forward it).
+type syncStatser interface {
+	SyncStats() (records, syncs uint64)
 }
 
 // Metrics snapshots the serving counters. Reads only atomics and the
@@ -57,6 +69,9 @@ func (s *Server) Metrics() MetricsView {
 	}
 	if cs, ok := s.est.(concurrencyStatser); ok {
 		m.Estimator = cs.ConcurrencyStats()
+	}
+	if ss, ok := s.cfg.Journal.(syncStatser); ok {
+		_, m.WALSyncs = ss.SyncStats()
 	}
 	return m
 }

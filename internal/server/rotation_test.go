@@ -166,12 +166,10 @@ func TestRotationNeverSplitsAppendTrain(t *testing.T) {
 	wgQ.Add(1)
 	go func() {
 		defer wgQ.Done()
+		// Quiesce before checking stop: on a single CPU this goroutine's
+		// first time slice can land after the clients already finished, and
+		// the invariant must still be checked at least once.
 		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
 			err := srv.Quiesce(func() error {
 				if j, tr := journaled.Load(), trained.Load(); j != tr {
 					return fmt.Errorf("quiesced with %d journaled but only %d trained", j, tr)
@@ -183,6 +181,11 @@ func TestRotationNeverSplitsAppendTrain(t *testing.T) {
 				return
 			}
 			quiesces++
+			select {
+			case <-stop:
+				return
+			default:
+			}
 		}
 	}()
 

@@ -193,6 +193,16 @@ type FeedbackLog interface {
 	RecordOutcome(o estimate.Outcome) error
 }
 
+// BatchFeedbackLog is the optional batch surface of a FeedbackLog: a
+// whole completion batch journaled as one append group — one commit
+// ticket, one fsync (wal.Log.RecordOutcomes) — instead of one fsync per
+// record. The batch paths probe for it once at construction and fall
+// back to per-record appends when absent.
+type BatchFeedbackLog interface {
+	FeedbackLog
+	RecordOutcomes(outcomes []estimate.Outcome) error
+}
+
 // job is the server's internal record. spec and view.ID are immutable
 // after creation; everything else is guarded by Server.mu.
 type job struct {
@@ -216,11 +226,14 @@ type Server struct {
 	// side (Quiesce) spans a rotation, so a snapshot never lands between
 	// the two halves of a feedback event (see the package comment).
 	//overprov:lock rank=20 rotation
-	rotMu    sync.RWMutex
-	cfg      Config
-	est      estimate.ConcurrencySafe
-	fallible estimate.Fallible // non-nil when est has an error path
-	estName  string
+	rotMu sync.RWMutex
+	cfg   Config
+	// batchJournal is cfg.Journal's batch surface, probed once in New
+	// (nil when the journal does not implement BatchFeedbackLog).
+	batchJournal BatchFeedbackLog
+	est          estimate.ConcurrencySafe
+	fallible     estimate.Fallible // non-nil when est has an error path
+	estName      string
 	// shared is the concurrent allocation view of cfg.Cluster (per-pool
 	// rank-50 locks); after New the server allocates exclusively
 	// through it and cfg.Cluster serves only as the estimator's
@@ -287,6 +300,8 @@ func New(cfg Config) (*Server, error) {
 	// Cache the estimator's error surface once: the dispatch hot path
 	// should not repeat the type assertion per estimate.
 	s.fallible, _ = est.(estimate.Fallible)
+	// Likewise the journal's batch surface, used by completeJobs.
+	s.batchJournal, _ = cfg.Journal.(BatchFeedbackLog)
 	return s, nil
 }
 
@@ -475,6 +490,54 @@ func (s *Server) feedback(o estimate.Outcome) {
 		return
 	}
 	s.est.Feedback(o)
+}
+
+// feedbackBatch is feedback amortized over a completion batch: one
+// rotation read-hold spans the whole batch's journal append and
+// training, and the append itself is one RecordOutcomes group — one
+// commit ticket, one fsync — when the journal has a batch surface.
+// The write-ahead order is per batch: every outcome is journaled
+// before any of them trains, which is strictly earlier than the
+// per-item interleaving and preserves the recovery invariant (a
+// journaled-but-untrained record replays into training on recovery).
+// Degradation matches feedback item for item: a failed group append
+// counts every record in wal_errors, training still runs, and the
+// completions were already acked.
+func (s *Server) feedbackBatch(outcomes []estimate.Outcome) {
+	if len(outcomes) == 0 {
+		return
+	}
+	s.feedbacks.Add(uint64(len(outcomes)))
+	s.rotMu.RLock()
+	defer s.rotMu.RUnlock()
+	if s.cfg.Journal != nil {
+		if s.batchJournal != nil {
+			// One ticket for the whole batch: the error, too, covers
+			// every record in it.
+			if err := s.batchJournal.RecordOutcomes(outcomes); err != nil {
+				s.walErrors.Add(uint64(len(outcomes)))
+			} else {
+				s.walRecords.Add(uint64(len(outcomes)))
+			}
+		} else {
+			for i := range outcomes {
+				if err := s.cfg.Journal.RecordOutcome(outcomes[i]); err != nil {
+					s.walErrors.Add(1)
+				} else {
+					s.walRecords.Add(1)
+				}
+			}
+		}
+	}
+	for i := range outcomes {
+		if s.fallible != nil {
+			if err := s.fallible.TryFeedback(outcomes[i]); err != nil {
+				s.degradedFeedbacks.Add(1)
+			}
+			continue
+		}
+		s.est.Feedback(outcomes[i])
+	}
 }
 
 // Quiesce runs fn while no feedback event is between its journal

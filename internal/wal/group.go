@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"fmt"
+	"time"
+
+	"overprov/internal/estimate"
+)
+
+// Group commit amortizes the fsync that dominates the completion hot
+// path: concurrent RecordOutcome callers append their framed records
+// into a shared in-memory window and block on its commit ticket; the
+// window's creator is the leader, and it performs one journal write and
+// one fsync covering every record the window accumulated, then releases
+// all tickets at once. A caller is only acknowledged after the fsync
+// that covers its record — the durability contract of per-record mode
+// ("a crash an instant later replays it") is unchanged, only the number
+// of fsyncs buying it drops.
+//
+// The batching is sync-absorbed: the leader detaches its window only
+// after it has acquired l.mu, so while one leader's fsync is in flight,
+// every arriving caller joins the next window, which commits as a unit
+// the moment the journal mutex frees. Under contention the window size
+// tracks the fsync latency automatically, and a lone caller with
+// GroupWindow == 0 commits immediately — no added latency, no timer.
+// A positive GroupWindow makes the leader linger up to that long (or
+// until GroupMax records arrive) to widen the batch; that trades
+// single-caller latency for fewer fsyncs and is opt-in.
+//
+// A window is created by the first appender and always carries at least
+// that appender's record, so a window timer can never fire over an
+// empty buffer and an idle log issues no fsyncs at all.
+//
+// Lock order: an appender holds only gcMu (rank 35) while joining a
+// window — never l.mu — so the server's rotation read-lock (rank 20)
+// precedes it exactly as it precedes l.mu. The leader acquires
+// l.mu (30) and then gcMu (35) to detach the window; both chains ascend
+// the canonical hierarchy (DESIGN.md §7). drainGroup waits on the
+// ticket with no locks held, which is what lets Rotate and Close flush
+// the pipeline without deadlocking against a leader that needs l.mu.
+
+// Log lifecycle states for the lock-free pre-check on the group append
+// path (the authoritative recovered/closed checks still run under l.mu
+// in commitLocked).
+const (
+	stateUnrecovered = int32(iota)
+	stateOpen
+	stateClosed
+)
+
+// commitGroup is one commit window: the shared frame buffer and the
+// ticket every caller in the window blocks on.
+type commitGroup struct {
+	buf []byte // framed records, appended under gcMu
+	n   int    // record count
+	// full is closed (under gcMu) when the window reaches GroupMax or a
+	// drain wants it flushed; it wakes a leader lingering on its window
+	// timer. fullClosed makes the close idempotent.
+	full       chan struct{}
+	fullClosed bool
+	// done is the commit ticket: closed by the leader after the covering
+	// fsync (or its failure), with err already set. Every caller in the
+	// window returns err.
+	done chan struct{}
+	err  error
+}
+
+// closeFull wakes the leader early. Callers must hold gcMu.
+func (w *commitGroup) closeFull() {
+	if !w.fullClosed {
+		w.fullClosed = true
+		close(w.full)
+	}
+}
+
+// groupAppend journals outcomes through the group-commit pipeline:
+// join (or create) the current window, wait for its ticket, return the
+// window's commit result. The creator leads the commit.
+func (l *Log) groupAppend(outcomes []estimate.Outcome) error {
+	switch l.state.Load() {
+	case stateUnrecovered:
+		return fmt.Errorf("wal: RecordOutcome before Recover")
+	case stateClosed:
+		return fmt.Errorf("wal: log is closed")
+	}
+	l.gcMu.Lock()
+	w := l.cur
+	leader := w == nil
+	if leader {
+		w = &commitGroup{full: make(chan struct{}), done: make(chan struct{})}
+		l.cur = w
+	}
+	for i := range outcomes {
+		w.buf = appendFrame(w.buf, FromOutcome(outcomes[i]))
+	}
+	w.n += len(outcomes)
+	if w.n >= l.groupMax && l.cur == w {
+		// Full: detach so the next caller starts a fresh window, and
+		// wake the leader if it is lingering on the window timer.
+		l.cur = nil
+		w.closeFull()
+	}
+	l.gcMu.Unlock()
+	if leader {
+		l.leadCommit(w)
+		return w.err
+	}
+	<-w.done
+	return w.err
+}
+
+// leadCommit is the window creator's half: optionally linger for the
+// commit window, then take the journal mutex, detach the window (every
+// record that joined while we waited — including during a previous
+// leader's fsync — commits with us), write and fsync once, and release
+// every ticket.
+func (l *Log) leadCommit(w *commitGroup) {
+	if l.groupWindow > 0 {
+		t := time.NewTimer(l.groupWindow)
+		select {
+		case <-w.full:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	l.mu.Lock()
+	l.gcMu.Lock()
+	if l.cur == w {
+		l.cur = nil
+	}
+	w.closeFull()
+	buf, n := w.buf, w.n
+	l.gcMu.Unlock()
+	err := l.commitLocked(buf, n)
+	l.mu.Unlock()
+	w.err = err
+	close(w.done)
+}
+
+// drainGroup flushes the commit pipeline through the ticket mechanism:
+// wake the in-flight window's leader (if any), wait for its ticket, and
+// repeat until no window is pending. No locks are held while waiting,
+// so the leader is free to take l.mu. Rotation and Close run this
+// before touching the journal — under server.Quiesce no appender is in
+// flight and the drain is a no-op.
+func (l *Log) drainGroup() {
+	if !l.group {
+		return
+	}
+	for {
+		l.gcMu.Lock()
+		w := l.cur
+		if w != nil {
+			w.closeFull()
+		}
+		l.gcMu.Unlock()
+		if w == nil {
+			return
+		}
+		<-w.done
+	}
+}
+
+// SyncStats reports the append path's durability counters since Open:
+// records durably journaled and journal fsyncs issued for them. The
+// ratio is the group-commit win (1.0 in per-record mode, 1/batch in
+// batch or group mode); cmd/schedd exposes both through Metrics.
+func (l *Log) SyncStats() (records, syncs uint64) {
+	return l.nRecords.Load(), l.nSyncs.Load()
+}

@@ -1,0 +1,660 @@
+// Group-commit tests: the batched-fsync pipeline must keep the exact
+// durability contract of per-record mode — acked means fsynced, crash
+// recovery yields an acked prefix — while issuing fewer fsyncs. The
+// crash matrix from crash_test.go is rerun against a group-commit
+// script, and the pipeline-specific edges (leader error propagation,
+// rotation drain, torn-write repair, NoSync bypass) get direct tests.
+package wal_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"overprov/internal/estimate"
+	"overprov/internal/faultinject"
+	"overprov/internal/wal"
+)
+
+// walScriptGroup is walScript with the group-commit pipeline enabled
+// and batch appends in the mix: a fixed append/batch/rotate workload
+// whose filesystem-operation count is deterministic, so the crash
+// matrix can halt at every single operation. Calls are sequential, so
+// every RecordOutcome(s) call is its own window leader and the acked
+// order is well defined.
+func walScriptGroup(dir string, sched *faultinject.Schedule) (acked []int, err error) {
+	fsys := faultinject.NewFS(nil, sched)
+	l, err := wal.Open(dir, wal.Options{FS: fsys, GroupCommit: true})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	var trained []int
+	if _, err := l.Recover(
+		func(r io.Reader) error { return json.NewDecoder(r).Decode(&trained) },
+		func(r wal.Record) error { trained = append(trained, int(r.JobID)); return nil },
+	); err != nil {
+		return nil, err
+	}
+	save := func(w io.Writer) error { return json.NewEncoder(w).Encode(trained) }
+	var rotateErrs []error // injected faults are expected; none silently dropped
+	next := 0
+	appendOne := func() {
+		id := next
+		next++
+		if err := l.RecordOutcome(outcomeID(id)); err == nil {
+			acked = append(acked, id)
+			trained = append(trained, id)
+		}
+	}
+	// A batch is one commit ticket: all of it is acked, or none of it.
+	appendBatch := func(n int) {
+		ids := make([]int, 0, n)
+		os := make([]estimate.Outcome, 0, n)
+		for i := 0; i < n; i++ {
+			ids = append(ids, next)
+			os = append(os, outcomeID(next))
+			next++
+		}
+		if err := l.RecordOutcomes(os); err == nil {
+			acked = append(acked, ids...)
+			trained = append(trained, ids...)
+		}
+	}
+	appendOne()
+	appendBatch(3)
+	if err := l.Rotate(save); err != nil {
+		rotateErrs = append(rotateErrs, err)
+	}
+	appendBatch(2)
+	appendOne()
+	if err := l.Rotate(save); err != nil {
+		rotateErrs = append(rotateErrs, err)
+	}
+	appendBatch(2)
+	return acked, nil
+}
+
+// TestGroupCrashMatrix: SIGKILL at every filesystem operation of the
+// group-commit script; recovery must keep every acked record, in order.
+func TestGroupCrashMatrix(t *testing.T) {
+	probe := faultinject.NewSchedule()
+	if _, err := walScriptGroup(t.TempDir(), probe); err != nil {
+		t.Fatalf("probe pass: %v", err)
+	}
+	total := probe.Ops()
+	if total < 20 {
+		t.Fatalf("probe counted only %d fs ops — script too small for a matrix", total)
+	}
+	t.Logf("group-commit crash matrix over %d filesystem operations", total)
+
+	for k := 1; k <= total; k++ {
+		k := k
+		t.Run(fmt.Sprintf("halt=%d", k), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			sched := faultinject.NewSchedule(faultinject.HaltAt(k))
+			acked, err := walScriptGroup(dir, sched)
+			if err != nil && !sched.Halted() {
+				t.Fatalf("script failed without a halt: %v", err)
+			}
+			recovered, _ := recoverAll(t, dir)
+			checkNoAckedLoss(t, acked, recovered)
+			checkDumpEquivalence(t, dir, recovered)
+		})
+	}
+}
+
+// TestGroupCrashMatrixTearing: the same matrix with the kill tearing
+// the in-flight write — the torn bytes may sit inside a multi-record
+// group frame sequence, and recovery must still cut to an acked prefix.
+func TestGroupCrashMatrixTearing(t *testing.T) {
+	probe := faultinject.NewSchedule()
+	if _, err := walScriptGroup(t.TempDir(), probe); err != nil {
+		t.Fatalf("probe pass: %v", err)
+	}
+	total := probe.Ops()
+	for k := 1; k <= total; k++ {
+		for _, partial := range []int{1, 9} { // mid-header and mid-payload tears
+			k, partial := k, partial
+			t.Run(fmt.Sprintf("halt=%d,partial=%d", k, partial), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				sched := faultinject.NewSchedule(faultinject.HaltAtTearing(k, partial))
+				acked, err := walScriptGroup(dir, sched)
+				if err != nil && !sched.Halted() {
+					t.Fatalf("script failed without a halt: %v", err)
+				}
+				recovered, _ := recoverAll(t, dir)
+				checkNoAckedLoss(t, acked, recovered)
+				checkDumpEquivalence(t, dir, recovered)
+			})
+		}
+	}
+}
+
+// TestGroupConcurrentBatching: concurrent appenders against a slow
+// fsync must share windows — every acked record recovers, and the
+// pipeline issues strictly fewer fsyncs than records. While one
+// leader's fsync sleeps, every arriving caller joins the next window;
+// per-record mode would pay the injected latency once per record.
+func TestGroupConcurrentBatching(t *testing.T) {
+	dir := t.TempDir()
+	sched := faultinject.NewSchedule(faultinject.SlowAll(faultinject.OpSync, 2*time.Millisecond))
+	fsys := faultinject.NewFS(nil, sched)
+	l, err := wal.Open(dir, wal.Options{FS: fsys, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 8, 20
+	var mu sync.Mutex
+	var acked []int
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				id := c*perClient + i
+				if err := l.RecordOutcome(outcomeID(id)); err != nil {
+					t.Errorf("append %d: %v", id, err)
+					return
+				}
+				mu.Lock()
+				acked = append(acked, id)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	records, syncs := l.SyncStats()
+	if records != clients*perClient {
+		t.Fatalf("records = %d, want %d", records, clients*perClient)
+	}
+	if syncs >= records {
+		t.Errorf("syncs = %d, records = %d: no batching happened", syncs, records)
+	}
+	t.Logf("%d records over %d fsyncs (%.2f records/fsync)",
+		records, syncs, float64(records)/float64(syncs))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _ := recoverAll(t, dir)
+	seen := map[int]int{}
+	for _, id := range recovered {
+		seen[id]++
+	}
+	for _, id := range acked {
+		if seen[id] != 1 {
+			t.Fatalf("acked id %d appears %d times in recovery", id, seen[id])
+		}
+	}
+	if len(recovered) != len(acked) {
+		t.Fatalf("recovered %d records, want exactly the %d acked", len(recovered), len(acked))
+	}
+}
+
+// TestGroupLeaderErrorPropagation: when the covering fsync fails, every
+// caller in the window must get the error and none of their records may
+// survive recovery — an acked-false record showing up after a crash is
+// as wrong as a lost acked one (the estimator would train on feedback
+// the server never counted). The log must also keep accepting appends
+// afterwards, because the failed tail was truncated back to the
+// known-good size.
+func TestGroupLeaderErrorPropagation(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("sector failure")
+	// OpSync #1 is the journal header sync in Open (SyncDir is a
+	// different op); #2 is the first commit's covering fsync.
+	sched := faultinject.NewSchedule(faultinject.FailNth(faultinject.OpSync, 2, boom))
+	fsys := faultinject.NewFS(nil, sched)
+	const k = 4
+	l, err := wal.Open(dir, wal.Options{
+		FS: fsys, GroupCommit: true,
+		GroupMax: k, GroupWindow: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// k concurrent callers fill exactly one window: the first creates it
+	// and lingers on the 2s window timer, the k-th fills it and wakes the
+	// leader, whose one fsync — covering all k — fails.
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = l.RecordOutcome(outcomeID(i))
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d: error = %v, want the leader's sync failure", i, err)
+		}
+	}
+	if records, _ := l.SyncStats(); records != 0 {
+		t.Errorf("durable-record count = %d after a failed window, want 0", records)
+	}
+	// The failed window's frames were truncated away; the pipeline keeps
+	// accepting appends on the same generation.
+	if err := l.RecordOutcome(outcomeID(100)); err != nil {
+		t.Fatalf("append after failed window: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _ := recoverAll(t, dir)
+	if len(recovered) != 1 || recovered[0] != 100 {
+		t.Fatalf("recovered %v, want exactly [100]: the failed window must leave no records", recovered)
+	}
+}
+
+// TestGroupTornWriteRepair: a partial journal write followed by more
+// appends. Without the known-good-size repair, the torn frame's bytes
+// would sit between acked records and recovery would cut everything
+// after them — acked records lost. With it, the tail is truncated back
+// and later acked records survive.
+func TestGroupTornWriteRepair(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("partial write")
+	// OpWrite #1 on the journal is the header; #2 is the first commit.
+	// Partial: 9 leaves 9 garbage bytes mid-frame.
+	sched := faultinject.NewSchedule(
+		faultinject.Rule{Op: faultinject.OpWrite, Path: "journal-", Nth: 2,
+			Fault: faultinject.Fault{Err: boom, Partial: 9}},
+	)
+	fsys := faultinject.NewFS(nil, sched)
+	l, err := wal.Open(dir, wal.Options{FS: fsys, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordOutcome(outcomeID(0)); !errors.Is(err, boom) {
+		t.Fatalf("torn append: error = %v, want %v", err, boom)
+	}
+	var acked []int
+	for id := 1; id <= 2; id++ {
+		if err := l.RecordOutcome(outcomeID(id)); err != nil {
+			t.Fatalf("append %d after repaired tear: %v", id, err)
+		}
+		acked = append(acked, id)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, stats := recoverAll(t, dir)
+	checkNoAckedLoss(t, acked, recovered)
+	if len(recovered) != len(acked) {
+		t.Fatalf("recovered %v, want exactly %v", recovered, acked)
+	}
+	if stats.TornBytes != 0 {
+		t.Errorf("recovery found %d torn bytes — the repair should have cut them at append time", stats.TornBytes)
+	}
+}
+
+// TestGroupTornTailSticky: when even the post-failure truncate fails,
+// the journal tail is garbage that cannot be cut. The log must refuse
+// further appends on that generation — acking records behind a torn
+// tail would lose them at recovery — and resume after a rotation
+// starts a clean one.
+func TestGroupTornTailSticky(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("partial write")
+	sched := faultinject.NewSchedule(
+		faultinject.Rule{Op: faultinject.OpWrite, Path: "journal-", Nth: 2,
+			Fault: faultinject.Fault{Err: boom, Partial: 9}},
+		faultinject.Rule{Op: faultinject.OpTruncate, Path: "journal-", Nth: 1,
+			Fault: faultinject.Fault{Err: errors.New("truncate failure")}},
+	)
+	fsys := faultinject.NewFS(nil, sched)
+	l, err := wal.Open(dir, wal.Options{FS: fsys, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordOutcome(outcomeID(0)); !errors.Is(err, boom) {
+		t.Fatalf("torn append: error = %v, want %v", err, boom)
+	}
+	err = l.RecordOutcome(outcomeID(1))
+	if err == nil {
+		t.Fatal("append on a torn tail must fail")
+	}
+	if !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn-tail append error = %v, want it to name the torn tail", err)
+	}
+	// Rotation abandons the torn generation; appends resume.
+	if err := l.Rotate(func(w io.Writer) error {
+		return json.NewEncoder(w).Encode([]int{})
+	}); err != nil {
+		t.Fatalf("rotation off a torn generation: %v", err)
+	}
+	if err := l.RecordOutcome(outcomeID(2)); err != nil {
+		t.Fatalf("append after rotation: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _ := recoverAll(t, dir)
+	if len(recovered) != 1 || recovered[0] != 2 {
+		t.Fatalf("recovered %v, want exactly [2]", recovered)
+	}
+}
+
+// TestGroupRotateFlushesPendingWindow: Rotate must drain a window whose
+// leader is lingering on the commit-window timer — through the ticket
+// mechanism, not by waiting the window out. The drained record lands in
+// the old generation, which Rotate deletes once the snapshot is
+// installed — so the snapshot callback must already cover it, exactly
+// the write-ahead-then-train coordination server.Quiesce provides; here
+// the callback waits for the ack itself.
+func TestGroupRotateFlushesPendingWindow(t *testing.T) {
+	dir := t.TempDir()
+	const window = 10 * time.Second // far beyond the drain's latency
+	l, err := wal.Open(dir, wal.Options{GroupCommit: true, GroupWindow: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ackErr := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		ackErr <- l.RecordOutcome(outcomeID(7))
+	}()
+	// Let the appender create its window and start the leader lingering
+	// on the 10s timer; the drain inside Rotate must wake it at once.
+	<-started
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if err := l.Rotate(func(w io.Writer) error {
+		// Rotate has drained the pipeline by the time it snapshots, so
+		// the append's ticket is resolved and this receive is prompt.
+		trained := []int{}
+		if err := <-ackErr; err == nil {
+			trained = append(trained, 7)
+		}
+		return json.NewEncoder(w).Encode(trained)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > window/2 {
+		t.Fatalf("rotation took %v — it waited out the commit window instead of draining", elapsed)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _ := recoverAll(t, dir)
+	if len(recovered) != 1 || recovered[0] != 7 {
+		t.Fatalf("recovered %v, want [7]", recovered)
+	}
+}
+
+// TestGroupCloseDrains: Close racing live appenders must neither hang
+// nor lose an acked record; appends refused by the closing log must
+// not surface in recovery as phantom feedback.
+func TestGroupCloseDrains(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 4, 50
+	var mu sync.Mutex
+	var acked []int
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				id := c*perClient + i
+				if err := l.RecordOutcome(outcomeID(id)); err != nil {
+					return // the close won the race; id was not acked
+				}
+				mu.Lock()
+				acked = append(acked, id)
+				mu.Unlock()
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // let appends get in flight
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	recovered, _ := recoverAll(t, dir)
+	seen := map[int]bool{}
+	for _, id := range recovered {
+		seen[id] = true
+	}
+	for _, id := range acked {
+		if !seen[id] {
+			t.Fatalf("acked id %d lost: recovered %d of %d acked", id, len(recovered), len(acked))
+		}
+	}
+}
+
+// TestGroupNoSyncBypass: NoSync disables the pipeline (there is no
+// fsync to amortize) — appends must work and issue zero fsyncs.
+func TestGroupNoSyncBypass(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{NoSync: true, GroupCommit: true, GroupWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.RecordOutcome(outcomeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records, syncs := l.SyncStats()
+	if records != 5 || syncs != 0 {
+		t.Fatalf("SyncStats = (%d, %d), want (5, 0) under NoSync", records, syncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupSingleCaller: with no contention and no commit window a lone
+// caller commits immediately — one fsync per record, no added latency
+// machinery — and an idle recovered log has issued no fsyncs at all
+// (the window always carries its creator's record, so no timer can
+// fire over an empty buffer).
+func TestGroupSingleCaller(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if records, syncs := l.SyncStats(); records != 0 || syncs != 0 {
+		t.Fatalf("idle SyncStats = (%d, %d), want (0, 0)", records, syncs)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.RecordOutcome(outcomeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records, syncs := l.SyncStats()
+	if records != 3 || syncs != 3 {
+		t.Fatalf("SyncStats = (%d, %d), want (3, 3): a lone caller pays exactly one fsync per record", records, syncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _ := recoverAll(t, dir)
+	checkNoAckedLoss(t, []int{0, 1, 2}, recovered)
+}
+
+// TestGroupBatchSingleSync: one RecordOutcomes batch is one commit
+// ticket — a single covering fsync regardless of batch size, with
+// per-record framing so recovery replays each record individually.
+func TestGroupBatchSingleSync(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	batch := make([]estimate.Outcome, 0, n)
+	want := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, outcomeID(i))
+		want = append(want, i)
+	}
+	if err := l.RecordOutcomes(batch); err != nil {
+		t.Fatal(err)
+	}
+	records, syncs := l.SyncStats()
+	if records != n || syncs != 1 {
+		t.Fatalf("SyncStats = (%d, %d), want (%d, 1): the batch rides one fsync", records, syncs, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _ := recoverAll(t, dir)
+	checkNoAckedLoss(t, want, recovered)
+	if len(recovered) != n {
+		t.Fatalf("recovered %d records, want %d", len(recovered), n)
+	}
+}
+
+// TestGroupRecordOutcomesPerRecordMode: without GroupCommit the batch
+// API degrades to the strict per-record baseline — one fsync per
+// record — so benchmarks comparing the modes measure exactly the
+// fsync amortization and nothing else.
+func TestGroupRecordOutcomesPerRecordMode(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	batch := []estimate.Outcome{outcomeID(0), outcomeID(1), outcomeID(2)}
+	if err := l.RecordOutcomes(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordOutcomes(nil); err != nil {
+		t.Fatal(err)
+	}
+	records, syncs := l.SyncStats()
+	if records != 3 || syncs != 3 {
+		t.Fatalf("SyncStats = (%d, %d), want (3, 3) in per-record mode", records, syncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _ := recoverAll(t, dir)
+	checkNoAckedLoss(t, []int{0, 1, 2}, recovered)
+}
+
+// TestGroupModeEquivalence: the same outcome stream journaled through
+// group mode and per-record mode must produce byte-identical replay
+// streams — group commit changes fsync scheduling, never content.
+func TestGroupModeEquivalence(t *testing.T) {
+	dirGroup, dirRecord := t.TempDir(), t.TempDir()
+	run := func(dir string, opts wal.Options) {
+		l, err := wal.Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Recover(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := l.RecordOutcome(outcomeID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var batch []estimate.Outcome
+		for i := 10; i < 20; i++ {
+			batch = append(batch, outcomeID(i))
+		}
+		if err := l.RecordOutcomes(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(dirGroup, wal.Options{GroupCommit: true})
+	run(dirRecord, wal.Options{})
+	_, recsG, err := wal.Dump(dirGroup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recsR, err := wal.Dump(dirRecord, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recsG) != len(recsR) {
+		t.Fatalf("group mode journaled %d records, per-record mode %d", len(recsG), len(recsR))
+	}
+	for i := range recsG {
+		if recsG[i] != recsR[i] {
+			t.Fatalf("record %d differs: group %+v, per-record %+v", i, recsG[i], recsR[i])
+		}
+	}
+}
+
+// TestGroupLifecycleErrors: the group path's lock-free pre-checks must
+// report the same errors as per-record mode — append before Recover
+// and append after Close are refused, never silently dropped.
+func TestGroupLifecycleErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordOutcome(outcomeID(0)); err == nil {
+		t.Fatal("group append before Recover must fail")
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordOutcome(outcomeID(0)); err == nil {
+		t.Fatal("group append after Close must fail")
+	}
+	if err := l.RecordOutcomes([]estimate.Outcome{outcomeID(1)}); err == nil {
+		t.Fatal("group batch append after Close must fail")
+	}
+}

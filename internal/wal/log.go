@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"overprov/internal/estimate"
 )
@@ -20,6 +22,19 @@ type Options struct {
 	// NoSync skips every fsync. Only for tests and benchmarks that
 	// measure the non-durability cost; the daemon never sets it.
 	NoSync bool
+	// GroupCommit routes appends through the batched-fsync pipeline
+	// (group.go): concurrent callers share one journal fsync and are
+	// acknowledged only after it. Durability per acked record is
+	// identical to per-record mode. Ignored when NoSync is set (there
+	// is no fsync to amortize).
+	GroupCommit bool
+	// GroupWindow is how long a group-commit leader lingers for more
+	// callers before fsyncing. 0 (the default) commits immediately —
+	// batching still happens, absorbed by fsync latency under load.
+	GroupWindow time.Duration
+	// GroupMax caps records per commit window; a full window fsyncs
+	// without waiting out GroupWindow. 0 selects 64.
+	GroupMax int
 }
 
 // RecoveryStats reports what recovery found and repaired.
@@ -64,10 +79,44 @@ type Log struct {
 	journal File   // open for append; nil after Close
 	buf     []byte // scratch frame buffer, guarded by mu
 
+	// size is the journal's known-good length: header plus every frame
+	// whose write succeeded. A failed append truncates back to it so a
+	// partial frame can never sit between acked records (recovery cuts
+	// at the first invalid frame — garbage mid-file would take every
+	// later acked record with it). Guarded by mu.
+	size int64
+	// dirty is set while the journal holds bytes no fsync has covered
+	// yet; Close syncs only when it is set (the rotation double-sync
+	// fix). Guarded by mu.
+	dirty bool
+	// torn is set when a failed append could not be truncated away:
+	// the tail is garbage, so further appends must fail rather than
+	// strand acked frames behind it. A successful Rotate starts a
+	// clean generation and clears it. Guarded by mu.
+	torn bool
+
 	snapSeq   uint64
 	pending   []Record // validated records awaiting Recover
 	stats     RecoveryStats
 	recovered bool
+
+	// state mirrors recovered/closed for the group append path's
+	// lock-free pre-check (group.go).
+	state atomic.Int32
+
+	// Group-commit pipeline (group.go). gcMu guards the current commit
+	// window; appenders take it without l.mu, the leader takes it under
+	// l.mu — both ascend the canonical hierarchy.
+	//overprov:lock rank=35
+	gcMu        sync.Mutex
+	cur         *commitGroup
+	group       bool
+	groupWindow time.Duration
+	groupMax    int
+
+	// Durability counters (SyncStats).
+	nRecords atomic.Uint64
+	nSyncs   atomic.Uint64
 }
 
 func journalName(seq uint64) string  { return fmt.Sprintf("journal-%08d.wal", seq) }
@@ -99,6 +148,7 @@ type dirScan struct {
 	records    []Record // replayable stream across kept journals
 	truncSeq   uint64   // journal to truncate (0 = none)
 	truncTo    int64    // file size to truncate it to (includes header)
+	tailSize   int64    // valid byte length of the tail journal after repair
 	tornHeader bool     // truncSeq's header itself is torn: reset file
 	dropped    []uint64 // journals after a mid-stream corruption
 	tornBytes  int64
@@ -163,6 +213,7 @@ func scanDir(fs FS, dir string) (*dirScan, error) {
 		}
 		if !ok { // torn header: no record ever made it to this file
 			sc.truncSeq, sc.truncTo, sc.tornHeader = seq, 0, true
+			sc.tailSize = int64(len(journalHeader)) // recreated with a fresh header
 			sc.tornBytes += int64(len(data))
 			if !last {
 				sc.corrupt = true
@@ -173,6 +224,7 @@ func scanDir(fs FS, dir string) (*dirScan, error) {
 		}
 		recs, valid := scanRecords(frames)
 		sc.records = append(sc.records, recs...)
+		sc.tailSize = int64(len(journalHeader) + valid)
 		if valid < len(frames) {
 			sc.truncSeq = seq
 			sc.truncTo = int64(len(journalHeader) + valid)
@@ -220,6 +272,12 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{fs: fsys, dir: dir, noSync: opts.NoSync, snapSeq: sc.snapSeq}
+	l.group = opts.GroupCommit && !opts.NoSync
+	l.groupWindow = opts.GroupWindow
+	l.groupMax = opts.GroupMax
+	if l.groupMax <= 0 {
+		l.groupMax = 64
+	}
 	l.pending = sc.records
 	l.stats = RecoveryStats{
 		SnapshotSeq:     sc.snapSeq,
@@ -255,6 +313,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		if l.journal, err = l.createJournal(l.seq); err != nil {
 			return nil, err
 		}
+		l.size = int64(len(journalHeader))
 	default:
 		l.seq = sc.journals[len(sc.journals)-1]
 		if sc.truncSeq == l.seq && sc.tornHeader {
@@ -270,6 +329,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			}
 			l.journal = f
 		}
+		l.size = sc.tailSize
 	}
 	return l, nil
 }
@@ -295,9 +355,12 @@ func (l *Log) truncateJournal(seq uint64, size int64) error {
 }
 
 // createJournal creates an empty journal file with a durable header.
+// The file is opened O_APPEND so that after a failed append is
+// truncated away the next write lands at the new end of file, never
+// past a hole at the old offset.
 func (l *Log) createJournal(seq uint64) (File, error) {
 	path := filepath.Join(l.dir, journalName(seq))
-	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -356,33 +419,105 @@ func (l *Log) Recover(load func(io.Reader) error, apply func(Record) error) (Rec
 	l.stats.Records = len(l.pending)
 	l.pending = nil
 	l.recovered = true
+	l.state.Store(stateOpen)
 	return l.stats, nil
 }
 
 // RecordOutcome appends one acked feedback event durably: the framed
 // record is written and fsynced before the call returns, so a crash an
 // instant later replays it. The server calls this before training the
-// estimator — write-ahead, in the literal sense.
+// estimator — write-ahead, in the literal sense. With GroupCommit the
+// fsync is shared with concurrent callers (group.go); the return-after-
+// durable contract is identical.
 func (l *Log) RecordOutcome(o estimate.Outcome) error {
+	if l.group {
+		one := [1]estimate.Outcome{o}
+		return l.groupAppend(one[:])
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.buf = appendFrame(l.buf[:0], FromOutcome(o))
+	return l.commitLocked(l.buf, 1)
+}
+
+// RecordOutcomes appends a batch of acked feedback events as one append
+// group: each record is individually framed (replay is per-record), and
+// the whole batch rides one commit ticket. In group-commit mode the
+// batch joins the current window; in per-record mode every record pays
+// its own fsync — the strict PR 5 baseline the benchmarks compare
+// against. The error, if any, covers the whole batch: none of its
+// records is acknowledged.
+func (l *Log) RecordOutcomes(outcomes []estimate.Outcome) error {
+	if len(outcomes) == 0 {
+		return nil
+	}
+	if l.group {
+		return l.groupAppend(outcomes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range outcomes {
+		l.buf = appendFrame(l.buf[:0], FromOutcome(outcomes[i]))
+		if err := l.commitLocked(l.buf, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitLocked writes buf (n framed records) to the journal and fsyncs
+// it, maintaining the known-good size and the durability counters. A
+// failed write or sync truncates the file back to the known-good size
+// so no partial frame can strand later acked records behind it; if even
+// that repair fails the log goes torn and refuses appends until a
+// rotation starts a clean generation. Callers hold l.mu.
+func (l *Log) commitLocked(buf []byte, n int) error {
 	if !l.recovered {
 		return fmt.Errorf("wal: RecordOutcome before Recover")
 	}
 	if l.journal == nil {
 		return fmt.Errorf("wal: log is closed")
 	}
-	l.buf = appendFrame(l.buf[:0], FromOutcome(o))
-	if _, err := l.journal.Write(l.buf); err != nil {
-		// A partial frame on disk is a torn tail; recovery truncates it.
+	if l.torn {
+		return fmt.Errorf("wal: journal tail is torn; appends resume after rotation")
+	}
+	if _, err := l.journal.Write(buf); err != nil {
+		l.repairTailLocked()
 		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.dirty = true
+	if !l.noSync {
+		if err := l.journal.Sync(); err != nil {
+			// The frames are on the file but their durability is
+			// unknown and the caller will not ack them; cut them off so
+			// the known-good prefix stays exact.
+			l.repairTailLocked()
+			return fmt.Errorf("wal: append sync: %w", err)
+		}
+		l.dirty = false
+		l.nSyncs.Add(1)
+	}
+	l.size += int64(len(buf))
+	l.nRecords.Add(uint64(n))
+	return nil
+}
+
+// repairTailLocked truncates the journal back to its known-good size
+// after a failed append, syncing the cut. On any repair failure the log
+// is marked torn (the tail may hold garbage that would eat later
+// records at recovery) and appends fail until Rotate succeeds.
+func (l *Log) repairTailLocked() {
+	if err := l.journal.Truncate(l.size); err != nil {
+		l.torn = true
+		return
 	}
 	if !l.noSync {
 		if err := l.journal.Sync(); err != nil {
-			return fmt.Errorf("wal: append sync: %w", err)
+			l.torn = true
+			return
 		}
 	}
-	return nil
+	l.dirty = false
 }
 
 // Rotate snapshots the estimator and starts a fresh journal generation:
@@ -407,6 +542,11 @@ func (l *Log) RecordOutcome(o estimate.Outcome) error {
 //
 //overprov:callsunder mu
 func (l *Log) Rotate(save func(w io.Writer) error) error {
+	// Flush the group-commit pipeline through its ticket mechanism
+	// first (no-op without GroupCommit, and under server.Quiesce the
+	// pipeline is already empty): every acked record is then fsynced,
+	// so rotation closes the old journal without re-syncing it.
+	l.drainGroup()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.recovered {
@@ -422,6 +562,9 @@ func (l *Log) Rotate(save func(w io.Writer) error) error {
 	}
 	old := l.journal
 	l.journal, l.seq = nj, newSeq
+	l.size = int64(len(journalHeader))
+	l.dirty = false
+	l.torn = false  // fresh generation: a torn old tail is now harmless
 	_ = old.Close() // every acked record in it is already synced
 
 	// Install the snapshot atomically: tmp → fsync → rename → dir fsync.
@@ -468,15 +611,23 @@ func (l *Log) Rotate(save func(w io.Writer) error) error {
 	return nil
 }
 
-// Close syncs and closes the current journal. The Log is unusable
+// Close drains the group-commit pipeline and closes the current
+// journal, syncing it only when unsynced bytes remain (every
+// successful commit already fsyncs, so the old unconditional sync here
+// was a second fsync per shutdown for nothing). The Log is unusable
 // afterwards.
 func (l *Log) Close() error {
+	l.state.Store(stateClosed) // new group appends are refused
+	l.drainGroup()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.journal == nil {
 		return nil
 	}
-	err := l.journal.Sync()
+	var err error
+	if l.dirty && !l.noSync {
+		err = l.journal.Sync()
+	}
 	if cerr := l.journal.Close(); err == nil {
 		err = cerr
 	}
