@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race chaos verify bench bench3 bench4 bench7 bench8 clean
+.PHONY: build test lint race chaos verify bench bench3 bench4 bench7 bench8 bench9 clean
 
 build:
 	$(GO) build ./...
@@ -36,12 +36,13 @@ race:
 # corruption recovery, graceful-degradation serving, drain deadlines,
 # and loadgen retry behaviour. `make race` already includes these;
 # this target runs only them, with -count=1 so chaos is never cached.
-CHAOS_PKGS = ./internal/wal/... ./internal/faultinject/... ./internal/server ./cmd/schedd ./cmd/loadgen
+CHAOS_PKGS = ./internal/wal/... ./internal/faultinject/... ./internal/server ./internal/router ./cmd/schedd ./cmd/loadgen
 chaos:
 	$(GO) test -race -count=1 \
 		-run 'Crash|Torn|Chaos|Fault|Recover|Rotate|Halt|Degrade|Drain|Healthz|Retry|DiskFull|BitFlip|Wire|Group' \
 		$(CHAOS_PKGS)
 	$(GO) test -run '^$$' -fuzz FuzzScanRecords -fuzztime 10s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzRouterSplitMerge -fuzztime 10s ./internal/router/
 
 # Record the benchmark suite into the "current" section of BENCH_2.json:
 # every figure bench once, then the throughput bench refined with the
@@ -113,6 +114,23 @@ bench4:
 	$(GO) run ./cmd/benchjson -as current -out BENCH_4.json -merge \
 		-pkg . -bench 'WorkloadCached|LoadSweepSmall' -benchtime 1s -count 3 \
 		-note "$(BENCH4_NOTE)"
+
+# Record the distributed-tier numbers into BENCH_9.json: the baseline
+# section is mode=direct (clients straight at one schedd node, no
+# router — the BENCH_8-era serving path) and the current section is
+# mode=routed at backends ∈ {1, 2, 4}. The backends=1 row is the pure
+# router-overhead delta (same single estimator, one extra hop); 2 and 4
+# measure the scale-out. Loopback on one machine, so the numbers bound
+# protocol + fan-out cost, not network or multi-host parallelism — see
+# EXPERIMENTS.md §BENCH_9.
+BENCH9_NOTE = median of 3 x 1s runs; 4 clients x 64-job batches over loopback swp; single machine — see EXPERIMENTS.md §BENCH_9
+bench9:
+	$(GO) run ./cmd/benchjson -as baseline -out BENCH_9.json \
+		-pkg ./internal/router -bench 'RoutedSubmitComplete/mode=direct' -benchtime 1s -count 3 \
+		-note "$(BENCH9_NOTE)"
+	$(GO) run ./cmd/benchjson -as current -out BENCH_9.json \
+		-pkg ./internal/router -bench 'RoutedSubmitComplete/mode=routed' -benchtime 1s -count 3 \
+		-note "$(BENCH9_NOTE)"
 
 verify: build lint race
 

@@ -18,6 +18,12 @@ import (
 // usable; main and the tests fill every field.
 type config struct {
 	Addr string
+	// Addrs is the multi-target form of Addr: a comma-separated endpoint
+	// list. Client goroutines are assigned to targets round-robin
+	// (client c drives target c mod N), so a routed or multi-node
+	// cluster sees every node loaded evenly by one generator run. Empty
+	// means "just Addr".
+	Addrs string
 	// Proto selects the daemon protocol: "http" (the JSON API; Addr is
 	// a base URL) or "wire" (the swp binary batch protocol over a
 	// persistent TCP connection per client; Addr is host:port).
@@ -32,9 +38,11 @@ type config struct {
 	// fsync-pressure numbers below measure its effect.
 	CompleteBatch int
 	// MetricsAddr is the daemon's debug listener base URL (schedd
-	// -debug-addr). When set, the generator scrapes /api/v1/metrics
-	// before and after the run and reports the WAL's fsync pressure —
-	// journal fsyncs per completed job — alongside throughput.
+	// -debug-addr), or a comma-separated list of them for a multi-node
+	// cluster. When set, the generator scrapes every listed
+	// /api/v1/metrics before and after the run and reports the WAL's
+	// fsync pressure — journal fsyncs per completed job, summed across
+	// nodes — alongside throughput.
 	MetricsAddr string
 	Users       int
 	Apps        int
@@ -65,14 +73,48 @@ type config struct {
 	RetryMax  time.Duration
 }
 
+// targets resolves the endpoint list clients round-robin over: the
+// parsed Addrs when set, otherwise just Addr.
+func (c config) targets() []string {
+	spec := c.Addrs
+	if spec == "" {
+		spec = c.Addr
+	}
+	var out []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// metricsTargets resolves the metrics endpoint list the same way.
+func (c config) metricsTargets() []string {
+	var out []string
+	for _, a := range strings.Split(c.MetricsAddr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 func (c config) validate() error {
+	targets := c.targets()
+	if len(targets) == 0 {
+		return fmt.Errorf("missing -addr (or an empty -addrs list)")
+	}
+	for _, a := range targets {
+		if c.Proto == "wire" && strings.Contains(a, "://") {
+			return fmt.Errorf("-proto wire takes host:port addresses, not URLs (%q)", a)
+		}
+	}
 	switch {
-	case c.Addr == "":
-		return fmt.Errorf("missing -addr")
 	case c.Proto != "http" && c.Proto != "wire":
 		return fmt.Errorf("-proto must be http or wire, not %q", c.Proto)
-	case c.Proto == "wire" && strings.Contains(c.Addr, "://"):
-		return fmt.Errorf("-proto wire takes a host:port address, not a URL (%q)", c.Addr)
+	case c.MetricsAddr != "" && len(c.metricsTargets()) == 0:
+		return fmt.Errorf("-metrics-addr is all commas and spaces")
 	case c.Clients <= 0:
 		return fmt.Errorf("-clients must be positive")
 	case c.Duration <= 0:
@@ -166,7 +208,7 @@ type walStats struct {
 	Syncs   uint64 `json:"wal_syncs"`
 }
 
-// scrapeWALStats reads the daemon's metrics endpoint (the -debug-addr
+// scrapeWALStats reads one daemon's metrics endpoint (the -debug-addr
 // listener). Errors are returned, not fatal: a daemon without a debug
 // listener simply yields no pressure numbers.
 func scrapeWALStats(base string) (walStats, error) {
@@ -183,6 +225,23 @@ func scrapeWALStats(base string) (walStats, error) {
 	return s, err
 }
 
+// scrapeClusterWALStats sums WAL counters across every listed metrics
+// endpoint. Each routed node journals its own share of the feedback
+// stream, so cluster-level fsync pressure is the sum — per-node
+// scraping would understate a routed run's records by the fan-out.
+func scrapeClusterWALStats(bases []string) (walStats, error) {
+	var total walStats
+	for _, base := range bases {
+		s, err := scrapeWALStats(base)
+		if err != nil {
+			return walStats{}, fmt.Errorf("%s: %w", base, err)
+		}
+		total.Records += s.Records
+		total.Syncs += s.Syncs
+	}
+	return total, nil
+}
+
 // run executes the closed loop and merges per-client stats. It is the
 // whole generator behind a testable seam: tests point Addr at an
 // httptest server.
@@ -193,13 +252,14 @@ func run(cfg config) (report, error) {
 	if err := cfg.validate(); err != nil {
 		return report{}, err
 	}
-	base := strings.TrimRight(cfg.Addr, "/")
+	targets := cfg.targets()
+	metrics := cfg.metricsTargets()
 	var walBefore walStats
-	scrapeWAL := cfg.MetricsAddr != ""
+	scrapeWAL := len(metrics) > 0
 	if scrapeWAL {
 		var err error
-		if walBefore, err = scrapeWALStats(cfg.MetricsAddr); err != nil {
-			return report{}, fmt.Errorf("scraping %s before the run: %w", cfg.MetricsAddr, err)
+		if walBefore, err = scrapeClusterWALStats(metrics); err != nil {
+			return report{}, fmt.Errorf("scraping before the run: %w", err)
 		}
 	}
 	deadline := time.Now().Add(cfg.Duration)
@@ -212,7 +272,11 @@ func run(cfg config) (report, error) {
 		go func() {
 			defer wg.Done()
 			w := &worker{
-				cfg: cfg, base: base, id: c, stats: &stats[c],
+				// Round-robin target assignment: client c drives
+				// targets[c mod N] for the whole run, so every node gets
+				// the same number of persistent closed-loop clients.
+				cfg: cfg, base: strings.TrimRight(targets[c%len(targets)], "/"),
+				id: c, stats: &stats[c],
 				// Per-worker seeded generator: backoff jitter stays
 				// deterministic for a given client id, so runs are
 				// reproducible (and workers never share a rand source).
@@ -232,9 +296,9 @@ func run(cfg config) (report, error) {
 		CompleteBatch: cfg.completeBatchSize(), Elapsed: time.Since(start),
 	}
 	if scrapeWAL {
-		after, err := scrapeWALStats(cfg.MetricsAddr)
+		after, err := scrapeClusterWALStats(metrics)
 		if err != nil {
-			return report{}, fmt.Errorf("scraping %s after the run: %w", cfg.MetricsAddr, err)
+			return report{}, fmt.Errorf("scraping after the run: %w", err)
 		}
 		rep.HasWAL = true
 		rep.WALRecords = after.Records - walBefore.Records

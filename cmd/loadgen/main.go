@@ -21,6 +21,14 @@
 // host:port). Replay-safety classification matches HTTP: a submit
 // frame that faulted after it was written fails hard (a replay could
 // double-submit), completions retry through reconnects.
+//
+// Against a multi-node cluster, -addrs lists several endpoints (router
+// replicas or the nodes themselves) and clients are assigned to them
+// round-robin; -metrics-addr then takes the matching comma-separated
+// debug listeners and sums WAL counters across the nodes:
+//
+//	loadgen -proto wire -addrs r0:8081,r1:8081 \
+//	        -metrics-addr http://n0:6060,http://n1:6060,http://n2:6060
 package main
 
 import (
@@ -33,12 +41,15 @@ import (
 func main() {
 	cfg := config{}
 	flag.StringVar(&cfg.Addr, "addr", "http://localhost:8080", "schedd base URL (-proto http) or host:port (-proto wire)")
+	flag.StringVar(&cfg.Addrs, "addrs", "",
+		"comma-separated schedd endpoints; clients are assigned to them round-robin (overrides -addr)")
 	flag.StringVar(&cfg.Proto, "proto", "http", "daemon protocol: http (JSON API) or wire (swp binary batches)")
 	flag.IntVar(&cfg.Clients, "clients", 4, "closed-loop client goroutines")
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "measurement window")
 	flag.IntVar(&cfg.Batch, "batch", 64, "jobs per request window (1 = per-job endpoints)")
 	flag.IntVar(&cfg.CompleteBatch, "complete-batch", 0, "completions per request (0 = follow -batch, 1 = per-job endpoint); sets the WAL append-group size under -wal-group-commit")
-	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "schedd -debug-addr base URL; when set, report WAL fsyncs per completion")
+	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "",
+		"schedd -debug-addr base URL(s), comma-separated for a cluster; when set, report WAL fsyncs per completion summed across nodes")
 	flag.IntVar(&cfg.Users, "users", 53, "distinct users cycled through")
 	flag.IntVar(&cfg.Apps, "apps", 7, "distinct applications cycled through")
 	flag.IntVar(&cfg.Nodes, "nodes", 1, "nodes requested per job")

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -322,5 +324,92 @@ func TestPercentileEdgeCases(t *testing.T) {
 	four := latencySample{1, 2, 3, 4}
 	if four.percentile(1) != 4 || four.percentile(0) != 1 {
 		t.Errorf("bounds: min=%v max=%v", four.percentile(0), four.percentile(1))
+	}
+}
+
+// TestRunMultiTargetRoundRobin checks -addrs: clients spread over every
+// listed endpoint, so both daemons see traffic from one run.
+func TestRunMultiTargetRoundRobin(t *testing.T) {
+	_, srvA := testDaemon(t)
+	_, srvB := testDaemon(t)
+
+	var hitsA, hitsB atomic.Int64
+	countA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hitsA.Add(1)
+		srvA.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(countA.Close)
+	countB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hitsB.Add(1)
+		srvB.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(countB.Close)
+
+	cfg := testConfig("", 8)
+	cfg.Addrs = countA.URL + " , " + countB.URL
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no jobs completed")
+	}
+	if hitsA.Load() == 0 || hitsB.Load() == 0 {
+		t.Fatalf("round-robin left a target idle: A=%d B=%d", hitsA.Load(), hitsB.Load())
+	}
+}
+
+// TestScrapeClusterWALStatsSums checks the multi-node -metrics-addr
+// path: per-node counters are summed, and one bad endpoint fails the
+// scrape rather than silently under-reporting.
+func TestScrapeClusterWALStatsSums(t *testing.T) {
+	mk := func(records, syncs uint64) *httptest.Server {
+		s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/api/v1/metrics" {
+				http.NotFound(w, r)
+				return
+			}
+			fmt.Fprintf(w, `{"wal_records":%d,"wal_syncs":%d}`, records, syncs)
+		}))
+		t.Cleanup(s.Close)
+		return s
+	}
+	a, b := mk(100, 10), mk(250, 25)
+	got, err := scrapeClusterWALStats([]string{a.URL, b.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Records != 350 || got.Syncs != 35 {
+		t.Fatalf("summed stats = %+v, want {350 35}", got)
+	}
+	if _, err := scrapeClusterWALStats([]string{a.URL, "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("dead metrics endpoint did not fail the scrape")
+	}
+}
+
+// TestConfigTargets pins the -addrs/-metrics-addr parsing rules.
+func TestConfigTargets(t *testing.T) {
+	c := config{Addr: "http://a"}
+	if got := c.targets(); len(got) != 1 || got[0] != "http://a" {
+		t.Fatalf("single-addr targets = %v", got)
+	}
+	c.Addrs = " http://a , http://b ,"
+	if got := c.targets(); len(got) != 2 || got[1] != "http://b" {
+		t.Fatalf("multi-addr targets = %v", got)
+	}
+	c.MetricsAddr = "http://m1,,http://m2"
+	if got := c.metricsTargets(); len(got) != 2 {
+		t.Fatalf("metrics targets = %v", got)
+	}
+	bad := testConfig("", 1)
+	bad.Addr = ""
+	if err := bad.validate(); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+	wires := testConfig("localhost:1", 1)
+	wires.Proto = "wire"
+	wires.Addrs = "localhost:1,http://nope"
+	if err := wires.validate(); err == nil {
+		t.Fatal("URL in wire -addrs accepted")
 	}
 }

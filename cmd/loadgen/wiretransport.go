@@ -106,7 +106,7 @@ func (wc *wireConn) exchange(frame []byte, want wire.FrameType) ([]wire.Result, 
 // same replay-safety classification as the HTTP loop, different
 // framing.
 func (w *worker) wireLoop(deadline time.Time) {
-	wc := &wireConn{addr: w.cfg.Addr}
+	wc := &wireConn{addr: w.base}
 	defer wc.reset()
 	for time.Now().Before(deadline) {
 		ids := w.wireSubmitWindow(wc)

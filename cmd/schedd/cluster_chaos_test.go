@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/repl"
+	"overprov/internal/router"
+	"overprov/internal/server"
+	"overprov/internal/units"
+	"overprov/internal/wal"
+	"overprov/internal/wire"
+)
+
+// wireNode is one routed backend for the cluster chaos test: a WAL-journaled
+// daemon serving swp, exactly the shape `schedd -wal-dir ... -wire-addr ...`
+// runs in production.
+type wireNode struct {
+	name  string
+	dir   string
+	srv   *server.Server
+	est   *estimate.ShardedSynchronized
+	log   *wal.Log
+	ws    *server.WireServer
+	ln    net.Listener
+	recov wal.RecoveryStats
+}
+
+func (n *wireNode) addr() string { return n.ln.Addr().String() }
+
+// startWireNode builds a backend over the given WAL directory (recovering
+// whatever is in it — which is how promotion works too).
+func startWireNode(t *testing.T, name, dir string) *wireNode {
+	t.Helper()
+	cl, err := cluster.New(cluster.Spec{Nodes: 1 << 12, Mem: units.MemSize(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{Alpha: 2, Round: cl}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := l.Recover(est.LoadState, func(r wal.Record) error {
+		est.Feedback(r.Outcome())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Cluster: cl, Estimator: est, Journal: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := server.NewWireServer(srv)
+	go func() { _ = ws.Serve(ln) }()
+	return &wireNode{name: name, dir: dir, srv: srv, est: est, log: l, ws: ws, ln: ln, recov: stats}
+}
+
+func (n *wireNode) stop(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = n.ws.Shutdown(ctx)
+	_ = n.log.Close()
+}
+
+// clusterJob is job i of the failover workload: enough groups to land
+// on every backend of a 3-node ring.
+func clusterJob(i int) wire.Job {
+	return wire.Job{
+		User: int32(i % 23), App: int32(i % 3),
+		Nodes: 1, ReqMemMB: 32, ReqTimeS: 600,
+	}
+}
+
+// runClusterPhase pushes jobs [start, start+n) through one swp
+// endpoint in a single batch pair, with deterministic mixed outcomes.
+func runClusterPhase(t *testing.T, fr *wire.Reader, bw *bufio.Writer, version uint8, enc *wire.Encoder, start, n int) {
+	t.Helper()
+	jobs := make([]wire.Job, n)
+	for i := range jobs {
+		jobs[i] = clusterJob(start + i)
+	}
+	res := wireExchange(t, fr, bw, enc.SubmitBatch(version, jobs))
+	if len(res) != n {
+		t.Fatalf("phase at %d: %d results", start, len(res))
+	}
+	comps := make([]wire.Completion, n)
+	for i, r := range res {
+		if r.Err != "" {
+			t.Fatalf("phase at %d item %d: %s", start, i, r.Err)
+		}
+		comps[i] = wire.Completion{ID: r.ID, Success: (start+i)%9 != 0, UsedMemMB: float64(2 + (start+i)%7)}
+	}
+	cres := wireExchange(t, fr, bw, enc.CompleteBatch(version, comps))
+	for i, r := range cres {
+		if r.Err != "" {
+			t.Fatalf("phase at %d complete item %d: %s", start, i, r.Err)
+		}
+	}
+}
+
+// TestClusterChaosFailover is the distributed tier's end-to-end crash
+// story, the in-process analogue of: 3 schedd nodes behind a router, a
+// follower mirroring one node's WAL over swp, the node dying hard, the
+// follower's (hand-torn) mirror being promoted and swapped in by
+// address — after which the merged cluster snapshot must still be
+// byte-identical to a crash-free single node serving the same load.
+func TestClusterChaosFailover(t *testing.T) {
+	const phase = 96
+
+	// Reference: one crash-free node sees the whole workload directly.
+	ref := startWireNode(t, "ref", t.TempDir())
+	defer ref.stop(t)
+	_, rfr, rbw, rver := wireDial(t, ref.addr())
+	var renc wire.Encoder
+	for p := 0; p < 3; p++ {
+		runClusterPhase(t, rfr, rbw, rver, &renc, p*phase, phase)
+	}
+	var want bytes.Buffer
+	if err := ref.est.SaveState(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The routed cluster: 3 nodes, a follower shadowing node 1's WAL.
+	nodes := make([]*wireNode, 3)
+	for i := range nodes {
+		nodes[i] = startWireNode(t, fmt.Sprintf("node%d", i), t.TempDir())
+	}
+	defer nodes[0].stop(t)
+	defer nodes[2].stop(t)
+
+	mirrorDir := t.TempDir()
+	mirror, err := wal.OpenMirror(mirrorDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx, fcancel := context.WithCancel(context.Background())
+	follower := &repl.Follower{Addr: nodes[1].addr(), Mirror: mirror, Interval: 2 * time.Millisecond}
+	followerDone := make(chan error, 1)
+	go func() { followerDone <- follower.Run(fctx) }()
+
+	rt, err := router.New(router.Config{Backends: []router.Backend{
+		{Name: "node0", Addr: nodes[0].addr()},
+		{Name: "node1", Addr: nodes[1].addr()},
+		{Name: "node2", Addr: nodes[2].addr()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = rt.Serve(rln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx)
+	}()
+
+	_, fr, bw, version := wireDial(t, rln.Addr().String())
+	var enc wire.Encoder
+
+	// Phase 1 through the router; mid-way node 1 rotates its WAL (so
+	// promotion exercises the snapshot + journal-suffix path, not just
+	// a journal replay).
+	runClusterPhase(t, fr, bw, version, &enc, 0, phase)
+	if err := nodes[1].srv.Quiesce(func() error {
+		return nodes[1].log.Rotate(nodes[1].est.SaveState)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runClusterPhase(t, fr, bw, version, &enc, phase, phase)
+
+	// Wait for the follower to fully catch up on the acked stream.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gens, lagBytes := mirror.Lag()
+		if gens == 0 && lagBytes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: lag %d gens, %d bytes", gens, lagBytes)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Kill node 1 hard: stop the follower, abandon the node (its WAL is
+	// never rotated or closed — a SIGKILL leaves exactly this), and tear
+	// the mirror's journal tail as if the follower died mid-append too.
+	fcancel()
+	if err := <-followerDone; err != nil && fctx.Err() == nil {
+		t.Fatal(err)
+	}
+	if err := mirror.Close(); err != nil {
+		t.Fatal(err)
+	}
+	victim := nodes[1]
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	_ = victim.ws.Shutdown(ctx)
+	cancel()
+
+	tail := filepath.Join(mirrorDir, fmt.Sprintf("journal-%08d.wal", victim.log.Seq()))
+	jf, err := os.OpenFile(tail, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.Write([]byte{0x41, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote: a fresh daemon over the mirror directory. Recovery must
+	// repair the torn tail and replay the full acked stream.
+	promoted := startWireNode(t, "node1", mirrorDir)
+	defer promoted.stop(t)
+	if promoted.recov.TornBytes == 0 {
+		t.Fatal("promotion saw no torn bytes — the hand-torn tail was not repaired")
+	}
+	var preCrash, postPromote bytes.Buffer
+	if err := victim.est.SaveState(&preCrash); err != nil {
+		t.Fatal(err)
+	}
+	if err := promoted.est.SaveState(&postPromote); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(preCrash.Bytes(), postPromote.Bytes()) {
+		t.Fatalf("promoted follower state differs from the dead node's acked state (%d vs %d bytes)",
+			postPromote.Len(), preCrash.Len())
+	}
+	if err := rt.SetBackendAddr("node1", promoted.addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2 rides through the same router and client connection.
+	runClusterPhase(t, fr, bw, version, &enc, 2*phase, phase)
+
+	// Merged cluster snapshot == crash-free single node.
+	states := make([]io.Reader, 0, 3)
+	for _, n := range []*wireNode{nodes[0], promoted, nodes[2]} {
+		var buf bytes.Buffer
+		if err := n.est.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, &buf)
+	}
+	var merged bytes.Buffer
+	if err := estimate.MergeStates(&merged, states...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), want.Bytes()) {
+		t.Fatalf("merged post-failover state differs from crash-free reference (%d vs %d bytes)",
+			merged.Len(), want.Len())
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"overprov/internal/repl"
+	"overprov/internal/router"
+	"overprov/internal/wal"
+)
+
+// The two distributed-tier modes. Both replace the normal scheduling
+// daemon entirely:
+//
+//	schedd -route "n0=host0:8081,n1=host1:8081" -wire-addr :8081
+//	    runs the stateless router tier — swp in, swp out, batches split
+//	    by similarity-group key over the consistent-hash ring.
+//
+//	schedd -follow host0:8081 -wal-dir /var/lib/schedd/wal
+//	    runs a WAL-shipping follower: mirrors the backend's feedback
+//	    journal (acked prefix only) into -wal-dir. Promotion is simply
+//	    restarting without -follow on the same -wal-dir — recovery
+//	    replays the mirrored stream like any crash restart.
+
+// parseBackends parses "name=addr,name=addr". Names are the stable
+// ring identities, so spell them the same on every router.
+func parseBackends(spec string) ([]router.Backend, error) {
+	var backends []router.Backend
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad backend %q (want name=addr)", part)
+		}
+		backends = append(backends, router.Backend{Name: name, Addr: addr})
+	}
+	return backends, nil
+}
+
+// runRouter serves the router tier until SIGTERM/SIGINT, then drains
+// client connections like the scheduling daemon does.
+func runRouter(routeSpec, wireAddr string, poolSize int, drainFor time.Duration) {
+	backends, err := parseBackends(routeSpec)
+	if err != nil {
+		log.Fatalf("schedd: -route: %v", err)
+	}
+	r, err := router.New(router.Config{Backends: backends, PoolSize: poolSize})
+	if err != nil {
+		log.Fatalf("schedd: %v", err)
+	}
+	ln, err := net.Listen("tcp", wireAddr)
+	if err != nil {
+		log.Fatalf("schedd: wire listener: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Serve(ln) }()
+	log.Printf("schedd: routing swp on %s across %d backends", ln.Addr(), len(backends))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("schedd: router: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("schedd: %v — draining router (deadline %v)", s, drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), drainFor)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			log.Printf("schedd: router drain: %v", err)
+		}
+	}
+}
+
+// runFollower mirrors a backend's WAL until SIGTERM/SIGINT, logging
+// replication lag once per interval tick.
+func runFollower(leaderAddr, walDir string, logEach time.Duration) {
+	m, err := wal.OpenMirror(walDir, nil)
+	if err != nil {
+		log.Fatalf("schedd: opening mirror %s: %v", walDir, err)
+	}
+	f := &repl.Follower{
+		Addr:   leaderAddr,
+		Mirror: m,
+		Logf:   log.Printf,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+	log.Printf("schedd: following %s into %s", leaderAddr, walDir)
+
+	ticker := time.NewTicker(logEach)
+	defer ticker.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			gens, bytes := m.Lag()
+			switch {
+			case bytes < 0:
+				log.Printf("schedd: follower lag: %d generation(s) behind (resyncing)", gens)
+			default:
+				log.Printf("schedd: follower lag: %d byte(s)", bytes)
+			}
+		case s := <-sig:
+			log.Printf("schedd: %v — stopping follower", s)
+			cancel()
+			<-done
+			if err := m.Sync(); err != nil {
+				log.Printf("schedd: syncing mirror: %v", err)
+			}
+			if err := m.Close(); err != nil {
+				log.Printf("schedd: closing mirror: %v", err)
+			}
+			log.Printf("schedd: mirror %s is promotable — restart without -follow to serve from it", walDir)
+			return
+		}
+	}
+}

@@ -19,6 +19,8 @@
 //	schedd -shards 64 -debug-addr :6060         # wider striping + pprof/metrics
 //	schedd -drain-timeout 30s                   # graceful-shutdown deadline
 //	schedd -wire-addr :8081                     # swp binary batch protocol listener
+//	schedd -route "n0=h0:8081,n1=h1:8081" -wire-addr :8081   # stateless router tier
+//	schedd -follow h0:8081 -wal-dir /var/lib/wal             # WAL-shipping follower
 //
 // API (see internal/server):
 //
@@ -84,8 +86,36 @@ func main() {
 		shards      = flag.Int("shards", estimate.DefaultShards, "estimator lock stripes (rounded up to a power of two)")
 		debug       = flag.String("debug-addr", "", "optional second listener for /debug/pprof/ and /api/v1/metrics")
 		wireAddr    = flag.String("wire-addr", "", "optional listener for the swp binary batch protocol")
+		route       = flag.String("route", "",
+			"run as a stateless swp router over name=addr backends (comma-separated; requires -wire-addr)")
+		routePool = flag.Int("route-pool", 4, "router: pooled connections per backend")
+		follow    = flag.String("follow", "",
+			"run as a WAL-shipping follower of the given backend swp address (requires -wal-dir)")
 	)
 	flag.Parse()
+	if *route != "" && *follow != "" {
+		log.Fatalf("schedd: -route and -follow are mutually exclusive")
+	}
+	if *route != "" {
+		if *wireAddr == "" {
+			log.Fatalf("schedd: -route requires -wire-addr (the router's client-facing listener)")
+		}
+		if *walDir != "" || *state != "" {
+			log.Fatalf("schedd: the router tier is stateless; -wal-dir/-state do not apply")
+		}
+		runRouter(*route, *wireAddr, *routePool, *drainFor)
+		return
+	}
+	if *follow != "" {
+		if *walDir == "" {
+			log.Fatalf("schedd: -follow requires -wal-dir (where the mirrored WAL lands)")
+		}
+		if *state != "" {
+			log.Fatalf("schedd: -follow mirrors a WAL; -state does not apply")
+		}
+		runFollower(*follow, *walDir, *saveEach)
+		return
+	}
 	if *state != "" && *walDir != "" {
 		log.Fatalf("schedd: -state and -wal-dir are mutually exclusive (the WAL keeps its own snapshots)")
 	}

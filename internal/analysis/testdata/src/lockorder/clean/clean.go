@@ -172,6 +172,44 @@ func (w *WireListener) Track(id int) {
 	w.conns[id] = true
 }
 
+// Mirror is the WAL follower's replica state (wal.Mirror.mu, rank 65):
+// a leaf taken by the replication loop and the lag probe, never while
+// any serving lock is held and never holding anything beneath it.
+type Mirror struct {
+	//overprov:lock rank=65
+	mu  sync.Mutex
+	gen uint64
+}
+
+func (m *Mirror) Lag() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}
+
+// RouterServe is the router's accept-loop registry (rank 70), the
+// outermost leaf of the extended hierarchy: connection tracking only,
+// nothing is ever acquired under it.
+type RouterServe struct {
+	//overprov:lock rank=70
+	mu    sync.Mutex
+	conns map[int]bool
+}
+
+func (r *RouterServe) Track(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.conns[id] = true
+}
+
+// followerTick is the replication loop's shape: mirror bookkeeping
+// (65) strictly after the wire registry (60) is released, each lock
+// alone — the follower never holds serving state while applying.
+func followerTick(w *WireListener, m *Mirror) uint64 {
+	w.Track(1)
+	return m.Lag()
+}
+
 // dispatchPass is the admission-dispatch shape: queue bookkeeping under
 // the apex alone, the estimator read released, and only then the pool
 // locks (rank 50) via Allocate — dispatch never allocates under

@@ -139,6 +139,32 @@ func shutdownWrong(w *WireListener, p *Pool) {
 	p.mu.Unlock()
 }
 
+// Mirror is the follower's replica lock (rank 65); RouterServe the
+// router's accept-loop registry (rank 70) — the extended hierarchy's
+// outermost leaf.
+type Mirror struct {
+	//overprov:lock rank=65
+	mu  sync.Mutex
+	gen uint64
+}
+
+type RouterServe struct {
+	//overprov:lock rank=70
+	mu    sync.Mutex
+	conns map[int]bool
+}
+
+// promoteWrong probes the mirror while holding the router's serve
+// lock: rank 65 under rank 70 inverts the hierarchy — the accept loop
+// must never wait on replication state.
+func promoteWrong(r *RouterServe, m *Mirror) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.mu.Lock() // want `lock order violation: flagged\.Mirror\.mu \(rank 65\) acquired while flagged\.RouterServe\.mu \(rank 70\) is held`
+	m.gen++
+	m.mu.Unlock()
+}
+
 // Two unranked locks acquired in both orders: a cycle even without
 // ranks.
 type cacheA struct {

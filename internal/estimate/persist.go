@@ -158,3 +158,54 @@ func (s *SuccessiveApprox) LoadState(r io.Reader) error {
 	}
 	return nil
 }
+
+// MergeStates combines several persisted estimator states into one,
+// writing the canonical single-estimator form to w. It exists for the
+// distributed tier: each routed node persists the groups the ring
+// assigned it, and the cluster-level snapshot is the merge — which is
+// byte-identical to a single node's SaveState over the same workload
+// when the inputs are disjoint (the router guarantees they are).
+//
+// All inputs must agree on (α, β): they are one logical estimator's
+// configuration, and silently blending differently-configured state
+// would corrupt the learned values. Should the same group appear in
+// several inputs, the last occurrence wins, matching LoadState's
+// duplicate rule.
+func MergeStates(w io.Writer, states ...io.Reader) error {
+	if len(states) == 0 {
+		return fmt.Errorf("estimate: merging zero states")
+	}
+	var (
+		alpha, beta float64
+		byKey       = make(map[similarity.Key]persistedGroup)
+		order       []similarity.Key
+	)
+	for i, r := range states {
+		st, err := readState(r)
+		if err != nil {
+			return fmt.Errorf("estimate: merge input %d: %w", i, err)
+		}
+		if i == 0 {
+			alpha, beta = st.Alpha, st.Beta
+		} else if st.Alpha != alpha || st.Beta != beta {
+			return fmt.Errorf("estimate: merge input %d has (α=%g, β=%g), want (α=%g, β=%g)",
+				i, st.Alpha, st.Beta, alpha, beta)
+		}
+		for _, g := range st.Groups {
+			k := g.key()
+			if _, seen := byKey[k]; !seen {
+				order = append(order, k)
+			}
+			byKey[k] = g
+		}
+	}
+	var groups []persistedGroup
+	if len(order) > 0 {
+		groups = make([]persistedGroup, 0, len(order))
+		for _, k := range order {
+			groups = append(groups, byKey[k])
+		}
+		sortPersistedGroups(groups)
+	}
+	return writeState(w, alpha, beta, groups)
+}

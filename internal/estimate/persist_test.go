@@ -142,3 +142,96 @@ func TestLoadStateMergesWithLiveGroups(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeStatesEqualsSingleNode is the distributed tier's snapshot
+// contract in miniature: split a workload's groups across two
+// estimators (as the router's ring would), save each, merge — and the
+// bytes must equal one estimator learning everything itself.
+func TestMergeStatesEqualsSingleNode(t *testing.T) {
+	mk := func() *SuccessiveApprox {
+		sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sa
+	}
+	learn := func(sa *SuccessiveApprox, user int, req, used float64, cycles int) {
+		for c := 0; c < cycles; c++ {
+			j := job(user*100+c, req, used)
+			j.User = user
+			e := sa.Estimate(j)
+			sa.Feedback(Outcome{Job: j, Allocated: e, Success: true})
+		}
+	}
+
+	single, a, b := mk(), mk(), mk()
+	for user := 0; user < 8; user++ {
+		learn(single, user, 32, 4+float64(user), 3)
+		if user%2 == 0 {
+			learn(a, user, 32, 4+float64(user), 3)
+		} else {
+			learn(b, user, 32, 4+float64(user), 3)
+		}
+	}
+
+	var want, sa, sb, merged bytes.Buffer
+	if err := single.SaveState(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveState(&sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveState(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeStates(&merged, &sa, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != want.String() {
+		t.Fatalf("merged state differs from single-node state:\nmerged:\n%s\nwant:\n%s", merged.String(), want.String())
+	}
+}
+
+func TestMergeStatesRejectsMismatchedConfig(t *testing.T) {
+	mkState := func(alpha float64) *bytes.Buffer {
+		sa, err := NewSuccessiveApprox(SuccessiveApproxConfig{Alpha: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sa.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	var out bytes.Buffer
+	if err := MergeStates(&out, mkState(2), mkState(4)); err == nil {
+		t.Fatal("mismatched α merged silently")
+	}
+	if err := MergeStates(&out); err == nil {
+		t.Fatal("zero-input merge accepted")
+	}
+	if err := MergeStates(&out, strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage input merged")
+	}
+}
+
+// TestMergeStatesDuplicateLastWins mirrors LoadState's rule when inputs
+// overlap (e.g. snapshots taken across a ring membership change).
+func TestMergeStatesDuplicateLastWins(t *testing.T) {
+	first := `{"version":1,"kind":"successive-approx","alpha":2,"beta":0,"groups":[
+	  {"user":1,"app":1,"reqmem_kb":32768,"estimate_mb":24,"last_good_mb":24,"alpha":2}]}`
+	second := `{"version":1,"kind":"successive-approx","alpha":2,"beta":0,"groups":[
+	  {"user":1,"app":1,"reqmem_kb":32768,"estimate_mb":6,"last_good_mb":6,"alpha":4}]}`
+	var out bytes.Buffer
+	if err := MergeStates(&out, strings.NewReader(first), strings.NewReader(second)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := readState(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Groups) != 1 || st.Groups[0].Estimate != 6 {
+		t.Fatalf("merged groups %+v, want the later input's 6 MB", st.Groups)
+	}
+}

@@ -1,0 +1,171 @@
+// Package repl carries WAL replication frames between a follower's
+// mirror and its leader. The protocol state lives in wal.Mirror
+// (what to fetch next, how to fold a chunk in) and wal.Log.ShipState
+// (what to serve); this package is only the network loop: one
+// persistent swp connection, poll, apply, back off, re-dial.
+//
+// Separation of concerns mirrors the serving stack: internal/wire is
+// the codec, internal/wal owns the files, internal/repl moves bytes.
+// A follower process is `schedd -follow leader:port` (cmd/schedd);
+// the chaos tests drive Follower in-process around real TCP.
+package repl
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"overprov/internal/wal"
+	"overprov/internal/wire"
+)
+
+// Follower replicates one leader's WAL into a local mirror directory.
+type Follower struct {
+	// Addr is the leader's wire listener (host:port).
+	Addr string
+	// Mirror receives the replicated bytes.
+	Mirror *wal.Mirror
+	// Interval is the idle poll period once caught up (default 100ms).
+	// While behind, the follower streams chunks back to back.
+	Interval time.Duration
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Logf, when set, receives connection-lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+func (f *Follower) interval() time.Duration {
+	if f.Interval > 0 {
+		return f.Interval
+	}
+	return 100 * time.Millisecond
+}
+
+func (f *Follower) dialTimeout() time.Duration {
+	if f.DialTimeout > 0 {
+		return f.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+// Run replicates until ctx is cancelled. Connection failures back off
+// and re-dial forever — a follower's job is to wait out leader
+// restarts; only ctx ends it. The mirror is left open (the caller
+// promotes or closes it).
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.interval()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := f.session(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		f.logf("repl: follower of %s: %v (retrying in %v)", f.Addr, err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// session runs one connection's poll loop until it faults or ctx ends.
+func (f *Follower) session(ctx context.Context) error {
+	c, err := net.DialTimeout("tcp", f.Addr, f.dialTimeout())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close() }()
+
+	// Cancellation unblocks the connection's reads by closing it.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = c.Close()
+		case <-watchDone:
+		}
+	}()
+
+	fr := wire.NewReader(bufio.NewReader(c))
+	bw := bufio.NewWriter(c)
+	var enc wire.Encoder
+	version, err := handshake(fr, bw, &enc)
+	if err != nil {
+		return err
+	}
+	f.logf("repl: following %s (swp v%d) into %s", f.Addr, version, f.Mirror.Dir())
+
+	idle := f.interval()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		req := f.Mirror.NextRequest()
+		if _, err := bw.Write(enc.WALFetch(version, req)); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		fm, err := fr.ReadFrame()
+		if err != nil {
+			return err
+		}
+		if fm.Type == wire.TypeError {
+			return fmt.Errorf("leader error: %s", wire.DecodeError(fm.Payload))
+		}
+		if fm.Type != wire.TypeWALState {
+			return fmt.Errorf("reply type %d, want %d", fm.Type, wire.TypeWALState)
+		}
+		s, err := wire.DecodeWALState(fm.Payload)
+		if err != nil {
+			return err
+		}
+		progress, err := f.Mirror.Apply(s)
+		if err != nil {
+			return err
+		}
+		if progress {
+			continue // keep streaming while behind
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(idle):
+		}
+	}
+}
+
+// handshake negotiates the swp version (the same exchange every wire
+// client performs).
+func handshake(fr *wire.Reader, bw *bufio.Writer, enc *wire.Encoder) (uint8, error) {
+	if _, err := bw.Write(enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, wire.VersionMin)); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	fm, err := fr.ReadFrame()
+	if err != nil {
+		return 0, err
+	}
+	if fm.Type != wire.TypeHello {
+		return 0, fmt.Errorf("handshake rejected: %s", wire.DecodeError(fm.Payload))
+	}
+	return fm.Version, nil
+}

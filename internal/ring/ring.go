@@ -1,0 +1,202 @@
+// Package ring implements the consistent-hash placement ring the
+// distributed estimator tier routes by. Nodes are identified by stable
+// logical names; each name contributes `replicas` virtual points on a
+// 64-bit hash circle, and a group key is owned by the node whose point
+// is the first at or clockwise of the key's hash.
+//
+// The properties the router depends on (pinned by ring_test.go):
+//
+//   - Deterministic placement: ownership is a pure function of the
+//     member *names*, not of construction order or process identity,
+//     so every router replica and every test computes the same
+//     group → node map.
+//   - Minimal movement: removing a node remaps only the groups it
+//     owned; adding a node steals only the arcs it now covers, moving
+//     ≈ K/N of K groups and never shuffling a group between two
+//     surviving nodes.
+//   - Bounded load: with the default replica count the largest node's
+//     share of a large key population stays within a small constant
+//     factor of the mean (LookupBounded additionally walks past nodes
+//     the caller reports as full, for planning around drained nodes).
+//
+// The estimator is group-partitioned (feedback for one similarity key
+// never reads another's state), so partitioning groups across schedd
+// processes by this ring preserves the paper's learning exactly — the
+// merged cluster snapshot is byte-identical to a single node's (see
+// internal/router's equivalence test).
+package ring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per member. 160 points per
+// node keeps the max/mean load ratio near 1.2 for large key
+// populations (TestRingBalance pins the bound) at a memory cost of
+// 16 bytes per point.
+const DefaultReplicas = 160
+
+// point is one virtual node: a position on the circle owned by a
+// member index.
+type point struct {
+	hash uint64
+	node int32
+}
+
+// Ring is an immutable consistent-hash ring. Membership changes build
+// a new Ring (construction is O(N·replicas·log); lookups are the hot
+// path) — immutability is what lets the router read it lock-free.
+type Ring struct {
+	names    []string
+	points   []point
+	replicas int
+}
+
+// New builds a ring over the given member names. Names must be
+// non-empty and unique; they are the stable identity placement hangs
+// off, so callers that re-dial a failed-over backend at a new address
+// keep the name and only swap the transport. replicas <= 0 selects
+// DefaultReplicas.
+func New(names []string, replicas int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("ring: at least one node required")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]struct{}, len(names))
+	r := &Ring{
+		names:    append([]string(nil), names...),
+		points:   make([]point, 0, len(names)*replicas),
+		replicas: replicas,
+	}
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("ring: empty node name at index %d", i)
+		}
+		if _, dup := seen[name]; dup {
+			return nil, fmt.Errorf("ring: duplicate node name %q", name)
+		}
+		seen[name] = struct{}{}
+		h := hashString(name)
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: pointHash(h, uint64(v)), node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		// A 64-bit collision between two members' points is
+		// astronomically unlikely; break the tie by name so placement
+		// stays independent of construction order even then.
+		return r.names[pa.node] < r.names[pb.node]
+	})
+	return r, nil
+}
+
+// Nodes returns the member names in construction order (the order
+// Lookup indices refer to).
+func (r *Ring) Nodes() []string { return append([]string(nil), r.names...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.names) }
+
+// Name returns the member name for a Lookup index.
+func (r *Ring) Name(i int) string { return r.names[i] }
+
+// Lookup returns the index of the member owning hash h: the node of
+// the first point at or clockwise of h.
+func (r *Ring) Lookup(h uint64) int {
+	return int(r.points[r.search(h)].node)
+}
+
+// LookupName is Lookup returning the member name.
+func (r *Ring) LookupName(h uint64) string {
+	return r.names[r.Lookup(h)]
+}
+
+// LookupBounded walks clockwise from the owning point past members the
+// caller reports as full, returning the first member with capacity.
+// This is the bounded-load escape hatch for planning placements around
+// drained or overloaded nodes; the router's steady-state routing uses
+// plain Lookup, because a group's state must stay on one node. If
+// every member is full the unbounded owner is returned.
+func (r *Ring) LookupBounded(h uint64, full func(node int) bool) int {
+	start := r.search(h)
+	owner := int(r.points[start].node)
+	if full == nil || !full(owner) {
+		return owner
+	}
+	tried := make(map[int32]struct{}, len(r.names))
+	tried[int32(owner)] = struct{}{}
+	for i := 1; i < len(r.points) && len(tried) < len(r.names); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, done := tried[p.node]; done {
+			continue
+		}
+		tried[p.node] = struct{}{}
+		if !full(int(p.node)) {
+			return int(p.node)
+		}
+	}
+	return owner
+}
+
+// search returns the index of the first point at or clockwise of h,
+// wrapping past the top of the circle.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// pointHash derives the circle position of virtual node v of a member
+// whose name hashes to nameHash. The splitmix64 finalizer scatters the
+// sequential replica indices uniformly around the circle.
+func pointHash(nameHash, v uint64) uint64 {
+	return mix64(nameHash ^ (v+1)*0x9E3779B97F4A7C15)
+}
+
+// hashString is FNV-64a — stable across processes and Go versions,
+// unlike maphash, which is the whole point.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler with
+// full avalanche, so structured inputs (sequential replica indices,
+// similar names) land uniformly on the circle.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// HashKey hashes a similarity-group key (user, app, reqMemKB) onto the
+// circle. This is the router's placement hash: every tier that needs
+// to know where a group lives (router frame splitting, equivalence
+// tests, capacity planning) must use this exact function, so it lives
+// next to the ring rather than being re-derived per caller. It is
+// deliberately independent of the estimator's in-process shard hash —
+// the two partitions nest arbitrarily.
+func HashKey(user, app, reqMemKB int64) uint64 {
+	h := uint64(user)*0x9E3779B97F4A7C15 ^ uint64(app)*0xC2B2AE3D27D4EB4F ^ uint64(reqMemKB)*0x165667B19E3779F9
+	return mix64(h)
+}

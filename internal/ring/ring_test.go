@@ -1,0 +1,203 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys returns a deterministic population of K group-key hashes,
+// drawn the way the router draws them: HashKey over a (user, app,
+// reqmem) grid shaped like loadgen's workload.
+func testKeys(k int) []uint64 {
+	keys := make([]uint64, 0, k)
+	for i := 0; len(keys) < k; i++ {
+		keys = append(keys, HashKey(int64(i%2111), int64(i/2111%13), int64(32*1024*(1+i%3))))
+	}
+	return keys
+}
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("schedd-%d", i)
+	}
+	return out
+}
+
+func mustRing(t *testing.T, members []string) *Ring {
+	t.Helper()
+	r, err := New(members, 0)
+	if err != nil {
+		t.Fatalf("New(%v): %v", members, err)
+	}
+	return r
+}
+
+// TestRingDeterministicPlacement pins the property the router tier
+// depends on: ownership is a function of the member names only. Two
+// rings built from the same set in different orders, or in separate
+// Ring values, agree on every key's owner name.
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := names(5)
+	shuffled := append([]string(nil), members...)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	a := mustRing(t, members)
+	b := mustRing(t, shuffled)
+	c := mustRing(t, members)
+	for _, h := range testKeys(20000) {
+		if got, want := b.LookupName(h), a.LookupName(h); got != want {
+			t.Fatalf("order-dependent placement: key %#x → %q (shuffled) vs %q", h, got, want)
+		}
+		if got, want := c.LookupName(h), a.LookupName(h); got != want {
+			t.Fatalf("instance-dependent placement: key %#x → %q vs %q", h, got, want)
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyVictims is the failover property: when a
+// node leaves, every key it did not own stays exactly where it was.
+// A group that stays on a surviving node is never remapped.
+func TestRingRemovalMovesOnlyVictims(t *testing.T) {
+	members := names(8)
+	before := mustRing(t, members)
+	keys := testKeys(50000)
+	for victim := 0; victim < len(members); victim++ {
+		survivors := make([]string, 0, len(members)-1)
+		for i, n := range members {
+			if i != victim {
+				survivors = append(survivors, n)
+			}
+		}
+		after := mustRing(t, survivors)
+		moved := 0
+		for _, h := range keys {
+			was, is := before.LookupName(h), after.LookupName(h)
+			if was == members[victim] {
+				moved++
+				continue // orphaned keys may land anywhere
+			}
+			if was != is {
+				t.Fatalf("removing %s remapped a surviving key: %#x moved %s → %s",
+					members[victim], h, was, is)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("victim %s owned no keys out of %d — ring is degenerate", members[victim], len(keys))
+		}
+	}
+}
+
+// TestRingAdditionBoundedMovement is the scale-out property: adding a
+// node to an N-member ring moves at most ⌈K/N⌉ + ε of K keys (ε here
+// 25% slack for virtual-node variance at the default replica count),
+// and every moved key lands on the new node — no shuffling between
+// survivors.
+func TestRingAdditionBoundedMovement(t *testing.T) {
+	keys := testKeys(50000)
+	for _, n := range []int{1, 2, 4, 8} {
+		members := names(n)
+		before := mustRing(t, members)
+		grown := append(append([]string(nil), members...), "schedd-new")
+		after := mustRing(t, grown)
+		moved := 0
+		for _, h := range keys {
+			was, is := before.LookupName(h), after.LookupName(h)
+			if was == is {
+				continue
+			}
+			if is != "schedd-new" {
+				t.Fatalf("N=%d: key %#x moved between survivors: %s → %s", n, h, was, is)
+			}
+			moved++
+		}
+		// ⌈K/N⌉ + ε with ε = K/(4N): bounds the new node's steal at
+		// 1.25× the even share it displaces.
+		bound := (len(keys)+n-1)/n + len(keys)/(4*n)
+		if moved > bound {
+			t.Fatalf("N=%d: adding a node moved %d of %d keys, bound %d", n, moved, len(keys), bound)
+		}
+		if moved == 0 {
+			t.Fatalf("N=%d: new node stole nothing out of %d keys", n, len(keys))
+		}
+		t.Logf("N=%d→%d: moved %d/%d keys (bound %d, even share %d)",
+			n, n+1, moved, len(keys), bound, len(keys)/(n+1))
+	}
+}
+
+// TestRingBalance pins the bounded-load constant: at the default
+// replica count the most-loaded member of an 8-node ring carries at
+// most 1.35× the mean over a large key population.
+func TestRingBalance(t *testing.T) {
+	r := mustRing(t, names(8))
+	keys := testKeys(100000)
+	loads := make([]int, r.Len())
+	for _, h := range keys {
+		loads[r.Lookup(h)]++
+	}
+	mean := float64(len(keys)) / float64(r.Len())
+	for i, l := range loads {
+		if ratio := float64(l) / mean; ratio > 1.35 {
+			t.Fatalf("node %d carries %.2f× the mean (%d keys of %d): raise replicas or fix the hash",
+				i, ratio, l, len(keys))
+		}
+	}
+	t.Logf("loads: %v (mean %.0f)", loads, mean)
+}
+
+// TestRingLookupBounded checks the full-node walk: a full owner is
+// skipped, the key lands on a non-full member deterministically, and
+// an all-full ring falls back to the unbounded owner.
+func TestRingLookupBounded(t *testing.T) {
+	r := mustRing(t, names(4))
+	keys := testKeys(2000)
+	for _, h := range keys {
+		owner := r.Lookup(h)
+		got := r.LookupBounded(h, func(n int) bool { return n == owner })
+		if got == owner {
+			t.Fatalf("key %#x: bounded lookup stayed on full owner %d", h, owner)
+		}
+		again := r.LookupBounded(h, func(n int) bool { return n == owner })
+		if got != again {
+			t.Fatalf("key %#x: bounded lookup nondeterministic: %d then %d", h, got, again)
+		}
+		if all := r.LookupBounded(h, func(int) bool { return true }); all != owner {
+			t.Fatalf("key %#x: all-full fallback %d, want unbounded owner %d", h, all, owner)
+		}
+		if none := r.LookupBounded(h, nil); none != owner {
+			t.Fatalf("key %#x: nil predicate changed owner %d → %d", h, owner, none)
+		}
+	}
+}
+
+// TestRingConstructionErrors pins the input validation.
+func TestRingConstructionErrors(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+// TestHashKeyScatters sanity-checks the group-key hash: distinct keys
+// in a realistic grid do not collide and spread across the space.
+func TestHashKeyScatters(t *testing.T) {
+	seen := make(map[uint64]struct{}, 64*8*3)
+	for u := int64(0); u < 64; u++ {
+		for a := int64(0); a < 8; a++ {
+			for m := int64(1); m <= 3; m++ {
+				h := HashKey(u, a, 32*1024*m)
+				if _, dup := seen[h]; dup {
+					t.Fatalf("collision at (%d,%d,%d)", u, a, m)
+				}
+				seen[h] = struct{}{}
+			}
+		}
+	}
+}

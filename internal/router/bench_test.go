@@ -1,0 +1,105 @@
+package router
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"overprov/internal/wire"
+)
+
+// benchClient reuses encode/decode buffers across iterations, exactly
+// like the server package's wire benchmark client, so the two report
+// comparable jobs/s.
+type benchClient struct {
+	tc    *testClient
+	jobs  []wire.Job
+	comps []wire.Completion
+}
+
+// submitCompleteWire runs n job lifecycles (one submit batch + one
+// complete batch) against the client's endpoint.
+func (bc *benchClient) submitCompleteWire(b *testing.B, worker, start, n int) {
+	bc.jobs = bc.jobs[:0]
+	for i := 0; i < n; i++ {
+		bc.jobs = append(bc.jobs, wire.Job{
+			User: int32((worker*31 + start + i) % 53), App: int32((start + i) % 7),
+			Nodes: 1, ReqMemMB: 64, ReqTimeS: 600,
+		})
+	}
+	tc := bc.tc
+	res := tc.exchange(b, tc.enc.SubmitBatch(tc.version, bc.jobs), wire.TypeSubmitResult)
+	if len(res) != n {
+		b.Fatalf("submit returned %d results, want %d", len(res), n)
+	}
+	bc.comps = bc.comps[:0]
+	for i, r := range res {
+		if r.Err != "" {
+			b.Fatalf("submit item %d: %s", i, r.Err)
+		}
+		bc.comps = append(bc.comps, wire.Completion{ID: r.ID, Success: true, UsedMemMB: 8})
+	}
+	res = tc.exchange(b, tc.enc.CompleteBatch(tc.version, bc.comps), wire.TypeCompleteResult)
+	if len(res) != n {
+		b.Fatalf("complete returned %d results, want %d", len(res), n)
+	}
+	for i, r := range res {
+		if r.Err != "" {
+			b.Fatalf("complete item %d: %s", i, r.Err)
+		}
+	}
+}
+
+// BenchmarkRoutedSubmitComplete is BENCH_9: end-to-end job lifecycles
+// per second over the swp protocol, with 64-job batches and 4 client
+// connections.
+//
+// mode=direct is the baseline — clients on one bare schedd node, no
+// router in the path (the same shape BENCH_8 measures). mode=routed
+// puts the router tier in front of backends ∈ {1, 2, 4}; the
+// backends=1 row is pure router overhead (every frame takes the extra
+// hop and the single-backend inline fast path), and 2 and 4 show the
+// scale-out once batches fan out and the backends' estimator and
+// journal work run in parallel.
+func BenchmarkRoutedSubmitComplete(b *testing.B) {
+	const (
+		batch   = 64
+		clients = 4
+	)
+	run := func(b *testing.B, addr string) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(clients))
+		b.SetParallelism(1) // exactly `clients` goroutines
+		var nextWorker atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			worker := int(nextWorker.Add(1))
+			bc := &benchClient{tc: dialTest(b, addr)}
+			i, pending := 0, 0
+			for pb.Next() {
+				pending++
+				if pending == batch {
+					bc.submitCompleteWire(b, worker, i, pending)
+					i += pending
+					pending = 0
+				}
+			}
+			if pending > 0 {
+				bc.submitCompleteWire(b, worker, i, pending)
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	}
+
+	b.Run("mode=direct", func(b *testing.B) {
+		node := startNode(b, "direct")
+		run(b, node.addr())
+	})
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("mode=routed/backends=%d", k), func(b *testing.B) {
+			_, addr, _ := startCluster(b, k)
+			run(b, addr)
+		})
+	}
+}

@@ -1,0 +1,172 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"overprov/internal/estimate"
+	"overprov/internal/wire"
+)
+
+// equivJob is the i-th job of the equivalence workload: enough distinct
+// (user, app) groups to scatter over four backends, with per-group
+// usage patterns (including failures) so the estimator actually learns
+// α-adjustments, not just first-touch state.
+func equivJob(i int) wire.Job {
+	return wire.Job{
+		User:     int32(i % 29),
+		App:      int32(i % 5),
+		Nodes:    1,
+		ReqMemMB: float64(32 * (1 + i%2)), // two request sizes → more groups
+		ReqTimeS: 600,
+	}
+}
+
+// equivCompletion reports job i's outcome: mostly successes with used
+// memory walking per group, every 7th a failure so backoff paths run.
+func equivCompletion(id int64, i int) wire.Completion {
+	return wire.Completion{
+		ID:        id,
+		Success:   i%7 != 0,
+		UsedMemMB: float64(2 + i%11),
+	}
+}
+
+// runEquivWorkload drives the full workload through one swp endpoint
+// (a router or a bare node) over a single connection — batches of 64,
+// submit then complete, preserving per-group feedback order exactly as
+// one client would.
+func runEquivWorkload(t *testing.T, addr string, jobsTotal int) {
+	t.Helper()
+	tc := dialTest(t, addr)
+	const batch = 64
+	for start := 0; start < jobsTotal; start += batch {
+		n := batch
+		if start+n > jobsTotal {
+			n = jobsTotal - start
+		}
+		jobs := make([]wire.Job, n)
+		for i := range jobs {
+			jobs[i] = equivJob(start + i)
+		}
+		res := tc.exchange(t, tc.enc.SubmitBatch(tc.version, jobs), wire.TypeSubmitResult)
+		if len(res) != n {
+			t.Fatalf("submit batch at %d returned %d results", start, len(res))
+		}
+		comps := make([]wire.Completion, n)
+		for i, r := range res {
+			if r.Err != "" {
+				t.Fatalf("submit item %d: %s", start+i, r.Err)
+			}
+			comps[i] = equivCompletion(r.ID, start+i)
+		}
+		res = tc.exchange(t, tc.enc.CompleteBatch(tc.version, comps), wire.TypeCompleteResult)
+		for i, r := range res {
+			if r.Err != "" {
+				t.Fatalf("complete item %d: %s", start+i, r.Err)
+			}
+		}
+	}
+}
+
+// saveNodeStates snapshots every node's estimator state.
+func saveNodeStates(t *testing.T, nodes []*testNode) []io.Reader {
+	t.Helper()
+	readers := make([]io.Reader, len(nodes))
+	for i, n := range nodes {
+		var buf bytes.Buffer
+		if err := n.est.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		readers[i] = &buf
+	}
+	return readers
+}
+
+// TestRoutedClusterSnapshotEquivalence is the tentpole's correctness
+// anchor: the identical workload pushed through a K-node routed cluster
+// (K ∈ {1, 2, 4}) and through a single bare node yields byte-identical
+// merged estimator state. The split key being exactly the similarity
+// key means each group's whole feedback history lands on one backend in
+// client order, so the union of the nodes' learned state is the single
+// node's state — MergeStates just reassembles the file.
+func TestRoutedClusterSnapshotEquivalence(t *testing.T) {
+	const jobsTotal = 640
+
+	// Reference: one bare node, no router.
+	ref := startNode(t, "ref")
+	runEquivWorkload(t, ref.addr(), jobsTotal)
+	var want bytes.Buffer
+	if err := ref.est.SaveState(&want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("reference state is empty — workload did not learn")
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("backends=%d", k), func(t *testing.T) {
+			_, addr, nodes := startCluster(t, k)
+			runEquivWorkload(t, addr, jobsTotal)
+
+			var merged bytes.Buffer
+			if err := estimate.MergeStates(&merged, saveNodeStates(t, nodes)...); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(merged.Bytes(), want.Bytes()) {
+				t.Fatalf("merged %d-node state differs from single-node state\nmerged (%d bytes):\n%.2000s\nwant (%d bytes):\n%.2000s",
+					k, merged.Len(), merged.String(), want.Len(), want.String())
+			}
+		})
+	}
+}
+
+// stateGroup mirrors the estimator state file's group entries (the
+// format is pinned by estimate's persist tests; this reads only the
+// identity fields).
+type stateGroup struct {
+	User     int   `json:"user"`
+	App      int   `json:"app"`
+	ReqMemKB int64 `json:"reqmem_kb"`
+}
+
+func decodeStateGroups(t *testing.T, state []byte) []stateGroup {
+	t.Helper()
+	var st struct {
+		Groups []stateGroup `json:"groups"`
+	}
+	if err := json.Unmarshal(state, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Groups
+}
+
+// TestRoutedClusterDisjointGroups verifies the premise MergeStates
+// relies on: after a routed run, no similarity group appears on two
+// backends.
+func TestRoutedClusterDisjointGroups(t *testing.T) {
+	_, addr, nodes := startCluster(t, 4)
+	runEquivWorkload(t, addr, 320)
+
+	seen := map[[3]int64]int{}
+	for ni, n := range nodes {
+		var buf bytes.Buffer
+		if err := n.est.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		groups := decodeStateGroups(t, buf.Bytes())
+		for _, g := range groups {
+			k := [3]int64{int64(g.User), int64(g.App), g.ReqMemKB}
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("group %v learned on both node %d and node %d", k, prev, ni)
+			}
+			seen[k] = ni
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no groups learned")
+	}
+}

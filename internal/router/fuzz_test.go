@@ -1,0 +1,162 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"overprov/internal/wire"
+)
+
+// fuzzRouter builds a router over k unreachable backends — the fuzz
+// targets exercise only the pure split/merge planner, never the
+// network.
+func fuzzRouter(t testing.TB, k int) *Router {
+	t.Helper()
+	backends := make([]Backend, k)
+	for i := range backends {
+		backends[i] = Backend{Name: fmt.Sprintf("node%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 40000+i)}
+	}
+	r, err := New(Config{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// echoSubmit plays each involved backend replying in order: item j of
+// its sub-batch gets local id j+1.
+func echoSubmit(r *Router, p *plan) {
+	for _, b := range p.involved {
+		res := make([]wire.Result, len(p.jobs[b]))
+		for j := range res {
+			res[j] = wire.Result{ID: int64(j + 1), State: wire.StateRunning}
+		}
+		p.mergeSubmit(b, r.backends[b].name, res, nil)
+	}
+}
+
+// FuzzRouterSplitMerge mirrors wire's FuzzReadFrame for the router's
+// planner: an arbitrary batch split across an arbitrary backend count
+// must merge back in input order with every id's tag round-tripping,
+// under every byte-level variation the fuzzer finds.
+func FuzzRouterSplitMerge(f *testing.F) {
+	f.Add(uint8(1), uint16(1), int64(0))
+	f.Add(uint8(3), uint16(64), int64(12345))
+	f.Add(uint8(8), uint16(200), int64(-9999))
+	f.Fuzz(func(t *testing.T, kRaw uint8, nRaw uint16, seed int64) {
+		k := int(kRaw)%8 + 1
+		n := int(nRaw) % 512
+		r := fuzzRouter(t, k)
+
+		jobs := make([]wire.Job, n)
+		for i := range jobs {
+			s := seed + int64(i)*0x9E3779B9
+			jobs[i] = wire.Job{
+				User:     int32(s % 211),
+				App:      int32((s >> 8) % 17),
+				Nodes:    1,
+				ReqMemMB: float64(1 + (s>>16)&0xFF),
+				ReqTimeS: 600,
+			}
+		}
+
+		var p plan
+		r.planJobs(jobs, &p)
+		if len(p.results) != n {
+			t.Fatalf("planned %d results for %d jobs", len(p.results), n)
+		}
+		// Every job lands on exactly one backend, where routeJob says.
+		seen := 0
+		for b := range r.backends {
+			if len(p.pos[b]) != len(p.jobs[b]) {
+				t.Fatalf("backend %d: %d positions, %d jobs", b, len(p.pos[b]), len(p.jobs[b]))
+			}
+			for j, pos := range p.pos[b] {
+				if want := r.routeJob(&jobs[pos]); want != b {
+					t.Fatalf("job %d planned onto backend %d, routeJob says %d", pos, b, want)
+				}
+				if p.jobs[b][j] != jobs[pos] {
+					t.Fatalf("job %d mangled in split", pos)
+				}
+				seen++
+			}
+		}
+		if seen != n {
+			t.Fatalf("split placed %d of %d jobs", seen, n)
+		}
+
+		echoSubmit(r, &p)
+		comps := make([]wire.Completion, 0, n)
+		for i, res := range p.results {
+			if res.Err != "" {
+				t.Fatalf("echo submit item %d errored: %s", i, res.Err)
+			}
+			b, local := splitID(res.ID)
+			if want := r.routeJob(&jobs[i]); b != want {
+				t.Fatalf("item %d tagged for backend %d, routed to %d", i, b, want)
+			}
+			if local < 1 || local > int64(n) {
+				t.Fatalf("item %d local id %d out of echo range", i, local)
+			}
+			comps = append(comps, wire.Completion{ID: res.ID, Success: i%2 == 0})
+		}
+
+		// Completion split must honor the tags and restore them on merge.
+		var pc plan
+		r.planComps(comps, &pc)
+		for b := range r.backends {
+			res := make([]wire.Result, len(pc.comps[b]))
+			for j, c := range pc.comps[b] {
+				res[j] = wire.Result{ID: c.ID, State: wire.StateDone}
+			}
+			pc.mergeComplete(b, r.backends[b].name, res, nil)
+		}
+		for i, res := range pc.results {
+			if res.Err != "" {
+				t.Fatalf("echo complete item %d errored: %s", i, res.Err)
+			}
+			if res.ID != comps[i].ID {
+				t.Fatalf("complete item %d echoed id %d, want %d", i, res.ID, comps[i].ID)
+			}
+		}
+	})
+}
+
+// FuzzRouterCompletionTags feeds arbitrary (possibly hostile) job ids
+// through the completion planner: no id may crash it, ids naming no
+// backend must fail in place, and valid ids must keep input order.
+func FuzzRouterCompletionTags(f *testing.F) {
+	f.Add(uint8(2), int64(1))
+	f.Add(uint8(4), int64(-1))
+	f.Add(uint8(1), int64(1)<<62)
+	f.Fuzz(func(t *testing.T, kRaw uint8, id int64) {
+		k := int(kRaw)%8 + 1
+		r := fuzzRouter(t, k)
+		comps := []wire.Completion{
+			{ID: id},
+			{ID: tagID(0, 7)}, // always-valid anchor
+		}
+		var p plan
+		r.planComps(comps, &p)
+		if len(p.results) != 2 {
+			t.Fatalf("%d results", len(p.results))
+		}
+		b, local := splitID(id)
+		valid := id >= 0 && b < k
+		if !valid && p.results[0].Err == "" {
+			t.Fatalf("id %d (backend %d) accepted by %d-backend router", id, b, k)
+		}
+		if valid {
+			// It must be queued for backend b with the local id.
+			found := false
+			for _, c := range p.comps[b] {
+				if c.ID == local {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("valid id %d not planned onto backend %d as %d", id, b, local)
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package router
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"overprov/internal/wire"
+)
+
+// backend is one routed schedd node: a stable logical name (the ring
+// identity), a swappable address, and a pool of persistent negotiated
+// swp connections. The pool is a buffered channel of slots — a nil
+// slot means "dial on demand" — which caps concurrent connections per
+// backend without a mutex and makes acquire/release naturally FIFO.
+//
+// Failover swaps the address (Router.SetBackendAddr) and bumps gen;
+// pooled connections from the old generation are discarded on their
+// next acquire, so all traffic converges on the new address without
+// coordination.
+type backend struct {
+	name string
+	addr atomic.Pointer[string]
+	gen  atomic.Uint64
+	idle chan *poolConn
+}
+
+// poolConn is one pooled connection with its codec state. Exactly one
+// goroutine owns it between acquire and release, so the encoder and
+// reader need no locking.
+type poolConn struct {
+	c       net.Conn
+	fr      *wire.Reader
+	bw      *bufio.Writer
+	enc     wire.Encoder
+	version uint8
+	gen     uint64
+}
+
+func (pc *poolConn) close() {
+	if pc != nil && pc.c != nil {
+		_ = pc.c.Close()
+	}
+}
+
+func newBackend(name, addr string, poolSize int) *backend {
+	b := &backend{name: name, idle: make(chan *poolConn, poolSize)}
+	b.addr.Store(&addr)
+	for i := 0; i < poolSize; i++ {
+		b.idle <- nil
+	}
+	return b
+}
+
+// setAddr points the backend at a new address and retires every pooled
+// connection to the old one.
+func (b *backend) setAddr(addr string) {
+	b.addr.Store(&addr)
+	b.gen.Add(1)
+}
+
+// dial opens and negotiates one connection at the current address.
+func (b *backend) dial(timeout time.Duration) (*poolConn, error) {
+	gen := b.gen.Load()
+	addr := *b.addr.Load()
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	pc := &poolConn{
+		c:   c,
+		fr:  wire.NewReader(bufio.NewReader(c)),
+		bw:  bufio.NewWriter(c),
+		gen: gen,
+	}
+	if _, err := pc.bw.Write(pc.enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, wire.VersionMin)); err != nil {
+		pc.close()
+		return nil, err
+	}
+	if err := pc.bw.Flush(); err != nil {
+		pc.close()
+		return nil, err
+	}
+	f, err := pc.fr.ReadFrame()
+	if err != nil {
+		pc.close()
+		return nil, err
+	}
+	if f.Type != wire.TypeHello {
+		pc.close()
+		return nil, fmt.Errorf("handshake rejected: %s", wire.DecodeError(f.Payload))
+	}
+	pc.version = f.Version
+	return pc, nil
+}
+
+// exchange runs one request/reply round: acquire a pooled connection
+// (dialing if the slot is empty or from a retired generation), build
+// the frame with the connection's encoder and negotiated version, and
+// decode the reply into dst. Any error poisons the connection — a
+// faulted stream cannot be trusted for framing — and the slot reverts
+// to dial-on-demand. The caller owns the returned results.
+func (b *backend) exchange(timeout time.Duration, mk func(enc *wire.Encoder, version uint8) []byte, want wire.FrameType, dst []wire.Result) ([]wire.Result, error) {
+	pc := <-b.idle
+	ok := false
+	defer func() {
+		if ok {
+			b.idle <- pc
+		} else {
+			pc.close()
+			b.idle <- nil
+		}
+	}()
+	if pc == nil || pc.gen != b.gen.Load() {
+		pc.close()
+		var err error
+		pc, err = b.dial(timeout)
+		if err != nil {
+			pc = nil
+			return nil, err
+		}
+	}
+	if _, err := pc.bw.Write(mk(&pc.enc, pc.version)); err != nil {
+		return nil, err
+	}
+	if err := pc.bw.Flush(); err != nil {
+		return nil, err
+	}
+	f, err := pc.fr.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type == wire.TypeError {
+		return nil, fmt.Errorf("backend error: %s", wire.DecodeError(f.Payload))
+	}
+	if f.Type != want {
+		return nil, fmt.Errorf("reply type %d, want %d", f.Type, want)
+	}
+	res, err := wire.DecodeResults(f.Payload, dst)
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return res, nil
+}

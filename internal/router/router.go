@@ -1,0 +1,269 @@
+// Package router is the thin tier that extends the estimator's
+// group-partitioned sharding across process boundaries. It speaks the
+// swp wire protocol on both sides: clients submit and complete batches
+// exactly as against a single schedd, and the router splits each batch
+// by similarity-group key over a consistent-hash ring (internal/ring),
+// fans the sub-batches out to N backend schedd nodes in parallel over
+// pooled persistent connections, and merges the per-item results back
+// in input order with per-item error semantics.
+//
+// Because the split key is exactly the estimator's similarity key
+// (user, app, requested memory — similarity.ByUserAppReqMem), every
+// feedback event for one group lands on one backend, in the order one
+// client connection issued it. That is the whole correctness story:
+// each backend runs the paper's estimator over a disjoint key subset,
+// so the merged cluster snapshot is byte-identical to a single node
+// processing the same workload (pinned by equivalence_test.go at
+// K ∈ {1, 2, 4}).
+//
+// Job IDs crossing the router are tagged with the backend index in the
+// high bits (tagID), so completions route back to the node that
+// admitted the job without any routing table — the router holds no
+// per-job state at all, which is what keeps it thin enough to stack.
+package router
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"overprov/internal/ring"
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+	"overprov/internal/wire"
+)
+
+// localIDBits is how much of the id space backends keep; the backend
+// index lives above it. Backends assign ids sequentially from 1, so
+// 2^50 ids per node outlasts any realistic run; 13 bits of backend
+// index keep the tagged id positive.
+const localIDBits = 50
+
+// localIDMask extracts the backend-local id.
+const localIDMask = (int64(1) << localIDBits) - 1
+
+// maxBackends bounds the ring so tagged ids stay positive int64s.
+const maxBackends = 1 << 13
+
+// tagID embeds the owning backend into a backend-local job id.
+func tagID(backend int, local int64) int64 {
+	return local | int64(backend)<<localIDBits
+}
+
+// splitID recovers the backend index and local id from a tagged id.
+func splitID(id int64) (backend int, local int64) {
+	return int(id >> localIDBits), id & localIDMask
+}
+
+// Backend names one routed node. Name is the stable ring identity —
+// placement depends only on it — while Addr is the current transport
+// endpoint, swappable at runtime for failover (SetBackendAddr).
+type Backend struct {
+	Name string
+	Addr string
+}
+
+// Config configures a Router.
+type Config struct {
+	// Backends are the routed nodes, in index order (the order job-id
+	// tags refer to). At least one; at most maxBackends.
+	Backends []Backend
+	// PoolSize caps pooled connections per backend (default 4). Size it
+	// at or above the expected concurrent client connections to keep
+	// fan-outs from queueing on a pool slot.
+	PoolSize int
+	// DialTimeout bounds each backend connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Replicas is the ring's virtual-node count (0 = ring default).
+	Replicas int
+}
+
+// Router splits swp batches across backends by group key. See the
+// package comment; serving machinery is in serve.go.
+type Router struct {
+	cfg      Config
+	ring     *ring.Ring
+	backends []*backend
+
+	serveState // listener, connection set, drain flag (serve.go)
+}
+
+// New builds a router. It performs no I/O: backend connections are
+// dialed on first use, so a router can start before its backends.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: at least one backend required")
+	}
+	if len(cfg.Backends) > maxBackends {
+		return nil, fmt.Errorf("router: %d backends exceeds the %d id-tag limit", len(cfg.Backends), maxBackends)
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	names := make([]string, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		if b.Name == "" || b.Addr == "" {
+			return nil, fmt.Errorf("router: backend %d needs both name and address", i)
+		}
+		names[i] = b.Name
+	}
+	rg, err := ring.New(names, cfg.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	r := &Router{cfg: cfg, ring: rg}
+	for _, b := range cfg.Backends {
+		r.backends = append(r.backends, newBackend(b.Name, b.Addr, cfg.PoolSize))
+	}
+	r.conns = make(map[net.Conn]struct{})
+	return r, nil
+}
+
+// SetBackendAddr re-points a named backend, retiring its pooled
+// connections — the failover hook: promote a follower, then swap the
+// dead node's address for the promoted one. Ring placement hangs off
+// the name and does not move.
+func (r *Router) SetBackendAddr(name, addr string) error {
+	for _, b := range r.backends {
+		if b.name == name {
+			b.setAddr(addr)
+			return nil
+		}
+	}
+	return fmt.Errorf("router: no backend named %q", name)
+}
+
+// routeJob places one submitted job: derive the similarity key the
+// backend's estimator will use, hash it onto the ring. This must stay
+// in lockstep with the server's keying (similarity.ByUserAppReqMem on
+// the decoded request) or groups would straddle backends.
+func (r *Router) routeJob(j *wire.Job) int {
+	k := similarity.ByUserAppReqMem(&trace.Job{
+		User:   int(j.User),
+		App:    int(j.App),
+		ReqMem: units.MemSize(j.ReqMemMB),
+	})
+	return r.ring.Lookup(ring.HashKey(int64(k.User), int64(k.App), k.ReqMemKB))
+}
+
+// plan is one batch's split/merge scratch, reused frame to frame by a
+// serving connection. Positions index the inbound batch; results is
+// the merged reply in input order. Per-backend slices are disjoint, so
+// fan-out goroutines fill them without coordination.
+type plan struct {
+	pos      [][]int // per backend: inbound positions routed there
+	involved []int   // backends with at least one item this frame
+	jobs     [][]wire.Job
+	comps    [][]wire.Completion
+	scratch  [][]wire.Result // per backend: reply decode buffers
+	results  []wire.Result   // merged, input order
+}
+
+// reset prepares the plan for a batch over n backends.
+func (p *plan) reset(n int) {
+	for len(p.pos) < n {
+		p.pos = append(p.pos, nil)
+		p.jobs = append(p.jobs, nil)
+		p.comps = append(p.comps, nil)
+		p.scratch = append(p.scratch, nil)
+	}
+	for i := 0; i < n; i++ {
+		p.pos[i] = p.pos[i][:0]
+		p.jobs[i] = p.jobs[i][:0]
+		p.comps[i] = p.comps[i][:0]
+	}
+	p.involved = p.involved[:0]
+	p.results = p.results[:0]
+}
+
+// planJobs splits a submit batch by ring placement.
+func (r *Router) planJobs(jobs []wire.Job, p *plan) {
+	p.reset(len(r.backends))
+	for i := range jobs {
+		b := r.routeJob(&jobs[i])
+		if len(p.pos[b]) == 0 {
+			p.involved = append(p.involved, b)
+		}
+		p.pos[b] = append(p.pos[b], i)
+		p.jobs[b] = append(p.jobs[b], jobs[i])
+		p.results = append(p.results, wire.Result{})
+	}
+}
+
+// planComps splits a completion batch by the backend tag in each job
+// id, rewriting ids to backend-local ones. Items whose tag does not
+// name a configured backend fail in place with a per-item error and
+// are not routed anywhere.
+func (r *Router) planComps(comps []wire.Completion, p *plan) {
+	p.reset(len(r.backends))
+	for i := range comps {
+		id := comps[i].ID
+		b, local := splitID(id)
+		if b < 0 || b >= len(r.backends) || id < 0 {
+			p.results = append(p.results, wire.Result{
+				ID:  id,
+				Err: fmt.Sprintf("router: id %d names no backend", id),
+			})
+			continue
+		}
+		if len(p.pos[b]) == 0 {
+			p.involved = append(p.involved, b)
+		}
+		p.pos[b] = append(p.pos[b], i)
+		c := comps[i]
+		c.ID = local
+		p.comps[b] = append(p.comps[b], c)
+		p.results = append(p.results, wire.Result{ID: id})
+	}
+}
+
+// mergeSubmit folds one backend's submit reply into the merged
+// results: accepted ids are tagged with the backend index; a transport
+// error fails that backend's items in place, leaving the rest of the
+// batch (and the client connection) healthy.
+func (p *plan) mergeSubmit(b int, name string, res []wire.Result, err error) {
+	if err == nil && len(res) != len(p.pos[b]) {
+		err = fmt.Errorf("%d results for %d items", len(res), len(p.pos[b]))
+	}
+	if err != nil {
+		for _, pos := range p.pos[b] {
+			p.results[pos] = wire.Result{Err: fmt.Sprintf("router: backend %s: %v", name, err)}
+		}
+		return
+	}
+	for k, pos := range p.pos[b] {
+		out := res[k]
+		if out.Err == "" {
+			if out.ID < 0 || out.ID > localIDMask {
+				out = wire.Result{Err: fmt.Sprintf("router: backend %s: id %d overflows the tag space", name, out.ID)}
+			} else {
+				out.ID = tagID(b, out.ID)
+			}
+		} else {
+			out.ID = 0
+		}
+		p.results[pos] = out
+	}
+}
+
+// mergeComplete folds one backend's completion reply back, restoring
+// the client-visible tagged ids (pre-set into results by planComps).
+func (p *plan) mergeComplete(b int, name string, res []wire.Result, err error) {
+	if err == nil && len(res) != len(p.pos[b]) {
+		err = fmt.Errorf("%d results for %d items", len(res), len(p.pos[b]))
+	}
+	for k, pos := range p.pos[b] {
+		orig := p.results[pos].ID
+		if err != nil {
+			p.results[pos] = wire.Result{ID: orig, Err: fmt.Sprintf("router: backend %s: %v", name, err)}
+			continue
+		}
+		out := res[k]
+		out.ID = orig
+		p.results[pos] = out
+	}
+}

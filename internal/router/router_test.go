@@ -1,0 +1,421 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"overprov/internal/cluster"
+	"overprov/internal/estimate"
+	"overprov/internal/server"
+	"overprov/internal/units"
+	"overprov/internal/wire"
+)
+
+// testNode is one in-process backend: a schedd daemon serving swp on a
+// loopback listener.
+type testNode struct {
+	name string
+	srv  *server.Server
+	ws   *server.WireServer
+	ln   net.Listener
+	est  *estimate.Synchronized
+}
+
+func (n *testNode) addr() string { return n.ln.Addr().String() }
+
+// startNode builds a backend with capacity far beyond the tests'
+// in-flight job count, so admission depends only on the estimator —
+// the same setup the server benchmarks use.
+func startNode(t testing.TB, name string) *testNode {
+	t.Helper()
+	cl, err := cluster.New(cluster.Spec{Nodes: 1 << 20, Mem: units.MemSize(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := estimate.NewSuccessiveApprox(estimate.SuccessiveApproxConfig{Alpha: 2, Round: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.NewSynchronized(sa)
+	srv, err := server.New(server.Config{Cluster: cl, Estimator: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := server.NewWireServer(srv)
+	go func() { _ = ws.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = ws.Shutdown(ctx)
+	})
+	return &testNode{name: name, srv: srv, ws: ws, ln: ln, est: est}
+}
+
+// startCluster brings up k backends and a router in front of them,
+// returning the router, its client-facing address and the nodes.
+func startCluster(t testing.TB, k int) (*Router, string, []*testNode) {
+	t.Helper()
+	nodes := make([]*testNode, k)
+	backends := make([]Backend, k)
+	for i := range nodes {
+		nodes[i] = startNode(t, fmt.Sprintf("node%d", i))
+		backends[i] = Backend{Name: nodes[i].name, Addr: nodes[i].addr()}
+	}
+	r, err := New(Config{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = r.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = r.Shutdown(ctx)
+	})
+	return r, ln.Addr().String(), nodes
+}
+
+// testClient is a negotiated swp client connection.
+type testClient struct {
+	c       net.Conn
+	fr      *wire.Reader
+	bw      *bufio.Writer
+	enc     wire.Encoder
+	version uint8
+	results []wire.Result
+}
+
+func dialTest(t testing.TB, addr string) *testClient {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	tc := &testClient{c: c, fr: wire.NewReader(bufio.NewReader(c)), bw: bufio.NewWriter(c)}
+	frame := tc.enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, wire.VersionMin)
+	if _, err := tc.bw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := tc.fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.TypeHello {
+		t.Fatalf("handshake reply type %d: %s", f.Type, wire.DecodeError(f.Payload))
+	}
+	tc.version = f.Version
+	return tc
+}
+
+// exchange sends one frame and decodes the matching result frame.
+func (tc *testClient) exchange(t testing.TB, frame []byte, want wire.FrameType) []wire.Result {
+	t.Helper()
+	if _, err := tc.bw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := tc.fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != want {
+		t.Fatalf("reply type %d, want %d (%s)", f.Type, want, wire.DecodeError(f.Payload))
+	}
+	tc.results, err = wire.DecodeResults(f.Payload, tc.results[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc.results
+}
+
+// testJob builds the i-th job of a spread workload: many users and
+// apps, so batches split across every backend.
+func testJob(i int) wire.Job {
+	return wire.Job{
+		User: int32(i % 53), App: int32(i % 7),
+		Nodes: 1, ReqMemMB: 64, ReqTimeS: 600,
+	}
+}
+
+// TestRouterSubmitCompleteEndToEnd pushes a mixed batch through a
+// 3-node routed cluster and completes every job, checking order
+// preservation, tag round-tripping and running state throughout.
+func TestRouterSubmitCompleteEndToEnd(t *testing.T) {
+	_, addr, nodes := startCluster(t, 3)
+	tc := dialTest(t, addr)
+
+	const n = 120
+	jobs := make([]wire.Job, n)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	res := tc.exchange(t, tc.enc.SubmitBatch(tc.version, jobs), wire.TypeSubmitResult)
+	if len(res) != n {
+		t.Fatalf("submit returned %d results, want %d", len(res), n)
+	}
+	comps := make([]wire.Completion, n)
+	backendsSeen := map[int]bool{}
+	for i, r := range res {
+		if r.Err != "" {
+			t.Fatalf("submit item %d: %s", i, r.Err)
+		}
+		if r.State != wire.StateRunning {
+			t.Fatalf("submit item %d state %d, want running", i, r.State)
+		}
+		b, _ := splitID(r.ID)
+		backendsSeen[b] = true
+		comps[i] = wire.Completion{ID: r.ID, Success: true, UsedMemMB: 8}
+	}
+	if len(backendsSeen) != len(nodes) {
+		t.Fatalf("batch reached %d of %d backends — the spread workload should hit all", len(backendsSeen), len(nodes))
+	}
+
+	res = tc.exchange(t, tc.enc.CompleteBatch(tc.version, comps), wire.TypeCompleteResult)
+	if len(res) != n {
+		t.Fatalf("complete returned %d results, want %d", len(res), n)
+	}
+	for i, r := range res {
+		if r.Err != "" {
+			t.Fatalf("complete item %d: %s", i, r.Err)
+		}
+		if r.ID != comps[i].ID {
+			t.Fatalf("complete item %d echoed id %d, want %d — merge broke input order", i, r.ID, comps[i].ID)
+		}
+	}
+}
+
+// TestRouterGroupAffinity pins the routing invariant the merged
+// snapshot depends on: every job of one similarity group lands on the
+// same backend, across batches.
+func TestRouterGroupAffinity(t *testing.T) {
+	_, addr, _ := startCluster(t, 4)
+	tc := dialTest(t, addr)
+
+	owner := map[[2]int32]int{}
+	for round := 0; round < 3; round++ {
+		jobs := make([]wire.Job, 60)
+		for i := range jobs {
+			jobs[i] = testJob(i)
+		}
+		res := tc.exchange(t, tc.enc.SubmitBatch(tc.version, jobs), wire.TypeSubmitResult)
+		for i, r := range res {
+			if r.Err != "" {
+				t.Fatalf("round %d item %d: %s", round, i, r.Err)
+			}
+			b, _ := splitID(r.ID)
+			key := [2]int32{jobs[i].User, jobs[i].App}
+			if prev, ok := owner[key]; ok && prev != b {
+				t.Fatalf("group %v moved from backend %d to %d", key, prev, b)
+			}
+			owner[key] = b
+		}
+	}
+}
+
+// TestRouterBackendFaultIsolated kills one backend and checks the fault
+// stays per-item: jobs routed to the dead node fail with a router
+// backend error, every other job succeeds, and the client connection
+// survives to submit again.
+func TestRouterBackendFaultIsolated(t *testing.T) {
+	r, addr, nodes := startCluster(t, 3)
+	tc := dialTest(t, addr)
+
+	// Warm: find a job each backend owns.
+	jobs := make([]wire.Job, 60)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	res := tc.exchange(t, tc.enc.SubmitBatch(tc.version, jobs), wire.TypeSubmitResult)
+	byBackend := map[int]int{} // backend -> sample job index
+	for i, r := range res {
+		if r.Err != "" {
+			t.Fatalf("warm item %d: %s", i, r.Err)
+		}
+		b, _ := splitID(r.ID)
+		byBackend[b] = i
+	}
+	if len(byBackend) != 3 {
+		t.Fatalf("warm batch hit %d backends, want 3", len(byBackend))
+	}
+
+	// Kill backend 1 hard: stop its listener and drain, then point the
+	// router at a dead address so redials fail fast.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	_ = nodes[1].ws.Shutdown(ctx)
+	cancel()
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	_ = dead.Close()
+	if err := r.SetBackendAddr(nodes[1].name, deadAddr); err != nil {
+		t.Fatal(err)
+	}
+
+	res = tc.exchange(t, tc.enc.SubmitBatch(tc.version, jobs), wire.TypeSubmitResult)
+	var failed, succeeded int
+	for i, r := range res {
+		if r.Err != "" {
+			failed++
+			if want := "router: backend node1: "; len(r.Err) < len(want) || r.Err[:len(want)] != want {
+				t.Fatalf("item %d error %q does not name the dead backend", i, r.Err)
+			}
+		} else {
+			succeeded++
+		}
+	}
+	if failed == 0 || succeeded == 0 {
+		t.Fatalf("fault not isolated: %d failed, %d succeeded", failed, succeeded)
+	}
+
+	// The connection must still be usable for work the dead node does
+	// not own.
+	live := jobs[byBackend[0]]
+	res = tc.exchange(t, tc.enc.SubmitBatch(tc.version, []wire.Job{live}), wire.TypeSubmitResult)
+	if len(res) != 1 || res[0].Err != "" {
+		t.Fatalf("post-fault submit on live backend: %+v", res)
+	}
+}
+
+// TestRouterFailoverChaosSwapAddr is the failover hook end-to-end: a
+// backend dies, a replacement comes up at a new address under the same
+// ring name, SetBackendAddr swaps it in, and traffic for that name
+// flows again — no ring movement, no client reconnect.
+func TestRouterFailoverChaosSwapAddr(t *testing.T) {
+	r, addr, nodes := startCluster(t, 2)
+	tc := dialTest(t, addr)
+
+	jobs := make([]wire.Job, 40)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	res := tc.exchange(t, tc.enc.SubmitBatch(tc.version, jobs), wire.TypeSubmitResult)
+	var victimJob *wire.Job
+	for i, rr := range res {
+		if rr.Err != "" {
+			t.Fatalf("warm item %d: %s", i, rr.Err)
+		}
+		if b, _ := splitID(rr.ID); b == 1 {
+			victimJob = &jobs[i]
+		}
+	}
+	if victimJob == nil {
+		t.Fatal("no job routed to backend 1")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	_ = nodes[1].ws.Shutdown(ctx)
+	cancel()
+
+	// Promote a replacement under the same ring name.
+	replacement := startNode(t, nodes[1].name)
+	if err := r.SetBackendAddr(nodes[1].name, replacement.addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	res = tc.exchange(t, tc.enc.SubmitBatch(tc.version, []wire.Job{*victimJob}), wire.TypeSubmitResult)
+	if len(res) != 1 || res[0].Err != "" {
+		t.Fatalf("submit after failover: %+v", res)
+	}
+	if b, _ := splitID(res[0].ID); b != 1 {
+		t.Fatalf("failover moved the group to backend %d", b)
+	}
+}
+
+// TestRouterRejectsUnknownCompletionTag checks completions whose id
+// names no backend fail in place without touching any node.
+func TestRouterRejectsUnknownCompletionTag(t *testing.T) {
+	_, addr, _ := startCluster(t, 2)
+	tc := dialTest(t, addr)
+	comps := []wire.Completion{
+		{ID: tagID(7, 1), Success: true}, // tag beyond the 2 backends
+		{ID: -5, Success: true},          // negative id
+	}
+	res := tc.exchange(t, tc.enc.CompleteBatch(tc.version, comps), wire.TypeCompleteResult)
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, r := range res {
+		if r.Err == "" {
+			t.Fatalf("item %d with bogus tag succeeded", i)
+		}
+		if r.ID != comps[i].ID {
+			t.Fatalf("item %d echoed id %d, want %d", i, r.ID, comps[i].ID)
+		}
+	}
+}
+
+// TestRouterRefusesWALFetch pins the replication boundary: followers
+// attach to backends directly, and the router says so.
+func TestRouterRefusesWALFetch(t *testing.T) {
+	_, addr, _ := startCluster(t, 1)
+	tc := dialTest(t, addr)
+	frame := tc.enc.WALFetch(tc.version, wire.WALFetch{Kind: wire.WALKindJournal, Gen: 1})
+	if _, err := tc.bw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := tc.fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.TypeError {
+		t.Fatalf("WALFetch through router got frame type %d, want error", f.Type)
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	if _, err := New(Config{Backends: []Backend{{Name: "a"}}}); err == nil {
+		t.Fatal("backend without address accepted")
+	}
+	if _, err := New(Config{Backends: []Backend{{Name: "a", Addr: "x"}, {Name: "a", Addr: "y"}}}); err == nil {
+		t.Fatal("duplicate backend names accepted")
+	}
+	r, err := New(Config{Backends: []Backend{{Name: "a", Addr: "127.0.0.1:1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetBackendAddr("nope", "x"); err == nil {
+		t.Fatal("SetBackendAddr on unknown name succeeded")
+	}
+}
+
+func TestTagIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		backend int
+		local   int64
+	}{{0, 1}, {1, 1}, {12, localIDMask}, {maxBackends - 1, 42}}
+	for _, c := range cases {
+		id := tagID(c.backend, c.local)
+		if id < 0 {
+			t.Fatalf("tagID(%d, %d) = %d is negative", c.backend, c.local, id)
+		}
+		b, local := splitID(id)
+		if b != c.backend || local != c.local {
+			t.Fatalf("splitID(tagID(%d, %d)) = (%d, %d)", c.backend, c.local, b, local)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"overprov/internal/wire"
+)
+
+// serveState is the router's client-facing listener machinery,
+// mirroring server.WireServer's drain discipline: Shutdown closes the
+// listener, pulls every connection's read deadline forward so frames
+// already on the wire are answered, and force-closes stragglers when
+// the context ends.
+type serveState struct {
+	// mu guards the listener pointer, the connection set and the
+	// closed flag. It is the outermost leaf of the hierarchy: nothing
+	// — no backend pool slot, no I/O wait — is ever acquired under it.
+	//overprov:lock rank=70
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// drainGrace bounds how long a draining client connection waits for
+// frames already in flight (same constant as the wire server's).
+const drainGrace = 250 * time.Millisecond
+
+// Serve accepts client connections until the listener fails or
+// Shutdown closes it (which returns nil).
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("router: already shut down")
+	}
+	r.ln = ln
+	r.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			_ = c.Close()
+			return nil
+		}
+		r.conns[c] = struct{}{}
+		r.wg.Add(1)
+		r.mu.Unlock()
+		go func() {
+			defer r.wg.Done()
+			r.serveConn(c)
+		}()
+	}
+}
+
+// Shutdown drains and closes the router's client side. Pooled backend
+// connections are simply abandoned — they hold no state the backends
+// miss (the protocol is request/reply and every accepted frame has
+// been answered by the time its client connection drains).
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	ln := r.ln
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	deadline := time.Now().Add(drainGrace)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for _, c := range conns {
+		_ = c.SetReadDeadline(deadline)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		r.mu.Lock()
+		for c := range r.conns {
+			_ = c.Close()
+		}
+		r.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+func (r *Router) forget(c net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, c)
+	r.mu.Unlock()
+}
+
+func writeFrame(bw *bufio.Writer, frame []byte) error {
+	if _, err := bw.Write(frame); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// serveConn negotiates a version, then routes batch frames until the
+// stream ends. Backend faults never poison the client connection —
+// they surface as per-item errors — but client-side framing faults do,
+// exactly as on a direct connection.
+func (r *Router) serveConn(c net.Conn) {
+	defer r.forget(c)
+	defer func() { _ = c.Close() }()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	fr := wire.NewReader(br)
+	var enc wire.Encoder
+
+	version, ok := r.handshake(fr, bw, &enc)
+	if !ok {
+		return
+	}
+
+	// Per-connection scratch, reused every frame.
+	var (
+		jobs  []wire.Job
+		comps []wire.Completion
+		p     plan
+	)
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			if err != io.EOF {
+				_ = writeFrame(bw, enc.Error(version, err.Error()))
+			}
+			return
+		}
+		if f.Version != version {
+			_ = writeFrame(bw, enc.Error(version,
+				fmt.Sprintf("wire: frame version %d after negotiating %d", f.Version, version)))
+			return
+		}
+		var fatal error
+		switch f.Type {
+		case wire.TypeSubmitBatch:
+			jobs, err = wire.DecodeSubmitBatch(f.Payload, jobs)
+			if err != nil {
+				fatal = err
+				break
+			}
+			r.fanoutSubmit(jobs, &p)
+			fatal = writeFrame(bw, enc.Results(version, wire.TypeSubmitResult, p.results))
+		case wire.TypeCompleteBatch:
+			comps, err = wire.DecodeCompleteBatch(f.Payload, comps)
+			if err != nil {
+				fatal = err
+				break
+			}
+			r.fanoutComplete(comps, &p)
+			fatal = writeFrame(bw, enc.Results(version, wire.TypeCompleteResult, p.results))
+		case wire.TypeWALFetch:
+			// Replication is per-node state; followers attach to their
+			// backend directly, never through the router.
+			fatal = fmt.Errorf("router: WAL shipping is not routed; connect to the backend")
+		default:
+			fatal = fmt.Errorf("wire: unexpected frame type %d", f.Type)
+		}
+		if fatal != nil {
+			_ = writeFrame(bw, enc.Error(version, fatal.Error()))
+			return
+		}
+	}
+}
+
+// fanoutSubmit splits, fans out in parallel, and merges one submit
+// batch. Single-backend frames run inline — the common case on small
+// clusters, and the one BENCH_9's router-overhead delta measures.
+func (r *Router) fanoutSubmit(jobs []wire.Job, p *plan) {
+	r.planJobs(jobs, p)
+	r.eachInvolved(p, func(b int) {
+		sub := p.jobs[b]
+		res, err := r.backends[b].exchange(r.cfg.DialTimeout, func(enc *wire.Encoder, v uint8) []byte {
+			return enc.SubmitBatch(v, sub)
+		}, wire.TypeSubmitResult, p.scratch[b][:0])
+		if res != nil {
+			p.scratch[b] = res[:0]
+		}
+		p.mergeSubmit(b, r.backends[b].name, res, err)
+	})
+}
+
+// fanoutComplete is fanoutSubmit for completion batches.
+func (r *Router) fanoutComplete(comps []wire.Completion, p *plan) {
+	r.planComps(comps, p)
+	r.eachInvolved(p, func(b int) {
+		sub := p.comps[b]
+		res, err := r.backends[b].exchange(r.cfg.DialTimeout, func(enc *wire.Encoder, v uint8) []byte {
+			return enc.CompleteBatch(v, sub)
+		}, wire.TypeCompleteResult, p.scratch[b][:0])
+		if res != nil {
+			p.scratch[b] = res[:0]
+		}
+		p.mergeComplete(b, r.backends[b].name, res, err)
+	})
+}
+
+// eachInvolved runs fn for every backend the plan touches — inline
+// when only one is involved, one goroutine each otherwise. Per-backend
+// plan state is disjoint, so the goroutines share nothing but the
+// barrier.
+func (r *Router) eachInvolved(p *plan, fn func(b int)) {
+	if len(p.involved) == 1 {
+		fn(p.involved[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, b := range p.involved {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(b)
+		}()
+	}
+	wg.Wait()
+}
+
+// handshake mirrors the wire server's Hello exchange.
+func (r *Router) handshake(fr *wire.Reader, bw *bufio.Writer, enc *wire.Encoder) (uint8, bool) {
+	f, err := fr.ReadFrame()
+	if err != nil {
+		return 0, false
+	}
+	if f.Type != wire.TypeHello {
+		_ = writeFrame(bw, enc.Error(wire.VersionMin, "wire: expected Hello frame"))
+		return 0, false
+	}
+	h, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		_ = writeFrame(bw, enc.Error(wire.VersionMin, err.Error()))
+		return 0, false
+	}
+	version, err := wire.Negotiate(h)
+	if err != nil {
+		_ = writeFrame(bw, enc.Error(wire.VersionMin, err.Error()))
+		return 0, false
+	}
+	if err := writeFrame(bw, enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, version)); err != nil {
+		return 0, false
+	}
+	return version, true
+}

@@ -27,6 +27,11 @@ import (
 // before any item decodes.
 type WireServer struct {
 	srv *Server
+	// shipper answers WAL-replication fetches (TypeWALFetch) when the
+	// configured journal supports shipping (wal.Log does); nil refuses
+	// them. Probed once at construction, like the server's journal
+	// capability probes.
+	shipper walShipper
 	// mu guards the listener pointer, the connection set and the closed
 	// flag — nothing else is ever acquired or called under it.
 	//overprov:lock rank=60
@@ -37,9 +42,19 @@ type WireServer struct {
 	wg     sync.WaitGroup
 }
 
+// walShipper is the WAL-shipping capability probe: the leader side of
+// follower replication, implemented by wal.Log.ShipState.
+type walShipper interface {
+	ShipState(wire.WALFetch) (wire.WALState, error)
+}
+
 // NewWireServer wraps a daemon core.
 func NewWireServer(s *Server) *WireServer {
-	return &WireServer{srv: s, conns: make(map[net.Conn]struct{})}
+	ws := &WireServer{srv: s, conns: make(map[net.Conn]struct{})}
+	if s != nil {
+		ws.shipper, _ = s.cfg.Journal.(walShipper)
+	}
+	return ws
 }
 
 // Serve accepts connections until the listener fails or Shutdown
@@ -222,6 +237,22 @@ func (ws *WireServer) serveConn(c net.Conn) {
 			ws.srv.completeJobs(items, out)
 			results = appendWireResults(results[:0], out, items)
 			fatal = writeFrame(bw, enc.Results(version, wire.TypeCompleteResult, results))
+		case wire.TypeWALFetch:
+			req, derr := wire.DecodeWALFetch(f.Payload)
+			if derr != nil {
+				fatal = derr
+				break
+			}
+			if ws.shipper == nil {
+				fatal = fmt.Errorf("wire: WAL shipping unavailable: daemon has no journal")
+				break
+			}
+			rep, serr := ws.shipper.ShipState(req)
+			if serr != nil {
+				fatal = serr
+				break
+			}
+			fatal = writeFrame(bw, enc.WALState(version, rep))
 		default:
 			fatal = fmt.Errorf("wire: unexpected frame type %d", f.Type)
 		}

@@ -1,0 +1,320 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"overprov/internal/wire"
+)
+
+// Mirror is the follower side of WAL shipping: it applies
+// wire.WALState chunks to a local directory so that the directory is,
+// at every instant, a valid generation-numbered WAL layout holding an
+// acked prefix of the leader's feedback stream. Promotion is therefore
+// the ordinary recovery path — Open + Recover on the mirror directory
+// — and inherits its torn-tail repair: a follower that crashed
+// mid-append, or a hand-torn chunk, truncates to the last clean record
+// exactly as the leader's own crash recovery would.
+//
+// The Mirror is a pure state machine: NextRequest says what to ask the
+// leader for, Apply folds one answer in. The network loop that carries
+// the frames lives in internal/repl.
+type Mirror struct {
+	fs  FS
+	dir string
+
+	// mu guards every position field and the open file handles. It is
+	// a leaf: nothing is acquired under it (file I/O happens while it
+	// is held, but never another lock), and the replication loop is
+	// the only steady-state caller.
+	//overprov:lock rank=65
+	mu      sync.Mutex
+	gen     uint64 // journal generation being mirrored (0 = needs reset)
+	off     uint64 // bytes of that journal applied, header included
+	journal File   // open append handle for journal gen, nil until first chunk
+
+	// Snapshot assembly during a reset. While snapGen != 0 the mirror
+	// polls for snapshot chunks into a temp file; the old state stays
+	// promotable until the new snapshot installs atomically.
+	snapGen   uint64
+	snapOff   uint64
+	snapTmp   File
+	resumeGen uint64 // journal generation to follow once the snapshot installs
+
+	// Last observed leader positions, for lag accounting.
+	leaderSeq  uint64
+	leaderSize uint64
+
+	closed bool
+}
+
+// OpenMirror binds a mirror to dir, creating it if needed. A non-empty
+// directory resumes where the last follower run stopped: it is opened
+// through the ordinary WAL recovery path (repairing any torn tail) and
+// mirroring continues from the repaired position, so a follower
+// restart re-fetches only what was never applied cleanly. fsys nil
+// selects the real filesystem.
+func OpenMirror(dir string, fsys FS) (*Mirror, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mirror: %w", err)
+	}
+	m := &Mirror{fs: fsys, dir: dir}
+	sc, err := scanDir(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: mirror: %w", err)
+	}
+	if len(sc.journals) == 0 && sc.snapSeq == 0 {
+		return m, nil // fresh mirror: first poll draws a reset
+	}
+	// Reuse Open's repair to normalize the directory and learn the
+	// resume position, then release the Log — the mirror appends raw
+	// bytes itself.
+	l, err := Open(dir, Options{FS: fsys})
+	if err != nil {
+		// The directory is beyond local repair; start over from the
+		// leader rather than fail the follower.
+		if err := removeWALFiles(fsys, dir, ""); err != nil {
+			return nil, fmt.Errorf("wal: mirror: %w", err)
+		}
+		return m, nil
+	}
+	m.gen = l.seq
+	m.off = uint64(l.size)
+	if err := l.Close(); err != nil {
+		return nil, fmt.Errorf("wal: mirror: %w", err)
+	}
+	return m, nil
+}
+
+// Dir returns the mirror directory (the argument to Open at
+// promotion).
+func (m *Mirror) Dir() string { return m.dir }
+
+// NextRequest returns the fetch that would extend the mirror.
+func (m *Mirror) NextRequest() wire.WALFetch {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.snapGen != 0 {
+		return wire.WALFetch{Kind: wire.WALKindSnapshot, Gen: m.snapGen, Off: m.snapOff}
+	}
+	return wire.WALFetch{Kind: wire.WALKindJournal, Gen: m.gen, Off: m.off}
+}
+
+// Apply folds one leader answer into the mirror. progress reports
+// whether the reply advanced anything — the replication loop polls
+// again immediately after progress and idles otherwise.
+func (m *Mirror) Apply(s wire.WALState) (progress bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, fmt.Errorf("wal: mirror closed")
+	}
+	if s.Seq > 0 {
+		m.leaderSeq = s.Seq
+	}
+	if s.Flags&wire.WALFlagReset != 0 {
+		return true, m.resetLocked(s)
+	}
+	switch s.Kind {
+	case wire.WALKindSnapshot:
+		return m.applySnapshotLocked(s)
+	case wire.WALKindJournal:
+		return m.applyJournalLocked(s)
+	}
+	return false, fmt.Errorf("wal: mirror: unknown chunk kind %d", s.Kind)
+}
+
+// resetLocked restarts mirroring at the position the leader directed:
+// fetch snapshot SnapGen first when one exists, else wipe and follow
+// journal Gen from its first byte.
+func (m *Mirror) resetLocked(s wire.WALState) error {
+	m.abortSnapshotLocked()
+	m.closeJournalLocked(false)
+	m.gen, m.off = 0, 0
+	if s.SnapGen != 0 {
+		name := snapshotName(s.SnapGen) + ".tmp"
+		f, err := m.fs.OpenFile(filepath.Join(m.dir, name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: mirror: %w", err)
+		}
+		m.snapGen, m.snapOff, m.snapTmp, m.resumeGen = s.SnapGen, 0, f, s.Gen
+		return nil
+	}
+	// No snapshot upstream: any local state is divergent history.
+	if err := removeWALFiles(m.fs, m.dir, ""); err != nil {
+		return fmt.Errorf("wal: mirror: %w", err)
+	}
+	m.gen = s.Gen
+	return nil
+}
+
+// applySnapshotLocked appends one snapshot chunk; when the file is
+// complete it installs atomically (fsync, rename, dir fsync) and
+// journal mirroring restarts at the generation the snapshot covers.
+func (m *Mirror) applySnapshotLocked(s wire.WALState) (bool, error) {
+	if m.snapGen == 0 || s.Gen != m.snapGen {
+		// The leader rotated mid-fetch; restart the reset dance.
+		m.abortSnapshotLocked()
+		m.gen, m.off = 0, 0
+		return true, nil
+	}
+	if s.Off != m.snapOff || s.Off+uint64(len(s.Data)) > s.Size {
+		m.abortSnapshotLocked()
+		m.gen, m.off = 0, 0
+		return true, fmt.Errorf("wal: mirror: snapshot chunk at %d, want %d", s.Off, m.snapOff)
+	}
+	if len(s.Data) > 0 {
+		if _, err := m.snapTmp.Write(s.Data); err != nil {
+			m.abortSnapshotLocked()
+			m.gen, m.off = 0, 0
+			return true, fmt.Errorf("wal: mirror: %w", err)
+		}
+		m.snapOff += uint64(len(s.Data))
+	}
+	if m.snapOff < s.Size {
+		return len(s.Data) > 0, nil
+	}
+	// Complete: install. Old generations are removed first (they are
+	// covered by the incoming snapshot), then the rename and directory
+	// sync make the new state the durable one.
+	tmpName := snapshotName(m.snapGen) + ".tmp"
+	err := m.snapTmp.Sync()
+	if cerr := m.snapTmp.Close(); err == nil {
+		err = cerr
+	}
+	m.snapTmp = nil
+	if err == nil {
+		err = removeWALFiles(m.fs, m.dir, tmpName)
+	}
+	if err == nil {
+		err = m.fs.Rename(filepath.Join(m.dir, tmpName), filepath.Join(m.dir, snapshotName(m.snapGen)))
+	}
+	if err == nil {
+		err = m.fs.SyncDir(m.dir)
+	}
+	if err != nil {
+		m.abortSnapshotLocked()
+		m.gen, m.off = 0, 0
+		return true, fmt.Errorf("wal: mirror: installing snapshot %d: %w", s.Gen, err)
+	}
+	m.gen, m.off = m.resumeGen, 0
+	m.snapGen, m.snapOff, m.resumeGen = 0, 0, 0
+	return true, nil
+}
+
+// applyJournalLocked appends one journal chunk at the mirrored offset.
+func (m *Mirror) applyJournalLocked(s wire.WALState) (bool, error) {
+	if s.Gen != m.gen || s.Off != m.off {
+		// A stale reply (reconnect, duplicated frame). The position is
+		// authoritative on our side; just re-poll.
+		return false, nil
+	}
+	m.leaderSize = s.Size
+	if len(s.Data) > 0 {
+		if m.journal == nil {
+			f, err := m.fs.OpenFile(filepath.Join(m.dir, journalName(m.gen)),
+				os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+			if err != nil {
+				return false, fmt.Errorf("wal: mirror: %w", err)
+			}
+			m.journal = f
+		}
+		if _, err := m.journal.Write(s.Data); err != nil {
+			return false, fmt.Errorf("wal: mirror: %w", err)
+		}
+		m.off += uint64(len(s.Data))
+	}
+	if s.Flags&wire.WALFlagGenDone != 0 && m.off == s.Size {
+		// This generation is complete upstream; advance. The finished
+		// file is synced so the prefix below the new generation can
+		// never be lost to a follower crash.
+		m.closeJournalLocked(true)
+		m.gen++
+		m.off = 0
+		return true, nil
+	}
+	return len(s.Data) > 0, nil
+}
+
+// abortSnapshotLocked discards an in-flight snapshot assembly.
+func (m *Mirror) abortSnapshotLocked() {
+	if m.snapTmp != nil {
+		_ = m.snapTmp.Close()
+		_ = m.fs.Remove(filepath.Join(m.dir, snapshotName(m.snapGen)+".tmp"))
+	}
+	m.snapGen, m.snapOff, m.snapTmp, m.resumeGen = 0, 0, nil, 0
+}
+
+// closeJournalLocked closes the open journal handle, optionally
+// syncing it first.
+func (m *Mirror) closeJournalLocked(sync bool) {
+	if m.journal == nil {
+		return
+	}
+	if sync {
+		_ = m.journal.Sync()
+	}
+	_ = m.journal.Close()
+	m.journal = nil
+}
+
+// Lag reports how far the mirror trails the leader: whole generations
+// behind, and — when on the leader's current generation — bytes of it
+// still unfetched. bytes is -1 while generations are outstanding
+// (their sizes are unknown until fetched). (0, 0) means caught up as
+// of the last applied reply.
+func (m *Mirror) Lag() (gens uint64, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.leaderSeq == 0 {
+		return 0, -1 // nothing observed yet
+	}
+	if m.snapGen != 0 || m.gen == 0 {
+		return m.leaderSeq, -1 // resyncing from scratch
+	}
+	if m.gen < m.leaderSeq {
+		return m.leaderSeq - m.gen, -1
+	}
+	if m.off > m.leaderSize {
+		return 0, 0 // leader position observation is stale
+	}
+	return 0, int64(m.leaderSize - m.off)
+}
+
+// Sync fsyncs the mirrored journal so everything applied so far
+// survives a follower crash.
+func (m *Mirror) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal == nil {
+		return nil
+	}
+	return m.journal.Sync()
+}
+
+// Close syncs and releases the mirror. The directory remains a valid
+// WAL layout; promote it with Open + Recover, or hand it to a fresh
+// OpenMirror to resume following.
+func (m *Mirror) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	m.abortSnapshotLocked()
+	var err error
+	if m.journal != nil {
+		err = m.journal.Sync()
+		if cerr := m.journal.Close(); err == nil {
+			err = cerr
+		}
+		m.journal = nil
+	}
+	return err
+}

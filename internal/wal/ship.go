@@ -1,0 +1,161 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+
+	"overprov/internal/wire"
+)
+
+// WAL shipping, leader side. A follower replicates this Log's
+// directory byte-for-byte by polling ShipState with wire.WALFetch
+// requests; see internal/wire/repl.go for the protocol and Mirror
+// (mirror.go) for the follower side.
+//
+// The unit of truth is the generation-numbered file layout the
+// rotation protocol already maintains: the shipper serves raw bytes of
+// journal-%08d.wal and snapshot-%08d.json files, never interpreting
+// records, so every invariant recovery depends on (header magic, CRC
+// framing, torn-tail truncation) transfers for free. The served
+// prefix of the current journal is capped at the known-good size — a
+// follower can never observe bytes that were not acked durable, which
+// is what makes a promoted follower's state an acked prefix of the
+// leader's.
+
+// ShipState answers one follower poll. It takes l.mu only long enough
+// to read the generation positions; file reads happen unlocked, which
+// is safe because a journal's committed prefix and an installed
+// snapshot are immutable (rotation deletes files, it never rewrites
+// them — a read racing a deletion is answered with a reset and the
+// follower re-syncs).
+func (l *Log) ShipState(req wire.WALFetch) (wire.WALState, error) {
+	l.mu.Lock()
+	seq, snapSeq, size := l.seq, l.snapSeq, l.size
+	l.mu.Unlock()
+
+	reset := wire.WALState{
+		Kind:    req.Kind,
+		Flags:   wire.WALFlagReset,
+		Gen:     resumeGen(snapSeq),
+		SnapGen: snapSeq,
+		Seq:     seq,
+	}
+
+	switch req.Kind {
+	case wire.WALKindSnapshot:
+		if snapSeq == 0 || req.Gen != snapSeq {
+			return reset, nil
+		}
+		data, err := readFile(l.fs, filepath.Join(l.dir, snapshotName(snapSeq)))
+		if err != nil {
+			// Rotation replaced the snapshot between the position read
+			// and the file read; redirect rather than fail the stream.
+			return reset, nil
+		}
+		return chunkReply(req, uint64(len(data)), data, snapSeq, seq, 0), nil
+
+	case wire.WALKindJournal:
+		if req.Gen == 0 || req.Gen > seq || req.Gen < resumeGen(snapSeq) {
+			return reset, nil
+		}
+		data, err := readFile(l.fs, filepath.Join(l.dir, journalName(req.Gen)))
+		if err != nil {
+			return reset, nil
+		}
+		var valid uint64
+		var flags uint8
+		if req.Gen == seq {
+			// The live journal: serve only the acked-durable prefix.
+			// The file may be longer (bytes a failed append could not
+			// truncate away); those must never reach a follower.
+			valid = uint64(size)
+		} else {
+			// A completed generation kept by an earlier failed
+			// rotation. Its clean length is not tracked anymore, so
+			// re-derive it the way recovery would: header + every
+			// frame that checks out.
+			frames, ok, err := checkHeader(data)
+			if err != nil || !ok {
+				return reset, nil
+			}
+			_, validFrames := scanRecords(frames)
+			valid = uint64(len(journalHeader) + validFrames)
+			flags = wire.WALFlagGenDone
+		}
+		if uint64(len(data)) < valid {
+			// The position read and the file read raced a rotation
+			// (the file is a fresh, shorter generation reusing a
+			// name). Impossible for a monotonically growing journal;
+			// resync.
+			return reset, nil
+		}
+		return chunkReply(req, valid, data[:valid], snapSeq, seq, flags), nil
+	}
+	return reset, nil
+}
+
+// resumeGen is the oldest journal generation guaranteed on disk: the
+// snapshot generation when one exists (rotation installs snapshot N
+// and journal N together and deletes only generations below N), else
+// generation 1 (nothing has ever been deleted).
+func resumeGen(snapSeq uint64) uint64 {
+	if snapSeq > 0 {
+		return snapSeq
+	}
+	return 1
+}
+
+// chunkReply slices one bounded chunk at req.Off out of a file's valid
+// bytes. An offset past the valid length draws a reset — the follower
+// is ahead of what this leader acked (a restarted leader that lost a
+// tail), and must re-sync from scratch.
+func chunkReply(req wire.WALFetch, valid uint64, data []byte, snapSeq, seq uint64, flags uint8) wire.WALState {
+	if req.Off > valid {
+		return wire.WALState{
+			Kind:    req.Kind,
+			Flags:   wire.WALFlagReset,
+			Gen:     resumeGen(snapSeq),
+			SnapGen: snapSeq,
+			Seq:     seq,
+		}
+	}
+	end := req.Off + wire.MaxWALChunk
+	if end > valid {
+		end = valid
+	}
+	return wire.WALState{
+		Kind:    req.Kind,
+		Flags:   flags,
+		Gen:     req.Gen,
+		Off:     req.Off,
+		Size:    valid,
+		SnapGen: snapSeq,
+		Seq:     seq,
+		Data:    data[req.Off:end],
+	}
+}
+
+// removeWALFiles deletes every generation-numbered WAL file and every
+// leftover temp file in dir, except keep (the snapshot assembly in
+// flight). It is the mirror's reset broom; harmless extra files are
+// left alone.
+func removeWALFiles(fsys FS, dir, keep string) error {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == keep {
+			continue
+		}
+		_, isJournal := parseSeq(name, "journal-", ".wal")
+		_, isSnap := parseSeq(name, "snapshot-", ".json")
+		if isJournal || isSnap || filepath.Ext(name) == ".tmp" {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"overprov/internal/wire"
+)
+
+// syncMirror runs the fetch/apply loop in-process (no network) until
+// the mirror reports caught up.
+func syncMirror(t *testing.T, l *Log, m *Mirror) {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		rep, err := l.ShipState(m.NextRequest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		progress, err := m.Apply(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !progress {
+			if g, b := m.Lag(); g == 0 && b == 0 {
+				return
+			}
+		}
+	}
+	t.Fatal("mirror did not converge")
+}
+
+// requireSameDump asserts two WAL directories replay identically: same
+// newest snapshot bytes, same record stream.
+func requireSameDump(t *testing.T, leaderDir, mirrorDir string) {
+	t.Helper()
+	lSnap, lRecs, err := Dump(leaderDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSnap, mRecs, err := Dump(mirrorDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lSnap, mSnap) {
+		t.Fatalf("snapshot bytes differ: leader %d bytes, mirror %d bytes", len(lSnap), len(mSnap))
+	}
+	if !reflect.DeepEqual(lRecs, mRecs) {
+		t.Fatalf("record streams differ: leader %d records, mirror %d", len(lRecs), len(mRecs))
+	}
+}
+
+// shipLeader opens a leader Log in a fresh directory and appends n
+// outcomes starting at id.
+func shipLeader(t *testing.T, dir string, start, n int) *Log {
+	t.Helper()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	appendOutcomes(t, l, start, n)
+	return l
+}
+
+func appendOutcomes(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		if err := l.RecordOutcome(outcomeN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShipMirrorRecoverEquivalence is the core follower property: a
+// mirror synced over the shipping protocol replays exactly the
+// leader's acked stream — snapshot and journal suffix byte-identical.
+func TestShipMirrorRecoverEquivalence(t *testing.T) {
+	leaderDir, mirrorDir := t.TempDir(), t.TempDir()
+	l := shipLeader(t, leaderDir, 0, 40)
+	defer func() { _ = l.Close() }()
+	// A rotation gives the stream a snapshot + suffix shape.
+	if err := l.Rotate(func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "{\"state\":\"after-40\"}")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendOutcomes(t, l, 40, 25)
+
+	m, err := OpenMirror(mirrorDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncMirror(t, l, m)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameDump(t, leaderDir, mirrorDir)
+
+	// Promotion is plain recovery on the mirror directory.
+	promoted, stats, snap, recs := openRecovered(t, mirrorDir)
+	defer func() { _ = promoted.Close() }()
+	if string(snap) != "{\"state\":\"after-40\"}" {
+		t.Fatalf("promoted snapshot = %q", snap)
+	}
+	if stats.Records != 25 || len(recs) != 25 {
+		t.Fatalf("promoted replay: %d stats records, %d applied, want 25", stats.Records, len(recs))
+	}
+}
+
+// TestShipMirrorResumeRecovery restarts the follower mid-sync: the
+// second OpenMirror resumes from the repaired on-disk position instead
+// of refetching, and converges to the same bytes.
+func TestShipMirrorResumeRecovery(t *testing.T) {
+	leaderDir, mirrorDir := t.TempDir(), t.TempDir()
+	l := shipLeader(t, leaderDir, 0, 30)
+	defer func() { _ = l.Close() }()
+
+	m, err := OpenMirror(mirrorDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few protocol steps only — enough to land mid-journal.
+	for i := 0; i < 3; i++ {
+		rep, err := l.ShipState(m.NextRequest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Apply(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	appendOutcomes(t, l, 30, 14)
+	m2, err := OpenMirror(mirrorDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req := m2.NextRequest(); req.Kind != wire.WALKindJournal || req.Gen == 0 {
+		t.Fatalf("resumed mirror did not keep its position: %+v", req)
+	}
+	syncMirror(t, l, m2)
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameDump(t, leaderDir, mirrorDir)
+}
+
+// TestShipMirrorTornTailRecovery promotes a mirror whose journal tail
+// was hand-torn (the follower crashed mid-append): recovery truncates
+// to the acked prefix, exactly as leader-side crash repair would.
+func TestShipMirrorTornTailRecovery(t *testing.T) {
+	leaderDir, mirrorDir := t.TempDir(), t.TempDir()
+	l := shipLeader(t, leaderDir, 0, 20)
+	defer func() { _ = l.Close() }()
+	m, err := OpenMirror(mirrorDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncMirror(t, l, m)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the mirrored tail: a torn half-record of garbage.
+	tail := filepath.Join(mirrorDir, journalName(1))
+	f, err := os.OpenFile(tail, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x41, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	promoted, stats, _, recs := openRecovered(t, mirrorDir)
+	defer func() { _ = promoted.Close() }()
+	if stats.TornBytes == 0 {
+		t.Fatal("expected torn bytes to be repaired away")
+	}
+	if len(recs) != 20 {
+		t.Fatalf("replayed %d records, want the full acked prefix of 20", len(recs))
+	}
+}
+
+// TestShipMirrorRotationResync covers the reset path: the leader
+// rotates (twice, with a snapshot big enough to need several chunks)
+// after the mirror caught up, deleting the generation the mirror was
+// following. The mirror must notice, refetch the snapshot and resume —
+// and end byte-identical.
+func TestShipMirrorRotationResync(t *testing.T) {
+	leaderDir, mirrorDir := t.TempDir(), t.TempDir()
+	l := shipLeader(t, leaderDir, 0, 10)
+	defer func() { _ = l.Close() }()
+	m, err := OpenMirror(mirrorDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncMirror(t, l, m)
+
+	big := bytes.Repeat([]byte("snapshot-payload/"), 40000) // ~680 KiB > one chunk
+	if err := l.Rotate(func(w io.Writer) error {
+		_, err := w.Write(big)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendOutcomes(t, l, 10, 7)
+	syncMirror(t, l, m)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameDump(t, leaderDir, mirrorDir)
+	snap, recs, err := Dump(mirrorDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, big) {
+		t.Fatalf("mirrored snapshot %d bytes, want %d", len(snap), len(big))
+	}
+	if len(recs) != 7 {
+		t.Fatalf("mirrored suffix has %d records, want 7", len(recs))
+	}
+}
+
+// TestShipStateResetsFollowerAhead pins the restarted-leader case: a
+// fetch past the leader's acked size draws a reset, never bytes.
+func TestShipStateResetsFollowerAhead(t *testing.T) {
+	l := shipLeader(t, t.TempDir(), 0, 5)
+	defer func() { _ = l.Close() }()
+	rep, err := l.ShipState(wire.WALFetch{Kind: wire.WALKindJournal, Gen: 1, Off: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flags&wire.WALFlagReset == 0 {
+		t.Fatalf("expected reset, got %+v", rep)
+	}
+	// Unknown generations reset too.
+	rep, err = l.ShipState(wire.WALFetch{Kind: wire.WALKindJournal, Gen: 99, Off: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flags&wire.WALFlagReset == 0 {
+		t.Fatalf("expected reset for unknown gen, got %+v", rep)
+	}
+}

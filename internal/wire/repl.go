@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WAL-shipping frames. A follower (schedd -follow) replicates a
+// leader's WAL directory byte-for-byte over the same swp connection
+// framing the batch protocol uses: it polls with TypeWALFetch and the
+// leader answers with TypeWALState chunks of the generation-numbered
+// journal/snapshot files. Because the unit of transfer is raw file
+// bytes, the mirror directory is at every instant a valid WAL layout —
+// promotion is nothing more than wal.Open + Recover on it, reusing the
+// exact torn-tail repair the leader itself trusts.
+const (
+	TypeWALFetch FrameType = 7 // follower → leader: request a file chunk
+	TypeWALState FrameType = 8 // leader → follower: chunk, or a reset redirect
+)
+
+// WALFetch kinds: which generation-numbered file the chunk addresses.
+const (
+	WALKindJournal  uint8 = 0
+	WALKindSnapshot uint8 = 1
+)
+
+// WALState flags.
+const (
+	// WALFlagReset tells the follower its position is unservable (the
+	// generation was superseded by rotation, or the follower is ahead
+	// of a restarted leader). The follower discards its mirror, fetches
+	// snapshot SnapGen if nonzero, and resumes journal Gen at offset 0.
+	WALFlagReset uint8 = 1 << 0
+	// WALFlagGenDone marks the served journal generation complete: once
+	// the follower has applied through Size it advances to Gen+1.
+	WALFlagGenDone uint8 = 1 << 1
+)
+
+// MaxWALChunk bounds one TypeWALState data chunk, keeping the frame
+// comfortably under maxPayload.
+const MaxWALChunk = 256 << 10
+
+// walStateFixedLen is the WALState payload length before Data.
+const walStateFixedLen = 2 + 5*8 + 4
+
+// WALFetch is a follower's poll: "give me bytes of file (Kind, Gen)
+// from Off". Gen 0 on a journal fetch means "I have nothing — tell me
+// where to start" and always draws a reset.
+type WALFetch struct {
+	Kind uint8
+	Gen  uint64
+	Off  uint64
+}
+
+// WALState is the leader's answer. On a reset, Gen carries the journal
+// generation to resume at and SnapGen the snapshot to install first
+// (0 = none). Otherwise Data holds file bytes at (Kind, Gen, Off),
+// Size is the file's known-good length (the follower has the whole
+// file when Off+len(Data) == Size), SnapGen/Seq report the leader's
+// current snapshot and journal generations for lag accounting.
+type WALState struct {
+	Kind    uint8
+	Flags   uint8
+	Gen     uint64
+	Off     uint64
+	Size    uint64
+	SnapGen uint64
+	Seq     uint64
+	Data    []byte
+}
+
+// WALFetch encodes a fetch frame.
+func (e *Encoder) WALFetch(version uint8, f WALFetch) []byte {
+	start := e.beginFrame(version, TypeWALFetch)
+	e.buf = append(e.buf, f.Kind)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, f.Gen)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, f.Off)
+	return e.endFrame(start)
+}
+
+// WALState encodes a state chunk. Data longer than MaxWALChunk is an
+// encoding error surfaced as a panic in the leader's own process — the
+// shipper bounds its reads, so hitting it means a bug, not bad input.
+func (e *Encoder) WALState(version uint8, s WALState) []byte {
+	if len(s.Data) > MaxWALChunk {
+		panic(fmt.Sprintf("wire: WALState chunk %d exceeds MaxWALChunk", len(s.Data)))
+	}
+	start := e.beginFrame(version, TypeWALState)
+	e.buf = append(e.buf, s.Kind, s.Flags)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, s.Gen)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, s.Off)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, s.Size)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, s.SnapGen)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, s.Seq)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(s.Data)))
+	e.buf = append(e.buf, s.Data...)
+	return e.endFrame(start)
+}
+
+// DecodeWALFetch parses a WALFetch payload.
+func DecodeWALFetch(p []byte) (WALFetch, error) {
+	d := payloadDecoder{buf: p}
+	f := WALFetch{Kind: d.u8(), Gen: d.u64(), Off: d.u64()}
+	if err := d.finish(); err != nil {
+		return WALFetch{}, err
+	}
+	if f.Kind != WALKindJournal && f.Kind != WALKindSnapshot {
+		return WALFetch{}, fmt.Errorf("wire: unknown WAL fetch kind %d", f.Kind)
+	}
+	return f, nil
+}
+
+// DecodeWALState parses a WALState payload. Data aliases p.
+func DecodeWALState(p []byte) (WALState, error) {
+	d := payloadDecoder{buf: p}
+	s := WALState{
+		Kind:    d.u8(),
+		Flags:   d.u8(),
+		Gen:     d.u64(),
+		Off:     d.u64(),
+		Size:    d.u64(),
+		SnapGen: d.u64(),
+		Seq:     d.u64(),
+	}
+	n := d.u32()
+	if d.err == nil && (n > MaxWALChunk || int(n) > len(p)-d.off) {
+		d.err = fmt.Errorf("%w: %d-byte WAL chunk", ErrTooLarge, n)
+	}
+	if d.err == nil {
+		s.Data = p[d.off : d.off+int(n)]
+		d.off += int(n)
+	}
+	if err := d.finish(); err != nil {
+		return WALState{}, err
+	}
+	if s.Kind != WALKindJournal && s.Kind != WALKindSnapshot {
+		return WALState{}, fmt.Errorf("wire: unknown WAL state kind %d", s.Kind)
+	}
+	return s, nil
+}
