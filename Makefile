@@ -36,10 +36,10 @@ race:
 # corruption recovery, graceful-degradation serving, drain deadlines,
 # and loadgen retry behaviour. `make race` already includes these;
 # this target runs only them, with -count=1 so chaos is never cached.
-CHAOS_PKGS = ./internal/wal/... ./internal/faultinject/... ./internal/server ./internal/router ./cmd/schedd ./cmd/loadgen
+CHAOS_PKGS = ./internal/wal/... ./internal/faultinject/... ./internal/server ./internal/router ./internal/repl ./cmd/schedd ./cmd/loadgen
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Crash|Torn|Chaos|Fault|Recover|Rotate|Halt|Degrade|Drain|Healthz|Retry|DiskFull|BitFlip|Wire|Group' \
+		-run 'Crash|Torn|Chaos|Fault|Recover|Rotate|Halt|Degrade|Drain|Healthz|Retry|DiskFull|BitFlip|Wire|Group|Failover|Promot|Probe|Standby|Stalled|Membership|Replay' \
 		$(CHAOS_PKGS)
 	$(GO) test -run '^$$' -fuzz FuzzScanRecords -fuzztime 10s ./internal/wal/
 	$(GO) test -run '^$$' -fuzz FuzzRouterSplitMerge -fuzztime 10s ./internal/router/

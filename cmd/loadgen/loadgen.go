@@ -42,7 +42,11 @@ type config struct {
 	// cluster. When set, the generator scrapes every listed
 	// /api/v1/metrics before and after the run and reports the WAL's
 	// fsync pressure — journal fsyncs per completed job, summed across
-	// nodes — alongside throughput.
+	// nodes — alongside throughput. A router's -metrics-addr endpoint
+	// can ride the same list: it serves the self-healing counters
+	// (retries, failovers, degraded admissions) under the same path, so
+	// a routed run's report shows how much of the load the healing
+	// machinery absorbed.
 	MetricsAddr string
 	Users       int
 	Apps        int
@@ -166,6 +170,13 @@ type report struct {
 	HasWAL     bool
 	WALRecords uint64
 	WALSyncs   uint64
+	// Self-healing activity over the run, when a router's metrics
+	// endpoint is in the scrape list: exchanges retried, standby
+	// failovers consumed, and jobs degraded to their requested memory.
+	// Deltas, like the WAL counters.
+	RouterRetries   uint64
+	RouterFailovers uint64
+	RouterDegraded  uint64
 }
 
 // latencySample holds per-request wall-clock latencies.
@@ -197,15 +208,25 @@ func (r report) String() string {
 		}
 		fmt.Fprintf(&b, "wal records %d  fsyncs %d  fsyncs/record %.3f\n",
 			r.WALRecords, r.WALSyncs, pressure)
+		if r.RouterRetries > 0 || r.RouterFailovers > 0 || r.RouterDegraded > 0 {
+			fmt.Fprintf(&b, "router retries %d  failovers %d  degraded %d\n",
+				r.RouterRetries, r.RouterFailovers, r.RouterDegraded)
+		}
 	}
 	return b.String()
 }
 
 // walStats is the slice of the daemon's metrics payload the generator
-// scrapes for fsync pressure.
+// scrapes for fsync pressure, plus the router's self-healing counters.
+// A backend daemon serves only the WAL fields and a router serves only
+// the router fields; missing keys decode to zero, so one scrape list
+// can mix both endpoint kinds.
 type walStats struct {
-	Records uint64 `json:"wal_records"`
-	Syncs   uint64 `json:"wal_syncs"`
+	Records   uint64 `json:"wal_records"`
+	Syncs     uint64 `json:"wal_syncs"`
+	Retries   uint64 `json:"router_retries"`
+	Failovers uint64 `json:"router_failovers"`
+	Degraded  uint64 `json:"router_degraded"`
 }
 
 // scrapeWALStats reads one daemon's metrics endpoint (the -debug-addr
@@ -238,6 +259,9 @@ func scrapeClusterWALStats(bases []string) (walStats, error) {
 		}
 		total.Records += s.Records
 		total.Syncs += s.Syncs
+		total.Retries += s.Retries
+		total.Failovers += s.Failovers
+		total.Degraded += s.Degraded
 	}
 	return total, nil
 }
@@ -303,6 +327,9 @@ func run(cfg config) (report, error) {
 		rep.HasWAL = true
 		rep.WALRecords = after.Records - walBefore.Records
 		rep.WALSyncs = after.Syncs - walBefore.Syncs
+		rep.RouterRetries = after.Retries - walBefore.Retries
+		rep.RouterFailovers = after.Failovers - walBefore.Failovers
+		rep.RouterDegraded = after.Degraded - walBefore.Degraded
 	}
 	for i := range stats {
 		s := &stats[i]

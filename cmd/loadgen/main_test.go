@@ -360,27 +360,32 @@ func TestRunMultiTargetRoundRobin(t *testing.T) {
 }
 
 // TestScrapeClusterWALStatsSums checks the multi-node -metrics-addr
-// path: per-node counters are summed, and one bad endpoint fails the
-// scrape rather than silently under-reporting.
+// path: per-node counters are summed, a router's self-healing counters
+// ride the same scrape (each endpoint kind serves only its own keys),
+// and one bad endpoint fails the scrape rather than silently
+// under-reporting.
 func TestScrapeClusterWALStatsSums(t *testing.T) {
-	mk := func(records, syncs uint64) *httptest.Server {
+	mk := func(payload string) *httptest.Server {
 		s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if r.URL.Path != "/api/v1/metrics" {
 				http.NotFound(w, r)
 				return
 			}
-			fmt.Fprintf(w, `{"wal_records":%d,"wal_syncs":%d}`, records, syncs)
+			fmt.Fprint(w, payload)
 		}))
 		t.Cleanup(s.Close)
 		return s
 	}
-	a, b := mk(100, 10), mk(250, 25)
-	got, err := scrapeClusterWALStats([]string{a.URL, b.URL})
+	a := mk(`{"wal_records":100,"wal_syncs":10}`)
+	b := mk(`{"wal_records":250,"wal_syncs":25}`)
+	rtr := mk(`{"router_retries":7,"router_failovers":1,"router_degraded":3}`)
+	got, err := scrapeClusterWALStats([]string{a.URL, b.URL, rtr.URL})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Records != 350 || got.Syncs != 35 {
-		t.Fatalf("summed stats = %+v, want {350 35}", got)
+	want := walStats{Records: 350, Syncs: 35, Retries: 7, Failovers: 1, Degraded: 3}
+	if got != want {
+		t.Fatalf("summed stats = %+v, want %+v", got, want)
 	}
 	if _, err := scrapeClusterWALStats([]string{a.URL, "http://127.0.0.1:1"}); err == nil {
 		t.Fatal("dead metrics endpoint did not fail the scrape")

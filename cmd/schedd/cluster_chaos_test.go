@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -37,6 +38,12 @@ type wireNode struct {
 }
 
 func (n *wireNode) addr() string { return n.ln.Addr().String() }
+
+// chaosClusterSpec is the node shape shared by startWireNode and the
+// promoteMirror call: they must agree or the promoted node would round
+// estimates against a different capacity ladder than the one it
+// replaces.
+const chaosClusterSpec = "4096x64"
 
 // startWireNode builds a backend over the given WAL directory (recovering
 // whatever is in it — which is how promotion works too).
@@ -91,9 +98,30 @@ func clusterJob(i int) wire.Job {
 	}
 }
 
-// runClusterPhase pushes jobs [start, start+n) through one swp
-// endpoint in a single batch pair, with deterministic mixed outcomes.
-func runClusterPhase(t *testing.T, fr *wire.Reader, bw *bufio.Writer, version uint8, enc *wire.Encoder, start, n int) {
+// clusterOutcome is global job i's deterministic completion payload,
+// shared verbatim between the routed cluster and the reference replay.
+func clusterOutcome(id int64, i int) wire.Completion {
+	return wire.Completion{ID: id, Success: i%9 != 0, UsedMemMB: float64(2 + i%7)}
+}
+
+// chaosRound is the client's record of one submit+complete round
+// through the router: which global job indices were actually admitted
+// (kept), in what order their completions were acked, and how many were
+// degraded. Degraded jobs never reach an estimator, so the reference
+// replay skips them; everything else replays in recorded order.
+type chaosRound struct {
+	kept     []int // global indices admitted normally, submit order
+	ackOrder []int // global indices of kept completions, ack order
+	degraded int
+}
+
+// runChaosRound pushes jobs [start, start+n) through the router and
+// drives their completions to a full drain, retrying per-item-errored
+// completions (a backend momentarily down still owes the ack — the
+// self-healing contract is "retry", never "lost"). Any submit item with
+// a hard error fails the test on the spot: under chaos the router may
+// degrade a job to its requested memory, but may never refuse it.
+func runChaosRound(t *testing.T, fr *wire.Reader, bw *bufio.Writer, version uint8, enc *wire.Encoder, start, n int) chaosRound {
 	t.Helper()
 	jobs := make([]wire.Job, n)
 	for i := range jobs {
@@ -101,46 +129,96 @@ func runClusterPhase(t *testing.T, fr *wire.Reader, bw *bufio.Writer, version ui
 	}
 	res := wireExchange(t, fr, bw, enc.SubmitBatch(version, jobs))
 	if len(res) != n {
-		t.Fatalf("phase at %d: %d results", start, len(res))
+		t.Fatalf("round at %d: %d results for %d jobs", start, len(res), n)
 	}
-	comps := make([]wire.Completion, n)
+	var rec chaosRound
+	comps := make([]wire.Completion, 0, n)
+	globals := make([]int, 0, n)
+	kept := make([]bool, 0, n)
 	for i, r := range res {
 		if r.Err != "" {
-			t.Fatalf("phase at %d item %d: %s", start, i, r.Err)
+			t.Fatalf("round at %d: submit item %d hard-failed: %s", start, i, r.Err)
 		}
-		comps[i] = wire.Completion{ID: r.ID, Success: (start+i)%9 != 0, UsedMemMB: float64(2 + (start+i)%7)}
+		gi := start + i
+		if r.State == wire.StateDegraded {
+			rec.degraded++
+			kept = append(kept, false)
+		} else {
+			rec.kept = append(rec.kept, gi)
+			kept = append(kept, true)
+		}
+		// Degraded acks are completed too: the router must no-op them in
+		// place rather than bounce them off a backend that never saw the
+		// job.
+		comps = append(comps, clusterOutcome(r.ID, gi))
+		globals = append(globals, gi)
 	}
-	cres := wireExchange(t, fr, bw, enc.CompleteBatch(version, comps))
-	for i, r := range cres {
-		if r.Err != "" {
-			t.Fatalf("phase at %d complete item %d: %s", start, i, r.Err)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for len(comps) > 0 {
+		cres := wireExchange(t, fr, bw, enc.CompleteBatch(version, comps))
+		if len(cres) != len(comps) {
+			t.Fatalf("round at %d: %d completion results for %d items", start, len(cres), len(comps))
+		}
+		var retryC []wire.Completion
+		var retryG []int
+		var retryK []bool
+		lastErr := ""
+		for i, cr := range cres {
+			if cr.Err == "" {
+				if kept[i] {
+					rec.ackOrder = append(rec.ackOrder, globals[i])
+				}
+				continue
+			}
+			lastErr = cr.Err
+			retryC = append(retryC, comps[i])
+			retryG = append(retryG, globals[i])
+			retryK = append(retryK, kept[i])
+		}
+		comps, globals, kept = retryC, retryG, retryK
+		if len(comps) > 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round at %d: %d completions never drained (last error %q)", start, len(comps), lastErr)
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
 	}
+	if len(rec.ackOrder) != len(rec.kept) {
+		t.Fatalf("round at %d: %d kept jobs but %d kept completion acks", start, len(rec.kept), len(rec.ackOrder))
+	}
+	return rec
+}
+
+// promoOutcome is what the background promotion path hands back to the
+// test body once the follower has promoted itself.
+type promoOutcome struct {
+	node  *promotedNode
+	state []byte // estimator state at the instant of promotion
+	err   error
 }
 
 // TestClusterChaosFailover is the distributed tier's end-to-end crash
-// story, the in-process analogue of: 3 schedd nodes behind a router, a
-// follower mirroring one node's WAL over swp, the node dying hard, the
-// follower's (hand-torn) mirror being promoted and swapped in by
-// address — after which the merged cluster snapshot must still be
-// byte-identical to a crash-free single node serving the same load.
+// story with the human deleted from the loop: 3 schedd nodes behind a
+// probing router, a follower mirroring node 1's WAL over swp with
+// auto-promotion armed, and node 1 dying hard mid-load. The follower
+// must declare the leader dead and promote its (hand-torn) mirror on
+// the standby address by itself; the router must declare node 1 down,
+// swap in the pre-declared standby, and probe it back to healthy by
+// itself. The test body never calls SetBackendAddr or restarts
+// anything. Under all of that:
+//
+//  1. No client request hard-fails — jobs are at worst degraded to
+//     their requested memory, and every completion is eventually acked.
+//  2. The promoted node's state is byte-identical to the dead node's
+//     acked state, via ordinary crash recovery over the torn mirror.
+//  3. The merged cluster snapshot is byte-identical to a crash-free
+//     single node replaying the surviving client stream.
 func TestClusterChaosFailover(t *testing.T) {
-	const phase = 96
+	const batch = 46
 
-	// Reference: one crash-free node sees the whole workload directly.
-	ref := startWireNode(t, "ref", t.TempDir())
-	defer ref.stop(t)
-	_, rfr, rbw, rver := wireDial(t, ref.addr())
-	var renc wire.Encoder
-	for p := 0; p < 3; p++ {
-		runClusterPhase(t, rfr, rbw, rver, &renc, p*phase, phase)
-	}
-	var want bytes.Buffer
-	if err := ref.est.SaveState(&want); err != nil {
-		t.Fatal(err)
-	}
-
-	// The routed cluster: 3 nodes, a follower shadowing node 1's WAL.
+	// The routed cluster: 3 nodes, a follower shadowing node 1's WAL
+	// with auto-promotion armed on a pre-bound standby listener.
 	nodes := make([]*wireNode, 3)
 	for i := range nodes {
 		nodes[i] = startWireNode(t, fmt.Sprintf("node%d", i), t.TempDir())
@@ -148,21 +226,76 @@ func TestClusterChaosFailover(t *testing.T) {
 	defer nodes[0].stop(t)
 	defer nodes[2].stop(t)
 
+	standbyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	mirrorDir := t.TempDir()
 	mirror, err := wal.OpenMirror(mirrorDir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	follower := &repl.Follower{
+		Addr:          nodes[1].addr(),
+		Mirror:        mirror,
+		Interval:      2 * time.Millisecond,
+		PollTimeout:   250 * time.Millisecond,
+		DeadThreshold: 4,
+		DeadWindow:    20 * time.Millisecond,
+	}
 	fctx, fcancel := context.WithCancel(context.Background())
-	follower := &repl.Follower{Addr: nodes[1].addr(), Mirror: mirror, Interval: 2 * time.Millisecond}
+	defer fcancel()
 	followerDone := make(chan error, 1)
 	go func() { followerDone <- follower.Run(fctx) }()
 
-	rt, err := router.New(router.Config{Backends: []router.Backend{
-		{Name: "node0", Addr: nodes[0].addr()},
-		{Name: "node1", Addr: nodes[1].addr()},
-		{Name: "node2", Addr: nodes[2].addr()},
-	}})
+	// The promotion pipeline: when the follower declares the leader
+	// dead, wait for the test to finish tearing the sealed mirror, then
+	// recover a daemon from it and serve on the standby listener —
+	// exactly what `schedd -follow -promote-misses` does, minus the
+	// process boundary.
+	leaderDead := make(chan struct{})
+	tearDone := make(chan struct{})
+	promoCh := make(chan promoOutcome, 1)
+	go func() {
+		if err := <-followerDone; !errors.Is(err, repl.ErrLeaderDead) {
+			promoCh <- promoOutcome{err: fmt.Errorf("follower exited with %v, want ErrLeaderDead", err)}
+			close(leaderDead)
+			return
+		}
+		close(leaderDead)
+		<-tearDone
+		p, err := promoteMirror(mirrorDir, chaosClusterSpec, 2, 0, false, 4, wal.Options{})
+		if err != nil {
+			promoCh <- promoOutcome{err: fmt.Errorf("promoting mirror: %w", err)}
+			return
+		}
+		var state bytes.Buffer
+		if err := p.Est.SaveState(&state); err != nil {
+			promoCh <- promoOutcome{err: err}
+			return
+		}
+		go func() { _ = p.Wire.Serve(standbyLn) }()
+		promoCh <- promoOutcome{node: p, state: state.Bytes()}
+	}()
+
+	// The router: node 1 pre-declares the follower's listener as its
+	// standby. Probe/retry knobs are shrunk so the whole heal runs in
+	// test time; IOTimeout stays generous so exchanges parked in the
+	// standby's pre-bound backlog are answered after promotion rather
+	// than abandoned mid-write.
+	rt, err := router.New(router.Config{
+		Backends: []router.Backend{
+			{Name: "node0", Addr: nodes[0].addr()},
+			{Name: "node1", Addr: nodes[1].addr(), Standby: standbyLn.Addr().String()},
+			{Name: "node2", Addr: nodes[2].addr()},
+		},
+		DialTimeout: time.Second,
+		IOTimeout:   5 * time.Second,
+		Probe:       router.ProbeConfig{Interval: 5 * time.Millisecond, Timeout: 250 * time.Millisecond, FailThreshold: 2, RecoverThreshold: 1},
+		Retry:       router.RetryConfig{Max: 8, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		Logf:        t.Logf,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,22 +309,38 @@ func TestClusterChaosFailover(t *testing.T) {
 		defer cancel()
 		_ = rt.Shutdown(ctx)
 	}()
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	rt.StartProbes(probeCtx)
 
 	_, fr, bw, version := wireDial(t, rln.Addr().String())
 	var enc wire.Encoder
 
-	// Phase 1 through the router; mid-way node 1 rotates its WAL (so
-	// promotion exercises the snapshot + journal-suffix path, not just
-	// a journal replay).
-	runClusterPhase(t, fr, bw, version, &enc, 0, phase)
+	// Pre-crash load; mid-way node 1 rotates its WAL (so promotion
+	// exercises the snapshot + journal-suffix path, not just a journal
+	// replay).
+	var rounds []chaosRound
+	idx := 0
+	rounds = append(rounds, runChaosRound(t, fr, bw, version, &enc, idx, batch))
+	idx += batch
 	if err := nodes[1].srv.Quiesce(func() error {
 		return nodes[1].log.Rotate(nodes[1].est.SaveState)
 	}); err != nil {
 		t.Fatal(err)
 	}
-	runClusterPhase(t, fr, bw, version, &enc, phase, phase)
+	for r := 0; r < 2; r++ {
+		rounds = append(rounds, runChaosRound(t, fr, bw, version, &enc, idx, batch))
+		idx += batch
+	}
+	for _, rec := range rounds {
+		if rec.degraded != 0 {
+			t.Fatalf("degraded admissions before the crash (every backend was alive)")
+		}
+	}
 
-	// Wait for the follower to fully catch up on the acked stream.
+	// Wait for the follower to fully catch up on the acked stream, then
+	// kill node 1 hard: the wire listener dies, the WAL is abandoned
+	// (never rotated or closed — a SIGKILL leaves exactly this).
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		gens, lagBytes := mirror.Lag()
@@ -203,22 +352,29 @@ func TestClusterChaosFailover(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	victim := nodes[1]
+	killCtx, killCancel := context.WithTimeout(context.Background(), time.Second)
+	_ = victim.ws.Shutdown(killCtx)
+	killCancel()
+	var preCrash bytes.Buffer
+	if err := victim.est.SaveState(&preCrash); err != nil {
+		t.Fatal(err)
+	}
 
-	// Kill node 1 hard: stop the follower, abandon the node (its WAL is
-	// never rotated or closed — a SIGKILL leaves exactly this), and tear
-	// the mirror's journal tail as if the follower died mid-append too.
-	fcancel()
-	if err := <-followerDone; err != nil && fctx.Err() == nil {
+	// Once the follower has declared the leader dead (and stopped
+	// touching the mirror), seal the mirror and tear its journal tail as
+	// if the follower died mid-append too — promotion must repair it.
+	select {
+	case <-leaderDead:
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower never declared the leader dead")
+	}
+	if err := mirror.Sync(); err != nil {
 		t.Fatal(err)
 	}
 	if err := mirror.Close(); err != nil {
 		t.Fatal(err)
 	}
-	victim := nodes[1]
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-	_ = victim.ws.Shutdown(ctx)
-	cancel()
-
 	tail := filepath.Join(mirrorDir, fmt.Sprintf("journal-%08d.wal", victim.log.Seq()))
 	jf, err := os.OpenFile(tail, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -230,37 +386,121 @@ func TestClusterChaosFailover(t *testing.T) {
 	if err := jf.Close(); err != nil {
 		t.Fatal(err)
 	}
+	close(tearDone)
 
-	// Promote: a fresh daemon over the mirror directory. Recovery must
-	// repair the torn tail and replay the full acked stream.
-	promoted := startWireNode(t, "node1", mirrorDir)
-	defer promoted.stop(t)
-	if promoted.recov.TornBytes == 0 {
+	// Client load continues through the outage. Nothing below touches
+	// the router's membership — the prober and the promotion goroutine
+	// must converge the cluster on their own. Convergence = node1 probed
+	// back to healthy on the standby address, exactly one failover
+	// consumed, and three consecutive all-admitted rounds.
+	clean := 0
+	deadline = time.Now().Add(30 * time.Second)
+	for clean < 3 {
+		rec := runChaosRound(t, fr, bw, version, &enc, idx, batch)
+		idx += batch
+		rounds = append(rounds, rec)
+		m := rt.Metrics()
+		node1Healthy := false
+		for _, b := range m.Backends {
+			if b.Name == "node1" && b.Health == router.HealthHealthy.String() {
+				node1Healthy = true
+			}
+		}
+		if node1Healthy && m.Failovers == 1 && rec.degraded == 0 {
+			clean++
+		} else {
+			clean = 0
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged: %+v", rt.Metrics())
+		}
+	}
+
+	// The promotion must have completed for node1 to be healthy again.
+	var promo promoOutcome
+	select {
+	case promo = <-promoCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("promotion never completed")
+	}
+	if promo.err != nil {
+		t.Fatal(promo.err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = promo.node.Wire.Shutdown(ctx)
+		_ = promo.node.Log.Close()
+	}()
+
+	// Failover swapped node1's address to the standby listener.
+	for _, b := range rt.Metrics().Backends {
+		if b.Name == "node1" && b.Addr != standbyLn.Addr().String() {
+			t.Fatalf("node1 serves on %s after failover, want standby %s", b.Addr, standbyLn.Addr())
+		}
+	}
+
+	// Promotion ran ordinary crash recovery: the hand-torn tail was
+	// repaired, and the state it woke up with is byte-identical to the
+	// dead node's acked state.
+	if promo.node.Recovery.TornBytes == 0 {
 		t.Fatal("promotion saw no torn bytes — the hand-torn tail was not repaired")
 	}
-	var preCrash, postPromote bytes.Buffer
-	if err := victim.est.SaveState(&preCrash); err != nil {
-		t.Fatal(err)
-	}
-	if err := promoted.est.SaveState(&postPromote); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(preCrash.Bytes(), postPromote.Bytes()) {
-		t.Fatalf("promoted follower state differs from the dead node's acked state (%d vs %d bytes)",
-			postPromote.Len(), preCrash.Len())
-	}
-	if err := rt.SetBackendAddr("node1", promoted.addr()); err != nil {
-		t.Fatal(err)
+	if !bytes.Equal(preCrash.Bytes(), promo.state) {
+		t.Fatalf("promoted state differs from the dead node's acked state (%d vs %d bytes)",
+			len(promo.state), preCrash.Len())
 	}
 
-	// Phase 2 rides through the same router and client connection.
-	runClusterPhase(t, fr, bw, version, &enc, 2*phase, phase)
+	// Reference: a crash-free single node replays the stream the cluster
+	// actually admitted — kept jobs in submit order, completions in the
+	// order their acks came back. Degraded jobs trained no estimator, so
+	// the reference skips them too.
+	ref := startWireNode(t, "ref", t.TempDir())
+	defer ref.stop(t)
+	_, rfr, rbw, rver := wireDial(t, ref.addr())
+	var renc wire.Encoder
+	for _, rec := range rounds {
+		if len(rec.kept) == 0 {
+			continue
+		}
+		jobs := make([]wire.Job, len(rec.kept))
+		for i, gi := range rec.kept {
+			jobs[i] = clusterJob(gi)
+		}
+		res := wireExchange(t, rfr, rbw, renc.SubmitBatch(rver, jobs))
+		if len(res) != len(jobs) {
+			t.Fatalf("reference: %d results for %d jobs", len(res), len(jobs))
+		}
+		refID := make(map[int]int64, len(res))
+		for i, r := range res {
+			if r.Err != "" {
+				t.Fatalf("reference submit item %d: %s", i, r.Err)
+			}
+			refID[rec.kept[i]] = r.ID
+		}
+		comps := make([]wire.Completion, len(rec.ackOrder))
+		for i, gi := range rec.ackOrder {
+			comps[i] = clusterOutcome(refID[gi], gi)
+		}
+		for i, r := range wireExchange(t, rfr, rbw, renc.CompleteBatch(rver, comps)) {
+			if r.Err != "" {
+				t.Fatalf("reference complete item %d: %s", i, r.Err)
+			}
+		}
+	}
+	var want bytes.Buffer
+	if err := ref.est.SaveState(&want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("reference state is empty — workload did not learn")
+	}
 
-	// Merged cluster snapshot == crash-free single node.
+	// Merged cluster snapshot == crash-free reference.
 	states := make([]io.Reader, 0, 3)
-	for _, n := range []*wireNode{nodes[0], promoted, nodes[2]} {
+	for _, est := range []*estimate.ShardedSynchronized{nodes[0].est, promo.node.Est, nodes[2].est} {
 		var buf bytes.Buffer
-		if err := n.est.SaveState(&buf); err != nil {
+		if err := est.SaveState(&buf); err != nil {
 			t.Fatal(err)
 		}
 		states = append(states, &buf)

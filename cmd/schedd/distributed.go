@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -19,49 +21,104 @@ import (
 // The two distributed-tier modes. Both replace the normal scheduling
 // daemon entirely:
 //
-//	schedd -route "n0=host0:8081,n1=host1:8081" -wire-addr :8081
+//	schedd -route "n0=host0:8081/standby0:8081,n1=host1:8081" -wire-addr :8081
 //	    runs the stateless router tier — swp in, swp out, batches split
-//	    by similarity-group key over the consistent-hash ring.
+//	    by similarity-group key over the consistent-hash ring. Each
+//	    backend is health-probed; an optional "/standby" address names
+//	    the follower that will be swapped in automatically when the
+//	    primary is declared down.
 //
-//	schedd -follow host0:8081 -wal-dir /var/lib/schedd/wal
+//	schedd -follow host0:8081 -wal-dir /var/lib/schedd/wal \
+//	       -wire-addr standby0:8081 -promote-misses 5
 //	    runs a WAL-shipping follower: mirrors the backend's feedback
-//	    journal (acked prefix only) into -wal-dir. Promotion is simply
-//	    restarting without -follow on the same -wal-dir — recovery
-//	    replays the mirrored stream like any crash restart.
+//	    journal (acked prefix only) into -wal-dir. With -promote-misses
+//	    set, the follower pre-binds -wire-addr (the address routers know
+//	    as the standby) and, when the leader is declared dead, promotes
+//	    the mirror in place — ordinary crash recovery over the mirrored
+//	    WAL — and starts serving swp on that listener, no operator in
+//	    the loop. Without -promote-misses, promotion stays manual:
+//	    restart without -follow on the same -wal-dir.
 
-// parseBackends parses "name=addr,name=addr". Names are the stable
-// ring identities, so spell them the same on every router.
+// parseBackends parses "name=addr[/standby],...". Names are the stable
+// ring identities, so spell them the same on every router. The optional
+// standby is the wire address a co-located follower has pre-bound; the
+// router swaps it in when the primary is declared down.
 func parseBackends(spec string) ([]router.Backend, error) {
 	var backends []router.Backend
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		name, addr, ok := strings.Cut(part, "=")
 		if !ok || name == "" || addr == "" {
-			return nil, fmt.Errorf("bad backend %q (want name=addr)", part)
+			return nil, fmt.Errorf("bad backend %q (want name=addr[/standby])", part)
 		}
-		backends = append(backends, router.Backend{Name: name, Addr: addr})
+		addr, standby, _ := strings.Cut(addr, "/")
+		if addr == "" {
+			return nil, fmt.Errorf("bad backend %q (empty primary address)", part)
+		}
+		backends = append(backends, router.Backend{Name: name, Addr: addr, Standby: standby})
 	}
 	return backends, nil
 }
 
+// routerOpts carries the -route flag set into runRouter.
+type routerOpts struct {
+	routeSpec   string
+	wireAddr    string
+	metricsAddr string
+	poolSize    int
+	probeEvery  time.Duration
+	probeWait   time.Duration
+	drainFor    time.Duration
+}
+
 // runRouter serves the router tier until SIGTERM/SIGINT, then drains
-// client connections like the scheduling daemon does.
-func runRouter(routeSpec, wireAddr string, poolSize int, drainFor time.Duration) {
-	backends, err := parseBackends(routeSpec)
+// client connections like the scheduling daemon does. Health probes run
+// for the whole lifetime; -metrics-addr exposes the self-healing
+// counters (retries, failovers, degraded admissions, per-backend
+// health) for scraping.
+func runRouter(o routerOpts) {
+	backends, err := parseBackends(o.routeSpec)
 	if err != nil {
 		log.Fatalf("schedd: -route: %v", err)
 	}
-	r, err := router.New(router.Config{Backends: backends, PoolSize: poolSize})
+	r, err := router.New(router.Config{
+		Backends: backends,
+		PoolSize: o.poolSize,
+		Probe:    router.ProbeConfig{Interval: o.probeEvery, Timeout: o.probeWait},
+		Logf:     log.Printf,
+	})
 	if err != nil {
 		log.Fatalf("schedd: %v", err)
 	}
-	ln, err := net.Listen("tcp", wireAddr)
+	ln, err := net.Listen("tcp", o.wireAddr)
 	if err != nil {
 		log.Fatalf("schedd: wire listener: %v", err)
 	}
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	r.StartProbes(probeCtx)
+
+	var metricsSrv *http.Server
+	if o.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /api/v1/metrics", r.MetricsHandler())
+		metricsSrv = &http.Server{
+			Addr:              o.metricsAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("schedd: router metrics on %s", o.metricsAddr)
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("schedd: metrics listener: %v", err)
+			}
+		}()
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- r.Serve(ln) }()
-	log.Printf("schedd: routing swp on %s across %d backends", ln.Addr(), len(backends))
+	log.Printf("schedd: routing swp on %s across %d backends (probe every %v)",
+		ln.Addr(), len(backends), o.probeEvery)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -71,38 +128,93 @@ func runRouter(routeSpec, wireAddr string, poolSize int, drainFor time.Duration)
 			log.Fatalf("schedd: router: %v", err)
 		}
 	case s := <-sig:
-		log.Printf("schedd: %v — draining router (deadline %v)", s, drainFor)
-		ctx, cancel := context.WithTimeout(context.Background(), drainFor)
+		log.Printf("schedd: %v — draining router (deadline %v)", s, o.drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainFor)
 		defer cancel()
 		if err := r.Shutdown(ctx); err != nil {
 			log.Printf("schedd: router drain: %v", err)
 		}
+		if metricsSrv != nil {
+			_ = metricsSrv.Shutdown(ctx)
+		}
 	}
 }
 
+// followerOpts carries the -follow flag set into runFollower, plus the
+// daemon shape (cluster, estimator, WAL options) the follower grows
+// into if it promotes itself.
+type followerOpts struct {
+	leaderAddr string
+	walDir     string
+	logEach    time.Duration
+
+	// Auto-promotion. promoteMisses == 0 keeps the old manual flow.
+	wireAddr      string
+	promoteMisses int
+	promoteWindow time.Duration
+
+	// Promoted-daemon shape — mirrors the leader's own flags.
+	clSpec   string
+	alpha    float64
+	beta     float64
+	explicit bool
+	shards   int
+	walOpts  wal.Options
+	drainFor time.Duration
+}
+
 // runFollower mirrors a backend's WAL until SIGTERM/SIGINT, logging
-// replication lag once per interval tick.
-func runFollower(leaderAddr, walDir string, logEach time.Duration) {
-	m, err := wal.OpenMirror(walDir, nil)
+// replication lag once per interval tick. With auto-promotion enabled
+// it also pre-binds the standby wire listener and, on leader death,
+// promotes the mirror and serves from it.
+func runFollower(o followerOpts) {
+	m, err := wal.OpenMirror(o.walDir, nil)
 	if err != nil {
-		log.Fatalf("schedd: opening mirror %s: %v", walDir, err)
+		log.Fatalf("schedd: opening mirror %s: %v", o.walDir, err)
+	}
+	var standbyLn net.Listener
+	if o.promoteMisses > 0 {
+		if o.wireAddr == "" {
+			log.Fatalf("schedd: -promote-misses requires -wire-addr (the standby address routers will fail over to)")
+		}
+		// Bound now, served only after promotion: the address is promised
+		// to routers in their -route spec, so it must be ours from the
+		// start, not grabbed in the middle of a failover.
+		standbyLn, err = net.Listen("tcp", o.wireAddr)
+		if err != nil {
+			log.Fatalf("schedd: standby wire listener: %v", err)
+		}
 	}
 	f := &repl.Follower{
-		Addr:   leaderAddr,
-		Mirror: m,
-		Logf:   log.Printf,
+		Addr:          o.leaderAddr,
+		Mirror:        m,
+		Logf:          log.Printf,
+		DeadThreshold: o.promoteMisses,
+		DeadWindow:    o.promoteWindow,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	done := make(chan error, 1)
 	go func() { done <- f.Run(ctx) }()
-	log.Printf("schedd: following %s into %s", leaderAddr, walDir)
+	if o.promoteMisses > 0 {
+		log.Printf("schedd: following %s into %s (standby %s, promote after %d missed polls)",
+			o.leaderAddr, o.walDir, standbyLn.Addr(), o.promoteMisses)
+	} else {
+		log.Printf("schedd: following %s into %s", o.leaderAddr, o.walDir)
+	}
 
-	ticker := time.NewTicker(logEach)
+	ticker := time.NewTicker(o.logEach)
 	defer ticker.Stop()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	for {
 		select {
+		case err := <-done:
+			if errors.Is(err, repl.ErrLeaderDead) && standbyLn != nil {
+				promoteAndServe(m, standbyLn, o, sig)
+				return
+			}
+			log.Fatalf("schedd: follower: %v", err)
 		case <-ticker.C:
 			gens, bytes := m.Lag()
 			switch {
@@ -115,13 +227,70 @@ func runFollower(leaderAddr, walDir string, logEach time.Duration) {
 			log.Printf("schedd: %v — stopping follower", s)
 			cancel()
 			<-done
+			if standbyLn != nil {
+				_ = standbyLn.Close()
+			}
 			if err := m.Sync(); err != nil {
 				log.Printf("schedd: syncing mirror: %v", err)
 			}
 			if err := m.Close(); err != nil {
 				log.Printf("schedd: closing mirror: %v", err)
 			}
-			log.Printf("schedd: mirror %s is promotable — restart without -follow to serve from it", walDir)
+			log.Printf("schedd: mirror %s is promotable — restart without -follow to serve from it", o.walDir)
+			return
+		}
+	}
+}
+
+// promoteAndServe is the follower's second life: the leader was
+// declared dead, so seal the mirror, recover a full scheduling daemon
+// from it (the same replay any crash restart runs), and serve swp on
+// the pre-bound standby listener until SIGTERM/SIGINT.
+func promoteAndServe(m *wal.Mirror, ln net.Listener, o followerOpts, sig chan os.Signal) {
+	log.Printf("schedd: leader %s declared dead — promoting mirror %s", o.leaderAddr, o.walDir)
+	if err := m.Sync(); err != nil {
+		log.Printf("schedd: syncing mirror: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		log.Printf("schedd: closing mirror: %v", err)
+	}
+	p, err := promoteMirror(o.walDir, o.clSpec, o.alpha, o.beta, o.explicit, o.shards, o.walOpts)
+	if err != nil {
+		log.Fatalf("schedd: promoting %s: %v", o.walDir, err)
+	}
+	go func() {
+		if err := p.Wire.Serve(ln); err != nil {
+			log.Fatalf("schedd: promoted wire listener: %v", err)
+		}
+	}()
+	log.Printf("schedd: promoted — %d similarity groups recovered (snapshot %d + %d records, %d torn byte(s) repaired), serving swp on %s",
+		p.Est.NumGroups(), p.Recovery.SnapshotSeq, p.Recovery.Records, p.Recovery.TornBytes, ln.Addr())
+
+	persist := func() {
+		if err := p.Srv.Quiesce(func() error {
+			return p.Log.Rotate(p.Est.SaveState)
+		}); err != nil {
+			log.Printf("schedd: rotating WAL: %v", err)
+		}
+	}
+	ticker := time.NewTicker(o.logEach)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			persist()
+		case s := <-sig:
+			log.Printf("schedd: %v — draining promoted node (deadline %v)", s, o.drainFor)
+			p.Srv.BeginDrain()
+			ctx, cancel := context.WithTimeout(context.Background(), o.drainFor)
+			if err := p.Wire.Shutdown(ctx); err != nil {
+				log.Printf("schedd: wire drain: %v", err)
+			}
+			cancel()
+			persist()
+			if err := p.Log.Close(); err != nil {
+				log.Printf("schedd: closing WAL: %v", err)
+			}
 			return
 		}
 	}

@@ -20,7 +20,10 @@
 //	schedd -drain-timeout 30s                   # graceful-shutdown deadline
 //	schedd -wire-addr :8081                     # swp binary batch protocol listener
 //	schedd -route "n0=h0:8081,n1=h1:8081" -wire-addr :8081   # stateless router tier
+//	schedd -route "n0=h0:8081/s0:8081" -metrics-addr :6070   # + standby failover, health metrics
 //	schedd -follow h0:8081 -wal-dir /var/lib/wal             # WAL-shipping follower
+//	schedd -follow h0:8081 -wal-dir ... -wire-addr s0:8081 -promote-misses 5
+//	                                                         # + auto-promotion on leader death
 //
 // API (see internal/server):
 //
@@ -88,9 +91,17 @@ func main() {
 		wireAddr    = flag.String("wire-addr", "", "optional listener for the swp binary batch protocol")
 		route       = flag.String("route", "",
 			"run as a stateless swp router over name=addr backends (comma-separated; requires -wire-addr)")
-		routePool = flag.Int("route-pool", 4, "router: pooled connections per backend")
-		follow    = flag.String("follow", "",
+		routePool   = flag.Int("route-pool", 4, "router: pooled connections per backend")
+		metricsAddr = flag.String("metrics-addr", "",
+			"router: optional listener for the self-healing counters (GET /api/v1/metrics)")
+		probeEvery = flag.Duration("probe-interval", time.Second, "router: health-probe period per backend")
+		probeWait  = flag.Duration("probe-timeout", time.Second, "router: per-probe deadline")
+		follow     = flag.String("follow", "",
 			"run as a WAL-shipping follower of the given backend swp address (requires -wal-dir)")
+		promoteMisses = flag.Int("promote-misses", 0,
+			"follower: consecutive failed polls before the leader is declared dead and the mirror auto-promotes (0 = manual promotion only; requires -wire-addr)")
+		promoteWindow = flag.Duration("promote-after", 0,
+			"follower: minimum silence since the last leader contact before promotion may fire (0 = misses x poll interval)")
 	)
 	flag.Parse()
 	if *route != "" && *follow != "" {
@@ -103,7 +114,15 @@ func main() {
 		if *walDir != "" || *state != "" {
 			log.Fatalf("schedd: the router tier is stateless; -wal-dir/-state do not apply")
 		}
-		runRouter(*route, *wireAddr, *routePool, *drainFor)
+		runRouter(routerOpts{
+			routeSpec:   *route,
+			wireAddr:    *wireAddr,
+			metricsAddr: *metricsAddr,
+			poolSize:    *routePool,
+			probeEvery:  *probeEvery,
+			probeWait:   *probeWait,
+			drainFor:    *drainFor,
+		})
 		return
 	}
 	if *follow != "" {
@@ -113,7 +132,25 @@ func main() {
 		if *state != "" {
 			log.Fatalf("schedd: -follow mirrors a WAL; -state does not apply")
 		}
-		runFollower(*follow, *walDir, *saveEach)
+		runFollower(followerOpts{
+			leaderAddr:    *follow,
+			walDir:        *walDir,
+			logEach:       *saveEach,
+			wireAddr:      *wireAddr,
+			promoteMisses: *promoteMisses,
+			promoteWindow: *promoteWindow,
+			clSpec:        *clSpec,
+			alpha:         *alpha,
+			beta:          *beta,
+			explicit:      *explicit,
+			shards:        *shards,
+			walOpts: wal.Options{
+				GroupCommit: *walGroup,
+				GroupWindow: *walGroupWindow,
+				GroupMax:    *walGroupMax,
+			},
+			drainFor: *drainFor,
+		})
 		return
 	}
 	if *state != "" && *walDir != "" {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+
+	"overprov/internal/estimate"
+	"overprov/internal/server"
+	"overprov/internal/wal"
+)
+
+// promotedNode is a scheduling daemon raised from a follower's mirror:
+// the follower half of automatic failover. The router half swaps the
+// dead backend's address for the standby this node serves on.
+type promotedNode struct {
+	Srv      *server.Server
+	Est      *estimate.ShardedSynchronized
+	Log      *wal.Log
+	Wire     *server.WireServer
+	Recovery wal.RecoveryStats
+}
+
+// promoteMirror turns a mirrored WAL directory into a live scheduling
+// daemon. There is deliberately no special promotion machinery: the
+// mirror is always a valid WAL directory, so promotion is an ordinary
+// wal.Open + Recover — the identical code path any crash restart runs,
+// torn-tail repair included — feeding a fresh estimator, with a wire
+// server ready to Serve on the pre-bound standby listener.
+func promoteMirror(walDir, clSpec string, alpha, beta float64, explicit bool, shards int, walOpts wal.Options) (*promotedNode, error) {
+	cl, err := parseCluster(clSpec)
+	if err != nil {
+		return nil, err
+	}
+	est, err := estimate.NewShardedSynchronized(estimate.SuccessiveApproxConfig{
+		Alpha: alpha, Beta: beta, Round: cl,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(walDir, walOpts)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := l.Recover(est.LoadState, func(r wal.Record) error {
+		est.Feedback(r.Outcome())
+		return nil
+	})
+	if err != nil {
+		_ = l.Close()
+		return nil, fmt.Errorf("recovering %s: %w", walDir, err)
+	}
+	srv, err := server.New(server.Config{
+		Cluster:          cl,
+		Estimator:        est,
+		ExplicitFeedback: explicit,
+		Journal:          l,
+	})
+	if err != nil {
+		_ = l.Close()
+		return nil, err
+	}
+	return &promotedNode{
+		Srv:      srv,
+		Est:      est,
+		Log:      l,
+		Wire:     server.NewWireServer(srv),
+		Recovery: stats,
+	}, nil
+}

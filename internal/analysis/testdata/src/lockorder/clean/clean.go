@@ -210,6 +210,60 @@ func followerTick(w *WireListener, m *Mirror) uint64 {
 	return m.Lag()
 }
 
+// Detector is the follower's leader-death detector (repl.Follower.mu,
+// rank 66): poll bookkeeping taken only after the mirror lock is
+// released, never under anything ranked above it.
+type Detector struct {
+	//overprov:lock rank=66
+	mu    sync.Mutex
+	fails int
+}
+
+func (d *Detector) NoteFailure() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fails++
+}
+
+// HealthProber is the router's backend-health state (Router.healthMu,
+// rank 75), the hierarchy's outermost leaf: probe verdicts and standby
+// failover resolve under one lock with nothing acquired beneath it.
+type HealthProber struct {
+	//overprov:lock rank=75
+	mu      sync.Mutex
+	fails   int
+	standby string
+}
+
+func (h *HealthProber) RecordProbe(ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ok {
+		h.fails = 0
+		return
+	}
+	h.fails++
+	if h.fails >= 3 && h.standby != "" {
+		h.standby = ""
+	}
+}
+
+// pollRound is the follower loop's shape: one mirror apply (65), then
+// detector bookkeeping (66) — sequential, ascending.
+func pollRound(m *Mirror, d *Detector) {
+	_ = m.Lag()
+	d.NoteFailure()
+}
+
+// probeVerdict records a probe outcome while the serve registry is
+// held: 70 then 75 ascends the hierarchy, so the router may resolve a
+// failover without releasing its connection bookkeeping.
+func probeVerdict(r *RouterServe, h *HealthProber) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h.RecordProbe(false)
+}
+
 // dispatchPass is the admission-dispatch shape: queue bookkeeping under
 // the apex alone, the estimator read released, and only then the pool
 // locks (rank 50) via Allocate — dispatch never allocates under

@@ -165,6 +165,43 @@ func promoteWrong(r *RouterServe, m *Mirror) {
 	m.mu.Unlock()
 }
 
+// Detector is the follower's leader-death detector (rank 66);
+// HealthProber the router's backend-health state (rank 75) — the two
+// self-healing additions to the hierarchy.
+type Detector struct {
+	//overprov:lock rank=66
+	mu    sync.Mutex
+	fails int
+}
+
+type HealthProber struct {
+	//overprov:lock rank=75
+	mu    sync.Mutex
+	fails int
+}
+
+// detectWrong applies to the mirror while holding the detector lock:
+// rank 65 under rank 66 inverts the hierarchy — death bookkeeping must
+// never wait on replica I/O.
+func detectWrong(d *Detector, m *Mirror) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m.mu.Lock() // want `lock order violation: flagged\.Mirror\.mu \(rank 65\) acquired while flagged\.Detector\.mu \(rank 66\) is held`
+	m.gen++
+	m.mu.Unlock()
+}
+
+// failoverWrong touches the serve registry while holding the health
+// lock: rank 70 under rank 75 inverts the hierarchy — a failover
+// verdict must never wait on the accept loop.
+func failoverWrong(h *HealthProber, r *RouterServe) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r.mu.Lock() // want `lock order violation: flagged\.RouterServe\.mu \(rank 70\) acquired while flagged\.HealthProber\.mu \(rank 75\) is held`
+	delete(r.conns, 1)
+	r.mu.Unlock()
+}
+
 // Two unranked locks acquired in both orders: a cycle even without
 // ranks.
 type cacheA struct {

@@ -2,7 +2,10 @@
 // mirror and its leader. The protocol state lives in wal.Mirror
 // (what to fetch next, how to fold a chunk in) and wal.Log.ShipState
 // (what to serve); this package is only the network loop: one
-// persistent swp connection, poll, apply, back off, re-dial.
+// persistent swp connection, poll, apply, back off, re-dial — plus the
+// leader-death detector that turns "the leader has been unreachable
+// for a while" into ErrLeaderDead so the caller can promote the
+// mirror with no operator in the loop.
 //
 // Separation of concerns mirrors the serving stack: internal/wire is
 // the codec, internal/wal owns the files, internal/repl moves bytes.
@@ -13,13 +16,20 @@ package repl
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"overprov/internal/wal"
 	"overprov/internal/wire"
 )
+
+// ErrLeaderDead is returned by Run when the leader has failed
+// DeadThreshold consecutive sessions and DeadWindow has elapsed since
+// the last successful poll: the follower's cue to promote its mirror.
+var ErrLeaderDead = errors.New("repl: leader declared dead")
 
 // Follower replicates one leader's WAL into a local mirror directory.
 type Follower struct {
@@ -32,8 +42,42 @@ type Follower struct {
 	Interval time.Duration
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
+	// PollTimeout bounds one poll round's I/O — the WALFetch write and
+	// the WALState read share one absolute deadline, so a leader that
+	// accepts the connection but stops answering (hung disk, wedged
+	// dispatcher) faults the session instead of stalling replication
+	// forever (default 10s).
+	PollTimeout time.Duration
+	// DeadThreshold is how many consecutive failed sessions (failed
+	// dials count too) declare the leader dead. 0 disables detection:
+	// Run retries forever, the pre-promotion behavior.
+	DeadThreshold int
+	// DeadWindow is the minimum time since the last successful poll
+	// before the threshold may fire, so a burst of quick connection
+	// resets during a leader restart is not mistaken for death
+	// (default: DeadThreshold × Interval).
+	DeadWindow time.Duration
 	// Logf, when set, receives connection-lifecycle lines.
 	Logf func(format string, args ...any)
+
+	// mu guards the death detector's bookkeeping. It ranks above the
+	// mirror lock and is never held across any I/O or Mirror call —
+	// Status readers must not wait on replication.
+	//overprov:lock rank=66
+	mu     sync.Mutex
+	fails  int
+	lastOK time.Time
+}
+
+// Status is a point-in-time view of the death detector, for operators
+// and the chaos harness to observe detection progress.
+type Status struct {
+	// ConsecutiveFailures counts failed sessions since the last
+	// successful poll.
+	ConsecutiveFailures int
+	// LastContact is when the last poll round succeeded (the Run start
+	// time until the first success).
+	LastContact time.Time
 }
 
 func (f *Follower) interval() time.Duration {
@@ -50,17 +94,64 @@ func (f *Follower) dialTimeout() time.Duration {
 	return 5 * time.Second
 }
 
+func (f *Follower) pollTimeout() time.Duration {
+	if f.PollTimeout > 0 {
+		return f.PollTimeout
+	}
+	return 10 * time.Second
+}
+
+func (f *Follower) deadWindow() time.Duration {
+	if f.DeadWindow > 0 {
+		return f.DeadWindow
+	}
+	return time.Duration(f.DeadThreshold) * f.interval()
+}
+
 func (f *Follower) logf(format string, args ...any) {
 	if f.Logf != nil {
 		f.Logf(format, args...)
 	}
 }
 
-// Run replicates until ctx is cancelled. Connection failures back off
-// and re-dial forever — a follower's job is to wait out leader
-// restarts; only ctx ends it. The mirror is left open (the caller
-// promotes or closes it).
+// Status reports the detector's current view.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Status{ConsecutiveFailures: f.fails, LastContact: f.lastOK}
+}
+
+// noteContact records a successful poll round.
+func (f *Follower) noteContact() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fails = 0
+	f.lastOK = time.Now()
+}
+
+// noteFailure records a failed session and reports whether the leader
+// is now considered dead.
+func (f *Follower) noteFailure() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fails++
+	if f.DeadThreshold <= 0 || f.fails < f.DeadThreshold {
+		return false
+	}
+	return time.Since(f.lastOK) >= f.deadWindow()
+}
+
+// Run replicates until ctx is cancelled or — with DeadThreshold set —
+// the leader is declared dead (ErrLeaderDead, wrapped with the failure
+// tally). Without a threshold, connection failures back off and
+// re-dial forever: a follower's job is to wait out leader restarts.
+// The mirror is left open in every case (the caller promotes or
+// closes it).
 func (f *Follower) Run(ctx context.Context) error {
+	f.mu.Lock()
+	f.fails = 0
+	f.lastOK = time.Now()
+	f.mu.Unlock()
 	backoff := f.interval()
 	for {
 		if err := ctx.Err(); err != nil {
@@ -69,6 +160,13 @@ func (f *Follower) Run(ctx context.Context) error {
 		err := f.session(ctx)
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if f.noteFailure() {
+			st := f.Status()
+			f.logf("repl: follower of %s: leader dead after %d consecutive failures (last contact %v ago): %v",
+				f.Addr, st.ConsecutiveFailures, time.Since(st.LastContact).Round(time.Millisecond), err)
+			return fmt.Errorf("%w: %d consecutive failures, last contact %v ago (last error: %v)",
+				ErrLeaderDead, st.ConsecutiveFailures, time.Since(st.LastContact).Round(time.Millisecond), err)
 		}
 		f.logf("repl: follower of %s: %v (retrying in %v)", f.Addr, err, backoff)
 		select {
@@ -104,6 +202,9 @@ func (f *Follower) session(ctx context.Context) error {
 	fr := wire.NewReader(bufio.NewReader(c))
 	bw := bufio.NewWriter(c)
 	var enc wire.Encoder
+	if err := c.SetDeadline(time.Now().Add(f.pollTimeout())); err != nil {
+		return err
+	}
 	version, err := handshake(fr, bw, &enc)
 	if err != nil {
 		return err
@@ -113,6 +214,12 @@ func (f *Follower) session(ctx context.Context) error {
 	idle := f.interval()
 	for {
 		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// One absolute deadline per poll round: a leader that accepts
+		// the fetch but never answers trips it, instead of pinning the
+		// follower on a read forever.
+		if err := c.SetDeadline(time.Now().Add(f.pollTimeout())); err != nil {
 			return err
 		}
 		req := f.Mirror.NextRequest()
@@ -140,6 +247,7 @@ func (f *Follower) session(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		f.noteContact()
 		if progress {
 			continue // keep streaming while behind
 		}

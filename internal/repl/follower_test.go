@@ -1,0 +1,164 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"overprov/internal/wal"
+	"overprov/internal/wire"
+)
+
+// stalledLeader accepts connections and completes the swp handshake,
+// then swallows every subsequent frame without answering — a leader
+// that is hung, not dead. Before poll deadlines existed this shape
+// pinned the follower on a read forever.
+func stalledLeader(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { _ = c.Close() }()
+				fr := wire.NewReader(bufio.NewReader(c))
+				bw := bufio.NewWriter(c)
+				var enc wire.Encoder
+				f, err := fr.ReadFrame()
+				if err != nil || f.Type != wire.TypeHello {
+					return
+				}
+				h, err := wire.DecodeHello(f.Payload)
+				if err != nil {
+					return
+				}
+				version, err := wire.Negotiate(h)
+				if err != nil {
+					return
+				}
+				if _, err := bw.Write(enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, version)); err != nil {
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					return
+				}
+				// Read fetches forever; answer none of them.
+				for {
+					if _, err := fr.ReadFrame(); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln
+}
+
+// TestFollowerStalledLeaderDeclaredDead is the satellite fix's proof:
+// a leader that accepts the connection and the handshake but never
+// answers a poll must trip the per-round deadline, fail the session,
+// and — with a threshold armed — be declared dead instead of stalling
+// replication forever.
+func TestFollowerStalledLeaderDeclaredDead(t *testing.T) {
+	ln := stalledLeader(t)
+	m, err := wal.OpenMirror(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+
+	f := &Follower{
+		Addr:          ln.Addr().String(),
+		Mirror:        m,
+		Interval:      2 * time.Millisecond,
+		PollTimeout:   50 * time.Millisecond,
+		DeadThreshold: 3,
+		Logf:          t.Logf,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	err = f.Run(ctx)
+	if !errors.Is(err, ErrLeaderDead) {
+		t.Fatalf("Run returned %v, want ErrLeaderDead (after %v)", err, time.Since(start))
+	}
+	st := f.Status()
+	if st.ConsecutiveFailures < 3 {
+		t.Fatalf("detector reports %d consecutive failures, want >= 3", st.ConsecutiveFailures)
+	}
+}
+
+// TestFollowerDeadLeaderDeclaredDead covers the refused-dial flavor of
+// death: nothing is listening at all.
+func TestFollowerDeadLeaderDeclaredDead(t *testing.T) {
+	// Grab an address that is certainly not listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	m, err := wal.OpenMirror(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+
+	f := &Follower{
+		Addr:          addr,
+		Mirror:        m,
+		Interval:      2 * time.Millisecond,
+		PollTimeout:   50 * time.Millisecond,
+		DeadThreshold: 4,
+		DeadWindow:    10 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Run(ctx); !errors.Is(err, ErrLeaderDead) {
+		t.Fatalf("Run returned %v, want ErrLeaderDead", err)
+	}
+}
+
+// TestFollowerCancelBeatsDetection pins the precedence: context
+// cancellation returns ctx.Err, never ErrLeaderDead, even while
+// failures are accumulating.
+func TestFollowerCancelBeatsDetection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	m, err := wal.OpenMirror(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+
+	f := &Follower{Addr: addr, Mirror: m, Interval: time.Millisecond, DeadThreshold: 1 << 30}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}

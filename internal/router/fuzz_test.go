@@ -25,13 +25,13 @@ func fuzzRouter(t testing.TB, k int) *Router {
 
 // echoSubmit plays each involved backend replying in order: item j of
 // its sub-batch gets local id j+1.
-func echoSubmit(r *Router, p *plan) {
+func echoSubmit(rt *routing, p *plan) {
 	for _, b := range p.involved {
 		res := make([]wire.Result, len(p.jobs[b]))
 		for j := range res {
 			res[j] = wire.Result{ID: int64(j + 1), State: wire.StateRunning}
 		}
-		p.mergeSubmit(b, r.backends[b].name, res, nil)
+		p.mergeSubmit(b, rt.backends[b].name, res, nil)
 	}
 }
 
@@ -61,13 +61,13 @@ func FuzzRouterSplitMerge(f *testing.F) {
 		}
 
 		var p plan
-		r.planJobs(jobs, &p)
+		rt := r.planJobs(jobs, &p)
 		if len(p.results) != n {
 			t.Fatalf("planned %d results for %d jobs", len(p.results), n)
 		}
 		// Every job lands on exactly one backend, where routeJob says.
 		seen := 0
-		for b := range r.backends {
+		for b := range rt.backends {
 			if len(p.pos[b]) != len(p.jobs[b]) {
 				t.Fatalf("backend %d: %d positions, %d jobs", b, len(p.pos[b]), len(p.jobs[b]))
 			}
@@ -85,7 +85,7 @@ func FuzzRouterSplitMerge(f *testing.F) {
 			t.Fatalf("split placed %d of %d jobs", seen, n)
 		}
 
-		echoSubmit(r, &p)
+		echoSubmit(rt, &p)
 		comps := make([]wire.Completion, 0, n)
 		for i, res := range p.results {
 			if res.Err != "" {
@@ -103,13 +103,13 @@ func FuzzRouterSplitMerge(f *testing.F) {
 
 		// Completion split must honor the tags and restore them on merge.
 		var pc plan
-		r.planComps(comps, &pc)
-		for b := range r.backends {
+		rtc := r.planComps(comps, &pc)
+		for b := range rtc.backends {
 			res := make([]wire.Result, len(pc.comps[b]))
 			for j, c := range pc.comps[b] {
 				res[j] = wire.Result{ID: c.ID, State: wire.StateDone}
 			}
-			pc.mergeComplete(b, r.backends[b].name, res, nil)
+			pc.mergeComplete(b, rtc.backends[b].name, res, nil)
 		}
 		for i, res := range pc.results {
 			if res.Err != "" {
@@ -142,6 +142,19 @@ func FuzzRouterCompletionTags(f *testing.F) {
 			t.Fatalf("%d results", len(p.results))
 		}
 		b, local := splitID(id)
+		if id >= 0 && b == degradedTag {
+			// The reserved degraded tag is acked in place, never routed:
+			// no estimator holds these jobs.
+			if p.results[0].Err != "" || p.results[0].State != wire.StateDegraded {
+				t.Fatalf("degraded id %d: got %+v, want in-place degraded ack", id, p.results[0])
+			}
+			for bb := range p.comps {
+				if len(p.comps[bb]) > 1 {
+					t.Fatalf("degraded id %d was routed to backend %d", id, bb)
+				}
+			}
+			return
+		}
 		valid := id >= 0 && b < k
 		if !valid && p.results[0].Err == "" {
 			t.Fatalf("id %d (backend %d) accepted by %d-backend router", id, b, k)

@@ -1,0 +1,370 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"overprov/internal/wire"
+)
+
+// Health is the prober's verdict on one backend.
+type Health int32
+
+const (
+	// HealthHealthy: probes answer; full service.
+	HealthHealthy Health = iota
+	// HealthSuspect: at least one probe failed, threshold not yet
+	// reached. Service continues (retries cover blips).
+	HealthSuspect
+	// HealthDown: FailThreshold consecutive probe failures and no
+	// standby to swap in. Submits degrade, completions fail fast with
+	// retryable per-item errors.
+	HealthDown
+	// HealthRecovering: the standby address has been swapped in and is
+	// being probed toward healthy. Service resumes optimistically —
+	// exchanges dial the new address while probes confirm it.
+	HealthRecovering
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthSuspect:
+		return "suspect"
+	case HealthDown:
+		return "down"
+	case HealthRecovering:
+		return "recovering"
+	}
+	return fmt.Sprintf("health(%d)", int32(h))
+}
+
+// ProbeConfig tunes the per-backend health prober.
+type ProbeConfig struct {
+	// Interval between probes (default 1s).
+	Interval time.Duration
+	// Timeout bounds one probe attempt end to end: dial, handshake,
+	// ping, pong (default 1s).
+	Timeout time.Duration
+	// FailThreshold is how many consecutive failed probes declare a
+	// backend down (default 3).
+	FailThreshold int
+	// RecoverThreshold is how many consecutive successful probes bring
+	// a down or recovering backend back to healthy (default 2). A
+	// merely suspect backend recovers on the first success.
+	RecoverThreshold int
+}
+
+func (p ProbeConfig) withDefaults() ProbeConfig {
+	if p.Interval <= 0 {
+		p.Interval = time.Second
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = time.Second
+	}
+	if p.FailThreshold <= 0 {
+		p.FailThreshold = 3
+	}
+	if p.RecoverThreshold <= 0 {
+		p.RecoverThreshold = 2
+	}
+	return p
+}
+
+// RetryConfig tunes per-item fan-out retries (exchangeRetry).
+type RetryConfig struct {
+	// Max is the retry budget after the first attempt (default 4).
+	Max int
+	// BaseDelay is the first backoff step (default 10ms); each retry
+	// doubles it, capped at MaxDelay (default 200ms). Plain doubling,
+	// deliberately unjittered: the fan-out is a handful of goroutines,
+	// not a thundering herd.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.Max <= 0 {
+		r.Max = 4
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = 10 * time.Millisecond
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 200 * time.Millisecond
+	}
+	return r
+}
+
+// healthState is the Router's self-healing machinery: the prober
+// bookkeeping and the lock that serializes health transitions,
+// failover address swaps, and membership changes.
+type healthState struct {
+	// healthMu guards every backend's prober counters and standby
+	// slot, plus probeCtx and membership (install). It is a leaf:
+	// nothing is acquired under it, and no I/O happens under it —
+	// probes run outside and only report their verdict here.
+	//overprov:lock rank=75
+	healthMu sync.Mutex
+	probeCtx context.Context
+	// probeNonce numbers ping payloads so a stale pong cannot satisfy
+	// a later probe.
+	probeNonce atomic.Uint64
+}
+
+// StartProbes launches one prober goroutine per backend. Idempotent;
+// probing stops when ctx is cancelled. Backends added later
+// (AddBackend) get probers automatically.
+func (r *Router) StartProbes(ctx context.Context) {
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	if r.probeCtx != nil {
+		return
+	}
+	r.probeCtx = ctx
+	for _, b := range r.routing().backends {
+		r.spawnProbe(ctx, b)
+	}
+}
+
+// spawnProbe starts one backend's probe loop. Callers hold healthMu
+// (the goroutine body runs outside the lock).
+func (r *Router) spawnProbe(ctx context.Context, b *backend) {
+	go r.probeLoop(ctx, b)
+}
+
+// probeLoop probes one backend on the configured interval until ctx
+// ends or the backend is removed from membership.
+func (r *Router) probeLoop(ctx context.Context, b *backend) {
+	t := time.NewTicker(r.cfg.Probe.Interval)
+	defer t.Stop()
+	for {
+		if b.removed.Load() {
+			return
+		}
+		r.recordProbe(b, r.probe(b))
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe runs one health check against the backend's current address on
+// a fresh connection: dial, Hello handshake, Ping, matching Pong — all
+// under one absolute deadline. A fresh connection (never a pooled one)
+// means the probe exercises the backend's accept loop and dispatcher
+// exactly as a new client would, so a node that holds old connections
+// open but can no longer serve fails the probe.
+func (r *Router) probe(b *backend) error {
+	addr := *b.addr.Load()
+	c, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.SetDeadline(time.Now().Add(r.cfg.Probe.Timeout)); err != nil {
+		return err
+	}
+	fr := wire.NewReader(bufio.NewReader(c))
+	bw := bufio.NewWriter(c)
+	var enc wire.Encoder
+	if _, err := bw.Write(enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, wire.VersionMin)); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	f, err := fr.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.TypeHello {
+		return fmt.Errorf("handshake rejected: %s", wire.DecodeError(f.Payload))
+	}
+	version := f.Version
+	nonce := r.probeNonce.Add(1)
+	if _, err := bw.Write(enc.Ping(version, nonce)); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	f, err = fr.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.TypePong {
+		return fmt.Errorf("probe reply type %d, want %d", f.Type, wire.TypePong)
+	}
+	got, err := wire.DecodePing(f.Payload)
+	if err != nil {
+		return err
+	}
+	if got != nonce {
+		return fmt.Errorf("pong nonce %x, want %x", got, nonce)
+	}
+	return nil
+}
+
+// recordProbe folds one probe outcome into the backend's health state
+// machine. All transitions — including consuming the standby and
+// swapping the address — happen here, under healthMu, so there is
+// exactly one writer of health state and the failover swap is atomic
+// with the transition that triggers it.
+func (r *Router) recordProbe(b *backend, err error) {
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	was := b.healthVal()
+	if err == nil {
+		b.probesOK.Add(1)
+		b.fails = 0
+		b.oks++
+		switch was {
+		case HealthSuspect:
+			// One good probe clears a suspicion.
+			b.health.Store(int32(HealthHealthy))
+		case HealthDown, HealthRecovering:
+			if b.oks >= r.cfg.Probe.RecoverThreshold {
+				b.health.Store(int32(HealthHealthy))
+			}
+		}
+		if now := b.healthVal(); now != was {
+			r.logf("router: backend %s %s -> %s", b.name, was, now)
+		}
+		return
+	}
+	b.probesFail.Add(1)
+	b.oks = 0
+	b.fails++
+	switch was {
+	case HealthHealthy:
+		b.health.Store(int32(HealthSuspect))
+		r.logf("router: backend %s healthy -> suspect: %v", b.name, err)
+	case HealthSuspect, HealthRecovering:
+		if b.fails < r.cfg.Probe.FailThreshold {
+			return
+		}
+		if b.standby != "" {
+			// Consume the standby exactly once: swap it in, retire the
+			// pooled connections, and probe the new address up.
+			standby := b.standby
+			b.standby = ""
+			b.setAddr(standby)
+			b.failovers.Add(1)
+			b.fails = 0
+			b.health.Store(int32(HealthRecovering))
+			r.logf("router: backend %s %s -> recovering: failing over to standby %s (%v)", b.name, was, standby, err)
+			return
+		}
+		b.health.Store(int32(HealthDown))
+		r.logf("router: backend %s %s -> down after %d consecutive probe failures: %v", b.name, was, b.fails, err)
+	case HealthDown:
+		// Stay down; probes keep running so an operator-side revival
+		// (or a SetBackendAddr) is noticed.
+	}
+}
+
+// exchangeRetry wraps backend.exchange with the per-item retry policy:
+// up to Retry.Max re-sends with capped doubling backoff. Submits obey
+// the replay-safety boundary — once the request frame's write began
+// the backend may have applied it, so a post-write submit failure is
+// final (the caller degrades it; it is never re-sent). Completions are
+// idempotent per job id on the backend and retry across any failure,
+// including reconnects. A backend the prober holds down fails fast:
+// waiting out the retry budget against a known-dead address only slows
+// the whole fan-out down.
+func (r *Router) exchangeRetry(b *backend, submit bool, mk func(enc *wire.Encoder, version uint8) []byte, want wire.FrameType, dst []wire.Result) ([]wire.Result, error) {
+	delay := r.cfg.Retry.BaseDelay
+	for attempt := 0; ; attempt++ {
+		if b.healthVal() == HealthDown {
+			return nil, fmt.Errorf("backend down")
+		}
+		res, postWrite, err := b.exchange(r.cfg.DialTimeout, r.cfg.IOTimeout, mk, want, dst)
+		if err == nil {
+			return res, nil
+		}
+		if submit && postWrite {
+			return nil, err
+		}
+		if attempt >= r.cfg.Retry.Max {
+			return nil, err
+		}
+		b.retries.Add(1)
+		time.Sleep(delay)
+		if delay < r.cfg.Retry.MaxDelay {
+			delay *= 2
+			if delay > r.cfg.Retry.MaxDelay {
+				delay = r.cfg.Retry.MaxDelay
+			}
+		}
+	}
+}
+
+// BackendStatus is one backend's row in RouterMetrics.
+type BackendStatus struct {
+	Name       string `json:"name"`
+	Addr       string `json:"addr"`
+	Health     string `json:"health"`
+	Removed    bool   `json:"removed,omitempty"`
+	Standby    string `json:"standby,omitempty"`
+	Retries    uint64 `json:"retries"`
+	Failovers  uint64 `json:"failovers"`
+	Degraded   uint64 `json:"degraded"`
+	ProbesOK   uint64 `json:"probes_ok"`
+	ProbesFail uint64 `json:"probes_fail"`
+}
+
+// RouterMetrics is the router's operational counter snapshot. The
+// aggregate fields use flat JSON keys so cluster scrapers (cmd/loadgen)
+// sum them across nodes exactly like wal_records/wal_syncs.
+type RouterMetrics struct {
+	Backends  []BackendStatus `json:"backends"`
+	Retries   uint64          `json:"router_retries"`
+	Failovers uint64          `json:"router_failovers"`
+	Degraded  uint64          `json:"router_degraded"`
+}
+
+// Metrics snapshots every backend's health and counters.
+func (r *Router) Metrics() RouterMetrics {
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	var m RouterMetrics
+	for _, b := range r.routing().backends {
+		s := BackendStatus{
+			Name:       b.name,
+			Addr:       *b.addr.Load(),
+			Health:     b.healthVal().String(),
+			Removed:    b.removed.Load(),
+			Standby:    b.standby,
+			Retries:    b.retries.Load(),
+			Failovers:  b.failovers.Load(),
+			Degraded:   b.degraded.Load(),
+			ProbesOK:   b.probesOK.Load(),
+			ProbesFail: b.probesFail.Load(),
+		}
+		m.Retries += s.Retries
+		m.Failovers += s.Failovers
+		m.Degraded += s.Degraded
+		m.Backends = append(m.Backends, s)
+	}
+	return m
+}
+
+// MetricsHandler serves Metrics as JSON — the router's answer to the
+// schedd /metrics endpoint, mounted by cmd/schedd's -metrics-addr.
+func (r *Router) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.Metrics())
+	})
+}

@@ -1,0 +1,341 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"overprov/internal/wire"
+)
+
+// fastProbe is the chaos-speed prober config the health tests share:
+// millisecond cadence so a test observes the full state machine in
+// well under a second.
+func fastProbe() ProbeConfig {
+	return ProbeConfig{
+		Interval:         2 * time.Millisecond,
+		Timeout:          250 * time.Millisecond,
+		FailThreshold:    2,
+		RecoverThreshold: 2,
+	}
+}
+
+// startProbedCluster is startCluster with a caller-shaped config over
+// pre-started nodes, probing active.
+func startProbedCluster(t testing.TB, cfg Config) (*Router, string) {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = r.Serve(ln) }()
+	ctx, cancel := context.WithCancel(context.Background())
+	r.StartProbes(ctx)
+	t.Cleanup(func() {
+		cancel()
+		sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+		defer scancel()
+		_ = r.Shutdown(sctx)
+	})
+	return r, ln.Addr().String()
+}
+
+// waitBackendHealth polls Metrics until the named backend reaches the
+// wanted health state.
+func waitBackendHealth(t testing.TB, r *Router, name, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, b := range r.Metrics().Backends {
+			if b.Name == name && b.Health == want {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("backend %s never reached %q; metrics: %+v", name, want, r.Metrics())
+}
+
+// TestRouterProbeStateMachine drives one backend through the full
+// health cycle with no standby armed: healthy under probes, down after
+// the failure threshold when killed, healthy again once an address
+// swap points it at a live replacement.
+func TestRouterProbeStateMachine(t *testing.T) {
+	node := startNode(t, "node0")
+	cfg := Config{
+		Backends: []Backend{{Name: "node0", Addr: node.addr()}},
+		Probe:    fastProbe(),
+		Logf:     t.Logf,
+	}
+	r, _ := startProbedCluster(t, cfg)
+
+	waitBackendHealth(t, r, "node0", "healthy")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	_ = node.ws.Shutdown(ctx)
+	cancel()
+	waitBackendHealth(t, r, "node0", "down")
+
+	// An operator-side revival (the manual failover hook) is noticed by
+	// the prober and brings the backend back without intervention on
+	// the serving path.
+	replacement := startNode(t, "node0")
+	if err := r.SetBackendAddr("node0", replacement.addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitBackendHealth(t, r, "node0", "healthy")
+
+	m := r.Metrics()
+	if m.Failovers != 0 {
+		t.Fatalf("manual swap counted as automatic failover: %+v", m)
+	}
+	b := m.Backends[0]
+	if b.ProbesOK == 0 || b.ProbesFail == 0 {
+		t.Fatalf("probe counters did not move: %+v", b)
+	}
+}
+
+// TestRouterStandbyAutoFailover is the tentpole's router half with the
+// human deleted: the backend pre-declares a standby, the primary dies,
+// and with no operator call the prober declares it down, swaps the
+// standby in, probes it healthy, and traffic for the ring name flows
+// again — served normally, not degraded.
+func TestRouterStandbyAutoFailover(t *testing.T) {
+	primary := startNode(t, "node0")
+	standby := startNode(t, "node0")
+	cfg := Config{
+		Backends: []Backend{{Name: "node0", Addr: primary.addr(), Standby: standby.addr()}},
+		Probe:    fastProbe(),
+		Retry:    RetryConfig{Max: 8, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		Logf:     t.Logf,
+	}
+	r, addr := startProbedCluster(t, cfg)
+	tc := dialTest(t, addr)
+
+	res := tc.exchange(t, tc.enc.SubmitBatch(tc.version, []wire.Job{testJob(1)}), wire.TypeSubmitResult)
+	if res[0].Err != "" || res[0].State == wire.StateDegraded {
+		t.Fatalf("warm submit: %+v", res[0])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	_ = primary.ws.Shutdown(ctx)
+	cancel()
+
+	waitBackendHealth(t, r, "node0", "healthy")
+	m := r.Metrics()
+	if m.Failovers != 1 {
+		t.Fatalf("failovers = %d, want exactly 1 (standby consumed once)", m.Failovers)
+	}
+	if got := m.Backends[0].Addr; got != standby.addr() {
+		t.Fatalf("backend addr %s after failover, want standby %s", got, standby.addr())
+	}
+	if m.Backends[0].Standby != "" {
+		t.Fatalf("standby not consumed: %+v", m.Backends[0])
+	}
+
+	res = tc.exchange(t, tc.enc.SubmitBatch(tc.version, []wire.Job{testJob(1)}), wire.TypeSubmitResult)
+	if res[0].Err != "" || res[0].State == wire.StateDegraded {
+		t.Fatalf("post-failover submit not served normally: %+v", res[0])
+	}
+	if b, _ := splitID(res[0].ID); b != 0 {
+		t.Fatalf("failover moved the group to backend %d", b)
+	}
+}
+
+// scriptedBackend accepts swp connections and completes the Hello
+// handshake, then hands each subsequent frame to script along with the
+// connection's accept index; a nil return drops the connection (the
+// post-write failure shape), otherwise the returned frame is the reply.
+func scriptedBackend(t *testing.T, script func(conn int, f wire.Frame, enc *wire.Encoder, version uint8) []byte) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	var conns atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			idx := int(conns.Add(1)) - 1
+			go func(c net.Conn, idx int) {
+				defer func() { _ = c.Close() }()
+				fr := wire.NewReader(bufio.NewReader(c))
+				var enc wire.Encoder
+				f, err := fr.ReadFrame()
+				if err != nil || f.Type != wire.TypeHello {
+					return
+				}
+				h, err := wire.DecodeHello(f.Payload)
+				if err != nil {
+					return
+				}
+				version, err := wire.Negotiate(h)
+				if err != nil {
+					return
+				}
+				if _, err := c.Write(enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, version)); err != nil {
+					return
+				}
+				for {
+					f, err := fr.ReadFrame()
+					if err != nil {
+						return
+					}
+					reply := script(idx, f, &enc, version)
+					if reply == nil {
+						return
+					}
+					if _, err := c.Write(reply); err != nil {
+						return
+					}
+				}
+			}(c, idx)
+		}
+	}()
+	return ln
+}
+
+// retryRouter builds a router over one scripted backend with a tight
+// retry budget, returning the router and the backend handle.
+func retryRouter(t *testing.T, addr string) (*Router, *backend) {
+	t.Helper()
+	r, err := New(Config{
+		Backends: []Backend{{Name: "fake", Addr: addr}},
+		PoolSize: 1,
+		Retry:    RetryConfig{Max: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, r.routing().backends[0]
+}
+
+// TestExchangeRetryReplaySafety pins the retry boundary the WAL's
+// at-least-once contract depends on: a submit that faulted after its
+// request frame hit the wire is NOT re-sent (the backend may have
+// admitted it — re-sending could admit the batch twice), while a
+// completion in the same position retries across the reconnect because
+// backends consume completions idempotently by job id.
+func TestExchangeRetryReplaySafety(t *testing.T) {
+	// The scripted backend drops the first post-handshake frame of the
+	// first two connections (one for each sub-test), then serves.
+	ln := scriptedBackend(t, func(conn int, f wire.Frame, enc *wire.Encoder, version uint8) []byte {
+		if conn < 2 {
+			return nil // read the frame, then hang up: a post-write fault
+		}
+		switch f.Type {
+		case wire.TypeSubmitBatch:
+			return enc.Results(version, wire.TypeSubmitResult, []wire.Result{{ID: 1, State: wire.StateRunning}})
+		case wire.TypeCompleteBatch:
+			return enc.Results(version, wire.TypeCompleteResult, []wire.Result{{ID: 1, State: wire.StateDone}})
+		}
+		return enc.Error(version, fmt.Sprintf("unexpected frame %d", f.Type))
+	})
+	r, bk := retryRouter(t, ln.Addr().String())
+
+	// Submit: post-write fault is final, no retry, no re-send.
+	_, err := r.exchangeRetry(bk, true, func(enc *wire.Encoder, v uint8) []byte {
+		return enc.SubmitBatch(v, []wire.Job{testJob(1)})
+	}, wire.TypeSubmitResult, nil)
+	if err == nil {
+		t.Fatal("post-write submit fault did not surface")
+	}
+	if got := bk.retries.Load(); got != 0 {
+		t.Fatalf("submit was retried %d times after a post-write fault", got)
+	}
+
+	// Completion: the same fault shape retries through a reconnect and
+	// succeeds.
+	res, err := r.exchangeRetry(bk, false, func(enc *wire.Encoder, v uint8) []byte {
+		return enc.CompleteBatch(v, []wire.Completion{{ID: 1, Success: true}})
+	}, wire.TypeCompleteResult, nil)
+	if err != nil {
+		t.Fatalf("completion did not retry across reconnect: %v", err)
+	}
+	if len(res) != 1 || res[0].State != wire.StateDone {
+		t.Fatalf("completion reply: %+v", res)
+	}
+	if got := bk.retries.Load(); got != 1 {
+		t.Fatalf("completion retries = %d, want 1", got)
+	}
+}
+
+// TestExchangeRetryPreWriteSubmit pins the other side of the boundary:
+// a submit whose connection died before the request frame was written
+// (here: the backend closes the first connection during the handshake)
+// IS retried — nothing reached the backend, so re-sending is safe.
+func TestExchangeRetryPreWriteSubmit(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	served := make(chan net.Listener, 1)
+	go func() {
+		// First connection: slam the door before the handshake.
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = c.Close()
+		// Then hand the listener to a real scripted server.
+		served <- ln
+	}()
+	r, bk := retryRouter(t, ln.Addr().String())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-served
+		// Serve one good connection inline.
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = c.Close() }()
+		fr := wire.NewReader(bufio.NewReader(c))
+		var enc wire.Encoder
+		f, err := fr.ReadFrame()
+		if err != nil || f.Type != wire.TypeHello {
+			return
+		}
+		h, _ := wire.DecodeHello(f.Payload)
+		version, err := wire.Negotiate(h)
+		if err != nil {
+			return
+		}
+		if _, err := c.Write(enc.Hello(wire.Hello{Min: wire.VersionMin, Max: wire.VersionMax}, version)); err != nil {
+			return
+		}
+		if f, err = fr.ReadFrame(); err != nil || f.Type != wire.TypeSubmitBatch {
+			return
+		}
+		_, _ = c.Write(enc.Results(version, wire.TypeSubmitResult, []wire.Result{{ID: 7, State: wire.StateRunning}}))
+	}()
+
+	res, err := r.exchangeRetry(bk, true, func(enc *wire.Encoder, v uint8) []byte {
+		return enc.SubmitBatch(v, []wire.Job{testJob(1)})
+	}, wire.TypeSubmitResult, nil)
+	if err != nil {
+		t.Fatalf("pre-write submit fault was not retried: %v", err)
+	}
+	if len(res) != 1 || res[0].ID != 7 {
+		t.Fatalf("reply after retry: %+v", res)
+	}
+	if got := bk.retries.Load(); got == 0 {
+		t.Fatal("retry counter did not move")
+	}
+	<-done
+}

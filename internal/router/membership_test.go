@@ -1,0 +1,272 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"overprov/internal/estimate"
+	"overprov/internal/ring"
+	"overprov/internal/similarity"
+	"overprov/internal/trace"
+	"overprov/internal/units"
+	"overprov/internal/wire"
+)
+
+// memberJobs builds one epoch's workload: 100 distinct (user, app)
+// similarity groups. Epochs use disjoint user ranges, so no group's
+// feedback history spans a membership change — the property the final
+// merge-equivalence check depends on (a group that trained on two
+// nodes could not merge back to single-node state).
+func memberJobs(epoch int) []wire.Job {
+	jobs := make([]wire.Job, 100)
+	for i := range jobs {
+		u := epoch*100 + i
+		jobs[i] = wire.Job{
+			User: int32(u), App: int32(u % 5),
+			Nodes: 1, ReqMemMB: 48, ReqTimeS: 600,
+		}
+	}
+	return jobs
+}
+
+// memberCompletion is job position i's deterministic outcome, shared
+// verbatim between the routed cluster and the single-node reference.
+func memberCompletion(id int64, i int) wire.Completion {
+	return wire.Completion{ID: id, Success: i%7 != 0, UsedMemMB: float64(2 + i%11)}
+}
+
+// predictOwners computes, independently of the router's code path,
+// which backend tag each job should land on: a fresh ring over the
+// active names, the estimator's own similarity key, the shared hash.
+// tags maps ring construction order to backend tag indexes.
+func predictOwners(t *testing.T, names []string, tags []int, jobs []wire.Job) []int {
+	t.Helper()
+	rg, err := ring.New(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make([]int, len(jobs))
+	for i := range jobs {
+		k := similarity.ByUserAppReqMem(&trace.Job{
+			User:   int(jobs[i].User),
+			App:    int(jobs[i].App),
+			ReqMem: units.MemSize(jobs[i].ReqMemMB),
+		})
+		owners[i] = tags[rg.Lookup(ring.HashKey(int64(k.User), int64(k.App), k.ReqMemKB))]
+	}
+	return owners
+}
+
+// submitAll pushes one batch and returns the tagged ids and owner tags.
+func submitAll(t *testing.T, tc *testClient, jobs []wire.Job) (ids []int64, owners []int) {
+	t.Helper()
+	res := tc.exchange(t, tc.enc.SubmitBatch(tc.version, jobs), wire.TypeSubmitResult)
+	if len(res) != len(jobs) {
+		t.Fatalf("submit returned %d results for %d jobs", len(res), len(jobs))
+	}
+	ids = make([]int64, len(res))
+	owners = make([]int, len(res))
+	for i, r := range res {
+		if r.Err != "" {
+			t.Fatalf("submit item %d: %s", i, r.Err)
+		}
+		if r.State == wire.StateDegraded {
+			t.Fatalf("submit item %d degraded with every backend alive", i)
+		}
+		ids[i] = r.ID
+		owners[i], _ = splitID(r.ID)
+	}
+	return ids, owners
+}
+
+// completeAll acks one completion batch, failing on any per-item error.
+func completeAll(t *testing.T, tc *testClient, ids []int64) {
+	t.Helper()
+	comps := make([]wire.Completion, len(ids))
+	for i, id := range ids {
+		comps[i] = memberCompletion(id, i)
+	}
+	res := tc.exchange(t, tc.enc.CompleteBatch(tc.version, comps), wire.TypeCompleteResult)
+	for i, r := range res {
+		if r.Err != "" {
+			t.Fatalf("complete item %d: %s", i, r.Err)
+		}
+	}
+}
+
+// TestRouterMembershipChangeUnderLiveLoad grows and then shrinks the
+// ring while traffic flows — the backlog of pending completions from
+// the previous epoch is acked concurrently with the membership call,
+// exercising the snapshot isolation (tag-routed completions are immune
+// to ring swaps). It pins the membership guarantees end to end:
+//
+//  1. Placement always matches an independently built ring over the
+//     active names, and ring growth moves groups only TO the added
+//     node, removal only OFF the removed node (bounded movement).
+//  2. A removed backend keeps serving completions for jobs it
+//     admitted (its tag slot outlives its ring membership).
+//  3. Snapshot equivalence survives both changes: the merged state of
+//     all three nodes is byte-identical to a single node fed the same
+//     client stream.
+func TestRouterMembershipChangeUnderLiveLoad(t *testing.T) {
+	n0 := startNode(t, "node0")
+	n1 := startNode(t, "node1")
+	n2 := startNode(t, "node2")
+	r, err := New(Config{Backends: []Backend{
+		{Name: "node0", Addr: n0.addr()},
+		{Name: "node1", Addr: n1.addr()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = r.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = r.Shutdown(ctx)
+	})
+	tc := dialTest(t, ln.Addr().String())
+
+	// Bounded movement is a pure placement property; assert it over one
+	// common key space across the three ring shapes before any traffic.
+	probe := memberJobs(9)
+	on2 := predictOwners(t, []string{"node0", "node1"}, []int{0, 1}, probe)
+	on3 := predictOwners(t, []string{"node0", "node1", "node2"}, []int{0, 1, 2}, probe)
+	after := predictOwners(t, []string{"node0", "node2"}, []int{0, 2}, probe)
+	moved, stayed := 0, 0
+	for i := range probe {
+		if on3[i] != on2[i] {
+			moved++
+			if on3[i] != 2 {
+				t.Fatalf("growth moved group %d to backend %d — only the added node may gain groups", i, on3[i])
+			}
+		} else {
+			stayed++
+		}
+		if after[i] != on3[i] && on3[i] != 1 {
+			t.Fatalf("removal moved group %d off live backend %d", i, on3[i])
+		}
+	}
+	if moved == 0 || stayed == 0 {
+		t.Fatalf("implausible movement on growth: %d moved, %d stayed", moved, stayed)
+	}
+
+	// Epoch 0: two-node ring.
+	jobs0 := memberJobs(0)
+	ids0, owners0 := submitAll(t, tc, jobs0)
+	if want := predictOwners(t, []string{"node0", "node1"}, []int{0, 1}, jobs0); !equalInts(owners0, want) {
+		t.Fatal("epoch-0 placement diverges from the independent ring")
+	}
+
+	// Grow the ring while the epoch-0 backlog completes concurrently.
+	// The completions are tag-routed, so the mid-flight swap must not
+	// affect them. (A second connection carries the backlog: one swp
+	// connection is a sequential request/reply stream.)
+	bg := dialTest(t, ln.Addr().String())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		completeAll(t, bg, ids0)
+	}()
+	if err := r.AddBackend(Backend{Name: "node2", Addr: n2.addr()}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// Epoch 1: fresh groups on the three-node ring.
+	jobs1 := memberJobs(1)
+	ids1, owners1 := submitAll(t, tc, jobs1)
+	if want := predictOwners(t, []string{"node0", "node1", "node2"}, []int{0, 1, 2}, jobs1); !equalInts(owners1, want) {
+		t.Fatal("epoch-1 placement diverges from the independent ring")
+	}
+	onNode1 := 0
+	for _, o := range owners1 {
+		if o == 1 {
+			onNode1++
+		}
+	}
+	if onNode1 == 0 {
+		t.Fatal("no epoch-1 group landed on node1 — the removal phase would not exercise the kept tag slot")
+	}
+
+	// Shrink the ring while the epoch-1 backlog — including the items
+	// on the node being removed — completes concurrently. The removed
+	// backend keeps its tag slot, so those completions must succeed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		completeAll(t, bg, ids1)
+	}()
+	if err := r.RemoveBackend("node1"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// Epoch 2: node1 is out of the ring and takes no new jobs.
+	jobs2 := memberJobs(2)
+	ids2, owners2 := submitAll(t, tc, jobs2)
+	if want := predictOwners(t, []string{"node0", "node2"}, []int{0, 2}, jobs2); !equalInts(owners2, want) {
+		t.Fatal("epoch-2 placement diverges from the independent ring")
+	}
+	for i, o := range owners2 {
+		if o == 1 {
+			t.Fatalf("group %d routed to the removed backend", i)
+		}
+	}
+	completeAll(t, tc, ids2)
+
+	// Double removal and duplicate add are refused.
+	if err := r.RemoveBackend("node1"); err == nil {
+		t.Fatal("second removal of node1 succeeded")
+	}
+	if err := r.AddBackend(Backend{Name: "node2", Addr: n2.addr()}); err == nil {
+		t.Fatal("duplicate add of node2 succeeded")
+	}
+
+	// Equivalence: a single node fed the identical client stream (same
+	// batch order, same per-position outcomes) matches the merged state
+	// of all three nodes — the removed one included, since it kept the
+	// groups it trained.
+	ref := startNode(t, "ref")
+	rc := dialTest(t, ref.addr())
+	for epoch := 0; epoch < 3; epoch++ {
+		ids, _ := submitAll(t, rc, memberJobs(epoch))
+		completeAll(t, rc, ids)
+	}
+	var want bytes.Buffer
+	if err := ref.est.SaveState(&want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("reference state is empty — workload did not learn")
+	}
+	var merged bytes.Buffer
+	if err := estimate.MergeStates(&merged, saveNodeStates(t, []*testNode{n0, n1, n2})...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), want.Bytes()) {
+		t.Fatalf("merged state after membership changes differs from single-node reference\nmerged (%d bytes):\n%.2000s\nwant (%d bytes):\n%.2000s",
+			merged.Len(), merged.String(), want.Len(), want.String())
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -16,15 +16,43 @@ import (
 // slot means "dial on demand" — which caps concurrent connections per
 // backend without a mutex and makes acquire/release naturally FIFO.
 //
-// Failover swaps the address (Router.SetBackendAddr) and bumps gen;
-// pooled connections from the old generation are discarded on their
-// next acquire, so all traffic converges on the new address without
-// coordination.
+// Failover swaps the address (setAddr) and bumps gen; pooled
+// connections from the old generation are discarded on their next
+// acquire, so all traffic converges on the new address without
+// coordination. The health prober (health.go) drives setAddr
+// automatically when a standby is armed; SetBackendAddr is the manual
+// path.
 type backend struct {
 	name string
+	// idx is the backend's tag index — the identity job ids carry.
+	// Stable for the router's lifetime, even across removal.
+	idx  int
 	addr atomic.Pointer[string]
 	gen  atomic.Uint64
 	idle chan *poolConn
+
+	// health is the prober's verdict (a Health value). Written under
+	// healthMu; read lock-free on the serving path.
+	health atomic.Int32
+	// removed marks a backend that left the ring (RemoveBackend). It
+	// still serves tag-routed completions but takes no new jobs and
+	// its prober exits.
+	removed atomic.Bool
+
+	// standby is the pre-declared failover address, consumed (once) by
+	// the prober when it declares the backend down. Guarded by
+	// healthMu.
+	standby string
+	// fails / oks are the prober's consecutive-outcome counters,
+	// guarded by healthMu.
+	fails, oks int
+
+	// Operational counters, exported by Router.Metrics.
+	retries    atomic.Uint64 // fan-out exchange retries
+	failovers  atomic.Uint64 // automatic standby swaps
+	degraded   atomic.Uint64 // submits served at requested memory
+	probesOK   atomic.Uint64
+	probesFail atomic.Uint64
 }
 
 // poolConn is one pooled connection with its codec state. Exactly one
@@ -45,8 +73,8 @@ func (pc *poolConn) close() {
 	}
 }
 
-func newBackend(name, addr string, poolSize int) *backend {
-	b := &backend{name: name, idle: make(chan *poolConn, poolSize)}
+func newBackend(name, addr, standby string, idx, poolSize int) *backend {
+	b := &backend{name: name, idx: idx, standby: standby, idle: make(chan *poolConn, poolSize)}
 	b.addr.Store(&addr)
 	for i := 0; i < poolSize; i++ {
 		b.idle <- nil
@@ -55,11 +83,14 @@ func newBackend(name, addr string, poolSize int) *backend {
 }
 
 // setAddr points the backend at a new address and retires every pooled
-// connection to the old one.
+// connection to the old one. Callers serialize through healthMu.
 func (b *backend) setAddr(addr string) {
 	b.addr.Store(&addr)
 	b.gen.Add(1)
 }
+
+// healthVal reads the prober's current verdict lock-free.
+func (b *backend) healthVal() Health { return Health(b.health.Load()) }
 
 // dial opens and negotiates one connection at the current address.
 func (b *backend) dial(timeout time.Duration) (*poolConn, error) {
@@ -68,6 +99,12 @@ func (b *backend) dial(timeout time.Duration) (*poolConn, error) {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	// The handshake shares the dial budget: a backend that accepts but
+	// never answers Hello must not pin the exchange.
+	if err := c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		_ = c.Close()
+		return nil, err
 	}
 	pc := &poolConn{
 		c:   c,
@@ -102,7 +139,14 @@ func (b *backend) dial(timeout time.Duration) (*poolConn, error) {
 // decode the reply into dst. Any error poisons the connection — a
 // faulted stream cannot be trusted for framing — and the slot reverts
 // to dial-on-demand. The caller owns the returned results.
-func (b *backend) exchange(timeout time.Duration, mk func(enc *wire.Encoder, version uint8) []byte, want wire.FrameType, dst []wire.Result) ([]wire.Result, error) {
+//
+// postWrite reports whether the request frame's write had begun when
+// the error occurred. It is the retry-safety boundary: a submit that
+// failed post-write may have been applied by the backend, so retrying
+// it could admit the batch twice — the retry layer (exchangeRetry)
+// only re-sends submits that failed pre-write, while completions,
+// being idempotent per job id, retry either way.
+func (b *backend) exchange(dialTimeout, ioTimeout time.Duration, mk func(enc *wire.Encoder, version uint8) []byte, want wire.FrameType, dst []wire.Result) (res []wire.Result, postWrite bool, err error) {
 	pc := <-b.idle
 	ok := false
 	defer func() {
@@ -115,33 +159,38 @@ func (b *backend) exchange(timeout time.Duration, mk func(enc *wire.Encoder, ver
 	}()
 	if pc == nil || pc.gen != b.gen.Load() {
 		pc.close()
-		var err error
-		pc, err = b.dial(timeout)
+		pc, err = b.dial(dialTimeout)
 		if err != nil {
 			pc = nil
-			return nil, err
+			return nil, false, err
 		}
 	}
+	// One absolute deadline covers the write+read round, so a backend
+	// that accepts frames but stops answering fails the exchange
+	// instead of pinning a fan-out goroutine.
+	if err := pc.c.SetDeadline(time.Now().Add(ioTimeout)); err != nil {
+		return nil, false, err
+	}
 	if _, err := pc.bw.Write(mk(&pc.enc, pc.version)); err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	if err := pc.bw.Flush(); err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	f, err := pc.fr.ReadFrame()
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	if f.Type == wire.TypeError {
-		return nil, fmt.Errorf("backend error: %s", wire.DecodeError(f.Payload))
+		return nil, true, fmt.Errorf("backend error: %s", wire.DecodeError(f.Payload))
 	}
 	if f.Type != want {
-		return nil, fmt.Errorf("reply type %d, want %d", f.Type, want)
+		return nil, true, fmt.Errorf("reply type %d, want %d", f.Type, want)
 	}
-	res, err := wire.DecodeResults(f.Payload, dst)
+	res, err = wire.DecodeResults(f.Payload, dst)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	ok = true
-	return res, nil
+	return res, true, nil
 }

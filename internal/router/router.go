@@ -20,11 +20,21 @@
 // high bits (tagID), so completions route back to the node that
 // admitted the job without any routing table — the router holds no
 // per-job state at all, which is what keeps it thin enough to stack.
+//
+// The self-healing tier (health.go) rides on top: a per-backend prober
+// drives a healthy → suspect → down → recovering state machine, fan-out
+// gains per-item retry with capped backoff, a down backend's submits
+// degrade to the paper's requested-memory baseline instead of failing
+// (tagged with the reserved degradedTag index), and a pre-declared
+// standby address is swapped in automatically when the prober declares
+// a backend down. Ring membership can change at runtime through the
+// same atomically-swapped routing snapshot (AddBackend/RemoveBackend).
 package router
 
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"overprov/internal/ring"
@@ -43,8 +53,15 @@ const localIDBits = 50
 // localIDMask extracts the backend-local id.
 const localIDMask = (int64(1) << localIDBits) - 1
 
-// maxBackends bounds the ring so tagged ids stay positive int64s.
-const maxBackends = 1 << 13
+// maxBackends bounds the ring so tagged ids stay positive int64s, less
+// the one index reserved for degraded admissions.
+const maxBackends = 1<<13 - 1
+
+// degradedTag is the reserved backend index tagged onto jobs the
+// router admitted at requested memory because their owner was
+// unreachable (see degradeSubmits in serve.go). No estimator holds
+// these jobs, so their completions are acked as no-ops in place.
+const degradedTag = maxBackends
 
 // tagID embeds the owning backend into a backend-local job id.
 func tagID(backend int, local int64) int64 {
@@ -59,9 +76,13 @@ func splitID(id int64) (backend int, local int64) {
 // Backend names one routed node. Name is the stable ring identity —
 // placement depends only on it — while Addr is the current transport
 // endpoint, swappable at runtime for failover (SetBackendAddr).
+// Standby pre-declares the failover endpoint: when the health prober
+// declares the backend down it swaps Standby in for Addr automatically
+// and probes it back to healthy.
 type Backend struct {
-	Name string
-	Addr string
+	Name    string
+	Addr    string
+	Standby string
 }
 
 // Config configures a Router.
@@ -75,18 +96,67 @@ type Config struct {
 	PoolSize int
 	// DialTimeout bounds each backend connection attempt (default 5s).
 	DialTimeout time.Duration
+	// IOTimeout bounds one exchange's write+read round on a backend
+	// connection (default 30s), so a backend that accepts frames but
+	// stops answering fails the exchange instead of pinning the fan-out.
+	IOTimeout time.Duration
 	// Replicas is the ring's virtual-node count (0 = ring default).
 	Replicas int
+	// Probe tunes the per-backend health prober (health.go); zero
+	// values take defaults. Probing starts only when StartProbes runs.
+	Probe ProbeConfig
+	// Retry tunes per-item fan-out retries (health.go).
+	Retry RetryConfig
+	// Logf, when set, receives health-transition and failover lines.
+	Logf func(format string, args ...any)
 }
 
-// Router splits swp batches across backends by group key. See the
-// package comment; serving machinery is in serve.go.
-type Router struct {
-	cfg      Config
-	ring     *ring.Ring
+// routing is one immutable membership snapshot: the ring over the
+// active backends plus both index mappings. Swapped atomically as one
+// pointer, so every frame plans and merges against a single coherent
+// view while AddBackend/RemoveBackend build the next one.
+type routing struct {
+	ring *ring.Ring
+	// byRing maps a ring Lookup index (construction order of the
+	// active, non-removed names) to its backend.
+	byRing []*backend
+	// backends maps tag indexes to backends. Append-only and
+	// index-stable across membership changes: a removed backend keeps
+	// its slot (and serves tag-routed completions for jobs it already
+	// admitted) — it only leaves the ring.
 	backends []*backend
+}
 
-	serveState // listener, connection set, drain flag (serve.go)
+// place routes one submitted job: derive the similarity key the
+// backend's estimator will use, hash it onto the ring. This must stay
+// in lockstep with the server's keying (similarity.ByUserAppReqMem on
+// the decoded request) or groups would straddle backends.
+func (rt *routing) place(j *wire.Job) int {
+	k := similarity.ByUserAppReqMem(&trace.Job{
+		User:   int(j.User),
+		App:    int(j.App),
+		ReqMem: units.MemSize(j.ReqMemMB),
+	})
+	return rt.byRing[rt.ring.Lookup(ring.HashKey(int64(k.User), int64(k.App), k.ReqMemKB))].idx
+}
+
+// routeJob places one job against the current membership snapshot — a
+// convenience for tests; batch paths plan against one snapshot via
+// planJobs.
+func (r *Router) routeJob(j *wire.Job) int { return r.routing().place(j) }
+
+// Router splits swp batches across backends by group key. See the
+// package comment; serving machinery is in serve.go, the prober and
+// failover machinery in health.go.
+type Router struct {
+	cfg Config
+	rt  atomic.Pointer[routing]
+	// degradedSeq numbers degraded admissions (tag degradedTag), so
+	// their ids are unique across the router's lifetime.
+	degradedSeq atomic.Int64
+
+	serveState  // listener, connection set, drain flag (serve.go)
+	healthState // prober bookkeeping, rank-75 health lock (health.go)
 }
 
 // New builds a router. It performs no I/O: backend connections are
@@ -104,31 +174,64 @@ func New(cfg Config) (*Router, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
-	names := make([]string, len(cfg.Backends))
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 30 * time.Second
+	}
+	cfg.Probe = cfg.Probe.withDefaults()
+	cfg.Retry = cfg.Retry.withDefaults()
+	r := &Router{cfg: cfg}
+	backends := make([]*backend, 0, len(cfg.Backends))
 	for i, b := range cfg.Backends {
 		if b.Name == "" || b.Addr == "" {
 			return nil, fmt.Errorf("router: backend %d needs both name and address", i)
 		}
-		names[i] = b.Name
+		backends = append(backends, newBackend(b.Name, b.Addr, b.Standby, i, cfg.PoolSize))
 	}
-	rg, err := ring.New(names, cfg.Replicas)
-	if err != nil {
+	if err := r.install(backends); err != nil {
 		return nil, fmt.Errorf("router: %w", err)
-	}
-	r := &Router{cfg: cfg, ring: rg}
-	for _, b := range cfg.Backends {
-		r.backends = append(r.backends, newBackend(b.Name, b.Addr, cfg.PoolSize))
 	}
 	r.conns = make(map[net.Conn]struct{})
 	return r, nil
 }
 
+// routing returns the current membership snapshot.
+func (r *Router) routing() *routing { return r.rt.Load() }
+
+// install builds and swaps in a fresh routing snapshot over backends.
+// Callers mutating membership serialize through healthMu; New calls it
+// before the router is shared.
+func (r *Router) install(backends []*backend) error {
+	var names []string
+	var byRing []*backend
+	for _, b := range backends {
+		if !b.removed.Load() {
+			names = append(names, b.name)
+			byRing = append(byRing, b)
+		}
+	}
+	rg, err := ring.New(names, r.cfg.Replicas)
+	if err != nil {
+		return err
+	}
+	r.rt.Store(&routing{ring: rg, byRing: byRing, backends: backends})
+	return nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
 // SetBackendAddr re-points a named backend, retiring its pooled
-// connections — the failover hook: promote a follower, then swap the
-// dead node's address for the promoted one. Ring placement hangs off
-// the name and does not move.
+// connections — the manual failover hook the automatic path
+// (health.go) shares: promote a follower, then swap the dead node's
+// address for the promoted one. Ring placement hangs off the name and
+// does not move.
 func (r *Router) SetBackendAddr(name, addr string) error {
-	for _, b := range r.backends {
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	for _, b := range r.routing().backends {
 		if b.name == name {
 			b.setAddr(addr)
 			return nil
@@ -137,17 +240,70 @@ func (r *Router) SetBackendAddr(name, addr string) error {
 	return fmt.Errorf("router: no backend named %q", name)
 }
 
-// routeJob places one submitted job: derive the similarity key the
-// backend's estimator will use, hash it onto the ring. This must stay
-// in lockstep with the server's keying (similarity.ByUserAppReqMem on
-// the decoded request) or groups would straddle backends.
-func (r *Router) routeJob(j *wire.Job) int {
-	k := similarity.ByUserAppReqMem(&trace.Job{
-		User:   int(j.User),
-		App:    int(j.App),
-		ReqMem: units.MemSize(j.ReqMemMB),
-	})
-	return r.ring.Lookup(ring.HashKey(int64(k.User), int64(k.App), k.ReqMemKB))
+// AddBackend grows the ring at runtime: the new node takes the next
+// tag index, joins the ring under its name, and — when probing is
+// active — gets its own prober. In-flight frames keep the snapshot
+// they planned against; the bounded-movement guarantee is the ring's
+// (only keys the new node now owns move).
+func (r *Router) AddBackend(b Backend) error {
+	if b.Name == "" || b.Addr == "" {
+		return fmt.Errorf("router: backend needs both name and address")
+	}
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	cur := r.routing().backends
+	for _, exist := range cur {
+		if exist.name == b.Name {
+			return fmt.Errorf("router: backend %q already exists", b.Name)
+		}
+	}
+	if len(cur) >= maxBackends {
+		return fmt.Errorf("router: %d backends exhausts the id-tag space", len(cur))
+	}
+	nb := newBackend(b.Name, b.Addr, b.Standby, len(cur), r.cfg.PoolSize)
+	backends := append(append(make([]*backend, 0, len(cur)+1), cur...), nb)
+	if err := r.install(backends); err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	r.logf("router: backend %s joined at %s (tag %d, ring size %d)", b.Name, b.Addr, nb.idx, len(backends))
+	if r.probeCtx != nil {
+		r.spawnProbe(r.probeCtx, nb)
+	}
+	return nil
+}
+
+// RemoveBackend shrinks the ring at runtime. The backend leaves the
+// ring — no new jobs route to it — but keeps its tag slot, so
+// completions for jobs it already admitted still reach it; drain it
+// before decommissioning the process.
+func (r *Router) RemoveBackend(name string) error {
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	cur := r.routing().backends
+	active := 0
+	var victim *backend
+	for _, b := range cur {
+		if b.removed.Load() {
+			continue
+		}
+		active++
+		if b.name == name {
+			victim = b
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("router: no active backend named %q", name)
+	}
+	if active == 1 {
+		return fmt.Errorf("router: cannot remove the last backend")
+	}
+	victim.removed.Store(true)
+	if err := r.install(cur); err != nil {
+		victim.removed.Store(false)
+		return fmt.Errorf("router: %w", err)
+	}
+	r.logf("router: backend %s left the ring (tag %d still serves its completions)", name, victim.idx)
+	return nil
 }
 
 // plan is one batch's split/merge scratch, reused frame to frame by a
@@ -180,11 +336,14 @@ func (p *plan) reset(n int) {
 	p.results = p.results[:0]
 }
 
-// planJobs splits a submit batch by ring placement.
-func (r *Router) planJobs(jobs []wire.Job, p *plan) {
-	p.reset(len(r.backends))
+// planJobs splits a submit batch by ring placement against one
+// membership snapshot, returned so fan-out and merge use the same view
+// the split did even if membership changes mid-frame.
+func (r *Router) planJobs(jobs []wire.Job, p *plan) *routing {
+	rt := r.routing()
+	p.reset(len(rt.backends))
 	for i := range jobs {
-		b := r.routeJob(&jobs[i])
+		b := rt.place(&jobs[i])
 		if len(p.pos[b]) == 0 {
 			p.involved = append(p.involved, b)
 		}
@@ -192,18 +351,25 @@ func (r *Router) planJobs(jobs []wire.Job, p *plan) {
 		p.jobs[b] = append(p.jobs[b], jobs[i])
 		p.results = append(p.results, wire.Result{})
 	}
+	return rt
 }
 
 // planComps splits a completion batch by the backend tag in each job
-// id, rewriting ids to backend-local ones. Items whose tag does not
-// name a configured backend fail in place with a per-item error and
-// are not routed anywhere.
-func (r *Router) planComps(comps []wire.Completion, p *plan) {
-	p.reset(len(r.backends))
+// id, rewriting ids to backend-local ones. Items carrying the reserved
+// degraded tag were never admitted by any estimator: they are acked in
+// place as no-ops. Items whose tag names no configured backend fail in
+// place with a per-item error and are not routed anywhere.
+func (r *Router) planComps(comps []wire.Completion, p *plan) *routing {
+	rt := r.routing()
+	p.reset(len(rt.backends))
 	for i := range comps {
 		id := comps[i].ID
 		b, local := splitID(id)
-		if b < 0 || b >= len(r.backends) || id < 0 {
+		if b == degradedTag && id >= 0 {
+			p.results = append(p.results, wire.Result{ID: id, State: wire.StateDegraded})
+			continue
+		}
+		if b < 0 || b >= len(rt.backends) || id < 0 {
 			p.results = append(p.results, wire.Result{
 				ID:  id,
 				Err: fmt.Sprintf("router: id %d names no backend", id),
@@ -219,12 +385,15 @@ func (r *Router) planComps(comps []wire.Completion, p *plan) {
 		p.comps[b] = append(p.comps[b], c)
 		p.results = append(p.results, wire.Result{ID: id})
 	}
+	return rt
 }
 
 // mergeSubmit folds one backend's submit reply into the merged
 // results: accepted ids are tagged with the backend index; a transport
 // error fails that backend's items in place, leaving the rest of the
-// batch (and the client connection) healthy.
+// batch (and the client connection) healthy. (The serving fan-out only
+// reaches the error arm for malformed replies — transport failures
+// degrade instead, see fanoutSubmit.)
 func (p *plan) mergeSubmit(b int, name string, res []wire.Result, err error) {
 	if err == nil && len(res) != len(p.pos[b]) {
 		err = fmt.Errorf("%d results for %d items", len(res), len(p.pos[b]))

@@ -229,11 +229,13 @@ func TestRouterGroupAffinity(t *testing.T) {
 	}
 }
 
-// TestRouterBackendFaultIsolated kills one backend and checks the fault
-// stays per-item: jobs routed to the dead node fail with a router
-// backend error, every other job succeeds, and the client connection
-// survives to submit again.
-func TestRouterBackendFaultIsolated(t *testing.T) {
+// TestRouterBackendFaultDegrades kills one backend and checks the
+// self-healing contract: jobs routed to the dead node are not
+// hard-failed but admitted degraded — StateDegraded, the reserved id
+// tag, and the router_degraded counter — while every other job keeps
+// normal service and the client connection survives. Completing a
+// degraded job is a no-op ack.
+func TestRouterBackendFaultDegrades(t *testing.T) {
 	r, addr, nodes := startCluster(t, 3)
 	tc := dialTest(t, addr)
 
@@ -256,7 +258,9 @@ func TestRouterBackendFaultIsolated(t *testing.T) {
 	}
 
 	// Kill backend 1 hard: stop its listener and drain, then point the
-	// router at a dead address so redials fail fast.
+	// router at a dead address so redials fail fast. Shrink the retry
+	// budget: the point here is the degradation arm, not the backoff.
+	r.cfg.Retry = RetryConfig{Max: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	_ = nodes[1].ws.Shutdown(ctx)
 	cancel()
@@ -271,26 +275,49 @@ func TestRouterBackendFaultIsolated(t *testing.T) {
 	}
 
 	res = tc.exchange(t, tc.enc.SubmitBatch(tc.version, jobs), wire.TypeSubmitResult)
-	var failed, succeeded int
+	var degraded, served int
+	var degradedID int64
+	seen := map[int64]bool{}
 	for i, r := range res {
 		if r.Err != "" {
-			failed++
-			if want := "router: backend node1: "; len(r.Err) < len(want) || r.Err[:len(want)] != want {
-				t.Fatalf("item %d error %q does not name the dead backend", i, r.Err)
+			t.Fatalf("item %d hard-failed (%s) — submits must degrade, never error", i, r.Err)
+		}
+		b, _ := splitID(r.ID)
+		if r.State == wire.StateDegraded {
+			degraded++
+			degradedID = r.ID
+			if b != degradedTag {
+				t.Fatalf("degraded item %d tagged for backend %d, want the reserved tag %d", i, b, degradedTag)
 			}
+			if seen[r.ID] {
+				t.Fatalf("degraded id %d assigned twice", r.ID)
+			}
+			seen[r.ID] = true
 		} else {
-			succeeded++
+			served++
+			if b == 1 {
+				t.Fatalf("item %d served normally by the dead backend", i)
+			}
 		}
 	}
-	if failed == 0 || succeeded == 0 {
-		t.Fatalf("fault not isolated: %d failed, %d succeeded", failed, succeeded)
+	if degraded == 0 || served == 0 {
+		t.Fatalf("fault not isolated: %d degraded, %d served", degraded, served)
+	}
+	if m := r.Metrics(); m.Degraded != uint64(degraded) {
+		t.Fatalf("metrics count %d degraded admissions, test saw %d", m.Degraded, degraded)
+	}
+
+	// Completing a degraded job acks in place without touching a node.
+	cres := tc.exchange(t, tc.enc.CompleteBatch(tc.version, []wire.Completion{{ID: degradedID, Success: true, UsedMemMB: 8}}), wire.TypeCompleteResult)
+	if len(cres) != 1 || cres[0].Err != "" || cres[0].State != wire.StateDegraded || cres[0].ID != degradedID {
+		t.Fatalf("degraded completion ack: %+v", cres)
 	}
 
 	// The connection must still be usable for work the dead node does
 	// not own.
 	live := jobs[byBackend[0]]
 	res = tc.exchange(t, tc.enc.SubmitBatch(tc.version, []wire.Job{live}), wire.TypeSubmitResult)
-	if len(res) != 1 || res[0].Err != "" {
+	if len(res) != 1 || res[0].Err != "" || res[0].State == wire.StateDegraded {
 		t.Fatalf("post-fault submit on live backend: %+v", res)
 	}
 }

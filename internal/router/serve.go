@@ -178,6 +178,16 @@ func (r *Router) serveConn(c net.Conn) {
 			}
 			r.fanoutComplete(comps, &p)
 			fatal = writeFrame(bw, enc.Results(version, wire.TypeCompleteResult, p.results))
+		case wire.TypePing:
+			// The router answers health probes itself — a stacked
+			// router tier probes the tier below it the same way
+			// clients probe this one.
+			nonce, derr := wire.DecodePing(f.Payload)
+			if derr != nil {
+				fatal = derr
+				break
+			}
+			fatal = writeFrame(bw, enc.Pong(version, nonce))
 		case wire.TypeWALFetch:
 			// Replication is per-node state; followers attach to their
 			// backend directly, never through the router.
@@ -195,32 +205,76 @@ func (r *Router) serveConn(c net.Conn) {
 // fanoutSubmit splits, fans out in parallel, and merges one submit
 // batch. Single-backend frames run inline — the common case on small
 // clusters, and the one BENCH_9's router-overhead delta measures.
+//
+// Submits never hard-fail on backend trouble: a backend the prober
+// holds down is skipped outright, and one whose exchange exhausts the
+// retry budget (or faulted post-write, where re-sending could admit
+// twice) has its items admitted degraded — served at requested memory,
+// the paper's no-estimation baseline — instead of bouncing the
+// client's request. The degradation is visible (StateDegraded, the
+// reserved id tag, the router_degraded counter) but never an error.
 func (r *Router) fanoutSubmit(jobs []wire.Job, p *plan) {
-	r.planJobs(jobs, p)
+	rt := r.planJobs(jobs, p)
 	r.eachInvolved(p, func(b int) {
+		bk := rt.backends[b]
+		if bk.healthVal() == HealthDown {
+			r.degradeSubmits(bk, p, b)
+			return
+		}
 		sub := p.jobs[b]
-		res, err := r.backends[b].exchange(r.cfg.DialTimeout, func(enc *wire.Encoder, v uint8) []byte {
+		res, err := r.exchangeRetry(bk, true, func(enc *wire.Encoder, v uint8) []byte {
 			return enc.SubmitBatch(v, sub)
 		}, wire.TypeSubmitResult, p.scratch[b][:0])
 		if res != nil {
 			p.scratch[b] = res[:0]
 		}
-		p.mergeSubmit(b, r.backends[b].name, res, err)
+		if err != nil {
+			r.degradeSubmits(bk, p, b)
+			return
+		}
+		p.mergeSubmit(b, bk.name, res, nil)
 	})
 }
 
-// fanoutComplete is fanoutSubmit for completion batches.
+// degradeSubmits admits one backend's share of a submit batch at
+// requested memory: each item gets a unique id under the reserved
+// degraded tag and StateDegraded. No estimator holds these jobs —
+// their completions are acked as no-ops (planComps) — so they are
+// simply jobs the cluster scheduled without estimation, exactly what a
+// single node with estimation disabled would do.
+func (r *Router) degradeSubmits(bk *backend, p *plan, b int) {
+	for _, pos := range p.pos[b] {
+		p.results[pos] = wire.Result{
+			ID:    tagID(degradedTag, r.degradedSeq.Add(1)&localIDMask),
+			State: wire.StateDegraded,
+		}
+	}
+	bk.degraded.Add(uint64(len(p.pos[b])))
+}
+
+// fanoutComplete is fanoutSubmit for completion batches — but the
+// failure policy inverts. A completion carries training signal the
+// owning backend's estimator must eventually see, so it is never
+// degraded away: a down backend's items fail with per-item retryable
+// errors and the client re-sends them (idempotent on the backend until
+// the job id is consumed), which is exactly what the chaos harness
+// does across a failover.
 func (r *Router) fanoutComplete(comps []wire.Completion, p *plan) {
-	r.planComps(comps, p)
+	rt := r.planComps(comps, p)
 	r.eachInvolved(p, func(b int) {
+		bk := rt.backends[b]
+		if bk.healthVal() == HealthDown {
+			p.mergeComplete(b, bk.name, nil, fmt.Errorf("down, completion not delivered (retry)"))
+			return
+		}
 		sub := p.comps[b]
-		res, err := r.backends[b].exchange(r.cfg.DialTimeout, func(enc *wire.Encoder, v uint8) []byte {
+		res, err := r.exchangeRetry(bk, false, func(enc *wire.Encoder, v uint8) []byte {
 			return enc.CompleteBatch(v, sub)
 		}, wire.TypeCompleteResult, p.scratch[b][:0])
 		if res != nil {
 			p.scratch[b] = res[:0]
 		}
-		p.mergeComplete(b, r.backends[b].name, res, err)
+		p.mergeComplete(b, bk.name, res, err)
 	})
 }
 

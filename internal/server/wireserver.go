@@ -237,6 +237,15 @@ func (ws *WireServer) serveConn(c net.Conn) {
 			ws.srv.completeJobs(items, out)
 			results = appendWireResults(results[:0], out, items)
 			fatal = writeFrame(bw, enc.Results(version, wire.TypeCompleteResult, results))
+		case wire.TypePing:
+			// Health probes: echo the nonce through the ordinary frame
+			// loop, so a wedged dispatcher fails the probe too.
+			nonce, derr := wire.DecodePing(f.Payload)
+			if derr != nil {
+				fatal = derr
+				break
+			}
+			fatal = writeFrame(bw, enc.Pong(version, nonce))
 		case wire.TypeWALFetch:
 			req, derr := wire.DecodeWALFetch(f.Payload)
 			if derr != nil {

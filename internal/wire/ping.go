@@ -1,0 +1,42 @@
+package wire
+
+import "encoding/binary"
+
+// Health-probe frames. The router's per-backend prober opens a fresh
+// connection, performs the ordinary Hello negotiation, then sends one
+// TypePing and expects the peer to echo the nonce back in a TypePong —
+// a full request/reply round through the real accept loop, codec and
+// dispatcher, so a backend that accepts TCP but cannot serve frames
+// (wedged dispatcher, half-started promotion) still probes as down.
+// Both the scheduling daemon's wire server and the router itself
+// answer pings, so routers can be stacked and probed uniformly.
+const (
+	TypePing FrameType = 9  // prober → peer: echo request
+	TypePong FrameType = 10 // peer → prober: nonce echoed back
+)
+
+// Ping encodes a probe frame carrying an opaque nonce the peer must
+// echo. The nonce ties a pong to its ping across connection reuse.
+func (e *Encoder) Ping(version uint8, nonce uint64) []byte {
+	start := e.beginFrame(version, TypePing)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, nonce)
+	return e.endFrame(start)
+}
+
+// Pong encodes the echo reply.
+func (e *Encoder) Pong(version uint8, nonce uint64) []byte {
+	start := e.beginFrame(version, TypePong)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, nonce)
+	return e.endFrame(start)
+}
+
+// DecodePing parses a Ping payload (the nonce). Pong payloads are
+// identical, so this decodes both directions.
+func DecodePing(p []byte) (uint64, error) {
+	d := payloadDecoder{buf: p}
+	nonce := d.u64()
+	if err := d.finish(); err != nil {
+		return 0, err
+	}
+	return nonce, nil
+}

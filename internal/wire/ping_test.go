@@ -1,0 +1,36 @@
+package wire
+
+import "testing"
+
+func TestPingPongRoundTrip(t *testing.T) {
+	var enc Encoder
+	const nonce = uint64(0xdeadbeefcafe0123)
+	f := readBack(t, enc.Ping(1, nonce))
+	if f.Type != TypePing {
+		t.Fatalf("frame type %d, want %d", f.Type, TypePing)
+	}
+	got, err := DecodePing(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nonce {
+		t.Fatalf("nonce %x, want %x", got, nonce)
+	}
+
+	f = readBack(t, enc.Pong(1, nonce))
+	if f.Type != TypePong {
+		t.Fatalf("frame type %d, want %d", f.Type, TypePong)
+	}
+	if got, err = DecodePing(f.Payload); err != nil || got != nonce {
+		t.Fatalf("pong decode: %v, nonce %x", err, got)
+	}
+}
+
+func TestPingDecodeRejectsBadPayloads(t *testing.T) {
+	if _, err := DecodePing([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short ping payload must not decode")
+	}
+	if _, err := DecodePing(make([]byte, 9)); err == nil {
+		t.Fatal("oversized ping payload must not decode")
+	}
+}

@@ -93,6 +93,12 @@ const (
 	StateDone     byte = 3
 	StateFailed   byte = 4
 	StateRejected byte = 5
+	// StateDegraded marks a submit the router admitted at the job's
+	// requested memory — the paper's no-estimation baseline — because
+	// the owning backend was unreachable (estimate.Fallible's last rung
+	// extended across the network). The job is served, not failed;
+	// completing it is a no-op ack, since no estimator admitted it.
+	StateDegraded byte = 6
 )
 
 var stateNames = [...]string{
@@ -102,6 +108,7 @@ var stateNames = [...]string{
 	StateDone:     "done",
 	StateFailed:   "failed",
 	StateRejected: "rejected",
+	StateDegraded: "degraded",
 }
 
 // StateString names a state byte ("" for unknown).

@@ -195,7 +195,7 @@ func TestReaderReusesBuffers(t *testing.T) {
 }
 
 func TestStateMapping(t *testing.T) {
-	for _, b := range []byte{StateQueued, StateRunning, StateDone, StateFailed, StateRejected} {
+	for _, b := range []byte{StateQueued, StateRunning, StateDone, StateFailed, StateRejected, StateDegraded} {
 		if got := StateByte(StateString(b)); got != b {
 			t.Fatalf("state %d round-trips to %d", b, got)
 		}
